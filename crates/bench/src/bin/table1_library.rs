@@ -1,0 +1,32 @@
+//! Regenerate the paper's **Table 1**: the simple-module library
+//! characterization (area, delay in cycles at the 10 ns clock).
+//!
+//! ```text
+//! cargo run --release -p hsyn-bench --bin table1_library
+//! ```
+
+use hsyn_lib::papers::{table1_rows, TABLE1_CLOCK_NS};
+
+fn main() {
+    println!("Table 1: functional unit and register properties");
+    println!("(delays in cycles at a {TABLE1_CLOCK_NS} ns clock, 5 V)\n");
+    let rows = table1_rows();
+    print!("{:<8}", "");
+    for r in &rows {
+        print!("{:>14}", r.name);
+    }
+    println!();
+    print!("{:<8}", "Area");
+    for r in &rows {
+        print!("{:>14.0}", r.area);
+    }
+    println!();
+    print!("{:<8}", "Delay");
+    for r in &rows {
+        match r.delay_cycles {
+            Some(c) => print!("{c:>14}"),
+            None => print!("{:>14}", "-"),
+        }
+    }
+    println!();
+}

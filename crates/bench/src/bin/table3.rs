@@ -1,0 +1,86 @@
+//! Regenerate the paper's **Table 3**: normalized area and power of
+//! flattened vs hierarchical, area- vs power-optimized syntheses of the six
+//! benchmarks at laxity factors 1.2 / 2.2 / 3.2.
+//!
+//! ```text
+//! cargo run --release -p hsyn-bench --bin table3 [--quick] [bench ...]
+//! ```
+//!
+//! Results are also written to `results/table3.json` for `table4` to reuse.
+
+use hsyn_bench::{run_sweep, save_cells, CellSet, SweepConfig, LAXITIES};
+
+fn main() {
+    let mut names = Vec::new();
+    let mut sweep = SweepConfig::default();
+    for arg in std::env::args().skip(1) {
+        if arg == "--quick" {
+            sweep = SweepConfig::quick();
+        } else {
+            names.push(arg);
+        }
+    }
+
+    eprintln!("Table 3 sweep (4 syntheses per cell):");
+    let cells = run_sweep(&names, sweep);
+    save_cells(&cells);
+    print_table3(&cells);
+
+    // The headline claim of the abstract.
+    let best = cells
+        .iter()
+        .map(|c| {
+            let r = c.table3_row();
+            (c.benchmark.clone(), c.laxity, r.power[3])
+        })
+        .min_by(|a, b| a.2.total_cmp(&b.2));
+    if let Some((name, lf, ratio)) = best {
+        println!(
+            "\nBest hierarchical power reduction vs 5 V area-optimized: {:.1}x ({name} @ L.F. {lf})",
+            1.0 / ratio
+        );
+        println!("(paper: up to 6.7x at area overheads not exceeding 50%)");
+    }
+}
+
+fn print_table3(cells: &[CellSet]) {
+    println!("\nTable 3: area (normalized) and power (normalized)\n");
+    println!(
+        "{:<18}{:<4}{:>26}{:>26}{:>26}",
+        "Circuit", "", "L.F. = 1.2", "L.F. = 2.2", "L.F. = 3.2"
+    );
+    println!(
+        "{:<18}{:<4}{}",
+        "",
+        "",
+        format!("{:>26}", "Flat-A Flat-P Hier-A Hier-P").repeat(3)
+    );
+    let benches: Vec<String> = {
+        let mut v = Vec::new();
+        for c in cells {
+            if !v.contains(&c.benchmark) {
+                v.push(c.benchmark.clone());
+            }
+        }
+        v
+    };
+    for bench in &benches {
+        for (label, pick) in [("A", 0usize), ("P", 1usize)] {
+            print!("{:<18}{:<4}", if label == "A" { bench.as_str() } else { "" }, label);
+            for &lf in &LAXITIES {
+                match cells.iter().find(|c| &c.benchmark == bench && c.laxity == lf) {
+                    Some(c) => {
+                        let row = c.table3_row();
+                        let vals = if pick == 0 { row.area } else { row.power };
+                        print!(
+                            "{:>7.2}{:>7.2}{:>6.2}{:>6.2}",
+                            vals[0], vals[1], vals[2], vals[3]
+                        );
+                    }
+                    None => print!("{:>26}", "-"),
+                }
+            }
+            println!();
+        }
+    }
+}

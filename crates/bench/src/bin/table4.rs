@@ -1,0 +1,68 @@
+//! Regenerate the paper's **Table 4**: per-laxity averages of the
+//! power-optimized area ratio, power ratios (vs 5 V and vs voltage-scaled
+//! area-optimized baselines), and synthesis time, flattened vs
+//! hierarchical.
+//!
+//! Reuses `results/table3.json` when present (run `table3` first);
+//! otherwise runs the sweep itself.
+//!
+//! ```text
+//! cargo run --release -p hsyn-bench --bin table4 [--quick] [--fresh]
+//! ```
+
+use hsyn_bench::{load_cells, run_sweep, save_cells, table4_row, SweepConfig, LAXITIES};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let fresh = args.iter().any(|a| a == "--fresh");
+
+    let cells = match (fresh, load_cells()) {
+        (false, Some(cells)) if !cells.is_empty() => {
+            eprintln!("(reusing {} cells from results/table3.json)", cells.len());
+            cells
+        }
+        _ => {
+            let sweep = if quick {
+                SweepConfig::quick()
+            } else {
+                SweepConfig::default()
+            };
+            eprintln!("Table 4 sweep:");
+            let cells = run_sweep(&[], sweep);
+            save_cells(&cells);
+            cells
+        }
+    };
+
+    println!("\nTable 4: summary of area (ratio), power (ratio), and synthesis time (seconds)\n");
+    println!(
+        "{:<6}{:>14}{:>22}{:>22}{:>18}",
+        "L.F.", "Area ratio", "Power ratio (5V)", "Power ratio (Vdd-sc)", "Synth. time (s)"
+    );
+    println!(
+        "{:<6}{:>7}{:>7}{:>11}{:>11}{:>11}{:>11}{:>9}{:>9}",
+        "", "Fl", "Hi", "Fl", "Hi", "Fl", "Hi", "Fl", "Hi"
+    );
+    for &lf in &LAXITIES {
+        let group: Vec<_> = cells.iter().filter(|c| c.laxity == lf).collect();
+        if group.is_empty() {
+            continue;
+        }
+        let row = table4_row(lf, &group);
+        println!(
+            "{:<6.1}{:>7.2}{:>7.2}{:>11.2}{:>11.2}{:>11.2}{:>11.2}{:>9.1}{:>9.1}",
+            row.laxity,
+            row.area_ratio[0],
+            row.area_ratio[1],
+            row.power_ratio_5v[0],
+            row.power_ratio_5v[1],
+            row.power_ratio_scaled[0],
+            row.power_ratio_scaled[1],
+            row.synth_time_s[0],
+            row.synth_time_s[1],
+        );
+    }
+    println!("\n(paper, SGI Challenge 1998: L.F. 1.2 ⇒ Fl 1.28/Hi 1.36 area, .51/.47 power@5V,");
+    println!(" .60/.55 power@Vdd-sc, 844/261 s — shapes, not absolute values, are the target)");
+}

@@ -1,0 +1,102 @@
+//! Synthesis configuration.
+
+use crate::cost::Objective;
+
+/// Which move families the engine may use — all on by default; ablation
+/// studies switch families off individually.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MoveFamilies {
+    /// Module replacement / selection (simple and complex).
+    pub a: bool,
+    /// Resynthesis of complex modules under relaxed constraints.
+    pub b: bool,
+    /// Merging: resource sharing, register packing, RTL embedding.
+    pub c: bool,
+    /// Splitting: resource splitting, register dedication.
+    pub d: bool,
+}
+
+impl Default for MoveFamilies {
+    fn default() -> Self {
+        MoveFamilies {
+            a: true,
+            b: true,
+            c: true,
+            d: true,
+        }
+    }
+}
+
+/// Tunable knobs of the synthesis run (paper defaults in brackets).
+#[derive(Clone, Debug)]
+pub struct SynthesisConfig {
+    /// Optimize for area or for power.
+    pub objective: Objective,
+    /// Sampling period = `laxity_factor` × minimum achievable period
+    /// (Table 3 uses 1.2, 2.2, 3.2). Ignored if `sampling_period_ns` set.
+    pub laxity_factor: f64,
+    /// Explicit sampling period in ns, overriding the laxity factor.
+    pub sampling_period_ns: Option<f64>,
+    /// Synthesize hierarchically (the paper's method) or flatten first (the
+    /// baseline of ref.&nbsp;10).
+    pub hierarchical: bool,
+    /// Moves per improvement pass; `None` ⇒ adaptive (≈ op count / 2,
+    /// clamped to 8..=40).
+    pub max_moves_per_pass: Option<usize>,
+    /// Maximum improvement passes per `(Vdd, clk)` configuration.
+    pub max_passes: usize,
+    /// Candidates fully evaluated per move selection.
+    pub candidate_limit: usize,
+    /// Trace length for gain evaluation during search.
+    pub eval_trace_len: usize,
+    /// Trace length for the final report.
+    pub report_trace_len: usize,
+    /// Move-*B* recursion depth (0 disables resynthesis).
+    pub resynth_depth: u32,
+    /// Candidate clock periods considered.
+    pub max_clock_candidates: usize,
+    /// Datapath bit width for simulation.
+    pub width: u32,
+    /// RNG seed (traces).
+    pub seed: u64,
+    /// Move families available to the engine (ablation switch).
+    pub moves: MoveFamilies,
+}
+
+impl SynthesisConfig {
+    /// Defaults for the given objective.
+    pub fn new(objective: Objective) -> Self {
+        SynthesisConfig {
+            objective,
+            laxity_factor: 1.2,
+            sampling_period_ns: None,
+            hierarchical: true,
+            max_moves_per_pass: None,
+            max_passes: 10,
+            candidate_limit: 6,
+            eval_trace_len: 32,
+            report_trace_len: 256,
+            resynth_depth: 2,
+            max_clock_candidates: 4,
+            width: 16,
+            seed: 0xDAC_1998,
+            moves: MoveFamilies::default(),
+        }
+    }
+
+    /// The reduced budget used for recursive move-*B* resynthesis.
+    pub(crate) fn child_budget(&self) -> SynthesisConfig {
+        SynthesisConfig {
+            max_moves_per_pass: Some(6),
+            max_passes: 2,
+            candidate_limit: 4,
+            ..self.clone()
+        }
+    }
+}
+
+impl Default for SynthesisConfig {
+    fn default() -> Self {
+        SynthesisConfig::new(Objective::Area)
+    }
+}

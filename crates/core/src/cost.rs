@@ -1,0 +1,82 @@
+//! Cost evaluation of design points: area (always at the reference
+//! voltage — Vdd scaling does not change layout) and trace-driven power at
+//! the operating point. The objective picks which number the iterative
+//! improvement minimizes; both are always reported.
+
+use crate::design::DesignPoint;
+use hsyn_lib::Library;
+use hsyn_power::{estimate, PowerReport, TraceSet};
+use hsyn_rtl::{module_area, AreaBreakdown};
+use serde::{Deserialize, Serialize};
+
+/// What to optimize (the paper's two modes).
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum Objective {
+    /// Minimize area.
+    Area,
+    /// Minimize average power under the throughput constraint.
+    Power,
+}
+
+/// A costed design point.
+#[derive(Clone, Copy, Debug)]
+pub struct Evaluation {
+    /// Area breakdown.
+    pub area: AreaBreakdown,
+    /// Power report at the operating voltage.
+    pub power: PowerReport,
+    /// The scalar the engine minimizes (area total or power).
+    pub cost: f64,
+}
+
+/// Like [`evaluate`], but skips the power simulation when the objective is
+/// area (the search loop never reads it) — roughly halves area-mode
+/// synthesis time. The returned power report is zeroed in that case.
+pub fn evaluate_search(
+    dp: &DesignPoint,
+    lib: &Library,
+    traces: &TraceSet,
+    objective: Objective,
+) -> Evaluation {
+    match objective {
+        Objective::Power => evaluate(dp, lib, traces, objective),
+        Objective::Area => {
+            let area = module_area(&dp.hierarchy, &dp.top.built, lib);
+            let power = PowerReport {
+                energy_breakdown: Default::default(),
+                energy_per_iteration: 0.0,
+                power: 0.0,
+                vdd: dp.op.vdd,
+            };
+            Evaluation {
+                area,
+                power,
+                cost: area.total(),
+            }
+        }
+    }
+}
+
+/// Evaluate `dp` under `objective` using `traces` for power estimation.
+pub fn evaluate(
+    dp: &DesignPoint,
+    lib: &Library,
+    traces: &TraceSet,
+    objective: Objective,
+) -> Evaluation {
+    let area = module_area(&dp.hierarchy, &dp.top.built, lib);
+    let power = estimate(
+        &dp.hierarchy,
+        &dp.top.built,
+        lib,
+        traces,
+        dp.op.vdd,
+        dp.op.physical_clk_ns(lib),
+        dp.op.sampling_cycles.max(1),
+    );
+    let cost = match objective {
+        Objective::Area => area.total(),
+        Objective::Power => power.power,
+    };
+    Evaluation { area, power, cost }
+}

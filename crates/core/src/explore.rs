@@ -1,0 +1,135 @@
+//! Design-space exploration: sweep the throughput constraint and the
+//! objective, collect the synthesized designs, and extract the area/power
+//! Pareto front — the workflow an ASIC designer runs on top of the engine
+//! (the paper's introduction motivates exactly this area-vs-power-vs-speed
+//! navigation).
+
+use crate::config::SynthesisConfig;
+use crate::cost::Objective;
+use crate::synth::{synthesize, SynthesisReport};
+use hsyn_dfg::Hierarchy;
+use hsyn_rtl::ModuleLibrary;
+
+/// One explored design point.
+#[derive(Clone, Debug)]
+pub struct ExplorePoint {
+    /// Laxity factor synthesized at.
+    pub laxity: f64,
+    /// Objective used.
+    pub objective: Objective,
+    /// The synthesis result.
+    pub report: SynthesisReport,
+}
+
+impl ExplorePoint {
+    /// Total area of the design.
+    pub fn area(&self) -> f64 {
+        self.report.evaluation.area.total()
+    }
+
+    /// Power of the design.
+    pub fn power(&self) -> f64 {
+        self.report.evaluation.power.power
+    }
+}
+
+/// Synthesize `hierarchy` at every `(laxity, objective)` combination,
+/// skipping infeasible points. `base` supplies all other knobs.
+pub fn explore(
+    hierarchy: &Hierarchy,
+    mlib: &ModuleLibrary,
+    base: &SynthesisConfig,
+    laxities: &[f64],
+) -> Vec<ExplorePoint> {
+    let mut out = Vec::new();
+    for &laxity in laxities {
+        for objective in [Objective::Area, Objective::Power] {
+            let mut config = base.clone();
+            config.laxity_factor = laxity;
+            config.sampling_period_ns = None;
+            config.objective = objective;
+            if let Ok(report) = synthesize(hierarchy, mlib, &config) {
+                out.push(ExplorePoint {
+                    laxity,
+                    objective,
+                    report,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// The non-dominated subset of `points` on (area, power), sorted by area
+/// ascending. A point dominates another if it is no worse on both axes and
+/// strictly better on one.
+pub fn pareto_front(points: &[ExplorePoint]) -> Vec<&ExplorePoint> {
+    let mut front: Vec<&ExplorePoint> = points
+        .iter()
+        .filter(|p| {
+            !points.iter().any(|q| {
+                q.area() <= p.area()
+                    && q.power() <= p.power()
+                    && (q.area() < p.area() || q.power() < p.power())
+            })
+        })
+        .collect();
+    front.sort_by(|a, b| a.area().total_cmp(&b.area()));
+    front.dedup_by(|a, b| a.area() == b.area() && a.power() == b.power());
+    front
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hsyn_dfg::benchmarks;
+    use hsyn_lib::papers::table1_library;
+
+    #[test]
+    fn explore_covers_the_grid_and_front_is_nondominated() {
+        let b = benchmarks::paulin();
+        let mut mlib = ModuleLibrary::from_simple(table1_library());
+        mlib.equiv = b.equiv.clone();
+        let mut base = SynthesisConfig::new(Objective::Area);
+        base.max_passes = 3;
+        base.candidate_limit = 3;
+        base.eval_trace_len = 16;
+        base.report_trace_len = 32;
+        base.max_clock_candidates = 2;
+        let points = explore(&b.hierarchy, &mlib, &base, &[1.5, 3.0]);
+        assert_eq!(points.len(), 4, "2 laxities x 2 objectives, all feasible");
+
+        let front = pareto_front(&points);
+        assert!(!front.is_empty());
+        // No member of the front is dominated by any explored point.
+        for f in &front {
+            for p in &points {
+                let dominates = p.area() <= f.area()
+                    && p.power() <= f.power()
+                    && (p.area() < f.area() || p.power() < f.power());
+                assert!(!dominates, "front member dominated");
+            }
+        }
+        // Sorted by area; power non-increasing along the front.
+        for w in front.windows(2) {
+            assert!(w[0].area() <= w[1].area());
+            assert!(w[0].power() >= w[1].power());
+        }
+    }
+
+    #[test]
+    fn infeasible_laxities_are_skipped() {
+        let b = benchmarks::paulin();
+        let mlib = ModuleLibrary::from_simple(table1_library());
+        let mut base = SynthesisConfig::new(Objective::Area);
+        base.max_passes = 2;
+        base.candidate_limit = 2;
+        base.eval_trace_len = 8;
+        base.report_trace_len = 16;
+        base.max_clock_candidates = 2;
+        // Laxity below 1 cannot be met; laxity 2 can.
+        let points = explore(&b.hierarchy, &mlib, &base, &[0.2, 2.0]);
+        assert!(points.iter().all(|p| p.laxity == 2.0));
+        assert_eq!(points.len(), 2);
+    }
+}

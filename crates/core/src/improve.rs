@@ -1,0 +1,368 @@
+//! Variable-depth iterative improvement (Figure 4, lines 3–16): each pass
+//! applies a sequence of best-available moves — individual moves may have
+//! *negative* gain — then commits the prefix with the best cumulative gain,
+//! "thus enabling escape from local minima".
+
+use crate::config::SynthesisConfig;
+use crate::cost::{evaluate_search, Evaluation, Objective};
+use crate::design::{ChildKind, DesignPoint, initial_module_with_window, OperatingPoint};
+use crate::moves::{
+    apply, selection_candidates, sharing_candidates, splitting_candidates, Candidate, Move,
+};
+use hsyn_dfg::NodeKind;
+use hsyn_power::{dsp_default, TraceSet};
+use hsyn_rtl::{window_of, BuildCtx, ModuleLibrary};
+use serde::{Deserialize, Serialize};
+
+/// Counters describing what the engine did (reported for every synthesis
+/// run; the experiment harness prints them alongside the results).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MoveStats {
+    /// Candidate moves fully evaluated (rebuild + reschedule + simulate).
+    pub evaluated: u64,
+    /// Candidates rejected by validity checks.
+    pub rejected: u64,
+    /// Moves committed, per family.
+    pub applied_a: u64,
+    /// Move B commits.
+    pub applied_b: u64,
+    /// Move C commits.
+    pub applied_c: u64,
+    /// Move D commits.
+    pub applied_d: u64,
+    /// Improvement passes executed.
+    pub passes: u64,
+    /// `(Vdd, clk)` configurations explored.
+    pub configs: u64,
+}
+
+impl MoveStats {
+    fn record(&mut self, mv: &Move) {
+        match mv {
+            Move::SetFuType { .. } | Move::SwapChild { .. } => self.applied_a += 1,
+            Move::ResynthChild { .. } => self.applied_b += 1,
+            Move::MergeFu { .. } | Move::RepackRegs { .. } | Move::MergeChildren { .. } => {
+                self.applied_c += 1
+            }
+            Move::SplitFu { .. } | Move::DedicateRegs { .. } | Move::SplitChild { .. } => {
+                self.applied_d += 1
+            }
+        }
+    }
+
+    /// Merge another stats record into this one.
+    pub fn absorb(&mut self, other: &MoveStats) {
+        self.evaluated += other.evaluated;
+        self.rejected += other.rejected;
+        self.applied_a += other.applied_a;
+        self.applied_b += other.applied_b;
+        self.applied_c += other.applied_c;
+        self.applied_d += other.applied_d;
+        self.passes += other.passes;
+        self.configs += other.configs;
+    }
+}
+
+/// A fully evaluated candidate application.
+struct Applied {
+    gain: f64,
+    mv: Move,
+    dp: DesignPoint,
+    eval: Evaluation,
+}
+
+/// The per-configuration optimizer.
+pub(crate) struct Engine<'a> {
+    pub mlib: &'a ModuleLibrary,
+    pub config: &'a SynthesisConfig,
+    pub traces: TraceSet,
+    /// Remaining move-*B* recursion budget.
+    pub depth: u32,
+    pub stats: MoveStats,
+}
+
+impl<'a> Engine<'a> {
+    pub fn new(mlib: &'a ModuleLibrary, config: &'a SynthesisConfig, traces: TraceSet, depth: u32) -> Self {
+        Engine {
+            mlib,
+            config,
+            traces,
+            depth,
+            stats: MoveStats::default(),
+        }
+    }
+
+    fn objective(&self) -> Objective {
+        self.config.objective
+    }
+
+    pub fn eval(&self, dp: &DesignPoint) -> Evaluation {
+        evaluate_search(dp, &self.mlib.simple, &self.traces, self.objective())
+    }
+
+    /// Apply + evaluate one candidate; `None` if invalid.
+    fn try_move(&mut self, dp: &DesignPoint, mv: &Move) -> Option<(DesignPoint, Evaluation)> {
+        let depth = self.depth;
+        // Move B recursion is routed through a closure so `apply` stays a
+        // pure structural edit everywhere else.
+        let mut resynth_result: Option<ChildKind> = None;
+        if let Move::ResynthChild { path, child } = mv {
+            if depth == 0 {
+                return None;
+            }
+            resynth_result = self.resynthesize_child(dp, path, *child);
+            resynth_result.as_ref()?;
+        }
+        let outcome = apply(dp, mv, self.mlib, &mut |_, _, _| resynth_result.take());
+        match outcome {
+            Ok(new) => {
+                self.stats.evaluated += 1;
+                let eval = self.eval(&new);
+                Some((new, eval))
+            }
+            Err(_) => {
+                self.stats.rejected += 1;
+                None
+            }
+        }
+    }
+
+    /// Evaluate the top candidates by heuristic score and return the best
+    /// by true gain (possibly negative).
+    fn best_from(
+        &mut self,
+        dp: &DesignPoint,
+        base_cost: f64,
+        mut cands: Vec<Candidate>,
+    ) -> Option<Applied> {
+        cands.sort_by(|a, b| b.0.total_cmp(&a.0));
+        let mut best: Option<Applied> = None;
+        let mut evaluated = 0usize;
+        let mut attempts = 0usize;
+        for (_, mv) in cands {
+            if evaluated >= self.config.candidate_limit || attempts >= 5 * self.config.candidate_limit
+            {
+                break;
+            }
+            attempts += 1;
+            if let Some((new, eval)) = self.try_move(dp, &mv) {
+                evaluated += 1;
+                let gain = base_cost - eval.cost;
+                if best.as_ref().map_or(true, |b| gain > b.gain) {
+                    best = Some(Applied {
+                        gain,
+                        mv,
+                        dp: new,
+                        eval,
+                    });
+                }
+            }
+        }
+        best
+    }
+
+    /// `GET_BEST_TYPE_A_AND_B_MOVE` (Figure 5 wrapped into one selector).
+    fn best_ab(&mut self, dp: &DesignPoint, base_cost: f64) -> Option<Applied> {
+        let families = self.config.moves;
+        if !families.a && !families.b {
+            return None;
+        }
+        let mut cands =
+            selection_candidates(dp, self.mlib, self.objective(), self.depth > 0 && families.b);
+        if !families.a {
+            cands.retain(|(_, mv)| matches!(mv, Move::ResynthChild { .. }));
+        }
+        self.best_from(dp, base_cost, cands)
+    }
+
+    /// `GET_BEST_RESOURCE_SHARING_MOVE`, falling back to
+    /// `GET_BEST_RESOURCE_SPLITTING_MOVE` when sharing only degrades
+    /// (Figure 4, lines 8–10).
+    fn best_cd(&mut self, dp: &DesignPoint, base_cost: f64) -> Option<Applied> {
+        let families = self.config.moves;
+        let sharing = if families.c {
+            self.best_from(dp, base_cost, sharing_candidates(dp, self.mlib, self.objective()))
+        } else {
+            None
+        };
+        match sharing {
+            Some(s) if s.gain > 0.0 => Some(s),
+            other => {
+                let splitting = if families.d {
+                    self.best_from(
+                        dp,
+                        base_cost,
+                        splitting_candidates(dp, self.mlib, self.objective()),
+                    )
+                } else {
+                    None
+                };
+                match (other, splitting) {
+                    (Some(a), Some(b)) => Some(if a.gain >= b.gain { a } else { b }),
+                    (a, b) => a.or(b),
+                }
+            }
+        }
+    }
+
+    /// One full variable-depth optimization of `initial` at its operating
+    /// point (Figure 4 lines 3–16). Returns the best design seen.
+    pub fn optimize(&mut self, initial: DesignPoint) -> (DesignPoint, Evaluation) {
+        let mut cur = initial;
+        let mut cur_eval = self.eval(&cur);
+        let mut best = cur.clone();
+        let mut best_eval = cur_eval;
+
+        let op_count = cur
+            .hierarchy
+            .dfg(cur.top.core.dfg)
+            .schedulable_count();
+        let max_moves = self
+            .config
+            .max_moves_per_pass
+            .unwrap_or_else(|| (op_count / 2).clamp(8, 40));
+
+        for _pass in 0..self.config.max_passes {
+            self.stats.passes += 1;
+            let mut states: Vec<(DesignPoint, Evaluation)> = vec![(cur.clone(), cur_eval)];
+            let mut seq_moves: Vec<Move> = Vec::new();
+            for _ in 0..max_moves {
+                let (work, work_eval) = states.last().expect("non-empty");
+                let base = work_eval.cost;
+                let m1 = self.best_ab(work, base);
+                let m3 = self.best_cd(work, base);
+                let chosen = match (m1, m3) {
+                    (Some(a), Some(b)) => Some(if a.gain >= b.gain { a } else { b }),
+                    (a, b) => a.or(b),
+                };
+                let Some(chosen) = chosen else { break };
+                seq_moves.push(chosen.mv.clone());
+                states.push((chosen.dp, chosen.eval));
+            }
+            // Commit the best-cumulative-gain prefix.
+            let (best_idx, _) = states
+                .iter()
+                .enumerate()
+                .min_by(|(_, a), (_, b)| a.1.cost.total_cmp(&b.1.cost))
+                .expect("non-empty");
+            let pass_gain = states[0].1.cost - states[best_idx].1.cost;
+            if best_idx == 0 || pass_gain <= 1e-9 {
+                break;
+            }
+            for mv in &seq_moves[..best_idx] {
+                self.stats.record(mv);
+            }
+            let (committed, committed_eval) = states.swap_remove(best_idx);
+            cur = committed;
+            cur_eval = committed_eval;
+            if cur_eval.cost < best_eval.cost {
+                best = cur.clone();
+                best_eval = cur_eval;
+            }
+        }
+        (best, best_eval)
+    }
+
+    /// Move *B*: derive the child's slack window from the parent schedule
+    /// ("constraint derivation"), then run a bounded recursive synthesis of
+    /// the callee DFG under that window ("resynthesis").
+    fn resynthesize_child(
+        &mut self,
+        dp: &DesignPoint,
+        path: &[usize],
+        child_idx: usize,
+    ) -> Option<ChildKind> {
+        let parent = dp.top.at(path);
+        let child = parent.children.get(child_idx)?;
+        let g = dp.hierarchy.dfg(parent.core.dfg);
+        // Single-callee children only (merged modules are not resynthesized).
+        let mut callee = None;
+        for &n in &child.nodes {
+            match g.node(n).kind() {
+                NodeKind::Hier { callee: c } => {
+                    if *callee.get_or_insert(*c) != *c {
+                        return None;
+                    }
+                }
+                _ => return None,
+            }
+        }
+        let callee = callee?;
+
+        // Constraint derivation: intersect the windows of all nodes served.
+        let lib = &self.mlib.simple;
+        let mut ctx = BuildCtx::new(
+            lib,
+            dp.op.clk_ref_ns,
+            lib.technology.vref(),
+            parent.core.deadline,
+        );
+        ctx.input_arrivals = parent.core.input_arrivals.clone();
+        ctx.output_deadlines = parent.core.output_deadlines.clone();
+        let mut arrivals: Option<Vec<u32>> = None;
+        let mut deadlines: Option<Vec<u32>> = None;
+        for &n in &child.nodes {
+            let w = window_of(&dp.hierarchy, &parent.built, 0, &ctx, n);
+            // The module start is when its first inputs arrive; express the
+            // window relative to the node's own start (profiles are
+            // start-relative).
+            let base = w.input_arrivals.iter().copied().min().unwrap_or(0);
+            let rel_in: Vec<u32> = w.input_arrivals.iter().map(|&a| a - base).collect();
+            let rel_out: Vec<u32> = w
+                .output_deadlines
+                .iter()
+                .map(|&d| d.saturating_sub(base))
+                .collect();
+            arrivals = Some(match arrivals {
+                None => rel_in,
+                Some(prev) => prev
+                    .iter()
+                    .zip(&rel_in)
+                    .map(|(&a, &b)| a.max(b))
+                    .collect(),
+            });
+            deadlines = Some(match deadlines {
+                None => rel_out,
+                Some(prev) => prev
+                    .iter()
+                    .zip(&rel_out)
+                    .map(|(&a, &b)| a.min(b))
+                    .collect(),
+            });
+        }
+
+        // Resynthesis: bounded recursive synthesis under the window.
+        let initial = initial_module_with_window(
+            &dp.hierarchy,
+            callee,
+            self.mlib,
+            &dp.op,
+            arrivals,
+            deadlines,
+            &format!("{}_resyn", dp.hierarchy.dfg(callee).name()),
+        )
+        .ok()?;
+        let in_count = dp.hierarchy.dfg(callee).input_count();
+        let child_traces = dsp_default(
+            in_count,
+            self.config.eval_trace_len.min(24),
+            self.config.width,
+            self.config.seed ^ (callee.index() as u64).wrapping_mul(0x9e37_79b9),
+        );
+        let inner_cfg = self.config.child_budget();
+        let mut inner = Engine::new(self.mlib, &inner_cfg, child_traces, self.depth - 1);
+        let child_dp = DesignPoint {
+            hierarchy: dp.hierarchy.clone(),
+            op: OperatingPoint {
+                // The child's deadline lives in its core; the sampling-cycles
+                // field only feeds power normalization during inner search.
+                ..dp.op
+            },
+            top: initial,
+        };
+        let (optimized, _) = inner.optimize(child_dp);
+        self.stats.evaluated += inner.stats.evaluated;
+        self.stats.rejected += inner.stats.rejected;
+        Some(ChildKind::Single(Box::new(optimized.top)))
+    }
+}

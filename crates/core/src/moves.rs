@@ -1,0 +1,697 @@
+//! The engine's move set (paper Section 1):
+//!
+//! * **A** — replace a simple or complex module by a better-suited library
+//!   element ([`Move::SetFuType`], [`Move::SwapChild`]);
+//! * **B** — resynthesize a complex module under slack-relaxed constraints
+//!   ([`Move::ResynthChild`]);
+//! * **C** — merge two modules into one ([`Move::MergeFu`],
+//!   [`Move::MergeChildren`] via RTL embedding, plus register packing);
+//! * **D** — split a module to create new optimization opportunities
+//!   ([`Move::SplitFu`], [`Move::SplitChild`], register dedication).
+//!
+//! Candidates are generated with cheap heuristic scores; the engine fully
+//! evaluates (rebuild + reschedule + power simulation) only the top few.
+
+use crate::cost::Objective;
+use crate::design::{Child, ChildKind, DesignPoint, ModuleState};
+use hsyn_dfg::{DfgId, NodeId, NodeKind, Operation};
+use hsyn_lib::{FuTypeId, Library};
+use hsyn_rtl::{embed, BuildError, EmbedError, ModuleLibrary, RegPolicy};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Path from the top module to a descendant [`ModuleState`] (child indices;
+/// empty = top).
+pub type ModulePath = Vec<usize>;
+
+/// One candidate transformation of a design point.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Move {
+    /// Move *A* (simple): change the library type of a functional-unit
+    /// group.
+    SetFuType {
+        /// Module containing the group.
+        path: ModulePath,
+        /// Group index.
+        group: usize,
+        /// New library type.
+        fu_type: FuTypeId,
+    },
+    /// Move *C* (simple): merge functional-unit group `b` into `a` with the
+    /// given shared type.
+    MergeFu {
+        /// Module containing both groups.
+        path: ModulePath,
+        /// Surviving group.
+        a: usize,
+        /// Group merged away (`b > a`).
+        b: usize,
+        /// Shared library type.
+        fu_type: FuTypeId,
+    },
+    /// Move *D* (simple): split one operation out of a group into its own
+    /// instance.
+    SplitFu {
+        /// Module containing the group.
+        path: ModulePath,
+        /// Group index.
+        group: usize,
+        /// Operation to split out.
+        op: NodeId,
+    },
+    /// Move *C* (storage): left-edge register packing for the module.
+    RepackRegs {
+        /// Target module.
+        path: ModulePath,
+    },
+    /// Move *D* (storage): dedicated registers for the module.
+    DedicateRegs {
+        /// Target module.
+        path: ModulePath,
+    },
+    /// Move *A* (complex): replace a child's implementation with a library
+    /// complex module, possibly rewriting the hierarchical nodes to an
+    /// equivalent DFG.
+    SwapChild {
+        /// Parent module.
+        path: ModulePath,
+        /// Child index.
+        child: usize,
+        /// Library complex-module index.
+        lib_idx: usize,
+        /// The DFG the library module will execute for these nodes.
+        dfg: DfgId,
+    },
+    /// Move *B*: resynthesize a child under its slack-relaxed constraint
+    /// window.
+    ResynthChild {
+        /// Parent module.
+        path: ModulePath,
+        /// Child index.
+        child: usize,
+    },
+    /// Move *C* (complex): merge two children — same behavior ⇒ share the
+    /// instance; different behaviors ⇒ RTL embedding.
+    MergeChildren {
+        /// Parent module.
+        path: ModulePath,
+        /// Surviving child.
+        a: usize,
+        /// Child merged away (`b > a`).
+        b: usize,
+    },
+    /// Move *D* (complex): split one hierarchical node out of a child into
+    /// its own instance.
+    SplitChild {
+        /// Parent module.
+        path: ModulePath,
+        /// Child index.
+        child: usize,
+        /// Node to split out.
+        node: NodeId,
+    },
+}
+
+impl fmt::Display for Move {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Move::SetFuType { path, group, fu_type } => {
+                write!(f, "A:set-fu path={path:?} group={group} type={fu_type}")
+            }
+            Move::MergeFu { path, a, b, .. } => write!(f, "C:merge-fu path={path:?} {a}+{b}"),
+            Move::SplitFu { path, group, op } => {
+                write!(f, "D:split-fu path={path:?} group={group} op={op}")
+            }
+            Move::RepackRegs { path } => write!(f, "C:pack-regs path={path:?}"),
+            Move::DedicateRegs { path } => write!(f, "D:dedicate-regs path={path:?}"),
+            Move::SwapChild { path, child, lib_idx, .. } => {
+                write!(f, "A:swap-child path={path:?} child={child} lib={lib_idx}")
+            }
+            Move::ResynthChild { path, child } => {
+                write!(f, "B:resynth path={path:?} child={child}")
+            }
+            Move::MergeChildren { path, a, b } => {
+                write!(f, "C:merge-children path={path:?} {a}+{b}")
+            }
+            Move::SplitChild { path, child, node } => {
+                write!(f, "D:split-child path={path:?} child={child} node={node}")
+            }
+        }
+    }
+}
+
+/// Why applying a move failed (the candidate is simply discarded).
+#[derive(Clone, Debug)]
+pub enum ApplyError {
+    /// Rebuild/reschedule failed.
+    Build(BuildError),
+    /// RTL embedding failed.
+    Embed(EmbedError),
+    /// The move no longer applies to the current design (stale candidate)
+    /// or resynthesis produced nothing better.
+    Rejected,
+}
+
+impl fmt::Display for ApplyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ApplyError::Build(e) => write!(f, "rebuild failed: {e}"),
+            ApplyError::Embed(e) => write!(f, "embedding failed: {e}"),
+            ApplyError::Rejected => write!(f, "move rejected"),
+        }
+    }
+}
+
+impl std::error::Error for ApplyError {}
+
+impl From<BuildError> for ApplyError {
+    fn from(e: BuildError) -> Self {
+        ApplyError::Build(e)
+    }
+}
+
+impl From<EmbedError> for ApplyError {
+    fn from(e: EmbedError) -> Self {
+        ApplyError::Embed(e)
+    }
+}
+
+/// Apply `mv` to a copy of `dp`, rebuilding and validity-checking the whole
+/// design. `resynth` supplies move-*B* implementations (the engine recurses
+/// into a bounded synthesis there).
+///
+/// # Errors
+///
+/// [`ApplyError`] when the resulting design fails to schedule or the move
+/// is not applicable.
+pub fn apply(
+    dp: &DesignPoint,
+    mv: &Move,
+    mlib: &ModuleLibrary,
+    resynth: &mut dyn FnMut(&DesignPoint, &[usize], usize) -> Option<ChildKind>,
+) -> Result<DesignPoint, ApplyError> {
+    let lib = &mlib.simple;
+    let mut new = dp.clone();
+    match mv {
+        Move::SetFuType { path, group, fu_type } => {
+            let m = new.top.at_mut(path);
+            let g = m.core.fu_groups.get_mut(*group).ok_or(ApplyError::Rejected)?;
+            if g.fu_type == *fu_type {
+                return Err(ApplyError::Rejected);
+            }
+            g.fu_type = *fu_type;
+        }
+        Move::MergeFu { path, a, b, fu_type } => {
+            let m = new.top.at_mut(path);
+            if *a >= *b || *b >= m.core.fu_groups.len() {
+                return Err(ApplyError::Rejected);
+            }
+            let moved = m.core.fu_groups.remove(*b);
+            let ga = &mut m.core.fu_groups[*a];
+            ga.ops.extend(moved.ops);
+            ga.fu_type = *fu_type;
+        }
+        Move::SplitFu { path, group, op } => {
+            let m = new.top.at_mut(path);
+            let g = m.core.fu_groups.get_mut(*group).ok_or(ApplyError::Rejected)?;
+            if g.ops.len() < 2 || !g.ops.contains(op) {
+                return Err(ApplyError::Rejected);
+            }
+            g.ops.retain(|o| o != op);
+            let fu_type = g.fu_type;
+            m.core.fu_groups.push(hsyn_rtl::FuGroup {
+                fu_type,
+                ops: vec![*op],
+            });
+        }
+        Move::RepackRegs { path } => {
+            let m = new.top.at_mut(path);
+            if matches!(m.core.reg_policy, RegPolicy::Packed) {
+                return Err(ApplyError::Rejected);
+            }
+            m.core.reg_policy = RegPolicy::Packed;
+        }
+        Move::DedicateRegs { path } => {
+            let m = new.top.at_mut(path);
+            if matches!(m.core.reg_policy, RegPolicy::Dedicated) {
+                return Err(ApplyError::Rejected);
+            }
+            m.core.reg_policy = RegPolicy::Dedicated;
+        }
+        Move::SwapChild { path, child, lib_idx, dfg } => {
+            let cm = mlib.complex.get(*lib_idx).ok_or(ApplyError::Rejected)?;
+            let parent_dfg = new.top.at(path).core.dfg;
+            let m = new.top.at_mut(path);
+            let c = m.children.get_mut(*child).ok_or(ApplyError::Rejected)?;
+            if c.nodes.len() != 1 {
+                return Err(ApplyError::Rejected);
+            }
+            let node = c.nodes[0];
+            c.kind = ChildKind::Opaque {
+                module: cm.module.clone(),
+                origin: format!("library:{}", cm.module.name()),
+            };
+            // Move A may rewrite the node to an equivalent DFG.
+            new.hierarchy.dfg_mut(parent_dfg).set_hier_callee(node, *dfg);
+        }
+        Move::ResynthChild { path, child } => {
+            let kind = resynth(dp, path, *child).ok_or(ApplyError::Rejected)?;
+            let m = new.top.at_mut(path);
+            let c = m.children.get_mut(*child).ok_or(ApplyError::Rejected)?;
+            c.kind = kind;
+        }
+        Move::MergeChildren { path, a, b } => {
+            let parent_dfg = new.top.at(path).core.dfg;
+            let m = new.top.at_mut(path);
+            if *a >= *b || *b >= m.children.len() {
+                return Err(ApplyError::Rejected);
+            }
+            let removed = m.children.remove(*b);
+            // Which DFGs must the surviving module execute for `removed`?
+            let g = new.hierarchy.dfg(parent_dfg);
+            let callee_of = |n: hsyn_dfg::NodeId| match g.node(n).kind() {
+                NodeKind::Hier { callee } => *callee,
+                _ => unreachable!("children map hierarchical nodes"),
+            };
+            let callees: BTreeSet<DfgId> = removed.nodes.iter().map(|&n| callee_of(n)).collect();
+            // A stateful behavior (internal z⁻ᵏ registers) cannot serve two
+            // hierarchical nodes from one instance — each context needs its
+            // own state.
+            {
+                let target = &m.children[*a];
+                let mut counts: std::collections::HashMap<DfgId, usize> =
+                    std::collections::HashMap::new();
+                for &n in target.nodes.iter().chain(removed.nodes.iter()) {
+                    *counts.entry(callee_of(n)).or_insert(0) += 1;
+                }
+                for (d, count) in counts {
+                    if count >= 2 && new.hierarchy.has_state(d) {
+                        return Err(ApplyError::Rejected);
+                    }
+                }
+            }
+            let target = &mut m.children[*a];
+            let covered = callees
+                .iter()
+                .all(|&d| target.module().behavior_for(d).is_some());
+            if covered {
+                target.nodes.extend(removed.nodes);
+            } else {
+                let merged = embed(
+                    &new.hierarchy,
+                    target.module(),
+                    removed.module(),
+                    lib,
+                    format!("{}+{}", target.module().name(), removed.module().name()),
+                )?;
+                target.nodes.extend(removed.nodes);
+                target.kind = ChildKind::Opaque {
+                    module: merged.module,
+                    origin: "embedded".to_owned(),
+                };
+            }
+        }
+        Move::SplitChild { path, child, node } => {
+            let m = new.top.at_mut(path);
+            let c = m.children.get_mut(*child).ok_or(ApplyError::Rejected)?;
+            if c.nodes.len() < 2 || !c.nodes.contains(node) {
+                return Err(ApplyError::Rejected);
+            }
+            c.nodes.retain(|n| n != node);
+            let clone = Child {
+                nodes: vec![*node],
+                kind: c.kind.clone(),
+            };
+            m.children.push(clone);
+        }
+    }
+    new.rebuild(lib)?;
+    Ok(new)
+}
+
+/// A scored candidate: higher heuristic first; the engine evaluates the top
+/// few exactly.
+pub type Candidate = (f64, Move);
+
+/// The operations executed by a functional-unit group.
+fn group_ops(dp: &DesignPoint, m: &ModuleState, group: usize) -> BTreeSet<Operation> {
+    let g = dp.hierarchy.dfg(m.core.dfg);
+    m.core.fu_groups[group]
+        .ops
+        .iter()
+        .filter_map(|&n| match g.node(n).kind() {
+            NodeKind::Op(op) => Some(*op),
+            _ => None,
+        })
+        .collect()
+}
+
+/// The cheapest library type (by objective) able to execute all `ops`.
+fn best_type_for(lib: &Library, ops: &BTreeSet<Operation>, objective: Objective) -> Option<FuTypeId> {
+    let ops: Vec<Operation> = ops.iter().copied().collect();
+    lib.fus()
+        .filter(|(_, f)| f.supports_all(&ops))
+        .min_by(|(_, x), (_, y)| match objective {
+            Objective::Area => x.area().total_cmp(&y.area()),
+            Objective::Power => x.energy().total_cmp(&y.energy()),
+        })
+        .map(|(id, _)| id)
+}
+
+/// Rough per-module energy proxy of an RTL module: Σ FU energies.
+fn module_energy_proxy(m: &hsyn_rtl::RtlModule, lib: &Library) -> f64 {
+    let own: f64 = m.fus().iter().map(|f| lib.fu(f.fu_type).energy()).sum();
+    own + m
+        .subs()
+        .iter()
+        .map(|s| module_energy_proxy(s, lib))
+        .sum::<f64>()
+}
+
+/// Rough per-module area proxy: Σ FU + register areas.
+fn module_area_proxy(m: &hsyn_rtl::RtlModule, lib: &Library) -> f64 {
+    let own: f64 = m.fus().iter().map(|f| lib.fu(f.fu_type).area()).sum::<f64>()
+        + m.regs().len() as f64 * lib.register.area;
+    own + m
+        .subs()
+        .iter()
+        .map(|s| module_area_proxy(s, lib))
+        .sum::<f64>()
+}
+
+/// Move *A*/*B* candidates: module selection for functional units, library
+/// swaps and resynthesis for complex children.
+pub fn selection_candidates(
+    dp: &DesignPoint,
+    mlib: &ModuleLibrary,
+    objective: Objective,
+    allow_resynth: bool,
+) -> Vec<Candidate> {
+    let lib = &mlib.simple;
+    let mut out = Vec::new();
+    dp.top.for_each(|path, m| {
+        // Simple module selection.
+        for (gi, grp) in m.core.fu_groups.iter().enumerate() {
+            let ops = group_ops(dp, m, gi);
+            let cur = lib.fu(grp.fu_type);
+            for (tid, t) in lib.fus() {
+                if tid == grp.fu_type || !t.supports_all(&ops.iter().copied().collect::<Vec<_>>()) {
+                    continue;
+                }
+                let score = match objective {
+                    Objective::Area => cur.area() - t.area(),
+                    Objective::Power => (cur.energy() - t.energy()) * grp.ops.len() as f64,
+                };
+                out.push((
+                    score,
+                    Move::SetFuType {
+                        path: path.to_vec(),
+                        group: gi,
+                        fu_type: tid,
+                    },
+                ));
+            }
+        }
+        // Complex: swaps and resynthesis.
+        let g = dp.hierarchy.dfg(m.core.dfg);
+        for (ci, child) in m.children.iter().enumerate() {
+            let callees: BTreeSet<DfgId> = child
+                .nodes
+                .iter()
+                .filter_map(|&n| match g.node(n).kind() {
+                    NodeKind::Hier { callee } => Some(*callee),
+                    _ => None,
+                })
+                .collect();
+            if callees.len() == 1 && child.nodes.len() == 1 {
+                let callee = *callees.iter().next().unwrap();
+                let cur_proxy = match objective {
+                    Objective::Area => module_area_proxy(child.module(), lib),
+                    Objective::Power => module_energy_proxy(child.module(), lib),
+                };
+                for (lib_idx, dfg) in mlib.candidates_for(callee, dp.op.clk_ref_ns) {
+                    let cand = &mlib.complex[lib_idx].module;
+                    if cand.name() == child.module().name() {
+                        continue;
+                    }
+                    let cand_proxy = match objective {
+                        Objective::Area => module_area_proxy(cand, lib),
+                        Objective::Power => module_energy_proxy(cand, lib),
+                    };
+                    out.push((
+                        cur_proxy - cand_proxy,
+                        Move::SwapChild {
+                            path: path.to_vec(),
+                            child: ci,
+                            lib_idx,
+                            dfg,
+                        },
+                    ));
+                }
+            }
+            if allow_resynth && callees.len() == 1 {
+                // Bigger children first: more to gain from retailoring.
+                let score = 1.0 + 0.01 * module_area_proxy(child.module(), lib);
+                out.push((
+                    score,
+                    Move::ResynthChild {
+                        path: path.to_vec(),
+                        child: ci,
+                    },
+                ));
+            }
+        }
+    });
+    out
+}
+
+/// The zero-delay operand sources of a group's operations — used to score
+/// merge candidates: operations reading the same producers interleave
+/// *correlated* operand streams on a shared unit (cheap in power, and the
+/// shared source avoids a mux leg in area).
+fn group_sources(dp: &DesignPoint, m: &ModuleState, group: usize) -> BTreeSet<hsyn_dfg::VarRef> {
+    let g = dp.hierarchy.dfg(m.core.dfg);
+    let mut out = BTreeSet::new();
+    for &op in &m.core.fu_groups[group].ops {
+        for (_, e) in g.in_edges(op) {
+            if e.delay == 0 {
+                out.insert(e.from);
+            }
+        }
+    }
+    out
+}
+
+/// Busy cycles and earliest start of a functional-unit group in the current
+/// schedule (cheap feasibility signals for merge candidates).
+fn group_busy(m: &ModuleState, group: usize) -> (u32, u32) {
+    let Some(b) = m.built.behaviors().first() else {
+        return (0, 0);
+    };
+    let mut busy = 0u32;
+    let mut earliest = u32::MAX;
+    for &op in &m.core.fu_groups[group].ops {
+        let t = b.schedule.time(op);
+        busy += t.occupied.1 - t.occupied.0;
+        earliest = earliest.min(t.occupied.0);
+    }
+    (busy, if earliest == u32::MAX { 0 } else { earliest })
+}
+
+/// Move *C* candidates: FU merging, register packing, child merging.
+pub fn sharing_candidates(
+    dp: &DesignPoint,
+    mlib: &ModuleLibrary,
+    objective: Objective,
+) -> Vec<Candidate> {
+    let lib = &mlib.simple;
+    let mut out = Vec::new();
+    dp.top.for_each(|path, m| {
+        let budget = m.core.deadline.unwrap_or(u32::MAX);
+        let n = m.core.fu_groups.len();
+        for a in 0..n {
+            let ops_a = group_ops(dp, m, a);
+            let src_a = group_sources(dp, m, a);
+            let (busy_a, start_a) = group_busy(m, a);
+            for b in (a + 1)..n {
+                let mut ops = ops_a.clone();
+                ops.extend(group_ops(dp, m, b));
+                let ta = m.core.fu_groups[a].fu_type;
+                let tb = m.core.fu_groups[b].fu_type;
+                let src_b = group_sources(dp, m, b);
+                let common_sources = src_a.intersection(&src_b).count();
+                // Cheap feasibility prune: the serialized busy time must fit
+                // between the earliest start and the deadline.
+                let (_busy_b, start_b) = group_busy(m, b);
+                let earliest = start_a.min(start_b);
+                let _ = busy_a;
+                // Two shared-type choices: cheapest by objective, and the
+                // faster of the two current types (when the cheap one would
+                // lengthen the schedule too much).
+                let mut types: Vec<FuTypeId> = Vec::new();
+                if let Some(t) = best_type_for(lib, &ops, Objective::Area) {
+                    types.push(t);
+                }
+                let ops_list: Vec<Operation> = ops.iter().copied().collect();
+                let faster = if lib.fu(ta).delay_ns() <= lib.fu(tb).delay_ns() {
+                    ta
+                } else {
+                    tb
+                };
+                if lib.fu(faster).supports_all(&ops_list) && !types.contains(&faster) {
+                    types.push(faster);
+                }
+                let n_ops =
+                    (m.core.fu_groups[a].ops.len() + m.core.fu_groups[b].ops.len()) as u32;
+                for shared in types {
+                    // Feasibility prune under the *candidate* type: the
+                    // serialized occupancy must fit before the deadline.
+                    let est_busy =
+                        n_ops * lib.latency_cycles(shared, dp.op.clk_ref_ns, lib.technology.vref());
+                    let slack_bonus = if budget == u32::MAX {
+                        0.0
+                    } else {
+                        if earliest + est_busy > budget {
+                            continue;
+                        }
+                        (budget - earliest - est_busy) as f64 * 0.01
+                    };
+                    let saved = lib.fu(ta).area() + lib.fu(tb).area()
+                        - lib.fu(shared).area()
+                        - 2.0 * lib.mux.area_per_input;
+                    // Correlated-operand bonus: shared sources keep the
+                    // merged unit's switching low (power) and avoid mux
+                    // legs (area).
+                    let affinity = common_sources as f64
+                        * match objective {
+                            Objective::Power => 0.5 * lib.fu(shared).energy(),
+                            Objective::Area => lib.mux.area_per_input,
+                        };
+                    out.push((
+                        saved + slack_bonus + affinity,
+                        Move::MergeFu {
+                            path: path.to_vec(),
+                            a,
+                            b,
+                            fu_type: shared,
+                        },
+                    ));
+                }
+            }
+        }
+        if !matches!(m.core.reg_policy, RegPolicy::Packed) && !m.regs_trivial() {
+            out.push((
+                lib.register.area * m.built.regs().len() as f64 * 0.25,
+                Move::RepackRegs { path: path.to_vec() },
+            ));
+        }
+        // Children: merging identical behaviors is the big hierarchical
+        // area win; anisomorphic pairs go through RTL embedding. Stateful
+        // behaviors cannot be shared across contexts (cheap pre-filter;
+        // `apply` re-validates).
+        let g = dp.hierarchy.dfg(m.core.dfg);
+        let child_callees = |c: &Child| -> Vec<DfgId> {
+            c.nodes
+                .iter()
+                .filter_map(|&n| match g.node(n).kind() {
+                    NodeKind::Hier { callee } => Some(*callee),
+                    _ => None,
+                })
+                .collect()
+        };
+        for a in 0..m.children.len() {
+            let callees_a = child_callees(&m.children[a]);
+            for b in (a + 1)..m.children.len() {
+                let callees_b = child_callees(&m.children[b]);
+                let state_clash = callees_b.iter().any(|d| {
+                    callees_a.contains(d) && dp.hierarchy.has_state(*d)
+                });
+                if state_clash {
+                    continue;
+                }
+                let smaller = module_area_proxy(m.children[a].module(), lib)
+                    .min(module_area_proxy(m.children[b].module(), lib));
+                out.push((
+                    smaller,
+                    Move::MergeChildren {
+                        path: path.to_vec(),
+                        a,
+                        b,
+                    },
+                ));
+            }
+        }
+    });
+    out
+}
+
+/// Move *D* candidates: FU splitting, register dedication, child splitting.
+pub fn splitting_candidates(
+    dp: &DesignPoint,
+    mlib: &ModuleLibrary,
+    objective: Objective,
+) -> Vec<Candidate> {
+    let lib = &mlib.simple;
+    let mut out = Vec::new();
+    dp.top.for_each(|path, m| {
+        for (gi, grp) in m.core.fu_groups.iter().enumerate() {
+            if grp.ops.len() < 2 {
+                continue;
+            }
+            let energy = lib.fu(grp.fu_type).energy();
+            // Splitting helps power (less interleaving) and schedule slack;
+            // try peeling the first and last op of the group.
+            for &op in [grp.ops.first(), grp.ops.last()].into_iter().flatten() {
+                let score = match objective {
+                    Objective::Power => energy * 0.5 * (grp.ops.len() as f64 - 1.0),
+                    Objective::Area => 0.1,
+                };
+                out.push((
+                    score,
+                    Move::SplitFu {
+                        path: path.to_vec(),
+                        group: gi,
+                        op,
+                    },
+                ));
+            }
+        }
+        if matches!(m.core.reg_policy, RegPolicy::Packed) {
+            out.push((
+                match objective {
+                    Objective::Power => lib.register.energy_write * m.built.regs().len() as f64,
+                    Objective::Area => 0.05,
+                },
+                Move::DedicateRegs { path: path.to_vec() },
+            ));
+        }
+        for (ci, child) in m.children.iter().enumerate() {
+            if child.nodes.len() < 2 {
+                continue;
+            }
+            for &node in [child.nodes.first(), child.nodes.last()].into_iter().flatten() {
+                let score = match objective {
+                    Objective::Power => module_energy_proxy(child.module(), lib) * 0.3,
+                    Objective::Area => 0.1,
+                };
+                out.push((
+                    score,
+                    Move::SplitChild {
+                        path: path.to_vec(),
+                        child: ci,
+                        node,
+                    },
+                ));
+            }
+        }
+    });
+    out
+}
+
+impl ModuleState {
+    /// Whether there is nothing to gain from register packing (0/1
+    /// registers).
+    fn regs_trivial(&self) -> bool {
+        self.built.regs().len() <= 1
+    }
+}

@@ -1,0 +1,235 @@
+//! The top level of H-SYN (Figure 4): loops over the pruned supply-voltage
+//! and clock-period sets, builds the initial solution for each feasible
+//! configuration, runs variable-depth iterative improvement, and keeps the
+//! best design seen. Also provides the flattened baseline (ref.&nbsp;10) and
+//! post-synthesis voltage scaling of area-optimized designs.
+
+use crate::config::SynthesisConfig;
+use crate::cost::{evaluate, Evaluation, Objective};
+use crate::design::{initial_solution, probe_min_latency, DesignPoint, OperatingPoint};
+use crate::improve::{Engine, MoveStats};
+use hsyn_dfg::Hierarchy;
+use hsyn_power::dsp_default;
+use hsyn_rtl::ModuleLibrary;
+use std::fmt;
+use std::time::Instant;
+
+/// Why synthesis failed outright.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SynthesisError {
+    /// The library offers no clock candidates (it is empty).
+    NoClockCandidates,
+    /// No `(Vdd, clk)` configuration could meet the sampling period.
+    Infeasible {
+        /// The sampling period that could not be met, ns.
+        period_ns: f64,
+    },
+    /// Even the unconstrained fastest design could not be built (an
+    /// operation has no implementing unit).
+    Unimplementable {
+        /// Builder diagnostics.
+        detail: String,
+    },
+}
+
+impl fmt::Display for SynthesisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SynthesisError::NoClockCandidates => write!(f, "library offers no clock candidates"),
+            SynthesisError::Infeasible { period_ns } => {
+                write!(f, "no configuration meets the {period_ns} ns sampling period")
+            }
+            SynthesisError::Unimplementable { detail } => {
+                write!(f, "behavior cannot be implemented: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SynthesisError {}
+
+/// An area-optimized design after voltage scaling ("subsequently
+/// voltage-scaled for low power operation", Table 3 column *A*).
+#[derive(Clone, Debug)]
+pub struct ScaledDesign {
+    /// The design at the scaled voltage.
+    pub design: DesignPoint,
+    /// Its evaluation (report traces).
+    pub evaluation: Evaluation,
+}
+
+/// The result of a synthesis run.
+#[derive(Clone, Debug)]
+pub struct SynthesisReport {
+    /// The best design found.
+    pub design: DesignPoint,
+    /// Its evaluation on the report traces.
+    pub evaluation: Evaluation,
+    /// Minimum achievable sampling period (laxity denominator), ns.
+    pub min_period_ns: f64,
+    /// The sampling period synthesized for, ns.
+    pub period_ns: f64,
+    /// For area-optimized runs: the same design voltage-scaled to just meet
+    /// the sampling period.
+    pub vdd_scaled: Option<ScaledDesign>,
+    /// Engine activity counters.
+    pub stats: MoveStats,
+    /// Wall-clock synthesis time, seconds.
+    pub elapsed_s: f64,
+}
+
+/// Synthesize `hierarchy` with `mlib` under `config` — the paper's
+/// `SYNTHESIZE` procedure. For `config.hierarchical == false` the behavior
+/// is flattened first and complex modules are unused (the flattened
+/// baseline the paper compares against, ref.&nbsp;10).
+///
+/// # Errors
+///
+/// See [`SynthesisError`].
+pub fn synthesize(
+    hierarchy: &Hierarchy,
+    mlib: &ModuleLibrary,
+    config: &SynthesisConfig,
+) -> Result<SynthesisReport, SynthesisError> {
+    let start = Instant::now();
+
+    // Flattened baseline: one DFG, simple modules only.
+    let (work_h, work_lib);
+    let (h, lib): (&Hierarchy, &ModuleLibrary) = if config.hierarchical {
+        (hierarchy, mlib)
+    } else {
+        let mut flat = Hierarchy::new();
+        let top = flat.add_dfg(hierarchy.flatten());
+        flat.set_top(top);
+        work_h = flat;
+        work_lib = ModuleLibrary::from_simple(mlib.simple.clone());
+        (&work_h, &work_lib)
+    };
+
+    let clocks = lib.simple.clock_candidates(config.max_clock_candidates);
+    if clocks.is_empty() {
+        return Err(SynthesisError::NoClockCandidates);
+    }
+
+    // Minimum achievable period over clock candidates (at Vref).
+    let mut min_latency: Vec<(f64, u32)> = Vec::new();
+    let mut min_period = f64::INFINITY;
+    let mut probe_err = String::new();
+    for &clk in &clocks {
+        match probe_min_latency(h, lib, clk) {
+            Ok(lat) => {
+                min_latency.push((clk, lat));
+                min_period = min_period.min(f64::from(lat) * clk);
+            }
+            Err(e) => probe_err = e.to_string(),
+        }
+    }
+    if min_latency.is_empty() {
+        return Err(SynthesisError::Unimplementable { detail: probe_err });
+    }
+    let period_ns = config
+        .sampling_period_ns
+        .unwrap_or(config.laxity_factor * min_period);
+
+    let top_inputs = h.dfg(h.top()).input_count();
+    let eval_traces = dsp_default(top_inputs, config.eval_trace_len, config.width, config.seed);
+
+    // Pruned Vdd set: area mode optimizes at Vref only (area is
+    // Vdd-independent); power mode sweeps the candidate set.
+    let vdds: Vec<f64> = match config.objective {
+        Objective::Area => vec![lib.simple.technology.vref()],
+        Objective::Power => lib.simple.technology.vdd_candidates().to_vec(),
+    };
+
+    // Pruning (footnote 2): drop configurations where even the fastest
+    // design cannot fit the cycle budget, then keep per clock only the
+    // reference voltage and the two lowest feasible voltages — lower Vdd
+    // dominates intermediate steps on the energy side, so the pruned set
+    // still contains the frontier.
+    let mut configs: Vec<OperatingPoint> = Vec::new();
+    for &(clk, lat) in &min_latency {
+        let mut feasible: Vec<OperatingPoint> = vdds
+            .iter()
+            .map(|&vdd| OperatingPoint::derive(&lib.simple, vdd, clk, period_ns))
+            .filter(|op| op.sampling_cycles >= lat)
+            .collect();
+        // Highest-first candidate order ⇒ keep front (vref) + last two.
+        let keep_tail = feasible.len().saturating_sub(2);
+        let kept: Vec<OperatingPoint> = feasible
+            .drain(..)
+            .enumerate()
+            .filter(|&(i, _)| i == 0 || i >= keep_tail)
+            .map(|(_, op)| op)
+            .collect();
+        configs.extend(kept);
+    }
+
+    let mut stats = MoveStats::default();
+    let mut best: Option<(DesignPoint, Evaluation)> = None;
+    {
+        for op in configs {
+            let Ok(top) = initial_solution(h, lib, &op) else {
+                continue;
+            };
+            stats.configs += 1;
+            let dp = DesignPoint {
+                hierarchy: h.clone(),
+                op,
+                top,
+            };
+            let mut engine = Engine::new(lib, config, eval_traces.clone(), config.resynth_depth);
+            let (opt, opt_eval) = engine.optimize(dp);
+            stats.absorb(&engine.stats);
+            if best.as_ref().map_or(true, |(_, e)| opt_eval.cost < e.cost) {
+                best = Some((opt, opt_eval));
+            }
+        }
+    }
+    let Some((best_dp, _)) = best else {
+        return Err(SynthesisError::Infeasible { period_ns });
+    };
+
+    // Final evaluation on longer traces.
+    let report_traces = dsp_default(
+        top_inputs,
+        config.report_trace_len,
+        config.width,
+        config.seed ^ 0x5eed,
+    );
+    let evaluation = evaluate(&best_dp, &lib.simple, &report_traces, config.objective);
+
+    // Voltage scaling of area-optimized designs (Table 3 column A).
+    let vdd_scaled = if config.objective == Objective::Area {
+        let mut scaled = None;
+        for &vdd in lib.simple.technology.vdd_candidates() {
+            let mut cand = best_dp.clone();
+            cand.op = OperatingPoint::derive(&lib.simple, vdd, cand.op.clk_ref_ns, period_ns);
+            // Deadlines inside the spec tree track the top-level budget.
+            cand.top.core.deadline = Some(cand.op.sampling_cycles);
+            if cand.rebuild(&lib.simple).is_ok() {
+                let ev = evaluate(&cand, &lib.simple, &report_traces, config.objective);
+                // Keep the lowest feasible voltage.
+                match &scaled {
+                    Some(ScaledDesign { design, .. }) if design.op.vdd <= vdd => {}
+                    _ => scaled = Some(ScaledDesign {
+                        design: cand,
+                        evaluation: ev,
+                    }),
+                }
+            }
+        }
+        scaled
+    } else {
+        None
+    };
+
+    Ok(SynthesisReport {
+        design: best_dp,
+        evaluation,
+        min_period_ns: min_period,
+        period_ns,
+        vdd_scaled,
+        stats,
+        elapsed_s: start.elapsed().as_secs_f64(),
+    })
+}

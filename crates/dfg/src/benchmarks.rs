@@ -1,0 +1,857 @@
+//! Reconstructions of the behavioral benchmarks used in the paper's
+//! evaluation (Section 5), plus one deeper-hierarchy extension.
+//!
+//! The original inputs were HYPER-package flow graphs and the classic
+//! `Paulin` differential-equation benchmark; their published structure
+//! (operation mix, building blocks, hierarchy shape) is reconstructed here —
+//! see DESIGN.md for the substitution rationale.
+//!
+//! Each constructor returns a [`Benchmark`]: a validated [`Hierarchy`] plus
+//! the [`EquivClasses`] declaring which building-block DFGs are functionally
+//! interchangeable (consumed by move *A* of the synthesis engine).
+
+use crate::{Dfg, EquivClasses, Hierarchy, Operation, VarRef};
+
+/// A named benchmark behavior: hierarchy + declared building-block
+/// equivalences.
+#[derive(Clone, Debug)]
+pub struct Benchmark {
+    /// Benchmark name as used in the paper's tables.
+    pub name: &'static str,
+    /// The hierarchical behavioral description (validated).
+    pub hierarchy: Hierarchy,
+    /// Functional-equivalence classes between building-block DFGs.
+    pub equiv: EquivClasses,
+}
+
+impl Benchmark {
+    fn checked(name: &'static str, hierarchy: Hierarchy, equiv: EquivClasses) -> Self {
+        hierarchy
+            .validate()
+            .unwrap_or_else(|e| panic!("benchmark {name} is malformed: {e}"));
+        Benchmark {
+            name,
+            hierarchy,
+            equiv,
+        }
+    }
+}
+
+/// All six benchmarks of the paper's Table 3, in table order.
+pub fn paper_suite() -> Vec<Benchmark> {
+    vec![
+        avenhaus_cascade(),
+        lat(),
+        dct(),
+        iir(),
+        hier_paulin(),
+        test1(),
+    ]
+}
+
+/// All benchmarks including extensions (`paulin` flat form, `fft4`,
+/// `wdf5`, `fir8`).
+pub fn all() -> Vec<Benchmark> {
+    let mut v = paper_suite();
+    v.push(paulin());
+    v.push(fft4());
+    v.push(wdf5());
+    v.push(fir8());
+    v
+}
+
+/// Look up a benchmark by its table name.
+pub fn by_name(name: &str) -> Option<Benchmark> {
+    all().into_iter().find(|b| b.name == name)
+}
+
+// ---------------------------------------------------------------------------
+// Building blocks
+// ---------------------------------------------------------------------------
+
+/// One iteration of the Paulin/HAL differential-equation solver:
+/// `x' = x + dx; u' = u - 3*x*u*dx - 3*y*dx; y' = y + u*dx; c = x' < a`.
+///
+/// 6 multiplications, 2 subtractions, 2 additions, 1 comparison.
+fn diffeq_step(name: &str) -> Dfg {
+    let mut g = Dfg::new(name);
+    let x = g.add_input("x");
+    let y = g.add_input("y");
+    let u = g.add_input("u");
+    let dx = g.add_input("dx");
+    let a = g.add_input("a");
+    let three = g.add_const("three", 3);
+    let m1 = g.add_op(Operation::Mult, "m1", &[three, x]);
+    let m2 = g.add_op(Operation::Mult, "m2", &[m1, u]);
+    let m3 = g.add_op(Operation::Mult, "m3", &[m2, dx]);
+    let m4 = g.add_op(Operation::Mult, "m4", &[three, y]);
+    let m5 = g.add_op(Operation::Mult, "m5", &[m4, dx]);
+    let m6 = g.add_op(Operation::Mult, "m6", &[u, dx]);
+    let s1 = g.add_op(Operation::Sub, "s1", &[u, m3]);
+    let u1 = g.add_op(Operation::Sub, "u1", &[s1, m5]);
+    let y1 = g.add_op(Operation::Add, "y1", &[y, m6]);
+    let x1 = g.add_op(Operation::Add, "x1", &[x, dx]);
+    let c = g.add_op(Operation::Lt, "c", &[x1, a]);
+    g.add_output("x_out", x1);
+    g.add_output("y_out", y1);
+    g.add_output("u_out", u1);
+    g.add_output("c_out", c);
+    g
+}
+
+/// Direct-form-II biquad (second-order IIR section):
+/// `w = x - a1*w[n-1] - a2*w[n-2]; y = b0*w + b1*w[n-1] + b2*w[n-2]`.
+///
+/// Inputs: `x, a1, a2, b0, b1, b2`; output `y`. 5 mult, 2 sub, 2 add,
+/// internal state through delay edges.
+fn biquad_df2(name: &str) -> Dfg {
+    let mut g = Dfg::new(name);
+    let x = g.add_input("x");
+    let a1 = g.add_input("a1");
+    let a2 = g.add_input("a2");
+    let b0 = g.add_input("b0");
+    let b1 = g.add_input("b1");
+    let b2 = g.add_input("b2");
+    // Feedback: the multipliers read w delayed, and w is defined later.
+    let m_a1 = g.add_op_detached(Operation::Mult, "m_a1");
+    let m_a2 = g.add_op_detached(Operation::Mult, "m_a2");
+    let s1 = g.add_op_detached(Operation::Sub, "s1");
+    let w = g.add_op_detached(Operation::Sub, "w");
+    let wv = VarRef::new(w, 0);
+    g.connect(a1, m_a1, 0, 0);
+    g.connect(wv, m_a1, 1, 1);
+    g.connect(a2, m_a2, 0, 0);
+    g.connect(wv, m_a2, 1, 2);
+    g.connect(x, s1, 0, 0);
+    g.connect(VarRef::new(m_a1, 0), s1, 1, 0);
+    g.connect(VarRef::new(s1, 0), w, 0, 0);
+    g.connect(VarRef::new(m_a2, 0), w, 1, 0);
+    let p0 = g.add_op(Operation::Mult, "p0", &[b0, wv]);
+    let p1 = g.add_op_detached(Operation::Mult, "p1");
+    g.connect(b1, p1, 0, 0);
+    g.connect(wv, p1, 1, 1);
+    let p2 = g.add_op_detached(Operation::Mult, "p2");
+    g.connect(b2, p2, 0, 0);
+    g.connect(wv, p2, 1, 2);
+    let t = g.add_op(Operation::Add, "t", &[p0, VarRef::new(p1, 0)]);
+    let yv = g.add_op(Operation::Add, "y", &[t, VarRef::new(p2, 0)]);
+    g.add_output("y_out", yv);
+    g
+}
+
+/// Direct-form-I biquad: same transfer function as [`biquad_df2`] but
+/// state on `x` and `y` instead of `w` — an anisomorphic equivalent DFG
+/// (building-block alternative for move *A*).
+fn biquad_df1(name: &str) -> Dfg {
+    let mut g = Dfg::new(name);
+    let x = g.add_input("x");
+    let a1 = g.add_input("a1");
+    let a2 = g.add_input("a2");
+    let b0 = g.add_input("b0");
+    let b1 = g.add_input("b1");
+    let b2 = g.add_input("b2");
+    let n0 = g.add_op(Operation::Mult, "n0", &[b0, x]);
+    let n1 = g.add_op_detached(Operation::Mult, "n1");
+    g.connect(b1, n1, 0, 0);
+    g.connect(x, n1, 1, 1);
+    let n2 = g.add_op_detached(Operation::Mult, "n2");
+    g.connect(b2, n2, 0, 0);
+    g.connect(x, n2, 1, 2);
+    let ff1 = g.add_op(Operation::Add, "ff1", &[n0, VarRef::new(n1, 0)]);
+    let ff = g.add_op(Operation::Add, "ff", &[ff1, VarRef::new(n2, 0)]);
+    let d1 = g.add_op_detached(Operation::Mult, "d1");
+    let d2 = g.add_op_detached(Operation::Mult, "d2");
+    let fb1 = g.add_op_detached(Operation::Sub, "fb1");
+    let y = g.add_op_detached(Operation::Sub, "y");
+    let yv = VarRef::new(y, 0);
+    g.connect(a1, d1, 0, 0);
+    g.connect(yv, d1, 1, 1);
+    g.connect(a2, d2, 0, 0);
+    g.connect(yv, d2, 1, 2);
+    g.connect(ff, fb1, 0, 0);
+    g.connect(VarRef::new(d1, 0), fb1, 1, 0);
+    g.connect(VarRef::new(fb1, 0), y, 0, 0);
+    g.connect(VarRef::new(d2, 0), y, 1, 0);
+    g.add_output("y_out", yv);
+    g
+}
+
+/// One stage of a feed-forward (FIR) lattice filter:
+/// `f' = f - k*b[n-1]; b' = b[n-1] + k*f'`.
+fn lattice_stage(name: &str) -> Dfg {
+    let mut g = Dfg::new(name);
+    let f = g.add_input("f");
+    let b = g.add_input("b");
+    let k = g.add_input("k");
+    let m1 = g.add_op_detached(Operation::Mult, "m1");
+    g.connect(k, m1, 0, 0);
+    g.connect(b, m1, 1, 1);
+    let f1 = g.add_op(Operation::Sub, "f1", &[f, VarRef::new(m1, 0)]);
+    let m2 = g.add_op(Operation::Mult, "m2", &[k, f1]);
+    let b1 = g.add_op_detached(Operation::Add, "b1");
+    g.connect(b, b1, 0, 1);
+    g.connect(m2, b1, 1, 0);
+    g.add_output("f_out", f1);
+    g.add_output("b_out", VarRef::new(b1, 0));
+    g
+}
+
+/// `dot(a, b)` over `n` terms with a balanced adder tree.
+fn dot_tree(name: &str, n: usize) -> Dfg {
+    let mut g = Dfg::new(name);
+    let a: Vec<VarRef> = (0..n).map(|i| g.add_input(format!("a{i}"))).collect();
+    let b: Vec<VarRef> = (0..n).map(|i| g.add_input(format!("b{i}"))).collect();
+    let mut level: Vec<VarRef> = (0..n)
+        .map(|i| g.add_op(Operation::Mult, format!("m{i}"), &[a[i], b[i]]))
+        .collect();
+    let mut next_name = 0usize;
+    while level.len() > 1 {
+        let mut next = Vec::new();
+        for pair in level.chunks(2) {
+            if pair.len() == 2 {
+                next.push(g.add_op(
+                    Operation::Add,
+                    format!("s{next_name}"),
+                    &[pair[0], pair[1]],
+                ));
+                next_name += 1;
+            } else {
+                next.push(pair[0]);
+            }
+        }
+        level = next;
+    }
+    g.add_output("d", level[0]);
+    g
+}
+
+/// `dot(a, b)` over `n` terms with a serial accumulation chain — the
+/// anisomorphic equivalent of [`dot_tree`] (longer latency, friendlier to
+/// narrow resource allocations).
+fn dot_chain(name: &str, n: usize) -> Dfg {
+    let mut g = Dfg::new(name);
+    let a: Vec<VarRef> = (0..n).map(|i| g.add_input(format!("a{i}"))).collect();
+    let b: Vec<VarRef> = (0..n).map(|i| g.add_input(format!("b{i}"))).collect();
+    let mut acc = g.add_op(Operation::Mult, "m0", &[a[0], b[0]]);
+    for i in 1..n {
+        let m = g.add_op(Operation::Mult, format!("m{i}"), &[a[i], b[i]]);
+        acc = g.add_op(Operation::Add, format!("s{i}"), &[acc, m]);
+    }
+    g.add_output("d", acc);
+    g
+}
+
+/// Sum of four values with a balanced tree of three adders.
+fn sum4_tree(name: &str) -> Dfg {
+    let mut g = Dfg::new(name);
+    let xs: Vec<VarRef> = (0..4).map(|i| g.add_input(format!("x{i}"))).collect();
+    let s0 = g.add_op(Operation::Add, "s0", &[xs[0], xs[1]]);
+    let s1 = g.add_op(Operation::Add, "s1", &[xs[2], xs[3]]);
+    let s2 = g.add_op(Operation::Add, "s2", &[s0, s1]);
+    g.add_output("y", s2);
+    g
+}
+
+/// Sum of four values with a serial chain of three adders (the behavior the
+/// paper's complex module *C5* — "a chain of three functional units of type
+/// add1" — implements).
+fn sum4_chain(name: &str) -> Dfg {
+    let mut g = Dfg::new(name);
+    let xs: Vec<VarRef> = (0..4).map(|i| g.add_input(format!("x{i}"))).collect();
+    let s0 = g.add_op(Operation::Add, "s0", &[xs[0], xs[1]]);
+    let s1 = g.add_op(Operation::Add, "s1", &[s0, xs[2]]);
+    let s2 = g.add_op(Operation::Add, "s2", &[s1, xs[3]]);
+    g.add_output("y", s2);
+    g
+}
+
+/// `(i0*i1, i0*i1 + i2*i3)` — the two-output block used by `test1`'s DFG2.
+fn prodsum(name: &str) -> Dfg {
+    let mut g = Dfg::new(name);
+    let i: Vec<VarRef> = (0..4).map(|k| g.add_input(format!("i{k}"))).collect();
+    let m0 = g.add_op(Operation::Mult, "m0", &[i[0], i[1]]);
+    let m1 = g.add_op(Operation::Mult, "m1", &[i[2], i[3]]);
+    let s = g.add_op(Operation::Add, "s", &[m0, m1]);
+    g.add_output("o0", s);
+    g.add_output("o1", m0);
+    g
+}
+
+/// `(i0 + i1 + i2) * i3` — the block behind `test1`'s DFG3 (two chained
+/// additions feeding a multiplication; profile `{0, 0, 2, 4, 7}` with the
+/// paper's Table 1 library).
+fn wsum(name: &str) -> Dfg {
+    let mut g = Dfg::new(name);
+    let i: Vec<VarRef> = (0..4).map(|k| g.add_input(format!("i{k}"))).collect();
+    let s0 = g.add_op(Operation::Add, "s0", &[i[0], i[1]]);
+    let s1 = g.add_op(Operation::Add, "s1", &[s0, i[2]]);
+    let m = g.add_op(Operation::Mult, "m", &[s1, i[3]]);
+    g.add_output("o", m);
+    g
+}
+
+/// Radix-2 decimation-in-time FFT butterfly on complex values
+/// `(a, b, w) -> (a + w*b, a - w*b)`; 4 mult, 3 add, 3 sub.
+fn butterfly(name: &str) -> Dfg {
+    let mut g = Dfg::new(name);
+    let ar = g.add_input("ar");
+    let ai = g.add_input("ai");
+    let br = g.add_input("br");
+    let bi = g.add_input("bi");
+    let wr = g.add_input("wr");
+    let wi = g.add_input("wi");
+    let p0 = g.add_op(Operation::Mult, "p0", &[br, wr]);
+    let p1 = g.add_op(Operation::Mult, "p1", &[bi, wi]);
+    let p2 = g.add_op(Operation::Mult, "p2", &[br, wi]);
+    let p3 = g.add_op(Operation::Mult, "p3", &[bi, wr]);
+    let tr = g.add_op(Operation::Sub, "tr", &[p0, p1]);
+    let ti = g.add_op(Operation::Add, "ti", &[p2, p3]);
+    let xr = g.add_op(Operation::Add, "xr", &[ar, tr]);
+    let xi = g.add_op(Operation::Add, "xi", &[ai, ti]);
+    let yr = g.add_op(Operation::Sub, "yr", &[ar, tr]);
+    let yi = g.add_op(Operation::Sub, "yi", &[ai, ti]);
+    g.add_output("xr", xr);
+    g.add_output("xi", xi);
+    g.add_output("yr", yr);
+    g.add_output("yi", yi);
+    g
+}
+
+// ---------------------------------------------------------------------------
+// Benchmarks
+// ---------------------------------------------------------------------------
+
+/// The classic `Paulin` differential-equation benchmark as a flat (one
+/// level) DFG — the paper unrolls this into [`hier_paulin`].
+pub fn paulin() -> Benchmark {
+    let mut h = Hierarchy::new();
+    let id = h.add_dfg(diffeq_step("paulin"));
+    h.set_top(id);
+    Benchmark::checked("paulin", h, EquivClasses::new())
+}
+
+/// `hier_paulin`: the Paulin benchmark unrolled 4 iterations, each iteration
+/// a hierarchical node ("obtained by unrolling the well-known benchmark
+/// Paulin").
+pub fn hier_paulin() -> Benchmark {
+    let mut h = Hierarchy::new();
+    let step = h.add_dfg(diffeq_step("diffeq_step"));
+    let mut top = Dfg::new("hier_paulin");
+    let x0 = top.add_input("x");
+    let y0 = top.add_input("y");
+    let u0 = top.add_input("u");
+    let dx = top.add_input("dx");
+    let a = top.add_input("a");
+    let (mut x, mut y, mut u) = (x0, y0, u0);
+    let mut last_c = None;
+    for i in 0..4 {
+        let it = top.add_hier(step, format!("it{i}"), &[x, y, u, dx, a]);
+        x = top.hier_out(it, 0);
+        y = top.hier_out(it, 1);
+        u = top.hier_out(it, 2);
+        last_c = Some(top.hier_out(it, 3));
+    }
+    top.add_output("x_out", x);
+    top.add_output("y_out", y);
+    top.add_output("u_out", u);
+    top.add_output("c_out", last_c.expect("4 iterations"));
+    let top_id = h.add_dfg(top);
+    h.set_top(top_id);
+    Benchmark::checked("hier_paulin", h, EquivClasses::new())
+}
+
+/// 8-point one-dimensional DCT: eight dot-product-8 hierarchical nodes, one
+/// per output coefficient. Coefficients are 8-bit scaled cosines.
+pub fn dct() -> Benchmark {
+    let mut h = Hierarchy::new();
+    let dot8 = h.add_dfg(dot_tree("dot8_tree", 8));
+    let dot8_chain = h.add_dfg(dot_chain("dot8_chain", 8));
+    let mut top = Dfg::new("dct");
+    let xs: Vec<VarRef> = (0..8).map(|i| top.add_input(format!("x{i}"))).collect();
+    // c[k][j] = round(64 * cos((2j+1) k pi / 16))
+    let mut rows = Vec::new();
+    for k in 0..8usize {
+        let mut row = Vec::new();
+        for j in 0..8usize {
+            let angle = (2 * j + 1) as f64 * k as f64 * std::f64::consts::PI / 16.0;
+            let c = (64.0 * angle.cos()).round() as i64;
+            row.push(top.add_const(format!("c{k}_{j}"), c));
+        }
+        rows.push(row);
+    }
+    for k in 0..8usize {
+        let mut operands = xs.clone();
+        operands.extend(rows[k].iter().copied());
+        let node = top.add_hier(dot8, format!("row{k}"), &operands);
+        top.add_output(format!("y{k}"), top.hier_out(node, 0));
+    }
+    let top_id = h.add_dfg(top);
+    h.set_top(top_id);
+    let mut equiv = EquivClasses::new();
+    equiv.declare_equivalent(&[dot8, dot8_chain]);
+    Benchmark::checked("dct", h, equiv)
+}
+
+/// 4th-order IIR filter: a cascade of two biquad sections (direct form II),
+/// with the direct-form-I biquad declared as an equivalent building block.
+pub fn iir() -> Benchmark {
+    let mut h = Hierarchy::new();
+    let df2 = h.add_dfg(biquad_df2("biquad_df2"));
+    let df1 = h.add_dfg(biquad_df1("biquad_df1"));
+    let mut top = Dfg::new("iir");
+    let x = top.add_input("x");
+    // Representative lowpass coefficients, 8-bit fixed point.
+    let coeffs = [[-30i64, 14, 12, 24, 12], [-10, 40, 9, 18, 9]];
+    let mut sig = x;
+    for (s, c) in coeffs.iter().enumerate() {
+        let a1 = top.add_const(format!("a1_{s}"), c[0]);
+        let a2 = top.add_const(format!("a2_{s}"), c[1]);
+        let b0 = top.add_const(format!("b0_{s}"), c[2]);
+        let b1 = top.add_const(format!("b1_{s}"), c[3]);
+        let b2 = top.add_const(format!("b2_{s}"), c[4]);
+        let node = top.add_hier(df2, format!("sec{s}"), &[sig, a1, a2, b0, b1, b2]);
+        sig = top.hier_out(node, 0);
+    }
+    top.add_output("y", sig);
+    let top_id = h.add_dfg(top);
+    h.set_top(top_id);
+    let mut equiv = EquivClasses::new();
+    equiv.declare_equivalent(&[df2, df1]);
+    Benchmark::checked("iir", h, equiv)
+}
+
+/// Four-stage feed-forward lattice filter.
+pub fn lat() -> Benchmark {
+    let mut h = Hierarchy::new();
+    let stage = h.add_dfg(lattice_stage("lattice_stage"));
+    let mut top = Dfg::new("lat");
+    let x = top.add_input("x");
+    let ks = [13i64, -27, 41, -9];
+    let (mut f, mut b) = (x, x);
+    for (i, &kv) in ks.iter().enumerate() {
+        let k = top.add_const(format!("k{i}"), kv);
+        let node = top.add_hier(stage, format!("st{i}"), &[f, b, k]);
+        f = top.hier_out(node, 0);
+        b = top.hier_out(node, 1);
+    }
+    top.add_output("y", f);
+    top.add_output("b_out", b);
+    let top_id = h.add_dfg(top);
+    h.set_top(top_id);
+    Benchmark::checked("lat", h, EquivClasses::new())
+}
+
+/// The Avenhaus 8th-order bandpass filter in cascade form: four biquad
+/// sections and an output gain multiplier.
+pub fn avenhaus_cascade() -> Benchmark {
+    let mut h = Hierarchy::new();
+    let df2 = h.add_dfg(biquad_df2("biquad_df2"));
+    let df1 = h.add_dfg(biquad_df1("biquad_df1"));
+    let mut top = Dfg::new("avenhaus_cascade");
+    let x = top.add_input("x");
+    let coeffs = [
+        [-51i64, 23, 16, 0, -16],
+        [-38, 29, 20, 8, 20],
+        [-61, 31, 14, -6, 14],
+        [-45, 19, 18, 2, 18],
+    ];
+    let mut sig = x;
+    for (s, c) in coeffs.iter().enumerate() {
+        let a1 = top.add_const(format!("a1_{s}"), c[0]);
+        let a2 = top.add_const(format!("a2_{s}"), c[1]);
+        let b0 = top.add_const(format!("b0_{s}"), c[2]);
+        let b1 = top.add_const(format!("b1_{s}"), c[3]);
+        let b2 = top.add_const(format!("b2_{s}"), c[4]);
+        let node = top.add_hier(df2, format!("sec{s}"), &[sig, a1, a2, b0, b1, b2]);
+        sig = top.hier_out(node, 0);
+    }
+    let gain = top.add_const("gain", 3);
+    let scaled = top.add_op(Operation::Mult, "scale", &[gain, sig]);
+    top.add_output("y", scaled);
+    let top_id = h.add_dfg(top);
+    h.set_top(top_id);
+    let mut equiv = EquivClasses::new();
+    equiv.declare_equivalent(&[df2, df1]);
+    Benchmark::checked("avenhaus_cascade", h, equiv)
+}
+
+/// The paper's Figure 1(a) example: a top-level DFG with four hierarchical
+/// nodes (DFG1..DFG4) over dot-product / product-sum / weighted-sum / sum
+/// building blocks, with tree/chain equivalents declared for move *A*.
+pub fn test1() -> Benchmark {
+    let mut h = Hierarchy::new();
+    let dot3 = h.add_dfg(dot_tree("dot3_tree", 3));
+    let dot3_ch = h.add_dfg(dot_chain("dot3_chain", 3));
+    let quad = h.add_dfg(prodsum("prodsum"));
+    let ws = h.add_dfg(wsum("wsum"));
+    let s4 = h.add_dfg(sum4_tree("sum4_tree"));
+    let s4_ch = h.add_dfg(sum4_chain("sum4_chain"));
+    let mut top = Dfg::new("test1");
+    let xs: Vec<VarRef> = (0..8).map(|i| top.add_input(format!("x{i}"))).collect();
+    let d1 = top.add_hier(dot3, "DFG1", &[xs[0], xs[1], xs[2], xs[3], xs[4], xs[5]]);
+    let d2 = top.add_hier(quad, "DFG2", &[xs[4], xs[5], xs[6], xs[7]]);
+    let d3 = top.add_hier(ws, "DFG3", &[xs[0], xs[1], xs[2], xs[3]]);
+    let d4 = top.add_hier(
+        s4,
+        "DFG4",
+        &[
+            top.hier_out(d1, 0),
+            top.hier_out(d2, 0),
+            top.hier_out(d2, 1),
+            top.hier_out(d3, 0),
+        ],
+    );
+    top.add_output("y", top.hier_out(d4, 0));
+    let top_id = h.add_dfg(top);
+    h.set_top(top_id);
+    let mut equiv = EquivClasses::new();
+    equiv.declare_equivalent(&[dot3, dot3_ch]);
+    equiv.declare_equivalent(&[s4, s4_ch]);
+    Benchmark::checked("test1", h, equiv)
+}
+
+/// Extension: a 4-point FFT with a **three-level** hierarchy — stages made
+/// of butterflies made of operations — exercising "arbitrarily deep
+/// hierarchies".
+pub fn fft4() -> Benchmark {
+    let mut h = Hierarchy::new();
+    let bf = h.add_dfg(butterfly("butterfly"));
+
+    // A stage applies two butterflies: (a,b) and (c,d) pairs with twiddles.
+    let mut stage = Dfg::new("fft_stage");
+    let ins: Vec<VarRef> = (0..8).map(|i| stage.add_input(format!("d{i}"))).collect();
+    let tw: Vec<VarRef> = (0..4).map(|i| stage.add_input(format!("w{i}"))).collect();
+    let b0 = stage.add_hier(
+        bf,
+        "bf0",
+        &[ins[0], ins[1], ins[2], ins[3], tw[0], tw[1]],
+    );
+    let b1 = stage.add_hier(
+        bf,
+        "bf1",
+        &[ins[4], ins[5], ins[6], ins[7], tw[2], tw[3]],
+    );
+    for (i, node) in [(0usize, b0), (1usize, b1)] {
+        for p in 0..4u16 {
+            stage.add_output(format!("o{}_{}", i, p), stage.hier_out(node, p));
+        }
+    }
+    let stage_id = h.add_dfg(stage);
+
+    let mut top = Dfg::new("fft4");
+    let xs: Vec<VarRef> = (0..8).map(|i| top.add_input(format!("x{i}"))).collect();
+    let one = top.add_const("w_one_r", 64);
+    let zero = top.add_const("w_zero_i", 0);
+    let minus_j_r = top.add_const("w_mj_r", 0);
+    let minus_j_i = top.add_const("w_mj_i", -64);
+    // Stage 1: butterflies on (x0,x2) and (x1,x3) with W=1.
+    let s1 = top.add_hier(
+        stage_id,
+        "stage1",
+        &[
+            xs[0], xs[1], xs[4], xs[5], // a0, b0 (complex pairs: x0=(x0,x1), x2=(x4,x5))
+            xs[2], xs[3], xs[6], xs[7],
+            one, zero, one, zero,
+        ],
+    );
+    // Stage 2: combine with twiddles 1 and -j.
+    let s2 = top.add_hier(
+        stage_id,
+        "stage2",
+        &[
+            top.hier_out(s1, 0),
+            top.hier_out(s1, 1),
+            top.hier_out(s1, 4),
+            top.hier_out(s1, 5),
+            top.hier_out(s1, 2),
+            top.hier_out(s1, 3),
+            top.hier_out(s1, 6),
+            top.hier_out(s1, 7),
+            one,
+            zero,
+            minus_j_r,
+            minus_j_i,
+        ],
+    );
+    for p in 0..8u16 {
+        top.add_output(format!("y{p}"), top.hier_out(s2, p));
+    }
+    let top_id = h.add_dfg(top);
+    h.set_top(top_id);
+    Benchmark::checked("fft4", h, EquivClasses::new())
+}
+
+/// One first-order allpass section of a lattice wave digital filter:
+/// `y = γ·x + s[n-1]; s = x − γ·y` (2 mult, 1 add, 1 sub, one state
+/// element). A *stateful* building block — the engine must give every
+/// instance its own hardware state.
+fn allpass_section(name: &str) -> Dfg {
+    let mut g = Dfg::new(name);
+    let x = g.add_input("x");
+    let gamma = g.add_input("g");
+    let m1 = g.add_op(Operation::Mult, "m1", &[gamma, x]);
+    let y = g.add_op_detached(Operation::Add, "y");
+    let s = g.add_op_detached(Operation::Sub, "s");
+    let yv = VarRef::new(y, 0);
+    let sv = VarRef::new(s, 0);
+    g.connect(m1, y, 0, 0);
+    g.connect(sv, y, 1, 1); // + s[n-1]
+    let m2 = g.add_op(Operation::Mult, "m2", &[gamma, yv]);
+    g.connect(x, s, 0, 0);
+    g.connect(m2, s, 1, 0);
+    g.add_output("y_out", yv);
+    g
+}
+
+/// Extension: a 5th-order lattice wave digital filter — two parallel
+/// allpass branches (2 + 3 first-order sections) averaged at the output.
+/// Every section is stateful, so no two sections may share one RTL module
+/// instance; the benchmark exercises that rule at scale.
+pub fn wdf5() -> Benchmark {
+    let mut h = Hierarchy::new();
+    let section = h.add_dfg(allpass_section("allpass"));
+    let mut top = Dfg::new("wdf5");
+    let x = top.add_input("x");
+    let gammas = [11i64, -23, 7, 31, -17];
+    let mut branch_a = x;
+    for (i, &gv) in gammas[..2].iter().enumerate() {
+        let gamma = top.add_const(format!("ga{i}"), gv);
+        let node = top.add_hier(section, format!("a{i}"), &[branch_a, gamma]);
+        branch_a = top.hier_out(node, 0);
+    }
+    let mut branch_b = x;
+    for (i, &gv) in gammas[2..].iter().enumerate() {
+        let gamma = top.add_const(format!("gb{i}"), gv);
+        let node = top.add_hier(section, format!("b{i}"), &[branch_b, gamma]);
+        branch_b = top.hier_out(node, 0);
+    }
+    // The conventional output would halve the branch sum; the scaling is
+    // folded into downstream gain so the graph stays within the adder/
+    // multiplier library classes.
+    let sum = top.add_op(Operation::Add, "sum", &[branch_a, branch_b]);
+    top.add_output("y", sum);
+    let top_id = h.add_dfg(top);
+    h.set_top(top_id);
+    Benchmark::checked("wdf5", h, EquivClasses::new())
+}
+
+/// Extension: an 8-tap FIR filter expressed as a dot-product building block
+/// over a tapped delay line — the tap edges into the hierarchical node
+/// carry inter-iteration delays (`x@k`), exercising delayed inputs to
+/// submodules.
+pub fn fir8() -> Benchmark {
+    let mut h = Hierarchy::new();
+    let dot8 = h.add_dfg(dot_tree("dot8_tree", 8));
+    let dot8_chain = h.add_dfg(dot_chain("dot8_chain", 8));
+    let mut top = Dfg::new("fir8");
+    let x = top.add_input("x");
+    let taps = [9i64, -14, 23, 40, 40, 23, -14, 9];
+    let consts: Vec<VarRef> = taps
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| top.add_const(format!("c{i}"), c))
+        .collect();
+    let node = top.add_hier(dot8, "dot", &[]);
+    // a0..a7 = x delayed by 0..7; b0..b7 = coefficients.
+    for k in 0..8u16 {
+        top.connect(x, node, k, u32::from(k));
+    }
+    for (k, &c) in consts.iter().enumerate() {
+        top.connect(c, node, 8 + k as u16, 0);
+    }
+    top.add_output("y", top.hier_out(node, 0));
+    let top_id = h.add_dfg(top);
+    h.set_top(top_id);
+    let mut equiv = EquivClasses::new();
+    equiv.declare_equivalent(&[dot8, dot8_chain]);
+    Benchmark::checked("fir8", h, equiv)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_benchmarks_validate() {
+        for b in all() {
+            b.hierarchy.validate().unwrap_or_else(|e| panic!("{}: {e}", b.name));
+            assert!(b.hierarchy.try_top().is_some());
+        }
+    }
+
+    #[test]
+    fn paper_suite_matches_table_order() {
+        let names: Vec<&str> = paper_suite().iter().map(|b| b.name).collect();
+        assert_eq!(
+            names,
+            ["avenhaus_cascade", "lat", "dct", "iir", "hier_paulin", "test1"]
+        );
+    }
+
+    #[test]
+    fn paulin_operation_mix() {
+        let b = paulin();
+        let g = b.hierarchy.dfg(b.hierarchy.top());
+        let count = |op: Operation| {
+            g.nodes()
+                .filter(|(_, n)| matches!(n.kind(), crate::NodeKind::Op(o) if *o == op))
+                .count()
+        };
+        assert_eq!(count(Operation::Mult), 6);
+        assert_eq!(count(Operation::Add), 2);
+        assert_eq!(count(Operation::Sub), 2);
+        assert_eq!(count(Operation::Lt), 1);
+    }
+
+    #[test]
+    fn hier_paulin_unrolls_four_steps() {
+        let b = hier_paulin();
+        assert_eq!(b.hierarchy.depth(b.hierarchy.top()), 2);
+        assert_eq!(b.hierarchy.flat_op_count(b.hierarchy.top()), 44);
+        let flat = b.hierarchy.flatten();
+        assert_eq!(flat.schedulable_count(), 44);
+    }
+
+    #[test]
+    fn dct_is_eight_dot_products() {
+        let b = dct();
+        assert_eq!(b.hierarchy.flat_op_count(b.hierarchy.top()), 8 * 15);
+        let dot_tree = b.hierarchy.dfg_by_name("dot8_tree").unwrap();
+        let dot_chain = b.hierarchy.dfg_by_name("dot8_chain").unwrap();
+        assert!(b.equiv.equivalent(dot_tree, dot_chain));
+        // DCT row 0 is all-64 (cos 0).
+        let top = b.hierarchy.dfg(b.hierarchy.top());
+        let c00 = top
+            .nodes()
+            .find(|(_, n)| n.name() == "c0_0")
+            .map(|(_, n)| n.kind().clone())
+            .unwrap();
+        assert!(matches!(c00, crate::NodeKind::Const { value: 64 }));
+    }
+
+    #[test]
+    fn filters_have_state() {
+        for b in [iir(), lat(), avenhaus_cascade()] {
+            let flat = b.hierarchy.flatten();
+            assert!(
+                flat.edges().any(|(_, e)| e.delay > 0),
+                "{} should contain delay edges",
+                b.name
+            );
+        }
+    }
+
+    #[test]
+    fn iir_flattens_to_two_sections() {
+        let b = iir();
+        // Each df2 biquad: 5 mult + 2 sub + 2 add = 9 ops.
+        assert_eq!(b.hierarchy.flat_op_count(b.hierarchy.top()), 18);
+    }
+
+    #[test]
+    fn test1_structure_matches_figure1() {
+        let b = test1();
+        let top = b.hierarchy.dfg(b.hierarchy.top());
+        let hier_nodes: Vec<&str> = top
+            .nodes()
+            .filter(|(_, n)| matches!(n.kind(), crate::NodeKind::Hier { .. }))
+            .map(|(_, n)| n.name())
+            .collect();
+        assert_eq!(hier_nodes, ["DFG1", "DFG2", "DFG3", "DFG4"]);
+        let dot3 = b.hierarchy.dfg_by_name("dot3_tree").unwrap();
+        let dot3c = b.hierarchy.dfg_by_name("dot3_chain").unwrap();
+        assert!(b.equiv.equivalent(dot3, dot3c));
+    }
+
+    #[test]
+    fn fft4_is_three_levels_deep() {
+        let b = fft4();
+        assert_eq!(b.hierarchy.depth(b.hierarchy.top()), 3);
+        // 2 stages x 2 butterflies x 10 ops.
+        assert_eq!(b.hierarchy.flat_op_count(b.hierarchy.top()), 40);
+    }
+
+    #[test]
+    fn wdf5_sections_are_stateful_building_blocks() {
+        let b = wdf5();
+        let section = b.hierarchy.dfg_by_name("allpass").unwrap();
+        assert!(b.hierarchy.has_state(section));
+        assert!(b.hierarchy.has_state(b.hierarchy.top()));
+        // 5 sections x 4 ops + 1 output adder.
+        assert_eq!(b.hierarchy.flat_op_count(b.hierarchy.top()), 21);
+        assert_eq!(b.hierarchy.depth(b.hierarchy.top()), 2);
+    }
+
+    #[test]
+    fn fir8_taps_are_delayed_edges_into_the_dot_product() {
+        let b = fir8();
+        let top = b.hierarchy.dfg(b.hierarchy.top());
+        // Taps x@0..x@7: delays 0..=7 into the hierarchical node.
+        let mut delays: Vec<u32> = top
+            .edges()
+            .filter(|(_, e)| {
+                matches!(top.node(e.to).kind(), crate::NodeKind::Hier { .. })
+                    && matches!(top.node(e.from.node).kind(), crate::NodeKind::Input { .. })
+            })
+            .map(|(_, e)| e.delay)
+            .collect();
+        delays.sort_unstable();
+        assert_eq!(delays, (0..8).collect::<Vec<u32>>());
+        // The dot product itself is stateless, so instances may be shared.
+        let dot = b.hierarchy.dfg_by_name("dot8_tree").unwrap();
+        assert!(!b.hierarchy.has_state(dot));
+        // But the top is stateful through the delay line.
+        assert!(b.hierarchy.has_state(b.hierarchy.top()));
+    }
+
+    #[test]
+    fn by_name_finds_everything() {
+        for b in all() {
+            assert!(by_name(b.name).is_some(), "{} not found", b.name);
+        }
+        assert!(by_name("nonexistent").is_none());
+    }
+
+    #[test]
+    fn benchmarks_survive_text_round_trip() {
+        for b in all() {
+            let printed = crate::text::print(&b.hierarchy, Some(&b.equiv));
+            let reparsed = crate::text::parse(&printed)
+                .unwrap_or_else(|e| panic!("{} reparse failed: {e}", b.name));
+            reparsed
+                .hierarchy
+                .validate()
+                .unwrap_or_else(|e| panic!("{} invalid after round-trip: {e}", b.name));
+            assert_eq!(
+                b.hierarchy.flat_op_count(b.hierarchy.top()),
+                reparsed.hierarchy.flat_op_count(reparsed.hierarchy.top()),
+                "{}",
+                b.name
+            );
+        }
+    }
+
+    #[test]
+    fn equiv_classes_have_matching_interfaces() {
+        // Equivalent DFGs must agree on input/output arity or move A would
+        // produce broken rebindings.
+        for b in all() {
+            for (gid, _) in b.hierarchy.dfgs() {
+                for other in b.equiv.class_of(gid) {
+                    assert_eq!(
+                        b.hierarchy.in_arity(gid),
+                        b.hierarchy.in_arity(other),
+                        "{}: input arity mismatch in equiv class",
+                        b.name
+                    );
+                    assert_eq!(
+                        b.hierarchy.out_arity(gid),
+                        b.hierarchy.out_arity(other),
+                        "{}: output arity mismatch",
+                        b.name
+                    );
+                }
+            }
+        }
+    }
+}

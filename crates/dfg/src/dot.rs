@@ -1,0 +1,138 @@
+//! Graphviz (DOT) export of hierarchical DFGs, for papers, debugging, and
+//! documentation. Hierarchical nodes render as double octagons with their
+//! callee name; delayed edges are dashed and labeled `z^-k`.
+
+use crate::graph::{Dfg, NodeKind};
+use crate::hierarchy::Hierarchy;
+use std::fmt::Write as _;
+
+/// Render one DFG as a DOT digraph. `h` resolves callee names for
+/// hierarchical nodes (pass the owning hierarchy).
+pub fn dfg_to_dot(h: &Hierarchy, g: &Dfg) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", g.name());
+    let _ = writeln!(out, "  rankdir=TB;");
+    let _ = writeln!(out, "  node [fontname=\"Helvetica\", fontsize=10];");
+    for (nid, node) in g.nodes() {
+        let (shape, label) = match node.kind() {
+            NodeKind::Input { index } => ("invtriangle", format!("in{index}: {}", node.name())),
+            NodeKind::Output { index } => ("triangle", format!("out{index}: {}", node.name())),
+            NodeKind::Const { value } => ("box", format!("{value}")),
+            NodeKind::Op(op) => ("circle", op.mnemonic().to_owned()),
+            NodeKind::Hier { callee } => (
+                "doubleoctagon",
+                format!("{}\\n[{}]", node.name(), h.dfg(*callee).name()),
+            ),
+        };
+        let _ = writeln!(out, "  n{} [shape={shape}, label=\"{label}\"];", nid.index());
+    }
+    for (_, e) in g.edges() {
+        let attrs = if e.delay > 0 {
+            format!(" [style=dashed, label=\"z-{}\"]", e.delay)
+        } else {
+            String::new()
+        };
+        let _ = writeln!(
+            out,
+            "  n{} -> n{}{attrs};",
+            e.from.node.index(),
+            e.to.index()
+        );
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Render the whole hierarchy: one cluster per DFG.
+pub fn hierarchy_to_dot(h: &Hierarchy) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph hierarchy {{");
+    let _ = writeln!(out, "  rankdir=TB;");
+    let _ = writeln!(out, "  node [fontname=\"Helvetica\", fontsize=10];");
+    for (gid, g) in h.dfgs() {
+        let _ = writeln!(out, "  subgraph cluster_{} {{", gid.index());
+        let top_marker = if h.try_top() == Some(gid) { " (top)" } else { "" };
+        let _ = writeln!(out, "    label=\"{}{top_marker}\";", g.name());
+        for (nid, node) in g.nodes() {
+            let (shape, label) = match node.kind() {
+                NodeKind::Input { index } => ("invtriangle", format!("in{index}")),
+                NodeKind::Output { index } => ("triangle", format!("out{index}")),
+                NodeKind::Const { value } => ("box", format!("{value}")),
+                NodeKind::Op(op) => ("circle", op.mnemonic().to_owned()),
+                NodeKind::Hier { callee } => {
+                    ("doubleoctagon", h.dfg(*callee).name().to_owned())
+                }
+            };
+            let _ = writeln!(
+                out,
+                "    g{}n{} [shape={shape}, label=\"{label}\"];",
+                gid.index(),
+                nid.index()
+            );
+        }
+        for (_, e) in g.edges() {
+            let attrs = if e.delay > 0 {
+                format!(" [style=dashed, label=\"z-{}\"]", e.delay)
+            } else {
+                String::new()
+            };
+            let _ = writeln!(
+                out,
+                "    g{}n{} -> g{}n{}{attrs};",
+                gid.index(),
+                e.from.node.index(),
+                gid.index(),
+                e.to.index()
+            );
+        }
+        let _ = writeln!(out, "  }}");
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::benchmarks;
+
+    #[test]
+    fn dot_export_contains_every_node_and_edge() {
+        let b = benchmarks::iir();
+        let g = b.hierarchy.dfg(b.hierarchy.top());
+        let dot = dfg_to_dot(&b.hierarchy, g);
+        assert!(dot.starts_with("digraph"));
+        assert_eq!(
+            dot.matches("[shape=").count(),
+            g.node_count(),
+            "one node statement per node"
+        );
+        assert_eq!(
+            dot.matches(" -> ").count(),
+            g.edge_count(),
+            "one edge statement per edge"
+        );
+        // Hierarchical nodes show their callee names.
+        assert!(dot.contains("biquad_df2"));
+    }
+
+    #[test]
+    fn delayed_edges_are_dashed() {
+        let b = benchmarks::lat();
+        let stage = b.hierarchy.dfg_by_name("lattice_stage").unwrap();
+        let dot = dfg_to_dot(&b.hierarchy, b.hierarchy.dfg(stage));
+        assert!(dot.contains("style=dashed"));
+        assert!(dot.contains("z-1"));
+    }
+
+    #[test]
+    fn hierarchy_export_clusters_every_dfg() {
+        let b = benchmarks::fft4();
+        let dot = hierarchy_to_dot(&b.hierarchy);
+        assert_eq!(
+            dot.matches("subgraph cluster_").count(),
+            b.hierarchy.dfg_count()
+        );
+        assert!(dot.contains("(top)"));
+    }
+}

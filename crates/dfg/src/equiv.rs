@@ -1,0 +1,140 @@
+use crate::hierarchy::DfgId;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// User-declared functional equivalence between DFGs.
+///
+/// Section 3 of the paper: "Many hierarchical DFGs are constructed out of
+/// several, commonly-used *building blocks* like dot-product, butterfly,
+/// etc.. … a number of DFGs describing individual building blocks are
+/// available, each with its distinct advantages." Move *A* consults these
+/// classes to substitute a hierarchical node's DFG with an equivalent one
+/// better suited to its environment (the paper's C1 → C2 substitution).
+///
+/// Equivalence is an explicit, user-supplied relation — the tool never
+/// attempts to prove behavioral equivalence itself.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct EquivClasses {
+    classes: Vec<Vec<DfgId>>,
+    of: HashMap<DfgId, usize>,
+}
+
+impl EquivClasses {
+    /// Create an empty relation: every DFG is equivalent only to itself.
+    pub fn new() -> Self {
+        EquivClasses::default()
+    }
+
+    /// Declare all `members` mutually equivalent (merging any classes they
+    /// already belong to).
+    pub fn declare_equivalent(&mut self, members: &[DfgId]) {
+        if members.is_empty() {
+            return;
+        }
+        // Collect existing classes touched, merge into one.
+        let mut merged: Vec<DfgId> = Vec::new();
+        let mut touched: Vec<usize> = Vec::new();
+        for &m in members {
+            if let Some(&c) = self.of.get(&m) {
+                if !touched.contains(&c) {
+                    touched.push(c);
+                }
+            } else if !merged.contains(&m) {
+                merged.push(m);
+            }
+        }
+        touched.sort_unstable();
+        for &c in touched.iter().rev() {
+            let mut old = std::mem::take(&mut self.classes[c]);
+            merged.append(&mut old);
+        }
+        merged.sort_unstable();
+        merged.dedup();
+        // Reuse the first touched slot or append.
+        let slot = touched.first().copied().unwrap_or_else(|| {
+            self.classes.push(Vec::new());
+            self.classes.len() - 1
+        });
+        for &m in &merged {
+            self.of.insert(m, slot);
+        }
+        self.classes[slot] = merged;
+        // Compact away emptied slots lazily: leave them; lookups go via `of`.
+    }
+
+    /// Whether `a` and `b` are declared equivalent (reflexive).
+    pub fn equivalent(&self, a: DfgId, b: DfgId) -> bool {
+        if a == b {
+            return true;
+        }
+        match (self.of.get(&a), self.of.get(&b)) {
+            (Some(ca), Some(cb)) => ca == cb,
+            _ => false,
+        }
+    }
+
+    /// All DFGs equivalent to `id`, including `id` itself.
+    pub fn class_of(&self, id: DfgId) -> Vec<DfgId> {
+        match self.of.get(&id) {
+            Some(&c) => self.classes[c].clone(),
+            None => vec![id],
+        }
+    }
+
+    /// Number of declared (non-singleton) classes.
+    pub fn class_count(&self) -> usize {
+        self.classes.iter().filter(|c| !c.is_empty()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(n: usize) -> Vec<DfgId> {
+        (0..n).map(DfgId::new).collect()
+    }
+
+    #[test]
+    fn reflexive_by_default() {
+        let eq = EquivClasses::new();
+        let g = ids(2);
+        assert!(eq.equivalent(g[0], g[0]));
+        assert!(!eq.equivalent(g[0], g[1]));
+        assert_eq!(eq.class_of(g[1]), vec![g[1]]);
+    }
+
+    #[test]
+    fn declared_classes_are_symmetric_and_transitive() {
+        let g = ids(4);
+        let mut eq = EquivClasses::new();
+        eq.declare_equivalent(&[g[0], g[1]]);
+        eq.declare_equivalent(&[g[1], g[2]]);
+        assert!(eq.equivalent(g[0], g[2]));
+        assert!(eq.equivalent(g[2], g[0]));
+        assert!(!eq.equivalent(g[0], g[3]));
+        let mut class = eq.class_of(g[0]);
+        class.sort();
+        assert_eq!(class, vec![g[0], g[1], g[2]]);
+    }
+
+    #[test]
+    fn merging_two_existing_classes() {
+        let g = ids(5);
+        let mut eq = EquivClasses::new();
+        eq.declare_equivalent(&[g[0], g[1]]);
+        eq.declare_equivalent(&[g[2], g[3]]);
+        assert_eq!(eq.class_count(), 2);
+        eq.declare_equivalent(&[g[1], g[3]]);
+        assert!(eq.equivalent(g[0], g[2]));
+        assert_eq!(eq.class_count(), 1);
+        assert_eq!(eq.class_of(g[0]).len(), 4);
+    }
+
+    #[test]
+    fn empty_declaration_is_noop() {
+        let mut eq = EquivClasses::new();
+        eq.declare_equivalent(&[]);
+        assert_eq!(eq.class_count(), 0);
+    }
+}

@@ -1,0 +1,519 @@
+use crate::hierarchy::DfgId;
+use crate::op::Operation;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a node within one [`Dfg`].
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    pub(crate) fn new(index: usize) -> Self {
+        NodeId(u32::try_from(index).expect("node count fits in u32"))
+    }
+
+    /// Position of the node in [`Dfg::nodes`] iteration order.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Reconstruct a node id from its dense index.
+    ///
+    /// Ids are dense insertion-order indices (`id.index()` round-trips), so
+    /// analysis crates can keep per-node state in plain vectors. The caller
+    /// is responsible for `index` referring to a node of the intended DFG.
+    pub fn from_index(index: usize) -> Self {
+        NodeId::new(index)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Identifier of an edge within one [`Dfg`].
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize)]
+pub struct EdgeId(u32);
+
+impl EdgeId {
+    pub(crate) fn new(index: usize) -> Self {
+        EdgeId(u32::try_from(index).expect("edge count fits in u32"))
+    }
+
+    /// Position of the edge in [`Dfg::edges`] iteration order.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Reconstruct an edge id from its dense index (see
+    /// [`NodeId::from_index`]).
+    pub fn from_index(index: usize) -> Self {
+        EdgeId::new(index)
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// A value produced at an output port of a node: the paper's notion of a
+/// *variable* (the things that get bound to registers).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize)]
+pub struct VarRef {
+    /// Producing node.
+    pub node: NodeId,
+    /// Output port on the producing node.
+    pub port: u16,
+}
+
+impl VarRef {
+    /// A reference to output port `port` of `node`.
+    pub fn new(node: NodeId, port: u16) -> Self {
+        VarRef { node, port }
+    }
+}
+
+impl fmt::Display for VarRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}", self.node, self.port)
+    }
+}
+
+/// What a DFG node represents.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum NodeKind {
+    /// Primary input number `index` of the DFG.
+    Input {
+        /// Zero-based input position.
+        index: usize,
+    },
+    /// Primary output number `index` of the DFG (single input port).
+    Output {
+        /// Zero-based output position.
+        index: usize,
+    },
+    /// A compile-time constant (coefficients etc.).
+    Const {
+        /// The constant value (interpreted at the datapath bit width).
+        value: i64,
+    },
+    /// A primitive operation.
+    Op(Operation),
+    /// A hierarchical node: an invocation of another DFG in the hierarchy.
+    Hier {
+        /// The DFG this node invokes.
+        callee: DfgId,
+    },
+}
+
+impl NodeKind {
+    /// `true` for [`NodeKind::Op`] and [`NodeKind::Hier`] — the nodes that
+    /// consume schedule time and get bound to hardware.
+    pub fn is_schedulable(&self) -> bool {
+        matches!(self, NodeKind::Op(_) | NodeKind::Hier { .. })
+    }
+}
+
+/// A node of a [`Dfg`].
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct Node {
+    kind: NodeKind,
+    name: String,
+}
+
+impl Node {
+    /// The node's kind.
+    pub fn kind(&self) -> &NodeKind {
+        &self.kind
+    }
+
+    /// Human-readable name (unique names are conventional, not enforced).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// A directed edge carrying the value at `from` to input port `to_port` of
+/// node `to`, delayed by `delay` sample periods (`z^-delay`).
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct Edge {
+    /// Producing variable.
+    pub from: VarRef,
+    /// Consuming node.
+    pub to: NodeId,
+    /// Input port on the consuming node.
+    pub to_port: u16,
+    /// Inter-iteration delay in sample periods; 0 for ordinary data flow.
+    pub delay: u32,
+}
+
+/// A single-level data-flow graph.
+///
+/// Nodes are added through the `add_*` methods, which connect operand edges
+/// immediately; feedback (loop) edges are added afterwards through
+/// [`Dfg::connect`] with a nonzero delay. Structural invariants (every input
+/// port driven exactly once, zero-delay acyclicity, ...) are checked by
+/// [`Hierarchy::validate`](crate::Hierarchy::validate) rather than on every
+/// mutation, so graphs with feedback can be built incrementally.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct Dfg {
+    name: String,
+    nodes: Vec<Node>,
+    edges: Vec<Edge>,
+    inputs: Vec<NodeId>,
+    outputs: Vec<NodeId>,
+}
+
+impl Dfg {
+    /// Create an empty DFG called `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        Dfg {
+            name: name.into(),
+            nodes: Vec::new(),
+            edges: Vec::new(),
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+        }
+    }
+
+    /// The DFG's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Rename the DFG.
+    pub fn set_name(&mut self, name: impl Into<String>) {
+        self.name = name.into();
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Number of primary inputs.
+    pub fn input_count(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Number of primary outputs.
+    pub fn output_count(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// The input nodes, ordered by input index.
+    pub fn inputs(&self) -> &[NodeId] {
+        &self.inputs
+    }
+
+    /// The output nodes, ordered by output index.
+    pub fn outputs(&self) -> &[NodeId] {
+        &self.outputs
+    }
+
+    /// Access a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this DFG.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// Access an edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this DFG.
+    pub fn edge(&self, id: EdgeId) -> &Edge {
+        &self.edges[id.index()]
+    }
+
+    /// Iterate over all node ids in insertion order.
+    pub fn node_ids(&self) -> impl ExactSizeIterator<Item = NodeId> + '_ {
+        (0..self.nodes.len()).map(NodeId::new)
+    }
+
+    /// Iterate over all edge ids in insertion order.
+    pub fn edge_ids(&self) -> impl ExactSizeIterator<Item = EdgeId> + '_ {
+        (0..self.edges.len()).map(EdgeId::new)
+    }
+
+    /// Iterate over `(id, node)` pairs.
+    pub fn nodes(&self) -> impl ExactSizeIterator<Item = (NodeId, &Node)> + '_ {
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (NodeId::new(i), n))
+    }
+
+    /// Iterate over `(id, edge)` pairs.
+    pub fn edges(&self) -> impl ExactSizeIterator<Item = (EdgeId, &Edge)> + '_ {
+        self.edges
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (EdgeId::new(i), e))
+    }
+
+    /// Edges entering `node` (any delay), in arbitrary order.
+    pub fn in_edges(&self, node: NodeId) -> impl Iterator<Item = (EdgeId, &Edge)> + '_ {
+        self.edges().filter(move |(_, e)| e.to == node)
+    }
+
+    /// Edges leaving any output port of `node` (any delay).
+    pub fn out_edges(&self, node: NodeId) -> impl Iterator<Item = (EdgeId, &Edge)> + '_ {
+        self.edges().filter(move |(_, e)| e.from.node == node)
+    }
+
+    /// The edge driving input port `port` of `node`, if present.
+    pub fn driver(&self, node: NodeId, port: u16) -> Option<&Edge> {
+        self.edges
+            .iter()
+            .find(|e| e.to == node && e.to_port == port)
+    }
+
+    /// Add a primary input; returns the variable it produces.
+    pub fn add_input(&mut self, name: impl Into<String>) -> VarRef {
+        let index = self.inputs.len();
+        let id = self.push_node(NodeKind::Input { index }, name);
+        self.inputs.push(id);
+        VarRef::new(id, 0)
+    }
+
+    /// Add a constant node; returns the variable it produces.
+    pub fn add_const(&mut self, name: impl Into<String>, value: i64) -> VarRef {
+        let id = self.push_node(NodeKind::Const { value }, name);
+        VarRef::new(id, 0)
+    }
+
+    /// Add an operation node with its operands connected (delay 0); returns
+    /// the produced variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `operands.len() != op.arity()`.
+    pub fn add_op(&mut self, op: Operation, name: impl Into<String>, operands: &[VarRef]) -> VarRef {
+        assert_eq!(
+            operands.len(),
+            op.arity(),
+            "operation {op} expects {} operands",
+            op.arity()
+        );
+        let id = self.push_node(NodeKind::Op(op), name);
+        for (port, &src) in operands.iter().enumerate() {
+            self.connect(src, id, port as u16, 0);
+        }
+        VarRef::new(id, 0)
+    }
+
+    /// Add an operation node with *no* operands connected yet (used to build
+    /// feedback loops); connect its ports later with [`Dfg::connect`].
+    pub fn add_op_detached(&mut self, op: Operation, name: impl Into<String>) -> NodeId {
+        self.push_node(NodeKind::Op(op), name)
+    }
+
+    /// Add a hierarchical node invoking `callee`, with all inputs connected
+    /// (delay 0). Returns the node id; use [`Dfg::hier_out`] for its outputs.
+    pub fn add_hier(&mut self, callee: DfgId, name: impl Into<String>, operands: &[VarRef]) -> NodeId {
+        let id = self.push_node(NodeKind::Hier { callee }, name);
+        for (port, &src) in operands.iter().enumerate() {
+            self.connect(src, id, port as u16, 0);
+        }
+        id
+    }
+
+    /// The variable produced at output `port` of hierarchical node `node`.
+    ///
+    /// Works for any node; provided for readability at hierarchical call
+    /// sites, which are the only multi-output nodes.
+    pub fn hier_out(&self, node: NodeId, port: u16) -> VarRef {
+        VarRef::new(node, port)
+    }
+
+    /// Add a primary output consuming `src` (delay 0).
+    pub fn add_output(&mut self, name: impl Into<String>, src: VarRef) -> NodeId {
+        self.add_output_delayed(name, src, 0)
+    }
+
+    /// Add a primary output consuming `src` through a `delay`-sample delay.
+    pub fn add_output_delayed(
+        &mut self,
+        name: impl Into<String>,
+        src: VarRef,
+        delay: u32,
+    ) -> NodeId {
+        let index = self.outputs.len();
+        let id = self.push_node(NodeKind::Output { index }, name);
+        self.outputs.push(id);
+        self.connect(src, id, 0, delay);
+        id
+    }
+
+    /// Redirect hierarchical node `node` to invoke `callee` instead — the
+    /// paper's move *A* "can change the DFG representing a hierarchical
+    /// node" when substituting a library module that implements an
+    /// equivalent DFG. The new callee must have the same input/output
+    /// arities (callers ensure this via declared equivalence classes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not a hierarchical node.
+    pub fn set_hier_callee(&mut self, node: NodeId, callee: DfgId) {
+        match &mut self.nodes[node.index()].kind {
+            NodeKind::Hier { callee: c } => *c = callee,
+            other => panic!("set_hier_callee on non-hierarchical node {node} ({other:?})"),
+        }
+    }
+
+    /// Connect `from` to input port `to_port` of `to`, delayed by `delay`
+    /// sample periods. Feedback loops must use `delay >= 1`.
+    pub fn connect(&mut self, from: VarRef, to: NodeId, to_port: u16, delay: u32) -> EdgeId {
+        let id = EdgeId::new(self.edges.len());
+        self.edges.push(Edge {
+            from,
+            to,
+            to_port,
+            delay,
+        });
+        id
+    }
+
+    /// Number of input ports `node` has (requires the hierarchy only for
+    /// hierarchical nodes, so callers pass a resolver).
+    pub(crate) fn in_arity_with(
+        &self,
+        node: NodeId,
+        hier_in_arity: impl Fn(DfgId) -> usize,
+    ) -> usize {
+        match self.node(node).kind() {
+            NodeKind::Input { .. } | NodeKind::Const { .. } => 0,
+            NodeKind::Output { .. } => 1,
+            NodeKind::Op(op) => op.arity(),
+            NodeKind::Hier { callee } => hier_in_arity(*callee),
+        }
+    }
+
+    /// Number of output ports `node` has.
+    pub(crate) fn out_arity_with(
+        &self,
+        node: NodeId,
+        hier_out_arity: impl Fn(DfgId) -> usize,
+    ) -> usize {
+        match self.node(node).kind() {
+            NodeKind::Input { .. } | NodeKind::Const { .. } => 1,
+            NodeKind::Output { .. } => 0,
+            NodeKind::Op(_) => 1,
+            NodeKind::Hier { callee } => hier_out_arity(*callee),
+        }
+    }
+
+    /// Count of schedulable nodes (operations + hierarchical nodes).
+    pub fn schedulable_count(&self) -> usize {
+        self.nodes.iter().filter(|n| n.kind().is_schedulable()).count()
+    }
+
+    fn push_node(&mut self, kind: NodeKind, name: impl Into<String>) -> NodeId {
+        let id = NodeId::new(self.nodes.len());
+        self.nodes.push(Node {
+            kind,
+            name: name.into(),
+        });
+        id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mac() -> Dfg {
+        let mut g = Dfg::new("mac");
+        let a = g.add_input("a");
+        let b = g.add_input("b");
+        let c = g.add_input("c");
+        let m = g.add_op(Operation::Mult, "m", &[a, b]);
+        let s = g.add_op(Operation::Add, "s", &[m, c]);
+        g.add_output("y", s);
+        g
+    }
+
+    #[test]
+    fn build_and_inspect() {
+        let g = mac();
+        assert_eq!(g.node_count(), 6);
+        assert_eq!(g.edge_count(), 5);
+        assert_eq!(g.input_count(), 3);
+        assert_eq!(g.output_count(), 1);
+        assert_eq!(g.schedulable_count(), 2);
+    }
+
+    #[test]
+    fn drivers_and_adjacency() {
+        let g = mac();
+        let mult = g
+            .nodes()
+            .find(|(_, n)| n.name() == "m")
+            .map(|(id, _)| id)
+            .unwrap();
+        let add = g
+            .nodes()
+            .find(|(_, n)| n.name() == "s")
+            .map(|(id, _)| id)
+            .unwrap();
+        // mult has two in-edges from the inputs, one out-edge to the add.
+        assert_eq!(g.in_edges(mult).count(), 2);
+        assert_eq!(g.out_edges(mult).count(), 1);
+        let drv = g.driver(add, 0).expect("port 0 driven");
+        assert_eq!(drv.from.node, mult);
+        assert!(g.driver(add, 7).is_none());
+    }
+
+    #[test]
+    fn feedback_edges_carry_delay() {
+        // y[n] = x[n] + y[n-1]
+        let mut g = Dfg::new("acc");
+        let x = g.add_input("x");
+        let acc = g.add_op_detached(Operation::Add, "acc");
+        g.connect(x, acc, 0, 0);
+        g.connect(VarRef::new(acc, 0), acc, 1, 1);
+        g.add_output("y", VarRef::new(acc, 0));
+        let fb = g
+            .edges()
+            .find(|(_, e)| e.delay == 1)
+            .map(|(_, e)| e.clone())
+            .unwrap();
+        assert_eq!(fb.from.node, acc);
+        assert_eq!(fb.to, acc);
+    }
+
+    #[test]
+    fn input_output_ordering_is_preserved() {
+        let g = mac();
+        let names: Vec<&str> = g.inputs().iter().map(|&id| g.node(id).name()).collect();
+        assert_eq!(names, ["a", "b", "c"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "expects 2 operands")]
+    fn add_op_rejects_wrong_arity() {
+        let mut g = Dfg::new("bad");
+        let a = g.add_input("a");
+        g.add_op(Operation::Add, "s", &[a]);
+    }
+
+    #[test]
+    fn display_impls_are_compact() {
+        assert_eq!(NodeId::new(3).to_string(), "n3");
+        assert_eq!(EdgeId::new(9).to_string(), "e9");
+        assert_eq!(VarRef::new(NodeId::new(2), 1).to_string(), "n2.1");
+    }
+}

@@ -1,0 +1,751 @@
+use crate::graph::{Dfg, NodeId, NodeKind, VarRef};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier of a [`Dfg`] within a [`Hierarchy`].
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize)]
+pub struct DfgId(u32);
+
+impl DfgId {
+    pub(crate) fn new(index: usize) -> Self {
+        DfgId(u32::try_from(index).expect("dfg count fits in u32"))
+    }
+
+    /// Position of the DFG in [`Hierarchy`] iteration order.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for DfgId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "g{}", self.0)
+    }
+}
+
+/// A hierarchical behavioral description: a set of DFGs, one of which is the
+/// top level. Hierarchical nodes reference other DFGs; arbitrarily deep
+/// hierarchies are allowed (the reference graph must be acyclic).
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Hierarchy {
+    dfgs: Vec<Dfg>,
+    top: Option<DfgId>,
+}
+
+/// Structural problems detected by [`Hierarchy::validate`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum HierarchyError {
+    /// No top-level DFG was set.
+    NoTop,
+    /// A hierarchical node references a DFG id not in this hierarchy.
+    DanglingCallee {
+        /// DFG containing the bad node.
+        dfg: DfgId,
+        /// The offending node.
+        node: NodeId,
+    },
+    /// The call graph between DFGs contains a cycle (recursion).
+    RecursiveHierarchy {
+        /// A DFG on the cycle.
+        dfg: DfgId,
+    },
+    /// An input port is not driven, or driven more than once.
+    BadPortDrive {
+        /// DFG containing the node.
+        dfg: DfgId,
+        /// The node whose port is mis-driven.
+        node: NodeId,
+        /// The port number.
+        port: u16,
+        /// How many edges drive it.
+        drivers: usize,
+    },
+    /// An edge references an output port beyond the producer's arity.
+    BadSourcePort {
+        /// DFG containing the edge.
+        dfg: DfgId,
+        /// Producer node.
+        node: NodeId,
+        /// The out-of-range port.
+        port: u16,
+    },
+    /// The zero-delay subgraph of a DFG has a combinational cycle.
+    CombinationalCycle {
+        /// The cyclic DFG.
+        dfg: DfgId,
+    },
+}
+
+impl fmt::Display for HierarchyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HierarchyError::NoTop => write!(f, "hierarchy has no top-level dfg"),
+            HierarchyError::DanglingCallee { dfg, node } => {
+                write!(f, "hierarchical node {node} in {dfg} references a missing dfg")
+            }
+            HierarchyError::RecursiveHierarchy { dfg } => {
+                write!(f, "dfg {dfg} participates in a recursive hierarchy")
+            }
+            HierarchyError::BadPortDrive {
+                dfg,
+                node,
+                port,
+                drivers,
+            } => write!(
+                f,
+                "input port {port} of {node} in {dfg} has {drivers} drivers (expected 1)"
+            ),
+            HierarchyError::BadSourcePort { dfg, node, port } => {
+                write!(f, "edge in {dfg} reads nonexistent output port {port} of {node}")
+            }
+            HierarchyError::CombinationalCycle { dfg } => {
+                write!(f, "dfg {dfg} has a zero-delay (combinational) cycle")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HierarchyError {}
+
+impl Hierarchy {
+    /// Create an empty hierarchy.
+    pub fn new() -> Self {
+        Hierarchy::default()
+    }
+
+    /// Add a DFG and return its id.
+    pub fn add_dfg(&mut self, dfg: Dfg) -> DfgId {
+        let id = DfgId::new(self.dfgs.len());
+        self.dfgs.push(dfg);
+        id
+    }
+
+    /// Set the top-level DFG.
+    pub fn set_top(&mut self, id: DfgId) {
+        assert!(id.index() < self.dfgs.len(), "top id out of range");
+        self.top = Some(id);
+    }
+
+    /// The top-level DFG id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no top level has been set; use [`Hierarchy::try_top`] to
+    /// probe.
+    pub fn top(&self) -> DfgId {
+        self.try_top().expect("hierarchy top not set")
+    }
+
+    /// The top-level DFG id, if set.
+    pub fn try_top(&self) -> Option<DfgId> {
+        self.top
+    }
+
+    /// Number of DFGs.
+    pub fn dfg_count(&self) -> usize {
+        self.dfgs.len()
+    }
+
+    /// Access a DFG.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not in this hierarchy.
+    pub fn dfg(&self, id: DfgId) -> &Dfg {
+        &self.dfgs[id.index()]
+    }
+
+    /// Mutable access to a DFG.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not in this hierarchy.
+    pub fn dfg_mut(&mut self, id: DfgId) -> &mut Dfg {
+        &mut self.dfgs[id.index()]
+    }
+
+    /// Iterate over `(id, dfg)` pairs.
+    pub fn dfgs(&self) -> impl ExactSizeIterator<Item = (DfgId, &Dfg)> + '_ {
+        self.dfgs
+            .iter()
+            .enumerate()
+            .map(|(i, g)| (DfgId::new(i), g))
+    }
+
+    /// Find a DFG by name.
+    pub fn dfg_by_name(&self, name: &str) -> Option<DfgId> {
+        self.dfgs()
+            .find(|(_, g)| g.name() == name)
+            .map(|(id, _)| id)
+    }
+
+    /// Number of input ports of `id` (for hierarchical-node arity checks).
+    pub fn in_arity(&self, id: DfgId) -> usize {
+        self.dfg(id).input_count()
+    }
+
+    /// Number of output ports of `id`.
+    pub fn out_arity(&self, id: DfgId) -> usize {
+        self.dfg(id).output_count()
+    }
+
+    /// Nesting depth below `id`: 1 for a leaf DFG (no hierarchical nodes).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a recursive hierarchy; run [`Hierarchy::validate`] first.
+    pub fn depth(&self, id: DfgId) -> usize {
+        let mut max_child = 0;
+        for (_, node) in self.dfg(id).nodes() {
+            if let NodeKind::Hier { callee } = node.kind() {
+                max_child = max_child.max(self.depth(*callee));
+            }
+        }
+        1 + max_child
+    }
+
+    /// Whether the behavior rooted at `id` carries state across iterations
+    /// (any inter-iteration delay edge, in `id` itself or any callee).
+    ///
+    /// Stateful behaviors hold `z⁻ᵏ` values in registers between samples; an
+    /// RTL module implementing one therefore cannot be *shared* between two
+    /// hierarchical nodes of the same DFG — each context needs its own
+    /// state. The synthesis engine consults this before module merging.
+    pub fn has_state(&self, id: DfgId) -> bool {
+        let g = self.dfg(id);
+        if g.edges().any(|(_, e)| e.delay > 0) {
+            return true;
+        }
+        g.nodes().any(|(_, n)| match n.kind() {
+            NodeKind::Hier { callee } => self.has_state(*callee),
+            _ => false,
+        })
+    }
+
+    /// Total schedulable operation count of the flattened behavior under
+    /// `id` (hierarchical nodes expanded recursively).
+    pub fn flat_op_count(&self, id: DfgId) -> usize {
+        let mut count = 0;
+        for (_, node) in self.dfg(id).nodes() {
+            match node.kind() {
+                NodeKind::Op(_) => count += 1,
+                NodeKind::Hier { callee } => count += self.flat_op_count(*callee),
+                _ => {}
+            }
+        }
+        count
+    }
+
+    /// Check all structural invariants.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`HierarchyError`] found: missing top, dangling or
+    /// recursive hierarchical references, mis-driven input ports, out-of-range
+    /// source ports, or combinational (zero-delay) cycles.
+    pub fn validate(&self) -> Result<(), HierarchyError> {
+        if self.top.is_none() {
+            return Err(HierarchyError::NoTop);
+        }
+        // Callee existence.
+        for (gid, g) in self.dfgs() {
+            for (nid, node) in g.nodes() {
+                if let NodeKind::Hier { callee } = node.kind() {
+                    if callee.index() >= self.dfgs.len() {
+                        return Err(HierarchyError::DanglingCallee { dfg: gid, node: nid });
+                    }
+                }
+            }
+        }
+        self.check_acyclic_callgraph()?;
+        for (gid, g) in self.dfgs() {
+            self.check_ports(gid, g)?;
+            self.check_combinational_acyclic(gid, g)?;
+        }
+        Ok(())
+    }
+
+    fn check_acyclic_callgraph(&self) -> Result<(), HierarchyError> {
+        // Colors: 0 = white, 1 = grey (on stack), 2 = black.
+        fn visit(
+            h: &Hierarchy,
+            id: DfgId,
+            color: &mut [u8],
+        ) -> Result<(), HierarchyError> {
+            match color[id.index()] {
+                1 => return Err(HierarchyError::RecursiveHierarchy { dfg: id }),
+                2 => return Ok(()),
+                _ => {}
+            }
+            color[id.index()] = 1;
+            for (_, node) in h.dfg(id).nodes() {
+                if let NodeKind::Hier { callee } = node.kind() {
+                    visit(h, *callee, color)?;
+                }
+            }
+            color[id.index()] = 2;
+            Ok(())
+        }
+        let mut color = vec![0u8; self.dfgs.len()];
+        for (id, _) in self.dfgs() {
+            visit(self, id, &mut color)?;
+        }
+        Ok(())
+    }
+
+    fn check_ports(&self, gid: DfgId, g: &Dfg) -> Result<(), HierarchyError> {
+        for (nid, _) in g.nodes() {
+            let in_arity = g.in_arity_with(nid, |c| self.in_arity(c));
+            for port in 0..in_arity {
+                let drivers = g
+                    .edges()
+                    .filter(|(_, e)| e.to == nid && e.to_port == port as u16)
+                    .count();
+                if drivers != 1 {
+                    return Err(HierarchyError::BadPortDrive {
+                        dfg: gid,
+                        node: nid,
+                        port: port as u16,
+                        drivers,
+                    });
+                }
+            }
+            // No edges beyond arity.
+            for (_, e) in g.edges().filter(|(_, e)| e.to == nid) {
+                if (e.to_port as usize) >= in_arity {
+                    return Err(HierarchyError::BadPortDrive {
+                        dfg: gid,
+                        node: nid,
+                        port: e.to_port,
+                        drivers: 1,
+                    });
+                }
+            }
+        }
+        for (_, e) in g.edges() {
+            let out_arity = g.out_arity_with(e.from.node, |c| self.out_arity(c));
+            if (e.from.port as usize) >= out_arity {
+                return Err(HierarchyError::BadSourcePort {
+                    dfg: gid,
+                    node: e.from.node,
+                    port: e.from.port,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn check_combinational_acyclic(&self, gid: DfgId, g: &Dfg) -> Result<(), HierarchyError> {
+        // Kahn's algorithm over zero-delay edges.
+        let n = g.node_count();
+        let mut indeg = vec![0usize; n];
+        for (_, e) in g.edges() {
+            if e.delay == 0 {
+                indeg[e.to.index()] += 1;
+            }
+        }
+        let mut stack: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut seen = 0;
+        while let Some(i) = stack.pop() {
+            seen += 1;
+            for (_, e) in g.out_edges(NodeId::new(i)) {
+                if e.delay == 0 {
+                    let t = e.to.index();
+                    indeg[t] -= 1;
+                    if indeg[t] == 0 {
+                        stack.push(t);
+                    }
+                }
+            }
+        }
+        if seen != n {
+            return Err(HierarchyError::CombinationalCycle { dfg: gid });
+        }
+        Ok(())
+    }
+
+    /// Flatten the behavior rooted at the top-level DFG into a single-level
+    /// DFG, recursively inlining every hierarchical node.
+    ///
+    /// Edge delays accumulate across boundaries: a delayed edge into a
+    /// hierarchical node adds its delay to the inlined paths it feeds, and
+    /// feedback loops inside callees are preserved. Node names are prefixed
+    /// with the instance path (`f1/..`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the hierarchy fails [`Hierarchy::validate`]; validate first
+    /// for a graceful error.
+    pub fn flatten(&self) -> Dfg {
+        Flattener::new(self).run()
+    }
+}
+
+/// One instantiation of a DFG in the expanded instance tree.
+struct Instance {
+    dfg: DfgId,
+    /// `(parent instance index, hierarchical node in the parent)`; `None`
+    /// for the top instance.
+    parent: Option<(usize, NodeId)>,
+    /// Old op/const node → new node in the flattened graph.
+    node_map: HashMap<NodeId, NodeId>,
+    /// Hierarchical node → child instance index.
+    children: HashMap<NodeId, usize>,
+}
+
+/// Two-phase flattening: phase 1 materializes every op/const node of every
+/// instance; phase 2 wires edges by *walking* producer chains across
+/// instance boundaries, accumulating delays. Deferring all wiring makes
+/// feedback (delayed self-references) work, since every producer exists by
+/// the time any edge is resolved.
+struct Flattener<'h> {
+    h: &'h Hierarchy,
+    out: Dfg,
+    instances: Vec<Instance>,
+    /// Top-level input node (old) → flattened input variable.
+    top_inputs: HashMap<NodeId, VarRef>,
+}
+
+impl<'h> Flattener<'h> {
+    fn new(h: &'h Hierarchy) -> Self {
+        let top = h.top();
+        Flattener {
+            h,
+            out: Dfg::new(format!("{}_flat", h.dfg(top).name())),
+            instances: Vec::new(),
+            top_inputs: HashMap::new(),
+        }
+    }
+
+    fn run(mut self) -> Dfg {
+        let top = self.h.top();
+        let g = self.h.dfg(top);
+        for &inp in g.inputs() {
+            let v = self.out.add_input(g.node(inp).name().to_owned());
+            self.top_inputs.insert(inp, v);
+        }
+        self.build_instance(top, None, "");
+        self.connect_all();
+        for &outp in g.outputs() {
+            let e = g.driver(outp, 0).expect("top output driven");
+            let (v, d) = self.resolve(0, e.from, e.delay, 0);
+            self.out
+                .add_output_delayed(g.node(outp).name().to_owned(), v, d);
+        }
+        self.out
+    }
+
+    /// Phase 1: materialize nodes for `dfg` and, recursively, its callees.
+    fn build_instance(&mut self, dfg: DfgId, parent: Option<(usize, NodeId)>, prefix: &str) -> usize {
+        let idx = self.instances.len();
+        self.instances.push(Instance {
+            dfg,
+            parent,
+            node_map: HashMap::new(),
+            children: HashMap::new(),
+        });
+        let g = self.h.dfg(dfg);
+        for (nid, node) in g.nodes() {
+            match node.kind() {
+                NodeKind::Op(op) => {
+                    let new = self
+                        .out
+                        .add_op_detached(*op, format!("{prefix}{}", node.name()));
+                    self.instances[idx].node_map.insert(nid, new);
+                }
+                NodeKind::Const { value } => {
+                    let v = self
+                        .out
+                        .add_const(format!("{prefix}{}", node.name()), *value);
+                    self.instances[idx].node_map.insert(nid, v.node);
+                }
+                NodeKind::Hier { callee } => {
+                    let child_prefix = format!("{prefix}{}/", node.name());
+                    let child = self.build_instance(*callee, Some((idx, nid)), &child_prefix);
+                    self.instances[idx].children.insert(nid, child);
+                }
+                NodeKind::Input { .. } | NodeKind::Output { .. } => {}
+            }
+        }
+        idx
+    }
+
+    /// Phase 2: wire every operation input port.
+    fn connect_all(&mut self) {
+        for idx in 0..self.instances.len() {
+            let dfg = self.instances[idx].dfg;
+            let g = self.h.dfg(dfg);
+            for (nid, node) in g.nodes() {
+                if let NodeKind::Op(op) = node.kind() {
+                    let new = self.instances[idx].node_map[&nid];
+                    for port in 0..op.arity() as u16 {
+                        let e = g
+                            .driver(nid, port)
+                            .unwrap_or_else(|| {
+                                panic!("port {port} of {nid} in `{}` undriven", g.name())
+                            })
+                            .clone();
+                        let (v, d) = self.resolve(idx, e.from, e.delay, 0);
+                        self.out.connect(v, new, port, d);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Walk from a producer reference to the concrete flattened variable,
+    /// crossing instance boundaries (callee inputs → caller drivers, callee
+    /// outputs ← hierarchical node outputs) and summing edge delays.
+    fn resolve(&self, inst: usize, var: VarRef, acc: u32, depth: usize) -> (VarRef, u32) {
+        assert!(
+            depth < 10_000,
+            "combinational pass-through cycle across hierarchy boundaries"
+        );
+        let instance = &self.instances[inst];
+        let g = self.h.dfg(instance.dfg);
+        match g.node(var.node).kind() {
+            NodeKind::Op(_) | NodeKind::Const { .. } => (
+                VarRef::new(instance.node_map[&var.node], 0),
+                acc,
+            ),
+            NodeKind::Input { index } => match instance.parent {
+                None => (self.top_inputs[&var.node], acc),
+                Some((p_idx, hier_node)) => {
+                    let pg = self.h.dfg(self.instances[p_idx].dfg);
+                    let e = pg
+                        .driver(hier_node, *index as u16)
+                        .expect("validated: hier inputs driven");
+                    self.resolve(p_idx, e.from, acc + e.delay, depth + 1)
+                }
+            },
+            NodeKind::Hier { .. } => {
+                let child = instance.children[&var.node];
+                let cg = self.h.dfg(self.instances[child].dfg);
+                let out_node = cg.outputs()[var.port as usize];
+                let e = cg.driver(out_node, 0).expect("validated: outputs driven");
+                self.resolve(child, e.from, acc + e.delay, depth + 1)
+            }
+            NodeKind::Output { .. } => unreachable!("outputs are never edge sources"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Operation;
+
+    /// sub(a, b) = a*b + a
+    fn small_callee() -> Dfg {
+        let mut g = Dfg::new("sub");
+        let a = g.add_input("a");
+        let b = g.add_input("b");
+        let m = g.add_op(Operation::Mult, "m", &[a, b]);
+        let s = g.add_op(Operation::Add, "s", &[m, a]);
+        g.add_output("y", s);
+        g
+    }
+
+    fn two_level() -> Hierarchy {
+        let mut h = Hierarchy::new();
+        let callee = h.add_dfg(small_callee());
+        let mut top = Dfg::new("top");
+        let x = top.add_input("x");
+        let y = top.add_input("y");
+        let h1 = top.add_hier(callee, "f1", &[x, y]);
+        let h2 = top.add_hier(callee, "f2", &[top.hier_out(h1, 0), y]);
+        top.add_output("z", top.hier_out(h2, 0));
+        let top_id = h.add_dfg(top);
+        h.set_top(top_id);
+        h
+    }
+
+    #[test]
+    fn validate_accepts_well_formed() {
+        let h = two_level();
+        h.validate().expect("valid");
+        assert_eq!(h.depth(h.top()), 2);
+        assert_eq!(h.flat_op_count(h.top()), 4);
+    }
+
+    #[test]
+    fn validate_rejects_missing_top() {
+        let h = Hierarchy::new();
+        assert_eq!(h.validate().unwrap_err(), HierarchyError::NoTop);
+    }
+
+    #[test]
+    fn validate_rejects_undriven_port() {
+        let mut h = Hierarchy::new();
+        let mut g = Dfg::new("bad");
+        let a = g.add_input("a");
+        let n = g.add_op_detached(Operation::Add, "s");
+        g.connect(a, n, 0, 0); // port 1 left undriven
+        g.add_output("y", VarRef::new(n, 0));
+        let id = h.add_dfg(g);
+        h.set_top(id);
+        match h.validate().unwrap_err() {
+            HierarchyError::BadPortDrive { port: 1, drivers: 0, .. } => {}
+            e => panic!("unexpected error {e:?}"),
+        }
+    }
+
+    #[test]
+    fn validate_rejects_double_drive() {
+        let mut h = Hierarchy::new();
+        let mut g = Dfg::new("bad");
+        let a = g.add_input("a");
+        let b = g.add_input("b");
+        let n = g.add_op_detached(Operation::Neg, "n");
+        g.connect(a, n, 0, 0);
+        g.connect(b, n, 0, 0);
+        g.add_output("y", VarRef::new(n, 0));
+        let id = h.add_dfg(g);
+        h.set_top(id);
+        match h.validate().unwrap_err() {
+            HierarchyError::BadPortDrive { drivers: 2, .. } => {}
+            e => panic!("unexpected error {e:?}"),
+        }
+    }
+
+    #[test]
+    fn validate_rejects_combinational_cycle() {
+        let mut h = Hierarchy::new();
+        let mut g = Dfg::new("loop");
+        let a = g.add_input("a");
+        let n1 = g.add_op_detached(Operation::Add, "n1");
+        let n2 = g.add_op_detached(Operation::Add, "n2");
+        g.connect(a, n1, 0, 0);
+        g.connect(VarRef::new(n2, 0), n1, 1, 0);
+        g.connect(VarRef::new(n1, 0), n2, 0, 0);
+        g.connect(a, n2, 1, 0);
+        g.add_output("y", VarRef::new(n2, 0));
+        let id = h.add_dfg(g);
+        h.set_top(id);
+        assert_eq!(
+            h.validate().unwrap_err(),
+            HierarchyError::CombinationalCycle { dfg: id }
+        );
+    }
+
+    #[test]
+    fn delayed_cycle_is_accepted() {
+        let mut h = Hierarchy::new();
+        let mut g = Dfg::new("acc");
+        let a = g.add_input("a");
+        let n = g.add_op_detached(Operation::Add, "acc");
+        g.connect(a, n, 0, 0);
+        g.connect(VarRef::new(n, 0), n, 1, 1);
+        g.add_output("y", VarRef::new(n, 0));
+        let id = h.add_dfg(g);
+        h.set_top(id);
+        h.validate().expect("delayed feedback is legal");
+    }
+
+    #[test]
+    fn validate_rejects_recursion() {
+        let mut h = Hierarchy::new();
+        // Build g referencing itself: need the id before building; reserve a
+        // placeholder then patch.
+        let placeholder = Dfg::new("self");
+        let id = h.add_dfg(placeholder);
+        let mut g = Dfg::new("self");
+        let a = g.add_input("a");
+        let n = g.add_hier(id, "rec", &[a]);
+        g.add_output("y", g.hier_out(n, 0));
+        *h.dfg_mut(id) = g;
+        h.set_top(id);
+        assert_eq!(
+            h.validate().unwrap_err(),
+            HierarchyError::RecursiveHierarchy { dfg: id }
+        );
+    }
+
+    #[test]
+    fn flatten_two_levels() {
+        let h = two_level();
+        let flat = h.flatten();
+        // 2 inputs + 1 output + 2 instances x (mult+add) = 7 nodes.
+        assert_eq!(flat.node_count(), 7);
+        assert_eq!(flat.schedulable_count(), 4);
+        assert_eq!(flat.input_count(), 2);
+        assert_eq!(flat.output_count(), 1);
+        // Names carry the instance path.
+        assert!(flat.nodes().any(|(_, n)| n.name() == "f1/m"));
+        assert!(flat.nodes().any(|(_, n)| n.name() == "f2/s"));
+        let mut h2 = Hierarchy::new();
+        let id = h2.add_dfg(flat);
+        h2.set_top(id);
+        h2.validate().expect("flattened graph is well-formed");
+    }
+
+    #[test]
+    fn flatten_preserves_semantics() {
+        // Evaluate both representations on sample values and compare.
+        let h = two_level();
+        let flat = h.flatten();
+        // sub(a,b) = a*b + a; top = sub(sub(x,y), y)
+        let eval_ref = |x: i64, y: i64| {
+            let s1 = x * y + x;
+            s1 * y + s1
+        };
+        let eval_flat = |g: &Dfg, x: i64, y: i64| -> i64 {
+            let order = crate::analysis::topo_order(g).unwrap();
+            let mut vals: HashMap<NodeId, i64> = HashMap::new();
+            for nid in order {
+                let v = match g.node(nid).kind() {
+                    NodeKind::Input { index } => {
+                        if *index == 0 {
+                            x
+                        } else {
+                            y
+                        }
+                    }
+                    NodeKind::Const { value } => *value,
+                    NodeKind::Op(op) => {
+                        let mut args = Vec::new();
+                        for p in 0..op.arity() as u16 {
+                            let e = g.driver(nid, p).unwrap();
+                            args.push(vals[&e.from.node]);
+                        }
+                        op.eval(&args, 32)
+                    }
+                    NodeKind::Output { .. } => {
+                        let e = g.driver(nid, 0).unwrap();
+                        vals[&e.from.node]
+                    }
+                    NodeKind::Hier { .. } => unreachable!("flattened"),
+                };
+                vals.insert(nid, v);
+            }
+            vals[&g.outputs()[0]]
+        };
+        for (x, y) in [(1, 2), (3, -4), (-7, 5), (0, 0), (100, 3)] {
+            assert_eq!(eval_flat(&flat, x, y), eval_ref(x, y));
+        }
+    }
+
+    #[test]
+    fn flatten_accumulates_delay_through_hierarchy() {
+        // callee: y = x + (y delayed by 1) — an accumulator.
+        let mut h = Hierarchy::new();
+        let mut sub = Dfg::new("acc");
+        let x = sub.add_input("x");
+        let n = sub.add_op_detached(Operation::Add, "a");
+        sub.connect(x, n, 0, 0);
+        sub.connect(VarRef::new(n, 0), n, 1, 1);
+        sub.add_output("y", VarRef::new(n, 0));
+        let sub_id = h.add_dfg(sub);
+        let mut top = Dfg::new("top");
+        let i = top.add_input("i");
+        let call = top.add_hier(sub_id, "f", &[i]);
+        top.add_output("o", top.hier_out(call, 0));
+        let top_id = h.add_dfg(top);
+        h.set_top(top_id);
+        h.validate().unwrap();
+        let flat = h.flatten();
+        let delayed: Vec<_> = flat.edges().filter(|(_, e)| e.delay == 1).collect();
+        assert_eq!(delayed.len(), 1, "feedback edge survives flattening");
+    }
+}

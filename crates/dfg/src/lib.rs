@@ -1,0 +1,62 @@
+//! Hierarchical data-flow graph (DFG) intermediate representation for the
+//! H-SYN reproduction (Lakshminarayana & Jha, DAC 1998).
+//!
+//! A behavioral description is a [`Hierarchy`]: a collection of [`Dfg`]s in
+//! which nodes are either primitive operations ([`Operation`]), constants,
+//! primary inputs/outputs, or *hierarchical nodes* that reference another DFG
+//! in the same hierarchy. Edges carry values between node ports and may be
+//! annotated with an inter-iteration *delay* (the `z^-k` of DSP flow graphs),
+//! which is how loops (IIR filters, lattice filters, ...) are expressed.
+//!
+//! The crate also provides:
+//!
+//! * graph analyses used throughout the synthesis flow ([`analysis`]):
+//!   topological order, longest paths, mobility windows;
+//! * hierarchy [`flatten`](Hierarchy::flatten)ing, used by the flattened
+//!   baseline synthesis the paper compares against;
+//! * [`EquivClasses`]: user-declared functional equivalence between DFGs
+//!   ("building blocks" such as dot products or butterflies), consumed by
+//!   move *A* of the synthesis engine;
+//! * a small textual format ([`text`]) with a parser and printer;
+//! * behavioral [`transform`]ations (constant folding, common-subexpression
+//!   elimination, dead-code elimination, tree-height reduction);
+//! * the reconstructed DSP [`benchmarks`] used in the paper's evaluation
+//!   (`paulin`, `hier_paulin`, `dct`, `iir`, `lat`, `avenhaus_cascade`,
+//!   `test1`, and the extension `fft4`).
+//!
+//! # Example
+//!
+//! ```
+//! use hsyn_dfg::{Dfg, Hierarchy, Operation};
+//!
+//! let mut g = Dfg::new("mac");
+//! let a = g.add_input("a");
+//! let b = g.add_input("b");
+//! let c = g.add_input("c");
+//! let m = g.add_op(Operation::Mult, "m", &[a, b]);
+//! let s = g.add_op(Operation::Add, "s", &[m, c]);
+//! g.add_output("y", s);
+//!
+//! let mut h = Hierarchy::new();
+//! let top = h.add_dfg(g);
+//! h.set_top(top);
+//! h.validate().expect("well-formed hierarchy");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod benchmarks;
+pub mod dot;
+mod equiv;
+mod graph;
+mod hierarchy;
+mod op;
+pub mod text;
+pub mod transform;
+
+pub use equiv::EquivClasses;
+pub use graph::{Dfg, Edge, EdgeId, Node, NodeId, NodeKind, VarRef};
+pub use hierarchy::{DfgId, Hierarchy, HierarchyError};
+pub use op::Operation;

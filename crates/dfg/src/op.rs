@@ -1,0 +1,218 @@
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// A primitive arithmetic/logic operation carried by a DFG node.
+///
+/// The set covers what the paper's data-dominated DSP/image benchmarks need:
+/// additive and multiplicative arithmetic, comparison (the `Paulin`
+/// differential-equation benchmark ends each iteration with a `<` test) and a
+/// few cheap bit-level operations used by extension benchmarks.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize)]
+pub enum Operation {
+    /// Two's-complement addition.
+    Add,
+    /// Two's-complement subtraction.
+    Sub,
+    /// Two's-complement multiplication.
+    Mult,
+    /// Signed less-than comparison producing 0 or 1.
+    Lt,
+    /// Arithmetic shift left by a constant amount (second operand).
+    Shl,
+    /// Arithmetic shift right by a constant amount (second operand).
+    Shr,
+    /// Arithmetic negation.
+    Neg,
+    /// Signed maximum of two operands.
+    Max,
+    /// Signed minimum of two operands.
+    Min,
+}
+
+impl Operation {
+    /// All operations, in a stable order.
+    pub const ALL: [Operation; 9] = [
+        Operation::Add,
+        Operation::Sub,
+        Operation::Mult,
+        Operation::Lt,
+        Operation::Shl,
+        Operation::Shr,
+        Operation::Neg,
+        Operation::Max,
+        Operation::Min,
+    ];
+
+    /// Number of input operands the operation consumes.
+    pub fn arity(self) -> usize {
+        match self {
+            Operation::Neg => 1,
+            _ => 2,
+        }
+    }
+
+    /// Whether the operation is commutative in its two operands.
+    ///
+    /// Commutativity lets binding and embedding swap operand wiring to reduce
+    /// interconnect; unary operations report `false`.
+    pub fn is_commutative(self) -> bool {
+        matches!(
+            self,
+            Operation::Add | Operation::Mult | Operation::Max | Operation::Min
+        )
+    }
+
+    /// Short lower-case mnemonic used by the textual DFG format.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            Operation::Add => "add",
+            Operation::Sub => "sub",
+            Operation::Mult => "mult",
+            Operation::Lt => "lt",
+            Operation::Shl => "shl",
+            Operation::Shr => "shr",
+            Operation::Neg => "neg",
+            Operation::Max => "max",
+            Operation::Min => "min",
+        }
+    }
+
+    /// Evaluate the operation on `width`-bit two's-complement values.
+    ///
+    /// Operands and the result are kept sign-extended in `i64`; the result is
+    /// truncated to `width` bits (wrapping), matching the fixed-point
+    /// datapaths the paper's power estimation flow simulates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `args.len() != self.arity()` or `width` is 0 or > 32.
+    pub fn eval(self, args: &[i64], width: u32) -> i64 {
+        assert!(width >= 1 && width <= 32, "width must be in 1..=32");
+        assert_eq!(args.len(), self.arity(), "wrong operand count for {self}");
+        let raw = match self {
+            Operation::Add => args[0].wrapping_add(args[1]),
+            Operation::Sub => args[0].wrapping_sub(args[1]),
+            Operation::Mult => args[0].wrapping_mul(args[1]),
+            Operation::Lt => i64::from(args[0] < args[1]),
+            Operation::Shl => args[0].wrapping_shl((args[1].rem_euclid(i64::from(width))) as u32),
+            Operation::Shr => args[0].wrapping_shr((args[1].rem_euclid(i64::from(width))) as u32),
+            Operation::Neg => args[0].wrapping_neg(),
+            Operation::Max => args[0].max(args[1]),
+            Operation::Min => args[0].min(args[1]),
+        };
+        truncate(raw, width)
+    }
+}
+
+/// Truncate `value` to a `width`-bit two's-complement value, sign-extended
+/// back into `i64`.
+pub(crate) fn truncate(value: i64, width: u32) -> i64 {
+    let shift = 64 - width;
+    (value << shift) >> shift
+}
+
+impl fmt::Display for Operation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// Error returned when parsing an [`Operation`] from its mnemonic fails.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseOperationError {
+    token: String,
+}
+
+impl fmt::Display for ParseOperationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown operation mnemonic `{}`", self.token)
+    }
+}
+
+impl std::error::Error for ParseOperationError {}
+
+impl FromStr for Operation {
+    type Err = ParseOperationError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Operation::ALL
+            .iter()
+            .copied()
+            .find(|op| op.mnemonic() == s)
+            .ok_or_else(|| ParseOperationError {
+                token: s.to_owned(),
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arity_matches_kind() {
+        assert_eq!(Operation::Add.arity(), 2);
+        assert_eq!(Operation::Neg.arity(), 1);
+        for op in Operation::ALL {
+            assert!(op.arity() >= 1 && op.arity() <= 2);
+        }
+    }
+
+    #[test]
+    fn mnemonics_round_trip() {
+        for op in Operation::ALL {
+            let parsed: Operation = op.mnemonic().parse().expect("parseable");
+            assert_eq!(parsed, op);
+        }
+    }
+
+    #[test]
+    fn unknown_mnemonic_is_an_error() {
+        let err = "frobnicate".parse::<Operation>().unwrap_err();
+        assert!(err.to_string().contains("frobnicate"));
+    }
+
+    #[test]
+    fn eval_add_wraps_at_width() {
+        // 8-bit: 127 + 1 wraps to -128.
+        assert_eq!(Operation::Add.eval(&[127, 1], 8), -128);
+        assert_eq!(Operation::Add.eval(&[3, 4], 8), 7);
+    }
+
+    #[test]
+    fn eval_sub_mult_neg() {
+        assert_eq!(Operation::Sub.eval(&[3, 10], 16), -7);
+        assert_eq!(Operation::Mult.eval(&[-3, 10], 16), -30);
+        assert_eq!(Operation::Neg.eval(&[-3], 16), 3);
+        // 16-bit wrap: 300 * 300 = 90000 -> 90000 mod 2^16 = 24464
+        assert_eq!(Operation::Mult.eval(&[300, 300], 16), 24464);
+    }
+
+    #[test]
+    fn eval_comparison_and_minmax() {
+        assert_eq!(Operation::Lt.eval(&[-5, 2], 16), 1);
+        assert_eq!(Operation::Lt.eval(&[2, -5], 16), 0);
+        assert_eq!(Operation::Max.eval(&[2, -5], 16), 2);
+        assert_eq!(Operation::Min.eval(&[2, -5], 16), -5);
+    }
+
+    #[test]
+    fn eval_shifts_mask_amount() {
+        assert_eq!(Operation::Shl.eval(&[1, 3], 16), 8);
+        assert_eq!(Operation::Shr.eval(&[-8, 1], 16), -4);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong operand count")]
+    fn eval_rejects_bad_arity() {
+        Operation::Add.eval(&[1], 16);
+    }
+
+    #[test]
+    fn truncate_sign_extends() {
+        assert_eq!(truncate(0xFF, 8), -1);
+        assert_eq!(truncate(0x7F, 8), 127);
+        assert_eq!(truncate(0x80, 8), -128);
+    }
+}

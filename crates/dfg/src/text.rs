@@ -1,0 +1,610 @@
+//! A small line-oriented textual format for hierarchical DFGs, mirroring the
+//! paper's "textual description of the hierarchical DFG" that `H-SYN` reads.
+//!
+//! # Grammar (line oriented, `#` starts a comment)
+//!
+//! ```text
+//! dfg <name> {
+//!   input <name>
+//!   const <name> = <int>
+//!   <name> = <op> <operand> ...          # primitive operation
+//!   <name> = call <dfg-name> <operand> ...   # hierarchical node
+//!   output <name> = <operand>
+//! }
+//! top <dfg-name>
+//! equiv <dfg-name> <dfg-name> ...        # declare functional equivalence
+//! ```
+//!
+//! An operand is `<node-name>`, optionally with an output port suffix
+//! (`f.1`) and/or an inter-iteration delay suffix (`acc@1`). Forward
+//! references are allowed, so feedback loops parse naturally:
+//!
+//! ```
+//! let src = "
+//! dfg acc {
+//!   input x
+//!   s = add x s@1
+//!   output y = s
+//! }
+//! top acc
+//! ";
+//! let parsed = hsyn_dfg::text::parse(src).expect("parses");
+//! parsed.hierarchy.validate().expect("well-formed");
+//! ```
+
+use crate::{Dfg, DfgId, EquivClasses, Hierarchy, NodeId, NodeKind, Operation, VarRef};
+use std::collections::HashMap;
+use std::fmt;
+use std::fmt::Write as _;
+
+/// Result of parsing a textual description.
+#[derive(Clone, Debug)]
+pub struct Parsed {
+    /// The hierarchy (top set if a `top` line was present).
+    pub hierarchy: Hierarchy,
+    /// Equivalence classes declared with `equiv` lines.
+    pub equiv: EquivClasses,
+}
+
+/// A parse error with its 1-based source line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number the error was detected on.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err<T>(line: usize, message: impl Into<String>) -> Result<T, ParseError> {
+    Err(ParseError {
+        line,
+        message: message.into(),
+    })
+}
+
+/// One statement inside a `dfg` block, pre-resolution.
+enum Stmt {
+    Input(String),
+    Const(String, i64),
+    Op(String, Operation, Vec<OperandTok>),
+    Call(String, String, Vec<OperandTok>),
+    Output(String, OperandTok),
+}
+
+/// `name[.port][@delay]`
+struct OperandTok {
+    name: String,
+    port: u16,
+    delay: u32,
+    line: usize,
+}
+
+fn parse_operand(tok: &str, line: usize) -> Result<OperandTok, ParseError> {
+    let (rest, delay) = match tok.split_once('@') {
+        Some((r, d)) => (
+            r,
+            d.parse::<u32>()
+                .map_err(|_| ParseError {
+                    line,
+                    message: format!("bad delay suffix in operand `{tok}`"),
+                })?,
+        ),
+        None => (tok, 0),
+    };
+    let (name, port) = match rest.rsplit_once('.') {
+        Some((n, p)) if p.chars().all(|c| c.is_ascii_digit()) && !n.is_empty() => (
+            n,
+            p.parse::<u16>().map_err(|_| ParseError {
+                line,
+                message: format!("bad port suffix in operand `{tok}`"),
+            })?,
+        ),
+        _ => (rest, 0),
+    };
+    if name.is_empty() {
+        return err(line, format!("empty operand `{tok}`"));
+    }
+    Ok(OperandTok {
+        name: name.to_owned(),
+        port,
+        delay,
+        line,
+    })
+}
+
+/// Parse a complete textual description.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] carrying the offending line on any syntax or
+/// reference error (unknown operation, undefined operand or DFG name,
+/// duplicate node names, missing `top`, ...). The returned hierarchy is *not*
+/// validated; call [`Hierarchy::validate`] for structural checks.
+pub fn parse(src: &str) -> Result<Parsed, ParseError> {
+    // Pass 1: split into blocks and file-level statements.
+    struct Block {
+        name: String,
+        line: usize,
+        stmts: Vec<(usize, Stmt)>,
+    }
+    let mut blocks: Vec<Block> = Vec::new();
+    let mut current: Option<Block> = None;
+    let mut top_name: Option<(String, usize)> = None;
+    let mut equiv_lines: Vec<(Vec<String>, usize)> = Vec::new();
+
+    for (i, raw) in src.lines().enumerate() {
+        let lno = i + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let toks: Vec<&str> = line.split_whitespace().collect();
+        match current {
+            None => match toks[0] {
+                "dfg" => {
+                    if toks.len() != 3 || toks[2] != "{" {
+                        return err(lno, "expected `dfg <name> {`");
+                    }
+                    current = Some(Block {
+                        name: toks[1].to_owned(),
+                        line: lno,
+                        stmts: Vec::new(),
+                    });
+                }
+                "top" => {
+                    if toks.len() != 2 {
+                        return err(lno, "expected `top <dfg-name>`");
+                    }
+                    top_name = Some((toks[1].to_owned(), lno));
+                }
+                "equiv" => {
+                    if toks.len() < 3 {
+                        return err(lno, "expected `equiv <name> <name> ...`");
+                    }
+                    equiv_lines.push((toks[1..].iter().map(|s| s.to_string()).collect(), lno));
+                }
+                other => return err(lno, format!("unexpected token `{other}` at file level")),
+            },
+            Some(ref mut block) => {
+                if toks[0] == "}" {
+                    blocks.push(current.take().unwrap());
+                    continue;
+                }
+                let stmt = parse_stmt(&toks, lno)?;
+                block.stmts.push((lno, stmt));
+            }
+        }
+    }
+    if let Some(b) = current {
+        return err(b.line, format!("dfg `{}` is missing its closing `}}`", b.name));
+    }
+
+    // Pass 2: create DFGs and a name → id map.
+    let mut hierarchy = Hierarchy::new();
+    let mut dfg_ids: HashMap<String, DfgId> = HashMap::new();
+    for b in &blocks {
+        if dfg_ids.contains_key(&b.name) {
+            return err(b.line, format!("duplicate dfg name `{}`", b.name));
+        }
+        let id = hierarchy.add_dfg(Dfg::new(b.name.clone()));
+        dfg_ids.insert(b.name.clone(), id);
+    }
+
+    // Pass 3: build each DFG. Two sub-passes per block: create nodes, then
+    // connect operands (allowing forward references for feedback).
+    for b in &blocks {
+        let gid = dfg_ids[&b.name];
+        let mut names: HashMap<String, NodeId> = HashMap::new();
+        // Sub-pass A: nodes.
+        {
+            let g = hierarchy.dfg_mut(gid);
+            for (lno, stmt) in &b.stmts {
+                let (name, node) = match stmt {
+                    Stmt::Input(n) => (n, g.add_input(n.clone()).node),
+                    Stmt::Const(n, v) => (n, g.add_const(n.clone(), *v).node),
+                    Stmt::Op(n, op, _) => (n, g.add_op_detached(*op, n.clone())),
+                    Stmt::Call(n, callee, _) => {
+                        let callee_id = match dfg_ids.get(callee) {
+                            Some(&id) => id,
+                            None => return err(*lno, format!("unknown dfg `{callee}` in call")),
+                        };
+                        (n, g.add_hier(callee_id, n.clone(), &[]))
+                    }
+                    Stmt::Output(..) => {
+                        // Deferred: add_output needs its source; create in
+                        // sub-pass B to keep output ordering by appearance.
+                        continue;
+                    }
+                };
+                if names.insert(name.clone(), node).is_some() {
+                    return err(*lno, format!("duplicate node name `{name}` in dfg `{}`", b.name));
+                }
+            }
+        }
+        // Sub-pass B: connections and outputs.
+        for (lno, stmt) in &b.stmts {
+            let resolve = |tok: &OperandTok| -> Result<VarRef, ParseError> {
+                match names.get(&tok.name) {
+                    Some(&n) => Ok(VarRef::new(n, tok.port)),
+                    None => err(
+                        tok.line,
+                        format!("operand `{}` is not defined in dfg `{}`", tok.name, b.name),
+                    ),
+                }
+            };
+            match stmt {
+                Stmt::Op(n, _, operands) | Stmt::Call(n, _, operands) => {
+                    let node = names[n];
+                    for (port, tok) in operands.iter().enumerate() {
+                        let src = resolve(tok)?;
+                        hierarchy.dfg_mut(gid).connect(src, node, port as u16, tok.delay);
+                    }
+                }
+                Stmt::Output(n, tok) => {
+                    let src = resolve(tok)?;
+                    let _ = lno;
+                    hierarchy
+                        .dfg_mut(gid)
+                        .add_output_delayed(n.clone(), src, tok.delay);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    // Top and equivalences.
+    if let Some((name, lno)) = top_name {
+        match dfg_ids.get(&name) {
+            Some(&id) => hierarchy.set_top(id),
+            None => return err(lno, format!("top references unknown dfg `{name}`")),
+        }
+    }
+    let mut equiv = EquivClasses::new();
+    for (names, lno) in equiv_lines {
+        let mut ids = Vec::new();
+        for n in &names {
+            match dfg_ids.get(n) {
+                Some(&id) => ids.push(id),
+                None => return err(lno, format!("equiv references unknown dfg `{n}`")),
+            }
+        }
+        equiv.declare_equivalent(&ids);
+    }
+
+    Ok(Parsed { hierarchy, equiv })
+}
+
+fn parse_stmt(toks: &[&str], lno: usize) -> Result<Stmt, ParseError> {
+    match toks[0] {
+        "input" => {
+            if toks.len() != 2 {
+                return err(lno, "expected `input <name>`");
+            }
+            Ok(Stmt::Input(toks[1].to_owned()))
+        }
+        "const" => {
+            if toks.len() != 4 || toks[2] != "=" {
+                return err(lno, "expected `const <name> = <int>`");
+            }
+            let v: i64 = toks[3]
+                .parse()
+                .map_err(|_| ParseError {
+                    line: lno,
+                    message: format!("bad integer literal `{}`", toks[3]),
+                })?;
+            Ok(Stmt::Const(toks[1].to_owned(), v))
+        }
+        "output" => {
+            if toks.len() != 4 || toks[2] != "=" {
+                return err(lno, "expected `output <name> = <operand>`");
+            }
+            Ok(Stmt::Output(toks[1].to_owned(), parse_operand(toks[3], lno)?))
+        }
+        name => {
+            if toks.len() < 3 || toks[1] != "=" {
+                return err(lno, "expected `<name> = <op|call> ...`");
+            }
+            if toks[2] == "call" {
+                if toks.len() < 4 {
+                    return err(lno, "expected `<name> = call <dfg> <operands>...`");
+                }
+                let operands = toks[4..]
+                    .iter()
+                    .map(|t| parse_operand(t, lno))
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(Stmt::Call(name.to_owned(), toks[3].to_owned(), operands))
+            } else {
+                let op: Operation = toks[2].parse().map_err(|_| ParseError {
+                    line: lno,
+                    message: format!("unknown operation `{}`", toks[2]),
+                })?;
+                let operands = toks[3..]
+                    .iter()
+                    .map(|t| parse_operand(t, lno))
+                    .collect::<Result<Vec<_>, _>>()?;
+                if operands.len() != op.arity() {
+                    return err(
+                        lno,
+                        format!("operation `{op}` takes {} operands, got {}", op.arity(), operands.len()),
+                    );
+                }
+                Ok(Stmt::Op(name.to_owned(), op, operands))
+            }
+        }
+    }
+}
+
+/// Print a hierarchy (and optional equivalence classes) in the textual
+/// format accepted by [`parse`]. Node names are made unique by suffixing
+/// duplicates, so `parse(&print(h))` round-trips structurally.
+pub fn print(h: &Hierarchy, equiv: Option<&EquivClasses>) -> String {
+    let mut out = String::new();
+    for (gid, g) in h.dfgs() {
+        let _ = writeln!(out, "dfg {} {{", g.name());
+        // Unique display names per node.
+        let mut used: HashMap<String, usize> = HashMap::new();
+        let mut display: Vec<String> = Vec::with_capacity(g.node_count());
+        for (_, n) in g.nodes() {
+            let base = sanitize(n.name());
+            let count = used.entry(base.clone()).or_insert(0);
+            let name = if *count == 0 {
+                base.clone()
+            } else {
+                format!("{base}_{count}")
+            };
+            *count += 1;
+            display.push(name);
+        }
+        let operand = |nid: NodeId, port: u16, delay: u32| -> String {
+            let mut s = display[nid.index()].clone();
+            if port != 0 {
+                let _ = write!(s, ".{port}");
+            }
+            if delay != 0 {
+                let _ = write!(s, "@{delay}");
+            }
+            s
+        };
+        for (nid, n) in g.nodes() {
+            match n.kind() {
+                NodeKind::Input { .. } => {
+                    let _ = writeln!(out, "  input {}", display[nid.index()]);
+                }
+                NodeKind::Const { value } => {
+                    let _ = writeln!(out, "  const {} = {value}", display[nid.index()]);
+                }
+                NodeKind::Op(op) => {
+                    let mut line = format!("  {} = {}", display[nid.index()], op.mnemonic());
+                    for port in 0..op.arity() as u16 {
+                        if let Some(e) = g.driver(nid, port) {
+                            let _ = write!(line, " {}", operand(e.from.node, e.from.port, e.delay));
+                        }
+                    }
+                    let _ = writeln!(out, "{line}");
+                }
+                NodeKind::Hier { callee } => {
+                    let mut line = format!(
+                        "  {} = call {}",
+                        display[nid.index()],
+                        h.dfg(*callee).name()
+                    );
+                    for port in 0..h.in_arity(*callee) as u16 {
+                        if let Some(e) = g.driver(nid, port) {
+                            let _ = write!(line, " {}", operand(e.from.node, e.from.port, e.delay));
+                        }
+                    }
+                    let _ = writeln!(out, "{line}");
+                }
+                NodeKind::Output { .. } => {
+                    if let Some(e) = g.driver(nid, 0) {
+                        let _ = writeln!(
+                            out,
+                            "  output {} = {}",
+                            display[nid.index()],
+                            operand(e.from.node, e.from.port, e.delay)
+                        );
+                    }
+                }
+            }
+        }
+        let _ = writeln!(out, "}}");
+        let _ = gid;
+    }
+    if let Some(top) = h.try_top() {
+        let _ = writeln!(out, "top {}", h.dfg(top).name());
+    }
+    if let Some(eq) = equiv {
+        let mut seen: Vec<Vec<DfgId>> = Vec::new();
+        for (gid, _) in h.dfgs() {
+            let class = eq.class_of(gid);
+            if class.len() > 1 && !seen.contains(&class) {
+                let names: Vec<&str> = class.iter().map(|&id| h.dfg(id).name()).collect();
+                let _ = writeln!(out, "equiv {}", names.join(" "));
+                seen.push(class);
+            }
+        }
+    }
+    out
+}
+
+/// Replace characters the grammar cannot express in names.
+fn sanitize(name: &str) -> String {
+    let cleaned: String = name
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if cleaned.is_empty() {
+        "n".to_owned()
+    } else if cleaned.chars().next().unwrap().is_ascii_digit() {
+        format!("n{cleaned}")
+    } else {
+        cleaned
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BIQUAD: &str = "
+# second-order section
+dfg biquad {
+  input x
+  input a1
+  input a2
+  input b0
+  input b1
+  input b2
+  m1 = mult a1 w@1
+  m2 = mult a2 w@2
+  s1 = sub x m1
+  w = sub s1 m2
+  p0 = mult b0 w
+  p1 = mult b1 w@1
+  p2 = mult b2 w@2
+  t = add p0 p1
+  output y = add_y
+  add_y = add t p2
+}
+top biquad
+";
+
+    #[test]
+    fn parse_biquad_with_feedback_and_forward_refs() {
+        let parsed = parse(BIQUAD).expect("parses");
+        parsed.hierarchy.validate().expect("valid");
+        let g = parsed.hierarchy.dfg(parsed.hierarchy.top());
+        assert_eq!(g.input_count(), 6);
+        assert_eq!(g.output_count(), 1);
+        assert_eq!(g.schedulable_count(), 9);
+        assert_eq!(g.edges().filter(|(_, e)| e.delay > 0).count(), 4);
+    }
+
+    #[test]
+    fn parse_hierarchical_call_and_equiv() {
+        let src = "
+dfg leaf_a {
+  input p
+  output q = n
+  n = neg p
+}
+dfg leaf_b {
+  input p
+  const zero = 0
+  output q = n
+  n = sub zero p
+}
+dfg main {
+  input x
+  f = call leaf_a x
+  output y = f.0
+}
+top main
+equiv leaf_a leaf_b
+";
+        let parsed = parse(src).expect("parses");
+        parsed.hierarchy.validate().expect("valid");
+        let a = parsed.hierarchy.dfg_by_name("leaf_a").unwrap();
+        let b = parsed.hierarchy.dfg_by_name("leaf_b").unwrap();
+        assert!(parsed.equiv.equivalent(a, b));
+        assert_eq!(parsed.hierarchy.depth(parsed.hierarchy.top()), 2);
+    }
+
+    #[test]
+    fn error_reports_line_numbers() {
+        let src = "dfg g {\n  input a\n  b = bogus a a\n}\ntop g\n";
+        let e = parse(src).unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.to_string().contains("bogus"));
+    }
+
+    #[test]
+    fn error_on_unknown_operand() {
+        let src = "dfg g {\n  input a\n  s = add a ghost\n  output y = s\n}\ntop g\n";
+        let e = parse(src).unwrap_err();
+        assert!(e.message.contains("ghost"), "{e}");
+    }
+
+    #[test]
+    fn error_on_missing_close_brace() {
+        let src = "dfg g {\n  input a\n";
+        let e = parse(src).unwrap_err();
+        assert!(e.message.contains("closing"));
+    }
+
+    #[test]
+    fn error_on_duplicate_names() {
+        let src = "dfg g {\n  input a\n  input a\n  output y = a\n}\ntop g\n";
+        let e = parse(src).unwrap_err();
+        assert!(e.message.contains("duplicate node name"));
+        let src2 = "dfg g {\n input a\n output y = a\n}\ndfg g {\n input a\n output y = a\n}\ntop g\n";
+        let e2 = parse(src2).unwrap_err();
+        assert!(e2.message.contains("duplicate dfg name"));
+    }
+
+    #[test]
+    fn error_on_bad_arity() {
+        let src = "dfg g {\n  input a\n  s = add a\n  output y = s\n}\ntop g\n";
+        let e = parse(src).unwrap_err();
+        assert!(e.message.contains("takes 2 operands"));
+    }
+
+    #[test]
+    fn print_parse_round_trip() {
+        let parsed = parse(BIQUAD).expect("parses");
+        let printed = print(&parsed.hierarchy, Some(&parsed.equiv));
+        let reparsed = parse(&printed).expect("round-trips");
+        reparsed.hierarchy.validate().expect("valid after round-trip");
+        let g1 = parsed.hierarchy.dfg(parsed.hierarchy.top());
+        let g2 = reparsed.hierarchy.dfg(reparsed.hierarchy.top());
+        assert_eq!(g1.node_count(), g2.node_count());
+        assert_eq!(g1.edge_count(), g2.edge_count());
+        assert_eq!(
+            g1.edges().filter(|(_, e)| e.delay > 0).count(),
+            g2.edges().filter(|(_, e)| e.delay > 0).count()
+        );
+    }
+
+    #[test]
+    fn round_trip_preserves_equivalence() {
+        let src = "
+dfg a {
+  input x
+  output y = n
+  n = neg x
+}
+dfg b {
+  input x
+  output y = n
+  n = neg x
+}
+dfg m {
+  input x
+  f = call a x
+  output y = f
+}
+top m
+equiv a b
+";
+        let parsed = parse(src).unwrap();
+        let printed = print(&parsed.hierarchy, Some(&parsed.equiv));
+        let reparsed = parse(&printed).unwrap();
+        let a = reparsed.hierarchy.dfg_by_name("a").unwrap();
+        let b = reparsed.hierarchy.dfg_by_name("b").unwrap();
+        assert!(reparsed.equiv.equivalent(a, b));
+    }
+}

@@ -1,0 +1,162 @@
+//! Property-based tests on the DFG substrate: random DAGs and hierarchies
+//! must satisfy the structural invariants the rest of the system relies on.
+
+use hsyn_dfg::{analysis, text, Dfg, Hierarchy, Operation, VarRef};
+use proptest::prelude::*;
+
+/// Strategy: a random well-formed leaf DFG with `n_in` inputs and a mix of
+/// binary operations; every node's operands come from earlier nodes.
+fn arb_dfg(max_ops: usize) -> impl Strategy<Value = Dfg> {
+    (2usize..5, 1usize..max_ops, any::<u64>()).prop_map(|(n_in, n_ops, seed)| {
+        let mut g = Dfg::new("rand");
+        let mut vars: Vec<VarRef> = (0..n_in).map(|i| g.add_input(format!("i{i}"))).collect();
+        let mut state = seed | 1;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as usize
+        };
+        let ops = [Operation::Add, Operation::Sub, Operation::Mult, Operation::Min];
+        for k in 0..n_ops {
+            let a = vars[next() % vars.len()];
+            let b = vars[next() % vars.len()];
+            let op = ops[next() % ops.len()];
+            vars.push(g.add_op(op, format!("n{k}"), &[a, b]));
+        }
+        // 1-2 outputs from the tail.
+        g.add_output("y0", *vars.last().unwrap());
+        if n_ops > 2 {
+            let v = vars[vars.len() - 2];
+            g.add_output("y1", v);
+        }
+        g
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn random_dfgs_validate_and_topo_sort(g in arb_dfg(24)) {
+        let mut h = Hierarchy::new();
+        let id = h.add_dfg(g);
+        h.set_top(id);
+        prop_assert!(h.validate().is_ok());
+        let g = h.dfg(id);
+        let order = analysis::topo_order(g).unwrap();
+        prop_assert_eq!(order.len(), g.node_count());
+        // Every zero-delay edge goes forward in the order.
+        let pos: std::collections::HashMap<_, _> =
+            order.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+        for (_, e) in g.edges() {
+            if e.delay == 0 {
+                prop_assert!(pos[&e.from.node] < pos[&e.to]);
+            }
+        }
+    }
+
+    #[test]
+    fn alap_never_precedes_asap(g in arb_dfg(20)) {
+        let dur = |n: hsyn_dfg::NodeId| {
+            u64::from(g.node(n).kind().is_schedulable())
+        };
+        let (asap_start, _) = analysis::asap(&g, dur).unwrap();
+        let cp = analysis::critical_path(&g, dur).unwrap();
+        let alap_start = analysis::alap(&g, cp + 3, dur).unwrap();
+        for i in 0..g.node_count() {
+            prop_assert!(alap_start[i] >= asap_start[i], "node {i}");
+        }
+        let mob = analysis::mobility(&g, cp + 3, dur).unwrap();
+        for i in 0..g.node_count() {
+            prop_assert_eq!(mob[i], alap_start[i] - asap_start[i]);
+        }
+    }
+
+    #[test]
+    fn text_round_trip_preserves_structure(g in arb_dfg(16)) {
+        let mut h = Hierarchy::new();
+        let id = h.add_dfg(g);
+        h.set_top(id);
+        let printed = text::print(&h, None);
+        let reparsed = text::parse(&printed).unwrap();
+        reparsed.hierarchy.validate().unwrap();
+        let a = h.dfg(id);
+        let b = reparsed.hierarchy.dfg(reparsed.hierarchy.top());
+        prop_assert_eq!(a.node_count(), b.node_count());
+        prop_assert_eq!(a.edge_count(), b.edge_count());
+        prop_assert_eq!(a.input_count(), b.input_count());
+        prop_assert_eq!(a.output_count(), b.output_count());
+    }
+
+    #[test]
+    fn flatten_preserves_two_level_semantics(sub in arb_dfg(10), seed in any::<u64>()) {
+        // Wrap `sub` as a callee invoked twice from a top DFG, flatten, and
+        // compare evaluation against direct nested evaluation.
+        let mut h = Hierarchy::new();
+        let n_in = sub.input_count();
+        let n_out = sub.output_count();
+        let sub_id = h.add_dfg(sub);
+        let mut top = Dfg::new("top");
+        let ins: Vec<VarRef> = (0..n_in).map(|i| top.add_input(format!("x{i}"))).collect();
+        let c1 = top.add_hier(sub_id, "f1", &ins);
+        // Second call feeds on the first call's output 0 (recycled for all ports).
+        let fed: Vec<VarRef> = (0..n_in).map(|_| top.hier_out(c1, 0)).collect();
+        let c2 = top.add_hier(sub_id, "f2", &fed);
+        for p in 0..n_out as u16 {
+            top.add_output(format!("y{p}"), top.hier_out(c2, p));
+        }
+        let top_id = h.add_dfg(top);
+        h.set_top(top_id);
+        h.validate().unwrap();
+
+        let flat = h.flatten();
+        let mut h2 = Hierarchy::new();
+        let fid = h2.add_dfg(flat);
+        h2.set_top(fid);
+        prop_assert!(h2.validate().is_ok());
+
+        // Evaluate both on one random input vector.
+        let mut state = seed | 1;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 40) as i64 % 200) - 100
+        };
+        let inputs: Vec<i64> = (0..n_in).map(|_| next()).collect();
+        let eval = |g: &Dfg, inputs: &[i64]| -> Vec<i64> {
+            let order = analysis::topo_order(g).unwrap();
+            let mut vals = vec![0i64; g.node_count()];
+            let mut outs = vec![0i64; g.output_count()];
+            for nid in order {
+                use hsyn_dfg::NodeKind;
+                let v = match g.node(nid).kind() {
+                    NodeKind::Input { index } => inputs[*index],
+                    NodeKind::Const { value } => *value,
+                    NodeKind::Op(op) => {
+                        let args: Vec<i64> = (0..op.arity() as u16)
+                            .map(|p| vals[g.driver(nid, p).unwrap().from.node.index()])
+                            .collect();
+                        op.eval(&args, 32)
+                    }
+                    NodeKind::Output { index } => {
+                        let v = vals[g.driver(nid, 0).unwrap().from.node.index()];
+                        outs[*index] = v;
+                        v
+                    }
+                    NodeKind::Hier { .. } => unreachable!("leaf"),
+                };
+                vals[nid.index()] = v;
+            }
+            outs
+        };
+        // Reference: evaluate sub twice by hand.
+        let sub_g = h.dfg(sub_id);
+        let first = eval(sub_g, &inputs);
+        let fed: Vec<i64> = (0..n_in).map(|_| first[0]).collect();
+        let expect = eval(sub_g, &fed);
+        let got = eval(h2.dfg(fid), &inputs);
+        prop_assert_eq!(got, expect);
+    }
+}

@@ -1,0 +1,307 @@
+use hsyn_dfg::Operation;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a functional-unit type within a [`Library`](crate::Library).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize)]
+pub struct FuTypeId(u32);
+
+impl FuTypeId {
+    pub(crate) fn new(index: usize) -> Self {
+        FuTypeId(u32::try_from(index).expect("library size fits in u32"))
+    }
+
+    /// Position in the library's iteration order.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for FuTypeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fu{}", self.0)
+    }
+}
+
+/// A *simple RTL module* in the paper's terminology: an adder, multiplier,
+/// multi-function ALU, shifter, ... characterized at the library's reference
+/// supply voltage.
+///
+/// Delay is in nanoseconds of combinational propagation; the scheduler turns
+/// it into clock cycles for a given clock period and supply voltage
+/// (multicycling when it exceeds one period, chaining when several fit in
+/// one). A `stages > 1` unit is pipelined: it accepts one operation per
+/// cycle and produces its result `stages` cycles later.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct FuType {
+    name: String,
+    ops: Vec<Operation>,
+    area: f64,
+    delay_ns: f64,
+    stages: u32,
+    energy: f64,
+}
+
+impl FuType {
+    /// Create a combinational (single-stage) functional-unit type.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ops` is empty, or `area`, `delay_ns` or `energy` is not
+    /// finite and positive.
+    pub fn new(
+        name: impl Into<String>,
+        ops: impl Into<Vec<Operation>>,
+        area: f64,
+        delay_ns: f64,
+        energy: f64,
+    ) -> Self {
+        Self::pipelined(name, ops, area, delay_ns, energy, 1)
+    }
+
+    /// Create a pipelined functional-unit type with `stages` stages.
+    ///
+    /// `delay_ns` is the *total* latency through all stages; each stage is
+    /// assumed balanced (`delay_ns / stages` per stage), and the unit can
+    /// start a new operation every cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty op list, non-positive numeric characteristics, or
+    /// `stages == 0`.
+    pub fn pipelined(
+        name: impl Into<String>,
+        ops: impl Into<Vec<Operation>>,
+        area: f64,
+        delay_ns: f64,
+        energy: f64,
+        stages: u32,
+    ) -> Self {
+        let ops = ops.into();
+        assert!(!ops.is_empty(), "functional unit must implement at least one operation");
+        assert!(area.is_finite() && area > 0.0, "area must be positive");
+        assert!(delay_ns.is_finite() && delay_ns > 0.0, "delay must be positive");
+        assert!(energy.is_finite() && energy >= 0.0, "energy must be non-negative");
+        assert!(stages >= 1, "a functional unit has at least one stage");
+        FuType {
+            name: name.into(),
+            ops,
+            area,
+            delay_ns,
+            stages,
+            energy,
+        }
+    }
+
+    /// The type's name (e.g. `"mult2"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Operations this unit can execute (multi-function ALUs list several).
+    pub fn ops(&self) -> &[Operation] {
+        &self.ops
+    }
+
+    /// Whether the unit can execute `op`.
+    pub fn supports(&self, op: Operation) -> bool {
+        self.ops.contains(&op)
+    }
+
+    /// Whether the unit can execute every operation in `ops`.
+    pub fn supports_all(&self, ops: &[Operation]) -> bool {
+        ops.iter().all(|&op| self.supports(op))
+    }
+
+    /// Area in library units.
+    pub fn area(&self) -> f64 {
+        self.area
+    }
+
+    /// Total propagation delay in nanoseconds at the reference voltage.
+    pub fn delay_ns(&self) -> f64 {
+        self.delay_ns
+    }
+
+    /// Pipeline depth; 1 for combinational units.
+    pub fn stages(&self) -> u32 {
+        self.stages
+    }
+
+    /// Whether the unit is pipelined.
+    pub fn is_pipelined(&self) -> bool {
+        self.stages > 1
+    }
+
+    /// Effective switched capacitance per operation (energy per operation at
+    /// the reference voltage, for a full-activity input transition).
+    pub fn energy(&self) -> f64 {
+        self.energy
+    }
+}
+
+/// Cost model of a register (one word of storage).
+#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+pub struct RegisterModel {
+    /// Area of one register in library units.
+    pub area: f64,
+    /// Energy per write with a full-activity data transition.
+    pub energy_write: f64,
+    /// Setup + clock-to-Q overhead subtracted from each clock period before
+    /// combinational delay is budgeted, in nanoseconds.
+    pub overhead_ns: f64,
+    /// Clock-tree energy per register per nanosecond of operation: the
+    /// clock network and flop clock pins toggle every cycle regardless of
+    /// data activity, so designs with many registers pay a standing power
+    /// cost — the physical pressure that keeps power-optimized designs from
+    /// sprawling.
+    pub clock_energy_per_ns: f64,
+}
+
+impl Default for RegisterModel {
+    fn default() -> Self {
+        RegisterModel {
+            area: 9.0,
+            energy_write: 0.9,
+            overhead_ns: 1.0,
+            clock_energy_per_ns: 0.015,
+        }
+    }
+}
+
+/// Cost model for multiplexers in front of functional-unit and register
+/// input ports. A `k`-input mux (`k >= 2`) costs `(k - 1) * area_per_input`.
+#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+pub struct MuxModel {
+    /// Area per mux leg beyond the first.
+    pub area_per_input: f64,
+    /// Energy per value passed through, with a full-activity transition.
+    pub energy_per_access: f64,
+}
+
+impl MuxModel {
+    /// Area of a mux selecting among `sources` distinct sources.
+    pub fn area(&self, sources: usize) -> f64 {
+        if sources <= 1 {
+            0.0
+        } else {
+            (sources - 1) as f64 * self.area_per_input
+        }
+    }
+}
+
+impl Default for MuxModel {
+    fn default() -> Self {
+        MuxModel {
+            area_per_input: 3.0,
+            energy_per_access: 0.25,
+        }
+    }
+}
+
+/// Coarse wiring model: each point-to-point net contributes area (routing
+/// tracks) and capacitance (toggle energy).
+#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+pub struct WireModel {
+    /// Area per net.
+    pub area_per_net: f64,
+    /// Energy per full-activity transition carried.
+    pub energy_per_toggle: f64,
+}
+
+impl Default for WireModel {
+    fn default() -> Self {
+        WireModel {
+            area_per_net: 1.0,
+            energy_per_toggle: 0.2,
+        }
+    }
+}
+
+/// Cost model of the FSM controller synthesized alongside the datapath.
+#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+pub struct ControllerModel {
+    /// Area per FSM state.
+    pub area_per_state: f64,
+    /// Area per control output bit.
+    pub area_per_control_bit: f64,
+    /// Energy per active cycle per control bit.
+    pub energy_per_bit_cycle: f64,
+}
+
+impl ControllerModel {
+    /// Estimated controller area for `states` states driving `control_bits`
+    /// control outputs.
+    pub fn area(&self, states: usize, control_bits: usize) -> f64 {
+        self.area_per_state * states as f64 + self.area_per_control_bit * control_bits as f64
+    }
+}
+
+impl Default for ControllerModel {
+    fn default() -> Self {
+        ControllerModel {
+            area_per_state: 4.0,
+            area_per_control_bit: 0.6,
+            energy_per_bit_cycle: 0.02,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fu_type_basic_properties() {
+        let alu = FuType::new(
+            "alu",
+            [Operation::Add, Operation::Sub, Operation::Lt],
+            30.0,
+            5.0,
+            2.0,
+        );
+        assert!(alu.supports(Operation::Add));
+        assert!(alu.supports(Operation::Lt));
+        assert!(!alu.supports(Operation::Mult));
+        assert!(alu.supports_all(&[Operation::Add, Operation::Sub]));
+        assert!(!alu.supports_all(&[Operation::Add, Operation::Mult]));
+        assert!(!alu.is_pipelined());
+    }
+
+    #[test]
+    fn pipelined_units() {
+        let m = FuType::pipelined("mult_p2", [Operation::Mult], 180.0, 20.0, 26.0, 2);
+        assert!(m.is_pipelined());
+        assert_eq!(m.stages(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one operation")]
+    fn rejects_empty_ops() {
+        FuType::new("bad", Vec::<Operation>::new(), 1.0, 1.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "area must be positive")]
+    fn rejects_nonpositive_area() {
+        FuType::new("bad", [Operation::Add], 0.0, 1.0, 1.0);
+    }
+
+    #[test]
+    fn mux_area_scales_with_legs() {
+        let m = MuxModel::default();
+        assert_eq!(m.area(0), 0.0);
+        assert_eq!(m.area(1), 0.0);
+        assert_eq!(m.area(2), m.area_per_input);
+        assert_eq!(m.area(5), 4.0 * m.area_per_input);
+    }
+
+    #[test]
+    fn controller_area_is_affine() {
+        let c = ControllerModel::default();
+        let small = c.area(4, 10);
+        let big = c.area(8, 10);
+        assert!(big > small);
+        assert_eq!(c.area(0, 0), 0.0);
+    }
+}

@@ -1,0 +1,29 @@
+//! Module libraries and technology models for the H-SYN reproduction.
+//!
+//! The synthesis engine consumes per-component *area*, *delay*, and *energy*
+//! (effective switched capacitance) numbers. In the paper these came from an
+//! MSU standard-cell flow (SIS + OCTTOOLS + IRSIM); here they are parametric
+//! models calibrated to the paper's published relative values (Table 1), as
+//! documented in DESIGN.md.
+//!
+//! * [`FuType`] — a simple RTL module (adder, multiplier, multi-function
+//!   ALU, shifter), possibly pipelined; characterized at the reference
+//!   supply voltage.
+//! * [`Library`] — the set of available functional-unit types plus register,
+//!   multiplexer, wiring, and controller cost models.
+//! * [`Technology`] — supply-voltage scaling of delay and energy, the
+//!   candidate `Vdd` set, and candidate clock-period generation.
+//! * [`papers`] — the paper's Table 1 library, used by the worked examples
+//!   and the `test1` benchmark.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod fu;
+mod library;
+pub mod papers;
+mod tech;
+
+pub use fu::{ControllerModel, FuType, FuTypeId, MuxModel, RegisterModel, WireModel};
+pub use library::Library;
+pub use tech::Technology;

@@ -1,0 +1,364 @@
+use crate::fu::{ControllerModel, FuType, FuTypeId, MuxModel, RegisterModel, WireModel};
+use crate::tech::Technology;
+use hsyn_dfg::Operation;
+use serde::{Deserialize, Serialize};
+
+/// A module library: the available functional-unit types plus the cost
+/// models of the storage, steering, wiring, and control resources an RTL
+/// implementation is assembled from.
+///
+/// Complex RTL modules (pre-designed implementations of whole DFGs, the
+/// paper's `C1`..`C5`) are represented in the `hsyn-rtl` crate's
+/// `ModuleLibrary`, which wraps a `Library` for the simple part.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Library {
+    fus: Vec<FuType>,
+    /// Register cost model.
+    pub register: RegisterModel,
+    /// Multiplexer cost model.
+    pub mux: MuxModel,
+    /// Wiring cost model.
+    pub wire: WireModel,
+    /// FSM controller cost model.
+    pub controller: ControllerModel,
+    /// Technology (voltage scaling) model.
+    pub technology: Technology,
+    /// Glitch growth per chained combinational stage: an operation fed
+    /// combinationally through `d` chained stages sees its switching
+    /// activity multiplied by `(1 + glitch_factor)^d` (spurious transitions
+    /// ripple through unregistered logic). Registered operands have depth
+    /// 0.
+    pub glitch_factor: f64,
+}
+
+impl Library {
+    /// An empty library with default cost models; add units with
+    /// [`Library::add_fu`].
+    pub fn empty() -> Self {
+        Library {
+            fus: Vec::new(),
+            register: RegisterModel::default(),
+            mux: MuxModel::default(),
+            wire: WireModel::default(),
+            controller: ControllerModel::default(),
+            technology: Technology::default(),
+            glitch_factor: 0.35,
+        }
+    }
+
+    /// A realistic 16-bit, 5 V datapath library with fast/slow variants of
+    /// each unit class, a pipelined multiplier, and multi-function ALUs —
+    /// the default library for the evaluation benchmarks.
+    ///
+    /// The fast/slow pairs follow the paper's Table 1 pattern: the slower
+    /// variant of a multiplier is markedly smaller and consumes much less
+    /// energy per operation ("to perform the same sequence of operations,
+    /// `mult2` consumes much less power than `mult1`").
+    pub fn realistic() -> Self {
+        use Operation::*;
+        let mut lib = Library::empty();
+        // Adders double as subtractors (adder/subtractor cell).
+        lib.add_fu(FuType::new("add_fast", [Add, Sub], 28.0, 4.0, 2.2));
+        lib.add_fu(FuType::new("add_small", [Add, Sub], 16.0, 9.0, 1.3));
+        // Multi-function ALUs: slightly larger than an adder, cover the
+        // comparison / min-max / negate traffic too.
+        lib.add_fu(FuType::new(
+            "alu_fast",
+            [Add, Sub, Lt, Min, Max, Neg],
+            36.0,
+            4.5,
+            2.6,
+        ));
+        lib.add_fu(FuType::new(
+            "alu_small",
+            [Add, Sub, Lt, Min, Max, Neg],
+            21.0,
+            10.0,
+            1.6,
+        ));
+        // Multipliers: parallel-array fast vs compact low-energy slow.
+        lib.add_fu(FuType::new("mult_fast", [Mult], 160.0, 18.0, 24.0));
+        lib.add_fu(FuType::new("mult_small", [Mult], 95.0, 38.0, 9.0));
+        // Two-stage pipelined multiplier: area and energy premium, but one
+        // multiplication can issue per cycle.
+        lib.add_fu(FuType::pipelined(
+            "mult_pipe2",
+            [Mult],
+            185.0,
+            20.0,
+            26.0,
+            2,
+        ));
+        // Barrel shifter.
+        lib.add_fu(FuType::new("shift", [Shl, Shr], 12.0, 3.0, 0.8));
+        lib
+    }
+
+    /// Add a functional-unit type; returns its id.
+    pub fn add_fu(&mut self, fu: FuType) -> FuTypeId {
+        let id = FuTypeId::new(self.fus.len());
+        self.fus.push(fu);
+        id
+    }
+
+    /// Number of functional-unit types.
+    pub fn fu_count(&self) -> usize {
+        self.fus.len()
+    }
+
+    /// Access a functional-unit type.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not from this library.
+    pub fn fu(&self, id: FuTypeId) -> &FuType {
+        &self.fus[id.index()]
+    }
+
+    /// Iterate over `(id, type)` pairs.
+    pub fn fus(&self) -> impl ExactSizeIterator<Item = (FuTypeId, &FuType)> + '_ {
+        self.fus
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (FuTypeId::new(i), f))
+    }
+
+    /// Find a type by name.
+    pub fn fu_by_name(&self, name: &str) -> Option<FuTypeId> {
+        self.fus().find(|(_, f)| f.name() == name).map(|(id, _)| id)
+    }
+
+    /// All types able to execute `op`.
+    pub fn fus_for(&self, op: Operation) -> impl Iterator<Item = FuTypeId> + '_ {
+        self.fus()
+            .filter(move |(_, f)| f.supports(op))
+            .map(|(id, _)| id)
+    }
+
+    /// The lowest-latency type for `op` (ties broken by smaller area), if
+    /// any supports it.
+    pub fn fastest_for(&self, op: Operation) -> Option<FuTypeId> {
+        self.fus_for(op).min_by(|&a, &b| {
+            let fa = self.fu(a);
+            let fb = self.fu(b);
+            fa.delay_ns()
+                .total_cmp(&fb.delay_ns())
+                .then(fa.area().total_cmp(&fb.area()))
+        })
+    }
+
+    /// The smallest-area type for `op`.
+    pub fn smallest_for(&self, op: Operation) -> Option<FuTypeId> {
+        self.fus_for(op)
+            .min_by(|&a, &b| self.fu(a).area().total_cmp(&self.fu(b).area()))
+    }
+
+    /// Candidate clock periods (in ns, at the reference voltage) derived
+    /// from the library, pruned per the paper's footnote 2 / ref.&nbsp;10:
+    /// periods are taken from functional-unit delays and their integer
+    /// sub-multiples (multicycling), deduplicated within 5 %, and capped at
+    /// `max_candidates` picks spread across the range.
+    ///
+    /// Delays scale uniformly with `Vdd`, so a period candidate at the
+    /// reference voltage corresponds to the scaled period at any `Vdd`;
+    /// callers scale by [`Technology::delay_factor`].
+    pub fn clock_candidates(&self, max_candidates: usize) -> Vec<f64> {
+        let overhead = self.register.overhead_ns;
+        let mut cands: Vec<f64> = Vec::new();
+        for (_, fu) in self.fus() {
+            let per_stage = fu.delay_ns() / fu.stages() as f64;
+            for k in 1..=4u32 {
+                let p = per_stage / k as f64 + overhead;
+                if p >= 2.0 * overhead {
+                    cands.push(p);
+                }
+            }
+        }
+        cands.sort_by(|a, b| b.total_cmp(a));
+        // Dedup within 5 %.
+        let mut dedup: Vec<f64> = Vec::new();
+        for c in cands {
+            if dedup.last().map_or(true, |&l| (l - c) / l > 0.05) {
+                dedup.push(c);
+            }
+        }
+        if dedup.len() <= max_candidates {
+            return dedup;
+        }
+        // Keep an even spread from longest to shortest.
+        let mut out = Vec::with_capacity(max_candidates);
+        for i in 0..max_candidates {
+            let idx = i * (dedup.len() - 1) / (max_candidates - 1).max(1);
+            out.push(dedup[idx]);
+        }
+        out.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
+        out
+    }
+
+    /// Latency of `fu` in whole clock cycles at period `clk_ns` and supply
+    /// `vdd`. For pipelined units this is the full pipeline latency; the
+    /// initiation interval stays one cycle as long as each stage fits the
+    /// period (otherwise stages themselves multicycle).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the usable period (`clk_ns` minus register overhead) is not
+    /// positive.
+    pub fn latency_cycles(&self, fu: FuTypeId, clk_ns: f64, vdd: f64) -> u32 {
+        let usable = clk_ns - self.register.overhead_ns;
+        assert!(usable > 0.0, "clock period {clk_ns} ns leaves no compute time");
+        let f = self.fu(fu);
+        let scaled_stage = self.technology.scale_delay(f.delay_ns(), vdd) / f.stages() as f64;
+        let per_stage_cycles = (scaled_stage / usable).ceil().max(1.0) as u32;
+        per_stage_cycles * f.stages()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn realistic_library_covers_all_operations() {
+        let lib = Library::realistic();
+        for op in Operation::ALL {
+            assert!(
+                lib.fastest_for(op).is_some(),
+                "no unit implements {op}"
+            );
+        }
+    }
+
+    #[test]
+    fn fastest_and_smallest_disagree_for_multipliers() {
+        let lib = Library::realistic();
+        let fast = lib.fastest_for(Operation::Mult).unwrap();
+        let small = lib.smallest_for(Operation::Mult).unwrap();
+        assert_eq!(lib.fu(fast).name(), "mult_fast");
+        assert_eq!(lib.fu(small).name(), "mult_small");
+        assert!(lib.fu(small).energy() < lib.fu(fast).energy());
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let lib = Library::realistic();
+        assert!(lib.fu_by_name("alu_small").is_some());
+        assert!(lib.fu_by_name("does_not_exist").is_none());
+    }
+
+    #[test]
+    fn clock_candidates_are_sorted_and_bounded() {
+        let lib = Library::realistic();
+        let cands = lib.clock_candidates(5);
+        assert!(!cands.is_empty());
+        assert!(cands.len() <= 5);
+        assert!(cands.windows(2).all(|w| w[0] > w[1]), "{cands:?}");
+        // The longest candidate accommodates the slowest unit in one cycle.
+        let slowest = lib
+            .fus()
+            .map(|(_, f)| f.delay_ns() / f.stages() as f64)
+            .fold(0.0f64, f64::max);
+        assert!(cands[0] >= slowest);
+    }
+
+    #[test]
+    fn latency_respects_clock_and_voltage() {
+        let lib = Library::realistic();
+        let m = lib.fu_by_name("mult_fast").unwrap();
+        // 18 ns unit, 20 ns clock with 1 ns overhead -> 1 cycle at 5 V.
+        assert_eq!(lib.latency_cycles(m, 20.0, 5.0), 1);
+        // At 3.3 V the same unit is ~1.9x slower -> 34 ns -> 2 cycles.
+        assert_eq!(lib.latency_cycles(m, 20.0, 3.3), 2);
+        // A 10 ns clock at 5 V -> 2 cycles.
+        assert_eq!(lib.latency_cycles(m, 10.0, 5.0), 2);
+    }
+
+    #[test]
+    fn pipelined_latency_counts_stages() {
+        let lib = Library::realistic();
+        let p = lib.fu_by_name("mult_pipe2").unwrap();
+        // 20 ns / 2 stages = 10 ns per stage; with an 12 ns clock each stage
+        // is one cycle -> total latency 2.
+        assert_eq!(lib.latency_cycles(p, 12.0, 5.0), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "no compute time")]
+    fn degenerate_clock_panics() {
+        let lib = Library::realistic();
+        let a = lib.fu_by_name("add_fast").unwrap();
+        lib.latency_cycles(a, 0.5, 5.0);
+    }
+
+    #[test]
+    fn empty_library_has_no_units() {
+        let lib = Library::empty();
+        assert_eq!(lib.fu_count(), 0);
+        assert!(lib.fastest_for(Operation::Add).is_none());
+        assert!(lib.clock_candidates(5).is_empty());
+    }
+}
+
+#[cfg(test)]
+mod more_tests {
+    use super::*;
+    use crate::papers::table1_library;
+
+    #[test]
+    fn energy_orderings_favor_slow_variants() {
+        // In every fast/slow pair of the realistic library, the slow
+        // variant trades delay for energy and area.
+        let lib = Library::realistic();
+        for (fast, slow) in [("add_fast", "add_small"), ("alu_fast", "alu_small"), ("mult_fast", "mult_small")] {
+            let f = lib.fu(lib.fu_by_name(fast).unwrap());
+            let s = lib.fu(lib.fu_by_name(slow).unwrap());
+            assert!(s.delay_ns() > f.delay_ns(), "{slow} is slower");
+            assert!(s.energy() < f.energy(), "{slow} uses less energy");
+            assert!(s.area() < f.area(), "{slow} is smaller");
+        }
+    }
+
+    #[test]
+    fn clock_candidates_scale_with_max_count() {
+        let lib = table1_library();
+        let few = lib.clock_candidates(2);
+        let many = lib.clock_candidates(6);
+        assert!(few.len() <= 2);
+        assert!(many.len() >= few.len());
+        // The longest candidate is shared (both spreads start at the top).
+        assert!((few[0] - many[0]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn latency_monotone_in_voltage_and_clock() {
+        let lib = table1_library();
+        let m = lib.fu_by_name("mult2").unwrap();
+        let mut last = 0;
+        for &v in &[5.0, 4.0, 3.3, 2.4] {
+            let lat = lib.latency_cycles(m, 10.0, v);
+            assert!(lat >= last, "latency grows as vdd falls");
+            last = lat;
+        }
+        assert!(lib.latency_cycles(m, 20.0, 5.0) <= lib.latency_cycles(m, 10.0, 5.0));
+    }
+
+    #[test]
+    fn library_serializes_round_trip() {
+        let lib = Library::realistic();
+        let json = serde_json::to_string(&lib).expect("serializes");
+        let back: Library = serde_json::from_str(&json).expect("deserializes");
+        assert_eq!(back.fu_count(), lib.fu_count());
+        assert_eq!(back.register.area, lib.register.area);
+        assert_eq!(back.glitch_factor, lib.glitch_factor);
+        for (id, fu) in lib.fus() {
+            assert_eq!(back.fu(id).name(), fu.name());
+            assert_eq!(back.fu(id).area(), fu.area());
+        }
+    }
+
+    #[test]
+    fn glitch_factor_defaults_positive() {
+        assert!(Library::empty().glitch_factor > 0.0);
+        assert!(Library::realistic().register.clock_energy_per_ns > 0.0);
+    }
+}

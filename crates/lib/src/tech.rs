@@ -1,0 +1,153 @@
+use serde::{Deserialize, Serialize};
+
+/// Supply-voltage technology model.
+///
+/// Delay scaling follows the classic alpha-power-law-simplified CMOS model
+/// used by the low-power HLS literature the paper builds on (ref.&nbsp;10):
+///
+/// ```text
+/// d(V) = d(Vref) * ( V / (V - Vt)^2 ) / ( Vref / (Vref - Vt)^2 )
+/// ```
+///
+/// and dynamic energy scales as `(V / Vref)^2` (switched capacitance is
+/// voltage-independent).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Technology {
+    vref: f64,
+    vt: f64,
+    vdds: Vec<f64>,
+}
+
+impl Technology {
+    /// The 0.8 µm-era technology the paper evaluates on: 5 V reference,
+    /// 0.8 V threshold. The candidate supply set includes the classic
+    /// {5.0, 3.3, 2.4, 1.5} V rails plus 4.5/4.0 V steps so mild laxity
+    /// (L.F. 1.2) still has a usable scaling option; the engine prunes the
+    /// set per design (paper, footnote 2).
+    pub fn cmos_5v() -> Self {
+        Technology {
+            vref: 5.0,
+            vt: 0.8,
+            vdds: vec![5.0, 4.5, 4.0, 3.3, 2.4, 1.5],
+        }
+    }
+
+    /// Custom technology.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < vt < vref` and every candidate is in
+    /// `(vt, vref]`.
+    pub fn new(vref: f64, vt: f64, vdds: Vec<f64>) -> Self {
+        assert!(vt > 0.0 && vt < vref, "need 0 < vt < vref");
+        assert!(!vdds.is_empty(), "at least one candidate Vdd");
+        for &v in &vdds {
+            assert!(v > vt && v <= vref, "candidate Vdd {v} outside (vt, vref]");
+        }
+        Technology { vref, vt, vdds }
+    }
+
+    /// Reference (characterization) voltage.
+    pub fn vref(&self) -> f64 {
+        self.vref
+    }
+
+    /// Threshold voltage.
+    pub fn vt(&self) -> f64 {
+        self.vt
+    }
+
+    /// Candidate supply voltages, highest first.
+    pub fn vdd_candidates(&self) -> &[f64] {
+        &self.vdds
+    }
+
+    /// Multiplicative slowdown of combinational delay at `vdd` relative to
+    /// the reference voltage (1.0 at `vref`, grows as `vdd` approaches
+    /// `vt`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vdd <= vt`.
+    pub fn delay_factor(&self, vdd: f64) -> f64 {
+        assert!(vdd > self.vt, "vdd must exceed the threshold voltage");
+        let f = |v: f64| v / ((v - self.vt) * (v - self.vt));
+        f(vdd) / f(self.vref)
+    }
+
+    /// Multiplicative change of dynamic energy at `vdd` relative to the
+    /// reference voltage: `(vdd / vref)^2`.
+    pub fn energy_factor(&self, vdd: f64) -> f64 {
+        let r = vdd / self.vref;
+        r * r
+    }
+
+    /// Scale a reference-voltage delay to `vdd`.
+    pub fn scale_delay(&self, delay_ns: f64, vdd: f64) -> f64 {
+        delay_ns * self.delay_factor(vdd)
+    }
+}
+
+impl Default for Technology {
+    fn default() -> Self {
+        Technology::cmos_5v()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_voltage_is_identity() {
+        let t = Technology::cmos_5v();
+        assert!((t.delay_factor(5.0) - 1.0).abs() < 1e-12);
+        assert!((t.energy_factor(5.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lower_vdd_is_slower_and_cheaper() {
+        let t = Technology::cmos_5v();
+        let mut last_delay = 1.0;
+        let mut last_energy = 1.0;
+        for &v in &[3.3, 2.4, 1.5] {
+            let d = t.delay_factor(v);
+            let e = t.energy_factor(v);
+            assert!(d > last_delay, "delay grows as vdd drops");
+            assert!(e < last_energy, "energy falls as vdd drops");
+            last_delay = d;
+            last_energy = e;
+        }
+        // Known values for the classic model: at 3.3 V roughly 1.9x slower,
+        // at 1.5 V roughly an order of magnitude slower.
+        assert!((t.delay_factor(3.3) - 1.863).abs() < 0.01);
+        assert!(t.delay_factor(1.5) > 9.0 && t.delay_factor(1.5) < 12.0);
+        assert!((t.energy_factor(1.5) - 0.09).abs() < 1e-12);
+    }
+
+    #[test]
+    fn candidates_ordered_high_to_low() {
+        let t = Technology::cmos_5v();
+        let v = t.vdd_candidates();
+        assert!(v.windows(2).all(|w| w[0] > w[1]));
+        assert_eq!(v[0], t.vref());
+    }
+
+    #[test]
+    #[should_panic(expected = "vdd must exceed")]
+    fn delay_below_threshold_panics() {
+        Technology::cmos_5v().delay_factor(0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn new_rejects_out_of_range_candidates() {
+        Technology::new(5.0, 0.8, vec![6.0]);
+    }
+
+    #[test]
+    fn scale_delay_composes() {
+        let t = Technology::cmos_5v();
+        assert!((t.scale_delay(10.0, 3.3) - 10.0 * t.delay_factor(3.3)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,205 @@
+//! Switched-capacitance power estimation over simulated activity.
+//!
+//! Energy per iteration is accumulated per resource class:
+//!
+//! * **functional units** — per instance, the Hamming activity of its
+//!   operand stream (consecutive executions, across iterations) times the
+//!   unit's effective capacitance;
+//! * **registers** — Hamming activity of consecutive written values;
+//! * **multiplexers / wiring** — steering energy proportional to delivered
+//!   operand activity on sinks with more than one source;
+//! * **controller** — active cycles × control bits;
+//!
+//! all scaled by `(Vdd / Vref)²`. Power is energy per iteration divided by
+//! the sampling period. Units are arbitrary but consistent — the paper
+//! reports only normalized power, which is what the experiment harness
+//! computes.
+
+use crate::sim::{simulate, ModuleActivity};
+use crate::traces::TraceSet;
+use hsyn_dfg::Hierarchy;
+use hsyn_lib::Library;
+use hsyn_rtl::{connectivity, control_bit_count, RtlModule, Sink};
+use serde::{Deserialize, Serialize};
+
+/// Energy per iteration, split by resource class (reference voltage).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct EnergyBreakdown {
+    /// Functional units.
+    pub fu: f64,
+    /// Registers.
+    pub reg: f64,
+    /// Multiplexers.
+    pub mux: f64,
+    /// Wiring.
+    pub wire: f64,
+    /// FSM controller.
+    pub controller: f64,
+    /// Clock network (per-register standing cost, whole design).
+    pub clock: f64,
+    /// Submodules (their totals).
+    pub subs: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy per iteration.
+    pub fn total(&self) -> f64 {
+        self.fu + self.reg + self.mux + self.wire + self.controller + self.clock + self.subs
+    }
+
+    fn add_scaled(&mut self, other: &EnergyBreakdown) {
+        self.subs += other.total();
+    }
+}
+
+/// A complete power estimate for a design at an operating point.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PowerReport {
+    /// Energy per iteration at the reference voltage.
+    pub energy_breakdown: EnergyBreakdown,
+    /// Energy per iteration at the operating voltage.
+    pub energy_per_iteration: f64,
+    /// Average power: energy / (sampling period × clock), in library
+    /// energy-units per nanosecond.
+    pub power: f64,
+    /// The operating voltage used.
+    pub vdd: f64,
+}
+
+/// Estimate the power of `module` on `traces` at the given operating point.
+///
+/// `sampling_period_cycles` is the iteration interval (the throughput
+/// constraint); `clk_ns` the clock period at the operating voltage.
+///
+/// # Panics
+///
+/// Panics if traces are empty or their input count mismatches the design.
+pub fn estimate(
+    h: &Hierarchy,
+    module: &RtlModule,
+    lib: &Library,
+    traces: &TraceSet,
+    vdd: f64,
+    clk_ns: f64,
+    sampling_period_cycles: u32,
+) -> PowerReport {
+    assert!(!traces.is_empty(), "power estimation needs at least one sample");
+    let (act, _) = simulate(h, module, traces);
+    let iterations = traces.len() as f64;
+    let mut breakdown = module_energy(h, module, lib, &act, traces.width);
+    // Normalize raw totals to per-iteration averages once, at the top.
+    breakdown.fu /= iterations;
+    breakdown.reg /= iterations;
+    breakdown.mux /= iterations;
+    breakdown.wire /= iterations;
+    breakdown.controller /= iterations;
+    breakdown.subs /= iterations;
+    let period_ns = f64::from(sampling_period_cycles) * clk_ns;
+    // Clock network: every register's clock pin toggles every cycle of the
+    // sampling period, busy or not.
+    breakdown.clock =
+        module.total_reg_count() as f64 * period_ns * lib.register.clock_energy_per_ns;
+    let energy_factor = lib.technology.energy_factor(vdd);
+    let energy = breakdown.total() * energy_factor;
+    PowerReport {
+        energy_breakdown: breakdown,
+        energy_per_iteration: energy,
+        power: energy / period_ns,
+        vdd,
+    }
+}
+
+/// Raw (un-normalized) energy of one module instance across the whole
+/// simulation, at the reference voltage, recursing over submodules.
+fn module_energy(
+    h: &Hierarchy,
+    module: &RtlModule,
+    lib: &Library,
+    act: &ModuleActivity,
+    width: u32,
+) -> EnergyBreakdown {
+    let mut e = module_own_energy(h, module, lib, act, width);
+    for (sub, sub_act) in module.subs().iter().zip(&act.subs) {
+        let sub_e = module_energy(h, sub, lib, sub_act, width);
+        e.add_scaled(&sub_e);
+    }
+    e
+}
+
+/// Raw energy of one module's *own* resources (no submodules) across the
+/// whole simulation — the attribution unit of the per-module report.
+pub(crate) fn module_own_energy(
+    h: &Hierarchy,
+    module: &RtlModule,
+    lib: &Library,
+    act: &ModuleActivity,
+    width: u32,
+) -> EnergyBreakdown {
+    let mut e = EnergyBreakdown::default();
+    let conn = connectivity(h, module);
+    // Average wire length grows with the module's footprint (≈ √area): a
+    // sprawling datapath pays more capacitance per toggle. Uses the
+    // FU+register area as the footprint proxy.
+    let footprint: f64 = module
+        .fus()
+        .iter()
+        .map(|f| lib.fu(f.fu_type).area())
+        .sum::<f64>()
+        + module.regs().len() as f64 * lib.register.area;
+    let wire_length = (footprint / 100.0).sqrt().max(1.0);
+    let w = f64::from(width);
+    let mask = if width == 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    };
+    let ham = |a: i64, b: i64| -> f64 { f64::from((((a ^ b) as u64) & mask).count_ones()) / w };
+
+    // Functional units: operand-transition activity × effective capacitance.
+    for (i, fu) in module.fus().iter().enumerate() {
+        let t = lib.fu(fu.fu_type);
+        let mux_a = conn.source_count(Sink::FuPort(hsyn_rtl::FuInstId::from_index(i), 0)) > 1;
+        let mux_b = conn.source_count(Sink::FuPort(hsyn_rtl::FuInstId::from_index(i), 1)) > 1;
+        let events = &act.fu_events[i];
+        let mut fu_energy = 0.0;
+        let mut mux_energy = 0.0;
+        let mut wire_energy = 0.0;
+        for pair in events.windows(2) {
+            let da = ham(pair[0].a, pair[1].a);
+            let db = ham(pair[0].b, pair[1].b);
+            // Spurious transitions multiply through chained combinational
+            // stages: registered operands (depth 0) see clean activity.
+            let glitch = (1.0 + lib.glitch_factor).powi(pair[1].depth.min(8) as i32);
+            let activity = (da + db) / 2.0 * glitch;
+            fu_energy += activity * t.energy();
+            if mux_a {
+                mux_energy += da * lib.mux.energy_per_access;
+            }
+            if mux_b {
+                mux_energy += db * lib.mux.energy_per_access;
+            }
+            wire_energy += (da + db) * glitch * lib.wire.energy_per_toggle * wire_length;
+        }
+        e.fu += fu_energy;
+        e.mux += mux_energy;
+        e.wire += wire_energy;
+    }
+
+    // Registers: write-transition activity.
+    for writes in &act.reg_writes {
+        let mut reg_energy = 0.0;
+        for pair in writes.windows(2) {
+            reg_energy += ham(pair[0], pair[1]) * lib.register.energy_write;
+        }
+        e.reg += reg_energy;
+        e.wire += reg_energy / lib.register.energy_write.max(1e-12)
+            * lib.wire.energy_per_toggle
+            * 0.5
+            * wire_length;
+    }
+
+    // Controller: active cycles × control bits.
+    let bits = control_bit_count(h, module, &conn) as f64;
+    e.controller += act.busy_cycles as f64 * bits * lib.controller.energy_per_bit_cycle;
+    e
+}

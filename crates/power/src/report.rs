@@ -1,0 +1,163 @@
+//! Human-readable power reports: per-module energy breakdowns over the RTL
+//! tree — where the switched capacitance actually goes.
+
+use crate::estimate::{EnergyBreakdown, PowerReport};
+use crate::sim::{simulate, ModuleActivity};
+use crate::traces::TraceSet;
+use hsyn_dfg::Hierarchy;
+use hsyn_lib::Library;
+use hsyn_rtl::RtlModule;
+use std::fmt::Write as _;
+
+/// Energy attributed to one module instance (own resources only, not
+/// submodules), plus its instance path.
+#[derive(Clone, Debug)]
+pub struct ModuleEnergy {
+    /// Instance path from the top (`top/sub0/...`).
+    pub path: String,
+    /// Per-iteration energy of this module's own resources at the reference
+    /// voltage.
+    pub breakdown: EnergyBreakdown,
+}
+
+/// Per-module energy attribution for `module` on `traces` (reference
+/// voltage, averaged per iteration).
+pub fn per_module_energy(
+    h: &Hierarchy,
+    module: &RtlModule,
+    lib: &Library,
+    traces: &TraceSet,
+) -> Vec<ModuleEnergy> {
+    let (act, _) = simulate(h, module, traces);
+    let mut out = Vec::new();
+    walk(h, module, lib, &act, traces.width, traces.len() as f64, "top", &mut out);
+    out
+}
+
+fn walk(
+    h: &Hierarchy,
+    module: &RtlModule,
+    lib: &Library,
+    act: &ModuleActivity,
+    width: u32,
+    iterations: f64,
+    path: &str,
+    out: &mut Vec<ModuleEnergy>,
+) {
+    let mut own = crate::estimate::module_own_energy(h, module, lib, act, width);
+    own.fu /= iterations;
+    own.reg /= iterations;
+    own.mux /= iterations;
+    own.wire /= iterations;
+    own.controller /= iterations;
+    out.push(ModuleEnergy {
+        path: path.to_owned(),
+        breakdown: own,
+    });
+    for (i, (sub, sub_act)) in module.subs().iter().zip(&act.subs).enumerate() {
+        let sub_path = format!("{path}/{}#{i}", sub.name());
+        walk(h, sub, lib, sub_act, width, iterations, &sub_path, out);
+    }
+}
+
+/// Render a power report: the operating point, the class totals, and the
+/// per-module attribution sorted by energy.
+pub fn report_text(
+    h: &Hierarchy,
+    module: &RtlModule,
+    lib: &Library,
+    traces: &TraceSet,
+    report: &PowerReport,
+) -> String {
+    let mut s = String::new();
+    let b = &report.energy_breakdown;
+    let _ = writeln!(
+        s,
+        "power {:.4} at {} V  (energy/iteration {:.1})",
+        report.power, report.vdd, report.energy_per_iteration
+    );
+    let _ = writeln!(
+        s,
+        "  by class: fu {:.1}  reg {:.1}  mux {:.1}  wire {:.1}  ctrl {:.1}  clock {:.1}",
+        b.fu, b.reg, b.mux, b.wire, b.controller, b.clock
+    );
+    let mut modules = per_module_energy(h, module, lib, traces);
+    modules.sort_by(|a, b| b.breakdown.total().total_cmp(&a.breakdown.total()));
+    let _ = writeln!(s, "  by module (reference voltage, own resources):");
+    for m in modules.iter().take(12) {
+        let _ = writeln!(
+            s,
+            "    {:<40} {:>9.1}  (fu {:.1}, reg {:.1}, ctrl {:.1})",
+            m.path,
+            m.breakdown.total(),
+            m.breakdown.fu,
+            m.breakdown.reg,
+            m.breakdown.controller
+        );
+    }
+    if modules.len() > 12 {
+        let _ = writeln!(s, "    ... {} more modules", modules.len() - 12);
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimate::estimate;
+    use crate::traces::dsp_default;
+    use hsyn_lib::papers::{table1_library, TABLE1_CLOCK_NS};
+    use hsyn_rtl::{build, BuildCtx, ModuleSpec};
+
+    #[test]
+    fn per_module_attribution_sums_to_the_total() {
+        let bench = hsyn_dfg::benchmarks::iir();
+        let lib = table1_library();
+        let h = &bench.hierarchy;
+        // Build hierarchically: biquad children + top.
+        let df2 = h.dfg_by_name("biquad_df2").unwrap();
+        let ctx = BuildCtx::new(&lib, TABLE1_CLOCK_NS, 5.0, None);
+        let child_spec = ModuleSpec::dedicated(
+            h,
+            df2,
+            "biquad",
+            |_, op| lib.fastest_for(op).unwrap(),
+            |_, _| unreachable!(),
+        );
+        let child = build(h, &child_spec, &ctx).unwrap();
+        let top_dfg = h.top();
+        let g = h.dfg(top_dfg);
+        let hier_nodes: Vec<_> = g
+            .nodes()
+            .filter(|(_, n)| matches!(n.kind(), hsyn_dfg::NodeKind::Hier { .. }))
+            .map(|(id, _)| id)
+            .collect();
+        let spec = ModuleSpec {
+            name: "iir_top".into(),
+            dfg: top_dfg,
+            fu_groups: vec![],
+            subs: hier_nodes
+                .iter()
+                .map(|&n| hsyn_rtl::SubSpec {
+                    module: child.clone(),
+                    nodes: vec![n],
+                })
+                .collect(),
+            reg_policy: hsyn_rtl::RegPolicy::Dedicated,
+        };
+        let top = build(h, &spec, &ctx).unwrap();
+        let traces = dsp_default(1, 48, 16, 9);
+        let report = estimate(h, &top, &lib, &traces, 5.0, TABLE1_CLOCK_NS, 40);
+        let modules = per_module_energy(h, &top, &lib, &traces);
+        assert_eq!(modules.len(), 3, "top + two biquad instances");
+        let sum: f64 = modules.iter().map(|m| m.breakdown.total()).sum();
+        let total_no_clock = report.energy_breakdown.total() - report.energy_breakdown.clock;
+        assert!(
+            (sum - total_no_clock).abs() < 1e-6 * total_no_clock.max(1.0),
+            "per-module sum {sum} vs class total {total_no_clock}"
+        );
+        let text = report_text(h, &top, &lib, &traces, &report);
+        assert!(text.contains("by module"));
+        assert!(text.contains("top/"));
+    }
+}

@@ -1,0 +1,294 @@
+//! Bit-true simulation of a scheduled, bound RTL design on input traces,
+//! collecting the per-resource event streams the switched-capacitance power
+//! model consumes.
+//!
+//! This substitutes for the paper's IRSIM switch-level simulation of the
+//! extracted layout (see DESIGN.md): the estimation *principle* is the same
+//! — simulate the circuit on typical inputs and record the capacitance
+//! switched — but at the RTL rather than transistor level. Crucially, the
+//! simulation is **binding-aware**: each functional-unit *instance* sees the
+//! interleaved operand stream of exactly the operations bound to it, so
+//! sharing a unit between uncorrelated operations visibly raises its
+//! switching activity (the effect behind the paper's observation that
+//! power optimization often avoids resource sharing).
+
+use crate::traces::TraceSet;
+use hsyn_dfg::{Hierarchy, NodeId, NodeKind, Operation, VarRef};
+use hsyn_rtl::{storage_analysis, RtlModule};
+use std::collections::HashMap;
+
+/// One execution of an operation on a functional-unit instance.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FuEvent {
+    /// The operation performed.
+    pub op: Operation,
+    /// First operand value.
+    pub a: i64,
+    /// Second operand value (0 for unary operations).
+    pub b: i64,
+    /// Chained combinational depth of this operation: 0 when all operands
+    /// come from registers, `1 + max(pred depth)` when fed combinationally
+    /// in the same cycle. Drives the glitch multiplier in the estimator.
+    pub depth: u32,
+}
+
+/// Event streams collected for one RTL module instance (and recursively for
+/// its submodule instances).
+#[derive(Clone, Debug, Default)]
+pub struct ModuleActivity {
+    /// Per functional-unit instance: executions in schedule order across
+    /// all iterations.
+    pub fu_events: Vec<Vec<FuEvent>>,
+    /// Per register instance: written values in write order.
+    pub reg_writes: Vec<Vec<i64>>,
+    /// Total controller-active cycles across all iterations.
+    pub busy_cycles: u64,
+    /// Number of behavior executions.
+    pub runs: u64,
+    /// Activity of submodule instances.
+    pub subs: Vec<ModuleActivity>,
+}
+
+impl ModuleActivity {
+    fn for_module(m: &RtlModule) -> Self {
+        ModuleActivity {
+            fu_events: vec![Vec::new(); m.fus().len()],
+            reg_writes: vec![Vec::new(); m.regs().len()],
+            busy_cycles: 0,
+            runs: 0,
+            subs: m.subs().iter().map(ModuleActivity::for_module).collect(),
+        }
+    }
+}
+
+/// Per-instance inter-iteration state (values crossing iteration boundaries
+/// through delayed edges), per behavior.
+#[derive(Clone, Debug, Default)]
+struct ModuleState {
+    /// `history[behavior][(var, k)]` = value of `var` from `k` iterations
+    /// ago (k >= 1).
+    history: Vec<HashMap<(VarRef, u32), i64>>,
+    subs: Vec<ModuleState>,
+}
+
+impl ModuleState {
+    fn for_module(m: &RtlModule) -> Self {
+        ModuleState {
+            history: vec![HashMap::new(); m.behaviors().len()],
+            subs: m.subs().iter().map(ModuleState::for_module).collect(),
+        }
+    }
+}
+
+/// Simulate `module` executing its first behavior once per trace iteration,
+/// returning the collected activity and the output streams.
+///
+/// # Panics
+///
+/// Panics if the trace input count does not match the behavior's DFG.
+pub fn simulate(
+    h: &Hierarchy,
+    module: &RtlModule,
+    traces: &TraceSet,
+) -> (ModuleActivity, Vec<Vec<i64>>) {
+    let behavior = 0usize;
+    let g = h.dfg(module.behaviors()[behavior].dfg);
+    assert_eq!(
+        traces.input_count(),
+        g.input_count(),
+        "trace width must match the top DFG's inputs"
+    );
+    let mut act = ModuleActivity::for_module(module);
+    let mut state = ModuleState::for_module(module);
+    let n_out = g.output_count();
+    let mut outputs: Vec<Vec<i64>> = vec![Vec::with_capacity(traces.len()); n_out];
+    let mut inputs = vec![0i64; g.input_count()];
+    for n in 0..traces.len() {
+        for (i, s) in traces.samples.iter().enumerate() {
+            inputs[i] = s[n];
+        }
+        let out = run_behavior(h, module, behavior, &inputs, traces.width, &mut state, &mut act);
+        for (o, v) in outputs.iter_mut().zip(&out) {
+            o.push(*v);
+        }
+    }
+    (act, outputs)
+}
+
+/// Execute one iteration of `module.behaviors()[bi]` on `inputs`.
+fn run_behavior(
+    h: &Hierarchy,
+    module: &RtlModule,
+    bi: usize,
+    inputs: &[i64],
+    width: u32,
+    state: &mut ModuleState,
+    act: &mut ModuleActivity,
+) -> Vec<i64> {
+    let b = &module.behaviors()[bi];
+    let g = h.dfg(b.dfg);
+    let order = hsyn_dfg::analysis::topo_order(g).expect("bound dfg is acyclic");
+    // values[(node, port)] for this iteration.
+    let mut values: HashMap<(NodeId, u16), i64> = HashMap::new();
+
+    // Resolve the value feeding (node, port) — through history for delays.
+    fn resolve(
+        state_hist: &HashMap<(VarRef, u32), i64>,
+        values: &HashMap<(NodeId, u16), i64>,
+        g: &hsyn_dfg::Dfg,
+        node: NodeId,
+        port: u16,
+    ) -> i64 {
+        let e = g.driver(node, port).expect("validated dfg");
+        if e.delay > 0 {
+            state_hist.get(&(e.from, e.delay)).copied().unwrap_or(0)
+        } else {
+            values.get(&(e.from.node, e.from.port)).copied().unwrap_or(0)
+        }
+    }
+
+    for &nid in &order {
+        match g.node(nid).kind() {
+            NodeKind::Input { index } => {
+                values.insert((nid, 0), inputs.get(*index).copied().unwrap_or(0));
+            }
+            NodeKind::Const { value } => {
+                values.insert((nid, 0), crate::truncate(*value, width));
+            }
+            NodeKind::Op(op) => {
+                let mut args = Vec::with_capacity(op.arity());
+                for p in 0..op.arity() as u16 {
+                    args.push(resolve(&state.history[bi], &values, g, nid, p));
+                }
+                values.insert((nid, 0), op.eval(&args, width));
+            }
+            NodeKind::Hier { callee } => {
+                let sub_id = b.binding.hier_to_sub[&nid];
+                let sub = &module.subs()[sub_id.index()];
+                let sub_bi = sub
+                    .behaviors()
+                    .iter()
+                    .position(|sb| sb.dfg == *callee)
+                    .expect("submodule implements the callee");
+                let arity = h.in_arity(*callee);
+                let mut sub_inputs = Vec::with_capacity(arity);
+                for p in 0..arity as u16 {
+                    sub_inputs.push(resolve(&state.history[bi], &values, g, nid, p));
+                }
+                let out = run_behavior(
+                    h,
+                    sub,
+                    sub_bi,
+                    &sub_inputs,
+                    width,
+                    &mut state.subs[sub_id.index()],
+                    &mut act.subs[sub_id.index()],
+                );
+                for (p, v) in out.into_iter().enumerate() {
+                    values.insert((nid, p as u16), v);
+                }
+            }
+            NodeKind::Output { .. } => {}
+        }
+    }
+
+    // Chained combinational depth per node (for glitch modeling).
+    let st = storage_analysis(g, &b.schedule);
+    let mut depth: HashMap<NodeId, u32> = HashMap::new();
+    for &nid in &order {
+        if !matches!(g.node(nid).kind(), NodeKind::Op(_)) {
+            continue;
+        }
+        let mut d = 0u32;
+        for (eid, e) in g.in_edges(nid) {
+            if st.chained_edges[eid.index()] {
+                d = d.max(depth.get(&e.from.node).copied().unwrap_or(0) + 1);
+            }
+        }
+        depth.insert(nid, d);
+    }
+
+    // Record FU events in schedule order per instance.
+    let mut per_fu: Vec<Vec<(u32, f64, FuEvent)>> = vec![Vec::new(); module.fus().len()];
+    for (&node, &fu) in &b.binding.op_to_fu {
+        if let NodeKind::Op(op) = g.node(node).kind() {
+            let t = b.schedule.time(node);
+            let a = resolve(&state.history[bi], &values, g, node, 0);
+            let bv = if op.arity() > 1 {
+                resolve(&state.history[bi], &values, g, node, 1)
+            } else {
+                0
+            };
+            per_fu[fu.index()].push((
+                t.start.cycle,
+                t.start.ns,
+                FuEvent {
+                    op: *op,
+                    a,
+                    b: bv,
+                    depth: depth.get(&node).copied().unwrap_or(0),
+                },
+            ));
+        }
+    }
+    for (fu, mut evs) in per_fu.into_iter().enumerate() {
+        evs.sort_by(|x, y| (x.0, x.1).partial_cmp(&(y.0, y.1)).expect("finite"));
+        act.fu_events[fu].extend(evs.into_iter().map(|(_, _, e)| e));
+    }
+
+    // Register writes, ordered by lifetime birth.
+    let mut writes: Vec<(u32, usize, i64)> = Vec::new();
+    for v in &st.stored_vars {
+        if let Some(reg) = b.binding.var_to_reg.get(v) {
+            let (birth, _, _) = st.lifetimes[v];
+            let value = values.get(&(v.node, v.port)).copied().unwrap_or(0);
+            writes.push((birth, reg.index(), value));
+        }
+    }
+    writes.sort_unstable();
+    for (_, reg, value) in writes {
+        act.reg_writes[reg].push(value);
+    }
+
+    act.busy_cycles += u64::from(b.schedule.makespan());
+    act.runs += 1;
+
+    // Collect outputs (before the history shift: a delayed output edge
+    // delivers the value from `delay` iterations before this one).
+    let outputs: Vec<i64> = g
+        .outputs()
+        .iter()
+        .map(|&o| {
+            let e = g.driver(o, 0).expect("validated dfg");
+            if e.delay > 0 {
+                state.history[bi]
+                    .get(&(e.from, e.delay))
+                    .copied()
+                    .unwrap_or(0)
+            } else {
+                values.get(&(e.from.node, e.from.port)).copied().unwrap_or(0)
+            }
+        })
+        .collect();
+
+    // Update delay history *after* the iteration: shift k-levels.
+    let hist = &mut state.history[bi];
+    let mut max_delay: HashMap<VarRef, u32> = HashMap::new();
+    for (_, e) in g.edges() {
+        if e.delay > 0 {
+            let d = max_delay.entry(e.from).or_insert(0);
+            *d = (*d).max(e.delay);
+        }
+    }
+    for (var, maxd) in max_delay {
+        for k in (2..=maxd).rev() {
+            if let Some(&prev) = hist.get(&(var, k - 1)) {
+                hist.insert((var, k), prev);
+            }
+        }
+        let current = values.get(&(var.node, var.port)).copied().unwrap_or(0);
+        hist.insert((var, 1), current);
+    }
+
+    outputs
+}

@@ -1,0 +1,184 @@
+//! Input trace generation — the paper's "typical input traces to aid power
+//! estimation". DSP inputs are time-correlated, which is what makes
+//! resource sharing between unrelated operations *cost* switching energy;
+//! the default generator therefore produces band-limited random walks, with
+//! white noise and sine composites available for contrast.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// What kind of stimulus to generate.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum TraceKind {
+    /// Independent uniform samples over the full range (white noise).
+    WhiteUniform,
+    /// A clipped random walk with the given maximum step — strongly
+    /// time-correlated, the "typical" DSP input.
+    RandomWalk {
+        /// Maximum absolute step between consecutive samples.
+        step: i64,
+    },
+    /// A two-tone sine composite, quantized.
+    Sine {
+        /// Period of the fundamental, in samples.
+        period: f64,
+    },
+}
+
+/// A set of input traces: one stream of `width`-bit samples per primary
+/// input.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TraceSet {
+    /// `samples[i][n]` = value of input `i` at iteration `n`.
+    pub samples: Vec<Vec<i64>>,
+    /// Datapath bit width.
+    pub width: u32,
+}
+
+impl TraceSet {
+    /// Number of iterations the traces cover.
+    pub fn len(&self) -> usize {
+        self.samples.first().map_or(0, Vec::len)
+    }
+
+    /// Whether the trace set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of inputs covered.
+    pub fn input_count(&self) -> usize {
+        self.samples.len()
+    }
+}
+
+/// Generate `n_samples` samples for `n_inputs` inputs at `width` bits,
+/// deterministically from `seed`.
+///
+/// # Panics
+///
+/// Panics if `width` is not in `1..=32`.
+pub fn generate(
+    kind: TraceKind,
+    n_inputs: usize,
+    n_samples: usize,
+    width: u32,
+    seed: u64,
+) -> TraceSet {
+    assert!((1..=32).contains(&width), "width must be in 1..=32");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let max = (1i64 << (width - 1)) - 1;
+    let min = -(1i64 << (width - 1));
+    let samples = (0..n_inputs)
+        .map(|_| match kind {
+            TraceKind::WhiteUniform => (0..n_samples).map(|_| rng.gen_range(min..=max)).collect(),
+            TraceKind::RandomWalk { step } => {
+                let mut v: i64 = rng.gen_range(min / 2..=max / 2);
+                (0..n_samples)
+                    .map(|_| {
+                        v = (v + rng.gen_range(-step..=step)).clamp(min, max);
+                        v
+                    })
+                    .collect()
+            }
+            TraceKind::Sine { period } => {
+                let phase: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
+                let amp = max as f64 * 0.45;
+                (0..n_samples)
+                    .map(|n| {
+                        let t = n as f64;
+                        let x = amp
+                            * ((std::f64::consts::TAU * t / period + phase).sin()
+                                + 0.3 * (std::f64::consts::TAU * t * 3.1 / period).sin());
+                        (x.round() as i64).clamp(min, max)
+                    })
+                    .collect()
+            }
+        })
+        .collect();
+    TraceSet { samples, width }
+}
+
+/// The default "typical DSP" stimulus: a correlated random walk stepping by
+/// at most 1/16 of full scale.
+pub fn dsp_default(n_inputs: usize, n_samples: usize, width: u32, seed: u64) -> TraceSet {
+    let step = ((1i64 << (width - 1)) / 16).max(1);
+    generate(TraceKind::RandomWalk { step }, n_inputs, n_samples, width, seed)
+}
+
+/// Average bit-level switching activity of a stream: mean Hamming distance
+/// between consecutive samples divided by `width` (0 = constant, ~0.5 =
+/// white noise).
+pub fn stream_activity(stream: &[i64], width: u32) -> f64 {
+    if stream.len() < 2 {
+        return 0.0;
+    }
+    let mask = if width == 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    };
+    let total: u32 = stream
+        .windows(2)
+        .map(|w| (((w[0] ^ w[1]) as u64) & mask).count_ones())
+        .sum();
+    f64::from(total) / (width as f64 * (stream.len() - 1) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_from_seed() {
+        let a = dsp_default(3, 64, 16, 42);
+        let b = dsp_default(3, 64, 16, 42);
+        assert_eq!(a.samples, b.samples);
+        let c = dsp_default(3, 64, 16, 43);
+        assert_ne!(a.samples, c.samples);
+    }
+
+    #[test]
+    fn shapes_and_ranges() {
+        for kind in [
+            TraceKind::WhiteUniform,
+            TraceKind::RandomWalk { step: 100 },
+            TraceKind::Sine { period: 16.0 },
+        ] {
+            let t = generate(kind, 4, 50, 12, 7);
+            assert_eq!(t.input_count(), 4);
+            assert_eq!(t.len(), 50);
+            let max = (1i64 << 11) - 1;
+            for s in &t.samples {
+                assert!(s.iter().all(|&v| v >= -(max + 1) && v <= max), "{kind:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn random_walk_is_more_correlated_than_white() {
+        let walk = generate(TraceKind::RandomWalk { step: 64 }, 1, 512, 16, 1);
+        let white = generate(TraceKind::WhiteUniform, 1, 512, 16, 1);
+        let aw = stream_activity(&walk.samples[0], 16);
+        let an = stream_activity(&white.samples[0], 16);
+        assert!(
+            aw < an * 0.8,
+            "walk activity {aw} should be well below white {an}"
+        );
+        // White noise toggles about half the bits.
+        assert!((an - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn activity_of_constant_stream_is_zero() {
+        assert_eq!(stream_activity(&[5, 5, 5, 5], 16), 0.0);
+        assert_eq!(stream_activity(&[7], 16), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be")]
+    fn rejects_zero_width() {
+        generate(TraceKind::WhiteUniform, 1, 4, 0, 0);
+    }
+}

@@ -1,0 +1,165 @@
+//! Interconnect derivation: which sources feed which datapath sinks across
+//! all of a module's behaviors. Multiplexers, wiring area, and steering
+//! energy all fall out of this analysis.
+
+use crate::instance::{FuInstId, RegId, SubId};
+use crate::module::RtlModule;
+use crate::spec::storage_analysis;
+use hsyn_dfg::{Hierarchy, NodeKind};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A value source inside a module.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Source {
+    /// Direct (chained) connection from a functional unit's output.
+    Fu(FuInstId),
+    /// Output `port` of a submodule.
+    Sub(SubId, u16),
+    /// A register's output.
+    Reg(RegId),
+    /// A hardwired constant.
+    Const(i64),
+    /// Primary input `index` of the module.
+    Input(usize),
+}
+
+/// A value sink inside a module.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Sink {
+    /// Input `port` of a functional unit.
+    FuPort(FuInstId, u16),
+    /// The data input of a register.
+    RegIn(RegId),
+    /// Input `port` of a submodule.
+    SubPort(SubId, u16),
+    /// Primary output `index` of the module.
+    Output(usize),
+}
+
+/// The union, over all behaviors, of sources feeding each sink.
+#[derive(Clone, Debug, Default)]
+pub struct Connectivity {
+    sinks: BTreeMap<Sink, BTreeSet<Source>>,
+}
+
+impl Connectivity {
+    /// Number of distinct sources steering into `sink` (mux size; 0 or 1
+    /// means no mux).
+    pub fn source_count(&self, sink: Sink) -> usize {
+        self.sinks.get(&sink).map_or(0, BTreeSet::len)
+    }
+
+    /// Iterate over `(sink, sources)` pairs.
+    pub fn sinks(&self) -> impl Iterator<Item = (Sink, &BTreeSet<Source>)> + '_ {
+        self.sinks.iter().map(|(&s, set)| (s, set))
+    }
+
+    /// Total number of distinct point-to-point nets.
+    pub fn net_count(&self) -> usize {
+        self.sinks.values().map(BTreeSet::len).sum()
+    }
+
+    /// Total multiplexer legs beyond the first input of each sink.
+    pub fn mux_legs(&self) -> usize {
+        self.sinks
+            .values()
+            .map(|s| s.len().saturating_sub(1))
+            .sum()
+    }
+
+    /// Select-line bits needed to steer all muxes.
+    pub fn select_bits(&self) -> usize {
+        self.sinks
+            .values()
+            .map(|s| bits_for(s.len()))
+            .sum()
+    }
+}
+
+/// ceil(log2(n)) for n >= 2, else 0.
+pub(crate) fn bits_for(n: usize) -> usize {
+    if n <= 1 {
+        0
+    } else {
+        (usize::BITS - (n - 1).leading_zeros()) as usize
+    }
+}
+
+/// Derive the connectivity of `module` (its own level only; recurse over
+/// [`RtlModule::subs`] for a full-hierarchy view).
+pub fn connectivity(h: &Hierarchy, module: &RtlModule) -> Connectivity {
+    let mut conn = Connectivity::default();
+    for b in module.behaviors() {
+        let g = h.dfg(b.dfg);
+        let st = storage_analysis(g, &b.schedule);
+
+        // The resource acting as source for a produced variable.
+        let producer_source = |from: hsyn_dfg::VarRef, chained: bool| -> Option<Source> {
+            match g.node(from.node).kind() {
+                NodeKind::Const { value } => Some(Source::Const(*value)),
+                NodeKind::Input { index } => Some(Source::Input(*index)),
+                NodeKind::Op(_) => {
+                    if chained {
+                        Some(Source::Fu(b.binding.op_to_fu[&from.node]))
+                    } else {
+                        b.binding.var_to_reg.get(&from).copied().map(Source::Reg)
+                    }
+                }
+                NodeKind::Hier { .. } => {
+                    if chained {
+                        Some(Source::Sub(b.binding.hier_to_sub[&from.node], from.port))
+                    } else {
+                        b.binding.var_to_reg.get(&from).copied().map(Source::Reg)
+                    }
+                }
+                NodeKind::Output { .. } => None,
+            }
+        };
+
+        for (eid, e) in g.edges() {
+            let chained = st.chained_edges[eid.index()];
+            let Some(src) = producer_source(e.from, chained) else {
+                continue;
+            };
+            let sink = match g.node(e.to).kind() {
+                NodeKind::Op(_) => Sink::FuPort(b.binding.op_to_fu[&e.to], e.to_port),
+                NodeKind::Hier { .. } => Sink::SubPort(b.binding.hier_to_sub[&e.to], e.to_port),
+                NodeKind::Output { index } => Sink::Output(*index),
+                _ => continue,
+            };
+            conn.sinks.entry(sink).or_default().insert(src);
+        }
+
+        // Register write paths: the producing resource drives the register.
+        for v in &st.stored_vars {
+            let Some(&reg) = b.binding.var_to_reg.get(v) else {
+                continue;
+            };
+            let src = match g.node(v.node).kind() {
+                NodeKind::Op(_) => Source::Fu(b.binding.op_to_fu[&v.node]),
+                NodeKind::Hier { .. } => Source::Sub(b.binding.hier_to_sub[&v.node], v.port),
+                NodeKind::Input { index } => Source::Input(*index),
+                _ => continue,
+            };
+            conn.sinks.entry(Sink::RegIn(reg)).or_default().insert(src);
+        }
+    }
+    conn
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_for_is_ceil_log2() {
+        assert_eq!(bits_for(0), 0);
+        assert_eq!(bits_for(1), 0);
+        assert_eq!(bits_for(2), 1);
+        assert_eq!(bits_for(3), 2);
+        assert_eq!(bits_for(4), 2);
+        assert_eq!(bits_for(5), 3);
+        assert_eq!(bits_for(8), 3);
+        assert_eq!(bits_for(9), 4);
+    }
+}

@@ -1,0 +1,72 @@
+//! Area model: functional units + registers + derived multiplexers +
+//! wiring + FSM controller, recursively over submodules. The paper's flow
+//! measured post-layout area; here the same quantities come from the
+//! parametric cost models in [`hsyn_lib`] (see DESIGN.md).
+
+use crate::connect::connectivity;
+use crate::fsm::control_bit_count;
+use crate::module::RtlModule;
+use hsyn_dfg::Hierarchy;
+use hsyn_lib::Library;
+use serde::{Deserialize, Serialize};
+
+/// Area of one module, split by resource class.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct AreaBreakdown {
+    /// Functional units.
+    pub fu: f64,
+    /// Registers.
+    pub reg: f64,
+    /// Multiplexers.
+    pub mux: f64,
+    /// Wiring estimate.
+    pub wire: f64,
+    /// FSM controller.
+    pub controller: f64,
+    /// Submodules (their totals).
+    pub subs: f64,
+}
+
+impl AreaBreakdown {
+    /// Total area.
+    pub fn total(&self) -> f64 {
+        self.fu + self.reg + self.mux + self.wire + self.controller + self.subs
+    }
+}
+
+/// Compute the area of `module`, including all submodules.
+pub fn module_area(h: &Hierarchy, module: &RtlModule, lib: &Library) -> AreaBreakdown {
+    let conn = connectivity(h, module);
+    let fu: f64 = module
+        .fus()
+        .iter()
+        .map(|f| lib.fu(f.fu_type).area())
+        .sum();
+    let reg = module.regs().len() as f64 * lib.register.area;
+    let mux: f64 = conn
+        .sinks()
+        .map(|(_, sources)| lib.mux.area(sources.len()))
+        .sum();
+    let wire = conn.net_count() as f64 * lib.wire.area_per_net;
+    let states: usize = module
+        .behaviors()
+        .iter()
+        .map(|b| b.schedule.makespan() as usize + 1)
+        .sum();
+    let controller = lib
+        .controller
+        .area(states, control_bit_count(h, module, &conn));
+    let subs: f64 = module
+        .subs()
+        .iter()
+        .map(|s| module_area(h, s, lib).total())
+        .sum();
+    AreaBreakdown {
+        fu,
+        reg,
+        mux,
+        wire,
+        controller,
+        subs,
+    }
+}

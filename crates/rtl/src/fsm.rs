@@ -1,0 +1,161 @@
+//! FSM controller generation: per behavior, the cycle-by-cycle control
+//! words (which unit computes what, which registers load, which submodules
+//! start). The paper's `H-SYN` emits "a finite-state machine description of
+//! the controller" alongside the datapath netlist; this module is that
+//! description, and its bit counts feed the controller area/energy models.
+
+use crate::connect::{bits_for, Connectivity};
+use crate::module::RtlModule;
+use crate::spec::storage_analysis;
+use hsyn_dfg::{DfgId, Hierarchy, NodeKind, Operation};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Control signals asserted in one state (cycle) of one behavior.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct ControlWord {
+    /// Per functional unit: the operation it performs this cycle, if any.
+    pub fu_ops: Vec<Option<Operation>>,
+    /// Per register: whether it loads at the end of this cycle.
+    pub reg_loads: Vec<bool>,
+    /// Per submodule: whether it is started this cycle.
+    pub sub_starts: Vec<bool>,
+}
+
+/// The control program for one behavior: one word per cycle.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct FsmProgram {
+    /// The behavior's DFG.
+    pub dfg: DfgId,
+    /// One control word per cycle, cycle 0 first.
+    pub words: Vec<ControlWord>,
+}
+
+/// The module's finite-state machine: a program per behavior plus an
+/// implicit idle state.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Fsm {
+    /// One program per behavior, in behavior order.
+    pub programs: Vec<FsmProgram>,
+}
+
+impl Fsm {
+    /// Total number of states (cycles across programs + 1 idle state).
+    pub fn state_count(&self) -> usize {
+        1 + self.programs.iter().map(|p| p.words.len()).sum::<usize>()
+    }
+}
+
+impl fmt::Display for Fsm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for p in &self.programs {
+            writeln!(f, "behavior {}:", p.dfg)?;
+            for (c, w) in p.words.iter().enumerate() {
+                write!(f, "  s{c}:")?;
+                for (i, op) in w.fu_ops.iter().enumerate() {
+                    if let Some(op) = op {
+                        write!(f, " F{i}={op}")?;
+                    }
+                }
+                let loads: Vec<String> = w
+                    .reg_loads
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &l)| l)
+                    .map(|(i, _)| format!("R{i}"))
+                    .collect();
+                if !loads.is_empty() {
+                    write!(f, " load[{}]", loads.join(","))?;
+                }
+                for (i, &s) in w.sub_starts.iter().enumerate() {
+                    if s {
+                        write!(f, " start(M{i})")?;
+                    }
+                }
+                writeln!(f)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Generate the FSM of `module`.
+pub fn generate_fsm(h: &Hierarchy, module: &RtlModule) -> Fsm {
+    let mut programs = Vec::new();
+    for b in module.behaviors() {
+        let g = h.dfg(b.dfg);
+        let st = storage_analysis(g, &b.schedule);
+        let n_cycles = b.schedule.makespan() as usize + 1;
+        let mut words = vec![
+            ControlWord {
+                fu_ops: vec![None; module.fus().len()],
+                reg_loads: vec![false; module.regs().len()],
+                sub_starts: vec![false; module.subs().len()],
+            };
+            n_cycles
+        ];
+        for (nid, node) in g.nodes() {
+            match node.kind() {
+                NodeKind::Op(op) => {
+                    let fu = b.binding.op_to_fu[&nid];
+                    let t = b.schedule.time(nid);
+                    for c in t.occupied.0..t.occupied.1 {
+                        if let Some(w) = words.get_mut(c as usize) {
+                            w.fu_ops[fu.index()] = Some(*op);
+                        }
+                    }
+                }
+                NodeKind::Hier { .. } => {
+                    let sub = b.binding.hier_to_sub[&nid];
+                    let start = b.schedule.time(nid).start.cycle;
+                    if let Some(w) = words.get_mut(start as usize) {
+                        w.sub_starts[sub.index()] = true;
+                    }
+                }
+                _ => {}
+            }
+        }
+        for v in &st.stored_vars {
+            if let Some(&reg) = b.binding.var_to_reg.get(v) {
+                let (birth, _, _) = st.lifetimes[v];
+                // The write occurs at the end of cycle birth−1 (external
+                // loads — inputs arriving at cycle 0 — map to state 0).
+                let c = birth.saturating_sub(1) as usize;
+                if let Some(w) = words.get_mut(c) {
+                    w.reg_loads[reg.index()] = true;
+                }
+            }
+        }
+        programs.push(FsmProgram { dfg: b.dfg, words });
+    }
+    Fsm { programs }
+}
+
+/// Number of control output bits the controller drives: per-FU enables and
+/// op selects, per-register load enables, mux select lines, and submodule
+/// start strobes.
+pub fn control_bit_count(h: &Hierarchy, module: &RtlModule, conn: &Connectivity) -> usize {
+    let mut bits = 0usize;
+    // FU enables + operation select (distinct ops over all behaviors).
+    for i in 0..module.fus().len() {
+        let mut ops = std::collections::BTreeSet::new();
+        for b in module.behaviors() {
+            let g = h.dfg(b.dfg);
+            for (&node, &fu_id) in &b.binding.op_to_fu {
+                if fu_id.index() == i {
+                    if let NodeKind::Op(op) = g.node(node).kind() {
+                        ops.insert(*op);
+                    }
+                }
+            }
+        }
+        bits += 1 + bits_for(ops.len());
+    }
+    // Register load enables.
+    bits += module.regs().len();
+    // Submodule start strobes.
+    bits += module.subs().len();
+    // Mux selects.
+    bits += conn.select_bits();
+    bits
+}

@@ -1,0 +1,105 @@
+use crate::module::RtlModule;
+use hsyn_dfg::{DfgId, EquivClasses};
+use hsyn_lib::Library;
+
+/// A pre-designed complex RTL module offered by the library (the paper's
+/// `C1`..`C5`: FFTs, filters, dot products, ... each implementing one or
+/// more specific DFGs).
+///
+/// A complex module is a hard macro characterized at a design clock: its
+/// profile counts *cycles of that clock*. It stays valid at any equal or
+/// slower system clock (each cycle only gets longer), but must not be
+/// instantiated at a faster one.
+#[derive(Clone, Debug)]
+pub struct ComplexModule {
+    /// The implementation. Its behaviors name the DFGs it can execute.
+    pub module: RtlModule,
+    /// The clock period (ns, at the reference voltage) the module was
+    /// designed for.
+    pub clk_ns: f64,
+}
+
+impl ComplexModule {
+    /// Whether this module can execute `dfg` directly.
+    pub fn implements(&self, dfg: DfgId) -> bool {
+        self.module.behavior_for(dfg).is_some()
+    }
+
+    /// Whether the module may be clocked at `clk_ns` (equal or slower than
+    /// its design clock).
+    pub fn usable_at(&self, clk_ns: f64) -> bool {
+        clk_ns >= self.clk_ns * 0.999
+    }
+}
+
+/// The full module library: simple functional-unit types plus complex RTL
+/// modules, together with the user-declared functional-equivalence classes
+/// between building-block DFGs that move *A* exploits.
+#[derive(Clone, Debug)]
+pub struct ModuleLibrary {
+    /// Simple modules and cost models.
+    pub simple: Library,
+    /// Pre-designed complex modules.
+    pub complex: Vec<ComplexModule>,
+    /// DFG equivalence classes ("C1 and C2 implement functionally
+    /// equivalent behavior").
+    pub equiv: EquivClasses,
+}
+
+impl ModuleLibrary {
+    /// A library with no complex modules.
+    pub fn from_simple(simple: Library) -> Self {
+        ModuleLibrary {
+            simple,
+            complex: Vec::new(),
+            equiv: EquivClasses::new(),
+        }
+    }
+
+    /// Add a complex module designed for clock period `clk_ns`.
+    pub fn add_complex(&mut self, module: RtlModule, clk_ns: f64) {
+        self.complex.push(ComplexModule { module, clk_ns });
+    }
+
+    /// Complex modules able to serve a hierarchical node whose callee is
+    /// `dfg` at system clock `clk_ns`, directly or through a
+    /// declared-equivalent DFG. Each candidate is returned with the DFG it
+    /// would execute (move *A* "can change the DFG representing a
+    /// hierarchical node").
+    pub fn candidates_for(&self, dfg: DfgId, clk_ns: f64) -> Vec<(usize, DfgId)> {
+        let class = self.equiv.class_of(dfg);
+        let mut out = Vec::new();
+        for (i, cm) in self.complex.iter().enumerate() {
+            if !cm.usable_at(clk_ns) {
+                continue;
+            }
+            for &d in &class {
+                if cm.implements(d) {
+                    out.push((i, d));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_library_has_no_candidates() {
+        let lib = ModuleLibrary::from_simple(Library::realistic());
+        assert!(lib.candidates_for(dfg_id_from(0), 10.0).is_empty());
+    }
+
+    fn dfg_id_from(i: usize) -> DfgId {
+        // DfgId construction helper for tests.
+        let mut h = hsyn_dfg::Hierarchy::new();
+        let mut ids = Vec::new();
+        for k in 0..=i {
+            ids.push(h.add_dfg(hsyn_dfg::Dfg::new(format!("g{k}"))));
+        }
+        ids[i]
+    }
+}

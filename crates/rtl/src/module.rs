@@ -1,0 +1,153 @@
+use crate::instance::{FuInstId, FuInstance, RegId, RegInstance, SubId};
+use hsyn_dfg::{DfgId, NodeId, VarRef};
+use hsyn_sched::{Profile, Schedule};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// How a DFG's operations, variables, and hierarchical nodes map onto the
+/// hardware of one [`RtlModule`] — the paper's *assignment*.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Binding {
+    /// Operation node → functional-unit instance.
+    pub op_to_fu: HashMap<NodeId, FuInstId>,
+    /// Variable → register (only variables that need storage appear).
+    pub var_to_reg: HashMap<VarRef, RegId>,
+    /// Hierarchical node → submodule instance.
+    pub hier_to_sub: HashMap<NodeId, SubId>,
+}
+
+/// One behavior an RTL module can execute: a DFG with its schedule,
+/// assignment, serialization edges, and the resulting [`Profile`].
+///
+/// A module created by dedicated synthesis has one behavior; RTL embedding
+/// (move *C*) produces modules with several ("multiple hierarchical nodes
+/// can map to the same RTL module").
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Behavior {
+    /// The DFG this behavior executes.
+    pub dfg: DfgId,
+    /// Assignment of that DFG onto the module's hardware.
+    pub binding: Binding,
+    /// The schedule (relative to module start).
+    pub schedule: Schedule,
+    /// Serialization (ordering) edges used to produce the schedule.
+    pub serial: Vec<(NodeId, NodeId)>,
+    /// Input/output timing of this behavior (the module's profile for
+    /// hierarchical nodes mapped to it).
+    pub profile: Profile,
+}
+
+/// An RTL module: functional units, registers, submodule instances, and the
+/// behaviors they implement. Multiplexers, wiring, and the FSM controller
+/// are derived (see [`connectivity`](crate::connectivity) and
+/// [`fsm`](crate::Fsm)).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RtlModule {
+    name: String,
+    fus: Vec<FuInstance>,
+    regs: Vec<RegInstance>,
+    subs: Vec<RtlModule>,
+    behaviors: Vec<Behavior>,
+}
+
+impl RtlModule {
+    /// Assemble a module from parts (used by the builder and by embedding).
+    pub fn new(
+        name: impl Into<String>,
+        fus: Vec<FuInstance>,
+        regs: Vec<RegInstance>,
+        subs: Vec<RtlModule>,
+        behaviors: Vec<Behavior>,
+    ) -> Self {
+        RtlModule {
+            name: name.into(),
+            fus,
+            regs,
+            subs,
+            behaviors,
+        }
+    }
+
+    /// Module name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Rename the module.
+    pub fn set_name(&mut self, name: impl Into<String>) {
+        self.name = name.into();
+    }
+
+    /// Functional-unit instances.
+    pub fn fus(&self) -> &[FuInstance] {
+        &self.fus
+    }
+
+    /// Register instances.
+    pub fn regs(&self) -> &[RegInstance] {
+        &self.regs
+    }
+
+    /// Submodule instances.
+    pub fn subs(&self) -> &[RtlModule] {
+        &self.subs
+    }
+
+    /// Mutable access to submodule instances (used when a child is
+    /// resynthesized in place by move *B*).
+    pub fn subs_mut(&mut self) -> &mut Vec<RtlModule> {
+        &mut self.subs
+    }
+
+    /// The behaviors this module implements.
+    pub fn behaviors(&self) -> &[Behavior] {
+        &self.behaviors
+    }
+
+    /// The behavior executing `dfg`, if any.
+    pub fn behavior_for(&self, dfg: DfgId) -> Option<&Behavior> {
+        self.behaviors.iter().find(|b| b.dfg == dfg)
+    }
+
+    /// The profile of the behavior executing `dfg`.
+    pub fn profile_for(&self, dfg: DfgId) -> Option<&Profile> {
+        self.behavior_for(dfg).map(|b| &b.profile)
+    }
+
+    /// Access a functional unit by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn fu(&self, id: FuInstId) -> &FuInstance {
+        &self.fus[id.index()]
+    }
+
+    /// Access a register by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn reg(&self, id: RegId) -> &RegInstance {
+        &self.regs[id.index()]
+    }
+
+    /// Access a submodule by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn sub(&self, id: SubId) -> &RtlModule {
+        &self.subs[id.index()]
+    }
+
+    /// Total count of functional units in this module and all submodules.
+    pub fn total_fu_count(&self) -> usize {
+        self.fus.len() + self.subs.iter().map(RtlModule::total_fu_count).sum::<usize>()
+    }
+
+    /// Total register count including submodules.
+    pub fn total_reg_count(&self) -> usize {
+        self.regs.len() + self.subs.iter().map(RtlModule::total_reg_count).sum::<usize>()
+    }
+}

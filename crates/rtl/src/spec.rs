@@ -1,0 +1,597 @@
+//! Module specifications and the builder turning them into scheduled,
+//! assigned [`RtlModule`]s.
+//!
+//! The synthesis engine's moves never mutate RTL directly: they edit a
+//! [`ModuleSpec`] (which operations share which functional-unit instance, of
+//! which library type; which hierarchical nodes share which submodule) and
+//! call [`build`]. The builder derives orderings, schedules, binds
+//! registers, checks validity, and computes the profile — so every candidate
+//! move is validated exactly the way the paper prescribes ("when a move is
+//! performed, its validity is checked by scheduling").
+
+use crate::instance::{FuInstId, FuInstance, RegId, RegInstance, SubId};
+use crate::module::{Behavior, Binding, RtlModule};
+use hsyn_dfg::{DfgId, Hierarchy, NodeId, NodeKind, VarRef};
+use hsyn_lib::{FuTypeId, Library};
+use hsyn_sched::{
+    alap_starts, asap_priority, derive_orderings, schedule, NodeDelay, Profile, SchedContext,
+    SchedError, Schedule,
+};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// One functional-unit instance to create: a library type plus the operation
+/// nodes bound to it.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct FuGroup {
+    /// Library type of the instance.
+    pub fu_type: FuTypeId,
+    /// Operation nodes executed on this instance.
+    pub ops: Vec<NodeId>,
+}
+
+/// One submodule instance to create: a prebuilt RTL module plus the
+/// hierarchical nodes mapped to it.
+#[derive(Clone, Debug)]
+pub struct SubSpec {
+    /// The implementation (must have a behavior for each node's callee DFG).
+    pub module: RtlModule,
+    /// Hierarchical nodes executed on this instance.
+    pub nodes: Vec<NodeId>,
+}
+
+/// Register assignment policy.
+#[derive(Clone, Debug, Default)]
+pub enum RegPolicy {
+    /// One register per stored variable (the completely parallel
+    /// architecture of `INITIAL_SOLUTION`).
+    #[default]
+    Dedicated,
+    /// Explicit sharing groups; each inner vector shares one register.
+    /// Variables not listed get dedicated registers.
+    Groups(Vec<Vec<VarRef>>),
+    /// Left-edge register allocation derived from the schedule on every
+    /// build: the minimum register count for the achieved lifetimes
+    /// (values crossing iterations still get dedicated registers).
+    Packed,
+}
+
+/// A buildable description of one RTL module implementing one DFG.
+#[derive(Clone, Debug)]
+pub struct ModuleSpec {
+    /// Module name.
+    pub name: String,
+    /// The DFG to implement.
+    pub dfg: DfgId,
+    /// Functional-unit instances and their operation groups.
+    pub fu_groups: Vec<FuGroup>,
+    /// Submodule instances and their hierarchical-node groups.
+    pub subs: Vec<SubSpec>,
+    /// Register sharing policy.
+    pub reg_policy: RegPolicy,
+}
+
+impl ModuleSpec {
+    /// The completely parallel spec of `INITIAL_SOLUTION`: one functional
+    /// unit per operation (type chosen by `fu_for`), one submodule instance
+    /// per hierarchical node (implementation chosen by `sub_for`), dedicated
+    /// registers.
+    pub fn dedicated(
+        h: &Hierarchy,
+        dfg: DfgId,
+        name: impl Into<String>,
+        mut fu_for: impl FnMut(NodeId, hsyn_dfg::Operation) -> FuTypeId,
+        mut sub_for: impl FnMut(NodeId, DfgId) -> RtlModule,
+    ) -> ModuleSpec {
+        let g = h.dfg(dfg);
+        let mut fu_groups = Vec::new();
+        let mut subs = Vec::new();
+        for (nid, node) in g.nodes() {
+            match node.kind() {
+                NodeKind::Op(op) => fu_groups.push(FuGroup {
+                    fu_type: fu_for(nid, *op),
+                    ops: vec![nid],
+                }),
+                NodeKind::Hier { callee } => subs.push(SubSpec {
+                    module: sub_for(nid, *callee),
+                    nodes: vec![nid],
+                }),
+                _ => {}
+            }
+        }
+        ModuleSpec {
+            name: name.into(),
+            dfg,
+            fu_groups,
+            subs,
+            reg_policy: RegPolicy::Dedicated,
+        }
+    }
+}
+
+/// Context for building: library, operating point, and the timing
+/// constraints the module must satisfy (the paper's constraint set *C*, or
+/// a relaxed [`ConstraintWindow`](hsyn_sched::ConstraintWindow) during
+/// move-*B* resynthesis).
+#[derive(Clone, Debug)]
+pub struct BuildCtx<'a> {
+    /// The simple-module library.
+    pub lib: &'a Library,
+    /// Clock period in ns.
+    pub clk_ns: f64,
+    /// Supply voltage.
+    pub vdd: f64,
+    /// Expected input arrival cycles (`None` ⇒ all zero); becomes the
+    /// profile's input expectations.
+    pub input_arrivals: Option<Vec<u32>>,
+    /// Deadline cycle per output (`None` ⇒ only `sampling_period`).
+    pub output_deadlines: Option<Vec<u32>>,
+    /// Global completion deadline in cycles.
+    pub sampling_period: Option<u32>,
+}
+
+impl<'a> BuildCtx<'a> {
+    /// A context with inputs at cycle 0 and the given deadline.
+    pub fn new(lib: &'a Library, clk_ns: f64, vdd: f64, sampling_period: Option<u32>) -> Self {
+        BuildCtx {
+            lib,
+            clk_ns,
+            vdd,
+            input_arrivals: None,
+            output_deadlines: None,
+            sampling_period,
+        }
+    }
+
+    fn sched_context(&self) -> SchedContext {
+        SchedContext {
+            clk_ns: self.clk_ns,
+            overhead_ns: self.lib.register.overhead_ns,
+            input_arrivals: self.input_arrivals.clone(),
+            output_deadlines: self.output_deadlines.clone(),
+            sampling_period: self.sampling_period,
+        }
+    }
+}
+
+/// Why building a module from a spec failed — each case invalidates the
+/// candidate move that produced the spec.
+#[derive(Clone, Debug, PartialEq)]
+pub enum BuildError {
+    /// An operation node is not covered by exactly one FU group (or a
+    /// hierarchical node by one sub group).
+    BadCover {
+        /// The uncovered / multiply covered node.
+        node: NodeId,
+    },
+    /// A group's library type cannot execute one of its operations.
+    UnsupportedOp {
+        /// The offending node.
+        node: NodeId,
+    },
+    /// A submodule lacks a behavior for a node's callee DFG.
+    MissingBehavior {
+        /// The offending hierarchical node.
+        node: NodeId,
+    },
+    /// Scheduling failed (ordering cycle, deadline, ...).
+    Sched(SchedError),
+    /// Two variables sharing a register have overlapping lifetimes.
+    RegisterConflict {
+        /// First conflicting variable.
+        a: VarRef,
+        /// Second conflicting variable.
+        b: VarRef,
+    },
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::BadCover { node } => {
+                write!(f, "node {node} not covered by exactly one group")
+            }
+            BuildError::UnsupportedOp { node } => {
+                write!(f, "group type cannot execute operation at {node}")
+            }
+            BuildError::MissingBehavior { node } => {
+                write!(f, "submodule lacks a behavior for hierarchical node {node}")
+            }
+            BuildError::Sched(e) => write!(f, "scheduling failed: {e}"),
+            BuildError::RegisterConflict { a, b } => {
+                write!(f, "variables {a} and {b} overlap in a shared register")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+impl From<SchedError> for BuildError {
+    fn from(e: SchedError) -> Self {
+        BuildError::Sched(e)
+    }
+}
+
+/// Build (schedule + assign + validate) an RTL module from `spec`.
+///
+/// # Errors
+///
+/// See [`BuildError`]; any error means the spec is not a valid design point
+/// and the candidate move producing it must be rejected.
+pub fn build(h: &Hierarchy, spec: &ModuleSpec, ctx: &BuildCtx<'_>) -> Result<RtlModule, BuildError> {
+    let g = h.dfg(spec.dfg);
+
+    // --- Coverage maps -----------------------------------------------------
+    let mut op_group: HashMap<NodeId, usize> = HashMap::new();
+    for (gi, group) in spec.fu_groups.iter().enumerate() {
+        for &n in &group.ops {
+            if op_group.insert(n, gi).is_some() {
+                return Err(BuildError::BadCover { node: n });
+            }
+        }
+    }
+    let mut sub_group: HashMap<NodeId, usize> = HashMap::new();
+    for (si, sub) in spec.subs.iter().enumerate() {
+        for &n in &sub.nodes {
+            if sub_group.insert(n, si).is_some() {
+                return Err(BuildError::BadCover { node: n });
+            }
+        }
+    }
+    for (nid, node) in g.nodes() {
+        match node.kind() {
+            NodeKind::Op(op) => {
+                let gi = *op_group.get(&nid).ok_or(BuildError::BadCover { node: nid })?;
+                let fu = ctx.lib.fu(spec.fu_groups[gi].fu_type);
+                if !fu.supports(*op) {
+                    return Err(BuildError::UnsupportedOp { node: nid });
+                }
+            }
+            NodeKind::Hier { callee } => {
+                let si = *sub_group.get(&nid).ok_or(BuildError::BadCover { node: nid })?;
+                if spec.subs[si].module.behavior_for(*callee).is_none() {
+                    return Err(BuildError::MissingBehavior { node: nid });
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // --- Delays and orderings ---------------------------------------------
+    let node_delay = |nid: NodeId| -> NodeDelay {
+        match g.node(nid).kind() {
+            NodeKind::Op(_) => {
+                let gi = op_group[&nid];
+                let fu = ctx.lib.fu(spec.fu_groups[gi].fu_type);
+                if fu.is_pipelined() {
+                    NodeDelay::Pipelined {
+                        stages: ctx.lib.latency_cycles(
+                            spec.fu_groups[gi].fu_type,
+                            ctx.clk_ns,
+                            ctx.vdd,
+                        ),
+                    }
+                } else {
+                    NodeDelay::Combinational {
+                        ns: ctx.lib.technology.scale_delay(fu.delay_ns(), ctx.vdd),
+                    }
+                }
+            }
+            NodeKind::Hier { callee } => {
+                let si = sub_group[&nid];
+                let profile = spec.subs[si]
+                    .module
+                    .profile_for(*callee)
+                    .expect("checked above")
+                    .clone();
+                NodeDelay::Profiled(profile)
+            }
+            _ => NodeDelay::Free,
+        }
+    };
+
+    // Ordering priorities: unconstrained ASAP in rough cycle units.
+    let prio = asap_priority(g, |n| match node_delay(n) {
+        NodeDelay::Free => 0,
+        NodeDelay::Combinational { ns } => {
+            ((ns / (ctx.clk_ns - ctx.lib.register.overhead_ns)).ceil() as u64).max(1)
+        }
+        NodeDelay::Pipelined { stages } => u64::from(stages),
+        NodeDelay::Profiled(p) => u64::from(p.latency()).max(1),
+    });
+    // Resource keys for ordering: FU groups and sub groups with >= 2 nodes.
+    let serial = derive_orderings(
+        g,
+        |n| {
+            if let Some(&gi) = op_group.get(&n) {
+                if spec.fu_groups[gi].ops.len() > 1 {
+                    return Some(("fu", gi));
+                }
+            }
+            if let Some(&si) = sub_group.get(&n) {
+                if spec.subs[si].nodes.len() > 1 {
+                    return Some(("sub", si));
+                }
+            }
+            None
+        },
+        &prio,
+    );
+
+    // --- Schedule -----------------------------------------------------------
+    let sctx = ctx.sched_context();
+    let sched = schedule(g, node_delay, &serial, &sctx)?;
+
+    // --- Registers ----------------------------------------------------------
+    let storage = storage_analysis(g, &sched);
+    let mut var_to_reg: HashMap<VarRef, RegId> = HashMap::new();
+    let mut regs: Vec<RegInstance> = Vec::new();
+    match &spec.reg_policy {
+        RegPolicy::Dedicated => {
+            for v in &storage.stored_vars {
+                let id = RegId::from_index(regs.len());
+                regs.push(RegInstance {
+                    name: format!("r{}", regs.len()),
+                });
+                var_to_reg.insert(*v, id);
+            }
+        }
+        RegPolicy::Groups(groups) => {
+            let mut assigned: HashMap<VarRef, RegId> = HashMap::new();
+            for group in groups {
+                let members: Vec<VarRef> = group
+                    .iter()
+                    .copied()
+                    .filter(|v| storage.stored_vars.contains(v))
+                    .collect();
+                if members.is_empty() {
+                    continue;
+                }
+                // Pairwise lifetime compatibility.
+                for i in 0..members.len() {
+                    for j in (i + 1)..members.len() {
+                        if storage.conflicts(members[i], members[j]) {
+                            return Err(BuildError::RegisterConflict {
+                                a: members[i],
+                                b: members[j],
+                            });
+                        }
+                    }
+                }
+                let id = RegId::from_index(regs.len());
+                regs.push(RegInstance {
+                    name: format!("r{}", regs.len()),
+                });
+                for v in members {
+                    assigned.insert(v, id);
+                }
+            }
+            for v in &storage.stored_vars {
+                if !assigned.contains_key(v) {
+                    let id = RegId::from_index(regs.len());
+                    regs.push(RegInstance {
+                        name: format!("r{}", regs.len()),
+                    });
+                    assigned.insert(*v, id);
+                }
+            }
+            var_to_reg = assigned;
+        }
+        RegPolicy::Packed => {
+            // Left-edge allocation: sort by birth, reuse the first register
+            // whose last occupant died before this value is born.
+            let mut order: Vec<VarRef> = storage.stored_vars.clone();
+            order.sort_by_key(|v| {
+                let (b, d, _) = storage.lifetimes[v];
+                (b, d, *v)
+            });
+            let mut reg_death: Vec<u32> = Vec::new(); // shareable pool
+            let mut slot_of: HashMap<VarRef, usize> = HashMap::new();
+            for v in order {
+                let (b, d, sticky) = storage.lifetimes[&v];
+                if sticky {
+                    let id = RegId::from_index(regs.len());
+                    regs.push(RegInstance {
+                        name: format!("r{}", regs.len()),
+                    });
+                    var_to_reg.insert(v, id);
+                    continue;
+                }
+                // Non-conflict with the previous occupant: its death is
+                // strictly before this birth (see StorageAnalysis::conflicts).
+                match reg_death.iter().position(|&death| death < b) {
+                    Some(slot) => {
+                        reg_death[slot] = reg_death[slot].max(d);
+                        slot_of.insert(v, slot);
+                    }
+                    None => {
+                        reg_death.push(d);
+                        slot_of.insert(v, reg_death.len() - 1);
+                    }
+                }
+            }
+            // Materialize the shareable pool after the sticky registers.
+            let base = regs.len();
+            for _ in 0..reg_death.len() {
+                regs.push(RegInstance {
+                    name: format!("r{}", regs.len()),
+                });
+            }
+            for (v, slot) in slot_of {
+                var_to_reg.insert(v, RegId::from_index(base + slot));
+            }
+        }
+    }
+
+    // --- Assemble -----------------------------------------------------------
+    let fus: Vec<FuInstance> = spec
+        .fu_groups
+        .iter()
+        .enumerate()
+        .map(|(i, grp)| FuInstance {
+            fu_type: grp.fu_type,
+            name: format!("{}{}", ctx.lib.fu(grp.fu_type).name(), i),
+        })
+        .collect();
+    let mut binding = Binding::default();
+    for (gi, group) in spec.fu_groups.iter().enumerate() {
+        for &n in &group.ops {
+            binding.op_to_fu.insert(n, FuInstId::from_index(gi));
+        }
+    }
+    for (si, sub) in spec.subs.iter().enumerate() {
+        for &n in &sub.nodes {
+            binding.hier_to_sub.insert(n, SubId::from_index(si));
+        }
+    }
+    binding.var_to_reg = var_to_reg;
+
+    let profile = derive_profile(g, &sched, &sctx);
+    let behavior = Behavior {
+        dfg: spec.dfg,
+        binding,
+        schedule: sched,
+        serial,
+        profile,
+    };
+    Ok(RtlModule::new(
+        spec.name.clone(),
+        fus,
+        regs,
+        spec.subs.iter().map(|s| s.module.clone()).collect(),
+        vec![behavior],
+    ))
+}
+
+/// The profile a freshly built module exposes: its assumed input arrivals
+/// and achieved output times.
+fn derive_profile(g: &hsyn_dfg::Dfg, sched: &Schedule, sctx: &SchedContext) -> Profile {
+    let inputs: Vec<u32> = (0..g.input_count())
+        .map(|i| {
+            sctx.input_arrivals
+                .as_ref()
+                .and_then(|v| v.get(i).copied())
+                .unwrap_or(0)
+        })
+        .collect();
+    let outputs: Vec<u32> = g
+        .outputs()
+        .iter()
+        .map(|&o| {
+            let e = g.driver(o, 0).expect("validated dfg");
+            if e.delay > 0 {
+                0
+            } else {
+                sched.result_cycle_of_port(e.from.node, e.from.port)
+            }
+        })
+        .collect();
+    Profile::new(inputs, outputs)
+}
+
+/// Which variables need storage, their lifetimes, and per-edge chaining
+/// classification.
+pub struct StorageAnalysis {
+    /// Variables that must be registered, in deterministic order.
+    pub stored_vars: Vec<VarRef>,
+    /// `(birth, death, sticky)` per stored var, aligned with `stored_vars`;
+    /// sticky variables live across iterations (delayed consumers).
+    pub lifetimes: HashMap<VarRef, (u32, u32, bool)>,
+    /// Edges consumed combinationally (chained), by edge index.
+    pub chained_edges: Vec<bool>,
+}
+
+impl StorageAnalysis {
+    /// Whether two stored variables cannot share a register.
+    pub fn conflicts(&self, a: VarRef, b: VarRef) -> bool {
+        if a == b {
+            return false;
+        }
+        let (ba, da, sa) = self.lifetimes[&a];
+        let (bb, db, sb) = self.lifetimes[&b];
+        if sa || sb {
+            return true; // cross-iteration values get dedicated registers
+        }
+        // Register occupied from the write (end of cycle birth−1) through
+        // the last read (start of cycle death): intervals (bₐ−1, dₐ] and
+        // (b_b−1, d_b] intersect iff bₐ ≤ d_b and b_b ≤ dₐ.
+        ba <= db && bb <= da
+    }
+}
+
+/// Analyze storage needs for a scheduled DFG (public: the power estimator
+/// and connectivity analysis reuse the same classification).
+///
+/// Lifetimes use the schedule's makespan as the iteration horizon; values
+/// crossing iteration boundaries (delayed consumers) are *sticky* and get
+/// dedicated registers.
+pub fn storage_analysis(g: &hsyn_dfg::Dfg, sched: &Schedule) -> StorageAnalysis {
+    let horizon = sched.makespan();
+    let mut chained_edges = vec![false; g.edge_count()];
+    let mut needs: HashMap<VarRef, (u32, u32, bool)> = HashMap::new();
+
+    for (eid, e) in g.edges() {
+        let producer_kind = g.node(e.from.node).kind();
+        // Constants are hardwired; they never occupy registers.
+        if matches!(producer_kind, NodeKind::Const { .. }) {
+            continue;
+        }
+        let birth = sched.result_cycle_of_port(e.from.node, e.from.port);
+        let consumer = g.node(e.to);
+        let consumer_start = sched.time(e.to).start;
+        let producer_result = sched.result_tick_of_port(e.from.node, e.from.port);
+
+        let chained = e.delay == 0
+            && matches!(producer_kind, NodeKind::Op(_))
+            && matches!(consumer.kind(), NodeKind::Op(_))
+            && !producer_result.is_boundary()
+            && consumer_start == producer_result;
+        if chained {
+            chained_edges[eid.index()] = true;
+            continue;
+        }
+
+        let var = e.from;
+        let (death, sticky) = if e.delay > 0 {
+            (horizon, true)
+        } else {
+            match consumer.kind() {
+                // Output values are held for the parent until the iteration
+                // ends.
+                NodeKind::Output { .. } => (horizon, false),
+                _ => (consumer_start.cycle, false),
+            }
+        };
+        let entry = needs.entry(var).or_insert((birth, death, sticky));
+        entry.0 = entry.0.min(birth);
+        entry.1 = entry.1.max(death);
+        entry.2 |= sticky;
+    }
+
+    let mut stored_vars: Vec<VarRef> = needs.keys().copied().collect();
+    stored_vars.sort();
+    StorageAnalysis {
+        stored_vars,
+        lifetimes: needs,
+        chained_edges,
+    }
+}
+
+/// Compute the slack-derived constraint window of every schedulable node of
+/// a built behavior — a thin wrapper wiring the module's achieved schedule
+/// into [`hsyn_sched::module_window`].
+pub fn window_of(
+    h: &Hierarchy,
+    module: &RtlModule,
+    behavior_idx: usize,
+    ctx: &BuildCtx<'_>,
+    node: NodeId,
+) -> hsyn_sched::ConstraintWindow {
+    let b = &module.behaviors()[behavior_idx];
+    let g = h.dfg(b.dfg);
+    let sctx = ctx.sched_context();
+    let alap = alap_starts(g, &b.schedule, &b.serial, &sctx);
+    hsyn_sched::module_window(g, &b.schedule, &alap, &sctx, node)
+}

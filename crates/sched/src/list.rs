@@ -1,0 +1,380 @@
+//! Resource-constrained list scheduling — the classic HLS scheduler the
+//! paper cites as well-studied (ref. 12, Gajski et al.). The iterative
+//! engine itself schedules by longest path over ordering edges; this module
+//! provides the complementary formulation (fixed resource *counts*, derive
+//! the schedule and an implied binding), used to cross-check the engine's
+//! scheduler and to bootstrap resource-shared designs.
+
+use hsyn_dfg::{Dfg, NodeId};
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Result of list scheduling.
+#[derive(Clone, Debug)]
+pub struct ListSchedule<K> {
+    /// Start cycle per node (free nodes start with their producers).
+    pub start: Vec<u32>,
+    /// For resource-bound nodes: the `(class, instance index)` executing it.
+    pub instance: Vec<Option<(K, usize)>>,
+    /// Completion cycle.
+    pub makespan: u32,
+}
+
+impl<K: Eq + Hash + Clone> ListSchedule<K> {
+    /// Group nodes by assigned instance — the binding the schedule implies
+    /// (feed these as `FuGroup`s to the RTL builder).
+    pub fn groups(&self) -> HashMap<(K, usize), Vec<NodeId>> {
+        let mut out: HashMap<(K, usize), Vec<NodeId>> = HashMap::new();
+        for (i, inst) in self.instance.iter().enumerate() {
+            if let Some(key) = inst {
+                out.entry(key.clone()).or_default().push(NodeId::from_index(i));
+            }
+        }
+        out
+    }
+}
+
+/// Why list scheduling failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ListSchedError {
+    /// The zero-delay subgraph is cyclic.
+    Cycle,
+    /// A schedulable node's class has zero available instances.
+    NoResource {
+        /// The starved node.
+        node: NodeId,
+    },
+    /// The deadline was exceeded.
+    DeadlineMissed {
+        /// Cycle the schedule would need.
+        needed: u32,
+        /// The deadline.
+        deadline: u32,
+    },
+}
+
+impl std::fmt::Display for ListSchedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ListSchedError::Cycle => write!(f, "combinational cycle"),
+            ListSchedError::NoResource { node } => {
+                write!(f, "no resource instance available for {node}")
+            }
+            ListSchedError::DeadlineMissed { needed, deadline } => {
+                write!(f, "list schedule needs cycle {needed}, deadline {deadline}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ListSchedError {}
+
+/// List-schedule `g` under resource constraints.
+///
+/// * `dur` — duration of each node in whole cycles (0 for free nodes);
+/// * `class` — the resource class a node competes in (`None` = unlimited);
+/// * `count` — how many instances of a class exist;
+/// * `deadline` — optional completion bound.
+///
+/// Ready operations are prioritized by the longest remaining path to a sink
+/// (critical-path list scheduling); ties break on node index, so the result
+/// is deterministic.
+///
+/// # Errors
+///
+/// See [`ListSchedError`].
+pub fn list_schedule<K: Eq + Hash + Clone>(
+    g: &Dfg,
+    mut dur: impl FnMut(NodeId) -> u32,
+    mut class: impl FnMut(NodeId) -> Option<K>,
+    mut count: impl FnMut(&K) -> usize,
+    deadline: Option<u32>,
+) -> Result<ListSchedule<K>, ListSchedError> {
+    let n = g.node_count();
+    let order = hsyn_dfg::analysis::topo_order(g).map_err(|_| ListSchedError::Cycle)?;
+
+    let durations: Vec<u32> = (0..n).map(|i| dur(NodeId::from_index(i))).collect();
+    // Priority: longest path (in cycles) from the node to any sink.
+    let mut remaining = vec![0u32; n];
+    for &nid in order.iter().rev() {
+        let mut best = 0;
+        for (_, e) in g.out_edges(nid) {
+            if e.delay == 0 {
+                best = best.max(remaining[e.to.index()]);
+            }
+        }
+        remaining[nid.index()] = best + durations[nid.index()];
+    }
+
+    // Dependency counters over zero-delay edges.
+    let mut pending = vec![0usize; n];
+    for (_, e) in g.edges() {
+        if e.delay == 0 {
+            pending[e.to.index()] += 1;
+        }
+    }
+
+    // Per-class instance pools: busy-until cycle per instance.
+    let mut pools: HashMap<K, Vec<u32>> = HashMap::new();
+    let mut start = vec![0u32; n];
+    let mut finish = vec![0u32; n];
+    let mut instance: Vec<Option<(K, usize)>> = vec![None; n];
+    let mut scheduled = vec![false; n];
+
+    // Earliest data-ready cycle per node, updated as producers finish.
+    let mut ready_at = vec![0u32; n];
+    let mut ready: Vec<NodeId> = (0..n)
+        .filter(|&i| pending[i] == 0)
+        .map(NodeId::from_index)
+        .collect();
+
+    let mut cycle = 0u32;
+    let mut done = 0usize;
+    let hard_stop = deadline.map(|d| d + 1).unwrap_or(u32::MAX);
+    while done < n {
+        // Within one cycle, keep scheduling until nothing else can start
+        // (newly-readied zero-duration chains start the same cycle).
+        loop {
+            ready.sort_by_key(|&nid| {
+                (std::cmp::Reverse(remaining[nid.index()]), nid.index())
+            });
+            let mut leftover = Vec::new();
+            let mut progress = false;
+            for &nid in &ready {
+                let i = nid.index();
+                if scheduled[i] {
+                    continue;
+                }
+                if ready_at[i] > cycle {
+                    leftover.push(nid);
+                    continue;
+                }
+                match class(nid) {
+                    None => {} // unlimited resources (free nodes)
+                    Some(k) => {
+                        let cap = count(&k);
+                        if cap == 0 {
+                            return Err(ListSchedError::NoResource { node: nid });
+                        }
+                        let pool = pools.entry(k.clone()).or_insert_with(|| vec![0; cap]);
+                        // The instance free soonest.
+                        let (slot, &busy_until) = pool
+                            .iter()
+                            .enumerate()
+                            .min_by_key(|(_, &b)| b)
+                            .expect("cap >= 1");
+                        if busy_until > cycle {
+                            leftover.push(nid);
+                            continue;
+                        }
+                        instance[i] = Some((k, slot));
+                        pool[slot] = cycle + durations[i].max(1);
+                    }
+                }
+                scheduled[i] = true;
+                progress = true;
+                done += 1;
+                start[i] = cycle;
+                finish[i] = cycle + durations[i];
+                for (_, e) in g.out_edges(nid) {
+                    if e.delay == 0 {
+                        let t = e.to.index();
+                        pending[t] -= 1;
+                        ready_at[t] = ready_at[t].max(finish[i]);
+                        if pending[t] == 0 {
+                            leftover.push(e.to);
+                        }
+                    }
+                }
+            }
+            ready = leftover;
+            if !progress {
+                break;
+            }
+        }
+        if done < n {
+            cycle += 1;
+            if cycle >= hard_stop {
+                return Err(ListSchedError::DeadlineMissed {
+                    needed: cycle,
+                    deadline: deadline.unwrap_or(0),
+                });
+            }
+        }
+    }
+
+    let makespan = finish.iter().copied().max().unwrap_or(0);
+    if let Some(d) = deadline {
+        if makespan > d {
+            return Err(ListSchedError::DeadlineMissed {
+                needed: makespan,
+                deadline: d,
+            });
+        }
+    }
+    Ok(ListSchedule {
+        start,
+        instance,
+        makespan,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hsyn_dfg::{Dfg, NodeKind, Operation, VarRef};
+
+    /// Four independent multiplications feeding an adder tree.
+    fn sop4() -> Dfg {
+        let mut g = Dfg::new("sop4");
+        let xs: Vec<VarRef> = (0..8).map(|i| g.add_input(format!("x{i}"))).collect();
+        let mut prods = Vec::new();
+        for i in 0..4 {
+            prods.push(g.add_op(Operation::Mult, format!("m{i}"), &[xs[2 * i], xs[2 * i + 1]]));
+        }
+        let s0 = g.add_op(Operation::Add, "s0", &[prods[0], prods[1]]);
+        let s1 = g.add_op(Operation::Add, "s1", &[prods[2], prods[3]]);
+        let s2 = g.add_op(Operation::Add, "s2", &[s0, s1]);
+        g.add_output("y", s2);
+        g
+    }
+
+    fn op_class(g: &Dfg) -> impl FnMut(NodeId) -> Option<Operation> + '_ {
+        |n| match g.node(n).kind() {
+            NodeKind::Op(op) => Some(*op),
+            _ => None,
+        }
+    }
+
+    fn dur(g: &Dfg) -> impl FnMut(NodeId) -> u32 + '_ {
+        |n| match g.node(n).kind() {
+            NodeKind::Op(Operation::Mult) => 3,
+            NodeKind::Op(_) => 1,
+            _ => 0,
+        }
+    }
+
+    #[test]
+    fn unlimited_resources_reproduce_asap() {
+        let g = sop4();
+        let s = list_schedule(&g, dur(&g), op_class(&g), |_| 8, None).unwrap();
+        // All mults at 0, adds at 3, final add at 4.
+        for (nid, node) in g.nodes() {
+            match node.kind() {
+                NodeKind::Op(Operation::Mult) => assert_eq!(s.start[nid.index()], 0),
+                _ => {}
+            }
+        }
+        assert_eq!(s.makespan, 5);
+    }
+
+    #[test]
+    fn single_multiplier_serializes() {
+        let g = sop4();
+        let s = list_schedule(
+            &g,
+            dur(&g),
+            op_class(&g),
+            |k| if *k == Operation::Mult { 1 } else { 4 },
+            None,
+        )
+        .unwrap();
+        // Four 3-cycle mults on one unit: starts 0, 3, 6, 9.
+        let mut starts: Vec<u32> = g
+            .nodes()
+            .filter(|(_, n)| matches!(n.kind(), NodeKind::Op(Operation::Mult)))
+            .map(|(id, _)| s.start[id.index()])
+            .collect();
+        starts.sort_unstable();
+        assert_eq!(starts, vec![0, 3, 6, 9]);
+        assert_eq!(s.makespan, 14);
+        // All four landed on the same instance.
+        let groups = s.groups();
+        assert_eq!(groups[&(Operation::Mult, 0)].len(), 4);
+    }
+
+    #[test]
+    fn two_multipliers_halve_the_serialization() {
+        let g = sop4();
+        let s = list_schedule(
+            &g,
+            dur(&g),
+            op_class(&g),
+            |k| if *k == Operation::Mult { 2 } else { 4 },
+            None,
+        )
+        .unwrap();
+        assert_eq!(s.makespan, 8); // two waves of mults (0-3, 3-6) + adds
+        let groups = s.groups();
+        assert_eq!(groups.iter().filter(|((k, _), _)| *k == Operation::Mult).count(), 2);
+    }
+
+    #[test]
+    fn capacity_is_never_exceeded_per_cycle() {
+        let g = sop4();
+        let cap = 2usize;
+        let s = list_schedule(
+            &g,
+            dur(&g),
+            op_class(&g),
+            |k| if *k == Operation::Mult { cap } else { 4 },
+            None,
+        )
+        .unwrap();
+        for cycle in 0..=s.makespan {
+            let busy = g
+                .nodes()
+                .filter(|(id, n)| {
+                    matches!(n.kind(), NodeKind::Op(Operation::Mult))
+                        && s.start[id.index()] <= cycle
+                        && cycle < s.start[id.index()] + 3
+                })
+                .count();
+            assert!(busy <= cap, "cycle {cycle}: {busy} multipliers busy");
+        }
+    }
+
+    #[test]
+    fn deadline_violation_detected() {
+        let g = sop4();
+        let err = list_schedule(
+            &g,
+            dur(&g),
+            op_class(&g),
+            |k| if *k == Operation::Mult { 1 } else { 4 },
+            Some(8),
+        )
+        .unwrap_err();
+        assert!(matches!(err, ListSchedError::DeadlineMissed { .. }));
+    }
+
+    #[test]
+    fn zero_capacity_is_an_error() {
+        let g = sop4();
+        let err = list_schedule(&g, dur(&g), op_class(&g), |_| 0, None).unwrap_err();
+        assert!(matches!(err, ListSchedError::NoResource { .. }));
+    }
+
+    #[test]
+    fn dependencies_always_respected() {
+        let g = sop4();
+        let s = list_schedule(
+            &g,
+            dur(&g),
+            op_class(&g),
+            |k| if *k == Operation::Mult { 3 } else { 1 },
+            None,
+        )
+        .unwrap();
+        let mut d = dur(&g);
+        for (_, e) in g.edges() {
+            if e.delay == 0 {
+                let p = e.from.node.index();
+                assert!(
+                    s.start[e.to.index()] >= s.start[p] + d(e.from.node),
+                    "consumer before producer"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,216 @@
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The *profile* of an RTL module (paper, Section 2): the expected input
+/// arrival times and the resulting output times, in clock cycles, relative
+/// to the module's own start.
+///
+/// "Given the profile of a module and the input arrival times, the output
+/// arrival times can be computed": the module starts at
+/// `max_i(arrival_i - input_i)` and output `j` appears `outputs[j]` cycles
+/// after the start.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct Profile {
+    /// Expected arrival cycle of each input, relative to module start.
+    pub inputs: Vec<u32>,
+    /// Production cycle of each output, relative to module start.
+    pub outputs: Vec<u32>,
+}
+
+impl Profile {
+    /// Build a profile; input expectations and output productions in cycles.
+    pub fn new(inputs: Vec<u32>, outputs: Vec<u32>) -> Self {
+        Profile { inputs, outputs }
+    }
+
+    /// Number of inputs.
+    pub fn input_count(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Number of outputs.
+    pub fn output_count(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// The earliest start cycle at which the module can begin, given actual
+    /// input `arrivals` (absolute cycles): `max(0, max_i(arrival_i -
+    /// inputs_i))`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arrivals.len() != self.input_count()`.
+    pub fn start_for(&self, arrivals: &[u32]) -> u32 {
+        assert_eq!(
+            arrivals.len(),
+            self.inputs.len(),
+            "arrival count must match profile input count"
+        );
+        arrivals
+            .iter()
+            .zip(&self.inputs)
+            .map(|(&a, &e)| a.saturating_sub(e))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Absolute production cycles of the outputs when the module starts at
+    /// `start`.
+    pub fn output_times(&self, start: u32) -> Vec<u32> {
+        self.outputs.iter().map(|&o| start + o).collect()
+    }
+
+    /// Total latency: the latest output time relative to start.
+    pub fn latency(&self) -> u32 {
+        self.outputs.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Whether a module with this profile can serve a request whose inputs
+    /// arrive at `arrivals` and whose outputs are due by `deadlines`
+    /// (absolute cycles).
+    pub fn fits(&self, arrivals: &[u32], deadlines: &[u32]) -> bool {
+        if arrivals.len() != self.inputs.len() || deadlines.len() != self.outputs.len() {
+            return false;
+        }
+        let start = self.start_for(arrivals);
+        self.output_times(start)
+            .iter()
+            .zip(deadlines)
+            .all(|(&t, &d)| t <= d)
+    }
+}
+
+impl fmt::Display for Profile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, t) in self.inputs.iter().chain(self.outputs.iter()).enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// The *environment* of an RTL module instance for a hierarchical node
+/// mapped to it (paper, Section 2): the actual arrival times of its inputs
+/// and the times its outputs are consumed, in the scheduled circuit.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct Environment {
+    /// Absolute arrival cycle of each input.
+    pub input_arrivals: Vec<u32>,
+    /// Absolute cycle at which each output is (last) consumed.
+    pub output_consumptions: Vec<u32>,
+}
+
+impl Environment {
+    /// Whether a module with `profile`, started as early as its inputs
+    /// allow, meets this environment.
+    pub fn admits(&self, profile: &Profile) -> bool {
+        profile.fits(&self.input_arrivals, &self.output_consumptions)
+    }
+}
+
+impl fmt::Display for Environment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, t) in self
+            .input_arrivals
+            .iter()
+            .chain(self.output_consumptions.iter())
+            .enumerate()
+        {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Example 1, verbatim: Profile(RTL3, DFG3) = {0, 0, 2, 4,
+    /// 7}; inputs at 2, 5, 3, 7 ⇒ start at 5, output at 12.
+    #[test]
+    fn paper_example_1_arithmetic() {
+        let p = Profile::new(vec![0, 0, 2, 4], vec![7]);
+        let start = p.start_for(&[2, 5, 3, 7]);
+        assert_eq!(start, 5);
+        assert_eq!(p.output_times(start), vec![12]);
+    }
+
+    /// Example 1 continued: all four inputs at 0 ⇒ output at 7; RTL4
+    /// consumes it at 9, so Env = {0,0,0,0,9} admits the profile.
+    #[test]
+    fn paper_example_1_environment() {
+        let p = Profile::new(vec![0, 0, 2, 4], vec![7]);
+        let env = Environment {
+            input_arrivals: vec![0, 0, 0, 0],
+            output_consumptions: vec![9],
+        };
+        assert!(env.admits(&p));
+        let tight = Environment {
+            input_arrivals: vec![0, 0, 0, 0],
+            output_consumptions: vec![6],
+        };
+        assert!(!tight.admits(&p));
+    }
+
+    /// Example 2: RTL2's initial profile {0,0,0,0,6,3} fits the relaxed
+    /// window {0,0,0,0,9,9}; a slower profile {0,0,0,0,8,7} also fits the
+    /// window but not the original consumption times.
+    #[test]
+    fn paper_example_2_relaxation() {
+        let relaxed = Environment {
+            input_arrivals: vec![0, 0, 0, 0],
+            output_consumptions: vec![9, 9],
+        };
+        let original = Profile::new(vec![0, 0, 0, 0], vec![6, 3]);
+        let slower = Profile::new(vec![0, 0, 0, 0], vec![8, 7]);
+        assert!(relaxed.admits(&original));
+        assert!(relaxed.admits(&slower));
+        let tight = Environment {
+            input_arrivals: vec![0, 0, 0, 0],
+            output_consumptions: vec![6, 3],
+        };
+        assert!(tight.admits(&original));
+        assert!(!tight.admits(&slower));
+    }
+
+    #[test]
+    fn start_clamps_at_zero() {
+        let p = Profile::new(vec![3, 5], vec![6]);
+        assert_eq!(p.start_for(&[0, 0]), 0);
+        assert_eq!(p.start_for(&[4, 0]), 1);
+    }
+
+    #[test]
+    fn latency_is_max_output() {
+        let p = Profile::new(vec![0], vec![3, 9, 5]);
+        assert_eq!(p.latency(), 9);
+    }
+
+    #[test]
+    fn fits_rejects_arity_mismatch() {
+        let p = Profile::new(vec![0, 0], vec![1]);
+        assert!(!p.fits(&[0], &[5]));
+        assert!(!p.fits(&[0, 0], &[5, 5]));
+    }
+
+    #[test]
+    #[should_panic(expected = "arrival count")]
+    fn start_for_rejects_arity_mismatch() {
+        Profile::new(vec![0, 0], vec![1]).start_for(&[0]);
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        let p = Profile::new(vec![0, 0, 2, 4], vec![7]);
+        assert_eq!(p.to_string(), "{0, 0, 2, 4, 7}");
+    }
+}

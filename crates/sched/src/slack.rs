@@ -1,0 +1,223 @@
+use crate::profile::Environment;
+use crate::schedule::{Schedule, SchedContext};
+use hsyn_dfg::{Dfg, NodeId, NodeKind};
+use serde::{Deserialize, Serialize};
+
+/// The relaxed timing window a module (or functional unit) must satisfy for
+/// the surrounding schedule to remain feasible — the paper's *constraint
+/// derivation* step (Figure 5): "each operation … is assigned a new
+/// constraint for synthesis. … The new constraints must preserve
+/// schedulability of the implementation."
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct ConstraintWindow {
+    /// Earliest cycle each input can be guaranteed present (actual arrival
+    /// in the current schedule).
+    pub input_arrivals: Vec<u32>,
+    /// Latest cycle each output may be produced without breaking any
+    /// consumer's latest start.
+    pub output_deadlines: Vec<u32>,
+}
+
+impl ConstraintWindow {
+    /// View the window as an [`Environment`] for profile-admissibility
+    /// checks.
+    pub fn as_environment(&self) -> Environment {
+        Environment {
+            input_arrivals: self.input_arrivals.clone(),
+            output_consumptions: self.output_deadlines.clone(),
+        }
+    }
+}
+
+/// Cycle-level latest-start times under the sampling period (and per-output
+/// deadlines) of `ctx`, computed by a reverse longest-path pass over data
+/// and serialization edges.
+///
+/// Durations are taken from the achieved schedule (chained operations count
+/// a full cycle — conservative, so derived windows never over-promise).
+/// Results are clamped from below by the achieved start times, so the
+/// returned window always contains the current schedule.
+pub fn alap_starts(
+    g: &Dfg,
+    sched: &Schedule,
+    serial: &[(NodeId, NodeId)],
+    ctx: &SchedContext,
+) -> Vec<u32> {
+    let n = g.node_count();
+    let horizon = ctx.sampling_period.unwrap_or_else(|| sched.makespan());
+    // Duration in cycles, conservative.
+    let dur = |i: usize| -> u32 {
+        let t = sched.time(NodeId::from_index(i));
+        let occ = t.occupied.1.saturating_sub(t.occupied.0);
+        if occ == 0 {
+            return 0; // free node (input/const/output): takes no time
+        }
+        let res = t.result.ceil_cycle().saturating_sub(t.start.cycle);
+        occ.max(res)
+    };
+
+    let mut latest_finish = vec![horizon; n];
+    // Per-output deadlines tighten the producing edge.
+    for (i, &outp) in g.outputs().iter().enumerate() {
+        let d = ctx
+            .output_deadlines
+            .as_ref()
+            .and_then(|v| v.get(i).copied())
+            .unwrap_or(horizon);
+        latest_finish[outp.index()] = latest_finish[outp.index()].min(d);
+    }
+
+    // Reverse pass in reverse topological order: process nodes in reverse of
+    // a forward order. Forward order exists because the schedule was built.
+    let order = forward_order(g, serial);
+    for &nid in order.iter().rev() {
+        let i = nid.index();
+        let ls = latest_finish[i].saturating_sub(dur(i));
+        for (_, e) in g.in_edges(nid) {
+            if e.delay == 0 {
+                let p = e.from.node.index();
+                latest_finish[p] = latest_finish[p].min(ls);
+            }
+        }
+        for &(a, b) in serial {
+            if b == nid {
+                let p = a.index();
+                latest_finish[p] = latest_finish[p].min(ls);
+            }
+        }
+    }
+
+    (0..n)
+        .map(|i| {
+            let ls = latest_finish[i].saturating_sub(dur(i));
+            // Never report a window tighter than the achieved schedule.
+            ls.max(sched.time(NodeId::from_index(i)).start.cycle)
+        })
+        .collect()
+}
+
+/// The constraint window for resynthesizing the module executing
+/// hierarchical node `node` (or, degenerately, a functional unit executing
+/// one operation): actual input arrivals, and the latest production cycle
+/// each output may have.
+///
+/// `alap` must come from [`alap_starts`] on the same schedule.
+pub fn module_window(
+    g: &Dfg,
+    sched: &Schedule,
+    alap: &[u32],
+    ctx: &SchedContext,
+    node: NodeId,
+) -> ConstraintWindow {
+    let horizon = ctx.sampling_period.unwrap_or_else(|| sched.makespan());
+    let in_arity = g.in_edges(node).count();
+    let mut input_arrivals = vec![0u32; in_arity];
+    for (_, e) in g.in_edges(node) {
+        let arr = if e.delay > 0 {
+            0
+        } else {
+            sched.result_cycle_of_port(e.from.node, e.from.port)
+        };
+        if let Some(slot) = input_arrivals.get_mut(e.to_port as usize) {
+            *slot = arr;
+        }
+    }
+    let out_arity = g
+        .out_edges(node)
+        .map(|(_, e)| e.from.port as usize + 1)
+        .max()
+        .unwrap_or(0);
+    let mut output_deadlines = vec![horizon; out_arity];
+    for (_, e) in g.out_edges(node) {
+        if e.delay > 0 {
+            continue; // consumed next iteration: due only by the period
+        }
+        let consumer = e.to;
+        let due = match g.node(consumer).kind() {
+            NodeKind::Output { index } => ctx
+                .output_deadlines
+                .as_ref()
+                .and_then(|v| v.get(*index).copied())
+                .unwrap_or(horizon),
+            _ => alap[consumer.index()],
+        };
+        let slot = &mut output_deadlines[e.from.port as usize];
+        *slot = (*slot).min(due);
+    }
+    ConstraintWindow {
+        input_arrivals,
+        output_deadlines,
+    }
+}
+
+/// The *environment* of `node` in the current schedule: actual input
+/// arrivals and actual (earliest) consumption cycle of each output.
+pub fn environment_of(g: &Dfg, sched: &Schedule, node: NodeId) -> Environment {
+    let in_arity = g.in_edges(node).count();
+    let mut input_arrivals = vec![0u32; in_arity];
+    for (_, e) in g.in_edges(node) {
+        let arr = if e.delay > 0 {
+            0
+        } else {
+            sched.result_cycle_of_port(e.from.node, e.from.port)
+        };
+        if let Some(slot) = input_arrivals.get_mut(e.to_port as usize) {
+            *slot = arr;
+        }
+    }
+    let out_arity = g
+        .out_edges(node)
+        .map(|(_, e)| e.from.port as usize + 1)
+        .max()
+        .unwrap_or(0);
+    let mut output_consumptions = vec![u32::MAX; out_arity];
+    for (_, e) in g.out_edges(node) {
+        if e.delay > 0 {
+            continue;
+        }
+        let t = sched.time(e.to).start.cycle;
+        let slot = &mut output_consumptions[e.from.port as usize];
+        *slot = (*slot).min(t);
+    }
+    for slot in &mut output_consumptions {
+        if *slot == u32::MAX {
+            *slot = sched.makespan();
+        }
+    }
+    Environment {
+        input_arrivals,
+        output_consumptions,
+    }
+}
+
+fn forward_order(g: &Dfg, serial: &[(NodeId, NodeId)]) -> Vec<NodeId> {
+    // Kahn over data (delay 0) + serial edges; the caller guarantees
+    // acyclicity (a schedule was already built).
+    let n = g.node_count();
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut indeg = vec![0usize; n];
+    for (_, e) in g.edges() {
+        if e.delay == 0 {
+            adj[e.from.node.index()].push(e.to.index());
+            indeg[e.to.index()] += 1;
+        }
+    }
+    for &(a, b) in serial {
+        adj[a.index()].push(b.index());
+        indeg[b.index()] += 1;
+    }
+    let mut queue: std::collections::VecDeque<usize> =
+        (0..n).filter(|&i| indeg[i] == 0).collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(i) = queue.pop_front() {
+        order.push(NodeId::from_index(i));
+        for &t in &adj[i] {
+            indeg[t] -= 1;
+            if indeg[t] == 0 {
+                queue.push_back(t);
+            }
+        }
+    }
+    debug_assert_eq!(order.len(), n, "caller guarantees acyclicity");
+    order
+}

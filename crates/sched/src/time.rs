@@ -1,0 +1,125 @@
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A point in schedule time: a clock cycle plus a nanosecond offset into
+/// that cycle (used for operator chaining).
+///
+/// `Tick { cycle: c, ns: 0.0 }` is the start of cycle `c`; a combinational
+/// result produced at `Tick { cycle: c, ns: t }` with `t > 0` can be chained
+/// into by another operation in the same cycle, or consumed from a register
+/// in cycle `c + 1` onwards.
+#[derive(Copy, Clone, Debug, Serialize, Deserialize)]
+pub struct Tick {
+    /// Clock cycle index from the start of the iteration.
+    pub cycle: u32,
+    /// Offset into the cycle, in nanoseconds (0 ≤ ns < usable period).
+    pub ns: f64,
+}
+
+impl Tick {
+    /// The start of cycle `cycle`.
+    pub fn at_cycle(cycle: u32) -> Self {
+        Tick { cycle, ns: 0.0 }
+    }
+
+    /// The origin (cycle 0, offset 0).
+    pub fn zero() -> Self {
+        Tick::at_cycle(0)
+    }
+
+    /// The first cycle boundary at or after this tick: `cycle` if the
+    /// offset is zero, `cycle + 1` otherwise.
+    pub fn ceil_cycle(self) -> u32 {
+        if self.ns > 1e-9 {
+            self.cycle + 1
+        } else {
+            self.cycle
+        }
+    }
+
+    /// Whether this tick lies exactly on a cycle boundary.
+    pub fn is_boundary(self) -> bool {
+        self.ns <= 1e-9
+    }
+}
+
+impl PartialEq for Tick {
+    fn eq(&self, other: &Self) -> bool {
+        self.cycle == other.cycle && (self.ns - other.ns).abs() <= 1e-9
+    }
+}
+
+impl PartialOrd for Tick {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        match self.cycle.cmp(&other.cycle) {
+            Ordering::Equal => {
+                if (self.ns - other.ns).abs() <= 1e-9 {
+                    Some(Ordering::Equal)
+                } else {
+                    self.ns.partial_cmp(&other.ns)
+                }
+            }
+            o => Some(o),
+        }
+    }
+}
+
+impl fmt::Display for Tick {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_boundary() {
+            write!(f, "c{}", self.cycle)
+        } else {
+            write!(f, "c{}+{:.1}ns", self.cycle, self.ns)
+        }
+    }
+}
+
+/// The later of two ticks.
+pub fn max_tick(a: Tick, b: Tick) -> Tick {
+    if a.partial_cmp(&b) == Some(Ordering::Less) {
+        b
+    } else {
+        a
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        let a = Tick { cycle: 2, ns: 5.0 };
+        let b = Tick { cycle: 3, ns: 0.0 };
+        let c = Tick { cycle: 2, ns: 7.0 };
+        assert!(a < b);
+        assert!(a < c);
+        assert!(c < b);
+        assert_eq!(max_tick(a, c), c);
+    }
+
+    #[test]
+    fn ceil_cycle_rounds_offsets_up() {
+        assert_eq!(Tick::at_cycle(4).ceil_cycle(), 4);
+        assert_eq!(Tick { cycle: 4, ns: 0.5 }.ceil_cycle(), 5);
+        assert!(Tick::at_cycle(4).is_boundary());
+        assert!(!Tick { cycle: 4, ns: 0.5 }.is_boundary());
+    }
+
+    #[test]
+    fn equality_tolerates_float_noise() {
+        let a = Tick { cycle: 1, ns: 3.0 };
+        let b = Tick {
+            cycle: 1,
+            ns: 3.0 + 1e-12,
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Tick::at_cycle(7).to_string(), "c7");
+        assert_eq!(Tick { cycle: 7, ns: 2.5 }.to_string(), "c7+2.5ns");
+    }
+}

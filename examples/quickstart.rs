@@ -1,0 +1,60 @@
+//! Quickstart: synthesize the classic `Paulin` differential-equation
+//! benchmark for low power under a throughput constraint, then inspect the
+//! resulting RTL.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use hsyn::core::{synthesize, Objective, SynthesisConfig};
+use hsyn::dfg::benchmarks;
+use hsyn::lib::papers::table1_library;
+use hsyn::rtl::{netlist_text, ModuleLibrary};
+
+fn main() {
+    // 1. A behavioral description: the Paulin/HAL differential-equation
+    //    solver (6 multiplications, 2 additions, 2 subtractions, 1 compare).
+    let bench = benchmarks::paulin();
+
+    // 2. A module library: the paper's Table 1 units (fast/slow adders and
+    //    multipliers, chained-adder macros) and default cost models.
+    let mut mlib = ModuleLibrary::from_simple(table1_library());
+    mlib.equiv = bench.equiv.clone();
+
+    // 3. Synthesize for power at a laxity factor of 2.2: the sampling
+    //    period is 2.2x the fastest achievable, and the engine spends that
+    //    slack on slower/lower-energy modules and a reduced supply voltage.
+    let mut config = SynthesisConfig::new(Objective::Power);
+    config.laxity_factor = 2.2;
+    let report = synthesize(&bench.hierarchy, &mlib, &config).expect("paulin synthesizes");
+
+    println!("== Power-optimized Paulin ==");
+    println!("minimum sampling period : {:.0} ns", report.min_period_ns);
+    println!("synthesized for period  : {:.0} ns", report.period_ns);
+    println!("chosen supply voltage   : {} V", report.design.op.vdd);
+    println!(
+        "chosen clock            : {:.1} ns ({} cycle budget)",
+        report.design.op.physical_clk_ns(&mlib.simple),
+        report.design.op.sampling_cycles
+    );
+    println!("area                    : {:.1}", report.evaluation.area.total());
+    println!("power                   : {:.4}", report.evaluation.power.power);
+    println!(
+        "moves committed         : A={} B={} C={} D={} over {} passes",
+        report.stats.applied_a,
+        report.stats.applied_b,
+        report.stats.applied_c,
+        report.stats.applied_d,
+        report.stats.passes
+    );
+
+    // 4. The synthesized RTL: datapath netlist and FSM controller.
+    println!("\n== Datapath ==\n");
+    println!(
+        "{}",
+        netlist_text(&report.design.hierarchy, &report.design.top.built, &mlib.simple)
+    );
+    let fsm = hsyn::rtl::generate_fsm(&report.design.hierarchy, &report.design.top.built);
+    println!("== Controller ({} states) ==\n", fsm.state_count());
+    println!("{fsm}");
+}

@@ -1,0 +1,85 @@
+//! Behavioral transformations before synthesis: constant folding, common-
+//! subexpression elimination, dead-code elimination, and tree-height
+//! reduction reshape the DFG so the synthesizer starts from a better graph
+//! (the ref [4] direction of low-power behavioral synthesis).
+//!
+//! ```text
+//! cargo run --release --example transformations
+//! ```
+
+use hsyn::core::{synthesize, Objective, SynthesisConfig};
+use hsyn::dfg::{text, transform, Hierarchy};
+use hsyn::lib::papers::table1_library;
+use hsyn::rtl::ModuleLibrary;
+
+const SOURCE: &str = "
+# A polynomial evaluator written carelessly: repeated subexpressions,
+# constant work, an unused diagnostic, and a long addition chain.
+dfg poly {
+  input x
+  input y
+  const c2 = 2
+  const c3 = 3
+  const c6 = 6
+  cc = mult c2 c3          # constant: folds to 6
+  xx1 = mult x x
+  xx2 = mult x x           # duplicate of xx1
+  t1 = mult xx1 c6
+  t2 = mult xx2 cc         # becomes a duplicate of t1 after folding + CSE
+  dbg = mult t1 y          # dead: never reaches an output
+  a1 = add t1 x
+  a2 = add a1 y
+  a3 = add a2 t2
+  a4 = add a3 x
+  a5 = add a4 y
+  output p = a5
+}
+top poly
+";
+
+fn main() {
+    let parsed = text::parse(SOURCE).expect("well-formed");
+    let g = parsed.hierarchy.dfg(parsed.hierarchy.top());
+
+    println!("before: {} operations, critical path {} op-levels", g.schedulable_count(), depth(g));
+    let (optimized, stats) = transform::optimize(g, 16);
+    println!(
+        "after : {} operations, critical path {} op-levels",
+        optimized.schedulable_count(),
+        depth(&optimized)
+    );
+    println!(
+        "  folded {} constants, merged {} duplicates, removed {} dead ops, rebalanced {} chains\n",
+        stats.folded, stats.cse_merged, stats.dead_removed, stats.rebalanced
+    );
+
+    let mut before_h = Hierarchy::new();
+    let id = before_h.add_dfg(g.clone());
+    before_h.set_top(id);
+    let mut after_h = Hierarchy::new();
+    let id = after_h.add_dfg(optimized);
+    after_h.set_top(id);
+
+    let mlib = ModuleLibrary::from_simple(table1_library());
+    let mut config = SynthesisConfig::new(Objective::Area);
+    config.laxity_factor = 1.5;
+    for (label, h) in [("original", &before_h), ("transformed", &after_h)] {
+        match synthesize(h, &mlib, &config) {
+            Ok(r) => println!(
+                "{label:<12} -> area {:>7.1}, power {:>7.4}, min period {:>5.0} ns, {:.2}s",
+                r.evaluation.area.total(),
+                r.evaluation.power.power,
+                r.min_period_ns,
+                r.elapsed_s
+            ),
+            Err(e) => println!("{label:<12} -> failed: {e}"),
+        }
+    }
+    println!("\nThe transformed graph synthesizes at least as small and, with the");
+    println!("rebalanced adder chain, reaches a shorter minimum sampling period.");
+}
+
+fn depth(g: &hsyn::dfg::Dfg) -> u64 {
+    hsyn::dfg::analysis::critical_path(g, |n| u64::from(g.node(n).kind().is_schedulable()))
+        .expect("acyclic")
+}

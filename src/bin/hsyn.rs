@@ -1,0 +1,244 @@
+//! `hsyn` — command-line driver: read a textual hierarchical DFG, run
+//! H-SYN synthesis, and report the resulting architecture.
+//!
+//! ```text
+//! hsyn <behavior.dfg> [options]
+//!
+//! options:
+//!   --objective area|power   what to optimize            (default: power)
+//!   --laxity <f>             sampling period / minimum   (default: 2.2)
+//!   --period <ns>            explicit sampling period (overrides --laxity)
+//!   --library table1|realistic                           (default: realistic)
+//!   --flat                   flattened synthesis (the baseline)
+//!   --netlist                print the structural netlist
+//!   --fsm                    print the FSM controller
+//!   --verilog <file>         write structural Verilog
+//!   --dot <file>             write the hierarchy as Graphviz DOT
+//!   --power-report           print the per-module power attribution
+//!   --seed <n>               trace RNG seed
+//! ```
+
+use hsyn::core::{synthesize, Objective, SynthesisConfig};
+use hsyn::dfg::text;
+use hsyn::lib::{papers::table1_library, Library};
+use hsyn::rtl::{generate_fsm, netlist_text, verilog_text, ModuleLibrary};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: hsyn <behavior.dfg> [--objective area|power] [--laxity F] [--period NS]\n\
+         \x20           [--library table1|realistic] [--flat] [--netlist] [--fsm]\n\
+         \x20           [--verilog FILE] [--dot FILE] [--power-report] [--seed N]"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut input: Option<String> = None;
+    let mut objective = Objective::Power;
+    let mut laxity = 2.2f64;
+    let mut period: Option<f64> = None;
+    let mut library = "realistic".to_owned();
+    let mut flat = false;
+    let mut show_netlist = false;
+    let mut show_fsm = false;
+    let mut verilog_out: Option<String> = None;
+    let mut dot_out: Option<String> = None;
+    let mut power_report = false;
+    let mut seed: Option<u64> = None;
+
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        let mut take = |name: &str| -> Option<String> {
+            match it.next() {
+                Some(v) => Some(v),
+                None => {
+                    eprintln!("{name} expects a value");
+                    None
+                }
+            }
+        };
+        match arg.as_str() {
+            "--objective" => match take("--objective").as_deref() {
+                Some("area") => objective = Objective::Area,
+                Some("power") => objective = Objective::Power,
+                _ => return usage(),
+            },
+            "--laxity" => match take("--laxity").and_then(|v| v.parse().ok()) {
+                Some(v) => laxity = v,
+                None => return usage(),
+            },
+            "--period" => match take("--period").and_then(|v| v.parse().ok()) {
+                Some(v) => period = Some(v),
+                None => return usage(),
+            },
+            "--library" => match take("--library") {
+                Some(v) => library = v,
+                None => return usage(),
+            },
+            "--flat" => flat = true,
+            "--netlist" => show_netlist = true,
+            "--fsm" => show_fsm = true,
+            "--verilog" => match take("--verilog") {
+                Some(v) => verilog_out = Some(v),
+                None => return usage(),
+            },
+            "--dot" => match take("--dot") {
+                Some(v) => dot_out = Some(v),
+                None => return usage(),
+            },
+            "--power-report" => power_report = true,
+            "--seed" => match take("--seed").and_then(|v| v.parse().ok()) {
+                Some(v) => seed = Some(v),
+                None => return usage(),
+            },
+            "--help" | "-h" => return usage(),
+            other if input.is_none() && !other.starts_with('-') => {
+                input = Some(other.to_owned());
+            }
+            other => {
+                eprintln!("unknown argument `{other}`");
+                return usage();
+            }
+        }
+    }
+    let Some(path) = input else { return usage() };
+
+    let source = match std::fs::read_to_string(&path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let parsed = match text::parse(&source) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = parsed.hierarchy.validate() {
+        eprintln!("{path}: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    let simple: Library = match library.as_str() {
+        "table1" => table1_library(),
+        "realistic" => Library::realistic(),
+        other => {
+            eprintln!("unknown library `{other}` (use table1 or realistic)");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut mlib = ModuleLibrary::from_simple(simple);
+    mlib.equiv = parsed.equiv.clone();
+
+    let mut config = SynthesisConfig::new(objective);
+    config.laxity_factor = laxity;
+    config.sampling_period_ns = period;
+    config.hierarchical = !flat;
+    if let Some(s) = seed {
+        config.seed = s;
+    }
+
+    let report = match synthesize(&parsed.hierarchy, &mlib, &config) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("synthesis failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let design = &report.design;
+    println!("behavior            : {}", path);
+    println!(
+        "mode                : {} / {}",
+        if flat { "flattened" } else { "hierarchical" },
+        match objective {
+            Objective::Area => "area-optimized",
+            Objective::Power => "power-optimized",
+        }
+    );
+    println!("min sampling period : {:.1} ns", report.min_period_ns);
+    println!("sampling period     : {:.1} ns", report.period_ns);
+    println!("supply voltage      : {} V", design.op.vdd);
+    println!(
+        "clock               : {:.2} ns ({} cycles per sample)",
+        design.op.physical_clk_ns(&mlib.simple),
+        design.op.sampling_cycles
+    );
+    println!("area                : {:.1}", report.evaluation.area.total());
+    println!("power               : {:.4}", report.evaluation.power.power);
+    println!(
+        "hardware            : {} functional units, {} registers",
+        design.top.built.total_fu_count(),
+        design.top.built.total_reg_count()
+    );
+    println!(
+        "engine              : {} moves (A={} B={} C={} D={}), {} passes, {:.2}s",
+        report.stats.applied_a + report.stats.applied_b + report.stats.applied_c + report.stats.applied_d,
+        report.stats.applied_a,
+        report.stats.applied_b,
+        report.stats.applied_c,
+        report.stats.applied_d,
+        report.stats.passes,
+        report.elapsed_s
+    );
+    if let Some(scaled) = &report.vdd_scaled {
+        println!(
+            "voltage-scaled      : {} V, power {:.4}",
+            scaled.design.op.vdd, scaled.evaluation.power.power
+        );
+    }
+
+    if show_netlist {
+        println!("\n== netlist ==\n");
+        println!(
+            "{}",
+            netlist_text(&design.hierarchy, &design.top.built, &mlib.simple)
+        );
+    }
+    if show_fsm {
+        let fsm = generate_fsm(&design.hierarchy, &design.top.built);
+        println!("\n== controller ({} states) ==\n", fsm.state_count());
+        println!("{fsm}");
+    }
+    if power_report {
+        let traces = hsyn::power::dsp_default(
+            design.hierarchy.dfg(design.top.core.dfg).input_count(),
+            config.report_trace_len,
+            config.width,
+            config.seed ^ 0x5eed,
+        );
+        println!("\n== power attribution ==\n");
+        print!(
+            "{}",
+            hsyn::power::report_text(
+                &design.hierarchy,
+                &design.top.built,
+                &mlib.simple,
+                &traces,
+                &report.evaluation.power,
+            )
+        );
+    }
+    if let Some(dpath) = dot_out {
+        let dot = hsyn::dfg::dot::hierarchy_to_dot(&design.hierarchy);
+        if let Err(e) = std::fs::write(&dpath, dot) {
+            eprintln!("cannot write {dpath}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("dot written         : {dpath}");
+    }
+    if let Some(vpath) = verilog_out {
+        let v = verilog_text(&design.hierarchy, &design.top.built, &mlib.simple, 16);
+        if let Err(e) = std::fs::write(&vpath, v) {
+            eprintln!("cannot write {vpath}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("verilog written     : {vpath}");
+    }
+    ExitCode::SUCCESS
+}

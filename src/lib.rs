@@ -1,0 +1,41 @@
+//! # hsyn — hierarchical high-level synthesis for power and area
+//!
+//! A Rust reproduction of *“Synthesis of Power-Optimized and Area-Optimized
+//! Circuits from Hierarchical Behavioral Descriptions”* (Lakshminarayana &
+//! Jha, DAC 1998). This facade crate re-exports the whole workspace:
+//!
+//! * [`dfg`] — hierarchical data-flow graph IR, textual format, benchmarks;
+//! * [`lib`] — module libraries, technology (Vdd/clock) models;
+//! * [`sched`] — scheduling, profiles/environments, slack analysis;
+//! * [`rtl`] — RTL circuit IR, FSM controllers, RTL embedding;
+//! * [`power`] — trace-driven switched-capacitance power estimation;
+//! * [`core`] — the iterative-improvement synthesis engine (moves A–D,
+//!   Vdd/clock selection, flattened baseline).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use hsyn::prelude::*;
+//!
+//! let bench = hsyn::dfg::benchmarks::paulin();
+//! let library = hsyn::lib::Library::realistic();
+//! // See `examples/quickstart.rs` for a full synthesis run.
+//! assert_eq!(bench.name, "paulin");
+//! assert!(library.fu_count() > 0);
+//! ```
+
+pub use hsyn_core as core;
+pub use hsyn_dfg as dfg;
+pub use hsyn_lib as lib;
+pub use hsyn_power as power;
+pub use hsyn_rtl as rtl;
+pub use hsyn_sched as sched;
+
+/// Commonly used items, for glob import in examples and tests.
+pub mod prelude {
+    pub use hsyn_core::{
+        synthesize, DesignPoint, Objective, SynthesisConfig, SynthesisReport,
+    };
+    pub use hsyn_dfg::{Dfg, DfgId, EquivClasses, Hierarchy, NodeId, Operation, VarRef};
+    pub use hsyn_lib::{Library, Technology};
+}
