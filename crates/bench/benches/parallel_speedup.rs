@@ -1,0 +1,64 @@
+//! Serial vs parallel wall-clock on the laxity×objective exploration grid.
+//!
+//! Runs the same `explore()` sweep with `parallelism = Some(1)` and
+//! `parallelism = None` (one worker per available core), prints the
+//! wall-clock of each and the resulting speedup, and asserts that the two
+//! runs produce identical results — the deterministic-merge guarantee the
+//! parallel path is built around. On a single-core host the speedup is
+//! necessarily ~1.0×; the determinism check still runs.
+//!
+//! ```text
+//! cargo bench -p hsyn-bench --bench parallel_speedup
+//! ```
+
+use hsyn_bench::{benchmark_library, SweepConfig};
+use hsyn_core::{explore, Exploration, Objective};
+
+fn run(parallelism: Option<usize>) -> Exploration {
+    let b = hsyn_dfg::benchmarks::iir();
+    let mlib = benchmark_library(&b);
+    let mut base = SweepConfig::quick().to_config(Objective::Area, true, 1.2);
+    base.parallelism = parallelism;
+    // 4 laxities x 2 objectives = 8 grid points.
+    explore(&b.hierarchy, &mlib, &base, &[1.2, 1.7, 2.2, 3.2])
+}
+
+fn assert_identical(a: &Exploration, b: &Exploration) {
+    assert_eq!(a.points.len(), b.points.len(), "point count differs");
+    assert_eq!(a.skipped.len(), b.skipped.len(), "skip count differs");
+    for (p, q) in a.points.iter().zip(&b.points) {
+        assert_eq!(p.laxity, q.laxity);
+        assert_eq!(p.objective, q.objective);
+        assert_eq!(p.area(), q.area(), "area differs at laxity {}", p.laxity);
+        assert_eq!(p.power(), q.power(), "power differs at laxity {}", p.laxity);
+        assert_eq!(
+            p.report.design.op, q.report.design.op,
+            "operating point differs"
+        );
+    }
+}
+
+fn main() {
+    let cores = hsyn_util::effective_threads(None);
+    println!("parallel_speedup: 8-point laxity grid on the IIR benchmark");
+    println!("available worker threads: {cores}");
+
+    // Warm-up so neither timed run pays first-touch costs.
+    let _ = run(Some(1));
+
+    let serial = run(Some(1));
+    let parallel = run(None);
+    assert_identical(&serial, &parallel);
+
+    let speedup = serial.elapsed_s / parallel.elapsed_s.max(1e-12);
+    println!("serial   (parallelism=1): {:>8.3} s", serial.elapsed_s);
+    println!(
+        "parallel (parallelism={cores}): {:>8.3} s",
+        parallel.elapsed_s
+    );
+    println!("speedup: {speedup:.2}x");
+    println!("results identical across thread counts: yes");
+    if cores == 1 {
+        println!("(single-core host: speedup is expected to be ~1.0x)");
+    }
+}

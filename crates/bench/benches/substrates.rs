@@ -1,92 +1,92 @@
-//! Criterion benches for the substrates: the longest-path scheduler,
-//! RTL embedding (Hungarian matching), the power simulator, and hierarchy
-//! flattening.
+//! Substrate micro-benchmarks: the longest-path scheduler, RTL embedding
+//! (Hungarian matching), the power simulator, and hierarchy flattening.
+//!
+//! ```text
+//! cargo bench -p hsyn-bench --bench substrates
+//! ```
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use hsyn_bench::timing::bench;
 use hsyn_dfg::benchmarks;
 use hsyn_lib::papers::{table1_library, TABLE1_CLOCK_NS};
 use hsyn_power::dsp_default;
 use hsyn_rtl::{build, embed, max_weight_assignment, BuildCtx, ModuleSpec};
+use std::time::Duration;
 
-fn bench_scheduler(c: &mut Criterion) {
+fn main() {
+    let budget = Duration::from_secs(2);
+
     // Schedule the flattened DCT (120 operations) end to end through the
     // builder (orderings + longest path + register binding).
-    let bench = benchmarks::dct();
-    let mut h = hsyn_dfg::Hierarchy::new();
-    let top = h.add_dfg(bench.hierarchy.flatten());
-    h.set_top(top);
-    let lib = table1_library();
-    let spec = ModuleSpec::dedicated(
-        &h,
-        top,
-        "dct_flat",
-        |_, op| lib.fastest_for(op).unwrap(),
-        |_, _| unreachable!(),
-    );
-    let ctx = BuildCtx::new(&lib, TABLE1_CLOCK_NS, 5.0, Some(64));
-    c.bench_function("build_and_schedule_dct_flat_120ops", |b| {
-        b.iter(|| build(&h, &spec, &ctx).expect("schedulable"))
-    });
-}
+    {
+        let dct = benchmarks::dct();
+        let mut h = hsyn_dfg::Hierarchy::new();
+        let top = h.add_dfg(dct.hierarchy.flatten());
+        h.set_top(top);
+        let lib = table1_library();
+        let spec = ModuleSpec::dedicated(
+            &h,
+            top,
+            "dct_flat",
+            |_, op| lib.fastest_for(op).unwrap(),
+            |_, _| unreachable!(),
+        );
+        let ctx = BuildCtx::new(&lib, TABLE1_CLOCK_NS, 5.0, Some(64));
+        bench("build_and_schedule_dct_flat_120ops", budget, || {
+            build(&h, &spec, &ctx).expect("schedulable");
+        });
+    }
 
-fn bench_embedding(c: &mut Criterion) {
-    let (h, rtl1, rtl2, lib) = hsyn_rtl::papers::figure3_modules();
-    c.bench_function("rtl_embedding_figure3", |b| {
-        b.iter(|| embed(&h, &rtl1, &rtl2, &lib, "NewRTL").expect("embeddable"))
-    });
-}
+    {
+        let (h, rtl1, rtl2, lib) = hsyn_rtl::papers::figure3_modules();
+        bench("rtl_embedding_figure3", budget, || {
+            embed(&h, &rtl1, &rtl2, &lib, "NewRTL").expect("embeddable");
+        });
+    }
 
-fn bench_hungarian(c: &mut Criterion) {
-    // Deterministic pseudo-random 24x24 gain matrix.
-    let mut state = 0x12345u64;
-    let mut next = move || {
-        state = state
-            .wrapping_mul(6364136223846793005)
-            .wrapping_add(1442695040888963407);
-        ((state >> 33) % 100) as f64 - 30.0
-    };
-    let w: Vec<Vec<f64>> = (0..24).map(|_| (0..24).map(|_| next()).collect()).collect();
-    c.bench_function("hungarian_24x24", |b| b.iter(|| max_weight_assignment(&w)));
-}
+    {
+        // Deterministic pseudo-random 24x24 gain matrix.
+        let mut state = 0x12345u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) % 100) as f64 - 30.0
+        };
+        let w: Vec<Vec<f64>> = (0..24).map(|_| (0..24).map(|_| next()).collect()).collect();
+        bench("hungarian_24x24", budget, || {
+            max_weight_assignment(&w);
+        });
+    }
 
-fn bench_power_sim(c: &mut Criterion) {
-    let bench = benchmarks::lat();
-    let lib = table1_library();
-    let mlib = hsyn_rtl::ModuleLibrary::from_simple(lib);
-    let op = hsyn_core::OperatingPoint::derive(&mlib.simple, 5.0, TABLE1_CLOCK_NS, 800.0);
-    let state = hsyn_core::initial_solution(&bench.hierarchy, &mlib, &op).expect("builds");
-    let traces = dsp_default(
-        bench.hierarchy.dfg(bench.hierarchy.top()).input_count(),
-        128,
-        16,
-        7,
-    );
-    c.bench_function("power_estimate_lat_128_samples", |b| {
-        b.iter(|| {
+    {
+        let lat = benchmarks::lat();
+        let lib = table1_library();
+        let mlib = hsyn_rtl::ModuleLibrary::from_simple(lib);
+        let op = hsyn_core::OperatingPoint::derive(&mlib.simple, 5.0, TABLE1_CLOCK_NS, 800.0);
+        let state = hsyn_core::initial_solution(&lat.hierarchy, &mlib, &op).expect("builds");
+        let traces = dsp_default(
+            lat.hierarchy.dfg(lat.hierarchy.top()).input_count(),
+            128,
+            16,
+            7,
+        );
+        bench("power_estimate_lat_128_samples", budget, || {
             hsyn_power::estimate(
-                &bench.hierarchy,
+                &lat.hierarchy,
                 &state.built,
                 &mlib.simple,
                 &traces,
                 5.0,
                 TABLE1_CLOCK_NS,
                 80,
-            )
-        })
-    });
-}
+            );
+        });
+    }
 
-fn bench_flatten(c: &mut Criterion) {
-    let bench = benchmarks::dct();
-    c.bench_function("flatten_dct", |b| b.iter(|| bench.hierarchy.flatten()));
+    {
+        let dct = benchmarks::dct();
+        bench("flatten_dct", budget, || {
+            dct.hierarchy.flatten();
+        });
+    }
 }
-
-criterion_group!(
-    benches,
-    bench_scheduler,
-    bench_embedding,
-    bench_hungarian,
-    bench_power_sim,
-    bench_flatten
-);
-criterion_main!(benches);

@@ -1,44 +1,36 @@
-//! Criterion benches for end-to-end synthesis: hierarchical vs flattened
-//! runtime on representative benchmarks (the paper's Table 4 synthesis-time
-//! comparison, as a repeatable microbenchmark).
+//! End-to-end synthesis micro-benchmarks: hierarchical vs flattened
+//! runtime on representative benchmarks (the paper's Table 4
+//! synthesis-time comparison, as a repeatable measurement).
+//!
+//! ```text
+//! cargo bench -p hsyn-bench --bench synthesis
+//! ```
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use hsyn_bench::{benchmark_library, SweepConfig};
+use hsyn_bench::{benchmark_library, timing::bench, SweepConfig};
 use hsyn_core::{synthesize, Objective};
+use std::time::Duration;
 
-fn bench_synthesis(c: &mut Criterion) {
-    let mut group = c.benchmark_group("synthesis");
-    group.sample_size(10);
+fn main() {
+    let budget = Duration::from_secs(2);
+    println!("synthesis: hierarchical vs flattened");
     for name in ["test1", "iir", "hier_paulin"] {
-        let bench = hsyn_dfg::benchmarks::by_name(name).expect("known benchmark");
-        let mlib = benchmark_library(&bench);
+        let b = hsyn_dfg::benchmarks::by_name(name).expect("known benchmark");
+        let mlib = benchmark_library(&b);
         for (mode, hierarchical) in [("hier", true), ("flat", false)] {
-            group.bench_with_input(
-                BenchmarkId::new(mode, name),
-                &hierarchical,
-                |b, &hierarchical| {
-                    let cfg = SweepConfig::quick().to_config(Objective::Area, hierarchical, 2.2);
-                    b.iter(|| synthesize(&bench.hierarchy, &mlib, &cfg).expect("synthesizes"));
-                },
-            );
+            let cfg = SweepConfig::quick().to_config(Objective::Area, hierarchical, 2.2);
+            bench(&format!("synthesis/{mode}/{name}"), budget, || {
+                synthesize(&b.hierarchy, &mlib, &cfg).expect("synthesizes");
+            });
         }
     }
-    group.finish();
-}
 
-fn bench_objectives(c: &mut Criterion) {
-    let mut group = c.benchmark_group("objective");
-    group.sample_size(10);
-    let bench = hsyn_dfg::benchmarks::test1();
-    let mlib = benchmark_library(&bench);
+    println!("\nsynthesis: objective comparison (test1, hierarchical)");
+    let b = hsyn_dfg::benchmarks::test1();
+    let mlib = benchmark_library(&b);
     for (label, objective) in [("area", Objective::Area), ("power", Objective::Power)] {
-        group.bench_function(label, |b| {
-            let cfg = SweepConfig::quick().to_config(objective, true, 2.2);
-            b.iter(|| synthesize(&bench.hierarchy, &mlib, &cfg).expect("synthesizes"));
+        let cfg = SweepConfig::quick().to_config(objective, true, 2.2);
+        bench(&format!("objective/{label}"), budget, || {
+            synthesize(&b.hierarchy, &mlib, &cfg).expect("synthesizes");
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_synthesis, bench_objectives);
-criterion_main!(benches);

@@ -52,7 +52,9 @@ fn main() {
     let state = initial_solution(h, &mlib, &op).expect("test1 schedules in 12 cycles");
     let b = &state.built.behaviors()[0];
     let g = h.dfg(b.dfg);
-    println!("\nFigure 1(b): scheduled and assigned test1 (sampling period {period_cycles} cycles)\n");
+    println!(
+        "\nFigure 1(b): scheduled and assigned test1 (sampling period {period_cycles} cycles)\n"
+    );
     for (nid, node) in g.nodes() {
         if let NodeKind::Hier { callee } = node.kind() {
             let sub = b.binding.hier_to_sub[&nid];

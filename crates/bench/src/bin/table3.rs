@@ -66,9 +66,16 @@ fn print_table3(cells: &[CellSet]) {
     };
     for bench in &benches {
         for (label, pick) in [("A", 0usize), ("P", 1usize)] {
-            print!("{:<18}{:<4}", if label == "A" { bench.as_str() } else { "" }, label);
+            print!(
+                "{:<18}{:<4}",
+                if label == "A" { bench.as_str() } else { "" },
+                label
+            );
             for &lf in &LAXITIES {
-                match cells.iter().find(|c| &c.benchmark == bench && c.laxity == lf) {
+                match cells
+                    .iter()
+                    .find(|c| &c.benchmark == bench && c.laxity == lf)
+                {
                     Some(c) => {
                         let row = c.table3_row();
                         let vals = if pick == 0 { row.area } else { row.power };

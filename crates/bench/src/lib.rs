@@ -7,7 +7,7 @@ use hsyn_dfg::benchmarks::Benchmark;
 use hsyn_dfg::{DfgId, NodeKind, Operation};
 use hsyn_lib::papers::table1_library;
 use hsyn_rtl::{build, BuildCtx, ModuleLibrary, ModuleSpec};
-use serde::{Deserialize, Serialize};
+use hsyn_util::Json;
 
 /// Build the module library for a benchmark: the paper's Table 1 simple
 /// modules, plus two pre-designed complex modules (a fast `mult1`-based and
@@ -75,7 +75,7 @@ pub fn benchmark_library(bench: &Benchmark) -> ModuleLibrary {
 }
 
 /// Results of one synthesis run relevant to the tables.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct CellResult {
     /// Total area.
     pub area: f64,
@@ -105,7 +105,7 @@ impl CellResult {
 }
 
 /// The four synthesis runs of one `(benchmark, laxity)` table cell.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct CellSet {
     /// Benchmark name.
     pub benchmark: String,
@@ -166,7 +166,12 @@ impl SweepConfig {
     }
 
     /// The [`SynthesisConfig`] for one run.
-    pub fn to_config(self, objective: Objective, hierarchical: bool, laxity: f64) -> SynthesisConfig {
+    pub fn to_config(
+        self,
+        objective: Objective,
+        hierarchical: bool,
+        laxity: f64,
+    ) -> SynthesisConfig {
         let mut c = SynthesisConfig::new(objective);
         c.laxity_factor = laxity;
         c.hierarchical = hierarchical;
@@ -206,7 +211,7 @@ pub fn run_cell(
 }
 
 /// One normalized row pair of Table 3.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct Table3Row {
     /// Normalized areas `[flat_A, flat_P, hier_A, hier_P]`
     /// (flat area-optimized ≡ 1).
@@ -240,7 +245,7 @@ impl CellSet {
 }
 
 /// One row of Table 4: per-laxity averages.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct Table4Row {
     /// Laxity factor.
     pub laxity: f64,
@@ -296,17 +301,122 @@ pub const LAXITIES: [f64; 3] = [1.2, 2.2, 3.2];
 /// Where sweep results are cached for reuse between `table3` and `table4`.
 pub const RESULTS_PATH: &str = "results/table3.json";
 
+impl CellResult {
+    fn to_json(&self) -> Json {
+        let opt = |v: Option<f64>| v.map_or(Json::Null, Json::Num);
+        Json::Obj(vec![
+            ("area".into(), Json::Num(self.area)),
+            ("power".into(), Json::Num(self.power)),
+            ("vdd".into(), Json::Num(self.vdd)),
+            ("scaled_power".into(), opt(self.scaled_power)),
+            ("scaled_vdd".into(), opt(self.scaled_vdd)),
+            ("elapsed_s".into(), Json::Num(self.elapsed_s)),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Option<CellResult> {
+        Some(CellResult {
+            area: v.get("area")?.as_f64()?,
+            power: v.get("power")?.as_f64()?,
+            vdd: v.get("vdd")?.as_f64()?,
+            scaled_power: v.get("scaled_power")?.as_f64(),
+            scaled_vdd: v.get("scaled_vdd")?.as_f64(),
+            elapsed_s: v.get("elapsed_s")?.as_f64()?,
+        })
+    }
+}
+
+impl CellSet {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("benchmark".into(), Json::Str(self.benchmark.clone())),
+            ("laxity".into(), Json::Num(self.laxity)),
+            ("flat_area".into(), self.flat_area.to_json()),
+            ("flat_power".into(), self.flat_power.to_json()),
+            ("hier_area".into(), self.hier_area.to_json()),
+            ("hier_power".into(), self.hier_power.to_json()),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Option<CellSet> {
+        Some(CellSet {
+            benchmark: v.get("benchmark")?.as_str()?.to_owned(),
+            laxity: v.get("laxity")?.as_f64()?,
+            flat_area: CellResult::from_json(v.get("flat_area")?)?,
+            flat_power: CellResult::from_json(v.get("flat_power")?)?,
+            hier_area: CellResult::from_json(v.get("hier_area")?)?,
+            hier_power: CellResult::from_json(v.get("hier_power")?)?,
+        })
+    }
+}
+
+/// Serialize cells to the cache's JSON text format.
+pub fn cells_to_json(cells: &[CellSet]) -> String {
+    Json::Arr(cells.iter().map(CellSet::to_json).collect()).to_string_pretty()
+}
+
+/// Parse cells back from [`cells_to_json`] output; `None` on any mismatch.
+pub fn cells_from_json(text: &str) -> Option<Vec<CellSet>> {
+    Json::parse(text)
+        .ok()?
+        .as_arr()?
+        .iter()
+        .map(CellSet::from_json)
+        .collect()
+}
+
 /// Load cached cells if present.
 pub fn load_cells() -> Option<Vec<CellSet>> {
     let text = std::fs::read_to_string(RESULTS_PATH).ok()?;
-    serde_json::from_str(&text).ok()
+    cells_from_json(&text)
 }
 
 /// Persist cells for later aggregation.
 pub fn save_cells(cells: &[CellSet]) {
     let _ = std::fs::create_dir_all("results");
-    if let Ok(text) = serde_json::to_string_pretty(cells) {
-        let _ = std::fs::write(RESULTS_PATH, text);
+    let _ = std::fs::write(RESULTS_PATH, cells_to_json(cells));
+}
+
+/// A criterion-free micro-benchmark runner for the `[[bench]]` targets:
+/// warms up, runs timed batches until a wall-clock budget is spent, and
+/// prints min/mean per-iteration times. Deliberately simple — the targets
+/// compare orders of magnitude, not nanoseconds.
+pub mod timing {
+    use std::time::{Duration, Instant};
+
+    /// Time `f` for roughly `budget` of wall clock (after one warm-up
+    /// call), print `name  min .. mean per iter`, and return the mean
+    /// seconds per iteration.
+    pub fn bench(name: &str, budget: Duration, mut f: impl FnMut()) -> f64 {
+        f(); // warm-up (page in code, fill allocator pools)
+        let start = Instant::now();
+        let mut iters = 0u64;
+        let mut min = f64::INFINITY;
+        while start.elapsed() < budget {
+            let t = Instant::now();
+            f();
+            let dt = t.elapsed().as_secs_f64();
+            min = min.min(dt);
+            iters += 1;
+        }
+        let mean = start.elapsed().as_secs_f64() / iters as f64;
+        println!(
+            "{name:<44} {} iters   min {:>10}   mean {:>10}",
+            iters,
+            fmt_s(min),
+            fmt_s(mean)
+        );
+        mean
+    }
+
+    fn fmt_s(s: f64) -> String {
+        if s >= 1.0 {
+            format!("{s:.3} s")
+        } else if s >= 1e-3 {
+            format!("{:.3} ms", s * 1e3)
+        } else {
+            format!("{:.1} µs", s * 1e6)
+        }
     }
 }
 
@@ -345,9 +455,11 @@ mod tests {
         // biquad_df2 and biquad_df1, fast + lowpower each.
         assert!(mlib.complex.len() >= 4);
         let df2 = bench.hierarchy.dfg_by_name("biquad_df2").unwrap();
-        assert!(mlib
-            .candidates_for(df2, hsyn_lib::papers::TABLE1_CLOCK_NS)
-            .len() >= 2);
+        assert!(
+            mlib.candidates_for(df2, hsyn_lib::papers::TABLE1_CLOCK_NS)
+                .len()
+                >= 2
+        );
     }
 
     #[test]
@@ -377,12 +489,13 @@ mod tests {
         let bench = hsyn_dfg::benchmarks::test1();
         let mlib = benchmark_library(&bench);
         let cell = run_cell(&bench, &mlib, 1.2, SweepConfig::quick()).expect("cell runs");
-        let json = serde_json::to_string(&[cell.clone()]).expect("serializes");
-        let back: Vec<CellSet> = serde_json::from_str(&json).expect("deserializes");
+        let json = cells_to_json(std::slice::from_ref(&cell));
+        let back = cells_from_json(&json).expect("deserializes");
         assert_eq!(back.len(), 1);
         assert_eq!(back[0].benchmark, cell.benchmark);
         assert_eq!(back[0].flat_area.area, cell.flat_area.area);
         assert_eq!(back[0].hier_power.power, cell.hier_power.power);
+        assert_eq!(back[0].flat_area.scaled_vdd, cell.flat_area.scaled_vdd);
     }
 
     #[test]

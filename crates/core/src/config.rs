@@ -61,6 +61,13 @@ pub struct SynthesisConfig {
     pub seed: u64,
     /// Move families available to the engine (ablation switch).
     pub moves: MoveFamilies,
+    /// Worker threads for the outer loops (the `(Vdd, clk)` sweep inside
+    /// [`synthesize`](crate::synthesize) and the laxity×objective grid of
+    /// [`explore`](crate::explore)). `None` ⇒ one thread per available
+    /// core; `Some(1)` ⇒ fully serial. Results are **identical** for every
+    /// setting: work is merged in input order with a total-order tiebreak,
+    /// so parallelism changes wall-clock only, never the report.
+    pub parallelism: Option<usize>,
 }
 
 impl SynthesisConfig {
@@ -81,6 +88,7 @@ impl SynthesisConfig {
             width: 16,
             seed: 0xDAC_1998,
             moves: MoveFamilies::default(),
+            parallelism: None,
         }
     }
 

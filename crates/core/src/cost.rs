@@ -7,10 +7,9 @@ use crate::design::DesignPoint;
 use hsyn_lib::Library;
 use hsyn_power::{estimate, PowerReport, TraceSet};
 use hsyn_rtl::{module_area, AreaBreakdown};
-use serde::{Deserialize, Serialize};
 
 /// What to optimize (the paper's two modes).
-#[derive(Copy, Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
 pub enum Objective {
     /// Minimize area.
     Area,

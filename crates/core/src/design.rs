@@ -20,7 +20,7 @@ use hsyn_rtl::{
 /// stretches the physical clock by the technology's delay factor, which
 /// shrinks the cycle *budget* within the fixed sampling period instead of
 /// changing any unit's cycle latency.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct OperatingPoint {
     /// Supply voltage.
     pub vdd: f64,
@@ -127,7 +127,12 @@ impl ModuleState {
     ///
     /// Propagates the first [`BuildError`] — the candidate edit that caused
     /// the rebuild is then invalid.
-    pub fn rebuild(&mut self, h: &Hierarchy, lib: &Library, op: &OperatingPoint) -> Result<(), BuildError> {
+    pub fn rebuild(
+        &mut self,
+        h: &Hierarchy,
+        lib: &Library,
+        op: &OperatingPoint,
+    ) -> Result<(), BuildError> {
         for child in &mut self.children {
             if let ChildKind::Single(s) = &mut child.kind {
                 s.rebuild(h, lib, op)?;
@@ -147,7 +152,12 @@ impl ModuleState {
                 .collect(),
             reg_policy: self.core.reg_policy.clone(),
         };
-        let mut ctx = BuildCtx::new(lib, op.clk_ref_ns, lib.technology.vref(), self.core.deadline);
+        let mut ctx = BuildCtx::new(
+            lib,
+            op.clk_ref_ns,
+            lib.technology.vref(),
+            self.core.deadline,
+        );
         ctx.input_arrivals = self.core.input_arrivals.clone();
         ctx.output_deadlines = self.core.output_deadlines.clone();
         self.built = build(h, &spec, &ctx)?;
@@ -157,7 +167,11 @@ impl ModuleState {
     /// Visit this module state and every [`ChildKind::Single`] descendant,
     /// depth-first, with the child-index path from `self`.
     pub fn for_each(&self, mut f: impl FnMut(&[usize], &ModuleState)) {
-        fn walk(s: &ModuleState, path: &mut Vec<usize>, f: &mut impl FnMut(&[usize], &ModuleState)) {
+        fn walk(
+            s: &ModuleState,
+            path: &mut Vec<usize>,
+            f: &mut impl FnMut(&[usize], &ModuleState),
+        ) {
             f(path, s);
             for (i, c) in s.children.iter().enumerate() {
                 if let ChildKind::Single(sub) = &c.kind {
@@ -332,8 +346,14 @@ fn initial_module(
                     .iter()
                     .filter(|cm| cm.implements(*callee) && cm.usable_at(op.clk_ref_ns))
                     .min_by(|a, b| {
-                        let la = a.module.profile_for(*callee).map_or(u32::MAX, |p| p.latency());
-                        let lb = b.module.profile_for(*callee).map_or(u32::MAX, |p| p.latency());
+                        let la = a
+                            .module
+                            .profile_for(*callee)
+                            .map_or(u32::MAX, |p| p.latency());
+                        let lb = b
+                            .module
+                            .profile_for(*callee)
+                            .map_or(u32::MAX, |p| p.latency());
                         la.cmp(&lb)
                     });
                 let kind = match best {
@@ -406,11 +426,7 @@ mod tests {
         // One FU per op.
         assert_eq!(state.built.fus().len(), g.schedulable_count());
         // Every FU is the fastest for its op class (mult1, add1, alu for lt).
-        assert!(state
-            .core
-            .fu_groups
-            .iter()
-            .all(|grp| grp.ops.len() == 1));
+        assert!(state.core.fu_groups.iter().all(|grp| grp.ops.len() == 1));
     }
 
     #[test]
@@ -421,7 +437,9 @@ mod tests {
         assert_eq!(state.children.len(), 4);
         // All four hierarchical nodes found library implementations.
         for child in &state.children {
-            assert!(matches!(&child.kind, ChildKind::Opaque { origin, .. } if origin.starts_with("library:")));
+            assert!(
+                matches!(&child.kind, ChildKind::Opaque { origin, .. } if origin.starts_with("library:"))
+            );
         }
     }
 

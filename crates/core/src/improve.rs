@@ -5,18 +5,17 @@
 
 use crate::config::SynthesisConfig;
 use crate::cost::{evaluate_search, Evaluation, Objective};
-use crate::design::{ChildKind, DesignPoint, initial_module_with_window, OperatingPoint};
+use crate::design::{initial_module_with_window, ChildKind, DesignPoint, OperatingPoint};
 use crate::moves::{
     apply, selection_candidates, sharing_candidates, splitting_candidates, Candidate, Move,
 };
 use hsyn_dfg::NodeKind;
 use hsyn_power::{dsp_default, TraceSet};
 use hsyn_rtl::{window_of, BuildCtx, ModuleLibrary};
-use serde::{Deserialize, Serialize};
 
 /// Counters describing what the engine did (reported for every synthesis
 /// run; the experiment harness prints them alongside the results).
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct MoveStats {
     /// Candidate moves fully evaluated (rebuild + reschedule + simulate).
     pub evaluated: u64,
@@ -34,6 +33,11 @@ pub struct MoveStats {
     pub passes: u64,
     /// `(Vdd, clk)` configurations explored.
     pub configs: u64,
+    /// `(Vdd, clk)` configurations skipped because no initial solution
+    /// could be built (see
+    /// [`SynthesisReport::skipped_configs`](crate::SynthesisReport::skipped_configs)
+    /// for the reasons).
+    pub configs_skipped: u64,
 }
 
 impl MoveStats {
@@ -60,6 +64,7 @@ impl MoveStats {
         self.applied_d += other.applied_d;
         self.passes += other.passes;
         self.configs += other.configs;
+        self.configs_skipped += other.configs_skipped;
     }
 }
 
@@ -82,7 +87,12 @@ pub(crate) struct Engine<'a> {
 }
 
 impl<'a> Engine<'a> {
-    pub fn new(mlib: &'a ModuleLibrary, config: &'a SynthesisConfig, traces: TraceSet, depth: u32) -> Self {
+    pub fn new(
+        mlib: &'a ModuleLibrary,
+        config: &'a SynthesisConfig,
+        traces: TraceSet,
+        depth: u32,
+    ) -> Self {
         Engine {
             mlib,
             config,
@@ -138,17 +148,16 @@ impl<'a> Engine<'a> {
         cands.sort_by(|a, b| b.0.total_cmp(&a.0));
         let mut best: Option<Applied> = None;
         let mut evaluated = 0usize;
-        let mut attempts = 0usize;
-        for (_, mv) in cands {
-            if evaluated >= self.config.candidate_limit || attempts >= 5 * self.config.candidate_limit
+        for (attempts, (_, mv)) in cands.into_iter().enumerate() {
+            if evaluated >= self.config.candidate_limit
+                || attempts >= 5 * self.config.candidate_limit
             {
                 break;
             }
-            attempts += 1;
             if let Some((new, eval)) = self.try_move(dp, &mv) {
                 evaluated += 1;
                 let gain = base_cost - eval.cost;
-                if best.as_ref().map_or(true, |b| gain > b.gain) {
+                if best.as_ref().is_none_or(|b| gain > b.gain) {
                     best = Some(Applied {
                         gain,
                         mv,
@@ -167,8 +176,12 @@ impl<'a> Engine<'a> {
         if !families.a && !families.b {
             return None;
         }
-        let mut cands =
-            selection_candidates(dp, self.mlib, self.objective(), self.depth > 0 && families.b);
+        let mut cands = selection_candidates(
+            dp,
+            self.mlib,
+            self.objective(),
+            self.depth > 0 && families.b,
+        );
         if !families.a {
             cands.retain(|(_, mv)| matches!(mv, Move::ResynthChild { .. }));
         }
@@ -181,7 +194,11 @@ impl<'a> Engine<'a> {
     fn best_cd(&mut self, dp: &DesignPoint, base_cost: f64) -> Option<Applied> {
         let families = self.config.moves;
         let sharing = if families.c {
-            self.best_from(dp, base_cost, sharing_candidates(dp, self.mlib, self.objective()))
+            self.best_from(
+                dp,
+                base_cost,
+                sharing_candidates(dp, self.mlib, self.objective()),
+            )
         } else {
             None
         };
@@ -213,10 +230,7 @@ impl<'a> Engine<'a> {
         let mut best = cur.clone();
         let mut best_eval = cur_eval;
 
-        let op_count = cur
-            .hierarchy
-            .dfg(cur.top.core.dfg)
-            .schedulable_count();
+        let op_count = cur.hierarchy.dfg(cur.top.core.dfg).schedulable_count();
         let max_moves = self
             .config
             .max_moves_per_pass
@@ -315,19 +329,11 @@ impl<'a> Engine<'a> {
                 .collect();
             arrivals = Some(match arrivals {
                 None => rel_in,
-                Some(prev) => prev
-                    .iter()
-                    .zip(&rel_in)
-                    .map(|(&a, &b)| a.max(b))
-                    .collect(),
+                Some(prev) => prev.iter().zip(&rel_in).map(|(&a, &b)| a.max(b)).collect(),
             });
             deadlines = Some(match deadlines {
                 None => rel_out,
-                Some(prev) => prev
-                    .iter()
-                    .zip(&rel_out)
-                    .map(|(&a, &b)| a.min(b))
-                    .collect(),
+                Some(prev) => prev.iter().zip(&rel_out).map(|(&a, &b)| a.min(b)).collect(),
             });
         }
 

@@ -9,7 +9,7 @@
 //! against (ref.&nbsp;10) is the same engine with
 //! [`SynthesisConfig::hierarchical`] set to `false`.
 //!
-//! ```no_run
+//! ```
 //! use hsyn_core::{synthesize, Objective, SynthesisConfig};
 //! use hsyn_dfg::benchmarks;
 //! use hsyn_rtl::ModuleLibrary;
@@ -19,6 +19,12 @@
 //! mlib.equiv = bench.equiv.clone();
 //! let mut config = SynthesisConfig::new(Objective::Power);
 //! config.laxity_factor = 2.2;
+//! // Small budgets keep this example fast; drop these lines for real runs.
+//! config.max_passes = 2;
+//! config.candidate_limit = 2;
+//! config.eval_trace_len = 8;
+//! config.report_trace_len = 16;
+//! config.max_clock_candidates = 2;
 //! let report = synthesize(&bench.hierarchy, &mlib, &config).expect("synthesizable");
 //! println!(
 //!     "area {:.0}, power {:.3} at {} V",
@@ -33,25 +39,27 @@
 
 mod config;
 mod cost;
-mod explore;
 mod design;
+mod explore;
 mod improve;
 mod moves;
 mod synth;
 
 pub use config::{MoveFamilies, SynthesisConfig};
 pub use cost::{evaluate, evaluate_search, Evaluation, Objective};
-pub use explore::{explore, pareto_front, ExplorePoint};
 pub use design::{
     initial_solution, probe_min_latency, Child, ChildKind, DesignPoint, ModuleState,
     OperatingPoint, SpecCore,
 };
+pub use explore::{explore, pareto_front, Exploration, ExplorePoint, SkippedPoint};
 pub use improve::MoveStats;
 pub use moves::{
-    apply, selection_candidates, sharing_candidates, splitting_candidates, ApplyError, Move,
-    ModulePath,
+    apply, selection_candidates, sharing_candidates, splitting_candidates, ApplyError, ModulePath,
+    Move,
 };
-pub use synth::{synthesize, ScaledDesign, SynthesisError, SynthesisReport};
+pub use synth::{
+    synthesize, ConfigTelemetry, ScaledDesign, SkippedConfig, SynthesisError, SynthesisReport,
+};
 
 #[cfg(test)]
 mod tests {
@@ -136,7 +144,7 @@ mod tests {
         let report = synthesize(&bench.hierarchy, &mlib, &config).unwrap();
         // Flattened: no submodules at all.
         assert!(report.design.top.built.subs().is_empty());
-        assert!(report.design.top.built.fus().len() >= 1);
+        assert!(!report.design.top.built.fus().is_empty());
     }
 
     #[test]

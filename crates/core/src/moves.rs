@@ -115,7 +115,11 @@ pub enum Move {
 impl fmt::Display for Move {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Move::SetFuType { path, group, fu_type } => {
+            Move::SetFuType {
+                path,
+                group,
+                fu_type,
+            } => {
                 write!(f, "A:set-fu path={path:?} group={group} type={fu_type}")
             }
             Move::MergeFu { path, a, b, .. } => write!(f, "C:merge-fu path={path:?} {a}+{b}"),
@@ -124,7 +128,12 @@ impl fmt::Display for Move {
             }
             Move::RepackRegs { path } => write!(f, "C:pack-regs path={path:?}"),
             Move::DedicateRegs { path } => write!(f, "D:dedicate-regs path={path:?}"),
-            Move::SwapChild { path, child, lib_idx, .. } => {
+            Move::SwapChild {
+                path,
+                child,
+                lib_idx,
+                ..
+            } => {
                 write!(f, "A:swap-child path={path:?} child={child} lib={lib_idx}")
             }
             Move::ResynthChild { path, child } => {
@@ -184,6 +193,7 @@ impl From<EmbedError> for ApplyError {
 ///
 /// [`ApplyError`] when the resulting design fails to schedule or the move
 /// is not applicable.
+#[allow(clippy::type_complexity)]
 pub fn apply(
     dp: &DesignPoint,
     mv: &Move,
@@ -193,15 +203,28 @@ pub fn apply(
     let lib = &mlib.simple;
     let mut new = dp.clone();
     match mv {
-        Move::SetFuType { path, group, fu_type } => {
+        Move::SetFuType {
+            path,
+            group,
+            fu_type,
+        } => {
             let m = new.top.at_mut(path);
-            let g = m.core.fu_groups.get_mut(*group).ok_or(ApplyError::Rejected)?;
+            let g = m
+                .core
+                .fu_groups
+                .get_mut(*group)
+                .ok_or(ApplyError::Rejected)?;
             if g.fu_type == *fu_type {
                 return Err(ApplyError::Rejected);
             }
             g.fu_type = *fu_type;
         }
-        Move::MergeFu { path, a, b, fu_type } => {
+        Move::MergeFu {
+            path,
+            a,
+            b,
+            fu_type,
+        } => {
             let m = new.top.at_mut(path);
             if *a >= *b || *b >= m.core.fu_groups.len() {
                 return Err(ApplyError::Rejected);
@@ -213,7 +236,11 @@ pub fn apply(
         }
         Move::SplitFu { path, group, op } => {
             let m = new.top.at_mut(path);
-            let g = m.core.fu_groups.get_mut(*group).ok_or(ApplyError::Rejected)?;
+            let g = m
+                .core
+                .fu_groups
+                .get_mut(*group)
+                .ok_or(ApplyError::Rejected)?;
             if g.ops.len() < 2 || !g.ops.contains(op) {
                 return Err(ApplyError::Rejected);
             }
@@ -238,7 +265,12 @@ pub fn apply(
             }
             m.core.reg_policy = RegPolicy::Dedicated;
         }
-        Move::SwapChild { path, child, lib_idx, dfg } => {
+        Move::SwapChild {
+            path,
+            child,
+            lib_idx,
+            dfg,
+        } => {
             let cm = mlib.complex.get(*lib_idx).ok_or(ApplyError::Rejected)?;
             let parent_dfg = new.top.at(path).core.dfg;
             let m = new.top.at_mut(path);
@@ -252,7 +284,9 @@ pub fn apply(
                 origin: format!("library:{}", cm.module.name()),
             };
             // Move A may rewrite the node to an equivalent DFG.
-            new.hierarchy.dfg_mut(parent_dfg).set_hier_callee(node, *dfg);
+            new.hierarchy
+                .dfg_mut(parent_dfg)
+                .set_hier_callee(node, *dfg);
         }
         Move::ResynthChild { path, child } => {
             let kind = resynth(dp, path, *child).ok_or(ApplyError::Rejected)?;
@@ -347,7 +381,11 @@ fn group_ops(dp: &DesignPoint, m: &ModuleState, group: usize) -> BTreeSet<Operat
 }
 
 /// The cheapest library type (by objective) able to execute all `ops`.
-fn best_type_for(lib: &Library, ops: &BTreeSet<Operation>, objective: Objective) -> Option<FuTypeId> {
+fn best_type_for(
+    lib: &Library,
+    ops: &BTreeSet<Operation>,
+    objective: Objective,
+) -> Option<FuTypeId> {
     let ops: Vec<Operation> = ops.iter().copied().collect();
     lib.fus()
         .filter(|(_, f)| f.supports_all(&ops))
@@ -370,7 +408,11 @@ fn module_energy_proxy(m: &hsyn_rtl::RtlModule, lib: &Library) -> f64 {
 
 /// Rough per-module area proxy: Σ FU + register areas.
 fn module_area_proxy(m: &hsyn_rtl::RtlModule, lib: &Library) -> f64 {
-    let own: f64 = m.fus().iter().map(|f| lib.fu(f.fu_type).area()).sum::<f64>()
+    let own: f64 = m
+        .fus()
+        .iter()
+        .map(|f| lib.fu(f.fu_type).area())
+        .sum::<f64>()
         + m.regs().len() as f64 * lib.register.area;
     own + m
         .subs()
@@ -541,8 +583,7 @@ pub fn sharing_candidates(
                 if lib.fu(faster).supports_all(&ops_list) && !types.contains(&faster) {
                     types.push(faster);
                 }
-                let n_ops =
-                    (m.core.fu_groups[a].ops.len() + m.core.fu_groups[b].ops.len()) as u32;
+                let n_ops = (m.core.fu_groups[a].ops.len() + m.core.fu_groups[b].ops.len()) as u32;
                 for shared in types {
                     // Feasibility prune under the *candidate* type: the
                     // serialized occupancy must fit before the deadline.
@@ -582,7 +623,9 @@ pub fn sharing_candidates(
         if !matches!(m.core.reg_policy, RegPolicy::Packed) && !m.regs_trivial() {
             out.push((
                 lib.register.area * m.built.regs().len() as f64 * 0.25,
-                Move::RepackRegs { path: path.to_vec() },
+                Move::RepackRegs {
+                    path: path.to_vec(),
+                },
             ));
         }
         // Children: merging identical behaviors is the big hierarchical
@@ -603,9 +646,9 @@ pub fn sharing_candidates(
             let callees_a = child_callees(&m.children[a]);
             for b in (a + 1)..m.children.len() {
                 let callees_b = child_callees(&m.children[b]);
-                let state_clash = callees_b.iter().any(|d| {
-                    callees_a.contains(d) && dp.hierarchy.has_state(*d)
-                });
+                let state_clash = callees_b
+                    .iter()
+                    .any(|d| callees_a.contains(d) && dp.hierarchy.has_state(*d));
                 if state_clash {
                     continue;
                 }
@@ -662,14 +705,19 @@ pub fn splitting_candidates(
                     Objective::Power => lib.register.energy_write * m.built.regs().len() as f64,
                     Objective::Area => 0.05,
                 },
-                Move::DedicateRegs { path: path.to_vec() },
+                Move::DedicateRegs {
+                    path: path.to_vec(),
+                },
             ));
         }
         for (ci, child) in m.children.iter().enumerate() {
             if child.nodes.len() < 2 {
                 continue;
             }
-            for &node in [child.nodes.first(), child.nodes.last()].into_iter().flatten() {
+            for &node in [child.nodes.first(), child.nodes.last()]
+                .into_iter()
+                .flatten()
+            {
                 let score = match objective {
                     Objective::Power => module_energy_proxy(child.module(), lib) * 0.3,
                     Objective::Area => 0.1,

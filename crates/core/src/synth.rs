@@ -37,7 +37,10 @@ impl fmt::Display for SynthesisError {
         match self {
             SynthesisError::NoClockCandidates => write!(f, "library offers no clock candidates"),
             SynthesisError::Infeasible { period_ns } => {
-                write!(f, "no configuration meets the {period_ns} ns sampling period")
+                write!(
+                    f,
+                    "no configuration meets the {period_ns} ns sampling period"
+                )
             }
             SynthesisError::Unimplementable { detail } => {
                 write!(f, "behavior cannot be implemented: {detail}")
@@ -58,6 +61,43 @@ pub struct ScaledDesign {
     pub evaluation: Evaluation,
 }
 
+/// Telemetry for one `(Vdd, clk)` operating point the engine optimized.
+/// One record per kept configuration, in the deterministic sweep order.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ConfigTelemetry {
+    /// Supply voltage of the configuration, V.
+    pub vdd: f64,
+    /// Reference clock period of the configuration, ns.
+    pub clk_ns: f64,
+    /// Wall-clock spent optimizing this configuration, seconds. The only
+    /// field that varies between runs; everything else is deterministic.
+    pub elapsed_s: f64,
+    /// Candidate moves fully evaluated within this configuration.
+    pub evaluated: u64,
+    /// Candidates rejected by validity checks within this configuration.
+    pub rejected: u64,
+    /// Improvement passes executed within this configuration.
+    pub passes: u64,
+    /// Final cost of this configuration's best design (search metric).
+    pub cost: f64,
+    /// Whether this configuration's design was selected as the winner.
+    pub selected: bool,
+}
+
+/// A `(Vdd, clk)` operating point that was dropped without optimization
+/// because no initial solution could be built. Previously these were
+/// silently discarded; callers can now tell "infeasible point" apart from
+/// "never considered".
+#[derive(Clone, Debug)]
+pub struct SkippedConfig {
+    /// Supply voltage of the skipped configuration, V.
+    pub vdd: f64,
+    /// Reference clock period of the skipped configuration, ns.
+    pub clk_ns: f64,
+    /// Builder diagnostic explaining why the initial solution failed.
+    pub reason: String,
+}
+
 /// The result of a synthesis run.
 #[derive(Clone, Debug)]
 pub struct SynthesisReport {
@@ -72,8 +112,12 @@ pub struct SynthesisReport {
     /// For area-optimized runs: the same design voltage-scaled to just meet
     /// the sampling period.
     pub vdd_scaled: Option<ScaledDesign>,
-    /// Engine activity counters.
+    /// Engine activity counters, aggregated over all configurations.
     pub stats: MoveStats,
+    /// Per-configuration telemetry, in deterministic sweep order.
+    pub per_config: Vec<ConfigTelemetry>,
+    /// Operating points dropped because no initial solution existed.
+    pub skipped_configs: Vec<SkippedConfig>,
     /// Wall-clock synthesis time, seconds.
     pub elapsed_s: f64,
 }
@@ -82,6 +126,34 @@ pub struct SynthesisReport {
 /// `SYNTHESIZE` procedure. For `config.hierarchical == false` the behavior
 /// is flattened first and complex modules are unused (the flattened
 /// baseline the paper compares against, ref.&nbsp;10).
+///
+/// The `(Vdd, clk)` candidate sweep runs on
+/// [`config.parallelism`](SynthesisConfig::parallelism) worker threads;
+/// results are merged in sweep order, so the report is identical for every
+/// thread count.
+///
+/// ```
+/// use hsyn_core::{synthesize, Objective, SynthesisConfig};
+/// use hsyn_dfg::benchmarks;
+/// use hsyn_rtl::ModuleLibrary;
+///
+/// let bench = benchmarks::paulin();
+/// let mut mlib = ModuleLibrary::from_simple(hsyn_lib::papers::table1_library());
+/// mlib.equiv = bench.equiv.clone();
+///
+/// let mut config = SynthesisConfig::new(Objective::Area);
+/// config.laxity_factor = 2.2;
+/// // Small budgets keep this example fast; drop these lines for real runs.
+/// config.max_passes = 2;
+/// config.candidate_limit = 2;
+/// config.eval_trace_len = 8;
+/// config.report_trace_len = 16;
+/// config.max_clock_candidates = 2;
+///
+/// let report = synthesize(&bench.hierarchy, &mlib, &config).unwrap();
+/// assert!(report.evaluation.area.total() > 0.0);
+/// assert!(report.per_config.iter().any(|c| c.selected));
+/// ```
 ///
 /// # Errors
 ///
@@ -164,30 +236,92 @@ pub fn synthesize(
         configs.extend(kept);
     }
 
+    // Optimize every kept configuration, possibly in parallel. Each worker
+    // owns an independent `Engine`; outcomes are merged below in sweep
+    // order, so the report is byte-identical for every thread count.
+    enum ConfigOutcome {
+        Optimized {
+            design: Box<DesignPoint>,
+            eval: Evaluation,
+            stats: MoveStats,
+            elapsed_s: f64,
+        },
+        Skipped {
+            reason: String,
+        },
+    }
+    let threads = hsyn_util::effective_threads(config.parallelism);
+    let outcomes = hsyn_util::par_map(threads, &configs, |_, op| {
+        let config_start = Instant::now();
+        match initial_solution(h, lib, op) {
+            Err(e) => ConfigOutcome::Skipped {
+                reason: e.to_string(),
+            },
+            Ok(top) => {
+                let dp = DesignPoint {
+                    hierarchy: h.clone(),
+                    op: *op,
+                    top,
+                };
+                let mut engine =
+                    Engine::new(lib, config, eval_traces.clone(), config.resynth_depth);
+                let (opt, opt_eval) = engine.optimize(dp);
+                ConfigOutcome::Optimized {
+                    design: Box::new(opt),
+                    eval: opt_eval,
+                    stats: engine.stats,
+                    elapsed_s: config_start.elapsed().as_secs_f64(),
+                }
+            }
+        }
+    });
+
+    // Deterministic reduction: iterate in sweep (input) order and keep the
+    // first strictly-better cost — the total order is (cost, config index),
+    // exactly what the serial loop produced.
     let mut stats = MoveStats::default();
-    let mut best: Option<(DesignPoint, Evaluation)> = None;
-    {
-        for op in configs {
-            let Ok(top) = initial_solution(h, lib, &op) else {
-                continue;
-            };
-            stats.configs += 1;
-            let dp = DesignPoint {
-                hierarchy: h.clone(),
-                op,
-                top,
-            };
-            let mut engine = Engine::new(lib, config, eval_traces.clone(), config.resynth_depth);
-            let (opt, opt_eval) = engine.optimize(dp);
-            stats.absorb(&engine.stats);
-            if best.as_ref().map_or(true, |(_, e)| opt_eval.cost < e.cost) {
-                best = Some((opt, opt_eval));
+    let mut per_config: Vec<ConfigTelemetry> = Vec::new();
+    let mut skipped_configs: Vec<SkippedConfig> = Vec::new();
+    let mut best: Option<(usize, DesignPoint, Evaluation)> = None;
+    for (op, outcome) in configs.iter().zip(outcomes) {
+        match outcome {
+            ConfigOutcome::Skipped { reason } => {
+                stats.configs_skipped += 1;
+                skipped_configs.push(SkippedConfig {
+                    vdd: op.vdd,
+                    clk_ns: op.clk_ref_ns,
+                    reason,
+                });
+            }
+            ConfigOutcome::Optimized {
+                design,
+                eval,
+                stats: config_stats,
+                elapsed_s,
+            } => {
+                stats.configs += 1;
+                stats.absorb(&config_stats);
+                per_config.push(ConfigTelemetry {
+                    vdd: op.vdd,
+                    clk_ns: op.clk_ref_ns,
+                    elapsed_s,
+                    evaluated: config_stats.evaluated,
+                    rejected: config_stats.rejected,
+                    passes: config_stats.passes,
+                    cost: eval.cost,
+                    selected: false,
+                });
+                let telemetry_idx = per_config.len() - 1;
+                if best.as_ref().is_none_or(|(_, _, e)| eval.cost < e.cost) {
+                    best = Some((telemetry_idx, *design, eval));
+                }
             }
         }
     }
-    let Some((best_dp, _)) = best else {
+    let Some((winner_idx, best_dp, _)) = best else {
         return Err(SynthesisError::Infeasible { period_ns });
     };
+    per_config[winner_idx].selected = true;
 
     // Final evaluation on longer traces.
     let report_traces = dsp_default(
@@ -211,10 +345,12 @@ pub fn synthesize(
                 // Keep the lowest feasible voltage.
                 match &scaled {
                     Some(ScaledDesign { design, .. }) if design.op.vdd <= vdd => {}
-                    _ => scaled = Some(ScaledDesign {
-                        design: cand,
-                        evaluation: ev,
-                    }),
+                    _ => {
+                        scaled = Some(ScaledDesign {
+                            design: cand,
+                            evaluation: ev,
+                        })
+                    }
                 }
             }
         }
@@ -230,6 +366,8 @@ pub fn synthesize(
         period_ns,
         vdd_scaled,
         stats,
+        per_config,
+        skipped_configs,
         elapsed_s: start.elapsed().as_secs_f64(),
     })
 }

@@ -25,8 +25,7 @@ fn paulin_dp(period_ns: f64) -> (DesignPoint, ModuleLibrary) {
     )
 }
 
-fn no_resynth(
-) -> impl FnMut(&DesignPoint, &[usize], usize) -> Option<hsyn_core::ChildKind> {
+fn no_resynth() -> impl FnMut(&DesignPoint, &[usize], usize) -> Option<hsyn_core::ChildKind> {
     |_, _, _| None
 }
 
@@ -94,7 +93,13 @@ fn register_packing_shrinks_and_dedication_restores() {
     .expect("packing applies");
     assert!(packed.top.built.regs().len() < dedicated_regs);
     // Packing twice is a no-op ⇒ rejected.
-    assert!(apply(&packed, &Move::RepackRegs { path: vec![] }, &mlib, &mut no_resynth()).is_err());
+    assert!(apply(
+        &packed,
+        &Move::RepackRegs { path: vec![] },
+        &mlib,
+        &mut no_resynth()
+    )
+    .is_err());
     let restored = apply(
         &packed,
         &Move::DedicateRegs { path: vec![] },
@@ -224,7 +229,9 @@ fn selection_candidates_cover_children_and_groups() {
         top,
     };
     let cands = selection_candidates(&dp, &mlib, Objective::Power, true);
-    let has_swap = cands.iter().any(|(_, m)| matches!(m, Move::SwapChild { .. }));
+    let has_swap = cands
+        .iter()
+        .any(|(_, m)| matches!(m, Move::SwapChild { .. }));
     let has_resynth = cands
         .iter()
         .any(|(_, m)| matches!(m, Move::ResynthChild { .. }));

@@ -31,8 +31,7 @@ pub fn topo_order(g: &Dfg) -> Result<Vec<NodeId>, CycleError> {
     }
     // A FIFO keeps sibling order close to insertion order, which keeps
     // downstream heuristics deterministic.
-    let mut queue: std::collections::VecDeque<usize> =
-        (0..n).filter(|&i| indeg[i] == 0).collect();
+    let mut queue: std::collections::VecDeque<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
     let mut order = Vec::with_capacity(n);
     while let Some(i) = queue.pop_front() {
         let nid = node_id(i);

@@ -209,11 +209,7 @@ fn dot_tree(name: &str, n: usize) -> Dfg {
         let mut next = Vec::new();
         for pair in level.chunks(2) {
             if pair.len() == 2 {
-                next.push(g.add_op(
-                    Operation::Add,
-                    format!("s{next_name}"),
-                    &[pair[0], pair[1]],
-                ));
+                next.push(g.add_op(Operation::Add, format!("s{next_name}"), &[pair[0], pair[1]]));
                 next_name += 1;
             } else {
                 next.push(pair[0]);
@@ -379,9 +375,9 @@ pub fn dct() -> Benchmark {
         }
         rows.push(row);
     }
-    for k in 0..8usize {
+    for (k, row) in rows.iter().enumerate() {
         let mut operands = xs.clone();
-        operands.extend(rows[k].iter().copied());
+        operands.extend(row.iter().copied());
         let node = top.add_hier(dot8, format!("row{k}"), &operands);
         top.add_output(format!("y{k}"), top.hier_out(node, 0));
     }
@@ -521,16 +517,8 @@ pub fn fft4() -> Benchmark {
     let mut stage = Dfg::new("fft_stage");
     let ins: Vec<VarRef> = (0..8).map(|i| stage.add_input(format!("d{i}"))).collect();
     let tw: Vec<VarRef> = (0..4).map(|i| stage.add_input(format!("w{i}"))).collect();
-    let b0 = stage.add_hier(
-        bf,
-        "bf0",
-        &[ins[0], ins[1], ins[2], ins[3], tw[0], tw[1]],
-    );
-    let b1 = stage.add_hier(
-        bf,
-        "bf1",
-        &[ins[4], ins[5], ins[6], ins[7], tw[2], tw[3]],
-    );
+    let b0 = stage.add_hier(bf, "bf0", &[ins[0], ins[1], ins[2], ins[3], tw[0], tw[1]]);
+    let b1 = stage.add_hier(bf, "bf1", &[ins[4], ins[5], ins[6], ins[7], tw[2], tw[3]]);
     for (i, node) in [(0usize, b0), (1usize, b1)] {
         for p in 0..4u16 {
             stage.add_output(format!("o{}_{}", i, p), stage.hier_out(node, p));
@@ -550,8 +538,7 @@ pub fn fft4() -> Benchmark {
         "stage1",
         &[
             xs[0], xs[1], xs[4], xs[5], // a0, b0 (complex pairs: x0=(x0,x1), x2=(x4,x5))
-            xs[2], xs[3], xs[6], xs[7],
-            one, zero, one, zero,
+            xs[2], xs[3], xs[6], xs[7], one, zero, one, zero,
         ],
     );
     // Stage 2: combine with twiddles 1 and -j.
@@ -674,7 +661,9 @@ mod tests {
     #[test]
     fn all_benchmarks_validate() {
         for b in all() {
-            b.hierarchy.validate().unwrap_or_else(|e| panic!("{}: {e}", b.name));
+            b.hierarchy
+                .validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", b.name));
             assert!(b.hierarchy.try_top().is_some());
         }
     }
@@ -684,7 +673,14 @@ mod tests {
         let names: Vec<&str> = paper_suite().iter().map(|b| b.name).collect();
         assert_eq!(
             names,
-            ["avenhaus_cascade", "lat", "dct", "iir", "hier_paulin", "test1"]
+            [
+                "avenhaus_cascade",
+                "lat",
+                "dct",
+                "iir",
+                "hier_paulin",
+                "test1"
+            ]
         );
     }
 
@@ -724,7 +720,7 @@ mod tests {
         let c00 = top
             .nodes()
             .find(|(_, n)| n.name() == "c0_0")
-            .map(|(_, n)| n.kind().clone())
+            .map(|(_, n)| *n.kind())
             .unwrap();
         assert!(matches!(c00, crate::NodeKind::Const { value: 64 }));
     }

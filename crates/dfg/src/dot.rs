@@ -24,7 +24,11 @@ pub fn dfg_to_dot(h: &Hierarchy, g: &Dfg) -> String {
                 format!("{}\\n[{}]", node.name(), h.dfg(*callee).name()),
             ),
         };
-        let _ = writeln!(out, "  n{} [shape={shape}, label=\"{label}\"];", nid.index());
+        let _ = writeln!(
+            out,
+            "  n{} [shape={shape}, label=\"{label}\"];",
+            nid.index()
+        );
     }
     for (_, e) in g.edges() {
         let attrs = if e.delay > 0 {
@@ -51,7 +55,11 @@ pub fn hierarchy_to_dot(h: &Hierarchy) -> String {
     let _ = writeln!(out, "  node [fontname=\"Helvetica\", fontsize=10];");
     for (gid, g) in h.dfgs() {
         let _ = writeln!(out, "  subgraph cluster_{} {{", gid.index());
-        let top_marker = if h.try_top() == Some(gid) { " (top)" } else { "" };
+        let top_marker = if h.try_top() == Some(gid) {
+            " (top)"
+        } else {
+            ""
+        };
         let _ = writeln!(out, "    label=\"{}{top_marker}\";", g.name());
         for (nid, node) in g.nodes() {
             let (shape, label) = match node.kind() {
@@ -59,9 +67,7 @@ pub fn hierarchy_to_dot(h: &Hierarchy) -> String {
                 NodeKind::Output { index } => ("triangle", format!("out{index}")),
                 NodeKind::Const { value } => ("box", format!("{value}")),
                 NodeKind::Op(op) => ("circle", op.mnemonic().to_owned()),
-                NodeKind::Hier { callee } => {
-                    ("doubleoctagon", h.dfg(*callee).name().to_owned())
-                }
+                NodeKind::Hier { callee } => ("doubleoctagon", h.dfg(*callee).name().to_owned()),
             };
             let _ = writeln!(
                 out,

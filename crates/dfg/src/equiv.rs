@@ -1,5 +1,4 @@
 use crate::hierarchy::DfgId;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// User-declared functional equivalence between DFGs.
@@ -13,7 +12,7 @@ use std::collections::HashMap;
 ///
 /// Equivalence is an explicit, user-supplied relation — the tool never
 /// attempts to prove behavioral equivalence itself.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct EquivClasses {
     classes: Vec<Vec<DfgId>>,
     of: HashMap<DfgId, usize>,

@@ -1,10 +1,9 @@
 use crate::hierarchy::DfgId;
 use crate::op::Operation;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of a node within one [`Dfg`].
-#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
 pub struct NodeId(u32);
 
 impl NodeId {
@@ -34,7 +33,7 @@ impl fmt::Display for NodeId {
 }
 
 /// Identifier of an edge within one [`Dfg`].
-#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
 pub struct EdgeId(u32);
 
 impl EdgeId {
@@ -62,7 +61,7 @@ impl fmt::Display for EdgeId {
 
 /// A value produced at an output port of a node: the paper's notion of a
 /// *variable* (the things that get bound to registers).
-#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
 pub struct VarRef {
     /// Producing node.
     pub node: NodeId,
@@ -84,7 +83,7 @@ impl fmt::Display for VarRef {
 }
 
 /// What a DFG node represents.
-#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
 pub enum NodeKind {
     /// Primary input number `index` of the DFG.
     Input {
@@ -119,7 +118,7 @@ impl NodeKind {
 }
 
 /// A node of a [`Dfg`].
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct Node {
     kind: NodeKind,
     name: String,
@@ -139,7 +138,7 @@ impl Node {
 
 /// A directed edge carrying the value at `from` to input port `to_port` of
 /// node `to`, delayed by `delay` sample periods (`z^-delay`).
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct Edge {
     /// Producing variable.
     pub from: VarRef,
@@ -159,7 +158,7 @@ pub struct Edge {
 /// port driven exactly once, zero-delay acyclicity, ...) are checked by
 /// [`Hierarchy::validate`](crate::Hierarchy::validate) rather than on every
 /// mutation, so graphs with feedback can be built incrementally.
-#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct Dfg {
     name: String,
     nodes: Vec<Node>,
@@ -301,7 +300,12 @@ impl Dfg {
     /// # Panics
     ///
     /// Panics if `operands.len() != op.arity()`.
-    pub fn add_op(&mut self, op: Operation, name: impl Into<String>, operands: &[VarRef]) -> VarRef {
+    pub fn add_op(
+        &mut self,
+        op: Operation,
+        name: impl Into<String>,
+        operands: &[VarRef],
+    ) -> VarRef {
         assert_eq!(
             operands.len(),
             op.arity(),
@@ -323,7 +327,12 @@ impl Dfg {
 
     /// Add a hierarchical node invoking `callee`, with all inputs connected
     /// (delay 0). Returns the node id; use [`Dfg::hier_out`] for its outputs.
-    pub fn add_hier(&mut self, callee: DfgId, name: impl Into<String>, operands: &[VarRef]) -> NodeId {
+    pub fn add_hier(
+        &mut self,
+        callee: DfgId,
+        name: impl Into<String>,
+        operands: &[VarRef],
+    ) -> NodeId {
         let id = self.push_node(NodeKind::Hier { callee }, name);
         for (port, &src) in operands.iter().enumerate() {
             self.connect(src, id, port as u16, 0);
@@ -418,7 +427,10 @@ impl Dfg {
 
     /// Count of schedulable nodes (operations + hierarchical nodes).
     pub fn schedulable_count(&self) -> usize {
-        self.nodes.iter().filter(|n| n.kind().is_schedulable()).count()
+        self.nodes
+            .iter()
+            .filter(|n| n.kind().is_schedulable())
+            .count()
     }
 
     fn push_node(&mut self, kind: NodeKind, name: impl Into<String>) -> NodeId {

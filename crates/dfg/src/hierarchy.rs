@@ -1,10 +1,9 @@
 use crate::graph::{Dfg, NodeId, NodeKind, VarRef};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
 
 /// Identifier of a [`Dfg`] within a [`Hierarchy`].
-#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
 pub struct DfgId(u32);
 
 impl DfgId {
@@ -27,7 +26,7 @@ impl fmt::Display for DfgId {
 /// A hierarchical behavioral description: a set of DFGs, one of which is the
 /// top level. Hierarchical nodes reference other DFGs; arbitrarily deep
 /// hierarchies are allowed (the reference graph must be acyclic).
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct Hierarchy {
     dfgs: Vec<Dfg>,
     top: Option<DfgId>,
@@ -82,7 +81,10 @@ impl fmt::Display for HierarchyError {
         match self {
             HierarchyError::NoTop => write!(f, "hierarchy has no top-level dfg"),
             HierarchyError::DanglingCallee { dfg, node } => {
-                write!(f, "hierarchical node {node} in {dfg} references a missing dfg")
+                write!(
+                    f,
+                    "hierarchical node {node} in {dfg} references a missing dfg"
+                )
             }
             HierarchyError::RecursiveHierarchy { dfg } => {
                 write!(f, "dfg {dfg} participates in a recursive hierarchy")
@@ -97,7 +99,10 @@ impl fmt::Display for HierarchyError {
                 "input port {port} of {node} in {dfg} has {drivers} drivers (expected 1)"
             ),
             HierarchyError::BadSourcePort { dfg, node, port } => {
-                write!(f, "edge in {dfg} reads nonexistent output port {port} of {node}")
+                write!(
+                    f,
+                    "edge in {dfg} reads nonexistent output port {port} of {node}"
+                )
             }
             HierarchyError::CombinationalCycle { dfg } => {
                 write!(f, "dfg {dfg} has a zero-delay (combinational) cycle")
@@ -253,7 +258,10 @@ impl Hierarchy {
             for (nid, node) in g.nodes() {
                 if let NodeKind::Hier { callee } = node.kind() {
                     if callee.index() >= self.dfgs.len() {
-                        return Err(HierarchyError::DanglingCallee { dfg: gid, node: nid });
+                        return Err(HierarchyError::DanglingCallee {
+                            dfg: gid,
+                            node: nid,
+                        });
                     }
                 }
             }
@@ -268,11 +276,7 @@ impl Hierarchy {
 
     fn check_acyclic_callgraph(&self) -> Result<(), HierarchyError> {
         // Colors: 0 = white, 1 = grey (on stack), 2 = black.
-        fn visit(
-            h: &Hierarchy,
-            id: DfgId,
-            color: &mut [u8],
-        ) -> Result<(), HierarchyError> {
+        fn visit(h: &Hierarchy, id: DfgId, color: &mut [u8]) -> Result<(), HierarchyError> {
             match color[id.index()] {
                 1 => return Err(HierarchyError::RecursiveHierarchy { dfg: id }),
                 2 => return Ok(()),
@@ -437,7 +441,12 @@ impl<'h> Flattener<'h> {
     }
 
     /// Phase 1: materialize nodes for `dfg` and, recursively, its callees.
-    fn build_instance(&mut self, dfg: DfgId, parent: Option<(usize, NodeId)>, prefix: &str) -> usize {
+    fn build_instance(
+        &mut self,
+        dfg: DfgId,
+        parent: Option<(usize, NodeId)>,
+        prefix: &str,
+    ) -> usize {
         let idx = self.instances.len();
         self.instances.push(Instance {
             dfg,
@@ -505,10 +514,9 @@ impl<'h> Flattener<'h> {
         let instance = &self.instances[inst];
         let g = self.h.dfg(instance.dfg);
         match g.node(var.node).kind() {
-            NodeKind::Op(_) | NodeKind::Const { .. } => (
-                VarRef::new(instance.node_map[&var.node], 0),
-                acc,
-            ),
+            NodeKind::Op(_) | NodeKind::Const { .. } => {
+                (VarRef::new(instance.node_map[&var.node], 0), acc)
+            }
             NodeKind::Input { index } => match instance.parent {
                 None => (self.top_inputs[&var.node], acc),
                 Some((p_idx, hier_node)) => {
@@ -586,7 +594,11 @@ mod tests {
         let id = h.add_dfg(g);
         h.set_top(id);
         match h.validate().unwrap_err() {
-            HierarchyError::BadPortDrive { port: 1, drivers: 0, .. } => {}
+            HierarchyError::BadPortDrive {
+                port: 1,
+                drivers: 0,
+                ..
+            } => {}
             e => panic!("unexpected error {e:?}"),
         }
     }

@@ -1,4 +1,3 @@
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::str::FromStr;
 
@@ -8,7 +7,7 @@ use std::str::FromStr;
 /// additive and multiplicative arithmetic, comparison (the `Paulin`
 /// differential-equation benchmark ends each iteration with a `<` test) and a
 /// few cheap bit-level operations used by extension benchmarks.
-#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
 pub enum Operation {
     /// Two's-complement addition.
     Add,
@@ -88,7 +87,7 @@ impl Operation {
     ///
     /// Panics if `args.len() != self.arity()` or `width` is 0 or > 32.
     pub fn eval(self, args: &[i64], width: u32) -> i64 {
-        assert!(width >= 1 && width <= 32, "width must be in 1..=32");
+        assert!((1..=32).contains(&width), "width must be in 1..=32");
         assert_eq!(args.len(), self.arity(), "wrong operand count for {self}");
         let raw = match self {
             Operation::Add => args[0].wrapping_add(args[1]),

@@ -91,11 +91,10 @@ fn parse_operand(tok: &str, line: usize) -> Result<OperandTok, ParseError> {
     let (rest, delay) = match tok.split_once('@') {
         Some((r, d)) => (
             r,
-            d.parse::<u32>()
-                .map_err(|_| ParseError {
-                    line,
-                    message: format!("bad delay suffix in operand `{tok}`"),
-                })?,
+            d.parse::<u32>().map_err(|_| ParseError {
+                line,
+                message: format!("bad delay suffix in operand `{tok}`"),
+            })?,
         ),
         None => (tok, 0),
     };
@@ -184,7 +183,10 @@ pub fn parse(src: &str) -> Result<Parsed, ParseError> {
         }
     }
     if let Some(b) = current {
-        return err(b.line, format!("dfg `{}` is missing its closing `}}`", b.name));
+        return err(
+            b.line,
+            format!("dfg `{}` is missing its closing `}}`", b.name),
+        );
     }
 
     // Pass 2: create DFGs and a name → id map.
@@ -225,7 +227,10 @@ pub fn parse(src: &str) -> Result<Parsed, ParseError> {
                     }
                 };
                 if names.insert(name.clone(), node).is_some() {
-                    return err(*lno, format!("duplicate node name `{name}` in dfg `{}`", b.name));
+                    return err(
+                        *lno,
+                        format!("duplicate node name `{name}` in dfg `{}`", b.name),
+                    );
                 }
             }
         }
@@ -245,7 +250,9 @@ pub fn parse(src: &str) -> Result<Parsed, ParseError> {
                     let node = names[n];
                     for (port, tok) in operands.iter().enumerate() {
                         let src = resolve(tok)?;
-                        hierarchy.dfg_mut(gid).connect(src, node, port as u16, tok.delay);
+                        hierarchy
+                            .dfg_mut(gid)
+                            .connect(src, node, port as u16, tok.delay);
                     }
                 }
                 Stmt::Output(n, tok) => {
@@ -294,19 +301,20 @@ fn parse_stmt(toks: &[&str], lno: usize) -> Result<Stmt, ParseError> {
             if toks.len() != 4 || toks[2] != "=" {
                 return err(lno, "expected `const <name> = <int>`");
             }
-            let v: i64 = toks[3]
-                .parse()
-                .map_err(|_| ParseError {
-                    line: lno,
-                    message: format!("bad integer literal `{}`", toks[3]),
-                })?;
+            let v: i64 = toks[3].parse().map_err(|_| ParseError {
+                line: lno,
+                message: format!("bad integer literal `{}`", toks[3]),
+            })?;
             Ok(Stmt::Const(toks[1].to_owned(), v))
         }
         "output" => {
             if toks.len() != 4 || toks[2] != "=" {
                 return err(lno, "expected `output <name> = <operand>`");
             }
-            Ok(Stmt::Output(toks[1].to_owned(), parse_operand(toks[3], lno)?))
+            Ok(Stmt::Output(
+                toks[1].to_owned(),
+                parse_operand(toks[3], lno)?,
+            ))
         }
         name => {
             if toks.len() < 3 || toks[1] != "=" {
@@ -333,7 +341,11 @@ fn parse_stmt(toks: &[&str], lno: usize) -> Result<Stmt, ParseError> {
                 if operands.len() != op.arity() {
                     return err(
                         lno,
-                        format!("operation `{op}` takes {} operands, got {}", op.arity(), operands.len()),
+                        format!(
+                            "operation `{op}` takes {} operands, got {}",
+                            op.arity(),
+                            operands.len()
+                        ),
                     );
                 }
                 Ok(Stmt::Op(name.to_owned(), op, operands))
@@ -551,7 +563,8 @@ equiv leaf_a leaf_b
         let src = "dfg g {\n  input a\n  input a\n  output y = a\n}\ntop g\n";
         let e = parse(src).unwrap_err();
         assert!(e.message.contains("duplicate node name"));
-        let src2 = "dfg g {\n input a\n output y = a\n}\ndfg g {\n input a\n output y = a\n}\ntop g\n";
+        let src2 =
+            "dfg g {\n input a\n output y = a\n}\ndfg g {\n input a\n output y = a\n}\ntop g\n";
         let e2 = parse(src2).unwrap_err();
         assert!(e2.message.contains("duplicate dfg name"));
     }
@@ -568,7 +581,10 @@ equiv leaf_a leaf_b
         let parsed = parse(BIQUAD).expect("parses");
         let printed = print(&parsed.hierarchy, Some(&parsed.equiv));
         let reparsed = parse(&printed).expect("round-trips");
-        reparsed.hierarchy.validate().expect("valid after round-trip");
+        reparsed
+            .hierarchy
+            .validate()
+            .expect("valid after round-trip");
         let g1 = parsed.hierarchy.dfg(parsed.hierarchy.top());
         let g2 = reparsed.hierarchy.dfg(reparsed.hierarchy.top());
         assert_eq!(g1.node_count(), g2.node_count());

@@ -36,10 +36,7 @@ pub struct TransformStats {
 
 /// Rebuild `g` with producer rewrites applied: replaced nodes are dropped
 /// and their users re-pointed through the (possibly chained) replacement.
-fn rebuild(
-    g: &Dfg,
-    replace: &HashMap<VarRef, Replacement>,
-) -> Dfg {
+fn rebuild(g: &Dfg, replace: &HashMap<VarRef, Replacement>) -> Dfg {
     let mut out = Dfg::new(g.name());
     let mut map: HashMap<NodeId, NodeId> = HashMap::new();
 
@@ -59,9 +56,7 @@ fn rebuild(
     // First pass: create surviving nodes.
     for (nid, node) in g.nodes() {
         let needed = match node.kind() {
-            NodeKind::Op(_) | NodeKind::Const { .. } => {
-                !matches!(replace.get(&VarRef::new(nid, 0)), Some(_))
-            }
+            NodeKind::Op(_) | NodeKind::Const { .. } => replace.get(&VarRef::new(nid, 0)).is_none(),
             _ => true,
         };
         if !needed {
@@ -82,11 +77,13 @@ fn rebuild(
 
     // Second pass: connect edges of surviving consumers.
     for (_, e) in g.edges() {
-        let consumer_kind = g.node(e.to).kind().clone();
+        let consumer_kind = *g.node(e.to).kind();
         if matches!(consumer_kind, NodeKind::Output { .. }) {
             continue; // outputs handled last, in index order
         }
-        let Some(&new_to) = map.get(&e.to) else { continue };
+        let Some(&new_to) = map.get(&e.to) else {
+            continue;
+        };
         let src = resolve(replace, e.from);
         let from = materialize(&mut out, &map, &mut const_cache, src);
         out.connect(from, new_to, e.to_port, e.delay);
@@ -411,9 +408,7 @@ pub fn reduce_tree_height(g: &Dfg) -> (Dfg, usize) {
             map.insert(root, level[0].0.node);
             // Reconnect all non-chain consumer edges.
             for (_, e) in g.edges() {
-                if chain.contains(&e.to)
-                    || matches!(g.node(e.to).kind(), NodeKind::Output { .. })
-                {
+                if chain.contains(&e.to) || matches!(g.node(e.to).kind(), NodeKind::Output { .. }) {
                     continue;
                 }
                 let Some(&t) = map.get(&e.to) else { continue };
@@ -496,7 +491,8 @@ mod tests {
         let mut h = Hierarchy::new();
         let id = h.add_dfg(g.clone());
         h.set_top(id);
-        h.validate().unwrap_or_else(|e| panic!("invalid after transform: {e}"));
+        h.validate()
+            .unwrap_or_else(|e| panic!("invalid after transform: {e}"));
     }
 
     #[test]
@@ -619,10 +615,8 @@ mod tests {
         }
         g.add_output("y", acc);
         let dur = |gg: &Dfg| {
-            crate::analysis::critical_path(gg, |n| {
-                u64::from(gg.node(n).kind().is_schedulable())
-            })
-            .unwrap()
+            crate::analysis::critical_path(gg, |n| u64::from(gg.node(n).kind().is_schedulable()))
+                .unwrap()
         };
         assert_eq!(dur(&g), 7);
         let (g2, rebalanced) = reduce_tree_height(&g);

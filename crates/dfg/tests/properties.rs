@@ -1,80 +1,101 @@
-//! Property-based tests on the DFG substrate: random DAGs and hierarchies
-//! must satisfy the structural invariants the rest of the system relies on.
+//! Randomized property tests on the DFG substrate: random DAGs and
+//! hierarchies must satisfy the structural invariants the rest of the
+//! system relies on. Cases are generated from a fixed seed, so failures
+//! reproduce exactly; set `HSYN_PROP_CASES` to widen the sweep locally.
 
 use hsyn_dfg::{analysis, text, Dfg, Hierarchy, Operation, VarRef};
-use proptest::prelude::*;
+use hsyn_util::Rng;
 
-/// Strategy: a random well-formed leaf DFG with `n_in` inputs and a mix of
-/// binary operations; every node's operands come from earlier nodes.
-fn arb_dfg(max_ops: usize) -> impl Strategy<Value = Dfg> {
-    (2usize..5, 1usize..max_ops, any::<u64>()).prop_map(|(n_in, n_ops, seed)| {
-        let mut g = Dfg::new("rand");
-        let mut vars: Vec<VarRef> = (0..n_in).map(|i| g.add_input(format!("i{i}"))).collect();
-        let mut state = seed | 1;
-        let mut next = move || {
-            state = state
-                .wrapping_mul(6364136223846793005)
-                .wrapping_add(1442695040888963407);
-            (state >> 33) as usize
-        };
-        let ops = [Operation::Add, Operation::Sub, Operation::Mult, Operation::Min];
-        for k in 0..n_ops {
-            let a = vars[next() % vars.len()];
-            let b = vars[next() % vars.len()];
-            let op = ops[next() % ops.len()];
-            vars.push(g.add_op(op, format!("n{k}"), &[a, b]));
-        }
-        // 1-2 outputs from the tail.
-        g.add_output("y0", *vars.last().unwrap());
-        if n_ops > 2 {
-            let v = vars[vars.len() - 2];
-            g.add_output("y1", v);
-        }
-        g
-    })
+fn cases() -> u64 {
+    std::env::var("HSYN_PROP_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(48)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+/// A random well-formed leaf DFG with 2–4 inputs and a mix of binary
+/// operations; every node's operands come from earlier nodes.
+fn arb_dfg(rng: &mut Rng, max_ops: usize) -> Dfg {
+    let n_in = rng.range_usize(2, 5);
+    let n_ops = rng.range_usize(1, max_ops);
+    let seed = rng.next_u64();
+    let mut g = Dfg::new("rand");
+    let mut vars: Vec<VarRef> = (0..n_in).map(|i| g.add_input(format!("i{i}"))).collect();
+    let mut state = seed | 1;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) as usize
+    };
+    let ops = [
+        Operation::Add,
+        Operation::Sub,
+        Operation::Mult,
+        Operation::Min,
+    ];
+    for k in 0..n_ops {
+        let a = vars[next() % vars.len()];
+        let b = vars[next() % vars.len()];
+        let op = ops[next() % ops.len()];
+        vars.push(g.add_op(op, format!("n{k}"), &[a, b]));
+    }
+    // 1-2 outputs from the tail.
+    g.add_output("y0", *vars.last().unwrap());
+    if n_ops > 2 {
+        let v = vars[vars.len() - 2];
+        g.add_output("y1", v);
+    }
+    g
+}
 
-    #[test]
-    fn random_dfgs_validate_and_topo_sort(g in arb_dfg(24)) {
+#[test]
+fn random_dfgs_validate_and_topo_sort() {
+    let mut rng = Rng::seed_from_u64(0xD0_01);
+    for _ in 0..cases() {
+        let g = arb_dfg(&mut rng, 24);
         let mut h = Hierarchy::new();
         let id = h.add_dfg(g);
         h.set_top(id);
-        prop_assert!(h.validate().is_ok());
+        assert!(h.validate().is_ok());
         let g = h.dfg(id);
         let order = analysis::topo_order(g).unwrap();
-        prop_assert_eq!(order.len(), g.node_count());
+        assert_eq!(order.len(), g.node_count());
         // Every zero-delay edge goes forward in the order.
         let pos: std::collections::HashMap<_, _> =
             order.iter().enumerate().map(|(i, &n)| (n, i)).collect();
         for (_, e) in g.edges() {
             if e.delay == 0 {
-                prop_assert!(pos[&e.from.node] < pos[&e.to]);
+                assert!(pos[&e.from.node] < pos[&e.to]);
             }
         }
     }
+}
 
-    #[test]
-    fn alap_never_precedes_asap(g in arb_dfg(20)) {
-        let dur = |n: hsyn_dfg::NodeId| {
-            u64::from(g.node(n).kind().is_schedulable())
-        };
+#[test]
+fn alap_never_precedes_asap() {
+    let mut rng = Rng::seed_from_u64(0xD0_02);
+    for _ in 0..cases() {
+        let g = arb_dfg(&mut rng, 20);
+        let dur = |n: hsyn_dfg::NodeId| u64::from(g.node(n).kind().is_schedulable());
         let (asap_start, _) = analysis::asap(&g, dur).unwrap();
         let cp = analysis::critical_path(&g, dur).unwrap();
         let alap_start = analysis::alap(&g, cp + 3, dur).unwrap();
         for i in 0..g.node_count() {
-            prop_assert!(alap_start[i] >= asap_start[i], "node {i}");
+            assert!(alap_start[i] >= asap_start[i], "node {i}");
         }
         let mob = analysis::mobility(&g, cp + 3, dur).unwrap();
         for i in 0..g.node_count() {
-            prop_assert_eq!(mob[i], alap_start[i] - asap_start[i]);
+            assert_eq!(mob[i], alap_start[i] - asap_start[i]);
         }
     }
+}
 
-    #[test]
-    fn text_round_trip_preserves_structure(g in arb_dfg(16)) {
+#[test]
+fn text_round_trip_preserves_structure() {
+    let mut rng = Rng::seed_from_u64(0xD0_03);
+    for _ in 0..cases() {
+        let g = arb_dfg(&mut rng, 16);
         let mut h = Hierarchy::new();
         let id = h.add_dfg(g);
         h.set_top(id);
@@ -83,14 +104,19 @@ proptest! {
         reparsed.hierarchy.validate().unwrap();
         let a = h.dfg(id);
         let b = reparsed.hierarchy.dfg(reparsed.hierarchy.top());
-        prop_assert_eq!(a.node_count(), b.node_count());
-        prop_assert_eq!(a.edge_count(), b.edge_count());
-        prop_assert_eq!(a.input_count(), b.input_count());
-        prop_assert_eq!(a.output_count(), b.output_count());
+        assert_eq!(a.node_count(), b.node_count());
+        assert_eq!(a.edge_count(), b.edge_count());
+        assert_eq!(a.input_count(), b.input_count());
+        assert_eq!(a.output_count(), b.output_count());
     }
+}
 
-    #[test]
-    fn flatten_preserves_two_level_semantics(sub in arb_dfg(10), seed in any::<u64>()) {
+#[test]
+fn flatten_preserves_two_level_semantics() {
+    let mut rng = Rng::seed_from_u64(0xD0_04);
+    for _ in 0..cases() {
+        let sub = arb_dfg(&mut rng, 10);
+        let seed = rng.next_u64();
         // Wrap `sub` as a callee invoked twice from a top DFG, flatten, and
         // compare evaluation against direct nested evaluation.
         let mut h = Hierarchy::new();
@@ -114,7 +140,7 @@ proptest! {
         let mut h2 = Hierarchy::new();
         let fid = h2.add_dfg(flat);
         h2.set_top(fid);
-        prop_assert!(h2.validate().is_ok());
+        assert!(h2.validate().is_ok());
 
         // Evaluate both on one random input vector.
         let mut state = seed | 1;
@@ -157,6 +183,6 @@ proptest! {
         let fed: Vec<i64> = (0..n_in).map(|_| first[0]).collect();
         let expect = eval(sub_g, &fed);
         let got = eval(h2.dfg(fid), &inputs);
-        prop_assert_eq!(got, expect);
+        assert_eq!(got, expect);
     }
 }

@@ -1,9 +1,8 @@
 use hsyn_dfg::Operation;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of a functional-unit type within a [`Library`](crate::Library).
-#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
 pub struct FuTypeId(u32);
 
 impl FuTypeId {
@@ -32,7 +31,7 @@ impl fmt::Display for FuTypeId {
 /// (multicycling when it exceeds one period, chaining when several fit in
 /// one). A `stages > 1` unit is pipelined: it accepts one operation per
 /// cycle and produces its result `stages` cycles later.
-#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct FuType {
     name: String,
     ops: Vec<Operation>,
@@ -78,10 +77,19 @@ impl FuType {
         stages: u32,
     ) -> Self {
         let ops = ops.into();
-        assert!(!ops.is_empty(), "functional unit must implement at least one operation");
+        assert!(
+            !ops.is_empty(),
+            "functional unit must implement at least one operation"
+        );
         assert!(area.is_finite() && area > 0.0, "area must be positive");
-        assert!(delay_ns.is_finite() && delay_ns > 0.0, "delay must be positive");
-        assert!(energy.is_finite() && energy >= 0.0, "energy must be non-negative");
+        assert!(
+            delay_ns.is_finite() && delay_ns > 0.0,
+            "delay must be positive"
+        );
+        assert!(
+            energy.is_finite() && energy >= 0.0,
+            "energy must be non-negative"
+        );
         assert!(stages >= 1, "a functional unit has at least one stage");
         FuType {
             name: name.into(),
@@ -141,7 +149,7 @@ impl FuType {
 }
 
 /// Cost model of a register (one word of storage).
-#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Debug)]
 pub struct RegisterModel {
     /// Area of one register in library units.
     pub area: f64,
@@ -171,7 +179,7 @@ impl Default for RegisterModel {
 
 /// Cost model for multiplexers in front of functional-unit and register
 /// input ports. A `k`-input mux (`k >= 2`) costs `(k - 1) * area_per_input`.
-#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Debug)]
 pub struct MuxModel {
     /// Area per mux leg beyond the first.
     pub area_per_input: f64,
@@ -201,7 +209,7 @@ impl Default for MuxModel {
 
 /// Coarse wiring model: each point-to-point net contributes area (routing
 /// tracks) and capacitance (toggle energy).
-#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Debug)]
 pub struct WireModel {
     /// Area per net.
     pub area_per_net: f64,
@@ -219,7 +227,7 @@ impl Default for WireModel {
 }
 
 /// Cost model of the FSM controller synthesized alongside the datapath.
-#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Debug)]
 pub struct ControllerModel {
     /// Area per FSM state.
     pub area_per_state: f64,

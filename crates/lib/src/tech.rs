@@ -1,5 +1,3 @@
-use serde::{Deserialize, Serialize};
-
 /// Supply-voltage technology model.
 ///
 /// Delay scaling follows the classic alpha-power-law-simplified CMOS model
@@ -11,7 +9,7 @@ use serde::{Deserialize, Serialize};
 ///
 /// and dynamic energy scales as `(V / Vref)^2` (switched capacitance is
 /// voltage-independent).
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Technology {
     vref: f64,
     vt: f64,

@@ -20,10 +20,9 @@ use crate::traces::TraceSet;
 use hsyn_dfg::Hierarchy;
 use hsyn_lib::Library;
 use hsyn_rtl::{connectivity, control_bit_count, RtlModule, Sink};
-use serde::{Deserialize, Serialize};
 
 /// Energy per iteration, split by resource class (reference voltage).
-#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct EnergyBreakdown {
     /// Functional units.
     pub fu: f64,
@@ -53,7 +52,7 @@ impl EnergyBreakdown {
 }
 
 /// A complete power estimate for a design at an operating point.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct PowerReport {
     /// Energy per iteration at the reference voltage.
     pub energy_breakdown: EnergyBreakdown,
@@ -83,7 +82,10 @@ pub fn estimate(
     clk_ns: f64,
     sampling_period_cycles: u32,
 ) -> PowerReport {
-    assert!(!traces.is_empty(), "power estimation needs at least one sample");
+    assert!(
+        !traces.is_empty(),
+        "power estimation needs at least one sample"
+    );
     let (act, _) = simulate(h, module, traces);
     let iterations = traces.len() as f64;
     let mut breakdown = module_energy(h, module, lib, &act, traces.width);

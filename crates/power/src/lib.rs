@@ -70,6 +70,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)]
     fn simulation_matches_reference_semantics() {
         let (h, dfg, ..) = sop();
         let lib = table1_library();
@@ -94,6 +95,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)]
     fn hierarchical_simulation_matches_flattened_semantics() {
         // top = H(x, y) + x, where H(a, b) = a*b.
         let mut h = Hierarchy::new();
@@ -135,8 +137,7 @@ mod tests {
         for n in 0..24 {
             let x = traces.samples[0][n];
             let y = traces.samples[1][n];
-            let expect =
-                Operation::Add.eval(&[Operation::Mult.eval(&[x, y], W), x], W);
+            let expect = Operation::Add.eval(&[Operation::Mult.eval(&[x, y], W), x], W);
             assert_eq!(outs[0][n], expect);
         }
         // The submodule's multiplier saw one event per iteration.
@@ -336,9 +337,21 @@ mod tests {
         h.validate().unwrap();
 
         let mut chained_lib = hsyn_lib::Library::empty();
-        chained_lib.add_fu(hsyn_lib::FuType::new("addc", [Operation::Add], 10.0, 2.0, 2.0));
+        chained_lib.add_fu(hsyn_lib::FuType::new(
+            "addc",
+            [Operation::Add],
+            10.0,
+            2.0,
+            2.0,
+        ));
         let mut reg_lib = hsyn_lib::Library::empty();
-        reg_lib.add_fu(hsyn_lib::FuType::new("addr", [Operation::Add], 10.0, 8.0, 2.0));
+        reg_lib.add_fu(hsyn_lib::FuType::new(
+            "addr",
+            [Operation::Add],
+            10.0,
+            8.0,
+            2.0,
+        ));
 
         let traces = dsp_default(4, 64, W, 5);
         let run = |lib: &hsyn_lib::Library| {
@@ -379,7 +392,10 @@ mod tests {
         assert!(p_packed.energy_breakdown.clock < p_ded.energy_breakdown.clock);
         let ratio = p_ded.energy_breakdown.clock / ded.regs().len() as f64;
         let ratio2 = p_packed.energy_breakdown.clock / packed.regs().len() as f64;
-        assert!((ratio - ratio2).abs() < 1e-9, "clock energy is linear in registers");
+        assert!(
+            (ratio - ratio2).abs() < 1e-9,
+            "clock energy is linear in registers"
+        );
     }
 
     #[test]

@@ -30,10 +30,20 @@ pub fn per_module_energy(
 ) -> Vec<ModuleEnergy> {
     let (act, _) = simulate(h, module, traces);
     let mut out = Vec::new();
-    walk(h, module, lib, &act, traces.width, traces.len() as f64, "top", &mut out);
+    walk(
+        h,
+        module,
+        lib,
+        &act,
+        traces.width,
+        traces.len() as f64,
+        "top",
+        &mut out,
+    );
     out
 }
 
+#[allow(clippy::too_many_arguments)]
 fn walk(
     h: &Hierarchy,
     module: &RtlModule,

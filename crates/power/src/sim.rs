@@ -107,7 +107,15 @@ pub fn simulate(
         for (i, s) in traces.samples.iter().enumerate() {
             inputs[i] = s[n];
         }
-        let out = run_behavior(h, module, behavior, &inputs, traces.width, &mut state, &mut act);
+        let out = run_behavior(
+            h,
+            module,
+            behavior,
+            &inputs,
+            traces.width,
+            &mut state,
+            &mut act,
+        );
         for (o, v) in outputs.iter_mut().zip(&out) {
             o.push(*v);
         }
@@ -143,7 +151,10 @@ fn run_behavior(
         if e.delay > 0 {
             state_hist.get(&(e.from, e.delay)).copied().unwrap_or(0)
         } else {
-            values.get(&(e.from.node, e.from.port)).copied().unwrap_or(0)
+            values
+                .get(&(e.from.node, e.from.port))
+                .copied()
+                .unwrap_or(0)
         }
     }
 
@@ -266,7 +277,10 @@ fn run_behavior(
                     .copied()
                     .unwrap_or(0)
             } else {
-                values.get(&(e.from.node, e.from.port)).copied().unwrap_or(0)
+                values
+                    .get(&(e.from.node, e.from.port))
+                    .copied()
+                    .unwrap_or(0)
             }
         })
         .collect();

@@ -4,12 +4,10 @@
 //! the default generator therefore produces band-limited random walks, with
 //! white noise and sine composites available for contrast.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use hsyn_util::Rng;
 
 /// What kind of stimulus to generate.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub enum TraceKind {
     /// Independent uniform samples over the full range (white noise).
     WhiteUniform,
@@ -28,7 +26,7 @@ pub enum TraceKind {
 
 /// A set of input traces: one stream of `width`-bit samples per primary
 /// input.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct TraceSet {
     /// `samples[i][n]` = value of input `i` at iteration `n`.
     pub samples: Vec<Vec<i64>>,
@@ -67,23 +65,23 @@ pub fn generate(
     seed: u64,
 ) -> TraceSet {
     assert!((1..=32).contains(&width), "width must be in 1..=32");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let max = (1i64 << (width - 1)) - 1;
     let min = -(1i64 << (width - 1));
     let samples = (0..n_inputs)
         .map(|_| match kind {
-            TraceKind::WhiteUniform => (0..n_samples).map(|_| rng.gen_range(min..=max)).collect(),
+            TraceKind::WhiteUniform => (0..n_samples).map(|_| rng.range_i64(min, max)).collect(),
             TraceKind::RandomWalk { step } => {
-                let mut v: i64 = rng.gen_range(min / 2..=max / 2);
+                let mut v: i64 = rng.range_i64(min / 2, max / 2);
                 (0..n_samples)
                     .map(|_| {
-                        v = (v + rng.gen_range(-step..=step)).clamp(min, max);
+                        v = (v + rng.range_i64(-step, step)).clamp(min, max);
                         v
                     })
                     .collect()
             }
             TraceKind::Sine { period } => {
-                let phase: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
+                let phase: f64 = rng.range_f64(0.0, std::f64::consts::TAU);
                 let amp = max as f64 * 0.45;
                 (0..n_samples)
                     .map(|n| {
@@ -104,7 +102,13 @@ pub fn generate(
 /// at most 1/16 of full scale.
 pub fn dsp_default(n_inputs: usize, n_samples: usize, width: u32, seed: u64) -> TraceSet {
     let step = ((1i64 << (width - 1)) / 16).max(1);
-    generate(TraceKind::RandomWalk { step }, n_inputs, n_samples, width, seed)
+    generate(
+        TraceKind::RandomWalk { step },
+        n_inputs,
+        n_samples,
+        width,
+        seed,
+    )
 }
 
 /// Average bit-level switching activity of a stream: mean Hamming distance

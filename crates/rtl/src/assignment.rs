@@ -132,10 +132,7 @@ mod tests {
 
     #[test]
     fn simple_diagonal() {
-        let w = vec![
-            vec![5.0, 1.0],
-            vec![1.0, 5.0],
-        ];
+        let w = vec![vec![5.0, 1.0], vec![1.0, 5.0]];
         let a = max_weight_assignment(&w);
         assert_eq!(a, vec![Some(0), Some(1)]);
         assert_eq!(assignment_gain(&w, &a), 10.0);
@@ -143,20 +140,14 @@ mod tests {
 
     #[test]
     fn prefers_cross_when_better() {
-        let w = vec![
-            vec![1.0, 10.0],
-            vec![10.0, 1.0],
-        ];
+        let w = vec![vec![1.0, 10.0], vec![10.0, 1.0]];
         let a = max_weight_assignment(&w);
         assert_eq!(a, vec![Some(1), Some(0)]);
     }
 
     #[test]
     fn negative_and_zero_weights_stay_unmatched() {
-        let w = vec![
-            vec![-5.0, 0.0],
-            vec![-1.0, -2.0],
-        ];
+        let w = vec![vec![-5.0, 0.0], vec![-1.0, -2.0]];
         let a = max_weight_assignment(&w);
         assert_eq!(a, vec![None, None]);
     }
@@ -164,16 +155,12 @@ mod tests {
     #[test]
     fn rectangular_matrices() {
         // 3 left, 2 right: one left vertex must stay unmatched.
-        let w = vec![
-            vec![4.0, 3.0],
-            vec![2.0, 1.0],
-            vec![5.0, 9.0],
-        ];
+        let w = vec![vec![4.0, 3.0], vec![2.0, 1.0], vec![5.0, 9.0]];
         let a = max_weight_assignment(&w);
         let gain = assignment_gain(&w, &a);
         assert_eq!(gain, brute_force(&w));
         assert_eq!(gain, 13.0); // 4 + 9
-        // Wide: 2 left, 3 right.
+                                // Wide: 2 left, 3 right.
         let w2 = vec![vec![1.0, 7.0, 3.0], vec![2.0, 8.0, 4.0]];
         let a2 = max_weight_assignment(&w2);
         assert_eq!(assignment_gain(&w2, &a2), brute_force(&w2));
@@ -207,40 +194,39 @@ mod tests {
         }
     }
 
-    mod prop {
-        use super::*;
-        use proptest::prelude::*;
-
-        proptest! {
-            #![proptest_config(ProptestConfig::with_cases(64))]
-            #[test]
-            fn optimal_on_small_random_matrices(
-                n in 1usize..5,
-                m in 1usize..5,
-                seed in any::<u64>(),
-            ) {
-                // Deterministic pseudo-random weights from the seed.
-                let mut state = seed | 1;
-                let mut next = || {
-                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-                    ((state >> 33) as i64 % 21 - 10) as f64
-                };
-                let w: Vec<Vec<f64>> =
-                    (0..n).map(|_| (0..m).map(|_| next()).collect()).collect();
-                let a = max_weight_assignment(&w);
-                // Valid: no right vertex reused, no non-positive matches.
-                let mut seen = std::collections::HashSet::new();
-                for (i, &j) in a.iter().enumerate() {
-                    if let Some(j) = j {
-                        prop_assert!(seen.insert(j));
-                        prop_assert!(w[i][j] > 0.0);
-                    }
+    #[test]
+    fn optimal_on_small_random_matrices() {
+        // Deterministic randomized sweep: 64 dimensions-and-weights draws.
+        let mut rng = hsyn_util::Rng::seed_from_u64(0xA551);
+        for _ in 0..64 {
+            let n = rng.range_usize(1, 5);
+            let m = rng.range_usize(1, 5);
+            let seed = rng.next_u64();
+            // Deterministic pseudo-random weights from the seed.
+            let mut state = seed | 1;
+            let mut next = || {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((state >> 33) as i64 % 21 - 10) as f64
+            };
+            let w: Vec<Vec<f64>> = (0..n).map(|_| (0..m).map(|_| next()).collect()).collect();
+            let a = max_weight_assignment(&w);
+            // Valid: no right vertex reused, no non-positive matches.
+            let mut seen = std::collections::HashSet::new();
+            for (i, &j) in a.iter().enumerate() {
+                if let Some(j) = j {
+                    assert!(seen.insert(j));
+                    assert!(w[i][j] > 0.0);
                 }
-                // Optimal.
-                let gain = assignment_gain(&w, &a);
-                let best = brute_force(&w);
-                prop_assert!((gain - best).abs() < 1e-6, "gain {gain} vs brute force {best}");
             }
+            // Optimal.
+            let gain = assignment_gain(&w, &a);
+            let best = brute_force(&w);
+            assert!(
+                (gain - best).abs() < 1e-6,
+                "gain {gain} vs brute force {best}"
+            );
         }
     }
 }

@@ -61,18 +61,12 @@ impl Connectivity {
 
     /// Total multiplexer legs beyond the first input of each sink.
     pub fn mux_legs(&self) -> usize {
-        self.sinks
-            .values()
-            .map(|s| s.len().saturating_sub(1))
-            .sum()
+        self.sinks.values().map(|s| s.len().saturating_sub(1)).sum()
     }
 
     /// Select-line bits needed to steer all muxes.
     pub fn select_bits(&self) -> usize {
-        self.sinks
-            .values()
-            .map(|s| bits_for(s.len()))
-            .sum()
+        self.sinks.values().map(|s| bits_for(s.len())).sum()
     }
 }
 

@@ -8,10 +8,9 @@ use crate::fsm::control_bit_count;
 use crate::module::RtlModule;
 use hsyn_dfg::Hierarchy;
 use hsyn_lib::Library;
-use serde::{Deserialize, Serialize};
 
 /// Area of one module, split by resource class.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct AreaBreakdown {
     /// Functional units.
     pub fu: f64,
@@ -37,11 +36,7 @@ impl AreaBreakdown {
 /// Compute the area of `module`, including all submodules.
 pub fn module_area(h: &Hierarchy, module: &RtlModule, lib: &Library) -> AreaBreakdown {
     let conn = connectivity(h, module);
-    let fu: f64 = module
-        .fus()
-        .iter()
-        .map(|f| lib.fu(f.fu_type).area())
-        .sum();
+    let fu: f64 = module.fus().iter().map(|f| lib.fu(f.fu_type).area()).sum();
     let reg = module.regs().len() as f64 * lib.register.area;
     let mux: f64 = conn
         .sinks()

@@ -12,6 +12,10 @@
 //! minimum area embedding (including a measure of interconnect) which
 //! satisfies clock cycle constraints."
 
+// Parallel index maps (fu_map_a/b, reg_map_a/b, weight matrices) make
+// explicit indexing clearer than iterator zips here.
+#![allow(clippy::needless_range_loop)]
+
 use crate::assignment::max_weight_assignment;
 use crate::connect::{connectivity, Connectivity, Sink, Source};
 use crate::instance::{FuInstId, FuInstance, RegId, RegInstance, SubId};
@@ -232,9 +236,11 @@ pub fn embed(
             let mut affinity = 0usize;
             for s in &wa {
                 let matched = match s {
-                    Source::Fu(f) => wb.iter().any(|t| matches!(t, Source::Fu(g) if fu_map_b
+                    Source::Fu(f) => wb.iter().any(|t| {
+                        matches!(t, Source::Fu(g) if fu_map_b
                         .get(g.index())
-                        .is_some_and(|&m| m == fu_map_a[f.index()]))),
+                        .is_some_and(|&m| m == fu_map_a[f.index()]))
+                    }),
                     Source::Const(_) | Source::Input(_) => wb.contains(s),
                     _ => false,
                 };
@@ -242,8 +248,8 @@ pub fn embed(
                     affinity += 1;
                 }
             }
-            reg_weight[i][j] =
-                lib.register.area + affinity as f64 * lib.mux.area_per_input - lib.mux.area_per_input;
+            reg_weight[i][j] = lib.register.area + affinity as f64 * lib.mux.area_per_input
+                - lib.mux.area_per_input;
         }
     }
     let reg_match = max_weight_assignment(&reg_weight);

@@ -8,11 +8,10 @@ use crate::connect::{bits_for, Connectivity};
 use crate::module::RtlModule;
 use crate::spec::storage_analysis;
 use hsyn_dfg::{DfgId, Hierarchy, NodeKind, Operation};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Control signals asserted in one state (cycle) of one behavior.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct ControlWord {
     /// Per functional unit: the operation it performs this cycle, if any.
     pub fu_ops: Vec<Option<Operation>>,
@@ -23,7 +22,7 @@ pub struct ControlWord {
 }
 
 /// The control program for one behavior: one word per cycle.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct FsmProgram {
     /// The behavior's DFG.
     pub dfg: DfgId,
@@ -33,7 +32,7 @@ pub struct FsmProgram {
 
 /// The module's finite-state machine: a program per behavior plus an
 /// implicit idle state.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Fsm {
     /// One program per behavior, in behavior order.
     pub programs: Vec<FsmProgram>,

@@ -1,13 +1,10 @@
 use hsyn_lib::FuTypeId;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 macro_rules! dense_id {
     ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
         $(#[$doc])*
-        #[derive(
-            Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize,
-        )]
+        #[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
         pub struct $name(u32);
 
         impl $name {
@@ -49,7 +46,7 @@ dense_id!(
 
 /// A functional-unit instance: a piece of datapath hardware of a library
 /// type.
-#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct FuInstance {
     /// Library type of this instance.
     pub fu_type: FuTypeId,
@@ -58,7 +55,7 @@ pub struct FuInstance {
 }
 
 /// A register instance (one word of storage).
-#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct RegInstance {
     /// Instance name.
     pub name: String,

@@ -40,11 +40,11 @@ pub use instance::{FuInstId, FuInstance, RegId, RegInstance, SubId};
 pub use library::{ComplexModule, ModuleLibrary};
 pub use module::{Behavior, Binding, RtlModule};
 pub use netlist::netlist_text;
-pub use verilog::verilog_text;
 pub use spec::{
     build, storage_analysis, window_of, BuildCtx, BuildError, FuGroup, ModuleSpec, RegPolicy,
     StorageAnalysis, SubSpec,
 };
+pub use verilog::verilog_text;
 
 #[cfg(test)]
 mod tests {
@@ -136,7 +136,9 @@ mod tests {
         let dedicated = build(&h, &dedicated(&h, dfg, &lib), &ctx).unwrap();
         assert_eq!(shared.fus().len(), 2);
         // Serialized mults: 3 + 3 cycles, then the add ⇒ latency 7 vs 4.
-        assert!(shared.behaviors()[0].profile.latency() > dedicated.behaviors()[0].profile.latency());
+        assert!(
+            shared.behaviors()[0].profile.latency() > dedicated.behaviors()[0].profile.latency()
+        );
         // Sharing trades FU area for mux area.
         let a_shared = module_area(&h, &shared, &lib);
         let a_dedicated = module_area(&h, &dedicated, &lib);
@@ -166,8 +168,14 @@ mod tests {
             name: "shared".into(),
             dfg,
             fu_groups: vec![
-                FuGroup { fu_type: mult1, ops: mults },
-                FuGroup { fu_type: add1, ops: adds },
+                FuGroup {
+                    fu_type: mult1,
+                    ops: mults,
+                },
+                FuGroup {
+                    fu_type: add1,
+                    ops: adds,
+                },
             ],
             subs: vec![],
             reg_policy: RegPolicy::Dedicated,
@@ -196,7 +204,10 @@ mod tests {
         let spec = ModuleSpec {
             name: "bad".into(),
             dfg,
-            fu_groups: vec![FuGroup { fu_type: add1, ops: all_ops.clone() }],
+            fu_groups: vec![FuGroup {
+                fu_type: add1,
+                ops: all_ops.clone(),
+            }],
             subs: vec![],
             reg_policy: RegPolicy::Dedicated,
         };
@@ -365,7 +376,10 @@ mod tests {
         // Both behaviors preserved with unaltered schedules.
         assert_eq!(merged.module.behaviors().len(), 2);
         let b1 = merged.module.behaviors()[0].clone();
-        assert_eq!(b1.schedule.makespan(), rtl1.behaviors()[0].schedule.makespan());
+        assert_eq!(
+            b1.schedule.makespan(),
+            rtl1.behaviors()[0].schedule.makespan()
+        );
     }
 
     #[test]
@@ -421,7 +435,9 @@ mod tests {
         let c2 = &mlib.complex[1].module;
         let dot_t = h.dfg_by_name("dot3_tree").unwrap();
         let dot_c = h.dfg_by_name("dot3_chain").unwrap();
-        assert!(c2.profile_for(dot_c).unwrap().latency() > c1.profile_for(dot_t).unwrap().latency());
+        assert!(
+            c2.profile_for(dot_c).unwrap().latency() > c1.profile_for(dot_t).unwrap().latency()
+        );
     }
 
     #[test]
@@ -462,8 +478,6 @@ mod tests {
         let g = h.dfg(dfg);
         let s1n = g.nodes().find(|(_, n)| n.name() == "s1").unwrap().0;
         assert!(st.chained_edges.iter().any(|&c| c));
-        assert!(!st
-            .stored_vars
-            .contains(&hsyn_dfg::VarRef::new(s1n, 0)));
+        assert!(!st.stored_vars.contains(&hsyn_dfg::VarRef::new(s1n, 0)));
     }
 }

@@ -1,12 +1,11 @@
 use crate::instance::{FuInstId, FuInstance, RegId, RegInstance, SubId};
 use hsyn_dfg::{DfgId, NodeId, VarRef};
 use hsyn_sched::{Profile, Schedule};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// How a DFG's operations, variables, and hierarchical nodes map onto the
 /// hardware of one [`RtlModule`] — the paper's *assignment*.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct Binding {
     /// Operation node → functional-unit instance.
     pub op_to_fu: HashMap<NodeId, FuInstId>,
@@ -22,7 +21,7 @@ pub struct Binding {
 /// A module created by dedicated synthesis has one behavior; RTL embedding
 /// (move *C*) produces modules with several ("multiple hierarchical nodes
 /// can map to the same RTL module").
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Behavior {
     /// The DFG this behavior executes.
     pub dfg: DfgId,
@@ -41,7 +40,7 @@ pub struct Behavior {
 /// behaviors they implement. Multiplexers, wiring, and the FSM controller
 /// are derived (see [`connectivity`](crate::connectivity) and
 /// [`fsm`](crate::Fsm)).
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct RtlModule {
     name: String,
     fus: Vec<FuInstance>,
@@ -143,11 +142,21 @@ impl RtlModule {
 
     /// Total count of functional units in this module and all submodules.
     pub fn total_fu_count(&self) -> usize {
-        self.fus.len() + self.subs.iter().map(RtlModule::total_fu_count).sum::<usize>()
+        self.fus.len()
+            + self
+                .subs
+                .iter()
+                .map(RtlModule::total_fu_count)
+                .sum::<usize>()
     }
 
     /// Total register count including submodules.
     pub fn total_reg_count(&self) -> usize {
-        self.regs.len() + self.subs.iter().map(RtlModule::total_reg_count).sum::<usize>()
+        self.regs.len()
+            + self
+                .subs
+                .iter()
+                .map(RtlModule::total_reg_count)
+                .sum::<usize>()
     }
 }

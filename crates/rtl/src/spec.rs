@@ -17,13 +17,12 @@ use hsyn_sched::{
     alap_starts, asap_priority, derive_orderings, schedule, NodeDelay, Profile, SchedContext,
     SchedError, Schedule,
 };
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
 
 /// One functional-unit instance to create: a library type plus the operation
 /// nodes bound to it.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct FuGroup {
     /// Library type of the instance.
     pub fu_type: FuTypeId,
@@ -220,7 +219,11 @@ impl From<SchedError> for BuildError {
 ///
 /// See [`BuildError`]; any error means the spec is not a valid design point
 /// and the candidate move producing it must be rejected.
-pub fn build(h: &Hierarchy, spec: &ModuleSpec, ctx: &BuildCtx<'_>) -> Result<RtlModule, BuildError> {
+pub fn build(
+    h: &Hierarchy,
+    spec: &ModuleSpec,
+    ctx: &BuildCtx<'_>,
+) -> Result<RtlModule, BuildError> {
     let g = h.dfg(spec.dfg);
 
     // --- Coverage maps -----------------------------------------------------
@@ -243,14 +246,18 @@ pub fn build(h: &Hierarchy, spec: &ModuleSpec, ctx: &BuildCtx<'_>) -> Result<Rtl
     for (nid, node) in g.nodes() {
         match node.kind() {
             NodeKind::Op(op) => {
-                let gi = *op_group.get(&nid).ok_or(BuildError::BadCover { node: nid })?;
+                let gi = *op_group
+                    .get(&nid)
+                    .ok_or(BuildError::BadCover { node: nid })?;
                 let fu = ctx.lib.fu(spec.fu_groups[gi].fu_type);
                 if !fu.supports(*op) {
                     return Err(BuildError::UnsupportedOp { node: nid });
                 }
             }
             NodeKind::Hier { callee } => {
-                let si = *sub_group.get(&nid).ok_or(BuildError::BadCover { node: nid })?;
+                let si = *sub_group
+                    .get(&nid)
+                    .ok_or(BuildError::BadCover { node: nid })?;
                 if spec.subs[si].module.behavior_for(*callee).is_none() {
                     return Err(BuildError::MissingBehavior { node: nid });
                 }

@@ -27,7 +27,9 @@ impl<K: Eq + Hash + Clone> ListSchedule<K> {
         let mut out: HashMap<(K, usize), Vec<NodeId>> = HashMap::new();
         for (i, inst) in self.instance.iter().enumerate() {
             if let Some(key) = inst {
-                out.entry(key.clone()).or_default().push(NodeId::from_index(i));
+                out.entry(key.clone())
+                    .or_default()
+                    .push(NodeId::from_index(i));
             }
         }
         out
@@ -135,9 +137,7 @@ pub fn list_schedule<K: Eq + Hash + Clone>(
         // Within one cycle, keep scheduling until nothing else can start
         // (newly-readied zero-duration chains start the same cycle).
         loop {
-            ready.sort_by_key(|&nid| {
-                (std::cmp::Reverse(remaining[nid.index()]), nid.index())
-            });
+            ready.sort_by_key(|&nid| (std::cmp::Reverse(remaining[nid.index()]), nid.index()));
             let mut leftover = Vec::new();
             let mut progress = false;
             for &nid in &ready {
@@ -230,7 +230,11 @@ mod tests {
         let xs: Vec<VarRef> = (0..8).map(|i| g.add_input(format!("x{i}"))).collect();
         let mut prods = Vec::new();
         for i in 0..4 {
-            prods.push(g.add_op(Operation::Mult, format!("m{i}"), &[xs[2 * i], xs[2 * i + 1]]));
+            prods.push(g.add_op(
+                Operation::Mult,
+                format!("m{i}"),
+                &[xs[2 * i], xs[2 * i + 1]],
+            ));
         }
         let s0 = g.add_op(Operation::Add, "s0", &[prods[0], prods[1]]);
         let s1 = g.add_op(Operation::Add, "s1", &[prods[2], prods[3]]);
@@ -260,9 +264,8 @@ mod tests {
         let s = list_schedule(&g, dur(&g), op_class(&g), |_| 8, None).unwrap();
         // All mults at 0, adds at 3, final add at 4.
         for (nid, node) in g.nodes() {
-            match node.kind() {
-                NodeKind::Op(Operation::Mult) => assert_eq!(s.start[nid.index()], 0),
-                _ => {}
+            if let NodeKind::Op(Operation::Mult) = node.kind() {
+                assert_eq!(s.start[nid.index()], 0)
             }
         }
         assert_eq!(s.makespan, 5);
@@ -306,7 +309,13 @@ mod tests {
         .unwrap();
         assert_eq!(s.makespan, 8); // two waves of mults (0-3, 3-6) + adds
         let groups = s.groups();
-        assert_eq!(groups.iter().filter(|((k, _), _)| *k == Operation::Mult).count(), 2);
+        assert_eq!(
+            groups
+                .iter()
+                .filter(|((k, _), _)| *k == Operation::Mult)
+                .count(),
+            2
+        );
     }
 
     #[test]

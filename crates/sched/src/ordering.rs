@@ -42,8 +42,8 @@ pub fn derive_orderings<K: Eq + Hash>(
 /// Unconstrained ASAP start cycles usable as ordering priorities: the
 /// longest path in *cycles* assuming each schedulable node takes
 /// `dur_cycles` cycles and free nodes take zero.
-pub fn asap_priority(g: &Dfg, mut dur_cycles: impl FnMut(NodeId) -> u64) -> Vec<u64> {
-    let (start, _) = hsyn_dfg::analysis::asap(g, |n| dur_cycles(n))
+pub fn asap_priority(g: &Dfg, dur_cycles: impl FnMut(NodeId) -> u64) -> Vec<u64> {
+    let (start, _) = hsyn_dfg::analysis::asap(g, dur_cycles)
         .expect("ordering requires an acyclic zero-delay subgraph");
     start
 }

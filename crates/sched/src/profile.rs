@@ -1,4 +1,3 @@
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The *profile* of an RTL module (paper, Section 2): the expected input
@@ -9,7 +8,7 @@ use std::fmt;
 /// arrival times can be computed": the module starts at
 /// `max_i(arrival_i - input_i)` and output `j` appears `outputs[j]` cycles
 /// after the start.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct Profile {
     /// Expected arrival cycle of each input, relative to module start.
     pub inputs: Vec<u32>,
@@ -96,7 +95,7 @@ impl fmt::Display for Profile {
 /// The *environment* of an RTL module instance for a hierarchical node
 /// mapped to it (paper, Section 2): the actual arrival times of its inputs
 /// and the times its outputs are consumed, in the scheduled circuit.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct Environment {
     /// Absolute arrival cycle of each input.
     pub input_arrivals: Vec<u32>,

@@ -1,7 +1,6 @@
 use crate::profile::Profile;
 use crate::time::{max_tick, Tick};
 use hsyn_dfg::{Dfg, NodeId, NodeKind};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Timing behavior of one node, supplied by the binding layer.
@@ -65,7 +64,7 @@ impl SchedContext {
 }
 
 /// Scheduled timing of one node.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct NodeTime {
     /// When execution begins.
     pub start: Tick,
@@ -77,7 +76,7 @@ pub struct NodeTime {
 }
 
 /// A complete schedule of one DFG.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Schedule {
     times: Vec<NodeTime>,
     /// For profiled (hierarchical) nodes: the absolute production cycle of
@@ -217,7 +216,10 @@ pub fn schedule(
     let mut port_times: Vec<Option<Vec<u32>>> = vec![None; n];
 
     // Availability tick of the value on (producer, port).
-    let avail = |times: &[Option<NodeTime>], port_times: &[Option<Vec<u32>>], v: hsyn_dfg::VarRef| -> Tick {
+    let avail = |times: &[Option<NodeTime>],
+                 port_times: &[Option<Vec<u32>>],
+                 v: hsyn_dfg::VarRef|
+     -> Tick {
         let p = times[v.node.index()].as_ref().expect("topological order");
         match &port_times[v.node.index()] {
             Some(pt) => Tick::at_cycle(
@@ -418,8 +420,7 @@ fn combined_topo(g: &Dfg, serial: &[(NodeId, NodeId)]) -> Result<Vec<NodeId>, Sc
         adj[a.index()].push(b.index());
         indeg[b.index()] += 1;
     }
-    let mut queue: std::collections::VecDeque<usize> =
-        (0..n).filter(|&i| indeg[i] == 0).collect();
+    let mut queue: std::collections::VecDeque<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
     let mut order = Vec::with_capacity(n);
     while let Some(i) = queue.pop_front() {
         order.push(NodeId::from_index(i));

@@ -1,14 +1,13 @@
 use crate::profile::Environment;
-use crate::schedule::{Schedule, SchedContext};
+use crate::schedule::{SchedContext, Schedule};
 use hsyn_dfg::{Dfg, NodeId, NodeKind};
-use serde::{Deserialize, Serialize};
 
 /// The relaxed timing window a module (or functional unit) must satisfy for
 /// the surrounding schedule to remain feasible — the paper's *constraint
 /// derivation* step (Figure 5): "each operation … is assigned a new
 /// constraint for synthesis. … The new constraints must preserve
 /// schedulability of the implementation."
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct ConstraintWindow {
     /// Earliest cycle each input can be guaranteed present (actual arrival
     /// in the current schedule).
@@ -206,8 +205,7 @@ fn forward_order(g: &Dfg, serial: &[(NodeId, NodeId)]) -> Vec<NodeId> {
         adj[a.index()].push(b.index());
         indeg[b.index()] += 1;
     }
-    let mut queue: std::collections::VecDeque<usize> =
-        (0..n).filter(|&i| indeg[i] == 0).collect();
+    let mut queue: std::collections::VecDeque<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
     let mut order = Vec::with_capacity(n);
     while let Some(i) = queue.pop_front() {
         order.push(NodeId::from_index(i));

@@ -1,4 +1,3 @@
-use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::fmt;
 
@@ -9,7 +8,7 @@ use std::fmt;
 /// result produced at `Tick { cycle: c, ns: t }` with `t > 0` can be chained
 /// into by another operation in the same cycle, or consumed from a register
 /// in cycle `c + 1` onwards.
-#[derive(Copy, Clone, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug)]
 pub struct Tick {
     /// Clock cycle index from the start of the iteration.
     pub cycle: u32,

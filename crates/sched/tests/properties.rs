@@ -1,57 +1,73 @@
-//! Property-based tests on the scheduler: on random DAGs with random
+//! Randomized property tests on the scheduler: on random DAGs with random
 //! delays and random resource serializations, schedules must respect data
 //! dependencies, serialization, chaining capacity, and slack bounds.
+//! Cases are generated from a fixed seed, so failures reproduce exactly;
+//! set `HSYN_PROP_CASES` to widen the sweep locally.
 
 use hsyn_dfg::{Dfg, NodeId, Operation, VarRef};
 use hsyn_sched::{alap_starts, derive_orderings, schedule, NodeDelay, SchedContext};
-use proptest::prelude::*;
+use hsyn_util::Rng;
 
 const CLK: f64 = 10.0;
 const OVH: f64 = 1.0;
 
-fn arb_case() -> impl Strategy<Value = (Dfg, Vec<f64>, Vec<u8>)> {
-    (2usize..5, 2usize..18, any::<u64>()).prop_map(|(n_in, n_ops, seed)| {
-        let mut g = Dfg::new("rand");
-        let mut vars: Vec<VarRef> = (0..n_in).map(|i| g.add_input(format!("i{i}"))).collect();
-        let mut state = seed | 1;
-        let mut next = move || {
-            state = state
-                .wrapping_mul(6364136223846793005)
-                .wrapping_add(1442695040888963407);
-            (state >> 33) as usize
-        };
-        let mut delays = vec![0.0f64; n_in];
-        let mut groups = vec![0u8; n_in];
-        for k in 0..n_ops {
-            let a = vars[next() % vars.len()];
-            let b = vars[next() % vars.len()];
-            vars.push(g.add_op(Operation::Add, format!("n{k}"), &[a, b]));
-            // Delays between 2 and 26 ns: chaining, single, multicycle.
-            delays.push(2.0 + (next() % 25) as f64);
-            groups.push((next() % 4) as u8);
-        }
-        g.add_output("y", *vars.last().unwrap());
-        delays.push(0.0);
-        groups.push(0);
-        (g, delays, groups)
-    })
+fn cases() -> u64 {
+    std::env::var("HSYN_PROP_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn arb_case(rng: &mut Rng) -> (Dfg, Vec<f64>, Vec<u8>) {
+    let n_in = rng.range_usize(2, 5);
+    let n_ops = rng.range_usize(2, 18);
+    let seed = rng.next_u64();
+    let mut g = Dfg::new("rand");
+    let mut vars: Vec<VarRef> = (0..n_in).map(|i| g.add_input(format!("i{i}"))).collect();
+    let mut state = seed | 1;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) as usize
+    };
+    let mut delays = vec![0.0f64; n_in];
+    let mut groups = vec![0u8; n_in];
+    for k in 0..n_ops {
+        let a = vars[next() % vars.len()];
+        let b = vars[next() % vars.len()];
+        vars.push(g.add_op(Operation::Add, format!("n{k}"), &[a, b]));
+        // Delays between 2 and 26 ns: chaining, single, multicycle.
+        delays.push(2.0 + (next() % 25) as f64);
+        groups.push((next() % 4) as u8);
+    }
+    g.add_output("y", *vars.last().unwrap());
+    delays.push(0.0);
+    groups.push(0);
+    (g, delays, groups)
+}
 
-    #[test]
-    fn schedules_respect_dependencies_and_serialization((g, delays, groups) in arb_case()) {
+#[test]
+fn schedules_respect_dependencies_and_serialization() {
+    let mut rng = Rng::seed_from_u64(0x5C_01);
+    for _ in 0..cases() {
+        let (g, delays, groups) = arb_case(&mut rng);
         let delay_of = |n: NodeId| {
             if g.node(n).kind().is_schedulable() {
-                NodeDelay::Combinational { ns: delays[n.index()] }
+                NodeDelay::Combinational {
+                    ns: delays[n.index()],
+                }
             } else {
                 NodeDelay::Free
             }
         };
         // Serialize ops sharing a pseudo-random group id.
         let prio = hsyn_sched::asap_priority(&g, |n| {
-            if g.node(n).kind().is_schedulable() { 1 } else { 0 }
+            if g.node(n).kind().is_schedulable() {
+                1
+            } else {
+                0
+            }
         });
         let serial = derive_orderings(
             &g,
@@ -78,39 +94,52 @@ proptest! {
             }
             let p = sched.result_tick_of_port(e.from.node, e.from.port);
             let c = sched.time(e.to).start;
-            prop_assert!(c >= p, "consumer {} at {c} before producer result {p}", e.to);
+            assert!(
+                c >= p,
+                "consumer {} at {c} before producer result {p}",
+                e.to
+            );
         }
         // (2) Serialization: occupancy windows of serialized pairs are
         //     disjoint and ordered.
         for &(a, b) in &serial {
             let ta = sched.time(a);
             let tb = sched.time(b);
-            prop_assert!(tb.occupied.0 >= ta.occupied.1,
-                "{a}->{b}: {:?} then {:?}", ta.occupied, tb.occupied);
+            assert!(
+                tb.occupied.0 >= ta.occupied.1,
+                "{a}->{b}: {:?} then {:?}",
+                ta.occupied,
+                tb.occupied
+            );
         }
         // (3) Chaining capacity: results never exceed the usable window.
         for nid in g.node_ids() {
             let t = sched.time(nid);
             if !t.result.is_boundary() {
-                prop_assert!(t.result.ns <= ctx.usable_ns() + 1e-6);
+                assert!(t.result.ns <= ctx.usable_ns() + 1e-6);
             }
         }
         // (4) Makespan covers all activity.
         for nid in g.node_ids() {
-            prop_assert!(sched.time(nid).occupied.1 <= sched.makespan());
+            assert!(sched.time(nid).occupied.1 <= sched.makespan());
         }
     }
+}
 
-    #[test]
-    fn alap_windows_contain_the_schedule((g, delays, groups) in arb_case()) {
+#[test]
+fn alap_windows_contain_the_schedule() {
+    let mut rng = Rng::seed_from_u64(0x5C_02);
+    for _ in 0..cases() {
+        let (g, delays, _groups) = arb_case(&mut rng);
         let delay_of = |n: NodeId| {
             if g.node(n).kind().is_schedulable() {
-                NodeDelay::Combinational { ns: delays[n.index()] }
+                NodeDelay::Combinational {
+                    ns: delays[n.index()],
+                }
             } else {
                 NodeDelay::Free
             }
         };
-        let _ = &groups;
         let ctx0 = SchedContext::new(CLK, OVH, None);
         let sched0 = schedule(&g, delay_of, &[], &ctx0).expect("schedules");
         // Re-schedule under a deadline with slack.
@@ -119,17 +148,25 @@ proptest! {
         let sched = schedule(&g, delay_of, &[], &ctx).expect("fits with slack");
         let alap = alap_starts(&g, &sched, &[], &ctx);
         for nid in g.node_ids() {
-            prop_assert!(alap[nid.index()] >= sched.time(nid).start.cycle,
-                "ALAP window excludes the achieved schedule at {nid}");
-            prop_assert!(alap[nid.index()] <= deadline);
+            assert!(
+                alap[nid.index()] >= sched.time(nid).start.cycle,
+                "ALAP window excludes the achieved schedule at {nid}"
+            );
+            assert!(alap[nid.index()] <= deadline);
         }
     }
+}
 
-    #[test]
-    fn tighter_deadlines_never_extend_makespan((g, delays, _groups) in arb_case()) {
+#[test]
+fn tighter_deadlines_never_extend_makespan() {
+    let mut rng = Rng::seed_from_u64(0x5C_03);
+    for _ in 0..cases() {
+        let (g, delays, _groups) = arb_case(&mut rng);
         let delay_of = |n: NodeId| {
             if g.node(n).kind().is_schedulable() {
-                NodeDelay::Combinational { ns: delays[n.index()] }
+                NodeDelay::Combinational {
+                    ns: delays[n.index()],
+                }
             } else {
                 NodeDelay::Free
             }
@@ -142,7 +179,7 @@ proptest! {
             &SchedContext::new(CLK, OVH, Some(free.makespan())),
         );
         // ASAP scheduling is deadline-independent: exactly feasible.
-        prop_assert!(tight.is_ok());
-        prop_assert_eq!(tight.unwrap().makespan(), free.makespan());
+        assert!(tight.is_ok());
+        assert_eq!(tight.unwrap().makespan(), free.makespan());
     }
 }

@@ -1,0 +1,25 @@
+//! Dependency-free runtime substrate shared by the H-SYN crates.
+//!
+//! Three small pieces that the rest of the workspace would otherwise pull
+//! external crates for:
+//!
+//! * [`rng`] — a deterministic, seedable PRNG (SplitMix64) for trace
+//!   generation and randomized tests;
+//! * [`par`] — a scoped-thread parallel map whose results are merged in
+//!   input order, so parallel and serial runs are byte-identical;
+//! * [`json`] — a minimal JSON value type with parser and pretty printer
+//!   for the experiment-result cache.
+//!
+//! Everything here is `std`-only: the workspace builds with no network
+//! access and no registry.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod par;
+pub mod rng;
+
+pub use json::Json;
+pub use par::{effective_threads, par_map};
+pub use rng::Rng;

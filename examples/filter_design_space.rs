@@ -20,12 +20,14 @@ fn main() {
     println!("4th-order IIR (two biquad sections), hierarchical synthesis\n");
     let mut base = SynthesisConfig::new(Objective::Area);
     base.max_passes = 6;
-    let points = explore(
-        &bench.hierarchy,
-        &mlib,
-        &base,
-        &[1.2, 1.7, 2.2, 2.7, 3.2],
-    );
+    let sweep = explore(&bench.hierarchy, &mlib, &base, &[1.2, 1.7, 2.2, 2.7, 3.2]);
+    let points = sweep.points;
+    for s in &sweep.skipped {
+        println!(
+            "skipped L.F. {} ({:?}-optimized): {}",
+            s.laxity, s.objective, s.error
+        );
+    }
     println!(
         "{:<8}{:<10}{:>10}{:>12}{:>8}{:>10}",
         "L.F.", "objective", "area", "power", "Vdd", "time (s)"

@@ -37,8 +37,14 @@ fn main() {
         report.design.op.physical_clk_ns(&mlib.simple),
         report.design.op.sampling_cycles
     );
-    println!("area                    : {:.1}", report.evaluation.area.total());
-    println!("power                   : {:.4}", report.evaluation.power.power);
+    println!(
+        "area                    : {:.1}",
+        report.evaluation.area.total()
+    );
+    println!(
+        "power                   : {:.4}",
+        report.evaluation.power.power
+    );
     println!(
         "moves committed         : A={} B={} C={} D={} over {} passes",
         report.stats.applied_a,
@@ -52,7 +58,11 @@ fn main() {
     println!("\n== Datapath ==\n");
     println!(
         "{}",
-        netlist_text(&report.design.hierarchy, &report.design.top.built, &mlib.simple)
+        netlist_text(
+            &report.design.hierarchy,
+            &report.design.top.built,
+            &mlib.simple
+        )
     );
     let fsm = hsyn::rtl::generate_fsm(&report.design.hierarchy, &report.design.top.built);
     println!("== Controller ({} states) ==\n", fsm.state_count());

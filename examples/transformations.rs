@@ -41,7 +41,11 @@ fn main() {
     let parsed = text::parse(SOURCE).expect("well-formed");
     let g = parsed.hierarchy.dfg(parsed.hierarchy.top());
 
-    println!("before: {} operations, critical path {} op-levels", g.schedulable_count(), depth(g));
+    println!(
+        "before: {} operations, critical path {} op-levels",
+        g.schedulable_count(),
+        depth(g)
+    );
     let (optimized, stats) = transform::optimize(g, 16);
     println!(
         "after : {} operations, critical path {} op-levels",

@@ -16,6 +16,9 @@
 //!   --dot <file>             write the hierarchy as Graphviz DOT
 //!   --power-report           print the per-module power attribution
 //!   --seed <n>               trace RNG seed
+//!   --parallel <n>           worker threads for the (Vdd, clock) sweep
+//!                            (default: one per core; results identical
+//!                            for every setting)
 //! ```
 
 use hsyn::core::{synthesize, Objective, SynthesisConfig};
@@ -28,7 +31,8 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: hsyn <behavior.dfg> [--objective area|power] [--laxity F] [--period NS]\n\
          \x20           [--library table1|realistic] [--flat] [--netlist] [--fsm]\n\
-         \x20           [--verilog FILE] [--dot FILE] [--power-report] [--seed N]"
+         \x20           [--verilog FILE] [--dot FILE] [--power-report] [--seed N]\n\
+         \x20           [--parallel N]"
     );
     ExitCode::from(2)
 }
@@ -47,6 +51,7 @@ fn main() -> ExitCode {
     let mut dot_out: Option<String> = None;
     let mut power_report = false;
     let mut seed: Option<u64> = None;
+    let mut parallel: Option<usize> = None;
 
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -91,6 +96,10 @@ fn main() -> ExitCode {
             "--power-report" => power_report = true,
             "--seed" => match take("--seed").and_then(|v| v.parse().ok()) {
                 Some(v) => seed = Some(v),
+                None => return usage(),
+            },
+            "--parallel" => match take("--parallel").and_then(|v| v.parse().ok()) {
+                Some(v) => parallel = Some(v),
                 None => return usage(),
             },
             "--help" | "-h" => return usage(),
@@ -142,6 +151,9 @@ fn main() -> ExitCode {
     if let Some(s) = seed {
         config.seed = s;
     }
+    if parallel.is_some() {
+        config.parallelism = parallel;
+    }
 
     let report = match synthesize(&parsed.hierarchy, &mlib, &config) {
         Ok(r) => r,
@@ -169,7 +181,10 @@ fn main() -> ExitCode {
         design.op.physical_clk_ns(&mlib.simple),
         design.op.sampling_cycles
     );
-    println!("area                : {:.1}", report.evaluation.area.total());
+    println!(
+        "area                : {:.1}",
+        report.evaluation.area.total()
+    );
     println!("power               : {:.4}", report.evaluation.power.power);
     println!(
         "hardware            : {} functional units, {} registers",
@@ -178,13 +193,21 @@ fn main() -> ExitCode {
     );
     println!(
         "engine              : {} moves (A={} B={} C={} D={}), {} passes, {:.2}s",
-        report.stats.applied_a + report.stats.applied_b + report.stats.applied_c + report.stats.applied_d,
+        report.stats.applied_a
+            + report.stats.applied_b
+            + report.stats.applied_c
+            + report.stats.applied_d,
         report.stats.applied_a,
         report.stats.applied_b,
         report.stats.applied_c,
         report.stats.applied_d,
         report.stats.passes,
         report.elapsed_s
+    );
+    println!(
+        "configurations      : {} optimized, {} infeasible",
+        report.per_config.len(),
+        report.skipped_configs.len()
     );
     if let Some(scaled) = &report.vdd_scaled {
         println!(

@@ -33,9 +33,7 @@ pub use hsyn_sched as sched;
 
 /// Commonly used items, for glob import in examples and tests.
 pub mod prelude {
-    pub use hsyn_core::{
-        synthesize, DesignPoint, Objective, SynthesisConfig, SynthesisReport,
-    };
+    pub use hsyn_core::{synthesize, DesignPoint, Objective, SynthesisConfig, SynthesisReport};
     pub use hsyn_dfg::{Dfg, DfgId, EquivClasses, Hierarchy, NodeId, Operation, VarRef};
     pub use hsyn_lib::{Library, Technology};
 }

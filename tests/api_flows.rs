@@ -64,9 +64,10 @@ top quadmul
 ";
     let parsed = text::parse(src).expect("parses");
     let lib = Library::realistic();
-    assert!(lib
-        .fus()
-        .any(|(_, f)| f.is_pipelined()), "realistic library has a pipelined unit");
+    assert!(
+        lib.fus().any(|(_, f)| f.is_pipelined()),
+        "realistic library has a pipelined unit"
+    );
     let mlib = ModuleLibrary::from_simple(lib);
     let mut config = quick(Objective::Area);
     config.laxity_factor = 3.0;
@@ -154,7 +155,7 @@ fn verilog_export_is_structurally_complete() {
         16,
     );
     // One Verilog module per RTL module in the tree, plus controller logic.
-    assert!(v.matches("module ").count() >= 1 + report.design.top.built.subs().len());
+    assert!(v.matches("module ").count() > report.design.top.built.subs().len());
     assert!(v.contains("endmodule"));
     assert!(v.contains("always @(posedge clk)"));
     assert!(v.contains("assign done"));

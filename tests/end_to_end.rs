@@ -116,8 +116,7 @@ fn stateful_modules_never_shared_across_contexts() {
     let bench = benchmarks::wdf5();
     let mut mlib = ModuleLibrary::from_simple(table1_library());
     mlib.equiv = bench.equiv.clone();
-    let report =
-        synthesize(&bench.hierarchy, &mlib, &quick(Objective::Area, true, 3.2)).unwrap();
+    let report = synthesize(&bench.hierarchy, &mlib, &quick(Objective::Area, true, 3.2)).unwrap();
     let b = &report.design.top.built.behaviors()[0];
     let mut by_sub = std::collections::HashMap::new();
     for (&node, &sub) in &b.binding.hier_to_sub {

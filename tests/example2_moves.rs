@@ -49,9 +49,9 @@ fn move_a_swaps_c1_for_equivalent_c2() {
         |(_, n)| matches!(n.kind(), hsyn::dfg::NodeKind::Hier { callee } if *callee == dot3_chain),
     );
     assert!(rewritten, "move A rewrote the node's DFG to the equivalent");
-    assert!(!g
-        .nodes()
-        .any(|(_, n)| matches!(n.kind(), hsyn::dfg::NodeKind::Hier { callee } if *callee == dot3_tree)));
+    assert!(!g.nodes().any(
+        |(_, n)| matches!(n.kind(), hsyn::dfg::NodeKind::Hier { callee } if *callee == dot3_tree)
+    ));
 }
 
 /// Example 2's core arithmetic: the relaxed window `{0,0,0,0,9,9}` admits
@@ -98,5 +98,8 @@ fn relaxed_window_admits_mult2_resynthesis() {
         "mult2 implementation is slower: {slow_profile}"
     );
     assert!(relaxed.admits(slow_profile), "relaxed window admits mult2");
-    assert!(!tight.admits(slow_profile), "original environment rejects it");
+    assert!(
+        !tight.admits(slow_profile),
+        "original environment rejects it"
+    );
 }

@@ -25,7 +25,9 @@ fn reference_outputs(flat: &Dfg, traces: &TraceSet) -> Vec<Vec<i64>> {
                     hist: &HashMap<(NodeId, u16, u32), i64>,
                     e: &hsyn::dfg::Edge| {
             if e.delay > 0 {
-                hist.get(&(e.from.node, e.from.port, e.delay)).copied().unwrap_or(0)
+                hist.get(&(e.from.node, e.from.port, e.delay))
+                    .copied()
+                    .unwrap_or(0)
             } else {
                 vals.get(&e.from.node).copied().unwrap_or(0)
             }
@@ -92,14 +94,16 @@ fn check_semantics(bench: &Benchmark, hierarchical: bool) {
     let flat = bench.hierarchy.flatten();
     let traces = dsp_default(flat.input_count(), 40, W, 99);
     let expected = reference_outputs(&flat, &traces);
-    let (_, got) = simulate(
-        &report.design.hierarchy,
-        &report.design.top.built,
-        &traces,
-    );
+    let (_, got) = simulate(&report.design.hierarchy, &report.design.top.built, &traces);
     assert_eq!(got.len(), expected.len(), "{}", bench.name);
     for (o, (g, e)) in got.iter().zip(&expected).enumerate() {
-        assert_eq!(g, e, "{} output {o} ({})", bench.name, if hierarchical { "hier" } else { "flat" });
+        assert_eq!(
+            g,
+            e,
+            "{} output {o} ({})",
+            bench.name,
+            if hierarchical { "hier" } else { "flat" }
+        );
     }
 }
 
