@@ -68,6 +68,15 @@ pub struct SynthesisConfig {
     /// setting: work is merged in input order with a total-order tiebreak,
     /// so parallelism changes wall-clock only, never the report.
     pub parallelism: Option<usize>,
+    /// Run the cross-layer IR verifier (`hsyn-lint`) on the design after
+    /// every accepted move and at each `(Vdd, clk)` configuration boundary,
+    /// failing the configuration fast on the first error-severity
+    /// diagnostic (it surfaces as a
+    /// [`SkippedConfig`](crate::SkippedConfig) carrying the rule code).
+    /// Observation-only on legal runs — the report is byte-identical with
+    /// the flag off; verifier wall-clock is recorded in
+    /// [`ConfigTelemetry::verify_s`](crate::ConfigTelemetry::verify_s).
+    pub paranoid: bool,
 }
 
 impl SynthesisConfig {
@@ -89,6 +98,7 @@ impl SynthesisConfig {
             seed: 0xDAC_1998,
             moves: MoveFamilies::default(),
             parallelism: None,
+            paranoid: false,
         }
     }
 

@@ -10,8 +10,39 @@ use crate::moves::{
     apply, selection_candidates, sharing_candidates, splitting_candidates, Candidate, Move,
 };
 use hsyn_dfg::NodeKind;
+use hsyn_lint::{error_count, verify_design, DesignView, Diagnostic, Severity};
 use hsyn_power::{dsp_default, TraceSet};
 use hsyn_rtl::{window_of, BuildCtx, ModuleLibrary};
+use std::fmt;
+use std::time::Instant;
+
+/// A paranoid-mode verifier failure: the design under optimization stopped
+/// satisfying a cross-layer invariant. Carries the move that introduced the
+/// corruption (when one did) and the first error-severity diagnostic.
+#[derive(Clone, Debug)]
+pub struct ParanoidViolation {
+    /// Display form of the accepted move after which the verifier fired;
+    /// `None` when a configuration-boundary check (initial or final design)
+    /// failed.
+    pub after_move: Option<String>,
+    /// The first error-severity diagnostic the verifier reported.
+    pub diagnostic: Diagnostic,
+}
+
+impl fmt::Display for ParanoidViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.after_move {
+            Some(mv) => write!(f, "verifier failed after move {mv}: {}", self.diagnostic),
+            None => write!(
+                f,
+                "verifier failed at configuration boundary: {}",
+                self.diagnostic
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ParanoidViolation {}
 
 /// Counters describing what the engine did (reported for every synthesis
 /// run; the experiment harness prints them alongside the results).
@@ -84,6 +115,9 @@ pub(crate) struct Engine<'a> {
     /// Remaining move-*B* recursion budget.
     pub depth: u32,
     pub stats: MoveStats,
+    /// Wall-clock spent in the paranoid verifier, seconds (0 when off).
+    /// Kept off `MoveStats` so the stats stay `Eq`-comparable across runs.
+    pub verify_s: f64,
 }
 
 impl<'a> Engine<'a> {
@@ -99,7 +133,43 @@ impl<'a> Engine<'a> {
             traces,
             depth,
             stats: MoveStats::default(),
+            verify_s: 0.0,
         }
+    }
+
+    /// Paranoid mode: verify every cross-layer invariant of `dp`, failing
+    /// on the first error-severity diagnostic. A no-op unless
+    /// [`SynthesisConfig::paranoid`] is set; observation-only on legal
+    /// designs (it never mutates anything, only accumulates `verify_s`).
+    pub(crate) fn paranoid_check(
+        &mut self,
+        dp: &DesignPoint,
+        after: Option<&Move>,
+    ) -> Result<(), Box<ParanoidViolation>> {
+        if !self.config.paranoid {
+            return Ok(());
+        }
+        let t0 = Instant::now();
+        let diags = verify_design(&DesignView {
+            hierarchy: &dp.hierarchy,
+            module: &dp.top.built,
+            lib: &self.mlib.simple,
+            vdd: dp.op.vdd,
+            clk_ns: dp.op.clk_ref_ns,
+            sampling_period: dp.top.core.deadline,
+        });
+        self.verify_s += t0.elapsed().as_secs_f64();
+        if error_count(&diags) == 0 {
+            return Ok(());
+        }
+        let diagnostic = diags
+            .into_iter()
+            .find(|d| d.severity == Severity::Error)
+            .expect("error_count counted at least one error");
+        Err(Box::new(ParanoidViolation {
+            after_move: after.map(|m| m.to_string()),
+            diagnostic,
+        }))
     }
 
     fn objective(&self) -> Objective {
@@ -224,7 +294,17 @@ impl<'a> Engine<'a> {
 
     /// One full variable-depth optimization of `initial` at its operating
     /// point (Figure 4 lines 3–16). Returns the best design seen.
-    pub fn optimize(&mut self, initial: DesignPoint) -> (DesignPoint, Evaluation) {
+    ///
+    /// # Errors
+    ///
+    /// In paranoid mode, the first cross-layer invariant violation aborts
+    /// the configuration, naming the offending move. Never errors with
+    /// paranoid mode off.
+    pub fn optimize(
+        &mut self,
+        initial: DesignPoint,
+    ) -> Result<(DesignPoint, Evaluation), Box<ParanoidViolation>> {
+        self.paranoid_check(&initial, None)?;
         let mut cur = initial;
         let mut cur_eval = self.eval(&cur);
         let mut best = cur.clone();
@@ -250,6 +330,7 @@ impl<'a> Engine<'a> {
                     (a, b) => a.or(b),
                 };
                 let Some(chosen) = chosen else { break };
+                self.paranoid_check(&chosen.dp, Some(&chosen.mv))?;
                 seq_moves.push(chosen.mv.clone());
                 states.push((chosen.dp, chosen.eval));
             }
@@ -274,7 +355,7 @@ impl<'a> Engine<'a> {
                 best_eval = cur_eval;
             }
         }
-        (best, best_eval)
+        Ok((best, best_eval))
     }
 
     /// Move *B*: derive the child's slack window from the parent schedule
@@ -366,9 +447,12 @@ impl<'a> Engine<'a> {
             },
             top: initial,
         };
-        let (optimized, _) = inner.optimize(child_dp);
+        let result = inner.optimize(child_dp);
         self.stats.evaluated += inner.stats.evaluated;
         self.stats.rejected += inner.stats.rejected;
+        self.verify_s += inner.verify_s;
+        // A child verifier failure simply rejects this move-B candidate.
+        let (optimized, _) = result.ok()?;
         Some(ChildKind::Single(Box::new(optimized.top)))
     }
 }

@@ -52,7 +52,7 @@ pub use design::{
     OperatingPoint, SpecCore,
 };
 pub use explore::{explore, pareto_front, Exploration, ExplorePoint, SkippedPoint};
-pub use improve::MoveStats;
+pub use improve::{MoveStats, ParanoidViolation};
 pub use moves::{
     apply, selection_candidates, sharing_candidates, splitting_candidates, ApplyError, ModulePath,
     Move,
@@ -207,6 +207,51 @@ mod tests {
             + report.stats.applied_c
             + report.stats.applied_d;
         assert!(applied > 0, "some moves should commit at laxity 3.2");
+    }
+
+    #[test]
+    fn paranoid_mode_is_observation_only() {
+        let b = benchmarks::paulin();
+        let mut mlib = ModuleLibrary::from_simple(table1_library());
+        mlib.equiv = b.equiv.clone();
+        let mut config = fast_config(Objective::Area);
+        config.laxity_factor = 2.2;
+        let plain = synthesize(&b.hierarchy, &mlib, &config).unwrap();
+        config.paranoid = true;
+        let checked = synthesize(&b.hierarchy, &mlib, &config).unwrap();
+        // Same search, same result: the verifier observes, never steers.
+        assert_eq!(plain.stats, checked.stats);
+        assert_eq!(
+            plain.evaluation.area.total(),
+            checked.evaluation.area.total()
+        );
+        assert_eq!(plain.evaluation.power.power, checked.evaluation.power.power);
+        assert_eq!(plain.per_config.len(), checked.per_config.len());
+        for (p, c) in plain.per_config.iter().zip(&checked.per_config) {
+            assert_eq!(
+                (
+                    p.vdd,
+                    p.clk_ns,
+                    p.evaluated,
+                    p.rejected,
+                    p.passes,
+                    p.selected
+                ),
+                (
+                    c.vdd,
+                    c.clk_ns,
+                    c.evaluated,
+                    c.rejected,
+                    c.passes,
+                    c.selected
+                )
+            );
+            assert_eq!(p.cost, c.cost);
+            // Verifier wall-clock is recorded only when paranoid is on.
+            assert_eq!(p.verify_s, 0.0);
+            assert!(c.verify_s > 0.0, "paranoid run must record verify time");
+        }
+        assert!(checked.skipped_configs.iter().all(|s| s.rule.is_none()));
     }
 
     #[test]

@@ -303,11 +303,19 @@ pub fn apply(
             let removed = m.children.remove(*b);
             // Which DFGs must the surviving module execute for `removed`?
             let g = new.hierarchy.dfg(parent_dfg);
+            // Children are supposed to map hierarchical nodes only; if the
+            // child/DFG association has drifted, reject the move instead of
+            // panicking (paranoid mode will also flag the corruption).
             let callee_of = |n: hsyn_dfg::NodeId| match g.node(n).kind() {
-                NodeKind::Hier { callee } => *callee,
-                _ => unreachable!("children map hierarchical nodes"),
+                NodeKind::Hier { callee } => Some(*callee),
+                _ => None,
             };
-            let callees: BTreeSet<DfgId> = removed.nodes.iter().map(|&n| callee_of(n)).collect();
+            let callees: BTreeSet<DfgId> = removed
+                .nodes
+                .iter()
+                .map(|&n| callee_of(n))
+                .collect::<Option<_>>()
+                .ok_or(ApplyError::Rejected)?;
             // A stateful behavior (internal z⁻ᵏ registers) cannot serve two
             // hierarchical nodes from one instance — each context needs its
             // own state.
@@ -316,7 +324,8 @@ pub fn apply(
                 let mut counts: std::collections::HashMap<DfgId, usize> =
                     std::collections::HashMap::new();
                 for &n in target.nodes.iter().chain(removed.nodes.iter()) {
-                    *counts.entry(callee_of(n)).or_insert(0) += 1;
+                    let callee = callee_of(n).ok_or(ApplyError::Rejected)?;
+                    *counts.entry(callee).or_insert(0) += 1;
                 }
                 for (d, count) in counts {
                     if count >= 2 && new.hierarchy.has_state(d) {

@@ -69,9 +69,12 @@ pub struct ConfigTelemetry {
     pub vdd: f64,
     /// Reference clock period of the configuration, ns.
     pub clk_ns: f64,
-    /// Wall-clock spent optimizing this configuration, seconds. The only
-    /// field that varies between runs; everything else is deterministic.
+    /// Wall-clock spent optimizing this configuration, seconds. Varies
+    /// between runs (as does `verify_s`); everything else is deterministic.
     pub elapsed_s: f64,
+    /// Wall-clock spent in the paranoid verifier within this configuration,
+    /// seconds — 0 when [`SynthesisConfig::paranoid`] is off.
+    pub verify_s: f64,
     /// Candidate moves fully evaluated within this configuration.
     pub evaluated: u64,
     /// Candidates rejected by validity checks within this configuration.
@@ -84,18 +87,24 @@ pub struct ConfigTelemetry {
     pub selected: bool,
 }
 
-/// A `(Vdd, clk)` operating point that was dropped without optimization
-/// because no initial solution could be built. Previously these were
-/// silently discarded; callers can now tell "infeasible point" apart from
-/// "never considered".
+/// A `(Vdd, clk)` operating point that was dropped without producing a
+/// design — either no initial solution could be built, or (in paranoid
+/// mode) the verifier caught an invariant violation mid-optimization.
+/// Previously these were silently discarded; callers can now tell
+/// "infeasible point" apart from "never considered". Each dropped point is
+/// counted exactly once here and in
+/// [`MoveStats::configs_skipped`](crate::MoveStats::configs_skipped).
 #[derive(Clone, Debug)]
 pub struct SkippedConfig {
     /// Supply voltage of the skipped configuration, V.
     pub vdd: f64,
     /// Reference clock period of the skipped configuration, ns.
     pub clk_ns: f64,
-    /// Builder diagnostic explaining why the initial solution failed.
+    /// Diagnostic explaining why the configuration was dropped.
     pub reason: String,
+    /// The lint rule code (e.g. `"SCH002"`) when the paranoid verifier
+    /// rejected the configuration; `None` for builder infeasibility.
+    pub rule: Option<String>,
 }
 
 /// The result of a synthesis run.
@@ -245,9 +254,11 @@ pub fn synthesize(
             eval: Evaluation,
             stats: MoveStats,
             elapsed_s: f64,
+            verify_s: f64,
         },
         Skipped {
             reason: String,
+            rule: Option<String>,
         },
     }
     let threads = hsyn_util::effective_threads(config.parallelism);
@@ -256,6 +267,7 @@ pub fn synthesize(
         match initial_solution(h, lib, op) {
             Err(e) => ConfigOutcome::Skipped {
                 reason: e.to_string(),
+                rule: None,
             },
             Ok(top) => {
                 let dp = DesignPoint {
@@ -265,12 +277,25 @@ pub fn synthesize(
                 };
                 let mut engine =
                     Engine::new(lib, config, eval_traces.clone(), config.resynth_depth);
-                let (opt, opt_eval) = engine.optimize(dp);
-                ConfigOutcome::Optimized {
-                    design: Box::new(opt),
-                    eval: opt_eval,
-                    stats: engine.stats,
-                    elapsed_s: config_start.elapsed().as_secs_f64(),
+                // Paranoid mode verifies the initial design and every
+                // accepted move inside `optimize`, plus the final winner at
+                // the configuration boundary here.
+                let result = engine.optimize(dp).and_then(|(opt, opt_eval)| {
+                    engine.paranoid_check(&opt, None)?;
+                    Ok((opt, opt_eval))
+                });
+                match result {
+                    Err(violation) => ConfigOutcome::Skipped {
+                        rule: Some(violation.diagnostic.code.as_str().to_owned()),
+                        reason: violation.to_string(),
+                    },
+                    Ok((opt, opt_eval)) => ConfigOutcome::Optimized {
+                        design: Box::new(opt),
+                        eval: opt_eval,
+                        stats: engine.stats,
+                        elapsed_s: config_start.elapsed().as_secs_f64(),
+                        verify_s: engine.verify_s,
+                    },
                 }
             }
         }
@@ -285,12 +310,13 @@ pub fn synthesize(
     let mut best: Option<(usize, DesignPoint, Evaluation)> = None;
     for (op, outcome) in configs.iter().zip(outcomes) {
         match outcome {
-            ConfigOutcome::Skipped { reason } => {
+            ConfigOutcome::Skipped { reason, rule } => {
                 stats.configs_skipped += 1;
                 skipped_configs.push(SkippedConfig {
                     vdd: op.vdd,
                     clk_ns: op.clk_ref_ns,
                     reason,
+                    rule,
                 });
             }
             ConfigOutcome::Optimized {
@@ -298,6 +324,7 @@ pub fn synthesize(
                 eval,
                 stats: config_stats,
                 elapsed_s,
+                verify_s,
             } => {
                 stats.configs += 1;
                 stats.absorb(&config_stats);
@@ -305,6 +332,7 @@ pub fn synthesize(
                     vdd: op.vdd,
                     clk_ns: op.clk_ref_ns,
                     elapsed_s,
+                    verify_s,
                     evaluated: config_stats.evaluated,
                     rejected: config_stats.rejected,
                     passes: config_stats.passes,

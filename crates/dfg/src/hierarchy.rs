@@ -1,4 +1,4 @@
-use crate::graph::{Dfg, NodeId, NodeKind, VarRef};
+use crate::graph::{Dfg, EdgeId, NodeId, NodeKind, VarRef};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -37,6 +37,13 @@ pub struct Hierarchy {
 pub enum HierarchyError {
     /// No top-level DFG was set.
     NoTop,
+    /// An edge references a node index outside its graph.
+    DanglingEdge {
+        /// DFG containing the edge.
+        dfg: DfgId,
+        /// The offending edge.
+        edge: EdgeId,
+    },
     /// A hierarchical node references a DFG id not in this hierarchy.
     DanglingCallee {
         /// DFG containing the bad node.
@@ -80,6 +87,12 @@ impl fmt::Display for HierarchyError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             HierarchyError::NoTop => write!(f, "hierarchy has no top-level dfg"),
+            HierarchyError::DanglingEdge { dfg, edge } => {
+                write!(
+                    f,
+                    "edge {edge} in {dfg} references a node outside the graph"
+                )
+            }
             HierarchyError::DanglingCallee { dfg, node } => {
                 write!(
                     f,
@@ -250,28 +263,73 @@ impl Hierarchy {
     /// recursive hierarchical references, mis-driven input ports, out-of-range
     /// source ports, or combinational (zero-delay) cycles.
     pub fn validate(&self) -> Result<(), HierarchyError> {
-        if self.top.is_none() {
-            return Err(HierarchyError::NoTop);
+        match self.check_all().into_iter().next() {
+            Some(e) => Err(e),
+            None => Ok(()),
         }
-        // Callee existence.
+    }
+
+    /// Check all structural invariants, collecting *every* violation rather
+    /// than stopping at the first (the basis of the `DFG0xx` lint rules).
+    ///
+    /// Errors appear in the same order [`Hierarchy::validate`] would report
+    /// them: missing top, dangling edges/callees, recursion, then per-DFG
+    /// port and combinational-cycle problems. Checks that would be
+    /// meaningless (or panic) in the presence of an earlier violation — e.g.
+    /// port arity of a node whose callee is missing — are skipped for the
+    /// affected DFGs, so a single root cause yields one diagnostic, not a
+    /// cascade.
+    pub fn check_all(&self) -> Vec<HierarchyError> {
+        let mut errs = Vec::new();
+        if self.top.is_none() {
+            errs.push(HierarchyError::NoTop);
+        }
+        // Referential integrity: edge endpoints and callee ids. DFGs with
+        // dangling references are excluded from the later structural checks,
+        // which index nodes/DFGs by those references.
+        let mut skip = vec![false; self.dfgs.len()];
+        let mut callees_ok = true;
         for (gid, g) in self.dfgs() {
+            let n = g.node_count();
+            for (eid, e) in g.edges() {
+                if e.to.index() >= n || e.from.node.index() >= n {
+                    errs.push(HierarchyError::DanglingEdge {
+                        dfg: gid,
+                        edge: eid,
+                    });
+                    skip[gid.index()] = true;
+                }
+            }
             for (nid, node) in g.nodes() {
                 if let NodeKind::Hier { callee } = node.kind() {
                     if callee.index() >= self.dfgs.len() {
-                        return Err(HierarchyError::DanglingCallee {
+                        errs.push(HierarchyError::DanglingCallee {
                             dfg: gid,
                             node: nid,
                         });
+                        skip[gid.index()] = true;
+                        callees_ok = false;
                     }
                 }
             }
         }
-        self.check_acyclic_callgraph()?;
-        for (gid, g) in self.dfgs() {
-            self.check_ports(gid, g)?;
-            self.check_combinational_acyclic(gid, g)?;
+        if callees_ok {
+            if let Err(e) = self.check_acyclic_callgraph() {
+                errs.push(e);
+            }
         }
-        Ok(())
+        for (gid, g) in self.dfgs() {
+            if skip[gid.index()] {
+                continue;
+            }
+            if let Err(e) = self.check_ports(gid, g) {
+                errs.push(e);
+            }
+            if let Err(e) = self.check_combinational_acyclic(gid, g) {
+                errs.push(e);
+            }
+        }
+        errs
     }
 
     fn check_acyclic_callgraph(&self) -> Result<(), HierarchyError> {
@@ -383,6 +441,36 @@ impl Hierarchy {
     /// for a graceful error.
     pub fn flatten(&self) -> Dfg {
         Flattener::new(self).run()
+    }
+}
+
+impl Dfg {
+    /// Validate this graph as a standalone behavior: wrap it in a
+    /// single-DFG hierarchy and run [`Hierarchy::validate`].
+    ///
+    /// Intended for leaf graphs (transform outputs, lint inputs).
+    /// Hierarchical nodes are only legal if they reference the graph itself,
+    /// which `validate` then rejects as recursion — callees into a larger
+    /// hierarchy cannot be resolved from a lone graph and surface as
+    /// [`HierarchyError::DanglingCallee`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`HierarchyError`] found.
+    pub fn validate(&self) -> Result<(), HierarchyError> {
+        match self.check_all().into_iter().next() {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// Collect every structural violation of this graph as a standalone
+    /// behavior (see [`Dfg::validate`]).
+    pub fn check_all(&self) -> Vec<HierarchyError> {
+        let mut h = Hierarchy::new();
+        let id = h.add_dfg(self.clone());
+        h.set_top(id);
+        h.check_all()
     }
 }
 

@@ -174,7 +174,9 @@ pub fn parse(src: &str) -> Result<Parsed, ParseError> {
             },
             Some(ref mut block) => {
                 if toks[0] == "}" {
-                    blocks.push(current.take().unwrap());
+                    if let Some(b) = current.take() {
+                        blocks.push(b);
+                    }
                     continue;
                 }
                 let stmt = parse_stmt(&toks, lno)?;
@@ -459,12 +461,10 @@ fn sanitize(name: &str) -> String {
             }
         })
         .collect();
-    if cleaned.is_empty() {
-        "n".to_owned()
-    } else if cleaned.chars().next().unwrap().is_ascii_digit() {
-        format!("n{cleaned}")
-    } else {
-        cleaned
+    match cleaned.chars().next() {
+        None => "n".to_owned(),
+        Some(c) if c.is_ascii_digit() => format!("n{cleaned}"),
+        Some(_) => cleaned,
     }
 }
 

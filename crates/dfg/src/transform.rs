@@ -459,7 +459,6 @@ pub fn optimize(g: &Dfg, width: u32) -> (Dfg, TransformStats) {
 mod tests {
     use super::*;
     use crate::analysis::topo_order;
-    use crate::Hierarchy;
 
     fn eval(g: &Dfg, inputs: &[i64], width: u32) -> Vec<i64> {
         let order = topo_order(g).unwrap();
@@ -488,10 +487,7 @@ mod tests {
     }
 
     fn validate(g: &Dfg) {
-        let mut h = Hierarchy::new();
-        let id = h.add_dfg(g.clone());
-        h.set_top(id);
-        h.validate()
+        g.validate()
             .unwrap_or_else(|e| panic!("invalid after transform: {e}"));
     }
 

@@ -1,0 +1,575 @@
+//! The rule implementations behind [`verify_design`] and
+//! [`lint_hierarchy`].
+//!
+//! Every check is read-only and re-derives the invariant it guards from
+//! scratch (e.g. register lifetimes come from a fresh
+//! [`storage_analysis`], not from anything the builder cached), so a stale
+//! or hand-tampered IR cannot satisfy a rule by construction.
+
+use crate::{Diagnostic, LintConfig, Location, RuleCode, Severity};
+use hsyn_dfg::{Dfg, Hierarchy, HierarchyError, NodeId, NodeKind};
+use hsyn_lib::Library;
+use hsyn_rtl::{storage_analysis, Behavior, RtlModule};
+use std::collections::BTreeMap;
+
+/// Everything the verifier needs to see of a synthesized design: the
+/// behavioral hierarchy, the built RTL module tree, the library the design
+/// was built against, and its operating point.
+///
+/// Schedules are expressed in reference-voltage time throughout the
+/// synthesis engine, so `clk_ns` must be the *reference* clock period (the
+/// engine's `clk_ref_ns`), not the voltage-stretched physical period;
+/// `vdd` is the operating supply voltage the `PWR0xx` rules validate.
+#[derive(Clone, Copy, Debug)]
+pub struct DesignView<'a> {
+    /// The behavioral hierarchy the module tree implements.
+    pub hierarchy: &'a Hierarchy,
+    /// The top RTL module.
+    pub module: &'a RtlModule,
+    /// The simple-module library the design was built against.
+    pub lib: &'a Library,
+    /// Operating supply voltage, V.
+    pub vdd: f64,
+    /// Clock period at the reference voltage, ns.
+    pub clk_ns: f64,
+    /// Sampling-period deadline in cycles for the top module's behaviors
+    /// (`None` disables the `SCH004` deadline check; nested modules are
+    /// always checked against their parent's schedule instead).
+    pub sampling_period: Option<u32>,
+}
+
+/// Diagnostic accumulator honoring the suppression config.
+struct Sink<'a> {
+    cfg: &'a LintConfig,
+    diags: Vec<Diagnostic>,
+}
+
+impl Sink<'_> {
+    fn emit(&mut self, code: RuleCode, severity: Severity, location: Location, message: String) {
+        if self.cfg.enabled(code) {
+            self.diags.push(Diagnostic {
+                code,
+                severity,
+                location,
+                message,
+            });
+        }
+    }
+}
+
+/// Verify a full design with every rule enabled.
+///
+/// Returns all diagnostics, deterministically ordered (power rules, then
+/// hierarchy rules, then per-module rules walking the module tree
+/// depth-first). A legal design yields an empty vector.
+pub fn verify_design(view: &DesignView<'_>) -> Vec<Diagnostic> {
+    verify_design_with(view, &LintConfig::default())
+}
+
+/// Verify a full design under a suppression config.
+pub fn verify_design_with(view: &DesignView<'_>, cfg: &LintConfig) -> Vec<Diagnostic> {
+    let mut sink = Sink {
+        cfg,
+        diags: Vec::new(),
+    };
+    check_power(view, &mut sink);
+    for e in view.hierarchy.check_all() {
+        emit_hierarchy_error(&e, &mut sink);
+    }
+    check_module(
+        view,
+        view.module,
+        view.module.name(),
+        view.sampling_period,
+        &mut sink,
+    );
+    sink.diags
+}
+
+/// Lint a bare behavioral description (the `DFG0xx` family only).
+pub fn lint_hierarchy(h: &Hierarchy) -> Vec<Diagnostic> {
+    lint_hierarchy_with(h, &LintConfig::default())
+}
+
+/// Lint a bare behavioral description under a suppression config.
+pub fn lint_hierarchy_with(h: &Hierarchy, cfg: &LintConfig) -> Vec<Diagnostic> {
+    let mut sink = Sink {
+        cfg,
+        diags: Vec::new(),
+    };
+    for e in h.check_all() {
+        emit_hierarchy_error(&e, &mut sink);
+    }
+    sink.diags
+}
+
+/// Map a structural [`HierarchyError`] onto the stable `DFG0xx` codes.
+fn emit_hierarchy_error(e: &HierarchyError, sink: &mut Sink<'_>) {
+    let (code, dfg, node) = match e {
+        HierarchyError::DanglingEdge { dfg, .. } => (RuleCode::Dfg001, Some(*dfg), None),
+        HierarchyError::BadPortDrive { dfg, node, .. } => {
+            (RuleCode::Dfg002, Some(*dfg), Some(*node))
+        }
+        HierarchyError::BadSourcePort { dfg, node, .. } => {
+            (RuleCode::Dfg003, Some(*dfg), Some(*node))
+        }
+        HierarchyError::CombinationalCycle { dfg } => (RuleCode::Dfg004, Some(*dfg), None),
+        HierarchyError::NoTop => (RuleCode::Dfg005, None, None),
+        HierarchyError::DanglingCallee { dfg, node } => (RuleCode::Dfg005, Some(*dfg), Some(*node)),
+        HierarchyError::RecursiveHierarchy { dfg } => (RuleCode::Dfg005, Some(*dfg), None),
+    };
+    sink.emit(
+        code,
+        Severity::Error,
+        Location {
+            dfg,
+            node,
+            ..Location::default()
+        },
+        e.to_string(),
+    );
+}
+
+/// `PWR001`/`PWR002`: the operating point must lie inside the range the
+/// technology's delay and energy models are calibrated for.
+fn check_power(view: &DesignView<'_>, sink: &mut Sink<'_>) {
+    let tech = &view.lib.technology;
+    if view.vdd <= tech.vt() {
+        sink.emit(
+            RuleCode::Pwr001,
+            Severity::Error,
+            Location::default(),
+            format!(
+                "supply voltage {} V is at or below the threshold voltage {} V: the delay model is undefined there",
+                view.vdd,
+                tech.vt()
+            ),
+        );
+    } else if view.vdd > tech.vref() + 1e-9 {
+        sink.emit(
+            RuleCode::Pwr001,
+            Severity::Warning,
+            Location::default(),
+            format!(
+                "supply voltage {} V exceeds the characterization voltage {} V: energies are extrapolated",
+                view.vdd,
+                tech.vref()
+            ),
+        );
+    }
+    let overhead = view.lib.register.overhead_ns;
+    if view.clk_ns <= overhead {
+        sink.emit(
+            RuleCode::Pwr002,
+            Severity::Error,
+            Location::default(),
+            format!(
+                "clock period {} ns does not exceed the register overhead {} ns: no usable compute time per cycle",
+                view.clk_ns, overhead
+            ),
+        );
+    }
+}
+
+/// Check one module's behaviors, then recurse into its submodules. The
+/// sampling deadline only applies at the level it was given for (the top).
+fn check_module(
+    view: &DesignView<'_>,
+    module: &RtlModule,
+    path: &str,
+    sampling: Option<u32>,
+    sink: &mut Sink<'_>,
+) {
+    for behavior in module.behaviors() {
+        check_behavior(view, module, path, behavior, sampling, sink);
+    }
+    for sub in module.subs() {
+        let sub_path = format!("{path}/{}", sub.name());
+        check_module(view, sub, &sub_path, None, sink);
+    }
+}
+
+fn check_behavior(
+    view: &DesignView<'_>,
+    module: &RtlModule,
+    path: &str,
+    b: &Behavior,
+    sampling: Option<u32>,
+    sink: &mut Sink<'_>,
+) {
+    let at = |node: Option<NodeId>, cycle: Option<u32>, instance: Option<String>| Location {
+        module: Some(path.to_owned()),
+        dfg: Some(b.dfg),
+        node,
+        cycle,
+        instance,
+    };
+
+    if b.dfg.index() >= view.hierarchy.dfg_count() {
+        sink.emit(
+            RuleCode::Rtl001,
+            Severity::Error,
+            Location {
+                module: Some(path.to_owned()),
+                ..Location::default()
+            },
+            format!(
+                "behavior references {} which is not in the hierarchy",
+                b.dfg
+            ),
+        );
+        return;
+    }
+    let g = view.hierarchy.dfg(b.dfg);
+    let n = g.node_count();
+
+    // Binding completeness (`RTL001`) and FU compatibility (`RTL005`) need
+    // no schedule, so they run even when the schedule is unusable.
+    check_binding(view, module, g, b, &at, sink);
+
+    // `SCH001`: everything downstream indexes the schedule by node id, so a
+    // schedule covering the wrong node count invalidates all of it.
+    if b.schedule.times().len() != n {
+        sink.emit(
+            RuleCode::Sch001,
+            Severity::Error,
+            at(None, None, None),
+            format!(
+                "schedule covers {} nodes but the graph has {n}",
+                b.schedule.times().len()
+            ),
+        );
+        return;
+    }
+    // Guard against edges/serialization naming out-of-range nodes before
+    // touching the schedule with them (`DFG001` owns the edge case).
+    if g.edges()
+        .any(|(_, e)| e.to.index() >= n || e.from.node.index() >= n)
+    {
+        return;
+    }
+
+    let usable = view.clk_ns - view.lib.register.overhead_ns;
+
+    // `SCH005`: chained combinational paths must fit the usable period.
+    if usable > 0.0 {
+        for (nid, _) in g.nodes() {
+            let t = b.schedule.time(nid);
+            let worst = t.result.ns.max(t.start.ns);
+            if worst > usable + 1e-6 {
+                sink.emit(
+                    RuleCode::Sch005,
+                    Severity::Error,
+                    at(Some(nid), Some(t.result.cycle), None),
+                    format!(
+                        "chained path through {nid} accumulates {worst:.3} ns, over the usable {usable:.3} ns",
+                    ),
+                );
+            }
+        }
+    }
+
+    // `SCH002`: every zero-delay data edge must be satisfied — the value
+    // ready no later than its consumer starts (profiled consumers latch
+    // each input at `start + profile offset`).
+    for (_, e) in g.edges() {
+        if e.delay != 0 {
+            continue;
+        }
+        match g.node(e.to).kind() {
+            NodeKind::Op(_) | NodeKind::Output { .. } => {
+                let avail = b.schedule.result_tick_of_port(e.from.node, e.from.port);
+                let start = b.schedule.time(e.to).start;
+                if avail > start {
+                    sink.emit(
+                        RuleCode::Sch002,
+                        Severity::Error,
+                        at(Some(e.to), Some(start.cycle), None),
+                        format!(
+                            "{} consumes {} at {start}, before it is ready at {avail}",
+                            e.to, e.from
+                        ),
+                    );
+                }
+            }
+            NodeKind::Hier { callee } => {
+                // The submodule latches input `port` at start + offset.
+                let profile = b
+                    .binding
+                    .hier_to_sub
+                    .get(&e.to)
+                    .filter(|s| s.index() < module.subs().len())
+                    .and_then(|s| module.subs()[s.index()].profile_for(*callee));
+                let Some(profile) = profile else {
+                    continue; // RTL001 already reported the broken binding
+                };
+                let offset = profile.inputs.get(e.to_port as usize).copied().unwrap_or(0);
+                let need = b.schedule.time(e.to).start.cycle + offset;
+                let avail = b.schedule.result_cycle_of_port(e.from.node, e.from.port);
+                if avail > need {
+                    sink.emit(
+                        RuleCode::Sch002,
+                        Severity::Error,
+                        at(Some(e.to), Some(need), None),
+                        format!(
+                            "{} needs {} by cycle {need} (start + profile offset {offset}) but it is ready in cycle {avail}",
+                            e.to, e.from
+                        ),
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // `SCH003`: a serialization edge `(a, b)` means `b` must not start
+    // before `a` releases the shared resource.
+    for &(a, bnode) in &b.serial {
+        if a.index() >= n || bnode.index() >= n {
+            sink.emit(
+                RuleCode::Sch001,
+                Severity::Error,
+                at(None, None, None),
+                format!("serialization edge ({a}, {bnode}) names a node outside the graph"),
+            );
+            continue;
+        }
+        let release = b.schedule.time(a).occupied.1;
+        let start = b.schedule.time(bnode).start.cycle;
+        if start < release {
+            sink.emit(
+                RuleCode::Sch003,
+                Severity::Error,
+                at(Some(bnode), Some(start), None),
+                format!(
+                    "{bnode} starts in cycle {start}, before serialized predecessor {a} releases its resource at cycle {release}",
+                ),
+            );
+        }
+    }
+
+    // `SCH004`: the top-level behavior must complete within the sampling
+    // period.
+    if let Some(p) = sampling {
+        let makespan = b.schedule.makespan();
+        if makespan > p {
+            sink.emit(
+                RuleCode::Sch004,
+                Severity::Error,
+                at(None, Some(makespan), None),
+                format!(
+                    "activity runs to cycle {makespan}, past the sampling period of {p} cycles"
+                ),
+            );
+        }
+    }
+
+    // `RTL002`/`RTL003`: two users of one hardware instance must occupy
+    // disjoint cycle ranges.
+    check_resource_conflicts(module, g, b, &at, sink);
+
+    // `RTL004`/`RTL007`: storage. Re-derive lifetimes from the schedule and
+    // check the register binding against them.
+    let sa = storage_analysis(g, &b.schedule);
+    for &v in &sa.stored_vars {
+        match b.binding.var_to_reg.get(&v) {
+            None => {
+                let (birth, _, _) = sa.lifetimes[&v];
+                sink.emit(
+                    RuleCode::Rtl004,
+                    Severity::Error,
+                    at(Some(v.node), Some(birth), None),
+                    format!(
+                        "value {v} must be stored but has no register: its consumers' mux inputs are undriven",
+                    ),
+                );
+            }
+            Some(r) if r.index() >= module.regs().len() => {
+                sink.emit(
+                    RuleCode::Rtl004,
+                    Severity::Error,
+                    at(Some(v.node), None, None),
+                    format!("value {v} is bound to nonexistent register {r}"),
+                );
+            }
+            Some(_) => {}
+        }
+    }
+    let mut by_reg: BTreeMap<usize, Vec<hsyn_dfg::VarRef>> = BTreeMap::new();
+    for (&v, &r) in &b.binding.var_to_reg {
+        if r.index() < module.regs().len() && sa.lifetimes.contains_key(&v) {
+            by_reg.entry(r.index()).or_default().push(v);
+        }
+    }
+    for (reg, mut vars) in by_reg {
+        vars.sort();
+        for i in 0..vars.len() {
+            for j in (i + 1)..vars.len() {
+                if sa.conflicts(vars[i], vars[j]) {
+                    let name = module.regs()[reg].name.clone();
+                    sink.emit(
+                        RuleCode::Rtl007,
+                        Severity::Error,
+                        at(Some(vars[i].node), None, Some(name)),
+                        format!(
+                            "values {} and {} share a register but their lifetimes overlap",
+                            vars[i], vars[j]
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// `RTL001`/`RTL005`: every schedulable node needs exactly the hardware its
+/// binding claims, and that hardware must be able to execute it.
+fn check_binding(
+    view: &DesignView<'_>,
+    module: &RtlModule,
+    g: &Dfg,
+    b: &Behavior,
+    at: &dyn Fn(Option<NodeId>, Option<u32>, Option<String>) -> Location,
+    sink: &mut Sink<'_>,
+) {
+    for (nid, node) in g.nodes() {
+        match node.kind() {
+            NodeKind::Op(op) => match b.binding.op_to_fu.get(&nid) {
+                None => sink.emit(
+                    RuleCode::Rtl001,
+                    Severity::Error,
+                    at(Some(nid), None, None),
+                    format!("operation {nid} ({op}) has no functional-unit binding"),
+                ),
+                Some(fu) if fu.index() >= module.fus().len() => sink.emit(
+                    RuleCode::Rtl001,
+                    Severity::Error,
+                    at(Some(nid), None, None),
+                    format!("operation {nid} is bound to nonexistent functional unit {fu}"),
+                ),
+                Some(fu) => {
+                    let inst = &module.fus()[fu.index()];
+                    if inst.fu_type.index() >= view.lib.fu_count() {
+                        sink.emit(
+                            RuleCode::Rtl005,
+                            Severity::Error,
+                            at(Some(nid), None, Some(inst.name.clone())),
+                            format!(
+                                "functional unit {} has a type outside the library",
+                                inst.name
+                            ),
+                        );
+                    } else if !view.lib.fu(inst.fu_type).supports(*op) {
+                        sink.emit(
+                            RuleCode::Rtl005,
+                            Severity::Error,
+                            at(Some(nid), None, Some(inst.name.clone())),
+                            format!(
+                                "operation {nid} ({op}) is bound to {} ({}), which cannot execute it",
+                                inst.name,
+                                view.lib.fu(inst.fu_type).name()
+                            ),
+                        );
+                    }
+                }
+            },
+            NodeKind::Hier { callee } => match b.binding.hier_to_sub.get(&nid) {
+                None => sink.emit(
+                    RuleCode::Rtl001,
+                    Severity::Error,
+                    at(Some(nid), None, None),
+                    format!("hierarchical node {nid} has no submodule binding"),
+                ),
+                Some(s) if s.index() >= module.subs().len() => sink.emit(
+                    RuleCode::Rtl001,
+                    Severity::Error,
+                    at(Some(nid), None, None),
+                    format!("hierarchical node {nid} is bound to nonexistent submodule {s}"),
+                ),
+                Some(s) => {
+                    let sub = &module.subs()[s.index()];
+                    if sub.behavior_for(*callee).is_none() {
+                        sink.emit(
+                            RuleCode::Rtl001,
+                            Severity::Error,
+                            at(Some(nid), None, Some(sub.name().to_owned())),
+                            format!(
+                                "submodule {} has no behavior for the callee of {nid}",
+                                sub.name()
+                            ),
+                        );
+                    }
+                }
+            },
+            _ => {}
+        }
+    }
+}
+
+/// `RTL002`/`RTL003`: occupied-interval overlap between two users of one
+/// hardware instance.
+fn check_resource_conflicts(
+    module: &RtlModule,
+    g: &Dfg,
+    b: &Behavior,
+    at: &dyn Fn(Option<NodeId>, Option<u32>, Option<String>) -> Location,
+    sink: &mut Sink<'_>,
+) {
+    let overlap = |x: (u32, u32), y: (u32, u32)| x.0.max(y.0) < x.1.min(y.1);
+
+    let mut by_fu: BTreeMap<usize, Vec<NodeId>> = BTreeMap::new();
+    for (&nid, &fu) in &b.binding.op_to_fu {
+        if fu.index() < module.fus().len() && nid.index() < g.node_count() {
+            by_fu.entry(fu.index()).or_default().push(nid);
+        }
+    }
+    for (fu, mut nodes) in by_fu {
+        nodes.sort();
+        for i in 0..nodes.len() {
+            for j in (i + 1)..nodes.len() {
+                let ta = b.schedule.time(nodes[i]).occupied;
+                let tb = b.schedule.time(nodes[j]).occupied;
+                if overlap(ta, tb) {
+                    let name = module.fus()[fu].name.clone();
+                    sink.emit(
+                        RuleCode::Rtl002,
+                        Severity::Error,
+                        at(Some(nodes[j]), Some(ta.0.max(tb.0)), Some(name.clone())),
+                        format!(
+                            "functional unit {name} executes {} (cycles {}..{}) and {} (cycles {}..{}) concurrently",
+                            nodes[i], ta.0, ta.1, nodes[j], tb.0, tb.1
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    let mut by_sub: BTreeMap<usize, Vec<NodeId>> = BTreeMap::new();
+    for (&nid, &s) in &b.binding.hier_to_sub {
+        if s.index() < module.subs().len() && nid.index() < g.node_count() {
+            by_sub.entry(s.index()).or_default().push(nid);
+        }
+    }
+    for (si, mut nodes) in by_sub {
+        nodes.sort();
+        for i in 0..nodes.len() {
+            for j in (i + 1)..nodes.len() {
+                let ta = b.schedule.time(nodes[i]).occupied;
+                let tb = b.schedule.time(nodes[j]).occupied;
+                if overlap(ta, tb) {
+                    let name = module.subs()[si].name().to_owned();
+                    sink.emit(
+                        RuleCode::Rtl003,
+                        Severity::Error,
+                        at(Some(nodes[j]), Some(ta.0.max(tb.0)), Some(name.clone())),
+                        format!(
+                            "submodule {name} executes {} (cycles {}..{}) and {} (cycles {}..{}) concurrently",
+                            nodes[i], ta.0, ta.1, nodes[j], tb.0, tb.1
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}

@@ -10,6 +10,8 @@
 //!   --period <ns>            explicit sampling period (overrides --laxity)
 //!   --library table1|realistic                           (default: realistic)
 //!   --flat                   flattened synthesis (the baseline)
+//!   --paranoid               verify cross-layer invariants after every
+//!                            accepted move (observation-only when legal)
 //!   --netlist                print the structural netlist
 //!   --fsm                    print the FSM controller
 //!   --verilog <file>         write structural Verilog
@@ -19,26 +21,271 @@
 //!   --parallel <n>           worker threads for the (Vdd, clock) sweep
 //!                            (default: one per core; results identical
 //!                            for every setting)
+//!
+//! hsyn lint [<behavior.dfg> | --benchmark NAME | --all-benchmarks] [options]
+//!
+//! options:
+//!   --synthesize             also synthesize and lint the resulting design
+//!   --objective area|power|both   objective(s) for --synthesize (default: both)
+//!   --library table1|realistic                           (default: realistic)
+//!   --laxity <f>             laxity factor for --synthesize (default: 2.2)
+//!   --allow <CODE>           suppress a rule (repeatable, e.g. --allow SCH005)
+//!   --json                   machine-readable diagnostics
+//!
+//! Exit status: 0 clean (warnings allowed), 1 error diagnostics or failed
+//! runs, 2 usage errors.
 //! ```
 
 use hsyn::core::{synthesize, Objective, SynthesisConfig};
-use hsyn::dfg::text;
+use hsyn::dfg::{benchmarks, text, EquivClasses, Hierarchy};
 use hsyn::lib::{papers::table1_library, Library};
+use hsyn::lint::{
+    diagnostics_to_json, error_count, lint_hierarchy_with, verify_design_with, DesignView,
+    Diagnostic, LintConfig,
+};
 use hsyn::rtl::{generate_fsm, netlist_text, verilog_text, ModuleLibrary};
+use hsyn::util::Json;
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: hsyn <behavior.dfg> [--objective area|power] [--laxity F] [--period NS]\n\
-         \x20           [--library table1|realistic] [--flat] [--netlist] [--fsm]\n\
-         \x20           [--verilog FILE] [--dot FILE] [--power-report] [--seed N]\n\
-         \x20           [--parallel N]"
+         \x20           [--library table1|realistic] [--flat] [--paranoid] [--netlist]\n\
+         \x20           [--fsm] [--verilog FILE] [--dot FILE] [--power-report] [--seed N]\n\
+         \x20           [--parallel N]\n\
+         \x20      hsyn lint [<behavior.dfg> | --benchmark NAME | --all-benchmarks]\n\
+         \x20           [--synthesize] [--objective area|power|both] [--laxity F]\n\
+         \x20           [--library table1|realistic] [--allow CODE] [--json]"
     );
     ExitCode::from(2)
 }
 
+/// Parse a library name shared by both subcommands.
+fn library_by_name(name: &str) -> Option<Library> {
+    match name {
+        "table1" => Some(table1_library()),
+        "realistic" => Some(Library::realistic()),
+        _ => {
+            eprintln!("unknown library `{name}` (use table1 or realistic)");
+            None
+        }
+    }
+}
+
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("lint") {
+        return lint_main(args.split_off(1));
+    }
+    synth_main(args)
+}
+
+/// A behavior to lint: its display name, hierarchy, and equivalences.
+struct LintTarget {
+    name: String,
+    hierarchy: Hierarchy,
+    equiv: EquivClasses,
+}
+
+/// The `hsyn lint` subcommand: verify cross-layer IR invariants of a
+/// textual DFG or a built-in benchmark, optionally synthesizing first and
+/// linting the resulting design at its operating point.
+fn lint_main(args: Vec<String>) -> ExitCode {
+    let mut input: Option<String> = None;
+    let mut bench_name: Option<String> = None;
+    let mut all_benchmarks = false;
+    let mut do_synthesize = false;
+    let mut objectives = vec![Objective::Area, Objective::Power];
+    let mut library = "realistic".to_owned();
+    let mut laxity = 2.2f64;
+    let mut json = false;
+    let mut lint_cfg = LintConfig::new();
+
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--benchmark" => match it.next() {
+                Some(v) => bench_name = Some(v),
+                None => return usage(),
+            },
+            "--all-benchmarks" => all_benchmarks = true,
+            "--synthesize" => do_synthesize = true,
+            "--objective" => match it.next().as_deref() {
+                Some("area") => objectives = vec![Objective::Area],
+                Some("power") => objectives = vec![Objective::Power],
+                Some("both") => objectives = vec![Objective::Area, Objective::Power],
+                _ => return usage(),
+            },
+            "--library" => match it.next() {
+                Some(v) => library = v,
+                None => return usage(),
+            },
+            "--laxity" => match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(v) if v > 0.0 && v.is_finite() => laxity = v,
+                _ => {
+                    eprintln!("--laxity expects a positive number");
+                    return usage();
+                }
+            },
+            "--allow" => match it.next() {
+                Some(code) => {
+                    if !lint_cfg.allow_str(&code) {
+                        eprintln!("unknown rule code `{code}`");
+                        return usage();
+                    }
+                }
+                None => return usage(),
+            },
+            "--json" => json = true,
+            "--help" | "-h" => return usage(),
+            other if input.is_none() && !other.starts_with('-') => {
+                input = Some(other.to_owned());
+            }
+            other => {
+                eprintln!("unknown argument `{other}`");
+                return usage();
+            }
+        }
+    }
+
+    // Exactly one input source.
+    let sources = input.is_some() as u8 + bench_name.is_some() as u8 + all_benchmarks as u8;
+    if sources != 1 {
+        eprintln!("choose exactly one of <behavior.dfg>, --benchmark, --all-benchmarks");
+        return usage();
+    }
+
+    let mut targets: Vec<LintTarget> = Vec::new();
+    if let Some(path) = input {
+        let source = match std::fs::read_to_string(&path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match text::parse(&source) {
+            Ok(p) => targets.push(LintTarget {
+                name: path,
+                hierarchy: p.hierarchy,
+                equiv: p.equiv,
+            }),
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else if let Some(name) = bench_name {
+        match benchmarks::by_name(&name) {
+            Some(b) => targets.push(LintTarget {
+                name: b.name.to_owned(),
+                hierarchy: b.hierarchy,
+                equiv: b.equiv,
+            }),
+            None => {
+                eprintln!("unknown benchmark `{name}`");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        for b in benchmarks::all() {
+            targets.push(LintTarget {
+                name: b.name.to_owned(),
+                hierarchy: b.hierarchy,
+                equiv: b.equiv,
+            });
+        }
+    }
+
+    let Some(simple) = library_by_name(&library) else {
+        return ExitCode::FAILURE;
+    };
+
+    let mut failed = false;
+    let mut results: Vec<(String, Vec<Diagnostic>)> = Vec::new();
+    for target in &targets {
+        // The behavioral input itself.
+        let diags = lint_hierarchy_with(&target.hierarchy, &lint_cfg);
+        failed |= error_count(&diags) > 0;
+        results.push((target.name.clone(), diags));
+
+        if !do_synthesize {
+            continue;
+        }
+        for &objective in &objectives {
+            let label = format!(
+                "{}[{}]",
+                target.name,
+                match objective {
+                    Objective::Area => "area",
+                    Objective::Power => "power",
+                }
+            );
+            let mut mlib = ModuleLibrary::from_simple(simple.clone());
+            mlib.equiv = target.equiv.clone();
+            let mut config = SynthesisConfig::new(objective);
+            config.laxity_factor = laxity;
+            let report = match synthesize(&target.hierarchy, &mlib, &config) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("{label}: synthesis failed: {e}");
+                    failed = true;
+                    continue;
+                }
+            };
+            let design = &report.design;
+            let diags = verify_design_with(
+                &DesignView {
+                    hierarchy: &design.hierarchy,
+                    module: &design.top.built,
+                    lib: &mlib.simple,
+                    vdd: design.op.vdd,
+                    clk_ns: design.op.clk_ref_ns,
+                    sampling_period: design.top.core.deadline,
+                },
+                &lint_cfg,
+            );
+            failed |= error_count(&diags) > 0;
+            results.push((label, diags));
+        }
+    }
+
+    if json {
+        let arr: Vec<Json> = results
+            .iter()
+            .map(|(name, diags)| {
+                Json::Obj(vec![
+                    ("target".to_owned(), Json::Str(name.clone())),
+                    ("errors".to_owned(), Json::Num(error_count(diags) as f64)),
+                    ("diagnostics".to_owned(), diagnostics_to_json(diags)),
+                ])
+            })
+            .collect();
+        println!("{}", Json::Arr(arr).to_string_pretty());
+    } else {
+        for (name, diags) in &results {
+            if diags.is_empty() {
+                println!("{name}: clean");
+            } else {
+                println!(
+                    "{name}: {} diagnostics ({} errors)",
+                    diags.len(),
+                    error_count(diags)
+                );
+                for d in diags {
+                    println!("  {d}");
+                }
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn synth_main(args: Vec<String>) -> ExitCode {
     let mut input: Option<String> = None;
     let mut objective = Objective::Power;
     let mut laxity = 2.2f64;
@@ -52,6 +299,7 @@ fn main() -> ExitCode {
     let mut power_report = false;
     let mut seed: Option<u64> = None;
     let mut parallel: Option<usize> = None;
+    let mut paranoid = false;
 
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -70,19 +318,26 @@ fn main() -> ExitCode {
                 Some("power") => objective = Objective::Power,
                 _ => return usage(),
             },
-            "--laxity" => match take("--laxity").and_then(|v| v.parse().ok()) {
-                Some(v) => laxity = v,
-                None => return usage(),
+            "--laxity" => match take("--laxity").and_then(|v| v.parse::<f64>().ok()) {
+                Some(v) if v > 0.0 && v.is_finite() => laxity = v,
+                _ => {
+                    eprintln!("--laxity expects a positive number");
+                    return usage();
+                }
             },
-            "--period" => match take("--period").and_then(|v| v.parse().ok()) {
-                Some(v) => period = Some(v),
-                None => return usage(),
+            "--period" => match take("--period").and_then(|v| v.parse::<f64>().ok()) {
+                Some(v) if v > 0.0 && v.is_finite() => period = Some(v),
+                _ => {
+                    eprintln!("--period expects a positive number of nanoseconds");
+                    return usage();
+                }
             },
             "--library" => match take("--library") {
                 Some(v) => library = v,
                 None => return usage(),
             },
             "--flat" => flat = true,
+            "--paranoid" => paranoid = true,
             "--netlist" => show_netlist = true,
             "--fsm" => show_fsm = true,
             "--verilog" => match take("--verilog") {
@@ -98,9 +353,12 @@ fn main() -> ExitCode {
                 Some(v) => seed = Some(v),
                 None => return usage(),
             },
-            "--parallel" => match take("--parallel").and_then(|v| v.parse().ok()) {
-                Some(v) => parallel = Some(v),
-                None => return usage(),
+            "--parallel" => match take("--parallel").and_then(|v| v.parse::<usize>().ok()) {
+                Some(v) if v >= 1 => parallel = Some(v),
+                _ => {
+                    eprintln!("--parallel expects a thread count of at least 1");
+                    return usage();
+                }
             },
             "--help" | "-h" => return usage(),
             other if input.is_none() && !other.starts_with('-') => {
@@ -133,13 +391,8 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
 
-    let simple: Library = match library.as_str() {
-        "table1" => table1_library(),
-        "realistic" => Library::realistic(),
-        other => {
-            eprintln!("unknown library `{other}` (use table1 or realistic)");
-            return ExitCode::FAILURE;
-        }
+    let Some(simple) = library_by_name(&library) else {
+        return ExitCode::FAILURE;
     };
     let mut mlib = ModuleLibrary::from_simple(simple);
     mlib.equiv = parsed.equiv.clone();
@@ -154,6 +407,7 @@ fn main() -> ExitCode {
     if parallel.is_some() {
         config.parallelism = parallel;
     }
+    config.paranoid = paranoid;
 
     let report = match synthesize(&parsed.hierarchy, &mlib, &config) {
         Ok(r) => r,
@@ -209,6 +463,13 @@ fn main() -> ExitCode {
         report.per_config.len(),
         report.skipped_configs.len()
     );
+    if paranoid {
+        println!(
+            "verifier            : clean, {:.3}s across {} configurations",
+            report.per_config.iter().map(|c| c.verify_s).sum::<f64>(),
+            report.per_config.len()
+        );
+    }
     if let Some(scaled) = &report.vdd_scaled {
         println!(
             "voltage-scaled      : {} V, power {:.4}",

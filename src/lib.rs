@@ -9,8 +9,12 @@
 //! * [`sched`] — scheduling, profiles/environments, slack analysis;
 //! * [`rtl`] — RTL circuit IR, FSM controllers, RTL embedding;
 //! * [`power`] — trace-driven switched-capacitance power estimation;
+//! * [`lint`] — cross-layer IR verifier: structured diagnostics over DFGs,
+//!   schedules, bindings, and operating points (drives the engine's
+//!   paranoid mode and the `hsyn lint` subcommand);
 //! * [`core`] — the iterative-improvement synthesis engine (moves A–D,
-//!   Vdd/clock selection, flattened baseline).
+//!   Vdd/clock selection, flattened baseline);
+//! * [`util`] — zero-dependency helpers (JSON, thread pool).
 //!
 //! ## Quickstart
 //!
@@ -27,13 +31,16 @@
 pub use hsyn_core as core;
 pub use hsyn_dfg as dfg;
 pub use hsyn_lib as lib;
+pub use hsyn_lint as lint;
 pub use hsyn_power as power;
 pub use hsyn_rtl as rtl;
 pub use hsyn_sched as sched;
+pub use hsyn_util as util;
 
 /// Commonly used items, for glob import in examples and tests.
 pub mod prelude {
     pub use hsyn_core::{synthesize, DesignPoint, Objective, SynthesisConfig, SynthesisReport};
     pub use hsyn_dfg::{Dfg, DfgId, EquivClasses, Hierarchy, NodeId, Operation, VarRef};
     pub use hsyn_lib::{Library, Technology};
+    pub use hsyn_lint::{verify_design, DesignView, Diagnostic, LintConfig, RuleCode};
 }

@@ -1,0 +1,102 @@
+//! Shared helpers for the end-to-end test suite: the random-behavior
+//! generator and its reference evaluator, used by the semantics property
+//! test and the paranoid-mode property test.
+#![allow(dead_code)]
+
+use hsyn::dfg::{Dfg, NodeId, NodeKind, Operation, VarRef};
+use hsyn::power::TraceSet;
+use hsyn_util::Rng;
+
+/// Datapath bit width used by every property test.
+pub const W: u32 = 16;
+
+/// A random leaf DFG over add/sub/mult with occasional feedback edges.
+pub fn arb_behavior(rng: &mut Rng) -> Dfg {
+    let n_in = rng.range_usize(2, 4);
+    let n_ops = rng.range_usize(3, 14);
+    let seed = rng.next_u64();
+    let feedback = rng.next_bool(0.5);
+    let mut g = Dfg::new("rand");
+    let mut vars: Vec<VarRef> = (0..n_in).map(|i| g.add_input(format!("i{i}"))).collect();
+    let mut state = seed | 1;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) as usize
+    };
+    let ops = [Operation::Add, Operation::Sub, Operation::Mult];
+    let mut pending_feedback: Option<NodeId> = None;
+    for k in 0..n_ops {
+        let op = ops[next() % 3];
+        if feedback && k == 0 {
+            // One accumulator-style feedback node.
+            let a = vars[next() % vars.len()];
+            let n = g.add_op_detached(Operation::Add, format!("fb{k}"));
+            g.connect(a, n, 0, 0);
+            pending_feedback = Some(n);
+            vars.push(VarRef::new(n, 0));
+            continue;
+        }
+        let a = vars[next() % vars.len()];
+        let b = vars[next() % vars.len()];
+        vars.push(g.add_op(op, format!("n{k}"), &[a, b]));
+    }
+    if let Some(n) = pending_feedback {
+        // Close the loop through a delay from a later value.
+        let src = *vars.last().expect("non-empty");
+        g.connect(src, n, 1, 1);
+    }
+    g.add_output("y", *vars.last().unwrap());
+    g
+}
+
+/// Reference evaluation of the behavior with delay state.
+pub fn reference(g: &Dfg, traces: &TraceSet) -> Vec<i64> {
+    let order = hsyn::dfg::analysis::topo_order(g).unwrap();
+    let mut hist: std::collections::HashMap<(NodeId, u32), i64> = Default::default();
+    let mut outs = Vec::new();
+    for n in 0..traces.len() {
+        let mut vals: std::collections::HashMap<NodeId, i64> = Default::default();
+        let read = |vals: &std::collections::HashMap<NodeId, i64>,
+                    hist: &std::collections::HashMap<(NodeId, u32), i64>,
+                    e: &hsyn::dfg::Edge| {
+            if e.delay > 0 {
+                hist.get(&(e.from.node, e.delay)).copied().unwrap_or(0)
+            } else {
+                vals.get(&e.from.node).copied().unwrap_or(0)
+            }
+        };
+        for &nid in &order {
+            let v = match g.node(nid).kind() {
+                NodeKind::Input { index } => traces.samples[*index][n],
+                NodeKind::Const { value } => {
+                    let shift = 64 - W;
+                    (*value << shift) >> shift
+                }
+                NodeKind::Op(op) => {
+                    let args: Vec<i64> = (0..op.arity() as u16)
+                        .map(|p| read(&vals, &hist, g.driver(nid, p).unwrap()))
+                        .collect();
+                    op.eval(&args, W)
+                }
+                NodeKind::Output { .. } => {
+                    let v = read(&vals, &hist, g.driver(nid, 0).unwrap());
+                    outs.push(v);
+                    v
+                }
+                NodeKind::Hier { .. } => unreachable!("leaf"),
+            };
+            vals.insert(nid, v);
+        }
+        // Shift one-deep history (generator only creates delay-1 edges).
+        for (_, e) in g.edges() {
+            if e.delay == 1 {
+                if let Some(&v) = vals.get(&e.from.node) {
+                    hist.insert((e.from.node, 1), v);
+                }
+            }
+        }
+    }
+    outs
+}

@@ -1,0 +1,54 @@
+//! Every built-in benchmark must lint clean: the behavioral hierarchy
+//! itself, and the synthesized design at both objectives (the same check
+//! `hsyn lint --all-benchmarks --synthesize` runs in CI).
+
+use hsyn::core::{synthesize, Objective, SynthesisConfig};
+use hsyn::dfg::benchmarks;
+use hsyn::lib::papers::table1_library;
+use hsyn::lint::{lint_hierarchy, verify_design, DesignView};
+use hsyn::rtl::ModuleLibrary;
+
+#[test]
+fn all_benchmarks_lint_clean_at_both_objectives() {
+    for bench in benchmarks::all() {
+        let diags = lint_hierarchy(&bench.hierarchy);
+        assert!(
+            diags.is_empty(),
+            "{}: behavior dirty: {diags:?}",
+            bench.name
+        );
+
+        for objective in [Objective::Area, Objective::Power] {
+            let mut mlib = ModuleLibrary::from_simple(table1_library());
+            mlib.equiv = bench.equiv.clone();
+            // Small budgets: the point is linting every accepted design
+            // shape, not search quality (CI also runs the full-budget
+            // `hsyn lint --all-benchmarks --synthesize` in release mode).
+            let mut config = SynthesisConfig::new(objective);
+            config.laxity_factor = 2.2;
+            config.max_passes = 2;
+            config.candidate_limit = 2;
+            config.eval_trace_len = 8;
+            config.report_trace_len = 16;
+            config.max_clock_candidates = 2;
+            config.resynth_depth = 1;
+            config.paranoid = true;
+            let report = synthesize(&bench.hierarchy, &mlib, &config)
+                .unwrap_or_else(|e| panic!("{} ({objective:?}): {e}", bench.name));
+            let design = &report.design;
+            let diags = verify_design(&DesignView {
+                hierarchy: &design.hierarchy,
+                module: &design.top.built,
+                lib: &mlib.simple,
+                vdd: design.op.vdd,
+                clk_ns: design.op.clk_ref_ns,
+                sampling_period: design.top.core.deadline,
+            });
+            assert!(
+                diags.is_empty(),
+                "{} ({objective:?}): synthesized design dirty: {diags:?}",
+                bench.name
+            );
+        }
+    }
+}

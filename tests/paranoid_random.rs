@@ -1,0 +1,78 @@
+//! Seeded property test for paranoid mode: for random behaviors, synthesis
+//! with the cross-layer verifier armed must succeed with **zero** verifier
+//! rejections — every design the engine accepts satisfies every lint
+//! invariant — and the final design must lint clean. Cases are generated
+//! from a fixed seed, so failures reproduce exactly; set `HSYN_PROP_CASES`
+//! to widen the sweep locally.
+
+mod common;
+
+use common::arb_behavior;
+use hsyn::core::{synthesize, Objective, SynthesisConfig};
+use hsyn::dfg::Hierarchy;
+use hsyn::lib::papers::table1_library;
+use hsyn::lint::{verify_design, DesignView};
+use hsyn::rtl::ModuleLibrary;
+use hsyn_util::Rng;
+
+#[test]
+fn paranoid_synthesis_of_random_behaviors_is_violation_free() {
+    let cases: u64 = std::env::var("HSYN_PROP_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(12);
+    let mut rng = Rng::seed_from_u64(0xE2E02);
+    for case in 0..cases {
+        let g = arb_behavior(&mut rng);
+        let laxity_pct = rng.range_i64(120, 319) as u32;
+        let objective_area = rng.next_bool(0.5);
+        let mut h = Hierarchy::new();
+        let id = h.add_dfg(g.clone());
+        h.set_top(id);
+        assert!(h.validate().is_ok());
+
+        let mlib = ModuleLibrary::from_simple(table1_library());
+        let mut config = SynthesisConfig::new(if objective_area {
+            Objective::Area
+        } else {
+            Objective::Power
+        });
+        config.laxity_factor = f64::from(laxity_pct) / 100.0;
+        config.max_passes = 2;
+        config.candidate_limit = 2;
+        config.eval_trace_len = 8;
+        config.report_trace_len = 16;
+        config.max_clock_candidates = 2;
+        config.resynth_depth = 0;
+        config.paranoid = true;
+
+        let report = synthesize(&h, &mlib, &config)
+            .unwrap_or_else(|e| panic!("case {case}: paranoid synthesis failed: {e}"));
+        // No configuration may have been dropped by the verifier.
+        for s in &report.skipped_configs {
+            assert!(
+                s.rule.is_none(),
+                "case {case}: verifier rejected ({}, {} ns): {}",
+                s.vdd,
+                s.clk_ns,
+                s.reason
+            );
+        }
+        // Verifier wall-clock was recorded for every optimized config.
+        assert!(report.per_config.iter().all(|c| c.verify_s > 0.0));
+        // The winning design lints clean at its operating point.
+        let design = &report.design;
+        let diags = verify_design(&DesignView {
+            hierarchy: &design.hierarchy,
+            module: &design.top.built,
+            lib: &mlib.simple,
+            vdd: design.op.vdd,
+            clk_ns: design.op.clk_ref_ns,
+            sampling_period: design.top.core.deadline,
+        });
+        assert!(
+            diags.is_empty(),
+            "case {case}: final design dirty: {diags:?}"
+        );
+    }
+}
