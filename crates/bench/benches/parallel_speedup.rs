@@ -1,18 +1,29 @@
-//! Serial vs parallel wall-clock on the laxity×objective exploration grid.
+//! Wall-clock benchmarks for the two "same result, less time" layers:
+//! serial vs parallel exploration, and full vs incremental cost evaluation.
 //!
-//! Runs the same `explore()` sweep with `parallelism = Some(1)` and
+//! Part 1 runs the same `explore()` sweep with `parallelism = Some(1)` and
 //! `parallelism = None` (one worker per available core), prints the
 //! wall-clock of each and the resulting speedup, and asserts that the two
 //! runs produce identical results — the deterministic-merge guarantee the
 //! parallel path is built around. On a single-core host the speedup is
 //! necessarily ~1.0×; the determinism check still runs.
 //!
+//! Part 2 synthesizes the largest benchmark (dct, eight `dot8` children) in
+//! power mode with [`SynthesisConfig::incremental`] off and on, asserts the
+//! reports are byte-identical through `result_json()`, and reports the
+//! cache traffic and the speedup.
+//!
+//! Both results land in `BENCH_parallel_speedup.json` at the workspace
+//! root (the CI bench job uploads it as an artifact).
+//!
 //! ```text
 //! cargo bench -p hsyn-bench --bench parallel_speedup
 //! ```
 
 use hsyn_bench::{benchmark_library, SweepConfig};
-use hsyn_core::{explore, Exploration, Objective};
+use hsyn_core::{explore, synthesize, Exploration, Objective, SynthesisReport};
+use hsyn_util::Json;
+use std::time::Instant;
 
 fn run(parallelism: Option<usize>) -> Exploration {
     let b = hsyn_dfg::benchmarks::iir();
@@ -38,6 +49,28 @@ fn assert_identical(a: &Exploration, b: &Exploration) {
     }
 }
 
+/// Synthesize dct in power mode with the incremental cache on or off,
+/// returning the report and the wall-clock. Move-*B* resynthesis is
+/// disabled so the measurement isolates the evaluation layer: each
+/// resynthesis candidate runs a bounded inner synthesis of a *flat* child
+/// module — a search cost center of its own that no per-module cache can
+/// shortcut (every inner candidate is a structurally fresh design) — which
+/// would otherwise swamp the evaluation wall-clock on both sides.
+fn run_incremental(incremental: bool) -> (SynthesisReport, f64) {
+    let b = hsyn_dfg::benchmarks::dct();
+    let mlib = benchmark_library(&b);
+    let sweep = SweepConfig {
+        resynth_depth: 0,
+        ..SweepConfig::default() // full search depth, default traces
+    };
+    let mut cfg = sweep.to_config(Objective::Power, true, 2.2);
+    cfg.parallelism = Some(1); // isolate evaluation time from the sweep
+    cfg.incremental = incremental;
+    let t = Instant::now();
+    let report = synthesize(&b.hierarchy, &mlib, &cfg).expect("dct synthesizes");
+    (report, t.elapsed().as_secs_f64())
+}
+
 fn main() {
     let cores = hsyn_util::effective_threads(None);
     println!("parallel_speedup: 8-point laxity grid on the IIR benchmark");
@@ -50,15 +83,79 @@ fn main() {
     let parallel = run(None);
     assert_identical(&serial, &parallel);
 
-    let speedup = serial.elapsed_s / parallel.elapsed_s.max(1e-12);
+    let par_speedup = serial.elapsed_s / parallel.elapsed_s.max(1e-12);
     println!("serial   (parallelism=1): {:>8.3} s", serial.elapsed_s);
     println!(
         "parallel (parallelism={cores}): {:>8.3} s",
         parallel.elapsed_s
     );
-    println!("speedup: {speedup:.2}x");
+    println!("speedup: {par_speedup:.2}x");
     println!("results identical across thread counts: yes");
     if cores == 1 {
         println!("(single-core host: speedup is expected to be ~1.0x)");
     }
+
+    println!();
+    println!("incremental_speedup: dct (largest benchmark), power mode");
+    let _ = run_incremental(false); // warm-up
+    let (full_report, full_s) = run_incremental(false);
+    let (incr_report, incr_s) = run_incremental(true);
+    assert_eq!(
+        full_report.result_json(),
+        incr_report.result_json(),
+        "incremental evaluation changed the synthesis result"
+    );
+    let hits = incr_report.stats.eval_cache_hits;
+    let misses = incr_report.stats.eval_cache_misses;
+    let full_eval: f64 = full_report.per_config.iter().map(|c| c.eval_full_s).sum();
+    let incr_eval: f64 = incr_report.per_config.iter().map(|c| c.eval_incr_s).sum();
+    // Two speedups: the evaluation layer itself (what the cache
+    // accelerates), and end-to-end synthesis (diluted by apply/rebuild and
+    // the rejected-candidate scan, which both modes pay identically).
+    let eval_speedup = full_eval / incr_eval.max(1e-12);
+    let synth_speedup = full_s / incr_s.max(1e-12);
+    println!("full evaluation:        {full_s:>8.3} s synthesis, {full_eval:>8.3} s in eval");
+    println!("incremental evaluation: {incr_s:>8.3} s synthesis, {incr_eval:>8.3} s in eval");
+    println!("evaluation speedup: {eval_speedup:.2}x   cache hits {hits}, misses {misses}");
+    println!("synthesis speedup:  {synth_speedup:.2}x");
+    println!("reports byte-identical: yes");
+
+    let out = Json::Obj(vec![
+        (
+            "parallel".into(),
+            Json::Obj(vec![
+                ("benchmark".into(), Json::Str("iir".into())),
+                ("grid_points".into(), Json::Num(8.0)),
+                ("threads".into(), Json::Num(cores as f64)),
+                ("serial_s".into(), Json::Num(serial.elapsed_s)),
+                ("parallel_s".into(), Json::Num(parallel.elapsed_s)),
+                ("speedup".into(), Json::Num(par_speedup)),
+                ("identical".into(), Json::Bool(true)),
+            ]),
+        ),
+        (
+            "incremental".into(),
+            Json::Obj(vec![
+                ("benchmark".into(), Json::Str("dct".into())),
+                ("objective".into(), Json::Str("power".into())),
+                ("eval_full_s".into(), Json::Num(full_eval)),
+                ("eval_incremental_s".into(), Json::Num(incr_eval)),
+                ("eval_speedup".into(), Json::Num(eval_speedup)),
+                ("synth_full_s".into(), Json::Num(full_s)),
+                ("synth_incremental_s".into(), Json::Num(incr_s)),
+                ("synth_speedup".into(), Json::Num(synth_speedup)),
+                ("eval_cache_hits".into(), Json::Num(hits as f64)),
+                ("eval_cache_misses".into(), Json::Num(misses as f64)),
+                ("identical".into(), Json::Bool(true)),
+            ]),
+        ),
+    ]);
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_parallel_speedup.json"
+    );
+    let mut text = out.to_string_pretty();
+    text.push('\n');
+    std::fs::write(path, text).expect("write BENCH_parallel_speedup.json");
+    println!("\nwrote {path}");
 }

@@ -1,0 +1,47 @@
+//! The incremental evaluation cache: per-module cost results keyed by
+//! structural fingerprint, shared across candidate evaluations of one
+//! engine run.
+//!
+//! A fingerprint ([`hsyn_rtl::fingerprint_tree`]) covers everything the
+//! cost models read from a module, so a hit returns the bit-identical
+//! breakdown a full recomputation would have produced — incremental
+//! evaluation changes wall-clock only, never a single float (see DESIGN.md,
+//! "Fingerprint stability", and [`SynthesisConfig::shadow_eval`] which
+//! enforces this at runtime).
+//!
+//! [`SynthesisConfig::shadow_eval`]: crate::SynthesisConfig::shadow_eval
+
+use hsyn_power::SimCache;
+use hsyn_rtl::AreaCache;
+
+/// Per-engine evaluation cache: area breakdowns and power-simulation
+/// recordings, both keyed by structural fingerprint.
+///
+/// One cache serves one `Engine` run — the trace set is
+/// fixed there, which is what makes reusing simulation recordings sound.
+/// (Area entries would be valid across trace sets too, but an engine never
+/// changes traces mid-run, so no distinction is needed.)
+#[derive(Debug, Default)]
+pub struct EvalCache {
+    /// Area results (per-module breakdowns).
+    pub area: AreaCache,
+    /// Power-simulation submodule recordings and energy memos.
+    pub sim: SimCache,
+}
+
+impl EvalCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total lookups answered from the cache (area + simulation).
+    pub fn hits(&self) -> u64 {
+        self.area.hits + self.sim.hits
+    }
+
+    /// Total lookups that fell through to a fresh computation.
+    pub fn misses(&self) -> u64 {
+        self.area.misses + self.sim.misses
+    }
+}

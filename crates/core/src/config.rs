@@ -77,6 +77,20 @@ pub struct SynthesisConfig {
     /// the flag off; verifier wall-clock is recorded in
     /// [`ConfigTelemetry::verify_s`](crate::ConfigTelemetry::verify_s).
     pub paranoid: bool,
+    /// Incremental evaluation (on by default): per-module cost results are
+    /// cached across candidate evaluations, keyed by structural fingerprint
+    /// (see [`EvalCache`](crate::EvalCache)). **Bit-exact** with full
+    /// recomputation — the report is byte-identical with the flag off; only
+    /// wall-clock changes. Cache traffic is surfaced in
+    /// [`MoveStats::eval_cache_hits`](crate::MoveStats::eval_cache_hits) /
+    /// [`eval_cache_misses`](crate::MoveStats::eval_cache_misses).
+    pub incremental: bool,
+    /// Shadow evaluation (off by default): run every cached evaluation
+    /// alongside a full recomputation and panic on the first bit-level
+    /// divergence, naming the offending move and module path. A
+    /// debugging/CI mode — slower than either pure mode — that turns the
+    /// cache-exactness contract into a runtime assertion.
+    pub shadow_eval: bool,
 }
 
 impl SynthesisConfig {
@@ -99,6 +113,8 @@ impl SynthesisConfig {
             moves: MoveFamilies::default(),
             parallelism: None,
             paranoid: false,
+            incremental: true,
+            shadow_eval: false,
         }
     }
 

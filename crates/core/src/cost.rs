@@ -3,10 +3,11 @@
 //! the operating point. The objective picks which number the iterative
 //! improvement minimizes; both are always reported.
 
+use crate::cache::EvalCache;
 use crate::design::DesignPoint;
 use hsyn_lib::Library;
-use hsyn_power::{estimate, PowerReport, TraceSet};
-use hsyn_rtl::{module_area, AreaBreakdown};
+use hsyn_power::{estimate, estimate_cached, PowerReport, TraceSet};
+use hsyn_rtl::{module_area, module_area_cached, AreaBreakdown, FpTree};
 
 /// What to optimize (the paper's two modes).
 #[derive(Copy, Clone, PartialEq, Eq, Debug)]
@@ -56,6 +57,36 @@ pub fn evaluate_search(
     }
 }
 
+/// [`evaluate_search`] through an incremental cache. `fp` must be the
+/// fingerprint tree of `dp.top.built`. Bit-exact with [`evaluate_search`]
+/// — same floats in every field (see [`EvalCache`]).
+pub fn evaluate_search_cached(
+    dp: &DesignPoint,
+    lib: &Library,
+    traces: &TraceSet,
+    objective: Objective,
+    fp: &FpTree,
+    cache: &mut EvalCache,
+) -> Evaluation {
+    match objective {
+        Objective::Power => evaluate_cached(dp, lib, traces, objective, fp, cache),
+        Objective::Area => {
+            let area = module_area_cached(&dp.hierarchy, &dp.top.built, lib, fp, &mut cache.area);
+            let power = PowerReport {
+                energy_breakdown: Default::default(),
+                energy_per_iteration: 0.0,
+                power: 0.0,
+                vdd: dp.op.vdd,
+            };
+            Evaluation {
+                area,
+                power,
+                cost: area.total(),
+            }
+        }
+    }
+}
+
 /// Evaluate `dp` under `objective` using `traces` for power estimation.
 pub fn evaluate(
     dp: &DesignPoint,
@@ -72,6 +103,35 @@ pub fn evaluate(
         dp.op.vdd,
         dp.op.physical_clk_ns(lib),
         dp.op.sampling_cycles.max(1),
+    );
+    let cost = match objective {
+        Objective::Area => area.total(),
+        Objective::Power => power.power,
+    };
+    Evaluation { area, power, cost }
+}
+
+/// [`evaluate`] through an incremental cache (see
+/// [`evaluate_search_cached`]). Bit-exact with [`evaluate`].
+pub fn evaluate_cached(
+    dp: &DesignPoint,
+    lib: &Library,
+    traces: &TraceSet,
+    objective: Objective,
+    fp: &FpTree,
+    cache: &mut EvalCache,
+) -> Evaluation {
+    let area = module_area_cached(&dp.hierarchy, &dp.top.built, lib, fp, &mut cache.area);
+    let power = estimate_cached(
+        &dp.hierarchy,
+        &dp.top.built,
+        lib,
+        traces,
+        dp.op.vdd,
+        dp.op.physical_clk_ns(lib),
+        dp.op.sampling_cycles.max(1),
+        fp,
+        &mut cache.sim,
     );
     let cost = match objective {
         Objective::Area => area.total(),

@@ -138,6 +138,45 @@ impl ModuleState {
                 s.rebuild(h, lib, op)?;
             }
         }
+        self.relink(h, lib, op)
+    }
+
+    /// Rebuild only what a localized edit at `path` can have changed: the
+    /// module there (its own spec was rewritten) and the modules along the
+    /// path to it (their specs embed the rebuilt child). Everything else —
+    /// descendants of the edited module and off-path subtrees — keeps its
+    /// current `built`, which a rebuild would reproduce bit-identically:
+    /// builds are deterministic functions of the specs, and those specs are
+    /// untouched. Bit-exact with [`ModuleState::rebuild`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`BuildError`], exactly as [`rebuild`](Self::rebuild).
+    pub fn rebuild_at(
+        &mut self,
+        h: &Hierarchy,
+        lib: &Library,
+        op: &OperatingPoint,
+        path: &[usize],
+    ) -> Result<(), BuildError> {
+        if let Some((&i, rest)) = path.split_first() {
+            if let Some(child) = self.children.get_mut(i) {
+                if let ChildKind::Single(s) = &mut child.kind {
+                    s.rebuild_at(h, lib, op, rest)?;
+                }
+            }
+        }
+        self.relink(h, lib, op)
+    }
+
+    /// Build this module's own level from its current spec and its
+    /// children's current builds.
+    fn relink(
+        &mut self,
+        h: &Hierarchy,
+        lib: &Library,
+        op: &OperatingPoint,
+    ) -> Result<(), BuildError> {
         let spec = ModuleSpec {
             name: self.core.name.clone(),
             dfg: self.core.dfg,
@@ -240,6 +279,17 @@ impl DesignPoint {
     pub fn rebuild(&mut self, lib: &Library) -> Result<(), BuildError> {
         let h = self.hierarchy.clone();
         self.top.rebuild(&h, lib, &self.op)
+    }
+
+    /// [`rebuild`](Self::rebuild) restricted to the modules reachable from
+    /// a localized edit at `path` (see [`ModuleState::rebuild_at`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`BuildError`] from any rebuilt level.
+    pub fn rebuild_at(&mut self, lib: &Library, path: &[usize]) -> Result<(), BuildError> {
+        let h = self.hierarchy.clone();
+        self.top.rebuild_at(&h, lib, &self.op, path)
     }
 }
 

@@ -3,16 +3,19 @@
 //! *negative* gain — then commits the prefix with the best cumulative gain,
 //! "thus enabling escape from local minima".
 
+use crate::cache::EvalCache;
 use crate::config::SynthesisConfig;
-use crate::cost::{evaluate_search, Evaluation, Objective};
+use crate::cost::{evaluate_search, evaluate_search_cached, Evaluation, Objective};
 use crate::design::{initial_module_with_window, ChildKind, DesignPoint, OperatingPoint};
 use crate::moves::{
-    apply, selection_candidates, sharing_candidates, splitting_candidates, Candidate, Move,
+    apply_tracked, selection_candidates, sharing_candidates, splitting_candidates, Candidate, Move,
 };
 use hsyn_dfg::NodeKind;
 use hsyn_lint::{error_count, verify_design, DesignView, Diagnostic, Severity};
 use hsyn_power::{dsp_default, TraceSet};
-use hsyn_rtl::{window_of, BuildCtx, ModuleLibrary};
+use hsyn_rtl::{
+    fingerprint_tree, refresh_fingerprint_tree, window_of, BuildCtx, FpTree, ModuleLibrary,
+};
 use std::fmt;
 use std::time::Instant;
 
@@ -69,6 +72,12 @@ pub struct MoveStats {
     /// [`SynthesisReport::skipped_configs`](crate::SynthesisReport::skipped_configs)
     /// for the reasons).
     pub configs_skipped: u64,
+    /// Incremental-evaluation cache lookups answered from the cache
+    /// (area + simulation); 0 with [`SynthesisConfig::incremental`] off.
+    pub eval_cache_hits: u64,
+    /// Incremental-evaluation cache lookups that fell through to a fresh
+    /// computation; 0 with [`SynthesisConfig::incremental`] off.
+    pub eval_cache_misses: u64,
 }
 
 impl MoveStats {
@@ -96,6 +105,8 @@ impl MoveStats {
         self.passes += other.passes;
         self.configs += other.configs;
         self.configs_skipped += other.configs_skipped;
+        self.eval_cache_hits += other.eval_cache_hits;
+        self.eval_cache_misses += other.eval_cache_misses;
     }
 }
 
@@ -104,6 +115,8 @@ struct Applied {
     gain: f64,
     mv: Move,
     dp: DesignPoint,
+    /// Fingerprint tree of `dp.top.built` (present iff caching is active).
+    fp: Option<FpTree>,
     eval: Evaluation,
 }
 
@@ -118,6 +131,14 @@ pub(crate) struct Engine<'a> {
     /// Wall-clock spent in the paranoid verifier, seconds (0 when off).
     /// Kept off `MoveStats` so the stats stay `Eq`-comparable across runs.
     pub verify_s: f64,
+    /// Incremental evaluation cache (unused with `config.incremental` and
+    /// `config.shadow_eval` both off).
+    pub cache: EvalCache,
+    /// Wall-clock spent in full (uncached) search evaluations, seconds.
+    /// Like `verify_s`, kept off `MoveStats` so the stats stay `Eq`.
+    pub eval_full_s: f64,
+    /// Wall-clock spent in cache-aware search evaluations, seconds.
+    pub eval_incr_s: f64,
 }
 
 impl<'a> Engine<'a> {
@@ -134,7 +155,16 @@ impl<'a> Engine<'a> {
             depth,
             stats: MoveStats::default(),
             verify_s: 0.0,
+            cache: EvalCache::new(),
+            eval_full_s: 0.0,
+            eval_incr_s: 0.0,
         }
+    }
+
+    /// Whether evaluations go through the incremental cache (shadow mode
+    /// exercises the cached path too, so it can be diffed).
+    fn caching(&self) -> bool {
+        self.config.incremental || self.config.shadow_eval
     }
 
     /// Paranoid mode: verify every cross-layer invariant of `dp`, failing
@@ -176,12 +206,44 @@ impl<'a> Engine<'a> {
         self.config.objective
     }
 
-    pub fn eval(&self, dp: &DesignPoint) -> Evaluation {
-        evaluate_search(dp, &self.mlib.simple, &self.traces, self.objective())
+    /// Evaluate `dp` for the search loop — through the incremental cache
+    /// when caching is active (`fp` is then `dp`'s fingerprint tree), with
+    /// a full recomputation otherwise. In shadow mode both paths run and
+    /// any bit-level divergence panics, naming the offending move.
+    fn eval(&mut self, dp: &DesignPoint, fp: Option<&FpTree>, mv: Option<&Move>) -> Evaluation {
+        let lib = &self.mlib.simple;
+        let objective = self.objective();
+        let Some(fp) = fp else {
+            let t0 = Instant::now();
+            let eval = evaluate_search(dp, lib, &self.traces, objective);
+            self.eval_full_s += t0.elapsed().as_secs_f64();
+            return eval;
+        };
+        let (hits0, misses0) = (self.cache.hits(), self.cache.misses());
+        let t0 = Instant::now();
+        let incr = evaluate_search_cached(dp, lib, &self.traces, objective, fp, &mut self.cache);
+        self.eval_incr_s += t0.elapsed().as_secs_f64();
+        self.stats.eval_cache_hits += self.cache.hits() - hits0;
+        self.stats.eval_cache_misses += self.cache.misses() - misses0;
+        if self.config.shadow_eval {
+            let t0 = Instant::now();
+            let full = evaluate_search(dp, lib, &self.traces, objective);
+            self.eval_full_s += t0.elapsed().as_secs_f64();
+            assert_shadow_identical(&incr, &full, mv);
+        }
+        incr
     }
 
-    /// Apply + evaluate one candidate; `None` if invalid.
-    fn try_move(&mut self, dp: &DesignPoint, mv: &Move) -> Option<(DesignPoint, Evaluation)> {
+    /// Apply + evaluate one candidate; `None` if invalid. `cur_fp` is the
+    /// fingerprint tree of `dp` (present iff caching is active); the
+    /// candidate's tree is derived from it by re-fingerprinting only the
+    /// move's dirty subtree and recombining its ancestors.
+    fn try_move(
+        &mut self,
+        dp: &DesignPoint,
+        cur_fp: Option<&FpTree>,
+        mv: &Move,
+    ) -> Option<(DesignPoint, Option<FpTree>, Evaluation)> {
         let depth = self.depth;
         // Move B recursion is routed through a closure so `apply` stays a
         // pure structural edit everywhere else.
@@ -193,12 +255,15 @@ impl<'a> Engine<'a> {
             resynth_result = self.resynthesize_child(dp, path, *child);
             resynth_result.as_ref()?;
         }
-        let outcome = apply(dp, mv, self.mlib, &mut |_, _, _| resynth_result.take());
+        let outcome = apply_tracked(dp, mv, self.mlib, &mut |_, _, _| resynth_result.take());
         match outcome {
-            Ok(new) => {
+            Ok((new, dirty)) => {
                 self.stats.evaluated += 1;
-                let eval = self.eval(&new);
-                Some((new, eval))
+                let fp = cur_fp.map(|old| {
+                    refresh_fingerprint_tree(&new.hierarchy, &new.top.built, old, &dirty)
+                });
+                let eval = self.eval(&new, fp.as_ref(), Some(mv));
+                Some((new, fp, eval))
             }
             Err(_) => {
                 self.stats.rejected += 1;
@@ -209,22 +274,30 @@ impl<'a> Engine<'a> {
 
     /// Evaluate the top candidates by heuristic score and return the best
     /// by true gain (possibly negative).
+    ///
+    /// Rejections and evaluations are budgeted separately: up to
+    /// `candidate_limit` candidates are fully evaluated, and the scan stops
+    /// early only after `5 × candidate_limit` *rejections*. (A single
+    /// shared attempt counter could previously exhaust the scan on
+    /// rejected candidates before evaluating any valid one.)
     fn best_from(
         &mut self,
         dp: &DesignPoint,
+        cur_fp: Option<&FpTree>,
         base_cost: f64,
         mut cands: Vec<Candidate>,
     ) -> Option<Applied> {
         cands.sort_by(|a, b| b.0.total_cmp(&a.0));
         let mut best: Option<Applied> = None;
         let mut evaluated = 0usize;
-        for (attempts, (_, mv)) in cands.into_iter().enumerate() {
+        let mut rejected = 0usize;
+        for (_, mv) in cands {
             if evaluated >= self.config.candidate_limit
-                || attempts >= 5 * self.config.candidate_limit
+                || rejected >= 5 * self.config.candidate_limit
             {
                 break;
             }
-            if let Some((new, eval)) = self.try_move(dp, &mv) {
+            if let Some((new, fp, eval)) = self.try_move(dp, cur_fp, &mv) {
                 evaluated += 1;
                 let gain = base_cost - eval.cost;
                 if best.as_ref().is_none_or(|b| gain > b.gain) {
@@ -232,16 +305,24 @@ impl<'a> Engine<'a> {
                         gain,
                         mv,
                         dp: new,
+                        fp,
                         eval,
                     });
                 }
+            } else {
+                rejected += 1;
             }
         }
         best
     }
 
     /// `GET_BEST_TYPE_A_AND_B_MOVE` (Figure 5 wrapped into one selector).
-    fn best_ab(&mut self, dp: &DesignPoint, base_cost: f64) -> Option<Applied> {
+    fn best_ab(
+        &mut self,
+        dp: &DesignPoint,
+        cur_fp: Option<&FpTree>,
+        base_cost: f64,
+    ) -> Option<Applied> {
         let families = self.config.moves;
         if !families.a && !families.b {
             return None;
@@ -255,17 +336,23 @@ impl<'a> Engine<'a> {
         if !families.a {
             cands.retain(|(_, mv)| matches!(mv, Move::ResynthChild { .. }));
         }
-        self.best_from(dp, base_cost, cands)
+        self.best_from(dp, cur_fp, base_cost, cands)
     }
 
     /// `GET_BEST_RESOURCE_SHARING_MOVE`, falling back to
     /// `GET_BEST_RESOURCE_SPLITTING_MOVE` when sharing only degrades
     /// (Figure 4, lines 8–10).
-    fn best_cd(&mut self, dp: &DesignPoint, base_cost: f64) -> Option<Applied> {
+    fn best_cd(
+        &mut self,
+        dp: &DesignPoint,
+        cur_fp: Option<&FpTree>,
+        base_cost: f64,
+    ) -> Option<Applied> {
         let families = self.config.moves;
         let sharing = if families.c {
             self.best_from(
                 dp,
+                cur_fp,
                 base_cost,
                 sharing_candidates(dp, self.mlib, self.objective()),
             )
@@ -278,6 +365,7 @@ impl<'a> Engine<'a> {
                 let splitting = if families.d {
                     self.best_from(
                         dp,
+                        cur_fp,
                         base_cost,
                         splitting_candidates(dp, self.mlib, self.objective()),
                     )
@@ -306,7 +394,10 @@ impl<'a> Engine<'a> {
     ) -> Result<(DesignPoint, Evaluation), Box<ParanoidViolation>> {
         self.paranoid_check(&initial, None)?;
         let mut cur = initial;
-        let mut cur_eval = self.eval(&cur);
+        let mut cur_fp = self
+            .caching()
+            .then(|| fingerprint_tree(&cur.hierarchy, &cur.top.built));
+        let mut cur_eval = self.eval(&cur, cur_fp.as_ref(), None);
         let mut best = cur.clone();
         let mut best_eval = cur_eval;
 
@@ -318,13 +409,14 @@ impl<'a> Engine<'a> {
 
         for _pass in 0..self.config.max_passes {
             self.stats.passes += 1;
-            let mut states: Vec<(DesignPoint, Evaluation)> = vec![(cur.clone(), cur_eval)];
+            let mut states: Vec<(DesignPoint, Evaluation, Option<FpTree>)> =
+                vec![(cur.clone(), cur_eval, cur_fp.clone())];
             let mut seq_moves: Vec<Move> = Vec::new();
             for _ in 0..max_moves {
-                let (work, work_eval) = states.last().expect("non-empty");
+                let (work, work_eval, work_fp) = states.last().expect("non-empty");
                 let base = work_eval.cost;
-                let m1 = self.best_ab(work, base);
-                let m3 = self.best_cd(work, base);
+                let m1 = self.best_ab(work, work_fp.as_ref(), base);
+                let m3 = self.best_cd(work, work_fp.as_ref(), base);
                 let chosen = match (m1, m3) {
                     (Some(a), Some(b)) => Some(if a.gain >= b.gain { a } else { b }),
                     (a, b) => a.or(b),
@@ -332,7 +424,7 @@ impl<'a> Engine<'a> {
                 let Some(chosen) = chosen else { break };
                 self.paranoid_check(&chosen.dp, Some(&chosen.mv))?;
                 seq_moves.push(chosen.mv.clone());
-                states.push((chosen.dp, chosen.eval));
+                states.push((chosen.dp, chosen.eval, chosen.fp));
             }
             // Commit the best-cumulative-gain prefix.
             let (best_idx, _) = states
@@ -347,9 +439,10 @@ impl<'a> Engine<'a> {
             for mv in &seq_moves[..best_idx] {
                 self.stats.record(mv);
             }
-            let (committed, committed_eval) = states.swap_remove(best_idx);
+            let (committed, committed_eval, committed_fp) = states.swap_remove(best_idx);
             cur = committed;
             cur_eval = committed_eval;
+            cur_fp = committed_fp;
             if cur_eval.cost < best_eval.cost {
                 best = cur.clone();
                 best_eval = cur_eval;
@@ -450,9 +543,145 @@ impl<'a> Engine<'a> {
         let result = inner.optimize(child_dp);
         self.stats.evaluated += inner.stats.evaluated;
         self.stats.rejected += inner.stats.rejected;
+        self.stats.eval_cache_hits += inner.stats.eval_cache_hits;
+        self.stats.eval_cache_misses += inner.stats.eval_cache_misses;
         self.verify_s += inner.verify_s;
+        self.eval_full_s += inner.eval_full_s;
+        self.eval_incr_s += inner.eval_incr_s;
         // A child verifier failure simply rejects this move-B candidate.
         let (optimized, _) = result.ok()?;
         Some(ChildKind::Single(Box::new(optimized.top)))
+    }
+}
+
+/// Every float of an [`Evaluation`], labeled — the shadow-mode comparison
+/// surface.
+fn eval_fields(e: &Evaluation) -> [(&'static str, f64); 17] {
+    let a = &e.area;
+    let p = &e.power;
+    let b = &p.energy_breakdown;
+    [
+        ("area.fu", a.fu),
+        ("area.reg", a.reg),
+        ("area.mux", a.mux),
+        ("area.wire", a.wire),
+        ("area.controller", a.controller),
+        ("area.subs", a.subs),
+        ("energy.fu", b.fu),
+        ("energy.reg", b.reg),
+        ("energy.mux", b.mux),
+        ("energy.wire", b.wire),
+        ("energy.controller", b.controller),
+        ("energy.clock", b.clock),
+        ("energy.subs", b.subs),
+        ("power.energy_per_iteration", p.energy_per_iteration),
+        ("power.power", p.power),
+        ("power.vdd", p.vdd),
+        ("cost", e.cost),
+    ]
+}
+
+/// Shadow-mode diff: the cached evaluation must equal the full
+/// recomputation bit-for-bit (`f64::to_bits`, not an epsilon). `mv` is the
+/// move that produced the evaluated design — `None` at a configuration's
+/// initial design.
+///
+/// # Panics
+///
+/// Panics on the first diverging field, naming the move, the module path it
+/// edited, and both bit patterns.
+fn assert_shadow_identical(incr: &Evaluation, full: &Evaluation, mv: Option<&Move>) {
+    for ((name, i), (_, f)) in eval_fields(incr).iter().zip(eval_fields(full).iter()) {
+        if i.to_bits() != f.to_bits() {
+            let origin = match mv {
+                Some(mv) => format!(
+                    "after move {mv} (dirty module path {:?})",
+                    crate::moves::dirty_path(mv)
+                ),
+                None => "at the initial design".to_owned(),
+            };
+            panic!(
+                "shadow evaluation diverged {origin}: {name} cached {i:?} ({:#018x}) != full {f:?} ({:#018x})",
+                i.to_bits(),
+                f.to_bits()
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::design::initial_solution;
+    use crate::moves::Candidate;
+    use hsyn_dfg::benchmarks;
+    use hsyn_lib::papers::table1_library;
+    use hsyn_rtl::ModuleLibrary;
+
+    fn paulin_fixture() -> (DesignPoint, ModuleLibrary, TraceSet) {
+        let b = benchmarks::paulin();
+        let mlib = ModuleLibrary::from_simple(table1_library());
+        let op =
+            OperatingPoint::derive(&mlib.simple, mlib.simple.technology.vref(), 10.0, 10_000.0);
+        let top = initial_solution(&b.hierarchy, &mlib, &op).expect("paulin builds");
+        let traces = dsp_default(b.hierarchy.dfg(b.hierarchy.top()).input_count(), 4, 16, 1);
+        let dp = DesignPoint {
+            hierarchy: b.hierarchy.clone(),
+            op,
+            top,
+        };
+        (dp, mlib, traces)
+    }
+
+    /// Regression for the `best_from` bailout: before the evaluated/rejected
+    /// budgets were split, a single shared attempt counter
+    /// (`attempts >= 5 × candidate_limit`, counting *both* kinds) could
+    /// exhaust the scan on rejected candidates and stop before evaluating a
+    /// valid lower-scored one. With `candidate_limit = 2`, one valid
+    /// candidate followed by nine rejecting ones used to spend the whole
+    /// budget (1 + 9 = 10 ≥ 10); the trailing valid candidate was never
+    /// evaluated.
+    #[test]
+    fn rejections_do_not_starve_valid_candidates() {
+        let (dp, mlib, traces) = paulin_fixture();
+        let mut config = SynthesisConfig::new(Objective::Area);
+        config.candidate_limit = 2;
+        config.incremental = false;
+        let mut engine = Engine::new(&mlib, &config, traces, 0);
+        let base = engine.eval(&dp, None, None);
+        // Group 999 does not exist, so these nine are rejected by `apply`;
+        // RepackRegs is valid (the initial register policy is dedicated).
+        let stale_type = dp.top.core.fu_groups[0].fu_type;
+        let mut cands: Vec<Candidate> = vec![(100.0, Move::RepackRegs { path: vec![] })];
+        for i in 0..9 {
+            cands.push((
+                90.0 - i as f64,
+                Move::SetFuType {
+                    path: vec![],
+                    group: 999,
+                    fu_type: stale_type,
+                },
+            ));
+        }
+        cands.push((1.0, Move::RepackRegs { path: vec![] }));
+        let best = engine.best_from(&dp, None, base.cost, cands);
+        assert!(best.is_some(), "a valid candidate must be found");
+        assert_eq!(
+            (engine.stats.evaluated, engine.stats.rejected),
+            (2, 9),
+            "both valid candidates must be evaluated despite nine rejections"
+        );
+    }
+
+    /// Shadow mode turns a cache/full divergence into a panic naming the
+    /// offending move and field.
+    #[test]
+    #[should_panic(expected = "shadow evaluation diverged after move")]
+    fn shadow_divergence_panics() {
+        let (dp, mlib, traces) = paulin_fixture();
+        let incr = evaluate_search(&dp, &mlib.simple, &traces, Objective::Area);
+        let mut full = incr;
+        full.area.fu += 1.0;
+        assert_shadow_identical(&incr, &full, Some(&Move::RepackRegs { path: vec![] }));
     }
 }

@@ -37,6 +37,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cache;
 mod config;
 mod cost;
 mod design;
@@ -45,8 +46,11 @@ mod improve;
 mod moves;
 mod synth;
 
+pub use cache::EvalCache;
 pub use config::{MoveFamilies, SynthesisConfig};
-pub use cost::{evaluate, evaluate_search, Evaluation, Objective};
+pub use cost::{
+    evaluate, evaluate_cached, evaluate_search, evaluate_search_cached, Evaluation, Objective,
+};
 pub use design::{
     initial_solution, probe_min_latency, Child, ChildKind, DesignPoint, ModuleState,
     OperatingPoint, SpecCore,
@@ -54,8 +58,8 @@ pub use design::{
 pub use explore::{explore, pareto_front, Exploration, ExplorePoint, SkippedPoint};
 pub use improve::{MoveStats, ParanoidViolation};
 pub use moves::{
-    apply, selection_candidates, sharing_candidates, splitting_candidates, ApplyError, ModulePath,
-    Move,
+    apply, apply_tracked, dirty_path, selection_candidates, sharing_candidates,
+    splitting_candidates, ApplyError, ModulePath, Move,
 };
 pub use synth::{
     synthesize, ConfigTelemetry, ScaledDesign, SkippedConfig, SynthesisError, SynthesisReport,

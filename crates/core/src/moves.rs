@@ -368,8 +368,47 @@ pub fn apply(
             m.children.push(clone);
         }
     }
-    new.rebuild(lib)?;
+    // Rebuild only the edited module and its ancestors: every other
+    // module's spec is untouched and would rebuild to the identical RTL.
+    new.rebuild_at(lib, &dirty_path(mv))?;
     Ok(new)
+}
+
+/// [`apply`] plus dirty tracking for incremental evaluation: also returns
+/// the path of the module whose subtree the move structurally changed.
+/// Everything rooted there must be re-fingerprinted; ancestors along the
+/// path only recombine (their own specs are untouched, but their
+/// fingerprints fold in the changed child), and subtrees off the path
+/// rebuild deterministically to identical structures and can be reused.
+///
+/// # Errors
+///
+/// Exactly [`apply`]'s errors.
+#[allow(clippy::type_complexity)]
+pub fn apply_tracked(
+    dp: &DesignPoint,
+    mv: &Move,
+    mlib: &ModuleLibrary,
+    resynth: &mut dyn FnMut(&DesignPoint, &[usize], usize) -> Option<ChildKind>,
+) -> Result<(DesignPoint, ModulePath), ApplyError> {
+    let new = apply(dp, mv, mlib, resynth)?;
+    Ok((new, dirty_path(mv)))
+}
+
+/// The root of the subtree a move edits: every variant carries the path of
+/// the module whose core or child list it rewrites.
+pub fn dirty_path(mv: &Move) -> ModulePath {
+    match mv {
+        Move::SetFuType { path, .. }
+        | Move::MergeFu { path, .. }
+        | Move::SplitFu { path, .. }
+        | Move::RepackRegs { path }
+        | Move::DedicateRegs { path }
+        | Move::SwapChild { path, .. }
+        | Move::ResynthChild { path, .. }
+        | Move::MergeChildren { path, .. }
+        | Move::SplitChild { path, .. } => path.clone(),
+    }
 }
 
 /// A scored candidate: higher heuristic first; the engine evaluates the top

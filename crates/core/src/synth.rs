@@ -81,6 +81,18 @@ pub struct ConfigTelemetry {
     pub rejected: u64,
     /// Improvement passes executed within this configuration.
     pub passes: u64,
+    /// Incremental-evaluation cache hits within this configuration (0 with
+    /// [`SynthesisConfig::incremental`] off).
+    pub eval_cache_hits: u64,
+    /// Incremental-evaluation cache misses within this configuration.
+    pub eval_cache_misses: u64,
+    /// Wall-clock spent in full (uncached) search evaluations, seconds —
+    /// the whole evaluation load with incremental off, the shadow half with
+    /// [`SynthesisConfig::shadow_eval`] on.
+    pub eval_full_s: f64,
+    /// Wall-clock spent in cache-aware search evaluations, seconds (0 with
+    /// incremental evaluation off).
+    pub eval_incr_s: f64,
     /// Final cost of this configuration's best design (search metric).
     pub cost: f64,
     /// Whether this configuration's design was selected as the winner.
@@ -129,6 +141,130 @@ pub struct SynthesisReport {
     pub skipped_configs: Vec<SkippedConfig>,
     /// Wall-clock synthesis time, seconds.
     pub elapsed_s: f64,
+}
+
+impl SynthesisReport {
+    /// Canonical JSON rendering of everything **deterministic** in the
+    /// report, for byte-level comparison between runs: every `f64` appears
+    /// as the hex form of its `to_bits` (bit-exactness, not proximity), and
+    /// structural fingerprints stand in for the designs themselves.
+    ///
+    /// Deliberately excluded, because they legitimately differ between
+    /// otherwise identical runs: wall-clock (`elapsed_s`, `verify_s`,
+    /// `eval_full_s`, `eval_incr_s`) and incremental-cache traffic
+    /// (`eval_cache_hits` / `eval_cache_misses`, which differ between
+    /// cached and uncached runs of the same search). Two runs are the same
+    /// search with the same result iff their `result_json` bytes match —
+    /// the contract the `incremental_equivalence` differential suite
+    /// enforces across cache-on/cache-off pairs.
+    pub fn result_json(&self) -> String {
+        use hsyn_util::Json;
+
+        fn bits(v: f64) -> Json {
+            Json::Str(format!("{:016x}", v.to_bits()))
+        }
+        fn count(v: u64) -> Json {
+            Json::Num(v as f64)
+        }
+        fn eval_json(e: &Evaluation) -> Json {
+            let a = &e.area;
+            let p = &e.power;
+            let b = &p.energy_breakdown;
+            Json::Obj(vec![
+                ("area_fu".into(), bits(a.fu)),
+                ("area_reg".into(), bits(a.reg)),
+                ("area_mux".into(), bits(a.mux)),
+                ("area_wire".into(), bits(a.wire)),
+                ("area_controller".into(), bits(a.controller)),
+                ("area_subs".into(), bits(a.subs)),
+                ("energy_fu".into(), bits(b.fu)),
+                ("energy_reg".into(), bits(b.reg)),
+                ("energy_mux".into(), bits(b.mux)),
+                ("energy_wire".into(), bits(b.wire)),
+                ("energy_controller".into(), bits(b.controller)),
+                ("energy_clock".into(), bits(b.clock)),
+                ("energy_subs".into(), bits(b.subs)),
+                ("energy_per_iteration".into(), bits(p.energy_per_iteration)),
+                ("power".into(), bits(p.power)),
+                ("vdd".into(), bits(p.vdd)),
+                ("cost".into(), bits(e.cost)),
+            ])
+        }
+        fn design_json(dp: &DesignPoint) -> Json {
+            let fp = hsyn_rtl::module_fingerprint(&dp.hierarchy, &dp.top.built);
+            Json::Obj(vec![
+                ("fp".into(), Json::Str(format!("{fp:016x}"))),
+                ("vdd".into(), bits(dp.op.vdd)),
+                ("clk_ref_ns".into(), bits(dp.op.clk_ref_ns)),
+                ("period_ns".into(), bits(dp.op.period_ns)),
+                (
+                    "sampling_cycles".into(),
+                    count(u64::from(dp.op.sampling_cycles)),
+                ),
+            ])
+        }
+
+        let stats = Json::Obj(vec![
+            ("evaluated".into(), count(self.stats.evaluated)),
+            ("rejected".into(), count(self.stats.rejected)),
+            ("applied_a".into(), count(self.stats.applied_a)),
+            ("applied_b".into(), count(self.stats.applied_b)),
+            ("applied_c".into(), count(self.stats.applied_c)),
+            ("applied_d".into(), count(self.stats.applied_d)),
+            ("passes".into(), count(self.stats.passes)),
+            ("configs".into(), count(self.stats.configs)),
+            ("configs_skipped".into(), count(self.stats.configs_skipped)),
+        ]);
+        let per_config = Json::Arr(
+            self.per_config
+                .iter()
+                .map(|c| {
+                    Json::Obj(vec![
+                        ("vdd".into(), bits(c.vdd)),
+                        ("clk_ns".into(), bits(c.clk_ns)),
+                        ("evaluated".into(), count(c.evaluated)),
+                        ("rejected".into(), count(c.rejected)),
+                        ("passes".into(), count(c.passes)),
+                        ("cost".into(), bits(c.cost)),
+                        ("selected".into(), Json::Bool(c.selected)),
+                    ])
+                })
+                .collect(),
+        );
+        let skipped = Json::Arr(
+            self.skipped_configs
+                .iter()
+                .map(|s| {
+                    Json::Obj(vec![
+                        ("vdd".into(), bits(s.vdd)),
+                        ("clk_ns".into(), bits(s.clk_ns)),
+                        ("reason".into(), Json::Str(s.reason.clone())),
+                        (
+                            "rule".into(),
+                            s.rule.as_ref().map_or(Json::Null, |r| Json::Str(r.clone())),
+                        ),
+                    ])
+                })
+                .collect(),
+        );
+        let vdd_scaled = self.vdd_scaled.as_ref().map_or(Json::Null, |s| {
+            Json::Obj(vec![
+                ("design".into(), design_json(&s.design)),
+                ("evaluation".into(), eval_json(&s.evaluation)),
+            ])
+        });
+        Json::Obj(vec![
+            ("design".into(), design_json(&self.design)),
+            ("evaluation".into(), eval_json(&self.evaluation)),
+            ("min_period_ns".into(), bits(self.min_period_ns)),
+            ("period_ns".into(), bits(self.period_ns)),
+            ("vdd_scaled".into(), vdd_scaled),
+            ("stats".into(), stats),
+            ("per_config".into(), per_config),
+            ("skipped_configs".into(), skipped),
+        ])
+        .to_string_pretty()
+    }
 }
 
 /// Synthesize `hierarchy` with `mlib` under `config` — the paper's
@@ -251,10 +387,12 @@ pub fn synthesize(
     enum ConfigOutcome {
         Optimized {
             design: Box<DesignPoint>,
-            eval: Evaluation,
+            eval: Box<Evaluation>,
             stats: MoveStats,
             elapsed_s: f64,
             verify_s: f64,
+            eval_full_s: f64,
+            eval_incr_s: f64,
         },
         Skipped {
             reason: String,
@@ -291,10 +429,12 @@ pub fn synthesize(
                     },
                     Ok((opt, opt_eval)) => ConfigOutcome::Optimized {
                         design: Box::new(opt),
-                        eval: opt_eval,
+                        eval: Box::new(opt_eval),
                         stats: engine.stats,
                         elapsed_s: config_start.elapsed().as_secs_f64(),
                         verify_s: engine.verify_s,
+                        eval_full_s: engine.eval_full_s,
+                        eval_incr_s: engine.eval_incr_s,
                     },
                 }
             }
@@ -325,6 +465,8 @@ pub fn synthesize(
                 stats: config_stats,
                 elapsed_s,
                 verify_s,
+                eval_full_s,
+                eval_incr_s,
             } => {
                 stats.configs += 1;
                 stats.absorb(&config_stats);
@@ -336,12 +478,16 @@ pub fn synthesize(
                     evaluated: config_stats.evaluated,
                     rejected: config_stats.rejected,
                     passes: config_stats.passes,
+                    eval_cache_hits: config_stats.eval_cache_hits,
+                    eval_cache_misses: config_stats.eval_cache_misses,
+                    eval_full_s,
+                    eval_incr_s,
                     cost: eval.cost,
                     selected: false,
                 });
                 let telemetry_idx = per_config.len() - 1;
                 if best.as_ref().is_none_or(|(_, _, e)| eval.cost < e.cost) {
-                    best = Some((telemetry_idx, *design, eval));
+                    best = Some((telemetry_idx, *design, *eval));
                 }
             }
         }

@@ -15,11 +15,11 @@
 //! reports only normalized power, which is what the experiment harness
 //! computes.
 
-use crate::sim::{simulate, ModuleActivity};
+use crate::sim::{simulate, simulate_cached, ModuleActivity, SimCache};
 use crate::traces::TraceSet;
 use hsyn_dfg::Hierarchy;
 use hsyn_lib::Library;
-use hsyn_rtl::{connectivity, control_bit_count, RtlModule, Sink};
+use hsyn_rtl::{connectivity, control_bit_count, FpTree, RtlModule, Sink};
 
 /// Energy per iteration, split by resource class (reference voltage).
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
@@ -87,8 +87,81 @@ pub fn estimate(
         "power estimation needs at least one sample"
     );
     let (act, _) = simulate(h, module, traces);
-    let iterations = traces.len() as f64;
-    let mut breakdown = module_energy(h, module, lib, &act, traces.width);
+    let breakdown = module_energy(h, module, lib, &act, traces.width);
+    finish_estimate(
+        module,
+        lib,
+        breakdown,
+        traces.len() as f64,
+        vdd,
+        clk_ns,
+        sampling_period_cycles,
+    )
+}
+
+/// [`estimate`] with submodule replay and per-subtree energy memoization
+/// through `cache`. `fp` must be the fingerprint tree of `module`.
+///
+/// Bit-exact with [`estimate`]: the simulated activity is identical (see
+/// [`simulate_cached`]), and a memoized subtree energy is only reused when
+/// the recording it was computed from is the one that produced this run's
+/// activity, so every float matches the full recomputation.
+///
+/// # Panics
+///
+/// Panics if traces are empty or their input count mismatches the design.
+#[allow(clippy::too_many_arguments)]
+pub fn estimate_cached(
+    h: &Hierarchy,
+    module: &RtlModule,
+    lib: &Library,
+    traces: &TraceSet,
+    vdd: f64,
+    clk_ns: f64,
+    sampling_period_cycles: u32,
+    fp: &FpTree,
+    cache: &mut SimCache,
+) -> PowerReport {
+    assert!(
+        !traces.is_empty(),
+        "power estimation needs at least one sample"
+    );
+    let (act, _) = simulate_cached(h, module, traces, fp, cache);
+    let mut breakdown = module_own_energy(h, module, lib, &act, traces.width);
+    for (i, (sub, sub_act)) in module.subs().iter().zip(&act.subs).enumerate() {
+        let sub_fp = fp.subs[i].fp;
+        let sub_e = match cache.energy(i, sub_fp) {
+            Some(e) => e,
+            None => {
+                let e = module_energy(h, sub, lib, sub_act, traces.width);
+                cache.set_energy(i, sub_fp, e);
+                e
+            }
+        };
+        breakdown.add_scaled(&sub_e);
+    }
+    finish_estimate(
+        module,
+        lib,
+        breakdown,
+        traces.len() as f64,
+        vdd,
+        clk_ns,
+        sampling_period_cycles,
+    )
+}
+
+/// Shared tail of [`estimate`] / [`estimate_cached`]: normalization, clock
+/// network, voltage scaling.
+fn finish_estimate(
+    module: &RtlModule,
+    lib: &Library,
+    mut breakdown: EnergyBreakdown,
+    iterations: f64,
+    vdd: f64,
+    clk_ns: f64,
+    sampling_period_cycles: u32,
+) -> PowerReport {
     // Normalize raw totals to per-iteration averages once, at the top.
     breakdown.fu /= iterations;
     breakdown.reg /= iterations;

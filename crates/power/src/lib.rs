@@ -18,9 +18,9 @@ mod report;
 mod sim;
 pub mod traces;
 
-pub use estimate::{estimate, EnergyBreakdown, PowerReport};
+pub use estimate::{estimate, estimate_cached, EnergyBreakdown, PowerReport};
 pub use report::{per_module_energy, report_text, ModuleEnergy};
-pub use sim::{simulate, FuEvent, ModuleActivity};
+pub use sim::{simulate, simulate_cached, FuEvent, ModuleActivity, SimCache};
 pub use traces::{dsp_default, generate, stream_activity, TraceKind, TraceSet};
 
 /// Truncate `value` to a `width`-bit two's-complement value (sign-extended
@@ -408,5 +408,126 @@ mod tests {
         let p1 = estimate(&h, &m, &lib, &traces, 5.0, TABLE1_CLOCK_NS, 20);
         let p2 = estimate(&h, &m, &lib, &traces, 5.0, TABLE1_CLOCK_NS, 20);
         assert_eq!(p1, p2);
+    }
+
+    /// top = H(x, y) + H(y, x), with two instances of the same child module
+    /// — the shape the replay cache is built for.
+    fn two_child_fixture() -> (Hierarchy, hsyn_rtl::RtlModule, Library) {
+        let mut h = Hierarchy::new();
+        let mut sub = Dfg::new("sub");
+        let a = sub.add_input("a");
+        let b = sub.add_input("b");
+        let m = sub.add_op(Operation::Mult, "m", &[a, b]);
+        sub.add_output("o", m);
+        let sub_id = h.add_dfg(sub);
+        let mut top = Dfg::new("top");
+        let x = top.add_input("x");
+        let y = top.add_input("y");
+        let c1 = top.add_hier(sub_id, "H1", &[x, y]);
+        let c2 = top.add_hier(sub_id, "H2", &[y, x]);
+        let s = top.add_op(
+            Operation::Add,
+            "s",
+            &[top.hier_out(c1, 0), top.hier_out(c2, 0)],
+        );
+        top.add_output("z", s);
+        let top_id = h.add_dfg(top);
+        h.set_top(top_id);
+        h.validate().unwrap();
+
+        let lib = table1_library();
+        let ctx = BuildCtx::new(&lib, TABLE1_CLOCK_NS, 5.0, Some(12));
+        let child = build(&h, &dedicated(&h, sub_id, &lib, "H_impl"), &ctx).unwrap();
+        let spec = ModuleSpec {
+            name: "top_impl".into(),
+            dfg: top_id,
+            fu_groups: vec![FuGroup {
+                fu_type: lib.fu_by_name("add1").unwrap(),
+                ops: vec![s.node],
+            }],
+            subs: vec![
+                SubSpec {
+                    module: child.clone(),
+                    nodes: vec![c1],
+                },
+                SubSpec {
+                    module: child,
+                    nodes: vec![c2],
+                },
+            ],
+            reg_policy: RegPolicy::Dedicated,
+        };
+        let parent = build(&h, &spec, &ctx).unwrap();
+        (h, parent, lib)
+    }
+
+    #[test]
+    fn cached_simulation_is_bit_exact_with_full() {
+        let (h, parent, lib) = two_child_fixture();
+        let fp = hsyn_rtl::fingerprint_tree(&h, &parent);
+        let traces = dsp_default(2, 24, W, 5);
+        let full = estimate(&h, &parent, &lib, &traces, 5.0, TABLE1_CLOCK_NS, 20);
+        let mut cache = SimCache::new();
+        // Cold: everything simulates live, recordings are stored.
+        let cold = estimate_cached(
+            &h,
+            &parent,
+            &lib,
+            &traces,
+            5.0,
+            TABLE1_CLOCK_NS,
+            20,
+            &fp,
+            &mut cache,
+        );
+        assert_eq!(full, cold);
+        assert_eq!(cache.hits, 0);
+        assert_eq!(cache.misses, 2);
+        // Warm: both children replay; floats stay bit-identical.
+        let warm = estimate_cached(
+            &h,
+            &parent,
+            &lib,
+            &traces,
+            5.0,
+            TABLE1_CLOCK_NS,
+            20,
+            &fp,
+            &mut cache,
+        );
+        assert_eq!(full, warm);
+        assert_eq!(cache.hits, 2);
+        let (full_act, full_outs) = simulate(&h, &parent, &traces);
+        let (warm_act, warm_outs) = simulate_cached(&h, &parent, &traces, &fp, &mut cache);
+        assert_eq!(full_act, warm_act);
+        assert_eq!(full_outs, warm_outs);
+    }
+
+    #[test]
+    fn cached_simulation_survives_divergence_and_truncation() {
+        let (h, parent, lib) = two_child_fixture();
+        let fp = hsyn_rtl::fingerprint_tree(&h, &parent);
+        let t1 = dsp_default(2, 24, W, 5);
+        let t2 = dsp_default(2, 24, W, 6); // different data: replay diverges
+        let t3 = TraceSet {
+            samples: t1.samples.iter().map(|s| s[..10].to_vec()).collect(),
+            width: W,
+        }; // prefix of t1: replay ends mid-recording
+        let mut cache = SimCache::new();
+        for traces in [&t1, &t2, &t3, &t1, &t3] {
+            let full = estimate(&h, &parent, &lib, traces, 5.0, TABLE1_CLOCK_NS, 20);
+            let cached = estimate_cached(
+                &h,
+                &parent,
+                &lib,
+                traces,
+                5.0,
+                TABLE1_CLOCK_NS,
+                20,
+                &fp,
+                &mut cache,
+            );
+            assert_eq!(full, cached, "trace set of {} samples", traces.len());
+        }
     }
 }

@@ -11,10 +11,22 @@
 //! sharing a unit between uncorrelated operations visibly raises its
 //! switching activity (the effect behind the paper's observation that
 //! power optimization often avoids resource sharing).
+//!
+//! Two things make repeated simulation cheap inside the improvement loop:
+//!
+//! * **per-behavior preparation** — the topological order, storage
+//!   analysis, glitch-depth map, per-FU event order, and delay-history
+//!   shift list depend only on the behavior, not on the data, so they are
+//!   computed once per run instead of once per trace iteration;
+//! * **submodule replay** ([`SimCache`]) — a top-level submodule whose
+//!   structural fingerprint and per-call input stream match a recording
+//!   from an earlier run returns its recorded outputs and activity without
+//!   simulating. Both are exact: the activity streams are pure integers,
+//!   fully determined by the module structure and the call stream.
 
 use crate::traces::TraceSet;
 use hsyn_dfg::{Hierarchy, NodeId, NodeKind, Operation, VarRef};
-use hsyn_rtl::{storage_analysis, RtlModule};
+use hsyn_rtl::{storage_analysis, FpTree, RtlModule};
 use std::collections::HashMap;
 
 /// One execution of an operation on a functional-unit instance.
@@ -34,7 +46,7 @@ pub struct FuEvent {
 
 /// Event streams collected for one RTL module instance (and recursively for
 /// its submodule instances).
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct ModuleActivity {
     /// Per functional-unit instance: executions in schedule order across
     /// all iterations.
@@ -80,6 +92,148 @@ impl ModuleState {
     }
 }
 
+/// Iteration-invariant preparation for one behavior: everything the inner
+/// loop needs that does not depend on the data.
+struct Prep {
+    /// Topological evaluation order.
+    order: Vec<NodeId>,
+    /// Chained combinational depth per node (indexed by node id).
+    depth: Vec<u32>,
+    /// Per FU instance: `(op, node)` in event (schedule) order. The order is
+    /// total — two operations sharing a unit are serialized onto distinct
+    /// start ticks — so it equals the per-iteration sort it replaces.
+    fu_ops: Vec<Vec<(Operation, NodeId)>>,
+    /// Register writes in commit order, grouped by `(lifetime birth,
+    /// register)`: `(register index, variables sharing that key)`. Groups
+    /// are almost always singletons; a multi-variable group's write order
+    /// is value-dependent (ascending — the per-iteration
+    /// `sort_unstable` this prep hoists keyed on `(birth, reg, value)`),
+    /// so ties are resolved per iteration in [`run_behavior`].
+    reg_writes: Vec<(usize, Vec<VarRef>)>,
+    /// Variables feeding delayed edges and their maximum delay, sorted.
+    max_delay: Vec<(VarRef, u32)>,
+}
+
+impl Prep {
+    fn build(h: &Hierarchy, module: &RtlModule, bi: usize) -> Self {
+        let b = &module.behaviors()[bi];
+        let g = h.dfg(b.dfg);
+        let order = hsyn_dfg::analysis::topo_order(g).expect("bound dfg is acyclic");
+        let st = storage_analysis(g, &b.schedule);
+
+        // Chained combinational depth per node (for glitch modeling).
+        let mut depth = vec![0u32; g.node_count()];
+        for &nid in &order {
+            if !matches!(g.node(nid).kind(), NodeKind::Op(_)) {
+                continue;
+            }
+            let mut d = 0u32;
+            for (eid, e) in g.in_edges(nid) {
+                if st.chained_edges[eid.index()] {
+                    d = d.max(depth[e.from.node.index()] + 1);
+                }
+            }
+            depth[nid.index()] = d;
+        }
+
+        // Per-FU event order: ops sorted by start tick. Distinct ticks per
+        // unit (sharing serializes), so the order is independent of the
+        // hash-map iteration below.
+        let mut keyed: Vec<Vec<(u32, f64, Operation, NodeId)>> =
+            vec![Vec::new(); module.fus().len()];
+        for (&node, &fu) in &b.binding.op_to_fu {
+            if let NodeKind::Op(op) = g.node(node).kind() {
+                let t = b.schedule.time(node);
+                keyed[fu.index()].push((t.start.cycle, t.start.ns, *op, node));
+            }
+        }
+        let fu_ops = keyed
+            .into_iter()
+            .map(|mut v| {
+                // Node id as the final tiebreak keeps the order total even
+                // if a schedule ever produced same-tick ops on one unit.
+                v.sort_by(|x, y| {
+                    (x.0, x.1, x.3)
+                        .partial_cmp(&(y.0, y.1, y.3))
+                        .expect("finite")
+                });
+                v.into_iter().map(|(_, _, op, n)| (op, n)).collect()
+            })
+            .collect();
+
+        // Register writes ordered by (lifetime birth, register). The pair
+        // is *usually* unique, but the binder does allow same-birth
+        // variables in one register; those ties were historically broken by
+        // the written value (the `sort_unstable` key ended `(birth, reg,
+        // value)`), which only an iteration can decide — so group them here
+        // and sort the group's values in `run_behavior`.
+        let mut births: Vec<(u32, usize, VarRef)> = st
+            .stored_vars
+            .iter()
+            .filter_map(|v| {
+                b.binding
+                    .var_to_reg
+                    .get(v)
+                    .map(|r| (st.lifetimes[v].0, r.index(), *v))
+            })
+            .collect();
+        births.sort_unstable_by_key(|&(birth, reg, _)| (birth, reg));
+        let mut reg_writes: Vec<(usize, Vec<VarRef>)> = Vec::with_capacity(births.len());
+        let mut last_key = None;
+        for (birth, reg, v) in births {
+            if last_key == Some((birth, reg)) {
+                reg_writes.last_mut().expect("key repeats").1.push(v);
+            } else {
+                last_key = Some((birth, reg));
+                reg_writes.push((reg, vec![v]));
+            }
+        }
+
+        let mut delays: HashMap<VarRef, u32> = HashMap::new();
+        for (_, e) in g.edges() {
+            if e.delay > 0 {
+                let d = delays.entry(e.from).or_insert(0);
+                *d = (*d).max(e.delay);
+            }
+        }
+        let mut max_delay: Vec<(VarRef, u32)> = delays.into_iter().collect();
+        max_delay.sort_unstable_by_key(|&(v, _)| v);
+
+        Prep {
+            order,
+            depth,
+            fu_ops,
+            reg_writes,
+            max_delay,
+        }
+    }
+}
+
+/// Lazily-built [`Prep`]s mirroring the module tree.
+struct PrepTree {
+    behaviors: Vec<Option<Prep>>,
+    subs: Vec<PrepTree>,
+}
+
+impl PrepTree {
+    fn for_module(m: &RtlModule) -> Self {
+        PrepTree {
+            behaviors: vec![],
+            subs: m.subs().iter().map(PrepTree::for_module).collect(),
+        }
+    }
+
+    fn get(&mut self, h: &Hierarchy, module: &RtlModule, bi: usize) -> &Prep {
+        if self.behaviors.is_empty() {
+            self.behaviors = module.behaviors().iter().map(|_| None).collect();
+        }
+        if self.behaviors[bi].is_none() {
+            self.behaviors[bi] = Some(Prep::build(h, module, bi));
+        }
+        self.behaviors[bi].as_ref().expect("just built")
+    }
+}
+
 /// Simulate `module` executing its first behavior once per trace iteration,
 /// returning the collected activity and the output streams.
 ///
@@ -91,6 +245,28 @@ pub fn simulate(
     module: &RtlModule,
     traces: &TraceSet,
 ) -> (ModuleActivity, Vec<Vec<i64>>) {
+    simulate_impl(h, module, traces, None)
+}
+
+/// [`simulate`] with top-level submodule replay through `cache`. `fp` must
+/// be the fingerprint tree of `module`. Bit-exact with [`simulate`]: the
+/// returned activity and outputs are identical, integer for integer.
+pub fn simulate_cached(
+    h: &Hierarchy,
+    module: &RtlModule,
+    traces: &TraceSet,
+    fp: &FpTree,
+    cache: &mut SimCache,
+) -> (ModuleActivity, Vec<Vec<i64>>) {
+    simulate_impl(h, module, traces, Some((fp, cache)))
+}
+
+fn simulate_impl(
+    h: &Hierarchy,
+    module: &RtlModule,
+    traces: &TraceSet,
+    cached: Option<(&FpTree, &mut SimCache)>,
+) -> (ModuleActivity, Vec<Vec<i64>>) {
     let behavior = 0usize;
     let g = h.dfg(module.behaviors()[behavior].dfg);
     assert_eq!(
@@ -100,6 +276,28 @@ pub fn simulate(
     );
     let mut act = ModuleActivity::for_module(module);
     let mut state = ModuleState::for_module(module);
+    let mut prep = PrepTree::for_module(module);
+
+    // Arm one replay driver per top-level submodule instance.
+    let mut drivers: Vec<SubDriver> = Vec::new();
+    let mut cache = None;
+    if let Some((fp, c)) = cached {
+        debug_assert_eq!(fp.subs.len(), module.subs().len(), "FpTree shape mismatch");
+        if c.map.len() > SimCache::CAP {
+            c.map.clear();
+        }
+        drivers = fp
+            .subs
+            .iter()
+            .enumerate()
+            .map(|(i, sfp)| match c.map.remove(&(i, sfp.fp)) {
+                Some(rec) => SubDriver::Replaying { rec, pos: 0 },
+                None => SubDriver::Live { calls: Vec::new() },
+            })
+            .collect();
+        cache = Some((fp, c));
+    }
+
     let n_out = g.output_count();
     let mut outputs: Vec<Vec<i64>> = vec![Vec::with_capacity(traces.len()); n_out];
     let mut inputs = vec![0i64; g.input_count()];
@@ -115,15 +313,227 @@ pub fn simulate(
             traces.width,
             &mut state,
             &mut act,
+            &mut prep,
+            &mut drivers,
         );
         for (o, v) in outputs.iter_mut().zip(&out) {
             o.push(*v);
         }
     }
+
+    // Settle the drivers: install replayed activity, refresh recordings.
+    if let Some((fp, c)) = cache {
+        for (i, driver) in drivers.into_iter().enumerate() {
+            let key = (i, fp.subs[i].fp);
+            match driver {
+                SubDriver::Replaying { rec, pos } if pos == rec.calls.len() => {
+                    c.hits += 1;
+                    act.subs[i] = rec.act.clone();
+                    c.map.insert(key, rec);
+                }
+                SubDriver::Replaying { rec, pos } => {
+                    // The run ended mid-recording: fewer calls than recorded.
+                    // The recorded activity covers too much, so replay the
+                    // prefix live to rebuild the true (shorter) activity.
+                    c.misses += 1;
+                    let sub = &module.subs()[i];
+                    let mut sub_state = ModuleState::for_module(sub);
+                    let mut live_drivers = Vec::new();
+                    for call in &rec.calls[..pos] {
+                        run_behavior(
+                            h,
+                            sub,
+                            call.bi,
+                            &call.inputs,
+                            traces.width,
+                            &mut sub_state,
+                            &mut act.subs[i],
+                            &mut prep.subs[i],
+                            &mut live_drivers,
+                        );
+                    }
+                    let calls = rec.calls[..pos].to_vec();
+                    c.map.insert(
+                        key,
+                        SubRecording {
+                            calls,
+                            act: act.subs[i].clone(),
+                            energy: None,
+                        },
+                    );
+                }
+                SubDriver::Live { calls } => {
+                    c.misses += 1;
+                    c.map.insert(
+                        key,
+                        SubRecording {
+                            calls,
+                            act: act.subs[i].clone(),
+                            energy: None,
+                        },
+                    );
+                }
+            }
+        }
+    }
     (act, outputs)
 }
 
+/// One invocation of a submodule behavior, as seen from its parent.
+#[derive(Clone, Debug, PartialEq)]
+struct CallRecord {
+    /// Behavior index executed.
+    bi: usize,
+    /// Input values.
+    inputs: Vec<i64>,
+    /// Output values produced.
+    outputs: Vec<i64>,
+}
+
+/// A completed run of one top-level submodule: the call stream it served
+/// and the activity it accumulated.
+#[derive(Clone, Debug)]
+struct SubRecording {
+    calls: Vec<CallRecord>,
+    act: ModuleActivity,
+    /// Raw subtree energy computed from `act` by the estimator, memoized on
+    /// first use (see [`estimate_cached`](crate::estimate_cached)).
+    energy: Option<crate::EnergyBreakdown>,
+}
+
+/// Per-run replay state of one top-level submodule instance.
+enum SubDriver {
+    /// Serving calls from a recording; diverges to live on mismatch.
+    Replaying { rec: SubRecording, pos: usize },
+    /// Simulating live, accumulating a fresh recording.
+    Live { calls: Vec<CallRecord> },
+}
+
+/// Memoized submodule simulations, keyed by `(instance index, structural
+/// fingerprint)` of the design's top-level submodules.
+///
+/// The key includes the instance index because structurally identical
+/// siblings (think eight parallel dot-product children) see different data;
+/// each position keeps its own recording. A replay is *exact*: outputs and
+/// activity are integers fully determined by the module structure (the
+/// fingerprint) and the per-call inputs, both of which must match.
+#[derive(Debug, Default)]
+pub struct SimCache {
+    map: HashMap<(usize, u64), SubRecording>,
+    /// Submodule runs served entirely from recordings.
+    pub hits: u64,
+    /// Submodule runs simulated live (including divergent replays).
+    pub misses: u64,
+}
+
+impl SimCache {
+    /// Entry cap: the map is cleared when it grows past this (recordings
+    /// from stale candidate designs would otherwise accumulate).
+    const CAP: usize = 1024;
+
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of recordings held.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache holds no recordings.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Memoized raw subtree energy for top-level sub `index` with
+    /// fingerprint `fp`, if recorded.
+    pub(crate) fn energy(&self, index: usize, fp: u64) -> Option<crate::EnergyBreakdown> {
+        self.map.get(&(index, fp)).and_then(|r| r.energy)
+    }
+
+    /// Record the raw subtree energy for `(index, fp)`.
+    pub(crate) fn set_energy(&mut self, index: usize, fp: u64, e: crate::EnergyBreakdown) {
+        if let Some(r) = self.map.get_mut(&(index, fp)) {
+            r.energy = Some(e);
+        }
+    }
+}
+
+impl SubDriver {
+    /// Serve one call, replaying when the recording matches and falling
+    /// back to live simulation (after rebuilding state from the recorded
+    /// prefix) when it diverges.
+    #[allow(clippy::too_many_arguments)]
+    fn call(
+        &mut self,
+        h: &Hierarchy,
+        sub: &RtlModule,
+        bi: usize,
+        inputs: &[i64],
+        width: u32,
+        state: &mut ModuleState,
+        act: &mut ModuleActivity,
+        prep: &mut PrepTree,
+    ) -> Vec<i64> {
+        if let SubDriver::Replaying { rec, pos } = self {
+            let matches = rec
+                .calls
+                .get(*pos)
+                .is_some_and(|c| c.bi == bi && c.inputs == inputs);
+            if matches {
+                let out = rec.calls[*pos].outputs.clone();
+                *pos += 1;
+                return out;
+            }
+            // Divergence: rebuild live state by re-running the recorded
+            // prefix (state and activity were untouched while replaying),
+            // then continue live from here.
+            let mut live_drivers = Vec::new();
+            for call in &rec.calls[..*pos] {
+                run_behavior(
+                    h,
+                    sub,
+                    call.bi,
+                    &call.inputs,
+                    width,
+                    state,
+                    act,
+                    prep,
+                    &mut live_drivers,
+                );
+            }
+            let calls = rec.calls[..*pos].to_vec();
+            *self = SubDriver::Live { calls };
+        }
+        let SubDriver::Live { calls } = self else {
+            unreachable!("replaying arm returns or converts to live");
+        };
+        let mut live_drivers = Vec::new();
+        let out = run_behavior(
+            h,
+            sub,
+            bi,
+            inputs,
+            width,
+            state,
+            act,
+            prep,
+            &mut live_drivers,
+        );
+        calls.push(CallRecord {
+            bi,
+            inputs: inputs.to_vec(),
+            outputs: out.clone(),
+        });
+        out
+    }
+}
+
 /// Execute one iteration of `module.behaviors()[bi]` on `inputs`.
+/// `drivers` is non-empty only for the design's top module when replay is
+/// armed; submodule recursion always runs live.
+#[allow(clippy::too_many_arguments)]
 fn run_behavior(
     h: &Hierarchy,
     module: &RtlModule,
@@ -132,10 +542,16 @@ fn run_behavior(
     width: u32,
     state: &mut ModuleState,
     act: &mut ModuleActivity,
+    prep_tree: &mut PrepTree,
+    drivers: &mut [SubDriver],
 ) -> Vec<i64> {
     let b = &module.behaviors()[bi];
     let g = h.dfg(b.dfg);
-    let order = hsyn_dfg::analysis::topo_order(g).expect("bound dfg is acyclic");
+    // Split the borrow: the prep for this behavior vs. the sub-prep trees
+    // needed by recursion.
+    prep_tree.get(h, module, bi);
+    let (behaviors, sub_preps) = (&mut prep_tree.behaviors, &mut prep_tree.subs);
+    let prep = behaviors[bi].as_ref().expect("prepared above");
     // values[(node, port)] for this iteration.
     let mut values: HashMap<(NodeId, u16), i64> = HashMap::new();
 
@@ -158,7 +574,7 @@ fn run_behavior(
         }
     }
 
-    for &nid in &order {
+    for &nid in &prep.order {
         match g.node(nid).kind() {
             NodeKind::Input { index } => {
                 values.insert((nid, 0), inputs.get(*index).copied().unwrap_or(0));
@@ -186,15 +602,30 @@ fn run_behavior(
                 for p in 0..arity as u16 {
                     sub_inputs.push(resolve(&state.history[bi], &values, g, nid, p));
                 }
-                let out = run_behavior(
-                    h,
-                    sub,
-                    sub_bi,
-                    &sub_inputs,
-                    width,
-                    &mut state.subs[sub_id.index()],
-                    &mut act.subs[sub_id.index()],
-                );
+                let si = sub_id.index();
+                let out = match drivers.get_mut(si) {
+                    Some(driver) => driver.call(
+                        h,
+                        sub,
+                        sub_bi,
+                        &sub_inputs,
+                        width,
+                        &mut state.subs[si],
+                        &mut act.subs[si],
+                        &mut sub_preps[si],
+                    ),
+                    None => run_behavior(
+                        h,
+                        sub,
+                        sub_bi,
+                        &sub_inputs,
+                        width,
+                        &mut state.subs[si],
+                        &mut act.subs[si],
+                        &mut sub_preps[si],
+                        &mut Vec::new(),
+                    ),
+                };
                 for (p, v) in out.into_iter().enumerate() {
                     values.insert((nid, p as u16), v);
                 }
@@ -203,62 +634,41 @@ fn run_behavior(
         }
     }
 
-    // Chained combinational depth per node (for glitch modeling).
-    let st = storage_analysis(g, &b.schedule);
-    let mut depth: HashMap<NodeId, u32> = HashMap::new();
-    for &nid in &order {
-        if !matches!(g.node(nid).kind(), NodeKind::Op(_)) {
-            continue;
-        }
-        let mut d = 0u32;
-        for (eid, e) in g.in_edges(nid) {
-            if st.chained_edges[eid.index()] {
-                d = d.max(depth.get(&e.from.node).copied().unwrap_or(0) + 1);
-            }
-        }
-        depth.insert(nid, d);
-    }
-
     // Record FU events in schedule order per instance.
-    let mut per_fu: Vec<Vec<(u32, f64, FuEvent)>> = vec![Vec::new(); module.fus().len()];
-    for (&node, &fu) in &b.binding.op_to_fu {
-        if let NodeKind::Op(op) = g.node(node).kind() {
-            let t = b.schedule.time(node);
+    for (fu, ops) in prep.fu_ops.iter().enumerate() {
+        for &(op, node) in ops {
             let a = resolve(&state.history[bi], &values, g, node, 0);
             let bv = if op.arity() > 1 {
                 resolve(&state.history[bi], &values, g, node, 1)
             } else {
                 0
             };
-            per_fu[fu.index()].push((
-                t.start.cycle,
-                t.start.ns,
-                FuEvent {
-                    op: *op,
-                    a,
-                    b: bv,
-                    depth: depth.get(&node).copied().unwrap_or(0),
-                },
-            ));
+            act.fu_events[fu].push(FuEvent {
+                op,
+                a,
+                b: bv,
+                depth: prep.depth[node.index()],
+            });
         }
-    }
-    for (fu, mut evs) in per_fu.into_iter().enumerate() {
-        evs.sort_by(|x, y| (x.0, x.1).partial_cmp(&(y.0, y.1)).expect("finite"));
-        act.fu_events[fu].extend(evs.into_iter().map(|(_, _, e)| e));
     }
 
-    // Register writes, ordered by lifetime birth.
-    let mut writes: Vec<(u32, usize, i64)> = Vec::new();
-    for v in &st.stored_vars {
-        if let Some(reg) = b.binding.var_to_reg.get(v) {
-            let (birth, _, _) = st.lifetimes[v];
-            let value = values.get(&(v.node, v.port)).copied().unwrap_or(0);
-            writes.push((birth, reg.index(), value));
+    // Register writes, ordered by lifetime birth; same-(birth, register)
+    // groups commit in ascending value order (see `Prep::reg_writes`).
+    for (reg, vars) in &prep.reg_writes {
+        match vars.as_slice() {
+            [v] => {
+                let value = values.get(&(v.node, v.port)).copied().unwrap_or(0);
+                act.reg_writes[*reg].push(value);
+            }
+            tied => {
+                let mut vals: Vec<i64> = tied
+                    .iter()
+                    .map(|v| values.get(&(v.node, v.port)).copied().unwrap_or(0))
+                    .collect();
+                vals.sort_unstable();
+                act.reg_writes[*reg].extend(vals);
+            }
         }
-    }
-    writes.sort_unstable();
-    for (_, reg, value) in writes {
-        act.reg_writes[reg].push(value);
     }
 
     act.busy_cycles += u64::from(b.schedule.makespan());
@@ -287,14 +697,7 @@ fn run_behavior(
 
     // Update delay history *after* the iteration: shift k-levels.
     let hist = &mut state.history[bi];
-    let mut max_delay: HashMap<VarRef, u32> = HashMap::new();
-    for (_, e) in g.edges() {
-        if e.delay > 0 {
-            let d = max_delay.entry(e.from).or_insert(0);
-            *d = (*d).max(e.delay);
-        }
-    }
-    for (var, maxd) in max_delay {
+    for &(var, maxd) in &prep.max_delay {
         for k in (2..=maxd).rev() {
             if let Some(&prev) = hist.get(&(var, k - 1)) {
                 hist.insert((var, k), prev);

@@ -4,10 +4,12 @@
 //! parametric cost models in [`hsyn_lib`] (see DESIGN.md).
 
 use crate::connect::connectivity;
+use crate::fingerprint::FpTree;
 use crate::fsm::control_bit_count;
 use crate::module::RtlModule;
 use hsyn_dfg::Hierarchy;
 use hsyn_lib::Library;
+use std::collections::HashMap;
 
 /// Area of one module, split by resource class.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
@@ -35,6 +37,17 @@ impl AreaBreakdown {
 
 /// Compute the area of `module`, including all submodules.
 pub fn module_area(h: &Hierarchy, module: &RtlModule, lib: &Library) -> AreaBreakdown {
+    let subs: f64 = module
+        .subs()
+        .iter()
+        .map(|s| module_area(h, s, lib).total())
+        .sum();
+    own_area(h, module, lib, subs)
+}
+
+/// The non-recursive part of [`module_area`]: everything except the subs
+/// total, which the caller supplies (either recursively or from a cache).
+fn own_area(h: &Hierarchy, module: &RtlModule, lib: &Library, subs: f64) -> AreaBreakdown {
     let conn = connectivity(h, module);
     let fu: f64 = module.fus().iter().map(|f| lib.fu(f.fu_type).area()).sum();
     let reg = module.regs().len() as f64 * lib.register.area;
@@ -51,11 +64,6 @@ pub fn module_area(h: &Hierarchy, module: &RtlModule, lib: &Library) -> AreaBrea
     let controller = lib
         .controller
         .area(states, control_bit_count(h, module, &conn));
-    let subs: f64 = module
-        .subs()
-        .iter()
-        .map(|s| module_area(h, s, lib).total())
-        .sum();
     AreaBreakdown {
         fu,
         reg,
@@ -64,4 +72,68 @@ pub fn module_area(h: &Hierarchy, module: &RtlModule, lib: &Library) -> AreaBrea
         controller,
         subs,
     }
+}
+
+/// Memoized per-module area results, keyed by structural fingerprint.
+///
+/// Because a fingerprint covers everything [`module_area`] reads (FU types,
+/// register count, behaviors with their DFG content / schedule / binding,
+/// and submodules), two modules with equal fingerprints have bit-identical
+/// breakdowns, so reusing a cached entry is exact — same floats, same
+/// summation order.
+#[derive(Clone, Debug, Default)]
+pub struct AreaCache {
+    map: HashMap<u64, AreaBreakdown>,
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that fell through to a fresh computation.
+    pub misses: u64,
+}
+
+impl AreaCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct fingerprints cached.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+/// [`module_area`] through a fingerprint-keyed cache. `fp` must be the
+/// [`FpTree`](crate::FpTree) of `module` (see
+/// [`fingerprint_tree`](crate::fingerprint_tree)); subtrees whose
+/// fingerprints are cached are not revisited.
+///
+/// Bit-exact with [`module_area`]: a cache hit returns the breakdown the
+/// full recursion would have recomputed, float for float.
+pub fn module_area_cached(
+    h: &Hierarchy,
+    module: &RtlModule,
+    lib: &Library,
+    fp: &FpTree,
+    cache: &mut AreaCache,
+) -> AreaBreakdown {
+    debug_assert_eq!(fp.subs.len(), module.subs().len(), "FpTree shape mismatch");
+    if let Some(&hit) = cache.map.get(&fp.fp) {
+        cache.hits += 1;
+        return hit;
+    }
+    cache.misses += 1;
+    let subs: f64 = module
+        .subs()
+        .iter()
+        .zip(&fp.subs)
+        .map(|(s, sfp)| module_area_cached(h, s, lib, sfp, cache).total())
+        .sum();
+    let area = own_area(h, module, lib, subs);
+    cache.map.insert(fp.fp, area);
+    area
 }

@@ -1,0 +1,453 @@
+//! Structural fingerprints of built RTL modules.
+//!
+//! A fingerprint is a deterministic 64-bit hash of everything the cost
+//! models read from a module: functional-unit types, register count,
+//! behaviors (DFG *content*, schedule, binding, serialization edges,
+//! profile), and submodules, recursively. Two modules with equal
+//! fingerprints yield bit-identical [`module_area`](crate::module_area)
+//! breakdowns and — given identical input traces — bit-identical activity
+//! under the power simulator, which is what makes per-module cost caching
+//! exact rather than approximate (see DESIGN.md, "Fingerprint stability").
+//!
+//! Names are deliberately **excluded**: resynthesis renames modules (the
+//! `_resyn` suffix) without changing their cost, and no cost model reads a
+//! name. DFGs are hashed by content, not by [`DfgId`], so a behavior
+//! retargeted to an equivalent DFG with identical structure fingerprints
+//! the same. Hash-map components of a [`Binding`](crate::Binding) are
+//! folded in sorted key order, and every `f64` is hashed via
+//! [`f64::to_bits`], so fingerprints are stable across processes, threads,
+//! and platforms.
+
+use crate::module::{Behavior, RtlModule};
+use hsyn_dfg::{Dfg, DfgId, Hierarchy, NodeKind};
+use std::collections::HashMap;
+
+/// A streaming 64-bit hasher with fixed (seed-free) initial state.
+///
+/// `std::collections::HashMap`'s default hasher is randomly seeded per
+/// process, so fingerprints must not go through it. This is an FNV-1a
+/// accumulator with a SplitMix64 finalizer — not cryptographic, just
+/// deterministic and well-mixed.
+#[derive(Clone, Debug)]
+struct Fp(u64);
+
+impl Fp {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    fn new() -> Self {
+        Fp(Self::OFFSET)
+    }
+
+    fn u64(&mut self, v: u64) {
+        let mut h = self.0;
+        for byte in v.to_le_bytes() {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(Self::PRIME);
+        }
+        self.0 = h;
+    }
+
+    fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    fn u32(&mut self, v: u32) {
+        self.u64(u64::from(v));
+    }
+
+    fn i64(&mut self, v: i64) {
+        self.u64(v as u64);
+    }
+
+    fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    fn finish(&self) -> u64 {
+        // SplitMix64 finalizer: spreads the FNV state over all 64 bits.
+        let mut z = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// Per-section tags keep differently-shaped content from colliding when a
+/// section is empty (e.g. a module with no FUs but one reg vs. one FU and
+/// no regs).
+mod tag {
+    pub const FUS: u64 = 0xA1;
+    pub const REGS: u64 = 0xA2;
+    pub const BEHAVIOR: u64 = 0xA3;
+    pub const SUBS: u64 = 0xA4;
+    pub const DFG: u64 = 0xB1;
+    pub const SCHEDULE: u64 = 0xB2;
+    pub const BINDING: u64 = 0xB3;
+    pub const SERIAL: u64 = 0xB4;
+    pub const PROFILE: u64 = 0xB5;
+    pub const NODE_INPUT: u64 = 0xC1;
+    pub const NODE_OUTPUT: u64 = 0xC2;
+    pub const NODE_CONST: u64 = 0xC3;
+    pub const NODE_OP: u64 = 0xC4;
+    pub const NODE_HIER: u64 = 0xC5;
+}
+
+/// The fingerprint of a module together with its submodules' fingerprints,
+/// mirroring the [`RtlModule::subs`] tree. Incremental evaluation reuses
+/// unchanged sibling subtrees without re-hashing them.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FpTree {
+    /// Fingerprint of the module rooted here (covers the whole subtree).
+    pub fp: u64,
+    /// Fingerprints of the submodules, in [`RtlModule::subs`] order.
+    pub subs: Vec<FpTree>,
+}
+
+/// Fingerprint the whole module tree rooted at `module`.
+pub fn fingerprint_tree(h: &Hierarchy, module: &RtlModule) -> FpTree {
+    let mut memo = HashMap::new();
+    fp_module(h, module, &mut memo)
+}
+
+/// Fingerprint of `module` alone (the root of [`fingerprint_tree`]).
+pub fn module_fingerprint(h: &Hierarchy, module: &RtlModule) -> u64 {
+    fingerprint_tree(h, module).fp
+}
+
+/// Content hash of one DFG, independent of its [`DfgId`] and of all node /
+/// graph names. Hierarchical nodes recurse into the callee's content.
+pub fn dfg_fingerprint(h: &Hierarchy, id: DfgId) -> u64 {
+    let mut memo = HashMap::new();
+    fp_dfg(h, id, &mut memo)
+}
+
+/// Recompute the fingerprint tree of `module` after an edit confined to the
+/// submodule subtree addressed by `dirty` (child indices from the root;
+/// empty ⇒ the root itself changed, i.e. a full recomputation). Subtrees off
+/// the dirty path are reused from `old` without re-hashing — valid because
+/// module building is deterministic, so an untouched spec rebuilds to a
+/// structurally identical module with the same fingerprint.
+///
+/// Falls back to a full recomputation whenever `old`'s shape no longer
+/// matches `module` (e.g. the edit added or removed submodules above the
+/// point the caller thought it did), so the result is always exactly
+/// [`fingerprint_tree`]`(h, module)`.
+pub fn refresh_fingerprint_tree(
+    h: &Hierarchy,
+    module: &RtlModule,
+    old: &FpTree,
+    dirty: &[usize],
+) -> FpTree {
+    let mut memo = HashMap::new();
+    refresh(h, module, old, dirty, &mut memo)
+}
+
+fn refresh(
+    h: &Hierarchy,
+    module: &RtlModule,
+    old: &FpTree,
+    dirty: &[usize],
+    memo: &mut HashMap<DfgId, u64>,
+) -> FpTree {
+    let Some((&next, rest)) = dirty.split_first() else {
+        return fp_module(h, module, memo);
+    };
+    if old.subs.len() != module.subs().len() || next >= module.subs().len() {
+        return fp_module(h, module, memo);
+    }
+    let subs: Vec<FpTree> = module
+        .subs()
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            if i == next {
+                refresh(h, s, &old.subs[i], rest, memo)
+            } else {
+                old.subs[i].clone()
+            }
+        })
+        .collect();
+    fp_module_with(h, module, subs, memo)
+}
+
+fn fp_module(h: &Hierarchy, module: &RtlModule, memo: &mut HashMap<DfgId, u64>) -> FpTree {
+    let subs: Vec<FpTree> = module
+        .subs()
+        .iter()
+        .map(|s| fp_module(h, s, memo))
+        .collect();
+    fp_module_with(h, module, subs, memo)
+}
+
+/// The non-recursive tail of [`fp_module`]: hash the module's own content
+/// and fold in already-computed submodule fingerprints.
+fn fp_module_with(
+    h: &Hierarchy,
+    module: &RtlModule,
+    subs: Vec<FpTree>,
+    memo: &mut HashMap<DfgId, u64>,
+) -> FpTree {
+    let mut f = Fp::new();
+    f.u64(tag::FUS);
+    f.usize(module.fus().len());
+    for fu in module.fus() {
+        f.usize(fu.fu_type.index());
+    }
+    f.u64(tag::REGS);
+    f.usize(module.regs().len());
+    for b in module.behaviors() {
+        f.u64(tag::BEHAVIOR);
+        fp_behavior(&mut f, h, b, memo);
+    }
+    f.u64(tag::SUBS);
+    f.usize(subs.len());
+    for s in &subs {
+        f.u64(s.fp);
+    }
+    FpTree {
+        fp: f.finish(),
+        subs,
+    }
+}
+
+fn fp_behavior(f: &mut Fp, h: &Hierarchy, b: &Behavior, memo: &mut HashMap<DfgId, u64>) {
+    f.u64(tag::DFG);
+    f.u64(fp_dfg(h, b.dfg, memo));
+
+    f.u64(tag::SCHEDULE);
+    let sched = &b.schedule;
+    f.u32(sched.makespan());
+    for t in sched.times() {
+        f.u32(t.start.cycle);
+        f.f64(t.start.ns);
+        f.u32(t.result.cycle);
+        f.f64(t.result.ns);
+        f.u32(t.occupied.0);
+        f.u32(t.occupied.1);
+    }
+    for pt in sched.port_times() {
+        match pt {
+            None => f.u64(0),
+            Some(v) => {
+                f.usize(1 + v.len());
+                for &c in v {
+                    f.u32(c);
+                }
+            }
+        }
+    }
+
+    f.u64(tag::BINDING);
+    let mut ops: Vec<_> = b.binding.op_to_fu.iter().collect();
+    ops.sort_unstable_by_key(|(n, _)| **n);
+    f.usize(ops.len());
+    for (n, fu) in ops {
+        f.usize(n.index());
+        f.usize(fu.index());
+    }
+    let mut vars: Vec<_> = b.binding.var_to_reg.iter().collect();
+    vars.sort_unstable_by_key(|(v, _)| **v);
+    f.usize(vars.len());
+    for (v, r) in vars {
+        f.usize(v.node.index());
+        f.u32(u32::from(v.port));
+        f.usize(r.index());
+    }
+    let mut hiers: Vec<_> = b.binding.hier_to_sub.iter().collect();
+    hiers.sort_unstable_by_key(|(n, _)| **n);
+    f.usize(hiers.len());
+    for (n, s) in hiers {
+        f.usize(n.index());
+        f.usize(s.index());
+    }
+
+    f.u64(tag::SERIAL);
+    f.usize(b.serial.len());
+    for &(a, z) in &b.serial {
+        f.usize(a.index());
+        f.usize(z.index());
+    }
+
+    f.u64(tag::PROFILE);
+    f.usize(b.profile.inputs.len());
+    for &c in &b.profile.inputs {
+        f.u32(c);
+    }
+    f.usize(b.profile.outputs.len());
+    for &c in &b.profile.outputs {
+        f.u32(c);
+    }
+}
+
+fn fp_dfg(h: &Hierarchy, id: DfgId, memo: &mut HashMap<DfgId, u64>) -> u64 {
+    if let Some(&fp) = memo.get(&id) {
+        return fp;
+    }
+    let g: &Dfg = h.dfg(id);
+    let mut f = Fp::new();
+    f.usize(g.node_count());
+    for (_, n) in g.nodes() {
+        match n.kind() {
+            NodeKind::Input { index } => {
+                f.u64(tag::NODE_INPUT);
+                f.usize(*index);
+            }
+            NodeKind::Output { index } => {
+                f.u64(tag::NODE_OUTPUT);
+                f.usize(*index);
+            }
+            NodeKind::Const { value } => {
+                f.u64(tag::NODE_CONST);
+                f.i64(*value);
+            }
+            NodeKind::Op(op) => {
+                f.u64(tag::NODE_OP);
+                f.u64(*op as u64);
+            }
+            NodeKind::Hier { callee } => {
+                f.u64(tag::NODE_HIER);
+                // Hierarchies are acyclic (validated), so this terminates.
+                f.u64(fp_dfg(h, *callee, memo));
+            }
+        }
+    }
+    f.usize(g.edge_count());
+    for (_, e) in g.edges() {
+        f.usize(e.from.node.index());
+        f.u32(u32::from(e.from.port));
+        f.usize(e.to.index());
+        f.u32(u32::from(e.to_port));
+        f.u32(e.delay);
+    }
+    f.usize(g.inputs().len());
+    for &n in g.inputs() {
+        f.usize(n.index());
+    }
+    f.usize(g.outputs().len());
+    for &n in g.outputs() {
+        f.usize(n.index());
+    }
+    let fp = f.finish();
+    memo.insert(id, fp);
+    fp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hsyn_dfg::Operation;
+    use hsyn_lib::papers::{table1_library, TABLE1_CLOCK_NS};
+
+    fn sop(h: &mut Hierarchy, name: &str) -> DfgId {
+        let mut g = Dfg::new(name);
+        let a = g.add_input("a");
+        let b = g.add_input("b");
+        let c = g.add_input("c");
+        let d = g.add_input("d");
+        let m1 = g.add_op(Operation::Mult, "m1", &[a, b]);
+        let m2 = g.add_op(Operation::Mult, "m2", &[c, d]);
+        let s = g.add_op(Operation::Add, "s", &[m1, m2]);
+        g.add_output("y", s);
+        h.add_dfg(g)
+    }
+
+    fn built(h: &Hierarchy, dfg: DfgId, name: &str) -> RtlModule {
+        let lib = table1_library();
+        let ctx = crate::BuildCtx::new(&lib, TABLE1_CLOCK_NS, 5.0, Some(12));
+        let spec = crate::ModuleSpec::dedicated(
+            h,
+            dfg,
+            name,
+            |_, op| lib.fastest_for(op).unwrap(),
+            |_, _| unreachable!(),
+        );
+        crate::build(h, &spec, &ctx).unwrap()
+    }
+
+    #[test]
+    fn fingerprint_ignores_names_but_not_structure() {
+        let mut h = Hierarchy::new();
+        let d1 = sop(&mut h, "first");
+        let d2 = sop(&mut h, "second");
+        h.set_top(d1);
+        let m1 = built(&h, d1, "impl_a");
+        let m2 = built(&h, d2, "impl_b");
+        // Same structure, different names and DfgIds: equal fingerprints.
+        assert_eq!(module_fingerprint(&h, &m1), module_fingerprint(&h, &m2));
+        assert_eq!(dfg_fingerprint(&h, d1), dfg_fingerprint(&h, d2));
+
+        // A structurally different DFG fingerprints differently.
+        let mut g = Dfg::new("third");
+        let a = g.add_input("a");
+        let b = g.add_input("b");
+        let s = g.add_op(Operation::Sub, "s", &[a, b]);
+        g.add_output("y", s);
+        let d3 = h.add_dfg(g);
+        assert_ne!(dfg_fingerprint(&h, d1), dfg_fingerprint(&h, d3));
+        let m3 = built(&h, d3, "impl_c");
+        assert_ne!(module_fingerprint(&h, &m1), module_fingerprint(&h, &m3));
+    }
+
+    #[test]
+    fn fingerprint_is_stable_across_calls() {
+        let mut h = Hierarchy::new();
+        let d = sop(&mut h, "g");
+        h.set_top(d);
+        let m = built(&h, d, "m");
+        let t1 = fingerprint_tree(&h, &m);
+        let t2 = fingerprint_tree(&h, &m);
+        assert_eq!(t1, t2);
+        assert_eq!(t1.fp, module_fingerprint(&h, &m));
+        assert!(t1.subs.is_empty());
+    }
+
+    #[test]
+    fn refresh_matches_full_recomputation() {
+        let mut h = Hierarchy::new();
+        let d = sop(&mut h, "g");
+        h.set_top(d);
+        let m = built(&h, d, "m");
+        let old = fingerprint_tree(&h, &m);
+
+        // Root-dirty refresh is a full recomputation.
+        assert_eq!(refresh_fingerprint_tree(&h, &m, &old, &[]), old);
+        // A stale path (no such child) falls back to full recomputation
+        // instead of producing a wrong tree.
+        assert_eq!(refresh_fingerprint_tree(&h, &m, &old, &[3]), old);
+
+        // With submodules: dirty path into one child reuses the sibling.
+        let sub_a = built(&h, d, "sub_a");
+        let sub_b = built(&h, d, "sub_b");
+        let parent = RtlModule::new(
+            "parent",
+            m.fus().to_vec(),
+            m.regs().to_vec(),
+            vec![sub_a, sub_b],
+            m.behaviors().to_vec(),
+        );
+        let full = fingerprint_tree(&h, &parent);
+        assert_eq!(refresh_fingerprint_tree(&h, &parent, &full, &[0]), full);
+        assert_eq!(refresh_fingerprint_tree(&h, &parent, &full, &[1]), full);
+    }
+
+    #[test]
+    fn fingerprint_sees_register_and_fu_changes() {
+        let mut h = Hierarchy::new();
+        let d = sop(&mut h, "g");
+        h.set_top(d);
+        let m = built(&h, d, "m");
+        let base = module_fingerprint(&h, &m);
+        let mut fewer_regs = m.clone();
+        let mut regs = fewer_regs.regs().to_vec();
+        regs.pop();
+        fewer_regs = RtlModule::new(
+            "m",
+            fewer_regs.fus().to_vec(),
+            regs,
+            vec![],
+            fewer_regs.behaviors().to_vec(),
+        );
+        assert_ne!(base, module_fingerprint(&h, &fewer_regs));
+    }
+}

@@ -22,6 +22,7 @@ mod assignment;
 mod connect;
 mod cost;
 mod embed;
+mod fingerprint;
 mod fsm;
 mod instance;
 mod library;
@@ -33,8 +34,11 @@ mod verilog;
 
 pub use assignment::{assignment_gain, max_weight_assignment};
 pub use connect::{connectivity, Connectivity, Sink, Source};
-pub use cost::{module_area, AreaBreakdown};
+pub use cost::{module_area, module_area_cached, AreaBreakdown, AreaCache};
 pub use embed::{embed, EmbedError, EmbedMaps, EmbedResult};
+pub use fingerprint::{
+    dfg_fingerprint, fingerprint_tree, module_fingerprint, refresh_fingerprint_tree, FpTree,
+};
 pub use fsm::{control_bit_count, generate_fsm, ControlWord, Fsm, FsmProgram};
 pub use instance::{FuInstId, FuInstance, RegId, RegInstance, SubId};
 pub use library::{ComplexModule, ModuleLibrary};

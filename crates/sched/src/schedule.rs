@@ -135,6 +135,13 @@ impl Schedule {
     pub fn times(&self) -> impl ExactSizeIterator<Item = &NodeTime> + '_ {
         self.times.iter()
     }
+
+    /// Per-node output-port production cycles, in node-id order: `Some` for
+    /// profiled (hierarchical) nodes, `None` for ordinary ones. Exposed so
+    /// structural fingerprints can cover the full schedule.
+    pub fn port_times(&self) -> &[Option<Vec<u32>>] {
+        &self.port_times
+    }
 }
 
 /// Why scheduling failed.

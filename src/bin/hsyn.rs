@@ -12,6 +12,10 @@
 //!   --flat                   flattened synthesis (the baseline)
 //!   --paranoid               verify cross-layer invariants after every
 //!                            accepted move (observation-only when legal)
+//!   --no-incremental         recompute every cost from scratch instead of
+//!                            using the per-module evaluation cache
+//!   --shadow-eval            run the full evaluation alongside every cached
+//!                            one and panic on the first bit-level divergence
 //!   --netlist                print the structural netlist
 //!   --fsm                    print the FSM controller
 //!   --verilog <file>         write structural Verilog
@@ -51,8 +55,8 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: hsyn <behavior.dfg> [--objective area|power] [--laxity F] [--period NS]\n\
          \x20           [--library table1|realistic] [--flat] [--paranoid] [--netlist]\n\
-         \x20           [--fsm] [--verilog FILE] [--dot FILE] [--power-report] [--seed N]\n\
-         \x20           [--parallel N]\n\
+         \x20           [--no-incremental] [--shadow-eval] [--fsm] [--verilog FILE]\n\
+         \x20           [--dot FILE] [--power-report] [--seed N] [--parallel N]\n\
          \x20      hsyn lint [<behavior.dfg> | --benchmark NAME | --all-benchmarks]\n\
          \x20           [--synthesize] [--objective area|power|both] [--laxity F]\n\
          \x20           [--library table1|realistic] [--allow CODE] [--json]"
@@ -300,6 +304,8 @@ fn synth_main(args: Vec<String>) -> ExitCode {
     let mut seed: Option<u64> = None;
     let mut parallel: Option<usize> = None;
     let mut paranoid = false;
+    let mut incremental = true;
+    let mut shadow_eval = false;
 
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -338,6 +344,8 @@ fn synth_main(args: Vec<String>) -> ExitCode {
             },
             "--flat" => flat = true,
             "--paranoid" => paranoid = true,
+            "--no-incremental" => incremental = false,
+            "--shadow-eval" => shadow_eval = true,
             "--netlist" => show_netlist = true,
             "--fsm" => show_fsm = true,
             "--verilog" => match take("--verilog") {
@@ -408,6 +416,8 @@ fn synth_main(args: Vec<String>) -> ExitCode {
         config.parallelism = parallel;
     }
     config.paranoid = paranoid;
+    config.incremental = incremental;
+    config.shadow_eval = shadow_eval;
 
     let report = match synthesize(&parsed.hierarchy, &mlib, &config) {
         Ok(r) => r,
@@ -469,6 +479,18 @@ fn synth_main(args: Vec<String>) -> ExitCode {
             report.per_config.iter().map(|c| c.verify_s).sum::<f64>(),
             report.per_config.len()
         );
+    }
+    if incremental || shadow_eval {
+        let incr_s: f64 = report.per_config.iter().map(|c| c.eval_incr_s).sum();
+        let full_s: f64 = report.per_config.iter().map(|c| c.eval_full_s).sum();
+        let mut line = format!(
+            "eval cache          : {} hits, {} misses, {incr_s:.3}s evaluating",
+            report.stats.eval_cache_hits, report.stats.eval_cache_misses
+        );
+        if shadow_eval {
+            line.push_str(&format!(" ({full_s:.3}s shadowed full, identical)"));
+        }
+        println!("{line}");
     }
     if let Some(scaled) = &report.vdd_scaled {
         println!(

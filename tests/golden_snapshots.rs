@@ -1,0 +1,99 @@
+//! Golden snapshot tests: the headline numbers of every paper-suite
+//! benchmark at both objectives — final area, power, supply voltage and
+//! clock period — are pinned in `tests/golden/*.json`, with every float
+//! carried both human-readable and as its exact bit pattern. A perf PR
+//! (incremental evaluation, parallelism, …) must not shift any of them; a
+//! deliberate modeling change regenerates the files with
+//! `UPDATE_GOLDEN=1 cargo test --test golden_snapshots`.
+
+use hsyn::core::{synthesize, Objective, SynthesisConfig, SynthesisReport};
+use hsyn::dfg::benchmarks;
+use hsyn::lib::papers::table1_library;
+use hsyn::rtl::ModuleLibrary;
+use hsyn_util::Json;
+use std::path::PathBuf;
+
+fn golden_config(objective: Objective) -> SynthesisConfig {
+    let mut c = SynthesisConfig::new(objective);
+    c.laxity_factor = 2.2;
+    c.max_passes = 2;
+    c.candidate_limit = 2;
+    c.eval_trace_len = 8;
+    c.report_trace_len = 16;
+    c.max_clock_candidates = 2;
+    c.resynth_depth = 1;
+    c
+}
+
+/// The pinned surface: each float twice, readable and bit-exact. The
+/// comparison is byte-level on the rendered JSON, so the `_bits` fields
+/// make even sub-ulp drift fail loudly while the plain fields keep the
+/// diff reviewable.
+fn snapshot(report: &SynthesisReport) -> String {
+    fn float(obj: &mut Vec<(String, Json)>, name: &str, v: f64) {
+        obj.push((name.to_owned(), Json::Num(v)));
+        obj.push((
+            format!("{name}_bits"),
+            Json::Str(format!("{:016x}", v.to_bits())),
+        ));
+    }
+    let mut obj = Vec::new();
+    float(&mut obj, "area", report.evaluation.area.total());
+    float(&mut obj, "power", report.evaluation.power.power);
+    float(&mut obj, "vdd", report.design.op.vdd);
+    float(&mut obj, "clk_ns", report.design.op.clk_ref_ns);
+    let mut text = Json::Obj(obj).to_string_pretty();
+    text.push('\n');
+    text
+}
+
+fn golden_path(name: &str, objective: Objective) -> PathBuf {
+    let obj = match objective {
+        Objective::Area => "area",
+        Objective::Power => "power",
+    };
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{name}_{obj}.json"))
+}
+
+#[test]
+fn paper_suite_matches_golden_snapshots() {
+    let update = std::env::var("UPDATE_GOLDEN").is_ok_and(|v| v == "1");
+    let mut drift = Vec::new();
+    for bench in benchmarks::paper_suite() {
+        for objective in [Objective::Area, Objective::Power] {
+            let mut mlib = ModuleLibrary::from_simple(table1_library());
+            mlib.equiv = bench.equiv.clone();
+            let report = synthesize(&bench.hierarchy, &mlib, &golden_config(objective))
+                .unwrap_or_else(|e| panic!("{} {objective:?}: {e}", bench.name));
+            let got = snapshot(&report);
+            let path = golden_path(bench.name, objective);
+            if update {
+                std::fs::create_dir_all(path.parent().expect("golden dir")).unwrap();
+                std::fs::write(&path, &got).unwrap();
+                continue;
+            }
+            let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+                panic!(
+                    "{}: missing golden file (run UPDATE_GOLDEN=1 to create): {e}",
+                    path.display()
+                )
+            });
+            if got != want {
+                drift.push(format!(
+                    "{} {objective:?}:\n  expected {}  actual   {}",
+                    bench.name,
+                    want.replace('\n', "\n  "),
+                    got.replace('\n', "\n  ")
+                ));
+            }
+        }
+    }
+    assert!(
+        drift.is_empty(),
+        "golden snapshots drifted (UPDATE_GOLDEN=1 regenerates them if the \
+         change is deliberate):\n{}",
+        drift.join("\n")
+    );
+}

@@ -1,0 +1,101 @@
+//! Differential harness for the incremental-evaluation cache: synthesis
+//! with the cache on and off must be the **same search with the same
+//! result**, compared byte-for-byte through the canonical
+//! [`SynthesisReport::result_json`] rendering (every float as its exact bit
+//! pattern, structural fingerprints standing in for the designs).
+//!
+//! The quick tier runs every built-in benchmark × {Area, Power} on one
+//! seed; release builds (and `HSYN_EQUIV_SEEDS=n`) widen to three seeds per
+//! cell, which is the matrix the CI release job enforces.
+
+use hsyn::core::{synthesize, Objective, SynthesisConfig};
+use hsyn::dfg::benchmarks;
+use hsyn::lib::papers::table1_library;
+use hsyn::rtl::ModuleLibrary;
+use hsyn_util::Json;
+
+fn tiny(objective: Objective, seed: u64) -> SynthesisConfig {
+    let mut c = SynthesisConfig::new(objective);
+    c.laxity_factor = 2.2;
+    c.max_passes = 2;
+    c.candidate_limit = 2;
+    c.eval_trace_len = 8;
+    c.report_trace_len = 16;
+    c.max_clock_candidates = 2;
+    c.resynth_depth = 1;
+    c.seed = seed;
+    c
+}
+
+#[test]
+fn cached_and_uncached_synthesis_are_byte_identical() {
+    let seeds: &[u64] = &[0xDAC_1998, 1, 42];
+    let seed_count: usize = std::env::var("HSYN_EQUIV_SEEDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if cfg!(debug_assertions) { 1 } else { 3 })
+        .min(seeds.len());
+    for bench in benchmarks::all() {
+        for objective in [Objective::Area, Objective::Power] {
+            for &seed in &seeds[..seed_count] {
+                let mut mlib = ModuleLibrary::from_simple(table1_library());
+                mlib.equiv = bench.equiv.clone();
+
+                let mut on = tiny(objective, seed);
+                on.incremental = true;
+                let mut off = on.clone();
+                off.incremental = false;
+
+                let r_on = synthesize(&bench.hierarchy, &mlib, &on)
+                    .unwrap_or_else(|e| panic!("{} cached: {e}", bench.name));
+                let r_off = synthesize(&bench.hierarchy, &mlib, &off)
+                    .unwrap_or_else(|e| panic!("{} uncached: {e}", bench.name));
+
+                let j_on = r_on.result_json();
+                let j_off = r_off.result_json();
+                // The rendering must be well-formed JSON (the codec is the
+                // comparison surface, so it has to parse on both sides).
+                Json::parse(&j_on).expect("cached result_json parses");
+                Json::parse(&j_off).expect("uncached result_json parses");
+                assert_eq!(
+                    j_on, j_off,
+                    "{} {objective:?} seed {seed:#x}: cached and uncached \
+                     synthesis diverged",
+                    bench.name
+                );
+                // The cached run actually went through the cache.
+                assert!(
+                    r_on.stats.eval_cache_misses > 0,
+                    "{}: cached run recorded no cache traffic",
+                    bench.name
+                );
+                assert_eq!(
+                    (r_off.stats.eval_cache_hits, r_off.stats.eval_cache_misses),
+                    (0, 0),
+                    "{}: uncached run must not touch the cache",
+                    bench.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn shadow_mode_is_observation_only() {
+    // Shadow evaluation runs both paths and panics on divergence; on a
+    // legal run it must not change the search either.
+    let bench = benchmarks::test1();
+    let mut mlib = ModuleLibrary::from_simple(table1_library());
+    mlib.equiv = bench.equiv.clone();
+    let plain = tiny(Objective::Power, 7);
+    let mut shadow = plain.clone();
+    shadow.shadow_eval = true;
+    let r_plain = synthesize(&bench.hierarchy, &mlib, &plain).unwrap();
+    let r_shadow = synthesize(&bench.hierarchy, &mlib, &shadow).unwrap();
+    assert_eq!(r_plain.result_json(), r_shadow.result_json());
+    // Shadow mode accounts both halves of the double evaluation.
+    assert!(r_shadow
+        .per_config
+        .iter()
+        .all(|c| c.eval_full_s > 0.0 && c.eval_incr_s > 0.0));
+}
