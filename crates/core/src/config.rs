@@ -91,6 +91,17 @@ pub struct SynthesisConfig {
     /// debugging/CI mode — slower than either pure mode — that turns the
     /// cache-exactness contract into a runtime assertion.
     pub shadow_eval: bool,
+    /// Transactional move application (on by default): candidates are
+    /// speculated **in place** on the one live design and undone by
+    /// replaying an undo journal (see [`UndoLog`](crate::UndoLog)), instead
+    /// of cloning the whole design per candidate. **Bit-exact** with the
+    /// clone-per-candidate path — the report is byte-identical with the
+    /// flag off; only wall-clock and memory change. Rollback traffic is
+    /// surfaced in
+    /// [`MoveStats::moves_rolled_back`](crate::MoveStats::moves_rolled_back)
+    /// and
+    /// [`MoveStats::undo_bytes_peak`](crate::MoveStats::undo_bytes_peak).
+    pub transactional: bool,
 }
 
 impl SynthesisConfig {
@@ -115,6 +126,7 @@ impl SynthesisConfig {
             paranoid: false,
             incremental: true,
             shadow_eval: false,
+            transactional: true,
         }
     }
 

@@ -71,6 +71,20 @@ pub struct SpecCore {
     pub deadline: Option<u32>,
 }
 
+impl SpecCore {
+    /// The build context this spec schedules under: the completion deadline
+    /// plus the input-arrival / output-deadline window. The single source
+    /// of truth for the window cloning that module relinking and move-*B*
+    /// constraint derivation both perform — previously duplicated in both
+    /// places, a latent drift bug if one side changed.
+    pub fn build_ctx<'a>(&self, lib: &'a Library, op: &OperatingPoint) -> BuildCtx<'a> {
+        let mut ctx = BuildCtx::new(lib, op.clk_ref_ns, lib.technology.vref(), self.deadline);
+        ctx.input_arrivals = self.input_arrivals.clone();
+        ctx.output_deadlines = self.output_deadlines.clone();
+        ctx
+    }
+}
+
 /// How a submodule instance is implemented.
 #[derive(Clone, Debug)]
 pub enum ChildKind {
@@ -177,6 +191,18 @@ impl ModuleState {
         lib: &Library,
         op: &OperatingPoint,
     ) -> Result<(), BuildError> {
+        self.relink_swap(h, lib, op).map(drop)
+    }
+
+    /// [`relink`](Self::relink), returning the *previous* build — the undo
+    /// record for transactional move application. `built` is replaced only
+    /// on success: a failed build leaves the module exactly as it was.
+    fn relink_swap(
+        &mut self,
+        h: &Hierarchy,
+        lib: &Library,
+        op: &OperatingPoint,
+    ) -> Result<RtlModule, BuildError> {
         let spec = ModuleSpec {
             name: self.core.name.clone(),
             dfg: self.core.dfg,
@@ -191,15 +217,46 @@ impl ModuleState {
                 .collect(),
             reg_policy: self.core.reg_policy.clone(),
         };
-        let mut ctx = BuildCtx::new(
-            lib,
-            op.clk_ref_ns,
-            lib.technology.vref(),
-            self.core.deadline,
-        );
-        ctx.input_arrivals = self.core.input_arrivals.clone();
-        ctx.output_deadlines = self.core.output_deadlines.clone();
-        self.built = build(h, &spec, &ctx)?;
+        let ctx = self.core.build_ctx(lib, op);
+        let new = build(h, &spec, &ctx)?;
+        Ok(std::mem::replace(&mut self.built, new))
+    }
+
+    /// [`rebuild_at`](Self::rebuild_at) that journals every replaced build:
+    /// each relinked module along `path` hands its *previous* `built` to
+    /// `journal` together with its absolute path (child indices from the
+    /// module this was first called on; `prefix` carries the indices walked
+    /// so far). Replaying the journaled modules in reverse order restores
+    /// the tree's builds bit-exactly — the RTL half of a transactional
+    /// rollback (the spec half is the move's own inverse record).
+    ///
+    /// Deepest module first, exactly like `rebuild_at`: on failure, modules
+    /// already relinked stay relinked and stay journaled, so the caller can
+    /// always roll back to the pre-apply state.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`BuildError`], exactly as [`rebuild_at`](Self::rebuild_at).
+    pub fn rebuild_at_journaled(
+        &mut self,
+        h: &Hierarchy,
+        lib: &Library,
+        op: &OperatingPoint,
+        path: &[usize],
+        prefix: &mut Vec<usize>,
+        journal: &mut dyn FnMut(&[usize], RtlModule),
+    ) -> Result<(), BuildError> {
+        if let Some((&i, rest)) = path.split_first() {
+            if let Some(child) = self.children.get_mut(i) {
+                if let ChildKind::Single(s) = &mut child.kind {
+                    prefix.push(i);
+                    s.rebuild_at_journaled(h, lib, op, rest, prefix, journal)?;
+                    prefix.pop();
+                }
+            }
+        }
+        let old = self.relink_swap(h, lib, op)?;
+        journal(prefix, old);
         Ok(())
     }
 
@@ -277,8 +334,8 @@ impl DesignPoint {
     ///
     /// Propagates [`BuildError`] from any level.
     pub fn rebuild(&mut self, lib: &Library) -> Result<(), BuildError> {
-        let h = self.hierarchy.clone();
-        self.top.rebuild(&h, lib, &self.op)
+        let DesignPoint { hierarchy, op, top } = self;
+        top.rebuild(hierarchy, lib, op)
     }
 
     /// [`rebuild`](Self::rebuild) restricted to the modules reachable from
@@ -288,8 +345,24 @@ impl DesignPoint {
     ///
     /// Propagates [`BuildError`] from any rebuilt level.
     pub fn rebuild_at(&mut self, lib: &Library, path: &[usize]) -> Result<(), BuildError> {
-        let h = self.hierarchy.clone();
-        self.top.rebuild_at(&h, lib, &self.op, path)
+        let DesignPoint { hierarchy, op, top } = self;
+        top.rebuild_at(hierarchy, lib, op, path)
+    }
+
+    /// [`rebuild_at`](Self::rebuild_at) journaling every replaced build —
+    /// see [`ModuleState::rebuild_at_journaled`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`BuildError`] from any rebuilt level.
+    pub fn rebuild_at_journaled(
+        &mut self,
+        lib: &Library,
+        path: &[usize],
+        journal: &mut dyn FnMut(&[usize], RtlModule),
+    ) -> Result<(), BuildError> {
+        let DesignPoint { hierarchy, op, top } = self;
+        top.rebuild_at_journaled(hierarchy, lib, op, path, &mut Vec::new(), journal)
     }
 }
 

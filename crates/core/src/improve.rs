@@ -8,13 +8,15 @@ use crate::config::SynthesisConfig;
 use crate::cost::{evaluate_search, evaluate_search_cached, Evaluation, Objective};
 use crate::design::{initial_module_with_window, ChildKind, DesignPoint, OperatingPoint};
 use crate::moves::{
-    apply_tracked, selection_candidates, sharing_candidates, splitting_candidates, Candidate, Move,
+    apply_in_place, apply_tracked, selection_candidates, sharing_candidates, splitting_candidates,
+    Candidate, Move,
 };
+use crate::transact::{UndoLog, UndoMark};
 use hsyn_dfg::NodeKind;
 use hsyn_lint::{error_count, verify_design, DesignView, Diagnostic, Severity};
 use hsyn_power::{dsp_default, TraceSet};
 use hsyn_rtl::{
-    fingerprint_tree, refresh_fingerprint_tree, window_of, BuildCtx, FpTree, ModuleLibrary,
+    fingerprint_at, fingerprint_tree, refresh_fingerprint_tree, window_of, FpTree, ModuleLibrary,
 };
 use std::fmt;
 use std::time::Instant;
@@ -78,6 +80,16 @@ pub struct MoveStats {
     /// Incremental-evaluation cache lookups that fell through to a fresh
     /// computation; 0 with [`SynthesisConfig::incremental`] off.
     pub eval_cache_misses: u64,
+    /// Move applications undone by replaying the undo journal — every
+    /// speculated candidate plus every pass step beyond the committed
+    /// prefix; 0 with [`SynthesisConfig::transactional`] off (clone mode
+    /// discards copies instead of rolling back).
+    pub moves_rolled_back: u64,
+    /// Peak approximate byte footprint of the undo journal (see
+    /// [`UndoLog::bytes_peak`](crate::UndoLog::bytes_peak)); 0 with
+    /// [`SynthesisConfig::transactional`] off. Aggregated by `max`, not
+    /// sum, in [`absorb`](Self::absorb) — it is a high-water mark.
+    pub undo_bytes_peak: u64,
 }
 
 impl MoveStats {
@@ -107,6 +119,8 @@ impl MoveStats {
         self.configs_skipped += other.configs_skipped;
         self.eval_cache_hits += other.eval_cache_hits;
         self.eval_cache_misses += other.eval_cache_misses;
+        self.moves_rolled_back += other.moves_rolled_back;
+        self.undo_bytes_peak = self.undo_bytes_peak.max(other.undo_bytes_peak);
     }
 }
 
@@ -114,8 +128,15 @@ impl MoveStats {
 struct Applied {
     gain: f64,
     mv: Move,
-    dp: DesignPoint,
-    /// Fingerprint tree of `dp.top.built` (present iff caching is active).
+    /// Clone mode: the fully rebuilt candidate design. `None` on the
+    /// transactional path, where the winner is re-applied in place.
+    dp: Option<DesignPoint>,
+    /// Transactional path, move *B* only: the resynthesized implementation,
+    /// kept so re-applying the winner does not re-run (and re-account)
+    /// the recursive resynthesis.
+    resynth: Option<ChildKind>,
+    /// Fingerprint tree of the candidate's build (present iff caching is
+    /// active).
     fp: Option<FpTree>,
     eval: Evaluation,
 }
@@ -139,6 +160,10 @@ pub(crate) struct Engine<'a> {
     pub eval_full_s: f64,
     /// Wall-clock spent in cache-aware search evaluations, seconds.
     pub eval_incr_s: f64,
+    /// Wall-clock spent applying moves, seconds: clone + rebuild in clone
+    /// mode; in-place apply + rollback + winner re-apply in transactional
+    /// mode. Like `verify_s`, kept off `MoveStats` so the stats stay `Eq`.
+    pub apply_s: f64,
 }
 
 impl<'a> Engine<'a> {
@@ -158,6 +183,7 @@ impl<'a> Engine<'a> {
             cache: EvalCache::new(),
             eval_full_s: 0.0,
             eval_incr_s: 0.0,
+            apply_s: 0.0,
         }
     }
 
@@ -234,10 +260,11 @@ impl<'a> Engine<'a> {
         incr
     }
 
-    /// Apply + evaluate one candidate; `None` if invalid. `cur_fp` is the
-    /// fingerprint tree of `dp` (present iff caching is active); the
-    /// candidate's tree is derived from it by re-fingerprinting only the
-    /// move's dirty subtree and recombining its ancestors.
+    /// Apply + evaluate one candidate on a *clone*; `None` if invalid.
+    /// `cur_fp` is the fingerprint tree of `dp` (present iff caching is
+    /// active); the candidate's tree is derived from it by
+    /// re-fingerprinting only the move's dirty subtree and recombining its
+    /// ancestors.
     fn try_move(
         &mut self,
         dp: &DesignPoint,
@@ -255,7 +282,9 @@ impl<'a> Engine<'a> {
             resynth_result = self.resynthesize_child(dp, path, *child);
             resynth_result.as_ref()?;
         }
+        let t0 = Instant::now();
         let outcome = apply_tracked(dp, mv, self.mlib, &mut |_, _, _| resynth_result.take());
+        self.apply_s += t0.elapsed().as_secs_f64();
         match outcome {
             Ok((new, dirty)) => {
                 self.stats.evaluated += 1;
@@ -272,8 +301,78 @@ impl<'a> Engine<'a> {
         }
     }
 
+    /// [`try_move`](Self::try_move) on the transactional path: speculate
+    /// the move **in place** on the live design, evaluate, then roll the
+    /// journal back — `dp` is bit-identical to its pre-call state on
+    /// return, success or failure. Returns the resynthesized child
+    /// implementation (move *B* only; re-applying the winner must not
+    /// re-run resynthesis), the candidate's fingerprint tree, and its
+    /// evaluation.
+    ///
+    /// Validation, evaluation order, stats accounting and cache traffic are
+    /// bit-identical to the clone path — the two differ in wall-clock and
+    /// allocation only.
+    fn try_move_tx(
+        &mut self,
+        dp: &mut DesignPoint,
+        cur_fp: Option<&FpTree>,
+        mv: &Move,
+        log: &mut UndoLog,
+    ) -> Option<(Option<ChildKind>, Option<FpTree>, Evaluation)> {
+        let depth = self.depth;
+        let mut resynth_kind: Option<ChildKind> = None;
+        if let Move::ResynthChild { path, child } = mv {
+            if depth == 0 {
+                return None;
+            }
+            resynth_kind = self.resynthesize_child(dp, path, *child);
+            resynth_kind.as_ref()?;
+        }
+        let mark = log.mark();
+        let t0 = Instant::now();
+        let outcome = apply_in_place(dp, mv, self.mlib, &mut |_, _, _| resynth_kind.clone(), log);
+        self.apply_s += t0.elapsed().as_secs_f64();
+        match outcome {
+            Ok(dirty) => {
+                self.stats.evaluated += 1;
+                let fp = cur_fp
+                    .map(|old| refresh_fingerprint_tree(&dp.hierarchy, &dp.top.built, old, &dirty));
+                let eval = self.eval(dp, fp.as_ref(), Some(mv));
+                let t1 = Instant::now();
+                log.rollback_to(dp, mark);
+                self.apply_s += t1.elapsed().as_secs_f64();
+                self.stats.moves_rolled_back += 1;
+                // Rollback-validity hook (paranoid mode): the retained
+                // fingerprint tree must still describe the rolled-back
+                // design, or every later `EvalCache` hit keyed through it
+                // would silently return results for a different structure.
+                if self.config.paranoid {
+                    if let Some(old) = cur_fp {
+                        let t2 = Instant::now();
+                        let retained = old.at(&dirty).map(|t| t.fp);
+                        let recomputed = fingerprint_at(&dp.hierarchy, &dp.top.built, &dirty);
+                        self.verify_s += t2.elapsed().as_secs_f64();
+                        assert_eq!(
+                            retained, recomputed,
+                            "rollback of move {mv} failed to restore the dirty subtree: \
+                             the undo journal missed an edit"
+                        );
+                    }
+                }
+                Some((resynth_kind, fp, eval))
+            }
+            Err(_) => {
+                self.stats.rejected += 1;
+                None
+            }
+        }
+    }
+
     /// Evaluate the top candidates by heuristic score and return the best
-    /// by true gain (possibly negative).
+    /// by true gain (possibly negative). With `undo` present, candidates
+    /// are speculated in place through the journal (transactional mode);
+    /// with `undo` absent each candidate is applied to a clone. Either way
+    /// `dp` is unchanged on return.
     ///
     /// Rejections and evaluations are budgeted separately: up to
     /// `candidate_limit` candidates are fully evaluated, and the scan stops
@@ -282,10 +381,11 @@ impl<'a> Engine<'a> {
     /// rejected candidates before evaluating any valid one.)
     fn best_from(
         &mut self,
-        dp: &DesignPoint,
+        dp: &mut DesignPoint,
         cur_fp: Option<&FpTree>,
         base_cost: f64,
         mut cands: Vec<Candidate>,
+        mut undo: Option<&mut UndoLog>,
     ) -> Option<Applied> {
         cands.sort_by(|a, b| b.0.total_cmp(&a.0));
         let mut best: Option<Applied> = None;
@@ -297,20 +397,36 @@ impl<'a> Engine<'a> {
             {
                 break;
             }
-            if let Some((new, fp, eval)) = self.try_move(dp, cur_fp, &mv) {
-                evaluated += 1;
-                let gain = base_cost - eval.cost;
-                if best.as_ref().is_none_or(|b| gain > b.gain) {
-                    best = Some(Applied {
-                        gain,
+            let applied = match undo.as_deref_mut() {
+                Some(log) => self
+                    .try_move_tx(dp, cur_fp, &mv, log)
+                    .map(|(resynth, fp, eval)| Applied {
+                        gain: base_cost - eval.cost,
                         mv,
-                        dp: new,
+                        dp: None,
+                        resynth,
                         fp,
                         eval,
-                    });
+                    }),
+                None => self
+                    .try_move(dp, cur_fp, &mv)
+                    .map(|(new, fp, eval)| Applied {
+                        gain: base_cost - eval.cost,
+                        mv,
+                        dp: Some(new),
+                        resynth: None,
+                        fp,
+                        eval,
+                    }),
+            };
+            match applied {
+                Some(a) => {
+                    evaluated += 1;
+                    if best.as_ref().is_none_or(|b| a.gain > b.gain) {
+                        best = Some(a);
+                    }
                 }
-            } else {
-                rejected += 1;
+                None => rejected += 1,
             }
         }
         best
@@ -319,9 +435,10 @@ impl<'a> Engine<'a> {
     /// `GET_BEST_TYPE_A_AND_B_MOVE` (Figure 5 wrapped into one selector).
     fn best_ab(
         &mut self,
-        dp: &DesignPoint,
+        dp: &mut DesignPoint,
         cur_fp: Option<&FpTree>,
         base_cost: f64,
+        undo: Option<&mut UndoLog>,
     ) -> Option<Applied> {
         let families = self.config.moves;
         if !families.a && !families.b {
@@ -336,7 +453,7 @@ impl<'a> Engine<'a> {
         if !families.a {
             cands.retain(|(_, mv)| matches!(mv, Move::ResynthChild { .. }));
         }
-        self.best_from(dp, cur_fp, base_cost, cands)
+        self.best_from(dp, cur_fp, base_cost, cands, undo)
     }
 
     /// `GET_BEST_RESOURCE_SHARING_MOVE`, falling back to
@@ -344,18 +461,15 @@ impl<'a> Engine<'a> {
     /// (Figure 4, lines 8–10).
     fn best_cd(
         &mut self,
-        dp: &DesignPoint,
+        dp: &mut DesignPoint,
         cur_fp: Option<&FpTree>,
         base_cost: f64,
+        mut undo: Option<&mut UndoLog>,
     ) -> Option<Applied> {
         let families = self.config.moves;
         let sharing = if families.c {
-            self.best_from(
-                dp,
-                cur_fp,
-                base_cost,
-                sharing_candidates(dp, self.mlib, self.objective()),
-            )
+            let cands = sharing_candidates(dp, self.mlib, self.objective());
+            self.best_from(dp, cur_fp, base_cost, cands, undo.as_deref_mut())
         } else {
             None
         };
@@ -363,12 +477,8 @@ impl<'a> Engine<'a> {
             Some(s) if s.gain > 0.0 => Some(s),
             other => {
                 let splitting = if families.d {
-                    self.best_from(
-                        dp,
-                        cur_fp,
-                        base_cost,
-                        splitting_candidates(dp, self.mlib, self.objective()),
-                    )
+                    let cands = splitting_candidates(dp, self.mlib, self.objective());
+                    self.best_from(dp, cur_fp, base_cost, cands, undo)
                 } else {
                     None
                 };
@@ -383,12 +493,32 @@ impl<'a> Engine<'a> {
     /// One full variable-depth optimization of `initial` at its operating
     /// point (Figure 4 lines 3–16). Returns the best design seen.
     ///
+    /// Dispatches on [`SynthesisConfig::transactional`]: the transactional
+    /// path speculates moves in place through an undo journal; the clone
+    /// path copies the design per candidate. The two searches are
+    /// bit-identical — same candidates, same evaluations in the same order,
+    /// same stats, same result — differing only in wall-clock and
+    /// allocation (see `tests/undo_rollback.rs`).
+    ///
     /// # Errors
     ///
     /// In paranoid mode, the first cross-layer invariant violation aborts
     /// the configuration, naming the offending move. Never errors with
     /// paranoid mode off.
     pub fn optimize(
+        &mut self,
+        initial: DesignPoint,
+    ) -> Result<(DesignPoint, Evaluation), Box<ParanoidViolation>> {
+        if self.config.transactional {
+            self.optimize_transactional(initial)
+        } else {
+            self.optimize_cloning(initial)
+        }
+    }
+
+    /// The clone-per-candidate search loop (kept as the
+    /// `--no-transactional` escape hatch and the differential baseline).
+    fn optimize_cloning(
         &mut self,
         initial: DesignPoint,
     ) -> Result<(DesignPoint, Evaluation), Box<ParanoidViolation>> {
@@ -413,18 +543,20 @@ impl<'a> Engine<'a> {
                 vec![(cur.clone(), cur_eval, cur_fp.clone())];
             let mut seq_moves: Vec<Move> = Vec::new();
             for _ in 0..max_moves {
-                let (work, work_eval, work_fp) = states.last().expect("non-empty");
+                let (work, work_eval, work_fp) = states.last_mut().expect("non-empty");
                 let base = work_eval.cost;
-                let m1 = self.best_ab(work, work_fp.as_ref(), base);
-                let m3 = self.best_cd(work, work_fp.as_ref(), base);
+                let work_fp = work_fp.as_ref();
+                let m1 = self.best_ab(work, work_fp, base, None);
+                let m3 = self.best_cd(work, work_fp, base, None);
                 let chosen = match (m1, m3) {
                     (Some(a), Some(b)) => Some(if a.gain >= b.gain { a } else { b }),
                     (a, b) => a.or(b),
                 };
                 let Some(chosen) = chosen else { break };
-                self.paranoid_check(&chosen.dp, Some(&chosen.mv))?;
-                seq_moves.push(chosen.mv.clone());
-                states.push((chosen.dp, chosen.eval, chosen.fp));
+                let chosen_dp = chosen.dp.expect("clone path carries the candidate design");
+                self.paranoid_check(&chosen_dp, Some(&chosen.mv))?;
+                seq_moves.push(chosen.mv);
+                states.push((chosen_dp, chosen.eval, chosen.fp));
             }
             // Commit the best-cumulative-gain prefix.
             let (best_idx, _) = states
@@ -441,6 +573,107 @@ impl<'a> Engine<'a> {
             }
             let (committed, committed_eval, committed_fp) = states.swap_remove(best_idx);
             cur = committed;
+            cur_eval = committed_eval;
+            cur_fp = committed_fp;
+            if cur_eval.cost < best_eval.cost {
+                best = cur.clone();
+                best_eval = cur_eval;
+            }
+        }
+        Ok((best, best_eval))
+    }
+
+    /// The transactional search loop: one live design, mutated in place.
+    ///
+    /// Per step, every candidate is speculated and rolled back inside the
+    /// pass journal ([`Engine::try_move_tx`]); the winner is then
+    /// re-applied (reusing its saved move-*B* implementation, so recursive
+    /// resynthesis runs exactly once per evaluation, as in clone mode).
+    /// The per-step clone history of the clone path collapses to
+    /// `(Evaluation, FpTree)` pairs plus journal marks: committing the
+    /// best-cumulative-gain prefix = rolling the journal back to the mark
+    /// taken before the first rejected step.
+    fn optimize_transactional(
+        &mut self,
+        initial: DesignPoint,
+    ) -> Result<(DesignPoint, Evaluation), Box<ParanoidViolation>> {
+        self.paranoid_check(&initial, None)?;
+        let mut cur = initial;
+        let mut cur_fp = self
+            .caching()
+            .then(|| fingerprint_tree(&cur.hierarchy, &cur.top.built));
+        let mut cur_eval = self.eval(&cur, cur_fp.as_ref(), None);
+        let mut best = cur.clone();
+        let mut best_eval = cur_eval;
+
+        let op_count = cur.hierarchy.dfg(cur.top.core.dfg).schedulable_count();
+        let max_moves = self
+            .config
+            .max_moves_per_pass
+            .unwrap_or_else(|| (op_count / 2).clamp(8, 40));
+
+        for _pass in 0..self.config.max_passes {
+            self.stats.passes += 1;
+            let mut log = UndoLog::new();
+            // history[k]: evaluation + fingerprint tree after k committed
+            // steps; step_marks[k]: journal position before step k+1.
+            let mut history: Vec<(Evaluation, Option<FpTree>)> = vec![(cur_eval, cur_fp.clone())];
+            let mut step_marks: Vec<UndoMark> = Vec::new();
+            let mut seq_moves: Vec<Move> = Vec::new();
+            for _ in 0..max_moves {
+                let (work_eval, work_fp) = history.last().expect("non-empty");
+                let base = work_eval.cost;
+                let m1 = self.best_ab(&mut cur, work_fp.as_ref(), base, Some(&mut log));
+                let m3 = self.best_cd(&mut cur, work_fp.as_ref(), base, Some(&mut log));
+                let chosen = match (m1, m3) {
+                    (Some(a), Some(b)) => Some(if a.gain >= b.gain { a } else { b }),
+                    (a, b) => a.or(b),
+                };
+                let Some(chosen) = chosen else { break };
+                // Re-apply the winner (the scan rolled it back).
+                let mark = log.mark();
+                let mut saved = chosen.resynth;
+                let t0 = Instant::now();
+                apply_in_place(
+                    &mut cur,
+                    &chosen.mv,
+                    self.mlib,
+                    &mut |_, _, _| saved.take(),
+                    &mut log,
+                )
+                .expect("re-apply of a just-validated move on the identical design");
+                self.apply_s += t0.elapsed().as_secs_f64();
+                self.paranoid_check(&cur, Some(&chosen.mv))?;
+                seq_moves.push(chosen.mv);
+                step_marks.push(mark);
+                history.push((chosen.eval, chosen.fp));
+            }
+            // Commit the best-cumulative-gain prefix; unwind the rest.
+            let (best_idx, _) = history
+                .iter()
+                .enumerate()
+                .min_by(|(_, a), (_, b)| a.0.cost.total_cmp(&b.0.cost))
+                .expect("non-empty");
+            let pass_gain = history[0].0.cost - history[best_idx].0.cost;
+            self.stats.undo_bytes_peak = self.stats.undo_bytes_peak.max(log.bytes_peak() as u64);
+            if best_idx == 0 || pass_gain <= 1e-9 {
+                // Reject the whole pass: unwind every applied step.
+                let t0 = Instant::now();
+                log.rollback_all(&mut cur);
+                self.apply_s += t0.elapsed().as_secs_f64();
+                self.stats.moves_rolled_back += seq_moves.len() as u64;
+                break;
+            }
+            for mv in &seq_moves[..best_idx] {
+                self.stats.record(mv);
+            }
+            if best_idx < seq_moves.len() {
+                let t0 = Instant::now();
+                log.rollback_to(&mut cur, step_marks[best_idx]);
+                self.apply_s += t0.elapsed().as_secs_f64();
+                self.stats.moves_rolled_back += (seq_moves.len() - best_idx) as u64;
+            }
+            let (committed_eval, committed_fp) = history.swap_remove(best_idx);
             cur_eval = committed_eval;
             cur_fp = committed_fp;
             if cur_eval.cost < best_eval.cost {
@@ -478,15 +711,10 @@ impl<'a> Engine<'a> {
         let callee = callee?;
 
         // Constraint derivation: intersect the windows of all nodes served.
+        // The parent schedules its children under exactly the context it
+        // relinks with — one shared helper, so the two can never drift.
         let lib = &self.mlib.simple;
-        let mut ctx = BuildCtx::new(
-            lib,
-            dp.op.clk_ref_ns,
-            lib.technology.vref(),
-            parent.core.deadline,
-        );
-        ctx.input_arrivals = parent.core.input_arrivals.clone();
-        ctx.output_deadlines = parent.core.output_deadlines.clone();
+        let ctx = parent.core.build_ctx(lib, &dp.op);
         let mut arrivals: Option<Vec<u32>> = None;
         let mut deadlines: Option<Vec<u32>> = None;
         for &n in &child.nodes {
@@ -545,9 +773,12 @@ impl<'a> Engine<'a> {
         self.stats.rejected += inner.stats.rejected;
         self.stats.eval_cache_hits += inner.stats.eval_cache_hits;
         self.stats.eval_cache_misses += inner.stats.eval_cache_misses;
+        self.stats.moves_rolled_back += inner.stats.moves_rolled_back;
+        self.stats.undo_bytes_peak = self.stats.undo_bytes_peak.max(inner.stats.undo_bytes_peak);
         self.verify_s += inner.verify_s;
         self.eval_full_s += inner.eval_full_s;
         self.eval_incr_s += inner.eval_incr_s;
+        self.apply_s += inner.apply_s;
         // A child verifier failure simply rejects this move-B candidate.
         let (optimized, _) = result.ok()?;
         Some(ChildKind::Single(Box::new(optimized.top)))
@@ -643,11 +874,11 @@ mod tests {
     /// evaluated.
     #[test]
     fn rejections_do_not_starve_valid_candidates() {
-        let (dp, mlib, traces) = paulin_fixture();
+        let (mut dp, mlib, traces) = paulin_fixture();
         let mut config = SynthesisConfig::new(Objective::Area);
         config.candidate_limit = 2;
         config.incremental = false;
-        let mut engine = Engine::new(&mlib, &config, traces, 0);
+        let mut engine = Engine::new(&mlib, &config, traces.clone(), 0);
         let base = engine.eval(&dp, None, None);
         // Group 999 does not exist, so these nine are rejected by `apply`;
         // RepackRegs is valid (the initial register policy is dedicated).
@@ -664,13 +895,26 @@ mod tests {
             ));
         }
         cands.push((1.0, Move::RepackRegs { path: vec![] }));
-        let best = engine.best_from(&dp, None, base.cost, cands);
+        let best = engine.best_from(&mut dp, None, base.cost, cands.clone(), None);
         assert!(best.is_some(), "a valid candidate must be found");
         assert_eq!(
             (engine.stats.evaluated, engine.stats.rejected),
             (2, 9),
             "both valid candidates must be evaluated despite nine rejections"
         );
+        // The transactional scan obeys the identical budgets — and leaves
+        // both the journal and the design untouched behind it.
+        let mut tx_engine = Engine::new(&mlib, &config, traces, 0);
+        let mut log = UndoLog::new();
+        let tx_best = tx_engine.best_from(&mut dp, None, base.cost, cands, Some(&mut log));
+        assert!(tx_best.is_some());
+        assert_eq!(
+            (tx_engine.stats.evaluated, tx_engine.stats.rejected),
+            (2, 9),
+            "transactional scan must replicate the clone-path budgets"
+        );
+        assert_eq!(tx_engine.stats.moves_rolled_back, 2);
+        assert!(log.is_empty(), "scan must roll every speculation back");
     }
 
     /// Shadow mode turns a cache/full divergence into a panic naming the

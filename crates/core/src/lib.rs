@@ -45,6 +45,7 @@ mod explore;
 mod improve;
 mod moves;
 mod synth;
+mod transact;
 
 pub use cache::EvalCache;
 pub use config::{MoveFamilies, SynthesisConfig};
@@ -58,12 +59,13 @@ pub use design::{
 pub use explore::{explore, pareto_front, Exploration, ExplorePoint, SkippedPoint};
 pub use improve::{MoveStats, ParanoidViolation};
 pub use moves::{
-    apply, apply_tracked, dirty_path, selection_candidates, sharing_candidates,
+    apply, apply_in_place, apply_tracked, dirty_path, selection_candidates, sharing_candidates,
     splitting_candidates, ApplyError, ModulePath, Move,
 };
 pub use synth::{
     synthesize, ConfigTelemetry, ScaledDesign, SkippedConfig, SynthesisError, SynthesisReport,
 };
+pub use transact::{Transaction, UndoLog, UndoMark, UndoOp};
 
 #[cfg(test)]
 mod tests {

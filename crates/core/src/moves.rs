@@ -14,6 +14,7 @@
 
 use crate::cost::Objective;
 use crate::design::{Child, ChildKind, DesignPoint, ModuleState};
+use crate::transact::{UndoLog, UndoOp};
 use hsyn_dfg::{DfgId, NodeId, NodeKind, Operation};
 use hsyn_lib::{FuTypeId, Library};
 use hsyn_rtl::{embed, BuildError, EmbedError, ModuleLibrary, RegPolicy};
@@ -372,6 +373,319 @@ pub fn apply(
     // module's spec is untouched and would rebuild to the identical RTL.
     new.rebuild_at(lib, &dirty_path(mv))?;
     Ok(new)
+}
+
+impl Move {
+    /// [`apply_in_place`] as a method — the transactional counterpart of
+    /// [`apply`]: edit `dp` directly, journaling the inverse of every edit
+    /// in `undo` so a rejected candidate is restored by replay instead of
+    /// a clone.
+    ///
+    /// # Errors
+    ///
+    /// Exactly [`apply`]'s errors; on error `dp` has already been rolled
+    /// back to its pre-call state.
+    #[allow(clippy::type_complexity)]
+    pub fn apply_in_place(
+        &self,
+        dp: &mut DesignPoint,
+        mlib: &ModuleLibrary,
+        resynth: &mut dyn FnMut(&DesignPoint, &[usize], usize) -> Option<ChildKind>,
+        undo: &mut UndoLog,
+    ) -> Result<ModulePath, ApplyError> {
+        apply_in_place(dp, self, mlib, resynth, undo)
+    }
+}
+
+/// Apply `mv` to `dp` **in place**, journaling the inverse of every edit in
+/// `undo` — the transactional counterpart of [`apply`]. Validation,
+/// rejection and rebuild behavior are bit-identical to [`apply`]; only the
+/// mechanics differ (speculate on the live design, undo by journal replay,
+/// instead of edit-a-clone, undo by dropping it). Returns the move's dirty
+/// path (as [`apply_tracked`]).
+///
+/// Every pre-condition is checked *before* the first mutation, so a
+/// rejected candidate usually journals nothing; if the post-edit rebuild
+/// fails, the journal suffix written by this call is replayed before
+/// returning, so `dp` is restored either way. Records pushed by earlier
+/// calls on the same log are never touched.
+///
+/// # Errors
+///
+/// Exactly [`apply`]'s errors.
+#[allow(clippy::type_complexity)]
+pub fn apply_in_place(
+    dp: &mut DesignPoint,
+    mv: &Move,
+    mlib: &ModuleLibrary,
+    resynth: &mut dyn FnMut(&DesignPoint, &[usize], usize) -> Option<ChildKind>,
+    undo: &mut UndoLog,
+) -> Result<ModulePath, ApplyError> {
+    let mark = undo.mark();
+    if let Err(e) = edit_in_place(dp, mv, mlib, resynth, undo) {
+        undo.rollback_to(dp, mark);
+        return Err(e);
+    }
+    let dirty = dirty_path(mv);
+    let rebuilt = dp.rebuild_at_journaled(&mlib.simple, &dirty, &mut |path, built| {
+        undo.push(UndoOp::RestoreBuilt {
+            path: path.to_vec(),
+            built,
+        });
+    });
+    if let Err(e) = rebuilt {
+        undo.rollback_to(dp, mark);
+        return Err(e.into());
+    }
+    Ok(dirty)
+}
+
+/// The spec-tree half of [`apply_in_place`]: the per-variant edit plus its
+/// inverse record. Mutates only after every precondition has passed, so an
+/// `Err` return needs no cleanup for most variants; `MergeChildren` is the
+/// one variant whose clone-based form mutated before validating, and is
+/// reordered here (validate → embed → mutate) with identical outcomes.
+#[allow(clippy::type_complexity)]
+fn edit_in_place(
+    dp: &mut DesignPoint,
+    mv: &Move,
+    mlib: &ModuleLibrary,
+    resynth: &mut dyn FnMut(&DesignPoint, &[usize], usize) -> Option<ChildKind>,
+    undo: &mut UndoLog,
+) -> Result<(), ApplyError> {
+    let lib = &mlib.simple;
+    match mv {
+        Move::SetFuType {
+            path,
+            group,
+            fu_type,
+        } => {
+            let m = dp.top.at_mut(path);
+            let g = m
+                .core
+                .fu_groups
+                .get_mut(*group)
+                .ok_or(ApplyError::Rejected)?;
+            if g.fu_type == *fu_type {
+                return Err(ApplyError::Rejected);
+            }
+            undo.push(UndoOp::RestoreFuType {
+                path: path.clone(),
+                group: *group,
+                fu_type: g.fu_type,
+            });
+            g.fu_type = *fu_type;
+        }
+        Move::MergeFu {
+            path,
+            a,
+            b,
+            fu_type,
+        } => {
+            let m = dp.top.at_mut(path);
+            if *a >= *b || *b >= m.core.fu_groups.len() {
+                return Err(ApplyError::Rejected);
+            }
+            let moved = m.core.fu_groups.remove(*b);
+            let ga = &mut m.core.fu_groups[*a];
+            undo.push(UndoOp::UnmergeFu {
+                path: path.clone(),
+                a: *a,
+                b: *b,
+                a_ops_len: ga.ops.len(),
+                a_fu_type: ga.fu_type,
+                b_fu_type: moved.fu_type,
+            });
+            ga.ops.extend(moved.ops);
+            ga.fu_type = *fu_type;
+        }
+        Move::SplitFu { path, group, op } => {
+            let m = dp.top.at_mut(path);
+            let g = m
+                .core
+                .fu_groups
+                .get_mut(*group)
+                .ok_or(ApplyError::Rejected)?;
+            if g.ops.len() < 2 || !g.ops.contains(op) {
+                return Err(ApplyError::Rejected);
+            }
+            let pos = g.ops.iter().position(|o| o == op).expect("just checked");
+            undo.push(UndoOp::UnsplitFu {
+                path: path.clone(),
+                group: *group,
+                pos,
+                op: *op,
+            });
+            g.ops.retain(|o| o != op);
+            let fu_type = g.fu_type;
+            m.core.fu_groups.push(hsyn_rtl::FuGroup {
+                fu_type,
+                ops: vec![*op],
+            });
+        }
+        Move::RepackRegs { path } => {
+            let m = dp.top.at_mut(path);
+            if matches!(m.core.reg_policy, RegPolicy::Packed) {
+                return Err(ApplyError::Rejected);
+            }
+            let old = std::mem::replace(&mut m.core.reg_policy, RegPolicy::Packed);
+            undo.push(UndoOp::RestoreRegPolicy {
+                path: path.clone(),
+                policy: old,
+            });
+        }
+        Move::DedicateRegs { path } => {
+            let m = dp.top.at_mut(path);
+            if matches!(m.core.reg_policy, RegPolicy::Dedicated) {
+                return Err(ApplyError::Rejected);
+            }
+            let old = std::mem::replace(&mut m.core.reg_policy, RegPolicy::Dedicated);
+            undo.push(UndoOp::RestoreRegPolicy {
+                path: path.clone(),
+                policy: old,
+            });
+        }
+        Move::SwapChild {
+            path,
+            child,
+            lib_idx,
+            dfg,
+        } => {
+            let cm = mlib.complex.get(*lib_idx).ok_or(ApplyError::Rejected)?;
+            let parent_dfg = dp.top.at(path).core.dfg;
+            let m = dp.top.at_mut(path);
+            let c = m.children.get_mut(*child).ok_or(ApplyError::Rejected)?;
+            if c.nodes.len() != 1 {
+                return Err(ApplyError::Rejected);
+            }
+            let node = c.nodes[0];
+            let old = std::mem::replace(
+                &mut c.kind,
+                ChildKind::Opaque {
+                    module: cm.module.clone(),
+                    origin: format!("library:{}", cm.module.name()),
+                },
+            );
+            undo.push(UndoOp::RestoreChildKind {
+                path: path.clone(),
+                child: *child,
+                kind: Box::new(old),
+            });
+            // Move A may rewrite the node to an equivalent DFG.
+            let old_callee = dp.hierarchy.replace_callee(parent_dfg, node, *dfg);
+            undo.push(UndoOp::RestoreCallee {
+                dfg: parent_dfg,
+                node,
+                callee: old_callee,
+            });
+        }
+        Move::ResynthChild { path, child } => {
+            let kind = resynth(dp, path, *child).ok_or(ApplyError::Rejected)?;
+            let m = dp.top.at_mut(path);
+            let c = m.children.get_mut(*child).ok_or(ApplyError::Rejected)?;
+            let old = std::mem::replace(&mut c.kind, kind);
+            undo.push(UndoOp::RestoreChildKind {
+                path: path.clone(),
+                child: *child,
+                kind: Box::new(old),
+            });
+        }
+        Move::MergeChildren { path, a, b } => {
+            let parent_dfg = dp.top.at(path).core.dfg;
+            // Validate and (when needed) embed before touching anything:
+            // unlike the clone-based form, a half-done merge here would be
+            // visible, so every early return must precede the first edit.
+            let merged_kind = {
+                let m = dp.top.at(path);
+                if *a >= *b || *b >= m.children.len() {
+                    return Err(ApplyError::Rejected);
+                }
+                let g = dp.hierarchy.dfg(parent_dfg);
+                let callee_of = |n: hsyn_dfg::NodeId| match g.node(n).kind() {
+                    NodeKind::Hier { callee } => Some(*callee),
+                    _ => None,
+                };
+                let removed = &m.children[*b];
+                let callees: BTreeSet<DfgId> = removed
+                    .nodes
+                    .iter()
+                    .map(|&n| callee_of(n))
+                    .collect::<Option<_>>()
+                    .ok_or(ApplyError::Rejected)?;
+                let target = &m.children[*a];
+                // A stateful behavior (internal z⁻ᵏ registers) cannot serve
+                // two hierarchical nodes from one instance.
+                let mut counts: std::collections::HashMap<DfgId, usize> =
+                    std::collections::HashMap::new();
+                for &n in target.nodes.iter().chain(removed.nodes.iter()) {
+                    let callee = callee_of(n).ok_or(ApplyError::Rejected)?;
+                    *counts.entry(callee).or_insert(0) += 1;
+                }
+                for (d, count) in counts {
+                    if count >= 2 && dp.hierarchy.has_state(d) {
+                        return Err(ApplyError::Rejected);
+                    }
+                }
+                let covered = callees
+                    .iter()
+                    .all(|&d| target.module().behavior_for(d).is_some());
+                if covered {
+                    None
+                } else {
+                    let merged = embed(
+                        &dp.hierarchy,
+                        target.module(),
+                        removed.module(),
+                        lib,
+                        format!("{}+{}", target.module().name(), removed.module().name()),
+                    )?;
+                    Some(ChildKind::Opaque {
+                        module: merged.module,
+                        origin: "embedded".to_owned(),
+                    })
+                }
+            };
+            let m = dp.top.at_mut(path);
+            let removed = m.children.remove(*b);
+            let target = &mut m.children[*a];
+            let a_nodes_len = target.nodes.len();
+            target.nodes.extend(removed.nodes.iter().copied());
+            let a_kind = merged_kind.map(|k| Box::new(std::mem::replace(&mut target.kind, k)));
+            undo.push(UndoOp::UnmergeChildren {
+                path: path.clone(),
+                a: *a,
+                b: *b,
+                a_nodes_len,
+                a_kind,
+                removed: Box::new(removed),
+            });
+        }
+        Move::SplitChild { path, child, node } => {
+            let m = dp.top.at_mut(path);
+            let c = m.children.get_mut(*child).ok_or(ApplyError::Rejected)?;
+            if c.nodes.len() < 2 || !c.nodes.contains(node) {
+                return Err(ApplyError::Rejected);
+            }
+            let pos = c
+                .nodes
+                .iter()
+                .position(|n| n == node)
+                .expect("just checked");
+            undo.push(UndoOp::UnsplitChild {
+                path: path.clone(),
+                child: *child,
+                pos,
+                node: *node,
+            });
+            c.nodes.retain(|n| n != node);
+            let clone = Child {
+                nodes: vec![*node],
+                kind: c.kind.clone(),
+            };
+            m.children.push(clone);
+        }
+    }
+    Ok(())
 }
 
 /// [`apply`] plus dirty tracking for incremental evaluation: also returns

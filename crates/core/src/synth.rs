@@ -93,6 +93,10 @@ pub struct ConfigTelemetry {
     /// Wall-clock spent in cache-aware search evaluations, seconds (0 with
     /// incremental evaluation off).
     pub eval_incr_s: f64,
+    /// Wall-clock spent applying moves, seconds: clone + rebuild with
+    /// [`SynthesisConfig::transactional`] off, in-place apply + rollback +
+    /// winner re-apply with it on.
+    pub apply_s: f64,
     /// Final cost of this configuration's best design (search metric).
     pub cost: f64,
     /// Whether this configuration's design was selected as the winner.
@@ -393,6 +397,7 @@ pub fn synthesize(
             verify_s: f64,
             eval_full_s: f64,
             eval_incr_s: f64,
+            apply_s: f64,
         },
         Skipped {
             reason: String,
@@ -435,6 +440,7 @@ pub fn synthesize(
                         verify_s: engine.verify_s,
                         eval_full_s: engine.eval_full_s,
                         eval_incr_s: engine.eval_incr_s,
+                        apply_s: engine.apply_s,
                     },
                 }
             }
@@ -467,6 +473,7 @@ pub fn synthesize(
                 verify_s,
                 eval_full_s,
                 eval_incr_s,
+                apply_s,
             } => {
                 stats.configs += 1;
                 stats.absorb(&config_stats);
@@ -482,6 +489,7 @@ pub fn synthesize(
                     eval_cache_misses: config_stats.eval_cache_misses,
                     eval_full_s,
                     eval_incr_s,
+                    apply_s,
                     cost: eval.cost,
                     selected: false,
                 });

@@ -377,8 +377,19 @@ impl Dfg {
     ///
     /// Panics if `node` is not a hierarchical node.
     pub fn set_hier_callee(&mut self, node: NodeId, callee: DfgId) {
+        self.replace_hier_callee(node, callee);
+    }
+
+    /// [`set_hier_callee`](Self::set_hier_callee) returning the callee the
+    /// node invoked before — the undo record a transactional caller replays
+    /// to reverse the retarget (`replace_hier_callee(node, old)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not a hierarchical node.
+    pub fn replace_hier_callee(&mut self, node: NodeId, callee: DfgId) -> DfgId {
         match &mut self.nodes[node.index()].kind {
-            NodeKind::Hier { callee: c } => *c = callee,
+            NodeKind::Hier { callee: c } => std::mem::replace(c, callee),
             other => panic!("set_hier_callee on non-hierarchical node {node} ({other:?})"),
         }
     }

@@ -183,6 +183,19 @@ impl Hierarchy {
         &mut self.dfgs[id.index()]
     }
 
+    /// Retarget hierarchical node `node` of `dfg` to invoke `callee`,
+    /// returning the previous callee — the undo record: replaying the call
+    /// with the returned id restores the hierarchy bit-exactly. The basis
+    /// of transactional move application in the synthesis engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dfg` is not in this hierarchy or `node` is not a
+    /// hierarchical node of it.
+    pub fn replace_callee(&mut self, dfg: DfgId, node: NodeId, callee: DfgId) -> DfgId {
+        self.dfg_mut(dfg).replace_hier_callee(node, callee)
+    }
+
     /// Iterate over `(id, dfg)` pairs.
     pub fn dfgs(&self) -> impl ExactSizeIterator<Item = (DfgId, &Dfg)> + '_ {
         self.dfgs

@@ -104,10 +104,43 @@ pub struct FpTree {
     pub subs: Vec<FpTree>,
 }
 
+impl FpTree {
+    /// The subtree addressed by `path` (child indices from this node);
+    /// `None` when the path runs off the tree. Empty path ⇒ `self`.
+    pub fn at(&self, path: &[usize]) -> Option<&FpTree> {
+        let mut cur = self;
+        for &i in path {
+            cur = cur.subs.get(i)?;
+        }
+        Some(cur)
+    }
+}
+
 /// Fingerprint the whole module tree rooted at `module`.
 pub fn fingerprint_tree(h: &Hierarchy, module: &RtlModule) -> FpTree {
     let mut memo = HashMap::new();
     fp_module(h, module, &mut memo)
+}
+
+/// Fingerprint of the submodule of `module` addressed by `path` (child
+/// indices into [`RtlModule::subs`], recursively; empty ⇒ `module` itself),
+/// or `None` when the path runs off the tree.
+///
+/// The transactional engine's rollback-validity hook: after an undo-journal
+/// replay restores a design, the fingerprint tree retained from *before*
+/// the speculative move must still describe it — paranoid mode asserts
+/// this by recomputing the rolled-back subtree's fingerprint here and
+/// comparing it against [`FpTree::at`] on the retained tree. A mismatch
+/// means the journal missed an edit, exactly the corruption that would
+/// otherwise surface as a silently-wrong [`EvalCache`] hit downstream.
+///
+/// [`EvalCache`]: crate::AreaCache
+pub fn fingerprint_at(h: &Hierarchy, module: &RtlModule, path: &[usize]) -> Option<u64> {
+    let mut cur = module;
+    for &i in path {
+        cur = cur.subs().get(i)?;
+    }
+    Some(module_fingerprint(h, cur))
 }
 
 /// Fingerprint of `module` alone (the root of [`fingerprint_tree`]).

@@ -37,7 +37,8 @@ pub use connect::{connectivity, Connectivity, Sink, Source};
 pub use cost::{module_area, module_area_cached, AreaBreakdown, AreaCache};
 pub use embed::{embed, EmbedError, EmbedMaps, EmbedResult};
 pub use fingerprint::{
-    dfg_fingerprint, fingerprint_tree, module_fingerprint, refresh_fingerprint_tree, FpTree,
+    dfg_fingerprint, fingerprint_at, fingerprint_tree, module_fingerprint,
+    refresh_fingerprint_tree, FpTree,
 };
 pub use fsm::{control_bit_count, generate_fsm, ControlWord, Fsm, FsmProgram};
 pub use instance::{FuInstId, FuInstance, RegId, RegInstance, SubId};

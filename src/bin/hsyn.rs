@@ -16,6 +16,8 @@
 //!                            using the per-module evaluation cache
 //!   --shadow-eval            run the full evaluation alongside every cached
 //!                            one and panic on the first bit-level divergence
+//!   --no-transactional       clone the design per candidate instead of
+//!                            speculating in place with an undo journal
 //!   --netlist                print the structural netlist
 //!   --fsm                    print the FSM controller
 //!   --verilog <file>         write structural Verilog
@@ -55,13 +57,25 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: hsyn <behavior.dfg> [--objective area|power] [--laxity F] [--period NS]\n\
          \x20           [--library table1|realistic] [--flat] [--paranoid] [--netlist]\n\
-         \x20           [--no-incremental] [--shadow-eval] [--fsm] [--verilog FILE]\n\
+         \x20           [--no-incremental] [--shadow-eval] [--no-transactional]\n\
+         \x20           [--fsm] [--verilog FILE]\n\
          \x20           [--dot FILE] [--power-report] [--seed N] [--parallel N]\n\
          \x20      hsyn lint [<behavior.dfg> | --benchmark NAME | --all-benchmarks]\n\
          \x20           [--synthesize] [--objective area|power|both] [--laxity F]\n\
          \x20           [--library table1|realistic] [--allow CODE] [--json]"
     );
     ExitCode::from(2)
+}
+
+/// Render an approximate byte count with a binary unit suffix.
+fn format_bytes(bytes: u64) -> String {
+    if bytes >= 1 << 20 {
+        format!("{:.1} MiB", bytes as f64 / (1 << 20) as f64)
+    } else if bytes >= 1 << 10 {
+        format!("{:.1} KiB", bytes as f64 / (1 << 10) as f64)
+    } else {
+        format!("{bytes} B")
+    }
 }
 
 /// Parse a library name shared by both subcommands.
@@ -306,6 +320,7 @@ fn synth_main(args: Vec<String>) -> ExitCode {
     let mut paranoid = false;
     let mut incremental = true;
     let mut shadow_eval = false;
+    let mut transactional = true;
 
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -346,6 +361,7 @@ fn synth_main(args: Vec<String>) -> ExitCode {
             "--paranoid" => paranoid = true,
             "--no-incremental" => incremental = false,
             "--shadow-eval" => shadow_eval = true,
+            "--no-transactional" => transactional = false,
             "--netlist" => show_netlist = true,
             "--fsm" => show_fsm = true,
             "--verilog" => match take("--verilog") {
@@ -418,6 +434,7 @@ fn synth_main(args: Vec<String>) -> ExitCode {
     config.paranoid = paranoid;
     config.incremental = incremental;
     config.shadow_eval = shadow_eval;
+    config.transactional = transactional;
 
     let report = match synthesize(&parsed.hierarchy, &mlib, &config) {
         Ok(r) => r,
@@ -491,6 +508,14 @@ fn synth_main(args: Vec<String>) -> ExitCode {
             line.push_str(&format!(" ({full_s:.3}s shadowed full, identical)"));
         }
         println!("{line}");
+    }
+    if transactional {
+        let apply_s: f64 = report.per_config.iter().map(|c| c.apply_s).sum();
+        println!(
+            "move engine         : {} rolled back, {} undo-journal peak, {apply_s:.3}s applying",
+            report.stats.moves_rolled_back,
+            format_bytes(report.stats.undo_bytes_peak),
+        );
     }
     if let Some(scaled) = &report.vdd_scaled {
         println!(

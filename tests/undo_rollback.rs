@@ -1,0 +1,192 @@
+//! Property tests for the transactional move engine: random move sequences
+//! speculated in place on random behaviors must roll back bit-exactly
+//! (the structural fingerprint of the whole design returns to its value at
+//! every journal mark), and full synthesis with the transactional engine
+//! must be byte-identical — through the canonical
+//! [`SynthesisReport::result_json`] rendering — to the clone-per-candidate
+//! path it replaces. Cases come from a fixed seed so failures reproduce
+//! exactly; set `HSYN_PROP_CASES` to widen the sweep locally.
+
+mod common;
+
+use common::arb_behavior;
+use hsyn::core::{
+    apply_in_place, initial_solution, selection_candidates, sharing_candidates,
+    splitting_candidates, synthesize, DesignPoint, Move, Objective, OperatingPoint,
+    SynthesisConfig, UndoLog,
+};
+use hsyn::dfg::Hierarchy;
+use hsyn::lib::papers::table1_library;
+use hsyn::rtl::{module_fingerprint, ModuleLibrary};
+use hsyn_util::{Json, Rng};
+
+fn prop_cases(default: u64) -> u64 {
+    std::env::var("HSYN_PROP_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// A buildable design point for a random leaf behavior, plus its library.
+fn random_design(rng: &mut Rng) -> (DesignPoint, ModuleLibrary) {
+    let g = arb_behavior(rng);
+    let mut h = Hierarchy::new();
+    let id = h.add_dfg(g);
+    h.set_top(id);
+    assert!(h.validate().is_ok());
+    let mlib = ModuleLibrary::from_simple(table1_library());
+    let op = OperatingPoint::derive(&mlib.simple, mlib.simple.technology.vref(), 10.0, 10_000.0);
+    let top = initial_solution(&h, &mlib, &op).expect("relaxed deadline always builds");
+    (
+        DesignPoint {
+            hierarchy: h,
+            op,
+            top,
+        },
+        mlib,
+    )
+}
+
+/// Every candidate move the generators produce for `dp`, in a shuffled
+/// order so sequences differ between cases.
+fn shuffled_moves(dp: &DesignPoint, mlib: &ModuleLibrary, rng: &mut Rng) -> Vec<Move> {
+    let mut cands = Vec::new();
+    for objective in [Objective::Area, Objective::Power] {
+        cands.extend(selection_candidates(dp, mlib, objective, false));
+        cands.extend(sharing_candidates(dp, mlib, objective));
+        cands.extend(splitting_candidates(dp, mlib, objective));
+    }
+    let mut moves: Vec<Move> = cands.into_iter().map(|(_, mv)| mv).collect();
+    // Fisher–Yates with the case RNG.
+    for i in (1..moves.len()).rev() {
+        moves.swap(i, rng.range_usize(0, i));
+    }
+    moves
+}
+
+/// Speculate a random move sequence inside one journal, snapshotting the
+/// design fingerprint at every mark, then force a rollback to a random
+/// prefix and finally to the baseline: each unwind must restore the
+/// fingerprint recorded at that mark bit-exactly.
+#[test]
+fn random_move_sequences_roll_back_bit_exactly() {
+    let mut rng = Rng::seed_from_u64(0x0DD0_11FE);
+    for case in 0..prop_cases(12) {
+        let (mut dp, mlib) = random_design(&mut rng);
+        let moves = shuffled_moves(&dp, &mlib, &mut rng);
+
+        // (journal mark, fingerprint) before each applied move; index 0 is
+        // the untouched baseline.
+        let mut log = UndoLog::new();
+        let mut snaps = vec![(log.mark(), module_fingerprint(&dp.hierarchy, &dp.top.built))];
+        let mut applied = 0usize;
+        for mv in &moves {
+            let mark = log.mark();
+            // Moves invalidated by earlier edits of the sequence are fine:
+            // a failed apply must leave no trace in design or journal.
+            match apply_in_place(&mut dp, mv, &mlib, &mut |_, _, _| None, &mut log) {
+                Ok(_) => {
+                    applied += 1;
+                    snaps.push((log.mark(), module_fingerprint(&dp.hierarchy, &dp.top.built)));
+                }
+                Err(_) => assert_eq!(
+                    (log.mark(), module_fingerprint(&dp.hierarchy, &dp.top.built)),
+                    (mark, snaps.last().unwrap().1),
+                    "case {case}: rejected {mv} must leave design and journal untouched"
+                ),
+            }
+            if applied >= 12 {
+                break;
+            }
+        }
+        assert!(
+            applied >= 2,
+            "case {case}: sequence too short to exercise rollback ({applied} applies)"
+        );
+
+        // Unwind to a random intermediate prefix, then all the way down.
+        let keep = rng.range_usize(0, snaps.len() - 1);
+        for &idx in &[keep, 0] {
+            let (mark, fp) = snaps[idx];
+            log.rollback_to(&mut dp, mark);
+            assert_eq!(
+                module_fingerprint(&dp.hierarchy, &dp.top.built),
+                fp,
+                "case {case}: rollback to mark {idx}/{} diverged",
+                snaps.len() - 1
+            );
+        }
+        assert!(
+            log.is_empty(),
+            "case {case}: baseline rollback must drain the journal"
+        );
+        assert!(
+            log.bytes_peak() > 0,
+            "case {case}: journal never accounted its records"
+        );
+    }
+}
+
+/// Full synthesis with the transactional engine is the same search with the
+/// same result as the clone-per-candidate path, compared byte-for-byte.
+#[test]
+fn transactional_and_cloning_synthesis_are_byte_identical() {
+    let mut rng = Rng::seed_from_u64(0x0BEA_70FF);
+    for case in 0..prop_cases(6) {
+        let g = arb_behavior(&mut rng);
+        let laxity_pct = rng.range_i64(120, 319) as u32;
+        let objective_area = rng.next_bool(0.5);
+        let mut h = Hierarchy::new();
+        let id = h.add_dfg(g);
+        h.set_top(id);
+        assert!(h.validate().is_ok());
+        let mlib = ModuleLibrary::from_simple(table1_library());
+
+        let mut tx = SynthesisConfig::new(if objective_area {
+            Objective::Area
+        } else {
+            Objective::Power
+        });
+        tx.laxity_factor = f64::from(laxity_pct) / 100.0;
+        tx.max_passes = 2;
+        tx.candidate_limit = 2;
+        tx.eval_trace_len = 8;
+        tx.report_trace_len = 16;
+        tx.max_clock_candidates = 2;
+        tx.resynth_depth = 0;
+        tx.transactional = true;
+        let mut clone = tx.clone();
+        clone.transactional = false;
+
+        let r_tx = synthesize(&h, &mlib, &tx)
+            .unwrap_or_else(|e| panic!("case {case}: transactional synthesis failed: {e}"));
+        let r_clone = synthesize(&h, &mlib, &clone)
+            .unwrap_or_else(|e| panic!("case {case}: cloning synthesis failed: {e}"));
+
+        let j_tx = r_tx.result_json();
+        let j_clone = r_clone.result_json();
+        Json::parse(&j_tx).expect("transactional result_json parses");
+        assert_eq!(
+            j_tx, j_clone,
+            "case {case}: transactional and cloning synthesis diverged"
+        );
+        // The transactional run really speculated in place…
+        assert!(
+            r_tx.stats.moves_rolled_back > 0,
+            "case {case}: transactional run journaled no rollbacks"
+        );
+        assert!(
+            r_tx.stats.undo_bytes_peak > 0,
+            "case {case}: transactional run accounted no journal bytes"
+        );
+        // …and the clone path never touches the journal.
+        assert_eq!(
+            (
+                r_clone.stats.moves_rolled_back,
+                r_clone.stats.undo_bytes_peak
+            ),
+            (0, 0),
+            "case {case}: cloning run must not journal"
+        );
+    }
+}
