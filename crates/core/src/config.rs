@@ -102,6 +102,16 @@ pub struct SynthesisConfig {
     /// and
     /// [`MoveStats::undo_bytes_peak`](crate::MoveStats::undo_bytes_peak).
     pub transactional: bool,
+    /// Co-simulation check (off by default): after each `(Vdd, clk)`
+    /// configuration is optimized, step the winning design's FSM against
+    /// its bound datapath cycle by cycle
+    /// ([`hsyn_rtl::cosimulate`](hsyn_rtl::cosimulate)) on the evaluation
+    /// traces and require the outputs to be byte-identical to the flattened
+    /// behavioral reference. A divergence surfaces as a
+    /// [`SkippedConfig`](crate::SkippedConfig) with rule code `COSIM`.
+    /// Observation-only on legal runs — the report is byte-identical with
+    /// the flag off.
+    pub cosim_check: bool,
 }
 
 impl SynthesisConfig {
@@ -127,6 +137,7 @@ impl SynthesisConfig {
             incremental: true,
             shadow_eval: false,
             transactional: true,
+            cosim_check: false,
         }
     }
 

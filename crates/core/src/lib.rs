@@ -42,6 +42,7 @@ mod config;
 mod cost;
 mod design;
 mod explore;
+mod fuzz;
 mod improve;
 mod moves;
 mod synth;
@@ -57,6 +58,7 @@ pub use design::{
     OperatingPoint, SpecCore,
 };
 pub use explore::{explore, pareto_front, Exploration, ExplorePoint, SkippedPoint};
+pub use fuzz::{fuzz_cosim, FuzzCoverage, FuzzDivergence, FuzzParams, FuzzReport};
 pub use improve::{MoveStats, ParanoidViolation};
 pub use moves::{
     apply, apply_in_place, apply_tracked, dirty_path, selection_candidates, sharing_candidates,

@@ -9,7 +9,7 @@ use crate::cost::{evaluate, Evaluation, Objective};
 use crate::design::{initial_solution, probe_min_latency, DesignPoint, OperatingPoint};
 use crate::improve::{Engine, MoveStats};
 use hsyn_dfg::Hierarchy;
-use hsyn_power::dsp_default;
+use hsyn_power::{dsp_default, TraceSet};
 use hsyn_rtl::ModuleLibrary;
 use std::fmt;
 use std::time::Instant;
@@ -271,6 +271,19 @@ impl SynthesisReport {
     }
 }
 
+/// The paranoid-mode co-simulation gate: step the optimized design's FSM
+/// against its bound datapath on the evaluation traces and require the
+/// outputs to match the flattened behavioral reference byte for byte.
+fn cosim_gate(dp: &DesignPoint, traces: &TraceSet) -> Result<(), String> {
+    let run = hsyn_rtl::cosimulate(&dp.hierarchy, &dp.top.built, &traces.samples, traces.width)
+        .map_err(|d| d.to_string())?;
+    let want = hsyn_dfg::reference_outputs(&dp.hierarchy.flatten(), &traces.samples, traces.width);
+    if run.outputs != want {
+        return Err("co-simulated outputs differ from the behavioral reference".into());
+    }
+    Ok(())
+}
+
 /// Synthesize `hierarchy` with `mlib` under `config` — the paper's
 /// `SYNTHESIZE` procedure. For `config.hierarchical == false` the behavior
 /// is flattened first and complex modules are unused (the flattened
@@ -432,16 +445,32 @@ pub fn synthesize(
                         rule: Some(violation.diagnostic.code.as_str().to_owned()),
                         reason: violation.to_string(),
                     },
-                    Ok((opt, opt_eval)) => ConfigOutcome::Optimized {
-                        design: Box::new(opt),
-                        eval: Box::new(opt_eval),
-                        stats: engine.stats,
-                        elapsed_s: config_start.elapsed().as_secs_f64(),
-                        verify_s: engine.verify_s,
-                        eval_full_s: engine.eval_full_s,
-                        eval_incr_s: engine.eval_incr_s,
-                        apply_s: engine.apply_s,
-                    },
+                    Ok((opt, opt_eval)) => {
+                        // The co-simulation gate sits after the lint gate:
+                        // lint checks structural invariants, co-simulation
+                        // checks the cycle-accurate execution itself.
+                        let cosim = if config.cosim_check {
+                            cosim_gate(&opt, &eval_traces)
+                        } else {
+                            Ok(())
+                        };
+                        match cosim {
+                            Err(reason) => ConfigOutcome::Skipped {
+                                reason,
+                                rule: Some("COSIM".to_owned()),
+                            },
+                            Ok(()) => ConfigOutcome::Optimized {
+                                design: Box::new(opt),
+                                eval: Box::new(opt_eval),
+                                stats: engine.stats,
+                                elapsed_s: config_start.elapsed().as_secs_f64(),
+                                verify_s: engine.verify_s,
+                                eval_full_s: engine.eval_full_s,
+                                eval_incr_s: engine.eval_incr_s,
+                                apply_s: engine.apply_s,
+                            },
+                        }
+                    }
                 }
             }
         }

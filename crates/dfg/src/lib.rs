@@ -18,6 +18,8 @@
 //!   ("building blocks" such as dot products or butterflies), consumed by
 //!   move *A* of the synthesis engine;
 //! * a small textual format ([`text`]) with a parser and printer;
+//! * a reference evaluator for flattened DFGs ([`eval`]), the shared
+//!   behavioral oracle for the simulators and the co-simulation tests;
 //! * behavioral [`transform`]ations (constant folding, common-subexpression
 //!   elimination, dead-code elimination, tree-height reduction);
 //! * the reconstructed DSP [`benchmarks`] used in the paper's evaluation
@@ -50,6 +52,7 @@ pub mod analysis;
 pub mod benchmarks;
 pub mod dot;
 mod equiv;
+pub mod eval;
 mod graph;
 mod hierarchy;
 mod op;
@@ -57,6 +60,7 @@ pub mod text;
 pub mod transform;
 
 pub use equiv::EquivClasses;
+pub use eval::reference_outputs;
 pub use graph::{Dfg, Edge, EdgeId, Node, NodeId, NodeKind, VarRef};
 pub use hierarchy::{DfgId, Hierarchy, HierarchyError};
 pub use op::Operation;

@@ -35,6 +35,24 @@ pub struct TraceSet {
 }
 
 impl TraceSet {
+    /// Wrap externally produced streams (one per primary input) into a
+    /// trace set — the entry point for co-simulation harnesses and fuzzers
+    /// that synthesize their own stimuli instead of using [`generate`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is not in `1..=32` or the streams have unequal
+    /// lengths.
+    pub fn new(samples: Vec<Vec<i64>>, width: u32) -> Self {
+        assert!((1..=32).contains(&width), "width must be in 1..=32");
+        let len = samples.first().map_or(0, Vec::len);
+        assert!(
+            samples.iter().all(|s| s.len() == len),
+            "input streams must have equal lengths"
+        );
+        TraceSet { samples, width }
+    }
+
     /// Number of iterations the traces cover.
     pub fn len(&self) -> usize {
         self.samples.first().map_or(0, Vec::len)

@@ -158,3 +158,188 @@ pub fn control_bit_count(h: &Hierarchy, module: &RtlModule, conn: &Connectivity)
     bits += conn.select_bits();
     bits
 }
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::connect::connectivity;
+    use crate::spec::{build, BuildCtx, FuGroup, ModuleSpec, RegPolicy, SubSpec};
+    use hsyn_dfg::{Dfg, Hierarchy, Operation};
+    use hsyn_lib::papers::{table1_library, TABLE1_CLOCK_NS};
+    use hsyn_lib::Library;
+
+    fn dedicated(h: &Hierarchy, dfg: hsyn_dfg::DfgId, lib: &Library) -> ModuleSpec {
+        ModuleSpec::dedicated(
+            h,
+            dfg,
+            "m",
+            |_, op| lib.fastest_for(op).unwrap(),
+            |_, _| unreachable!(),
+        )
+    }
+
+    #[test]
+    fn chain_fsm_has_one_word_per_cycle() {
+        // a+b feeding a multiply feeding a subtract: three FUs, serial
+        // dependency chain across several cycles.
+        let mut h = Hierarchy::new();
+        let mut g = Dfg::new("chain");
+        let a = g.add_input("a");
+        let b = g.add_input("b");
+        let c = g.add_input("c");
+        let s = g.add_op(Operation::Add, "s", &[a, b]);
+        let m = g.add_op(Operation::Mult, "m", &[s, c]);
+        let d = g.add_op(Operation::Sub, "d", &[m, a]);
+        g.add_output("y", d);
+        let id = h.add_dfg(g);
+        h.set_top(id);
+        h.validate().unwrap();
+
+        let lib = table1_library();
+        let ctx = BuildCtx::new(&lib, TABLE1_CLOCK_NS, 5.0, Some(16));
+        let module = build(&h, &dedicated(&h, id, &lib), &ctx).unwrap();
+        let fsm = generate_fsm(&h, &module);
+
+        assert_eq!(fsm.programs.len(), 1);
+        let prog = &fsm.programs[0];
+        let bhv = &module.behaviors()[0];
+        assert_eq!(prog.dfg, bhv.dfg);
+        assert_eq!(prog.words.len(), bhv.schedule.makespan() as usize + 1);
+        assert_eq!(fsm.state_count(), prog.words.len() + 1);
+
+        // Every op asserts its own operation on its own FU over exactly its
+        // occupied window, nothing else (dedicated binding, no sharing).
+        for (&node, &fu) in &bhv.binding.op_to_fu {
+            let op = match h.dfg(bhv.dfg).node(node).kind() {
+                NodeKind::Op(op) => *op,
+                _ => unreachable!("only ops are bound to FUs"),
+            };
+            let t = bhv.schedule.time(node);
+            for (cyc, w) in prog.words.iter().enumerate() {
+                let active = (t.occupied.0..t.occupied.1).contains(&(cyc as u32));
+                assert_eq!(
+                    w.fu_ops[fu.index()],
+                    active.then_some(op),
+                    "F{} at state {cyc}",
+                    fu.index()
+                );
+            }
+        }
+        // No submodules, so no start strobes anywhere.
+        assert!(prog.words.iter().all(|w| w.sub_starts.is_empty()));
+        // Primary inputs are latched at state 0 under the dedicated policy.
+        assert!(prog.words[0].reg_loads.iter().any(|&l| l));
+        // Every register loads at least once, in exactly one state per
+        // stored variable group.
+        for r in 0..module.regs().len() {
+            assert!(
+                prog.words.iter().any(|w| w.reg_loads[r]),
+                "R{r} never loads"
+            );
+        }
+    }
+
+    #[test]
+    fn shared_alu_serializes_and_counts_op_select_bits() {
+        // Add and Sub time-share one `add1` ALU: the control word must
+        // steer the unit's operation per cycle, costing one op-select bit.
+        let mut h = Hierarchy::new();
+        let mut g = Dfg::new("alu");
+        let a = g.add_input("a");
+        let b = g.add_input("b");
+        let s1 = g.add_op(Operation::Add, "s1", &[a, b]);
+        let s2 = g.add_op(Operation::Sub, "s2", &[s1, a]);
+        g.add_output("y", s2);
+        let id = h.add_dfg(g);
+        h.set_top(id);
+        h.validate().unwrap();
+
+        let lib = table1_library();
+        let spec = ModuleSpec {
+            name: "alu_impl".into(),
+            dfg: id,
+            fu_groups: vec![FuGroup {
+                fu_type: lib.fu_by_name("add1").unwrap(),
+                ops: vec![s1.node, s2.node],
+            }],
+            subs: vec![],
+            reg_policy: RegPolicy::Dedicated,
+        };
+        let ctx = BuildCtx::new(&lib, TABLE1_CLOCK_NS, 5.0, Some(16));
+        let module = build(&h, &spec, &ctx).unwrap();
+        let fsm = generate_fsm(&h, &module);
+        let prog = &fsm.programs[0];
+
+        // One FU, two operations: each cycle asserts at most one, and both
+        // appear across the program.
+        assert_eq!(module.fus().len(), 1);
+        let asserted: Vec<Operation> = prog.words.iter().filter_map(|w| w.fu_ops[0]).collect();
+        assert!(asserted.contains(&Operation::Add));
+        assert!(asserted.contains(&Operation::Sub));
+
+        // Control bits: (1 enable + 1 op-select bit for the 2-op ALU) +
+        // one load enable per register + mux select lines. No submodules.
+        let conn = connectivity(&h, &module);
+        assert_eq!(
+            control_bit_count(&h, &module, &conn),
+            2 + module.regs().len() + conn.select_bits()
+        );
+    }
+
+    #[test]
+    fn submodule_start_strobe_fires_at_call_start() {
+        let mut h = Hierarchy::new();
+        let mut sub = Dfg::new("sub");
+        let a = sub.add_input("a");
+        let b = sub.add_input("b");
+        let m = sub.add_op(Operation::Mult, "m", &[a, b]);
+        sub.add_output("o", m);
+        let sub_id = h.add_dfg(sub);
+        let mut top = Dfg::new("top");
+        let x = top.add_input("x");
+        let y = top.add_input("y");
+        let call = top.add_hier(sub_id, "H", &[x, y]);
+        let s = top.add_op(Operation::Add, "s", &[top.hier_out(call, 0), x]);
+        top.add_output("z", s);
+        let top_id = h.add_dfg(top);
+        h.set_top(top_id);
+        h.validate().unwrap();
+
+        let lib = table1_library();
+        let ctx = BuildCtx::new(&lib, TABLE1_CLOCK_NS, 5.0, Some(12));
+        let child = build(&h, &dedicated(&h, sub_id, &lib), &ctx).unwrap();
+        let spec = ModuleSpec {
+            name: "top_impl".into(),
+            dfg: top_id,
+            fu_groups: vec![FuGroup {
+                fu_type: lib.fu_by_name("add1").unwrap(),
+                ops: vec![s.node],
+            }],
+            subs: vec![SubSpec {
+                module: child,
+                nodes: vec![call],
+            }],
+            reg_policy: RegPolicy::Dedicated,
+        };
+        let parent = build(&h, &spec, &ctx).unwrap();
+        let fsm = generate_fsm(&h, &parent);
+        let prog = &fsm.programs[0];
+        let bhv = &parent.behaviors()[0];
+
+        // The start strobe fires exactly once, at the call's start cycle.
+        let start = bhv.schedule.time(call).start.cycle as usize;
+        for (cyc, w) in prog.words.iter().enumerate() {
+            assert_eq!(w.sub_starts, vec![cyc == start], "state {cyc}");
+        }
+
+        // Control bits: the lone single-op adder costs 1 enable (no select
+        // bits), the submodule strobe 1, plus register load enables and mux
+        // select lines.
+        let conn = connectivity(&h, &parent);
+        assert_eq!(parent.fus().len(), 1);
+        assert_eq!(
+            control_bit_count(&h, &parent, &conn),
+            1 + parent.regs().len() + 1 + conn.select_bits()
+        );
+    }
+}

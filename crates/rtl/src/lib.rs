@@ -20,6 +20,7 @@
 
 mod assignment;
 mod connect;
+mod cosim;
 mod cost;
 mod embed;
 mod fingerprint;
@@ -34,6 +35,7 @@ mod verilog;
 
 pub use assignment::{assignment_gain, max_weight_assignment};
 pub use connect::{connectivity, Connectivity, Sink, Source};
+pub use cosim::{cosimulate, CosimDivergence, CosimDivergenceKind, CosimRun, CosimStats};
 pub use cost::{module_area, module_area_cached, AreaBreakdown, AreaCache};
 pub use embed::{embed, EmbedError, EmbedMaps, EmbedResult};
 pub use fingerprint::{

@@ -18,6 +18,9 @@
 //!                            one and panic on the first bit-level divergence
 //!   --no-transactional       clone the design per candidate instead of
 //!                            speculating in place with an undo journal
+//!   --cosim-check            co-simulate every optimized configuration
+//!                            against the behavioral reference and skip
+//!                            configurations whose outputs diverge
 //!   --netlist                print the structural netlist
 //!   --fsm                    print the FSM controller
 //!   --verilog <file>         write structural Verilog
@@ -38,18 +41,31 @@
 //!   --allow <CODE>           suppress a rule (repeatable, e.g. --allow SCH005)
 //!   --json                   machine-readable diagnostics
 //!
-//! Exit status: 0 clean (warnings allowed), 1 error diagnostics or failed
-//! runs, 2 usage errors.
+//! hsyn cosim [<behavior.dfg> | --benchmark NAME | --all-benchmarks] [options]
+//!
+//! options:
+//!   --objective area|power|both   objective(s) to check (default: both)
+//!   --library table1|realistic                           (default: realistic)
+//!   --laxity <f>             laxity factor (default: 2.2)
+//!   --flat                   co-simulate the flattened baseline
+//!   --iters <n>              trace length in iterations (default: 32)
+//!   --seed <n>               trace / fuzz RNG seed
+//!   --fuzz <n>               run N coverage-guided random-DFG cases instead
+//!                            of a fixed behavior
+//!   --json <file>            write a divergence reproducer as JSON
+//!
+//! Exit status: 0 clean (warnings allowed), 1 error diagnostics, failed
+//! runs, or co-simulation divergences, 2 usage errors.
 //! ```
 
 use hsyn::core::{synthesize, Objective, SynthesisConfig};
-use hsyn::dfg::{benchmarks, text, EquivClasses, Hierarchy};
+use hsyn::dfg::{benchmarks, reference_outputs, text, EquivClasses, Hierarchy};
 use hsyn::lib::{papers::table1_library, Library};
 use hsyn::lint::{
     diagnostics_to_json, error_count, lint_hierarchy_with, verify_design_with, DesignView,
     Diagnostic, LintConfig,
 };
-use hsyn::rtl::{generate_fsm, netlist_text, verilog_text, ModuleLibrary};
+use hsyn::rtl::{cosimulate, generate_fsm, netlist_text, verilog_text, ModuleLibrary};
 use hsyn::util::Json;
 use std::process::ExitCode;
 
@@ -58,11 +74,15 @@ fn usage() -> ExitCode {
         "usage: hsyn <behavior.dfg> [--objective area|power] [--laxity F] [--period NS]\n\
          \x20           [--library table1|realistic] [--flat] [--paranoid] [--netlist]\n\
          \x20           [--no-incremental] [--shadow-eval] [--no-transactional]\n\
-         \x20           [--fsm] [--verilog FILE]\n\
+         \x20           [--cosim-check] [--fsm] [--verilog FILE]\n\
          \x20           [--dot FILE] [--power-report] [--seed N] [--parallel N]\n\
          \x20      hsyn lint [<behavior.dfg> | --benchmark NAME | --all-benchmarks]\n\
          \x20           [--synthesize] [--objective area|power|both] [--laxity F]\n\
-         \x20           [--library table1|realistic] [--allow CODE] [--json]"
+         \x20           [--library table1|realistic] [--allow CODE] [--json]\n\
+         \x20      hsyn cosim [<behavior.dfg> | --benchmark NAME | --all-benchmarks]\n\
+         \x20           [--objective area|power|both] [--laxity F] [--flat]\n\
+         \x20           [--library table1|realistic] [--iters N] [--seed N]\n\
+         \x20           [--fuzz N] [--json FILE]"
     );
     ExitCode::from(2)
 }
@@ -92,17 +112,76 @@ fn library_by_name(name: &str) -> Option<Library> {
 
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
-    if args.first().map(String::as_str) == Some("lint") {
-        return lint_main(args.split_off(1));
+    match args.first().map(String::as_str) {
+        Some("lint") => lint_main(args.split_off(1)),
+        Some("cosim") => cosim_main(args.split_off(1)),
+        _ => synth_main(args),
     }
-    synth_main(args)
 }
 
-/// A behavior to lint: its display name, hierarchy, and equivalences.
-struct LintTarget {
+/// A behavior to lint or co-simulate: its display name, hierarchy, and
+/// equivalences.
+struct BehaviorTarget {
     name: String,
     hierarchy: Hierarchy,
     equiv: EquivClasses,
+}
+
+/// Resolve the `<behavior.dfg> | --benchmark NAME | --all-benchmarks`
+/// selection shared by `lint` and `cosim` into concrete targets. Exactly
+/// one source must be given.
+fn collect_targets(
+    input: Option<String>,
+    bench_name: Option<String>,
+    all_benchmarks: bool,
+) -> Result<Vec<BehaviorTarget>, ExitCode> {
+    let sources = input.is_some() as u8 + bench_name.is_some() as u8 + all_benchmarks as u8;
+    if sources != 1 {
+        eprintln!("choose exactly one of <behavior.dfg>, --benchmark, --all-benchmarks");
+        return Err(usage());
+    }
+    let mut targets = Vec::new();
+    if let Some(path) = input {
+        let source = match std::fs::read_to_string(&path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                return Err(ExitCode::FAILURE);
+            }
+        };
+        match text::parse(&source) {
+            Ok(p) => targets.push(BehaviorTarget {
+                name: path,
+                hierarchy: p.hierarchy,
+                equiv: p.equiv,
+            }),
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                return Err(ExitCode::FAILURE);
+            }
+        }
+    } else if let Some(name) = bench_name {
+        match benchmarks::by_name(&name) {
+            Some(b) => targets.push(BehaviorTarget {
+                name: b.name.to_owned(),
+                hierarchy: b.hierarchy,
+                equiv: b.equiv,
+            }),
+            None => {
+                eprintln!("unknown benchmark `{name}`");
+                return Err(ExitCode::FAILURE);
+            }
+        }
+    } else {
+        for b in benchmarks::all() {
+            targets.push(BehaviorTarget {
+                name: b.name.to_owned(),
+                hierarchy: b.hierarchy,
+                equiv: b.equiv,
+            });
+        }
+    }
+    Ok(targets)
 }
 
 /// The `hsyn lint` subcommand: verify cross-layer IR invariants of a
@@ -166,54 +245,10 @@ fn lint_main(args: Vec<String>) -> ExitCode {
         }
     }
 
-    // Exactly one input source.
-    let sources = input.is_some() as u8 + bench_name.is_some() as u8 + all_benchmarks as u8;
-    if sources != 1 {
-        eprintln!("choose exactly one of <behavior.dfg>, --benchmark, --all-benchmarks");
-        return usage();
-    }
-
-    let mut targets: Vec<LintTarget> = Vec::new();
-    if let Some(path) = input {
-        let source = match std::fs::read_to_string(&path) {
-            Ok(s) => s,
-            Err(e) => {
-                eprintln!("cannot read {path}: {e}");
-                return ExitCode::FAILURE;
-            }
-        };
-        match text::parse(&source) {
-            Ok(p) => targets.push(LintTarget {
-                name: path,
-                hierarchy: p.hierarchy,
-                equiv: p.equiv,
-            }),
-            Err(e) => {
-                eprintln!("{path}: {e}");
-                return ExitCode::FAILURE;
-            }
-        }
-    } else if let Some(name) = bench_name {
-        match benchmarks::by_name(&name) {
-            Some(b) => targets.push(LintTarget {
-                name: b.name.to_owned(),
-                hierarchy: b.hierarchy,
-                equiv: b.equiv,
-            }),
-            None => {
-                eprintln!("unknown benchmark `{name}`");
-                return ExitCode::FAILURE;
-            }
-        }
-    } else {
-        for b in benchmarks::all() {
-            targets.push(LintTarget {
-                name: b.name.to_owned(),
-                hierarchy: b.hierarchy,
-                equiv: b.equiv,
-            });
-        }
-    }
+    let targets = match collect_targets(input, bench_name, all_benchmarks) {
+        Ok(t) => t,
+        Err(code) => return code,
+    };
 
     let Some(simple) = library_by_name(&library) else {
         return ExitCode::FAILURE;
@@ -303,6 +338,203 @@ fn lint_main(args: Vec<String>) -> ExitCode {
     }
 }
 
+/// The `hsyn cosim` subcommand: synthesize a behavior (or a fleet of random
+/// ones with `--fuzz`) and step the resulting FSM + datapath cycle by cycle,
+/// requiring the outputs to match the flattened behavioral reference byte
+/// for byte.
+fn cosim_main(args: Vec<String>) -> ExitCode {
+    let mut input: Option<String> = None;
+    let mut bench_name: Option<String> = None;
+    let mut all_benchmarks = false;
+    let mut objectives = vec![Objective::Area, Objective::Power];
+    let mut library = "realistic".to_owned();
+    let mut laxity = 2.2f64;
+    let mut flat = false;
+    let mut iters = 32usize;
+    let mut seed = 0xDAC_1998u64;
+    let mut fuzz_cases: Option<u64> = None;
+    let mut json_out: Option<String> = None;
+
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--benchmark" => match it.next() {
+                Some(v) => bench_name = Some(v),
+                None => return usage(),
+            },
+            "--all-benchmarks" => all_benchmarks = true,
+            "--objective" => match it.next().as_deref() {
+                Some("area") => objectives = vec![Objective::Area],
+                Some("power") => objectives = vec![Objective::Power],
+                Some("both") => objectives = vec![Objective::Area, Objective::Power],
+                _ => return usage(),
+            },
+            "--library" => match it.next() {
+                Some(v) => library = v,
+                None => return usage(),
+            },
+            "--laxity" => match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(v) if v > 0.0 && v.is_finite() => laxity = v,
+                _ => {
+                    eprintln!("--laxity expects a positive number");
+                    return usage();
+                }
+            },
+            "--flat" => flat = true,
+            "--iters" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(v) if v >= 1 => iters = v,
+                _ => {
+                    eprintln!("--iters expects a positive iteration count");
+                    return usage();
+                }
+            },
+            "--seed" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => seed = v,
+                None => return usage(),
+            },
+            "--fuzz" => match it.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(v) if v >= 1 => fuzz_cases = Some(v),
+                _ => {
+                    eprintln!("--fuzz expects a positive case count");
+                    return usage();
+                }
+            },
+            "--json" => match it.next() {
+                Some(v) => json_out = Some(v),
+                None => return usage(),
+            },
+            "--help" | "-h" => return usage(),
+            other if input.is_none() && !other.starts_with('-') => {
+                input = Some(other.to_owned());
+            }
+            other => {
+                eprintln!("unknown argument `{other}`");
+                return usage();
+            }
+        }
+    }
+
+    // Fuzz mode: coverage-guided random DFGs instead of a fixed behavior.
+    if let Some(cases) = fuzz_cases {
+        if input.is_some() || bench_name.is_some() || all_benchmarks {
+            eprintln!("--fuzz takes no behavior argument");
+            return usage();
+        }
+        let report = hsyn::core::fuzz_cosim(cases, seed);
+        println!(
+            "fuzz                : {} cases, {} executed, {} synthesis-infeasible",
+            report.cases, report.executed, report.synth_failures
+        );
+        println!(
+            "coverage            : {} distinct structural features",
+            report.coverage.distinct()
+        );
+        let Some(div) = report.divergence else {
+            println!("result              : clean");
+            return ExitCode::SUCCESS;
+        };
+        eprintln!(
+            "DIVERGENCE at case {} (seed {}, {}): {}",
+            div.case,
+            div.case_seed,
+            match div.objective {
+                Objective::Area => "area",
+                Objective::Power => "power",
+            },
+            div.detail
+        );
+        let repro = div.to_json().to_string_pretty();
+        if let Some(path) = json_out {
+            if let Err(e) = std::fs::write(&path, &repro) {
+                eprintln!("cannot write {path}: {e}");
+            } else {
+                eprintln!("reproducer written  : {path}");
+            }
+        } else {
+            eprintln!("{repro}");
+        }
+        return ExitCode::FAILURE;
+    }
+
+    let targets = match collect_targets(input, bench_name, all_benchmarks) {
+        Ok(t) => t,
+        Err(code) => return code,
+    };
+    let Some(simple) = library_by_name(&library) else {
+        return ExitCode::FAILURE;
+    };
+
+    let mut failed = false;
+    for target in &targets {
+        if let Err(e) = target.hierarchy.validate() {
+            eprintln!("{}: {e}", target.name);
+            failed = true;
+            continue;
+        }
+        let flat_ref = target.hierarchy.flatten();
+        for &objective in &objectives {
+            let label = format!(
+                "{}[{}{}]",
+                target.name,
+                match objective {
+                    Objective::Area => "area",
+                    Objective::Power => "power",
+                },
+                if flat { ",flat" } else { "" }
+            );
+            let mut mlib = ModuleLibrary::from_simple(simple.clone());
+            mlib.equiv = target.equiv.clone();
+            let mut config = SynthesisConfig::new(objective);
+            config.laxity_factor = laxity;
+            config.hierarchical = !flat;
+            config.seed = seed;
+            let report = match synthesize(&target.hierarchy, &mlib, &config) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("{label}: synthesis failed: {e}");
+                    failed = true;
+                    continue;
+                }
+            };
+            let design = &report.design;
+            let traces =
+                hsyn::power::dsp_default(flat_ref.input_count(), iters, config.width, seed);
+            let want = reference_outputs(&flat_ref, &traces.samples, traces.width);
+            match cosimulate(
+                &design.hierarchy,
+                &design.top.built,
+                &traces.samples,
+                traces.width,
+            ) {
+                Ok(run) if run.outputs == want => {
+                    println!(
+                        "{label}: ok ({} iterations, {} cycles, {} FU fires, \
+                         {} register writes, {} sub calls)",
+                        run.stats.iterations,
+                        run.stats.cycles,
+                        run.stats.fu_fires,
+                        run.stats.reg_writes,
+                        run.stats.sub_calls
+                    );
+                }
+                Ok(_) => {
+                    eprintln!("{label}: DIVERGED: outputs differ from the behavioral reference");
+                    failed = true;
+                }
+                Err(d) => {
+                    eprintln!("{label}: DIVERGED: {d}");
+                    failed = true;
+                }
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
 fn synth_main(args: Vec<String>) -> ExitCode {
     let mut input: Option<String> = None;
     let mut objective = Objective::Power;
@@ -321,6 +553,7 @@ fn synth_main(args: Vec<String>) -> ExitCode {
     let mut incremental = true;
     let mut shadow_eval = false;
     let mut transactional = true;
+    let mut cosim_check = false;
 
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -362,6 +595,7 @@ fn synth_main(args: Vec<String>) -> ExitCode {
             "--no-incremental" => incremental = false,
             "--shadow-eval" => shadow_eval = true,
             "--no-transactional" => transactional = false,
+            "--cosim-check" => cosim_check = true,
             "--netlist" => show_netlist = true,
             "--fsm" => show_fsm = true,
             "--verilog" => match take("--verilog") {
@@ -435,6 +669,7 @@ fn synth_main(args: Vec<String>) -> ExitCode {
     config.incremental = incremental;
     config.shadow_eval = shadow_eval;
     config.transactional = transactional;
+    config.cosim_check = cosim_check;
 
     let report = match synthesize(&parsed.hierarchy, &mlib, &config) {
         Ok(r) => r,
@@ -495,6 +730,18 @@ fn synth_main(args: Vec<String>) -> ExitCode {
             "verifier            : clean, {:.3}s across {} configurations",
             report.per_config.iter().map(|c| c.verify_s).sum::<f64>(),
             report.per_config.len()
+        );
+    }
+    if cosim_check {
+        let flagged = report
+            .skipped_configs
+            .iter()
+            .filter(|s| s.rule.as_deref() == Some("COSIM"))
+            .count();
+        println!(
+            "cosim check         : {} configurations clean, {} diverged",
+            report.per_config.len(),
+            flagged
         );
     }
     if incremental || shadow_eval {

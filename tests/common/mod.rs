@@ -3,12 +3,22 @@
 //! test and the paranoid-mode property test.
 #![allow(dead_code)]
 
-use hsyn::dfg::{Dfg, NodeId, NodeKind, Operation, VarRef};
+use hsyn::dfg::{Dfg, NodeId, Operation, VarRef};
 use hsyn::power::TraceSet;
 use hsyn_util::Rng;
 
 /// Datapath bit width used by every property test.
 pub const W: u32 = 16;
+
+/// Iteration count for a property test: `HSYN_TEST_ITERS` if set, else the
+/// legacy `HSYN_PROP_CASES`, else `default` — so CI can run deep sweeps
+/// while local runs stay fast and old pipelines keep working.
+pub fn test_iters(default: u64) -> u64 {
+    ["HSYN_TEST_ITERS", "HSYN_PROP_CASES"]
+        .iter()
+        .find_map(|k| std::env::var(k).ok()?.parse().ok())
+        .unwrap_or(default)
+}
 
 /// A random leaf DFG over add/sub/mult with occasional feedback edges.
 pub fn arb_behavior(rng: &mut Rng) -> Dfg {
@@ -51,52 +61,11 @@ pub fn arb_behavior(rng: &mut Rng) -> Dfg {
     g
 }
 
-/// Reference evaluation of the behavior with delay state.
+/// Reference evaluation of the behavior with delay state: the shared
+/// [`hsyn::dfg::reference_outputs`] oracle, specialized to the generator's
+/// single-output graphs.
 pub fn reference(g: &Dfg, traces: &TraceSet) -> Vec<i64> {
-    let order = hsyn::dfg::analysis::topo_order(g).unwrap();
-    let mut hist: std::collections::HashMap<(NodeId, u32), i64> = Default::default();
-    let mut outs = Vec::new();
-    for n in 0..traces.len() {
-        let mut vals: std::collections::HashMap<NodeId, i64> = Default::default();
-        let read = |vals: &std::collections::HashMap<NodeId, i64>,
-                    hist: &std::collections::HashMap<(NodeId, u32), i64>,
-                    e: &hsyn::dfg::Edge| {
-            if e.delay > 0 {
-                hist.get(&(e.from.node, e.delay)).copied().unwrap_or(0)
-            } else {
-                vals.get(&e.from.node).copied().unwrap_or(0)
-            }
-        };
-        for &nid in &order {
-            let v = match g.node(nid).kind() {
-                NodeKind::Input { index } => traces.samples[*index][n],
-                NodeKind::Const { value } => {
-                    let shift = 64 - W;
-                    (*value << shift) >> shift
-                }
-                NodeKind::Op(op) => {
-                    let args: Vec<i64> = (0..op.arity() as u16)
-                        .map(|p| read(&vals, &hist, g.driver(nid, p).unwrap()))
-                        .collect();
-                    op.eval(&args, W)
-                }
-                NodeKind::Output { .. } => {
-                    let v = read(&vals, &hist, g.driver(nid, 0).unwrap());
-                    outs.push(v);
-                    v
-                }
-                NodeKind::Hier { .. } => unreachable!("leaf"),
-            };
-            vals.insert(nid, v);
-        }
-        // Shift one-deep history (generator only creates delay-1 edges).
-        for (_, e) in g.edges() {
-            if e.delay == 1 {
-                if let Some(&v) = vals.get(&e.from.node) {
-                    hist.insert((e.from.node, 1), v);
-                }
-            }
-        }
-    }
-    outs
+    let mut outs = hsyn::dfg::reference_outputs(g, &traces.samples, W);
+    assert_eq!(outs.len(), 1, "arb_behavior emits a single output");
+    outs.remove(0)
 }

@@ -1,0 +1,89 @@
+//! The co-simulation oracle against the whole benchmark suite: every
+//! built-in benchmark, synthesized under both objectives and in both
+//! hierarchical and flattened modes, must produce outputs **byte-identical**
+//! to the flattened-DFG reference evaluator when its FSM is stepped against
+//! the bound datapath cycle by cycle.
+//!
+//! This is the top of the differential-testing pyramid: the same designs
+//! are already shadow-evaluated (cache vs full), golden-snapshotted, and
+//! lint-verified — here the *control path itself* is executed.
+
+mod common;
+
+use common::W;
+use hsyn::core::{synthesize, Objective, SynthesisConfig};
+use hsyn::dfg::{benchmarks, reference_outputs};
+use hsyn::lib::papers::table1_library;
+use hsyn::power::dsp_default;
+use hsyn::rtl::{cosimulate, ModuleLibrary};
+
+/// Trace length for every benchmark run.
+const ITERS: usize = 10;
+
+fn small_config(objective: Objective, hierarchical: bool) -> SynthesisConfig {
+    // Small budgets: the point is co-simulating every accepted design
+    // shape, not search quality.
+    let mut c = SynthesisConfig::new(objective);
+    c.laxity_factor = 2.2;
+    c.hierarchical = hierarchical;
+    c.max_passes = 2;
+    c.candidate_limit = 2;
+    c.eval_trace_len = 8;
+    c.report_trace_len = 16;
+    c.max_clock_candidates = 2;
+    c.resynth_depth = 0;
+    c
+}
+
+#[test]
+fn all_benchmarks_cosimulate_bit_exactly() {
+    for bench in benchmarks::all() {
+        let flat = bench.hierarchy.flatten();
+        let traces = dsp_default(flat.input_count(), ITERS, W, 0xC051_3ED5);
+        let want = reference_outputs(&flat, &traces.samples, W);
+        for objective in [Objective::Area, Objective::Power] {
+            for hierarchical in [true, false] {
+                let label = format!(
+                    "{} ({objective:?}, {})",
+                    bench.name,
+                    if hierarchical { "hier" } else { "flat" }
+                );
+                let mut mlib = ModuleLibrary::from_simple(table1_library());
+                mlib.equiv = bench.equiv.clone();
+                let config = small_config(objective, hierarchical);
+                let report = synthesize(&bench.hierarchy, &mlib, &config)
+                    .unwrap_or_else(|e| panic!("{label}: synthesis failed: {e}"));
+                let design = &report.design;
+                let run = cosimulate(&design.hierarchy, &design.top.built, &traces.samples, W)
+                    .unwrap_or_else(|d| panic!("{label}: {d}"));
+                assert_eq!(run.outputs, want, "{label}: outputs diverged");
+                assert_eq!(run.stats.iterations as usize, ITERS, "{label}");
+                assert!(run.stats.fu_fires > 0, "{label}: no FU ever fired");
+            }
+        }
+    }
+}
+
+#[test]
+fn cosim_check_is_observation_only_on_legal_runs() {
+    let bench = benchmarks::by_name("hier_paulin").expect("built-in benchmark");
+    let mut mlib = ModuleLibrary::from_simple(table1_library());
+    mlib.equiv = bench.equiv.clone();
+    let mut config = small_config(Objective::Power, true);
+    let plain = synthesize(&bench.hierarchy, &mlib, &config).unwrap();
+    config.cosim_check = true;
+    let checked = synthesize(&bench.hierarchy, &mlib, &config).unwrap();
+    // Same search, same result: the gate observes, never steers.
+    assert_eq!(plain.stats, checked.stats);
+    assert_eq!(
+        plain.evaluation.area.total(),
+        checked.evaluation.area.total()
+    );
+    assert_eq!(plain.evaluation.power.power, checked.evaluation.power.power);
+    assert_eq!(plain.per_config.len(), checked.per_config.len());
+    // No configuration was skipped by the COSIM rule.
+    assert!(checked
+        .skipped_configs
+        .iter()
+        .all(|s| s.rule.as_deref() != Some("COSIM")));
+}

@@ -1,0 +1,40 @@
+//! Fixed-seed coverage-guided fuzz smoke run of the co-simulation oracle.
+//!
+//! Generates random hierarchical behaviors, synthesizes each under both
+//! objectives, and steps the resulting FSM + datapath against the flattened
+//! behavioral reference. A divergence is shrunk and written to
+//! `target/cosim_reproducer.json` (which CI uploads as an artifact) before
+//! the test panics.
+//!
+//! Case count: `HSYN_TEST_ITERS` (CI sets 200), default 12 for fast local
+//! runs.
+
+mod common;
+
+use hsyn::core::fuzz_cosim;
+
+#[test]
+fn fixed_seed_fuzz_run_is_clean() {
+    let cases = common::test_iters(12);
+    let report = fuzz_cosim(cases, 0xD1FF_5EED);
+    if let Some(div) = &report.divergence {
+        let path = std::path::Path::new("target").join("cosim_reproducer.json");
+        let _ = std::fs::create_dir_all("target");
+        std::fs::write(&path, div.to_json().to_string_pretty())
+            .expect("write divergence reproducer");
+        panic!(
+            "co-simulation fuzz diverged at case {} (seed {}), reproducer at {}: {}",
+            div.case,
+            div.case_seed,
+            path.display(),
+            div.detail
+        );
+    }
+    assert_eq!(report.cases, cases);
+    assert!(report.executed > 0, "no fuzz case executed");
+    assert!(
+        report.coverage.distinct() > 3,
+        "coverage map barely filled: {:?}",
+        report.coverage.iter().collect::<Vec<_>>()
+    );
+}

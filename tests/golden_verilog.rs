@@ -1,0 +1,84 @@
+//! Golden snapshots of the structural Verilog emitter: the full emitted
+//! text for two benchmarks (one leaf-heavy, one hierarchical) at both
+//! objectives is pinned under `tests/golden/verilog_*.v`. Any change to the
+//! emitter, the binder, or the scheduler that shifts a single character
+//! fails loudly; a deliberate change regenerates the files with
+//! `UPDATE_GOLDEN=1 cargo test --test golden_verilog`.
+
+use hsyn::core::{synthesize, Objective, SynthesisConfig};
+use hsyn::dfg::benchmarks;
+use hsyn::lib::papers::table1_library;
+use hsyn::rtl::{verilog_text, ModuleLibrary};
+use std::path::PathBuf;
+
+const BENCHES: [&str; 2] = ["paulin", "hier_paulin"];
+
+fn golden_config(objective: Objective) -> SynthesisConfig {
+    let mut c = SynthesisConfig::new(objective);
+    c.laxity_factor = 2.2;
+    c.max_passes = 2;
+    c.candidate_limit = 2;
+    c.eval_trace_len = 8;
+    c.report_trace_len = 16;
+    c.max_clock_candidates = 2;
+    c.resynth_depth = 1;
+    c
+}
+
+fn golden_path(name: &str, objective: Objective) -> PathBuf {
+    let obj = match objective {
+        Objective::Area => "area",
+        Objective::Power => "power",
+    };
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("verilog_{name}_{obj}.v"))
+}
+
+#[test]
+fn emitted_verilog_matches_golden_snapshots() {
+    let update = std::env::var("UPDATE_GOLDEN").is_ok_and(|v| v == "1");
+    let mut drift = Vec::new();
+    for name in BENCHES {
+        let bench = benchmarks::by_name(name).expect("built-in benchmark");
+        for objective in [Objective::Area, Objective::Power] {
+            let mut mlib = ModuleLibrary::from_simple(table1_library());
+            mlib.equiv = bench.equiv.clone();
+            let report = synthesize(&bench.hierarchy, &mlib, &golden_config(objective))
+                .unwrap_or_else(|e| panic!("{name} {objective:?}: {e}"));
+            let design = &report.design;
+            let got = verilog_text(&design.hierarchy, &design.top.built, &mlib.simple, 16);
+            let path = golden_path(name, objective);
+            if update {
+                std::fs::create_dir_all(path.parent().expect("golden dir")).unwrap();
+                std::fs::write(&path, &got).unwrap();
+                continue;
+            }
+            let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+                panic!(
+                    "{}: missing golden file (run UPDATE_GOLDEN=1 to create): {e}",
+                    path.display()
+                )
+            });
+            if got != want {
+                // The full files are too long to splice into the message;
+                // point at the first differing line instead.
+                let diff_line = got
+                    .lines()
+                    .zip(want.lines())
+                    .position(|(g, w)| g != w)
+                    .map_or_else(
+                        || format!("lengths differ: {} vs {} bytes", got.len(), want.len()),
+                        |i| format!("first difference at line {}", i + 1),
+                    );
+                drift.push(format!("{name} {objective:?}: {diff_line}"));
+            }
+        }
+    }
+    assert!(
+        drift.is_empty(),
+        "emitted Verilog drifted from tests/golden/verilog_*.v \
+         (UPDATE_GOLDEN=1 regenerates them if the change is deliberate):\n{}",
+        drift.join("\n")
+    );
+}

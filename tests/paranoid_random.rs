@@ -2,12 +2,12 @@
 //! with the cross-layer verifier armed must succeed with **zero** verifier
 //! rejections — every design the engine accepts satisfies every lint
 //! invariant — and the final design must lint clean. Cases are generated
-//! from a fixed seed, so failures reproduce exactly; set `HSYN_PROP_CASES`
+//! from a fixed seed, so failures reproduce exactly; set `HSYN_TEST_ITERS`
 //! to widen the sweep locally.
 
 mod common;
 
-use common::arb_behavior;
+use common::{arb_behavior, test_iters};
 use hsyn::core::{synthesize, Objective, SynthesisConfig};
 use hsyn::dfg::Hierarchy;
 use hsyn::lib::papers::table1_library;
@@ -17,10 +17,7 @@ use hsyn_util::Rng;
 
 #[test]
 fn paranoid_synthesis_of_random_behaviors_is_violation_free() {
-    let cases: u64 = std::env::var("HSYN_PROP_CASES")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(12);
+    let cases = test_iters(12);
     let mut rng = Rng::seed_from_u64(0xE2E02);
     for case in 0..cases {
         let g = arb_behavior(&mut rng);

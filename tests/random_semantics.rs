@@ -3,12 +3,12 @@
 //! semantics — the strongest cross-crate invariant in the suite (schedule,
 //! binding, chaining, register sharing, and module moves all sit between
 //! the DFG and the simulated outputs). Cases are generated from a fixed
-//! seed, so failures reproduce exactly; set `HSYN_PROP_CASES` to widen the
+//! seed, so failures reproduce exactly; set `HSYN_TEST_ITERS` to widen the
 //! sweep locally.
 
 mod common;
 
-use common::{arb_behavior, reference, W};
+use common::{arb_behavior, reference, test_iters, W};
 use hsyn::core::{synthesize, Objective, SynthesisConfig};
 use hsyn::dfg::Hierarchy;
 use hsyn::lib::papers::table1_library;
@@ -18,10 +18,7 @@ use hsyn_util::Rng;
 
 #[test]
 fn random_behaviors_synthesize_bit_exactly() {
-    let cases: u64 = std::env::var("HSYN_PROP_CASES")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(24);
+    let cases = test_iters(24);
     let mut rng = Rng::seed_from_u64(0xE2E01);
     for _ in 0..cases {
         let g = arb_behavior(&mut rng);

@@ -5,78 +5,12 @@
 
 use hsyn::core::{synthesize, Objective, SynthesisConfig};
 use hsyn::dfg::benchmarks::{self, Benchmark};
-use hsyn::dfg::{Dfg, NodeId, NodeKind};
+use hsyn::dfg::reference_outputs;
 use hsyn::lib::papers::table1_library;
-use hsyn::power::{dsp_default, simulate, TraceSet};
+use hsyn::power::{dsp_default, simulate};
 use hsyn::rtl::ModuleLibrary;
-use std::collections::HashMap;
 
 const W: u32 = 16;
-
-/// Reference evaluator: iterate the *flattened* DFG directly, with delay
-/// state, independent of any RTL structure.
-fn reference_outputs(flat: &Dfg, traces: &TraceSet) -> Vec<Vec<i64>> {
-    let order = hsyn::dfg::analysis::topo_order(flat).expect("acyclic");
-    let mut hist: HashMap<(NodeId, u16, u32), i64> = HashMap::new();
-    let mut outs = vec![Vec::new(); flat.output_count()];
-    for n in 0..traces.len() {
-        let mut vals: HashMap<NodeId, i64> = HashMap::new();
-        let read = |vals: &HashMap<NodeId, i64>,
-                    hist: &HashMap<(NodeId, u16, u32), i64>,
-                    e: &hsyn::dfg::Edge| {
-            if e.delay > 0 {
-                hist.get(&(e.from.node, e.from.port, e.delay))
-                    .copied()
-                    .unwrap_or(0)
-            } else {
-                vals.get(&e.from.node).copied().unwrap_or(0)
-            }
-        };
-        for &nid in &order {
-            let v = match flat.node(nid).kind() {
-                NodeKind::Input { index } => traces.samples[*index][n],
-                NodeKind::Const { value } => {
-                    // Same truncation as the datapath.
-                    let shift = 64 - W;
-                    (*value << shift) >> shift
-                }
-                NodeKind::Op(op) => {
-                    let args: Vec<i64> = (0..op.arity() as u16)
-                        .map(|p| read(&vals, &hist, flat.driver(nid, p).unwrap()))
-                        .collect();
-                    op.eval(&args, W)
-                }
-                NodeKind::Output { index } => {
-                    let v = read(&vals, &hist, flat.driver(nid, 0).unwrap());
-                    outs[*index].push(v);
-                    v
-                }
-                NodeKind::Hier { .. } => unreachable!("flattened"),
-            };
-            vals.insert(nid, v);
-        }
-        // Shift history.
-        let max_delay = flat.edges().map(|(_, e)| e.delay).max().unwrap_or(0);
-        for k in (2..=max_delay).rev() {
-            let prev: Vec<((NodeId, u16, u32), i64)> = hist
-                .iter()
-                .filter(|((_, _, d), _)| *d == k - 1)
-                .map(|(&(a, b, _), &v)| ((a, b, k), v))
-                .collect();
-            for (key, v) in prev {
-                hist.insert(key, v);
-            }
-        }
-        for (_, e) in flat.edges() {
-            if e.delay > 0 {
-                if let Some(&v) = vals.get(&e.from.node) {
-                    hist.insert((e.from.node, e.from.port, 1), v);
-                }
-            }
-        }
-    }
-    outs
-}
 
 fn check_semantics(bench: &Benchmark, hierarchical: bool) {
     let mut mlib = ModuleLibrary::from_simple(table1_library());
@@ -93,7 +27,7 @@ fn check_semantics(bench: &Benchmark, hierarchical: bool) {
 
     let flat = bench.hierarchy.flatten();
     let traces = dsp_default(flat.input_count(), 40, W, 99);
-    let expected = reference_outputs(&flat, &traces);
+    let expected = reference_outputs(&flat, &traces.samples, W);
     let (_, got) = simulate(&report.design.hierarchy, &report.design.top.built, &traces);
     assert_eq!(got.len(), expected.len(), "{}", bench.name);
     for (o, (g, e)) in got.iter().zip(&expected).enumerate() {

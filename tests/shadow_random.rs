@@ -3,12 +3,12 @@
 //! search evaluation runs both the incremental and the full path and panics
 //! on the first bit-level divergence, naming the offending move and the
 //! module path it dirtied. A completed run *is* the assertion. Cases come
-//! from a fixed seed so failures reproduce exactly; set `HSYN_PROP_CASES`
+//! from a fixed seed so failures reproduce exactly; set `HSYN_TEST_ITERS`
 //! to widen the sweep locally.
 
 mod common;
 
-use common::arb_behavior;
+use common::{arb_behavior, test_iters};
 use hsyn::core::{synthesize, Objective, SynthesisConfig};
 use hsyn::dfg::Hierarchy;
 use hsyn::lib::papers::table1_library;
@@ -17,10 +17,7 @@ use hsyn_util::Rng;
 
 #[test]
 fn shadow_synthesis_of_random_behaviors_never_diverges() {
-    let cases: u64 = std::env::var("HSYN_PROP_CASES")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(8);
+    let cases = test_iters(8);
     let mut rng = Rng::seed_from_u64(0x5AD0E);
     for case in 0..cases {
         let g = arb_behavior(&mut rng);

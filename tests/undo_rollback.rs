@@ -5,11 +5,11 @@
 //! must be byte-identical — through the canonical
 //! [`SynthesisReport::result_json`] rendering — to the clone-per-candidate
 //! path it replaces. Cases come from a fixed seed so failures reproduce
-//! exactly; set `HSYN_PROP_CASES` to widen the sweep locally.
+//! exactly; set `HSYN_TEST_ITERS` to widen the sweep locally.
 
 mod common;
 
-use common::arb_behavior;
+use common::{arb_behavior, test_iters};
 use hsyn::core::{
     apply_in_place, initial_solution, selection_candidates, sharing_candidates,
     splitting_candidates, synthesize, DesignPoint, Move, Objective, OperatingPoint,
@@ -19,13 +19,6 @@ use hsyn::dfg::Hierarchy;
 use hsyn::lib::papers::table1_library;
 use hsyn::rtl::{module_fingerprint, ModuleLibrary};
 use hsyn_util::{Json, Rng};
-
-fn prop_cases(default: u64) -> u64 {
-    std::env::var("HSYN_PROP_CASES")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
-}
 
 /// A buildable design point for a random leaf behavior, plus its library.
 fn random_design(rng: &mut Rng) -> (DesignPoint, ModuleLibrary) {
@@ -71,7 +64,7 @@ fn shuffled_moves(dp: &DesignPoint, mlib: &ModuleLibrary, rng: &mut Rng) -> Vec<
 #[test]
 fn random_move_sequences_roll_back_bit_exactly() {
     let mut rng = Rng::seed_from_u64(0x0DD0_11FE);
-    for case in 0..prop_cases(12) {
+    for case in 0..test_iters(12) {
         let (mut dp, mlib) = random_design(&mut rng);
         let moves = shuffled_moves(&dp, &mlib, &mut rng);
 
@@ -132,7 +125,7 @@ fn random_move_sequences_roll_back_bit_exactly() {
 #[test]
 fn transactional_and_cloning_synthesis_are_byte_identical() {
     let mut rng = Rng::seed_from_u64(0x0BEA_70FF);
-    for case in 0..prop_cases(6) {
+    for case in 0..test_iters(6) {
         let g = arb_behavior(&mut rng);
         let laxity_pct = rng.range_i64(120, 319) as u32;
         let objective_area = rng.next_bool(0.5);
