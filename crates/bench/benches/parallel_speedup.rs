@@ -19,6 +19,15 @@
 //! byte-identity the same way, and reports the apply-layer and end-to-end
 //! speedups plus the journal traffic.
 //!
+//! Part 4 covers the data-oriented layers: an adjacency micro-benchmark
+//! (the `*_scan` linear-scan reference accessors vs the CSR index, same
+//! checksum required), and intra-config candidate parallelism
+//! ([`SynthesisConfig::intra_parallelism`]) at 1, 2, and 4 workers on dct
+//! and iir in power mode — `result_json()` must be byte-identical across
+//! worker counts, and on a host with ≥ 4 cores the dct run must clear a
+//! 1.3× speedup at 4 workers. On a single-core host the determinism
+//! asserts still run; only the speedup gate is disarmed.
+//!
 //! All results land in `BENCH_parallel_speedup.json` at the workspace
 //! root (the CI bench job uploads it as an artifact).
 //!
@@ -26,10 +35,11 @@
 //! cargo bench -p hsyn-bench --bench parallel_speedup
 //! ```
 
-use hsyn_bench::{benchmark_library, SweepConfig};
+use hsyn_bench::{benchmark_library, timing, SweepConfig};
 use hsyn_core::{explore, synthesize, Exploration, Objective, SynthesisReport};
+use hsyn_dfg::Dfg;
 use hsyn_util::Json;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 fn run(parallelism: Option<usize>) -> Exploration {
     let b = hsyn_dfg::benchmarks::iir();
@@ -139,6 +149,136 @@ fn transactional_cell(objective: Objective) -> Json {
     ])
 }
 
+/// Walk every node's fan-in, fan-out, and port-0 driver, folding edge ids
+/// and fields into a checksum. `scan` selects the O(edges) linear-scan
+/// reference accessors; otherwise the CSR index answers each query from
+/// its packed slices. Both must produce the same checksum — the CSR layer
+/// is a layout change, not a semantic one.
+fn adjacency_walk(g: &Dfg, scan: bool) -> u64 {
+    let mut acc = 0u64;
+    for n in g.node_ids() {
+        if scan {
+            for (id, e) in g.in_edges_scan(n) {
+                acc = acc.wrapping_add(id.index() as u64 + u64::from(e.delay));
+            }
+            for (id, e) in g.out_edges_scan(n) {
+                acc = acc.wrapping_add(id.index() as u64 ^ u64::from(e.to_port));
+            }
+            if let Some(e) = g.driver_scan(n, 0) {
+                acc = acc.wrapping_add(u64::from(e.from.port) + 1);
+            }
+        } else {
+            for (id, e) in g.in_edges(n) {
+                acc = acc.wrapping_add(id.index() as u64 + u64::from(e.delay));
+            }
+            for (id, e) in g.out_edges(n) {
+                acc = acc.wrapping_add(id.index() as u64 ^ u64::from(e.to_port));
+            }
+            if let Some(e) = g.driver(n, 0) {
+                acc = acc.wrapping_add(u64::from(e.from.port) + 1);
+            }
+        }
+    }
+    acc
+}
+
+/// Adjacency micro-benchmark on the flattened dct graph: full-graph walk
+/// through the linear-scan reference accessors vs the CSR index.
+fn adjacency_micro() -> Json {
+    let g = hsyn_dfg::benchmarks::dct().hierarchy.flatten();
+    let expect = adjacency_walk(&g, true);
+    assert_eq!(
+        expect,
+        adjacency_walk(&g, false),
+        "CSR adjacency disagrees with the linear-scan reference"
+    );
+    let budget = Duration::from_millis(300);
+    let scan_s = timing::bench("adjacency walk, linear scan", budget, || {
+        assert_eq!(std::hint::black_box(adjacency_walk(&g, true)), expect);
+    });
+    let csr_s = timing::bench("adjacency walk, CSR index", budget, || {
+        assert_eq!(std::hint::black_box(adjacency_walk(&g, false)), expect);
+    });
+    let speedup = scan_s / csr_s.max(1e-12);
+    println!("  CSR speedup over linear scan: {speedup:.2}x");
+    Json::Obj(vec![
+        ("benchmark".into(), Json::Str("dct (flattened)".into())),
+        ("nodes".into(), Json::Num(g.node_count() as f64)),
+        ("scan_s".into(), Json::Num(scan_s)),
+        ("csr_s".into(), Json::Num(csr_s)),
+        ("speedup".into(), Json::Num(speedup)),
+        ("identical".into(), Json::Bool(true)),
+    ])
+}
+
+/// Synthesize one benchmark in power mode with `intra` candidate-scan
+/// workers, returning the report and the wall-clock. The outer sweep is
+/// held serial so the only concurrency in play is the intra-config
+/// candidate scan; move-*B* recursion stays on (depth 1) because expensive
+/// candidates are exactly where speculating them concurrently pays.
+fn run_intra(name: &str, intra: usize) -> (SynthesisReport, f64) {
+    let b = match name {
+        "dct" => hsyn_dfg::benchmarks::dct(),
+        "iir" => hsyn_dfg::benchmarks::iir(),
+        other => unreachable!("unknown intra benchmark {other}"),
+    };
+    let mlib = benchmark_library(&b);
+    let mut cfg = SweepConfig::quick().to_config(Objective::Power, true, 2.2);
+    cfg.parallelism = Some(1);
+    cfg.intra_parallelism = intra;
+    let t = Instant::now();
+    let report = synthesize(&b.hierarchy, &mlib, &cfg).expect("benchmark synthesizes");
+    (report, t.elapsed().as_secs_f64())
+}
+
+/// One benchmark's intra-config parallelism measurement: wall-clock at
+/// 1/2/4 workers, byte-identity across all three, and (on dct, when the
+/// host actually has ≥ 4 cores) the 1.3× speedup gate.
+fn intra_cell(name: &str, cores: usize) -> Json {
+    let _ = run_intra(name, 1); // warm-up
+    let (base_report, s1) = run_intra(name, 1);
+    let base_json = base_report.result_json();
+    let mut secs = [s1, 0.0, 0.0];
+    for (slot, workers) in [2usize, 4].into_iter().enumerate() {
+        let (report, s) = run_intra(name, workers);
+        assert_eq!(
+            base_json,
+            report.result_json(),
+            "{name}: intra-config scan changed the result at {workers} workers"
+        );
+        secs[slot + 1] = s;
+    }
+    let speedup_2 = s1 / secs[1].max(1e-12);
+    let speedup_4 = s1 / secs[2].max(1e-12);
+    println!("{name} power, intra-config candidate scan:");
+    println!(
+        "  1 worker {:>8.3} s   2 workers {:>8.3} s   4 workers {:>8.3} s",
+        s1, secs[1], secs[2]
+    );
+    println!("  speedup: {speedup_2:.2}x at 2, {speedup_4:.2}x at 4");
+    println!("  reports byte-identical across worker counts: yes");
+    if name == "dct" {
+        if cores >= 4 {
+            assert!(
+                speedup_4 > 1.3,
+                "dct intra-config speedup at 4 workers is {speedup_4:.2}x, expected > 1.3x"
+            );
+        } else {
+            println!("  ({cores}-core host: the 4-worker 1.3x gate is disarmed)");
+        }
+    }
+    Json::Obj(vec![
+        ("benchmark".into(), Json::Str(name.into())),
+        ("objective".into(), Json::Str("power".into())),
+        ("synth_1_worker_s".into(), Json::Num(s1)),
+        ("synth_2_workers_s".into(), Json::Num(secs[1])),
+        ("synth_4_workers_s".into(), Json::Num(secs[2])),
+        ("speedup_2".into(), Json::Num(speedup_2)),
+        ("speedup_4".into(), Json::Num(speedup_4)),
+        ("identical".into(), Json::Bool(true)),
+    ])
+}
+
 fn main() {
     let cores = hsyn_util::effective_threads(None);
     println!("parallel_speedup: 8-point laxity grid on the IIR benchmark");
@@ -150,12 +290,20 @@ fn main() {
     let serial = run(Some(1));
     let parallel = run(None);
     assert_identical(&serial, &parallel);
+    // Report the workers that ran, not the machine size: an 8-point grid
+    // on a 16-core host runs 8 workers, and a serial run exactly 1.
+    assert_eq!(serial.threads_used, 1, "serial sweep spawned workers");
+    assert_eq!(
+        parallel.threads_used,
+        hsyn_util::workers_for(cores, 8),
+        "sweep misreported its worker count"
+    );
 
     let par_speedup = serial.elapsed_s / parallel.elapsed_s.max(1e-12);
     println!("serial   (parallelism=1): {:>8.3} s", serial.elapsed_s);
     println!(
-        "parallel (parallelism={cores}): {:>8.3} s",
-        parallel.elapsed_s
+        "parallel ({} workers):    {:>8.3} s",
+        parallel.threads_used, parallel.elapsed_s
     );
     println!("speedup: {par_speedup:.2}x");
     println!("results identical across thread counts: yes");
@@ -195,13 +343,18 @@ fn main() {
         transactional_cell(Objective::Power),
     ];
 
+    println!();
+    println!("data_oriented: CSR adjacency and the intra-config candidate scan");
+    let adjacency = adjacency_micro();
+    let intra_cells = vec![intra_cell("dct", cores), intra_cell("iir", cores)];
+
     let out = Json::Obj(vec![
         (
             "parallel".into(),
             Json::Obj(vec![
                 ("benchmark".into(), Json::Str("iir".into())),
                 ("grid_points".into(), Json::Num(8.0)),
-                ("threads".into(), Json::Num(cores as f64)),
+                ("threads".into(), Json::Num(parallel.threads_used as f64)),
                 ("serial_s".into(), Json::Num(serial.elapsed_s)),
                 ("parallel_s".into(), Json::Num(parallel.elapsed_s)),
                 ("speedup".into(), Json::Num(par_speedup)),
@@ -229,6 +382,14 @@ fn main() {
             Json::Obj(vec![
                 ("benchmark".into(), Json::Str("dct".into())),
                 ("cells".into(), Json::Arr(tx_cells)),
+            ]),
+        ),
+        (
+            "intra".into(),
+            Json::Obj(vec![
+                ("host_threads".into(), Json::Num(cores as f64)),
+                ("adjacency".into(), adjacency),
+                ("cells".into(), Json::Arr(intra_cells)),
             ]),
         ),
     ]);

@@ -68,6 +68,18 @@ pub struct SynthesisConfig {
     /// setting: work is merged in input order with a total-order tiebreak,
     /// so parallelism changes wall-clock only, never the report.
     pub parallelism: Option<usize>,
+    /// Worker threads for candidate evaluation *inside* one `(Vdd, clk)`
+    /// configuration: each improvement step speculates its candidate moves
+    /// concurrently, every worker on its own transactional replica of the
+    /// shared base design, and the winner is selected by a sequential
+    /// replay in candidate order. `1` (the default) keeps the scan fully
+    /// serial; `0` means one worker per available core. Requires
+    /// [`transactional`](Self::transactional) mode — the scan stays serial
+    /// without it. Results are **identical** for every setting: the replay
+    /// re-imposes the serial scan's budgets, winner tiebreak, and stats,
+    /// so intra-config parallelism changes wall-clock only, never the
+    /// report (enforced by `tests/intra_determinism.rs`).
+    pub intra_parallelism: usize,
     /// Run the cross-layer IR verifier (`hsyn-lint`) on the design after
     /// every accepted move and at each `(Vdd, clk)` configuration boundary,
     /// failing the configuration fast on the first error-severity
@@ -133,6 +145,7 @@ impl SynthesisConfig {
             seed: 0xDAC_1998,
             moves: MoveFamilies::default(),
             parallelism: None,
+            intra_parallelism: 1,
             paranoid: false,
             incremental: true,
             shadow_eval: false,
@@ -141,12 +154,16 @@ impl SynthesisConfig {
         }
     }
 
-    /// The reduced budget used for recursive move-*B* resynthesis.
+    /// The reduced budget used for recursive move-*B* resynthesis. Inner
+    /// engines always scan serially (`intra_parallelism: 1`): candidate
+    /// workers would otherwise spawn nested worker pools, and the outer
+    /// scan already saturates the configured thread budget.
     pub(crate) fn child_budget(&self) -> SynthesisConfig {
         SynthesisConfig {
             max_moves_per_pass: Some(6),
             max_passes: 2,
             candidate_limit: 4,
+            intra_parallelism: 1,
             ..self.clone()
         }
     }

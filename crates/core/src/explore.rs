@@ -57,6 +57,12 @@ pub struct Exploration {
     pub skipped: Vec<SkippedPoint>,
     /// Wall-clock time of the whole sweep, seconds.
     pub elapsed_s: f64,
+    /// Worker threads the sweep actually ran — `min(requested, grid size)`,
+    /// or 1 for a serial run (see [`hsyn_util::workers_for`]). Benchmarks
+    /// that report a speedup-per-thread curve read this instead of echoing
+    /// the requested count, which can overstate the workers in play when
+    /// the grid is smaller than the machine.
+    pub threads_used: usize,
 }
 
 impl Exploration {
@@ -113,6 +119,7 @@ pub fn explore(
     // enough — grid points outnumber cores in realistic sweeps, and nested
     // thread pools would oversubscribe).
     let threads = hsyn_util::effective_threads(base.parallelism);
+    let threads_used = hsyn_util::workers_for(threads, grid.len());
     let results = hsyn_util::par_map(threads, &grid, |_, &(laxity, objective)| {
         let mut config = base.clone();
         config.laxity_factor = laxity;
@@ -141,6 +148,7 @@ pub fn explore(
         points,
         skipped,
         elapsed_s: start.elapsed().as_secs_f64(),
+        threads_used,
     }
 }
 
@@ -211,6 +219,9 @@ mod tests {
         assert_eq!(points.len(), 4, "2 laxities x 2 objectives, all feasible");
         assert!(sweep.skipped.is_empty());
         assert!(sweep.elapsed_s >= 0.0);
+        // The sweep reports the workers that ran, capped by the grid size.
+        let threads = hsyn_util::effective_threads(base.parallelism);
+        assert_eq!(sweep.threads_used, hsyn_util::workers_for(threads, 4));
 
         let front = pareto_front(&points);
         assert!(!front.is_empty());

@@ -19,6 +19,8 @@ use hsyn_rtl::{
     fingerprint_at, fingerprint_tree, refresh_fingerprint_tree, window_of, FpTree, ModuleLibrary,
 };
 use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::Instant;
 
 /// A paranoid-mode verifier failure: the design under optimization stopped
@@ -124,6 +126,68 @@ impl MoveStats {
     }
 }
 
+/// A worker's speculation outcome for one candidate in the parallel scan,
+/// before the sequential replay attaches the move and decides whether the
+/// serial budgets even reach the candidate.
+struct Speculated {
+    /// `Some((gain, resynth, fp, eval))` for a valid candidate; `None` for
+    /// one rejected by validity checks.
+    applied: Option<(f64, Option<ChildKind>, Option<FpTree>, Evaluation)>,
+    /// The candidate's isolated stats delta (fresh counters per
+    /// speculation), merged only if the replay reaches it.
+    stats: MoveStats,
+    verify_s: f64,
+    eval_full_s: f64,
+    eval_incr_s: f64,
+    apply_s: f64,
+}
+
+/// Early-stop bookkeeping for the parallel scan: candidate outcomes
+/// (valid/invalid) as they complete, and the serial budget walk run
+/// incrementally over the contiguous completed prefix. A candidate's
+/// outcome does not depend on scan order, so the walk reproduces exactly
+/// what the sequential replay will conclude — just as soon as the data
+/// exists rather than after every speculation finishes.
+struct Frontier {
+    /// `Some(valid)` once candidate `i` has been speculated.
+    outcome: Vec<Option<bool>>,
+    /// First in-order index the budget walk has not absorbed yet.
+    next: usize,
+    /// Valid candidates absorbed so far (serial `evaluated` counter).
+    evaluated: usize,
+    /// Invalid candidates absorbed so far (serial `rejected` counter).
+    rejected: usize,
+}
+
+impl Frontier {
+    /// Record candidate `i`'s outcome, then advance the in-order budget
+    /// walk as far as completed outcomes allow. The budget check runs
+    /// *before* each absorption — the same order as the serial scan and
+    /// the replay — so when it trips, `stop` is lowered to the exact index
+    /// the replay will break at, and every candidate below it already has
+    /// a result.
+    fn absorb(&mut self, i: usize, valid: bool, config: &SynthesisConfig, stop: &AtomicUsize) {
+        self.outcome[i] = Some(valid);
+        while self.next < self.outcome.len() {
+            if self.evaluated >= config.candidate_limit
+                || self.rejected >= 5 * config.candidate_limit
+            {
+                stop.store(self.next, Ordering::Relaxed);
+                break;
+            }
+            let Some(v) = self.outcome[self.next] else {
+                break;
+            };
+            if v {
+                self.evaluated += 1;
+            } else {
+                self.rejected += 1;
+            }
+            self.next += 1;
+        }
+    }
+}
+
 /// A fully evaluated candidate application.
 struct Applied {
     gain: f64,
@@ -164,6 +228,11 @@ pub(crate) struct Engine<'a> {
     /// mode; in-place apply + rollback + winner re-apply in transactional
     /// mode. Like `verify_s`, kept off `MoveStats` so the stats stay `Eq`.
     pub apply_s: f64,
+    /// Per-worker evaluation caches for the intra-config parallel candidate
+    /// scan, persisted across scans (like `cache` persists across the
+    /// serial scan's candidates). Empty until the first parallel scan runs;
+    /// cache contents affect wall-clock only, never results.
+    intra_caches: Vec<EvalCache>,
 }
 
 impl<'a> Engine<'a> {
@@ -184,7 +253,18 @@ impl<'a> Engine<'a> {
             eval_full_s: 0.0,
             eval_incr_s: 0.0,
             apply_s: 0.0,
+            intra_caches: Vec::new(),
         }
+    }
+
+    /// Worker threads for the intra-config candidate scan: the
+    /// [`SynthesisConfig::intra_parallelism`] knob resolved to a count
+    /// (`0` ⇒ available cores).
+    fn intra_workers(&self) -> usize {
+        hsyn_util::effective_threads(match self.config.intra_parallelism {
+            0 => None,
+            n => Some(n),
+        })
     }
 
     /// Whether evaluations go through the incremental cache (shadow mode
@@ -388,6 +468,14 @@ impl<'a> Engine<'a> {
         mut undo: Option<&mut UndoLog>,
     ) -> Option<Applied> {
         cands.sort_by(|a, b| b.0.total_cmp(&a.0));
+        // Transactional scans can fan the speculation out across worker
+        // threads; the clone path and single-threaded scans stay serial.
+        if undo.is_some() && cands.len() > 1 {
+            let workers = self.intra_workers();
+            if workers > 1 {
+                return self.best_from_parallel(dp, cur_fp, base_cost, cands, workers);
+            }
+        }
         let mut best: Option<Applied> = None;
         let mut evaluated = 0usize;
         let mut rejected = 0usize;
@@ -422,6 +510,147 @@ impl<'a> Engine<'a> {
             match applied {
                 Some(a) => {
                     evaluated += 1;
+                    if best.as_ref().is_none_or(|b| a.gain > b.gain) {
+                        best = Some(a);
+                    }
+                }
+                None => rejected += 1,
+            }
+        }
+        best
+    }
+
+    /// The intra-config parallel candidate scan (transactional mode only).
+    ///
+    /// Up to `workers` threads claim candidates from the sorted list
+    /// through an atomic counter; each worker speculates on its **own**
+    /// replica of the base design through its own undo journal (cloned
+    /// once per worker, restored by rollback after every speculation), so
+    /// the shared base is never touched. A sequential replay in candidate
+    /// order then re-imposes the serial scan's evaluated/rejected budgets,
+    /// per-candidate stats accounting, and first-best winner tiebreak.
+    ///
+    /// Byte-identical to the serial scan: every speculation fully rolls
+    /// back, and evaluations are bit-exact regardless of cache state
+    /// (see [`EvalCache`]), so a candidate's outcome is independent of the
+    /// order — and the replica — it was speculated on. Candidates past the
+    /// serial stop point are discarded wholesale, stats included, exactly
+    /// as if they were never scanned. Only wall-clock changes (enforced at
+    /// 1/2/4 workers by `tests/intra_determinism.rs`).
+    ///
+    /// Wasted speculation is bounded by early stop: outcomes are
+    /// valid/invalid regardless of scan order, so as completed candidates
+    /// form a contiguous in-order frontier, the serial budget walk can run
+    /// over them incrementally — the moment it trips, `stop` drops to the
+    /// frontier and no worker claims past it. Overshoot is limited to the
+    /// candidates already in flight (< one per worker), so total work
+    /// tracks the serial scan instead of the worst-case prefix.
+    fn best_from_parallel(
+        &mut self,
+        dp: &DesignPoint,
+        cur_fp: Option<&FpTree>,
+        base_cost: f64,
+        cands: Vec<Candidate>,
+        workers: usize,
+    ) -> Option<Applied> {
+        // The serial scan examines at most `6 × candidate_limit − 1`
+        // candidates before a budget trips (each examined candidate counts
+        // toward one of the two budgets); speculating past that bound is
+        // pure waste.
+        let prefix_len = cands.len().min(6 * self.config.candidate_limit);
+        let workers = workers.min(prefix_len);
+        let next = AtomicUsize::new(0);
+        // First index no worker should claim. Starts at the prefix bound
+        // and only ever shrinks, to the frontier position where the serial
+        // budgets trip (see `Frontier::absorb`).
+        let stop = AtomicUsize::new(prefix_len);
+        let frontier = Mutex::new(Frontier {
+            outcome: vec![None; prefix_len],
+            next: 0,
+            evaluated: 0,
+            rejected: 0,
+        });
+        let slots: Vec<Mutex<Option<Speculated>>> =
+            (0..prefix_len).map(|_| Mutex::new(None)).collect();
+        // Per-worker evaluation caches persist across scans, like the
+        // serial engine's single cache persists across candidates.
+        let mut caches = std::mem::take(&mut self.intra_caches);
+        caches.resize_with(workers, EvalCache::new);
+        let cache_slots: Vec<Mutex<EvalCache>> = caches.into_iter().map(Mutex::new).collect();
+        let (mlib, config, depth) = (self.mlib, self.config, self.depth);
+        let traces = &self.traces;
+        let cand_prefix = &cands[..prefix_len];
+        std::thread::scope(|scope| {
+            for w in 0..workers {
+                let (next, stop, frontier) = (&next, &stop, &frontier);
+                let (slots, cache_slots) = (&slots, &cache_slots);
+                scope.spawn(move || {
+                    let mut engine = Engine::new(mlib, config, traces.clone(), depth);
+                    engine.cache = std::mem::take(&mut *cache_slots[w].lock().expect("cache slot"));
+                    let mut work = dp.clone();
+                    let mut log = UndoLog::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= stop.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        let applied = engine
+                            .try_move_tx(&mut work, cur_fp, &cand_prefix[i].1, &mut log)
+                            .map(|(resynth, fp, eval)| (base_cost - eval.cost, resynth, fp, eval));
+                        let valid = applied.is_some();
+                        *slots[i].lock().expect("result slot") = Some(Speculated {
+                            applied,
+                            stats: std::mem::take(&mut engine.stats),
+                            verify_s: std::mem::take(&mut engine.verify_s),
+                            eval_full_s: std::mem::take(&mut engine.eval_full_s),
+                            eval_incr_s: std::mem::take(&mut engine.eval_incr_s),
+                            apply_s: std::mem::take(&mut engine.apply_s),
+                        });
+                        frontier
+                            .lock()
+                            .expect("frontier")
+                            .absorb(i, valid, config, stop);
+                    }
+                    *cache_slots[w].lock().expect("cache slot") = std::mem::take(&mut engine.cache);
+                });
+            }
+        });
+        self.intra_caches = cache_slots
+            .into_iter()
+            .map(|m| m.into_inner().expect("cache slot"))
+            .collect();
+        // Sequential replay in candidate order: identical budgets, stats
+        // merge, and winner selection (strict improvement ⇒ first best
+        // wins) as the serial scan.
+        let mut best: Option<Applied> = None;
+        let mut evaluated = 0usize;
+        let mut rejected = 0usize;
+        for ((_, mv), slot) in cands.into_iter().zip(slots) {
+            if evaluated >= self.config.candidate_limit
+                || rejected >= 5 * self.config.candidate_limit
+            {
+                break;
+            }
+            let outcome = slot
+                .into_inner()
+                .expect("result slot")
+                .expect("workers fill every claimed slot");
+            self.stats.absorb(&outcome.stats);
+            self.verify_s += outcome.verify_s;
+            self.eval_full_s += outcome.eval_full_s;
+            self.eval_incr_s += outcome.eval_incr_s;
+            self.apply_s += outcome.apply_s;
+            match outcome.applied {
+                Some((gain, resynth, fp, eval)) => {
+                    evaluated += 1;
+                    let a = Applied {
+                        gain,
+                        mv,
+                        dp: None,
+                        resynth,
+                        fp,
+                        eval,
+                    };
                     if best.as_ref().is_none_or(|b| a.gain > b.gain) {
                         best = Some(a);
                     }

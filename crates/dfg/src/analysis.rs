@@ -2,7 +2,7 @@
 //! ASAP/ALAP levels, and mobility. These are the pure-graph building blocks;
 //! the resource-aware scheduler lives in the `hsyn-sched` crate.
 
-use crate::graph::{Dfg, NodeId};
+use crate::graph::{Dfg, EdgeId, NodeId};
 
 /// Error returned when an analysis requires acyclicity that does not hold.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -23,6 +23,7 @@ impl std::error::Error for CycleError {}
 /// Returns [`CycleError`] if the zero-delay subgraph is cyclic.
 pub fn topo_order(g: &Dfg) -> Result<Vec<NodeId>, CycleError> {
     let n = g.node_count();
+    let adj = g.adj();
     let mut indeg = vec![0usize; n];
     for (_, e) in g.edges() {
         if e.delay == 0 {
@@ -36,7 +37,8 @@ pub fn topo_order(g: &Dfg) -> Result<Vec<NodeId>, CycleError> {
     while let Some(i) = queue.pop_front() {
         let nid = node_id(i);
         order.push(nid);
-        for (_, e) in g.out_edges(nid) {
+        for &ei in adj.out_edge_indices(nid) {
+            let e = g.edge(EdgeId::from_index(ei as usize));
             if e.delay == 0 {
                 let t = e.to.index();
                 indeg[t] -= 1;
@@ -74,11 +76,13 @@ pub fn asap(
 ) -> Result<(Vec<u64>, Vec<u64>), CycleError> {
     let order = topo_order(g)?;
     let n = g.node_count();
+    let adj = g.adj();
     let mut start = vec![0u64; n];
     let mut finish = vec![0u64; n];
     for nid in order {
         let mut s = 0;
-        for (_, e) in g.in_edges(nid) {
+        for &ei in adj.in_edge_indices(nid) {
+            let e = g.edge(EdgeId::from_index(ei as usize));
             if e.delay == 0 {
                 s = s.max(finish[e.from.node.index()]);
             }
@@ -109,6 +113,7 @@ pub fn alap(
 ) -> Result<Vec<u64>, CycleError> {
     let order = topo_order(g)?;
     let n = g.node_count();
+    let adj = g.adj();
     let mut latest_finish = vec![deadline; n];
     for &nid in order.iter().rev() {
         let d = duration(nid);
@@ -117,7 +122,8 @@ pub fn alap(
             return Err(CycleError);
         }
         let ls = lf - d;
-        for (_, e) in g.in_edges(nid) {
+        for &ei in adj.in_edge_indices(nid) {
+            let e = g.edge(EdgeId::from_index(ei as usize));
             if e.delay == 0 {
                 let p = e.from.node.index();
                 latest_finish[p] = latest_finish[p].min(ls);

@@ -1,6 +1,8 @@
+use crate::csr::Adjacency;
 use crate::hierarchy::DfgId;
 use crate::op::Operation;
 use std::fmt;
+use std::sync::OnceLock;
 
 /// Identifier of a node within one [`Dfg`].
 #[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
@@ -158,13 +160,53 @@ pub struct Edge {
 /// port driven exactly once, zero-delay acyclicity, ...) are checked by
 /// [`Hierarchy::validate`](crate::Hierarchy::validate) rather than on every
 /// mutation, so graphs with feedback can be built incrementally.
-#[derive(Clone, PartialEq, Debug)]
 pub struct Dfg {
     name: String,
     nodes: Vec<Node>,
     edges: Vec<Edge>,
     inputs: Vec<NodeId>,
     outputs: Vec<NodeId>,
+    /// Lazily-built CSR adjacency (see [`Adjacency`]). Derived data: never
+    /// compared, never cloned, dropped on any node/edge mutation.
+    adj: OnceLock<Adjacency>,
+}
+
+impl Clone for Dfg {
+    fn clone(&self) -> Self {
+        // The adjacency is cheap to rebuild (O(V + E)) and clones are taken
+        // on worker threads that may never query it; start clones cold.
+        Dfg {
+            name: self.name.clone(),
+            nodes: self.nodes.clone(),
+            edges: self.edges.clone(),
+            inputs: self.inputs.clone(),
+            outputs: self.outputs.clone(),
+            adj: OnceLock::new(),
+        }
+    }
+}
+
+impl PartialEq for Dfg {
+    fn eq(&self, other: &Self) -> bool {
+        // Semantic fields only; the adjacency cache is derived data.
+        self.name == other.name
+            && self.nodes == other.nodes
+            && self.edges == other.edges
+            && self.inputs == other.inputs
+            && self.outputs == other.outputs
+    }
+}
+
+impl fmt::Debug for Dfg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Dfg")
+            .field("name", &self.name)
+            .field("nodes", &self.nodes)
+            .field("edges", &self.edges)
+            .field("inputs", &self.inputs)
+            .field("outputs", &self.outputs)
+            .finish()
+    }
 }
 
 impl Dfg {
@@ -176,7 +218,18 @@ impl Dfg {
             edges: Vec::new(),
             inputs: Vec::new(),
             outputs: Vec::new(),
+            adj: OnceLock::new(),
         }
+    }
+
+    /// The CSR adjacency of this graph, built on first use and cached until
+    /// the next node/edge mutation (see [`Adjacency`] for the invariants).
+    ///
+    /// Retargeting a hierarchical node's callee does **not** drop the cache:
+    /// it changes a node's kind, never an edge, so the adjacency stays valid
+    /// through synthesis-move application and transactional rollback.
+    pub fn adj(&self) -> &Adjacency {
+        self.adj.get_or_init(|| Adjacency::build(self))
     }
 
     /// The DFG's name.
@@ -263,18 +316,49 @@ impl Dfg {
             .map(|(i, e)| (EdgeId::new(i), e))
     }
 
-    /// Edges entering `node` (any delay), in arbitrary order.
+    /// Edges entering `node` (any delay), in ascending edge-id order.
+    ///
+    /// Served from the cached [`Adjacency`]: O(in-degree), not O(E).
     pub fn in_edges(&self, node: NodeId) -> impl Iterator<Item = (EdgeId, &Edge)> + '_ {
+        self.adj()
+            .in_edge_indices(node)
+            .iter()
+            .map(move |&ei| (EdgeId::new(ei as usize), &self.edges[ei as usize]))
+    }
+
+    /// Edges leaving any output port of `node` (any delay), in ascending
+    /// edge-id order. Served from the cached [`Adjacency`].
+    pub fn out_edges(&self, node: NodeId) -> impl Iterator<Item = (EdgeId, &Edge)> + '_ {
+        self.adj()
+            .out_edge_indices(node)
+            .iter()
+            .map(move |&ei| (EdgeId::new(ei as usize), &self.edges[ei as usize]))
+    }
+
+    /// The edge driving input port `port` of `node`, if present — O(1) via
+    /// the cached [`Adjacency`] driver table.
+    pub fn driver(&self, node: NodeId, port: u16) -> Option<&Edge> {
+        self.adj()
+            .driver_edge(node, port)
+            .map(|id| &self.edges[id.index()])
+    }
+
+    /// Linear-scan reference implementation of [`Dfg::in_edges`]: filters
+    /// the whole edge arena, O(E). Kept for differential tests and the
+    /// arena-vs-pointer micro-benchmark; not for hot paths.
+    pub fn in_edges_scan(&self, node: NodeId) -> impl Iterator<Item = (EdgeId, &Edge)> + '_ {
         self.edges().filter(move |(_, e)| e.to == node)
     }
 
-    /// Edges leaving any output port of `node` (any delay).
-    pub fn out_edges(&self, node: NodeId) -> impl Iterator<Item = (EdgeId, &Edge)> + '_ {
+    /// Linear-scan reference implementation of [`Dfg::out_edges`] (O(E));
+    /// see [`Dfg::in_edges_scan`].
+    pub fn out_edges_scan(&self, node: NodeId) -> impl Iterator<Item = (EdgeId, &Edge)> + '_ {
         self.edges().filter(move |(_, e)| e.from.node == node)
     }
 
-    /// The edge driving input port `port` of `node`, if present.
-    pub fn driver(&self, node: NodeId, port: u16) -> Option<&Edge> {
+    /// Linear-scan reference implementation of [`Dfg::driver`] (O(E)); see
+    /// [`Dfg::in_edges_scan`].
+    pub fn driver_scan(&self, node: NodeId, port: u16) -> Option<&Edge> {
         self.edges
             .iter()
             .find(|e| e.to == node && e.to_port == port)
@@ -397,6 +481,7 @@ impl Dfg {
     /// Connect `from` to input port `to_port` of `to`, delayed by `delay`
     /// sample periods. Feedback loops must use `delay >= 1`.
     pub fn connect(&mut self, from: VarRef, to: NodeId, to_port: u16, delay: u32) -> EdgeId {
+        self.adj.take();
         let id = EdgeId::new(self.edges.len());
         self.edges.push(Edge {
             from,
@@ -445,6 +530,7 @@ impl Dfg {
     }
 
     fn push_node(&mut self, kind: NodeKind, name: impl Into<String>) -> NodeId {
+        self.adj.take();
         let id = NodeId::new(self.nodes.len());
         self.nodes.push(Node {
             kind,

@@ -10,6 +10,9 @@
 //!
 //! The crate also provides:
 //!
+//! * a flat CSR adjacency arena over each graph's edge list ([`csr`]),
+//!   cached per [`Dfg`] and serving the `in_edges`/`out_edges`/`driver`
+//!   accessors in O(degree)/O(1) instead of O(E);
 //! * graph analyses used throughout the synthesis flow ([`analysis`]):
 //!   topological order, longest paths, mobility windows;
 //! * hierarchy [`flatten`](Hierarchy::flatten)ing, used by the flattened
@@ -46,10 +49,11 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod analysis;
 pub mod benchmarks;
+pub mod csr;
 pub mod dot;
 mod equiv;
 pub mod eval;
@@ -59,6 +63,7 @@ mod op;
 pub mod text;
 pub mod transform;
 
+pub use csr::Adjacency;
 pub use equiv::EquivClasses;
 pub use eval::reference_outputs;
 pub use graph::{Dfg, Edge, EdgeId, Node, NodeId, NodeKind, VarRef};

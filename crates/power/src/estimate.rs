@@ -228,7 +228,7 @@ pub(crate) fn module_own_energy(
     } else {
         (1u64 << width) - 1
     };
-    let ham = |a: i64, b: i64| -> f64 { f64::from((((a ^ b) as u64) & mask).count_ones()) / w };
+    let ham = |a: i64, b: i64| -> f64 { f64::from(crate::hamming(a, b, mask)) / w };
 
     // Functional units: operand-transition activity × effective capacitance.
     for (i, fu) in module.fus().iter().enumerate() {

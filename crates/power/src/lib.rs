@@ -31,6 +31,16 @@ pub(crate) fn truncate(value: i64, width: u32) -> i64 {
     (value << shift) >> shift
 }
 
+/// Hamming distance between two samples under a width mask — the single-pair
+/// popcount shared by the estimator's activity model. (Streams of deltas are
+/// batched into u64 words where summation is integer-exact — see
+/// [`stream_activity`] — but the estimator weights each pair by a
+/// data-dependent float, so pairs stay individual there.)
+#[inline]
+pub(crate) fn hamming(a: i64, b: i64, mask: u64) -> u32 {
+    (((a ^ b) as u64) & mask).count_ones()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -15,9 +15,11 @@
 //! Two things make repeated simulation cheap inside the improvement loop:
 //!
 //! * **per-behavior preparation** — the topological order, storage
-//!   analysis, glitch-depth map, per-FU event order, and delay-history
-//!   shift list depend only on the behavior, not on the data, so they are
-//!   computed once per run instead of once per trace iteration;
+//!   analysis, glitch-depth map, per-FU event order, delay-history shift
+//!   list, flat value-slot layout, and per-port operand sources depend only
+//!   on the behavior, not on the data, so they are computed once per run
+//!   instead of once per trace iteration; the inner loop then runs on a
+//!   flat `Vec<i64>` value arena with no hash lookups;
 //! * **submodule replay** ([`SimCache`]) — a top-level submodule whose
 //!   structural fingerprint and per-call input stream match a recording
 //!   from an earlier run returns its recorded outputs and activity without
@@ -92,6 +94,18 @@ impl ModuleState {
     }
 }
 
+/// Where the value feeding a `(node, in-port)` pair comes from, resolved
+/// once per behavior instead of through a driver lookup plus a hash-map
+/// probe on every trace iteration.
+#[derive(Clone, Copy, Debug)]
+enum Src {
+    /// Same-iteration value at a flat slot index (see [`Prep::val_start`]).
+    Val(u32),
+    /// Delayed value: `var` from `delay` iterations ago, read from the
+    /// inter-iteration history.
+    Hist(VarRef, u32),
+}
+
 /// Iteration-invariant preparation for one behavior: everything the inner
 /// loop needs that does not depend on the data.
 struct Prep {
@@ -104,14 +118,24 @@ struct Prep {
     /// start ticks — so it equals the per-iteration sort it replaces.
     fu_ops: Vec<Vec<(Operation, NodeId)>>,
     /// Register writes in commit order, grouped by `(lifetime birth,
-    /// register)`: `(register index, variables sharing that key)`. Groups
+    /// register)`: `(register index, value slots sharing that key)`. Groups
     /// are almost always singletons; a multi-variable group's write order
     /// is value-dependent (ascending — the per-iteration
     /// `sort_unstable` this prep hoists keyed on `(birth, reg, value)`),
     /// so ties are resolved per iteration in [`run_behavior`].
-    reg_writes: Vec<(usize, Vec<VarRef>)>,
-    /// Variables feeding delayed edges and their maximum delay, sorted.
-    max_delay: Vec<(VarRef, u32)>,
+    reg_writes: Vec<(usize, Vec<u32>)>,
+    /// Variables feeding delayed edges: `(var, maximum delay, value slot)`,
+    /// sorted by var.
+    max_delay: Vec<(VarRef, u32, u32)>,
+    /// Flat value-slot layout: node `i`'s out-port `p` lives at slot
+    /// `val_start[i] + p`; `val_start[n]` is the total slot count. This is
+    /// the arena that replaces the per-iteration `(node, port) → value`
+    /// hash map.
+    val_start: Vec<u32>,
+    /// Operand sources per `(node, in-port)`: node `i`'s in-port `p` reads
+    /// `srcs[src_start[i] + p]`.
+    src_start: Vec<u32>,
+    srcs: Vec<Src>,
 }
 
 impl Prep {
@@ -120,6 +144,50 @@ impl Prep {
         let g = h.dfg(b.dfg);
         let order = hsyn_dfg::analysis::topo_order(g).expect("bound dfg is acyclic");
         let st = storage_analysis(g, &b.schedule);
+        let n = g.node_count();
+
+        // Flat value-slot layout: one i64 slot per (node, out-port), laid
+        // out contiguously per node. Arity comes from the node kind, raised
+        // defensively by any edge referencing a higher port.
+        let mut slots_per: Vec<u32> = (0..n)
+            .map(|i| match g.node(NodeId::from_index(i)).kind() {
+                NodeKind::Input { .. } | NodeKind::Const { .. } | NodeKind::Op(_) => 1,
+                NodeKind::Hier { callee } => h.out_arity(*callee) as u32,
+                NodeKind::Output { .. } => 0,
+            })
+            .collect();
+        for (_, e) in g.edges() {
+            let i = e.from.node.index();
+            slots_per[i] = slots_per[i].max(u32::from(e.from.port) + 1);
+        }
+        let mut val_start = vec![0u32; n + 1];
+        for i in 0..n {
+            val_start[i + 1] = val_start[i] + slots_per[i];
+        }
+        let slot_of = |v: VarRef| val_start[v.node.index()] + u32::from(v.port);
+
+        // Per-(node, in-port) operand sources, resolved through the driver
+        // table once instead of on every trace iteration.
+        let mut src_start = vec![0u32; n + 1];
+        let mut srcs: Vec<Src> = Vec::new();
+        for i in 0..n {
+            let nid = NodeId::from_index(i);
+            let ports = match g.node(nid).kind() {
+                NodeKind::Op(op) => op.arity(),
+                NodeKind::Hier { callee } => h.in_arity(*callee),
+                NodeKind::Output { .. } => 1,
+                NodeKind::Input { .. } | NodeKind::Const { .. } => 0,
+            };
+            for p in 0..ports as u16 {
+                let e = g.driver(nid, p).expect("validated dfg");
+                srcs.push(if e.delay > 0 {
+                    Src::Hist(e.from, e.delay)
+                } else {
+                    Src::Val(slot_of(e.from))
+                });
+            }
+            src_start[i + 1] = srcs.len() as u32;
+        }
 
         // Chained combinational depth per node (for glitch modeling).
         let mut depth = vec![0u32; g.node_count()];
@@ -178,14 +246,18 @@ impl Prep {
             })
             .collect();
         births.sort_unstable_by_key(|&(birth, reg, _)| (birth, reg));
-        let mut reg_writes: Vec<(usize, Vec<VarRef>)> = Vec::with_capacity(births.len());
+        let mut reg_writes: Vec<(usize, Vec<u32>)> = Vec::with_capacity(births.len());
         let mut last_key = None;
         for (birth, reg, v) in births {
             if last_key == Some((birth, reg)) {
-                reg_writes.last_mut().expect("key repeats").1.push(v);
+                reg_writes
+                    .last_mut()
+                    .expect("key repeats")
+                    .1
+                    .push(slot_of(v));
             } else {
                 last_key = Some((birth, reg));
-                reg_writes.push((reg, vec![v]));
+                reg_writes.push((reg, vec![slot_of(v)]));
             }
         }
 
@@ -196,8 +268,11 @@ impl Prep {
                 *d = (*d).max(e.delay);
             }
         }
-        let mut max_delay: Vec<(VarRef, u32)> = delays.into_iter().collect();
-        max_delay.sort_unstable_by_key(|&(v, _)| v);
+        let mut max_delay: Vec<(VarRef, u32, u32)> = delays
+            .into_iter()
+            .map(|(v, d)| (v, d, slot_of(v)))
+            .collect();
+        max_delay.sort_unstable_by_key(|&(v, _, _)| v);
 
         Prep {
             order,
@@ -205,7 +280,22 @@ impl Prep {
             fu_ops,
             reg_writes,
             max_delay,
+            val_start,
+            src_start,
+            srcs,
         }
+    }
+
+    /// Flat value slot of `(node, out-port)`.
+    #[inline]
+    fn slot(&self, node: NodeId, port: u16) -> usize {
+        self.val_start[node.index()] as usize + port as usize
+    }
+
+    /// Operand source of `(node, in-port)`.
+    #[inline]
+    fn src(&self, node: NodeId, port: u16) -> Src {
+        self.srcs[self.src_start[node.index()] as usize + port as usize]
     }
 }
 
@@ -552,42 +642,34 @@ fn run_behavior(
     prep_tree.get(h, module, bi);
     let (behaviors, sub_preps) = (&mut prep_tree.behaviors, &mut prep_tree.subs);
     let prep = behaviors[bi].as_ref().expect("prepared above");
-    // values[(node, port)] for this iteration.
-    let mut values: HashMap<(NodeId, u16), i64> = HashMap::new();
+    // Flat value arena for this iteration: slot layout from the prep. Slots
+    // default to 0, matching the old hash map's `unwrap_or(0)` for values
+    // never produced (feedback before the first iteration).
+    let mut values: Vec<i64> = vec![0; prep.val_start[g.node_count()] as usize];
 
-    // Resolve the value feeding (node, port) — through history for delays.
-    fn resolve(
-        state_hist: &HashMap<(VarRef, u32), i64>,
-        values: &HashMap<(NodeId, u16), i64>,
-        g: &hsyn_dfg::Dfg,
-        node: NodeId,
-        port: u16,
-    ) -> i64 {
-        let e = g.driver(node, port).expect("validated dfg");
-        if e.delay > 0 {
-            state_hist.get(&(e.from, e.delay)).copied().unwrap_or(0)
-        } else {
-            values
-                .get(&(e.from.node, e.from.port))
-                .copied()
-                .unwrap_or(0)
+    // Read a precomputed operand source — through history for delays.
+    fn read_src(state_hist: &HashMap<(VarRef, u32), i64>, values: &[i64], s: Src) -> i64 {
+        match s {
+            Src::Val(slot) => values[slot as usize],
+            Src::Hist(var, d) => state_hist.get(&(var, d)).copied().unwrap_or(0),
         }
     }
 
     for &nid in &prep.order {
         match g.node(nid).kind() {
             NodeKind::Input { index } => {
-                values.insert((nid, 0), inputs.get(*index).copied().unwrap_or(0));
+                values[prep.slot(nid, 0)] = inputs.get(*index).copied().unwrap_or(0);
             }
             NodeKind::Const { value } => {
-                values.insert((nid, 0), crate::truncate(*value, width));
+                values[prep.slot(nid, 0)] = crate::truncate(*value, width);
             }
             NodeKind::Op(op) => {
-                let mut args = Vec::with_capacity(op.arity());
-                for p in 0..op.arity() as u16 {
-                    args.push(resolve(&state.history[bi], &values, g, nid, p));
+                let ar = op.arity();
+                let mut args = [0i64; 2];
+                for (p, a) in args.iter_mut().enumerate().take(ar) {
+                    *a = read_src(&state.history[bi], &values, prep.src(nid, p as u16));
                 }
-                values.insert((nid, 0), op.eval(&args, width));
+                values[prep.slot(nid, 0)] = op.eval(&args[..ar], width);
             }
             NodeKind::Hier { callee } => {
                 let sub_id = b.binding.hier_to_sub[&nid];
@@ -600,7 +682,7 @@ fn run_behavior(
                 let arity = h.in_arity(*callee);
                 let mut sub_inputs = Vec::with_capacity(arity);
                 for p in 0..arity as u16 {
-                    sub_inputs.push(resolve(&state.history[bi], &values, g, nid, p));
+                    sub_inputs.push(read_src(&state.history[bi], &values, prep.src(nid, p)));
                 }
                 let si = sub_id.index();
                 let out = match drivers.get_mut(si) {
@@ -626,8 +708,9 @@ fn run_behavior(
                         &mut Vec::new(),
                     ),
                 };
+                let base = prep.slot(nid, 0);
                 for (p, v) in out.into_iter().enumerate() {
-                    values.insert((nid, p as u16), v);
+                    values[base + p] = v;
                 }
             }
             NodeKind::Output { .. } => {}
@@ -637,9 +720,9 @@ fn run_behavior(
     // Record FU events in schedule order per instance.
     for (fu, ops) in prep.fu_ops.iter().enumerate() {
         for &(op, node) in ops {
-            let a = resolve(&state.history[bi], &values, g, node, 0);
+            let a = read_src(&state.history[bi], &values, prep.src(node, 0));
             let bv = if op.arity() > 1 {
-                resolve(&state.history[bi], &values, g, node, 1)
+                read_src(&state.history[bi], &values, prep.src(node, 1))
             } else {
                 0
             };
@@ -654,17 +737,11 @@ fn run_behavior(
 
     // Register writes, ordered by lifetime birth; same-(birth, register)
     // groups commit in ascending value order (see `Prep::reg_writes`).
-    for (reg, vars) in &prep.reg_writes {
-        match vars.as_slice() {
-            [v] => {
-                let value = values.get(&(v.node, v.port)).copied().unwrap_or(0);
-                act.reg_writes[*reg].push(value);
-            }
+    for (reg, slots) in &prep.reg_writes {
+        match slots.as_slice() {
+            [s] => act.reg_writes[*reg].push(values[*s as usize]),
             tied => {
-                let mut vals: Vec<i64> = tied
-                    .iter()
-                    .map(|v| values.get(&(v.node, v.port)).copied().unwrap_or(0))
-                    .collect();
+                let mut vals: Vec<i64> = tied.iter().map(|&s| values[s as usize]).collect();
                 vals.sort_unstable();
                 act.reg_writes[*reg].extend(vals);
             }
@@ -679,32 +756,18 @@ fn run_behavior(
     let outputs: Vec<i64> = g
         .outputs()
         .iter()
-        .map(|&o| {
-            let e = g.driver(o, 0).expect("validated dfg");
-            if e.delay > 0 {
-                state.history[bi]
-                    .get(&(e.from, e.delay))
-                    .copied()
-                    .unwrap_or(0)
-            } else {
-                values
-                    .get(&(e.from.node, e.from.port))
-                    .copied()
-                    .unwrap_or(0)
-            }
-        })
+        .map(|&o| read_src(&state.history[bi], &values, prep.src(o, 0)))
         .collect();
 
     // Update delay history *after* the iteration: shift k-levels.
     let hist = &mut state.history[bi];
-    for &(var, maxd) in &prep.max_delay {
+    for &(var, maxd, slot) in &prep.max_delay {
         for k in (2..=maxd).rev() {
             if let Some(&prev) = hist.get(&(var, k - 1)) {
                 hist.insert((var, k), prev);
             }
         }
-        let current = values.get(&(var.node, var.port)).copied().unwrap_or(0);
-        hist.insert((var, 1), current);
+        hist.insert((var, 1), values[slot as usize]);
     }
 
     outputs

@@ -20,7 +20,17 @@
 
 use crate::module::{Behavior, RtlModule};
 use hsyn_dfg::{Dfg, DfgId, Hierarchy, NodeKind};
-use std::collections::HashMap;
+
+/// Per-hierarchy DFG-fingerprint memo: a flat arena indexed by
+/// [`DfgId::index`] (dense ids), replacing the seed's `HashMap<DfgId, u64>`
+/// — one branch and an array load per lookup, no hashing.
+struct DfgMemo(Vec<Option<u64>>);
+
+impl DfgMemo {
+    fn new(h: &Hierarchy) -> Self {
+        DfgMemo(vec![None; h.dfg_count()])
+    }
+}
 
 /// A streaming 64-bit hasher with fixed (seed-free) initial state.
 ///
@@ -118,7 +128,7 @@ impl FpTree {
 
 /// Fingerprint the whole module tree rooted at `module`.
 pub fn fingerprint_tree(h: &Hierarchy, module: &RtlModule) -> FpTree {
-    let mut memo = HashMap::new();
+    let mut memo = DfgMemo::new(h);
     fp_module(h, module, &mut memo)
 }
 
@@ -151,7 +161,7 @@ pub fn module_fingerprint(h: &Hierarchy, module: &RtlModule) -> u64 {
 /// Content hash of one DFG, independent of its [`DfgId`] and of all node /
 /// graph names. Hierarchical nodes recurse into the callee's content.
 pub fn dfg_fingerprint(h: &Hierarchy, id: DfgId) -> u64 {
-    let mut memo = HashMap::new();
+    let mut memo = DfgMemo::new(h);
     fp_dfg(h, id, &mut memo)
 }
 
@@ -172,7 +182,7 @@ pub fn refresh_fingerprint_tree(
     old: &FpTree,
     dirty: &[usize],
 ) -> FpTree {
-    let mut memo = HashMap::new();
+    let mut memo = DfgMemo::new(h);
     refresh(h, module, old, dirty, &mut memo)
 }
 
@@ -181,7 +191,7 @@ fn refresh(
     module: &RtlModule,
     old: &FpTree,
     dirty: &[usize],
-    memo: &mut HashMap<DfgId, u64>,
+    memo: &mut DfgMemo,
 ) -> FpTree {
     let Some((&next, rest)) = dirty.split_first() else {
         return fp_module(h, module, memo);
@@ -204,7 +214,7 @@ fn refresh(
     fp_module_with(h, module, subs, memo)
 }
 
-fn fp_module(h: &Hierarchy, module: &RtlModule, memo: &mut HashMap<DfgId, u64>) -> FpTree {
+fn fp_module(h: &Hierarchy, module: &RtlModule, memo: &mut DfgMemo) -> FpTree {
     let subs: Vec<FpTree> = module
         .subs()
         .iter()
@@ -219,7 +229,7 @@ fn fp_module_with(
     h: &Hierarchy,
     module: &RtlModule,
     subs: Vec<FpTree>,
-    memo: &mut HashMap<DfgId, u64>,
+    memo: &mut DfgMemo,
 ) -> FpTree {
     let mut f = Fp::new();
     f.u64(tag::FUS);
@@ -244,7 +254,7 @@ fn fp_module_with(
     }
 }
 
-fn fp_behavior(f: &mut Fp, h: &Hierarchy, b: &Behavior, memo: &mut HashMap<DfgId, u64>) {
+fn fp_behavior(f: &mut Fp, h: &Hierarchy, b: &Behavior, memo: &mut DfgMemo) {
     f.u64(tag::DFG);
     f.u64(fp_dfg(h, b.dfg, memo));
 
@@ -313,8 +323,8 @@ fn fp_behavior(f: &mut Fp, h: &Hierarchy, b: &Behavior, memo: &mut HashMap<DfgId
     }
 }
 
-fn fp_dfg(h: &Hierarchy, id: DfgId, memo: &mut HashMap<DfgId, u64>) -> u64 {
-    if let Some(&fp) = memo.get(&id) {
+fn fp_dfg(h: &Hierarchy, id: DfgId, memo: &mut DfgMemo) -> u64 {
+    if let Some(fp) = memo.0[id.index()] {
         return fp;
     }
     let g: &Dfg = h.dfg(id);
@@ -362,7 +372,7 @@ fn fp_dfg(h: &Hierarchy, id: DfgId, memo: &mut HashMap<DfgId, u64>) -> u64 {
         f.usize(n.index());
     }
     let fp = f.finish();
-    memo.insert(id, fp);
+    memo.0[id.index()] = Some(fp);
     fp
 }
 

@@ -17,6 +17,37 @@
 //! * **slack analysis** — [`alap_starts`], [`module_window`] and
 //!   [`environment_of`] implement the constraint-derivation step feeding
 //!   moves *A*/*B* of the synthesis engine.
+//!
+//! Scheduling `y = (a + b) + c` with 3 ns adders at a 10 ns clock
+//! (1 ns register overhead) chains both adds into cycle 0:
+//!
+//! ```
+//! use hsyn_dfg::{Dfg, Operation};
+//! use hsyn_sched::{schedule, NodeDelay, SchedContext};
+//!
+//! let mut g = Dfg::new("chain");
+//! let a = g.add_input("a");
+//! let b = g.add_input("b");
+//! let c = g.add_input("c");
+//! let s1 = g.add_op(Operation::Add, "s1", &[a, b]);
+//! let s2 = g.add_op(Operation::Add, "s2", &[s1, c]);
+//! g.add_output("y", s2);
+//!
+//! let ctx = SchedContext::new(10.0, 1.0, Some(4)); // clk, overhead, deadline
+//! let delay = |n| if g.node(n).kind().is_schedulable() {
+//!     NodeDelay::Combinational { ns: 3.0 }
+//! } else {
+//!     NodeDelay::Free
+//! };
+//! let sched = schedule(&g, delay, &[], &ctx).expect("feasible");
+//! assert_eq!(sched.time(s1.node).start.cycle, 0);
+//! assert_eq!(sched.time(s2.node).start.cycle, 0); // chained: 3 + 3 ≤ 9 usable
+//! assert_eq!(sched.makespan(), 1);
+//! ```
+//!
+//! All per-node state is indexed by dense [`hsyn_dfg::NodeId`]s into flat
+//! arrays, and dependence walks use the graph's CSR adjacency — see
+//! DESIGN.md, "Data layout & arena invariants".
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

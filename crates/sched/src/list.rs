@@ -5,7 +5,7 @@
 //! the schedule and an implied binding), used to cross-check the engine's
 //! scheduler and to bootstrap resource-shared designs.
 
-use hsyn_dfg::{Dfg, NodeId};
+use hsyn_dfg::{Dfg, EdgeId, NodeId};
 use std::collections::HashMap;
 use std::hash::Hash;
 
@@ -94,13 +94,17 @@ pub fn list_schedule<K: Eq + Hash + Clone>(
 ) -> Result<ListSchedule<K>, ListSchedError> {
     let n = g.node_count();
     let order = hsyn_dfg::analysis::topo_order(g).map_err(|_| ListSchedError::Cycle)?;
+    let adj = g.adj();
 
     let durations: Vec<u32> = (0..n).map(|i| dur(NodeId::from_index(i))).collect();
-    // Priority: longest path (in cycles) from the node to any sink.
+    // Priority: longest path (in cycles) from the node to any sink,
+    // computed over the CSR successor slices — O(V + E), where the seed
+    // accessor scanned the whole edge arena per node.
     let mut remaining = vec![0u32; n];
     for &nid in order.iter().rev() {
         let mut best = 0;
-        for (_, e) in g.out_edges(nid) {
+        for &ei in adj.out_edge_indices(nid) {
+            let e = g.edge(EdgeId::from_index(ei as usize));
             if e.delay == 0 {
                 best = best.max(remaining[e.to.index()]);
             }
@@ -176,7 +180,8 @@ pub fn list_schedule<K: Eq + Hash + Clone>(
                 done += 1;
                 start[i] = cycle;
                 finish[i] = cycle + durations[i];
-                for (_, e) in g.out_edges(nid) {
+                for &ei in adj.out_edge_indices(nid) {
+                    let e = g.edge(EdgeId::from_index(ei as usize));
                     if e.delay == 0 {
                         let t = e.to.index();
                         pending[t] -= 1;

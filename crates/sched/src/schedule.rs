@@ -1,6 +1,6 @@
 use crate::profile::Profile;
 use crate::time::{max_tick, Tick};
-use hsyn_dfg::{Dfg, NodeId, NodeKind};
+use hsyn_dfg::{Dfg, EdgeId, NodeId, NodeKind};
 use std::fmt;
 
 /// Timing behavior of one node, supplied by the binding layer.
@@ -218,6 +218,14 @@ pub fn schedule(
     let n = g.node_count();
     let order = combined_topo(g, serial)?;
 
+    // Serialization successors per node, precomputed once: the floor-update
+    // loop below was O(V·S) when it re-scanned the whole `serial` slice for
+    // every scheduled node.
+    let mut serial_succ: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for &(a, b) in serial {
+        serial_succ[a.index()].push(b.index() as u32);
+    }
+
     let mut serial_floor = vec![0u32; n];
     let mut times: Vec<Option<NodeTime>> = vec![None; n];
     let mut port_times: Vec<Option<Vec<u32>>> = vec![None; n];
@@ -291,7 +299,7 @@ pub fn schedule(
                     };
                     arrivals.push(arr);
                 }
-                if g.in_edges(nid).count() != in_arity {
+                if g.adj().in_degree(nid) != in_arity {
                     return Err(SchedError::ProfileArity { node: nid });
                 }
                 let start = profile.start_for(&arrivals).max(floor);
@@ -305,12 +313,10 @@ pub fn schedule(
             }
         };
 
-        for &(a, b) in serial {
-            if a == nid {
-                let release = time.occupied.1;
-                let f = &mut serial_floor[b.index()];
-                *f = (*f).max(release);
-            }
+        let release = time.occupied.1;
+        for &b in &serial_succ[nid.index()] {
+            let f = &mut serial_floor[b as usize];
+            *f = (*f).max(release);
         }
         times[nid.index()] = Some(time);
     }
@@ -413,25 +419,45 @@ fn schedule_combinational(ready: Tick, floor: u32, ns: f64, usable: f64) -> Node
 }
 
 /// Topological order over data edges (delay 0) plus serialization edges.
+///
+/// Data-edge successors come straight from the graph's CSR
+/// [`Adjacency`](hsyn_dfg::Adjacency) — no per-node `Vec` adjacency is
+/// allocated anymore; only the (typically small) serialization overlay is
+/// materialized. Successors are visited in the exact order the old
+/// per-node push lists produced (data edges in ascending edge-id order,
+/// then serial edges in input order), so the resulting order — and every
+/// schedule built from it — is byte-identical.
 fn combined_topo(g: &Dfg, serial: &[(NodeId, NodeId)]) -> Result<Vec<NodeId>, SchedError> {
     let n = g.node_count();
-    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let adj = g.adj();
+    let mut serial_succ: Vec<Vec<u32>> = vec![Vec::new(); n];
     let mut indeg = vec![0usize; n];
     for (_, e) in g.edges() {
         if e.delay == 0 {
-            adj[e.from.node.index()].push(e.to.index());
             indeg[e.to.index()] += 1;
         }
     }
     for &(a, b) in serial {
-        adj[a.index()].push(b.index());
+        serial_succ[a.index()].push(b.index() as u32);
         indeg[b.index()] += 1;
     }
     let mut queue: std::collections::VecDeque<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
     let mut order = Vec::with_capacity(n);
     while let Some(i) = queue.pop_front() {
-        order.push(NodeId::from_index(i));
-        for &t in &adj[i] {
+        let nid = NodeId::from_index(i);
+        order.push(nid);
+        for &ei in adj.out_edge_indices(nid) {
+            let e = g.edge(EdgeId::from_index(ei as usize));
+            if e.delay == 0 {
+                let t = e.to.index();
+                indeg[t] -= 1;
+                if indeg[t] == 0 {
+                    queue.push_back(t);
+                }
+            }
+        }
+        for &t in &serial_succ[i] {
+            let t = t as usize;
             indeg[t] -= 1;
             if indeg[t] == 0 {
                 queue.push_back(t);

@@ -1,6 +1,6 @@
 use crate::profile::Environment;
 use crate::schedule::{SchedContext, Schedule};
-use hsyn_dfg::{Dfg, NodeId, NodeKind};
+use hsyn_dfg::{Dfg, EdgeId, NodeId, NodeKind};
 
 /// The relaxed timing window a module (or functional unit) must satisfy for
 /// the surrounding schedule to remain feasible — the paper's *constraint
@@ -66,6 +66,13 @@ pub fn alap_starts(
         latest_finish[outp.index()] = latest_finish[outp.index()].min(d);
     }
 
+    // Serialization predecessors per node, precomputed once (the reverse
+    // pass was O(V·S) when it re-scanned `serial` per node).
+    let mut serial_pred: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for &(a, b) in serial {
+        serial_pred[b.index()].push(a.index() as u32);
+    }
+
     // Reverse pass in reverse topological order: process nodes in reverse of
     // a forward order. Forward order exists because the schedule was built.
     let order = forward_order(g, serial);
@@ -78,11 +85,9 @@ pub fn alap_starts(
                 latest_finish[p] = latest_finish[p].min(ls);
             }
         }
-        for &(a, b) in serial {
-            if b == nid {
-                let p = a.index();
-                latest_finish[p] = latest_finish[p].min(ls);
-            }
+        for &a in &serial_pred[i] {
+            let p = a as usize;
+            latest_finish[p] = latest_finish[p].min(ls);
         }
     }
 
@@ -109,7 +114,7 @@ pub fn module_window(
     node: NodeId,
 ) -> ConstraintWindow {
     let horizon = ctx.sampling_period.unwrap_or_else(|| sched.makespan());
-    let in_arity = g.in_edges(node).count();
+    let in_arity = g.adj().in_degree(node);
     let mut input_arrivals = vec![0u32; in_arity];
     for (_, e) in g.in_edges(node) {
         let arr = if e.delay > 0 {
@@ -152,7 +157,7 @@ pub fn module_window(
 /// The *environment* of `node` in the current schedule: actual input
 /// arrivals and actual (earliest) consumption cycle of each output.
 pub fn environment_of(g: &Dfg, sched: &Schedule, node: NodeId) -> Environment {
-    let in_arity = g.in_edges(node).count();
+    let in_arity = g.adj().in_degree(node);
     let mut input_arrivals = vec![0u32; in_arity];
     for (_, e) in g.in_edges(node) {
         let arr = if e.delay > 0 {
@@ -191,25 +196,40 @@ pub fn environment_of(g: &Dfg, sched: &Schedule, node: NodeId) -> Environment {
 
 fn forward_order(g: &Dfg, serial: &[(NodeId, NodeId)]) -> Vec<NodeId> {
     // Kahn over data (delay 0) + serial edges; the caller guarantees
-    // acyclicity (a schedule was already built).
+    // acyclicity (a schedule was already built). Data successors come from
+    // the graph's CSR adjacency, visited in the same ascending edge-id
+    // order the old per-node push lists produced, so the order — and the
+    // windows derived from it — is unchanged.
     let n = g.node_count();
-    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let adj = g.adj();
+    let mut serial_succ: Vec<Vec<u32>> = vec![Vec::new(); n];
     let mut indeg = vec![0usize; n];
     for (_, e) in g.edges() {
         if e.delay == 0 {
-            adj[e.from.node.index()].push(e.to.index());
             indeg[e.to.index()] += 1;
         }
     }
     for &(a, b) in serial {
-        adj[a.index()].push(b.index());
+        serial_succ[a.index()].push(b.index() as u32);
         indeg[b.index()] += 1;
     }
     let mut queue: std::collections::VecDeque<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
     let mut order = Vec::with_capacity(n);
     while let Some(i) = queue.pop_front() {
-        order.push(NodeId::from_index(i));
-        for &t in &adj[i] {
+        let nid = NodeId::from_index(i);
+        order.push(nid);
+        for &ei in adj.out_edge_indices(nid) {
+            let e = g.edge(EdgeId::from_index(ei as usize));
+            if e.delay == 0 {
+                let t = e.to.index();
+                indeg[t] -= 1;
+                if indeg[t] == 0 {
+                    queue.push_back(t);
+                }
+            }
+        }
+        for &t in &serial_succ[i] {
+            let t = t as usize;
             indeg[t] -= 1;
             if indeg[t] == 0 {
                 queue.push_back(t);

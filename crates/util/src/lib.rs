@@ -21,5 +21,5 @@ pub mod par;
 pub mod rng;
 
 pub use json::Json;
-pub use par::{effective_threads, par_map};
+pub use par::{effective_threads, par_map, workers_for};
 pub use rng::Rng;

@@ -30,6 +30,10 @@
 //!   --parallel <n>           worker threads for the (Vdd, clock) sweep
 //!                            (default: one per core; results identical
 //!                            for every setting)
+//!   --intra-jobs <n>         worker threads for the candidate scan inside
+//!                            each configuration; 0 = one per core
+//!                            (default: 1; results identical for every
+//!                            setting, transactional mode only)
 //!
 //! hsyn lint [<behavior.dfg> | --benchmark NAME | --all-benchmarks] [options]
 //!
@@ -76,6 +80,7 @@ fn usage() -> ExitCode {
          \x20           [--no-incremental] [--shadow-eval] [--no-transactional]\n\
          \x20           [--cosim-check] [--fsm] [--verilog FILE]\n\
          \x20           [--dot FILE] [--power-report] [--seed N] [--parallel N]\n\
+         \x20           [--intra-jobs N]\n\
          \x20      hsyn lint [<behavior.dfg> | --benchmark NAME | --all-benchmarks]\n\
          \x20           [--synthesize] [--objective area|power|both] [--laxity F]\n\
          \x20           [--library table1|realistic] [--allow CODE] [--json]\n\
@@ -549,6 +554,7 @@ fn synth_main(args: Vec<String>) -> ExitCode {
     let mut power_report = false;
     let mut seed: Option<u64> = None;
     let mut parallel: Option<usize> = None;
+    let mut intra_jobs: Option<usize> = None;
     let mut paranoid = false;
     let mut incremental = true;
     let mut shadow_eval = false;
@@ -618,6 +624,14 @@ fn synth_main(args: Vec<String>) -> ExitCode {
                     return usage();
                 }
             },
+            "--intra-jobs" => match take("--intra-jobs").and_then(|v| v.parse::<usize>().ok()) {
+                // 0 is meaningful here: one worker per available core.
+                Some(v) => intra_jobs = Some(v),
+                None => {
+                    eprintln!("--intra-jobs expects a thread count (0 = one per core)");
+                    return usage();
+                }
+            },
             "--help" | "-h" => return usage(),
             other if input.is_none() && !other.starts_with('-') => {
                 input = Some(other.to_owned());
@@ -664,6 +678,9 @@ fn synth_main(args: Vec<String>) -> ExitCode {
     }
     if parallel.is_some() {
         config.parallelism = parallel;
+    }
+    if let Some(n) = intra_jobs {
+        config.intra_parallelism = n;
     }
     config.paranoid = paranoid;
     config.incremental = incremental;
