@@ -1,0 +1,350 @@
+//! The `hsyn analyze` entry point: synthesize, prove per-port width
+//! certificates with the abstract interpreter, verify them against the
+//! behavioral reference, and reprice the winning design with width-aware
+//! cost models.
+//!
+//! For each requested objective the pipeline is:
+//!
+//! 1. [`synthesize`] as usual and keep the winning [`DesignPoint`].
+//! 2. [`analyze_hierarchy`] over the design's (possibly move-*A*-rewritten)
+//!    hierarchy at the datapath width — interval × known-bits facts,
+//!    interprocedural summaries, a [`WidthCertificate`] per port.
+//! 3. **Gate**: re-execute the design on the report traces with every value
+//!    truncated to its certified width ([`certified_outputs`]) and require
+//!    byte-identical outputs against the flattened behavioral reference.
+//!    A certificate that changes even one output bit is an analysis bug and
+//!    fails the whole run — sized costs are only reported for designs whose
+//!    certified execution is proven equivalent.
+//! 4. Reprice with [`derive_widths`] + [`module_area_sized`] +
+//!    [`estimate_sized`]. Soundness of the scaling rules guarantees the
+//!    sized figures never exceed the baseline.
+//!
+//! Everything deterministic is exported by [`AnalyzeReport::result_json`]
+//! in the same bit-exact style as
+//! [`SynthesisReport::result_json`](crate::SynthesisReport::result_json);
+//! wall-clock (synthesis telemetry, fixpoint time) is surfaced on the
+//! report struct but deliberately excluded from the JSON.
+
+use crate::config::SynthesisConfig;
+use crate::cost::{evaluate, Evaluation, Objective};
+use crate::design::DesignPoint;
+use crate::synth::{synthesize, ConfigTelemetry, SynthesisError};
+use hsyn_dataflow::{analyze_hierarchy, certified_outputs, AnalysisStats, WidthCertificate};
+use hsyn_dfg::{reference_outputs, Hierarchy, HierarchyError};
+use hsyn_power::{dsp_default, estimate_sized, PowerReport};
+use hsyn_rtl::{derive_widths, module_area_sized, AreaBreakdown, ModuleLibrary, ModuleWidths};
+use hsyn_util::Json;
+use std::fmt;
+
+/// Why an analysis run failed.
+#[derive(Clone, Debug)]
+pub enum AnalyzeError {
+    /// Synthesis itself failed; nothing to analyze.
+    Synthesis(SynthesisError),
+    /// The design's hierarchy failed structural validation.
+    Hierarchy(HierarchyError),
+    /// Certified execution overflowed a certified width — the certificate
+    /// is unsound and must not be used for sizing.
+    CertificateViolation {
+        /// The objective whose design was being verified.
+        objective: Objective,
+        /// The violation, rendered.
+        detail: String,
+    },
+    /// Certified execution stayed within every width but produced outputs
+    /// that differ from the behavioral reference.
+    OutputMismatch {
+        /// The objective whose design was being verified.
+        objective: Objective,
+    },
+}
+
+impl fmt::Display for AnalyzeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalyzeError::Synthesis(e) => write!(f, "synthesis failed: {e}"),
+            AnalyzeError::Hierarchy(e) => write!(f, "hierarchy invalid: {e}"),
+            AnalyzeError::CertificateViolation { objective, detail } => {
+                write!(f, "width certificate violated ({objective:?}): {detail}")
+            }
+            AnalyzeError::OutputMismatch { objective } => write!(
+                f,
+                "certified execution diverges from the behavioral reference ({objective:?})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AnalyzeError {}
+
+/// Width-certified analysis of one objective's winning design.
+#[derive(Clone, Debug)]
+pub struct ObjectiveAnalysis {
+    /// The objective this design was synthesized for.
+    pub objective: Objective,
+    /// Operating voltage of the winning design, V.
+    pub vdd: f64,
+    /// Reference clock period of the winning design, ns.
+    pub clk_ref_ns: f64,
+    /// Baseline evaluation (report traces, nominal widths everywhere).
+    pub baseline: Evaluation,
+    /// Area with every resource priced at its certified width.
+    pub sized_area: AreaBreakdown,
+    /// Power with every resource priced at its certified width.
+    pub sized_power: PowerReport,
+    /// Ports the certificate covers.
+    pub total_ports: usize,
+    /// Ports certified strictly below the nominal width.
+    pub narrowed_ports: usize,
+    /// FUs + registers sized strictly below the nominal width.
+    pub narrowed_resources: usize,
+    /// Iterations of the certified-execution gate that matched the
+    /// behavioral reference (the full report-trace length).
+    pub verified_iterations: usize,
+    /// Abstract-interpreter counters, including the fixpoint wall-clock
+    /// (`fixpoint_s` — telemetry only, excluded from the JSON).
+    pub stats: AnalysisStats,
+    /// Synthesis telemetry for the sweep that produced this design.
+    pub per_config: Vec<ConfigTelemetry>,
+}
+
+/// The result of [`analyze`]: one [`ObjectiveAnalysis`] per requested
+/// objective at a common datapath width.
+#[derive(Clone, Debug)]
+pub struct AnalyzeReport {
+    /// The nominal datapath width the certificates are proven against.
+    pub width: u32,
+    /// Per-objective analyses, in request order.
+    pub objectives: Vec<ObjectiveAnalysis>,
+}
+
+impl AnalyzeReport {
+    /// Canonical JSON rendering of everything **deterministic** in the
+    /// report: every `f64` appears as the hex form of its `to_bits`.
+    /// Wall-clock fields (`fixpoint_s`, per-config `elapsed_s` and friends)
+    /// are excluded, so two runs of the same analysis produce byte-identical
+    /// strings — the contract the determinism suite pins.
+    pub fn result_json(&self) -> String {
+        self.result_json_value().to_string_pretty()
+    }
+
+    /// The [`result_json`](Self::result_json) payload as a [`Json`] value,
+    /// for callers composing it into larger documents (the CLI's per-target
+    /// array).
+    pub fn result_json_value(&self) -> Json {
+        fn bits(v: f64) -> Json {
+            Json::Str(format!("{:016x}", v.to_bits()))
+        }
+        fn count(v: usize) -> Json {
+            Json::Num(v as f64)
+        }
+        fn area_json(a: &AreaBreakdown) -> Json {
+            Json::Obj(vec![
+                ("fu".into(), bits(a.fu)),
+                ("reg".into(), bits(a.reg)),
+                ("mux".into(), bits(a.mux)),
+                ("wire".into(), bits(a.wire)),
+                ("controller".into(), bits(a.controller)),
+                ("subs".into(), bits(a.subs)),
+                ("total".into(), bits(a.total())),
+            ])
+        }
+        fn power_json(p: &PowerReport) -> Json {
+            Json::Obj(vec![
+                ("energy_per_iteration".into(), bits(p.energy_per_iteration)),
+                ("power".into(), bits(p.power)),
+                ("vdd".into(), bits(p.vdd)),
+            ])
+        }
+        let objectives = Json::Arr(
+            self.objectives
+                .iter()
+                .map(|o| {
+                    Json::Obj(vec![
+                        (
+                            "objective".into(),
+                            Json::Str(
+                                match o.objective {
+                                    Objective::Area => "area",
+                                    Objective::Power => "power",
+                                }
+                                .into(),
+                            ),
+                        ),
+                        ("vdd".into(), bits(o.vdd)),
+                        ("clk_ref_ns".into(), bits(o.clk_ref_ns)),
+                        ("baseline_area".into(), area_json(&o.baseline.area)),
+                        ("baseline_power".into(), power_json(&o.baseline.power)),
+                        ("sized_area".into(), area_json(&o.sized_area)),
+                        ("sized_power".into(), power_json(&o.sized_power)),
+                        ("total_ports".into(), count(o.total_ports)),
+                        ("narrowed_ports".into(), count(o.narrowed_ports)),
+                        ("narrowed_resources".into(), count(o.narrowed_resources)),
+                        ("verified_iterations".into(), count(o.verified_iterations)),
+                        (
+                            "dfgs_analyzed".into(),
+                            Json::Num(o.stats.dfgs_analyzed as f64),
+                        ),
+                        (
+                            "summary_runs".into(),
+                            Json::Num(o.stats.summary_runs as f64),
+                        ),
+                        ("memo_hits".into(), Json::Num(o.stats.memo_hits as f64)),
+                    ])
+                })
+                .collect(),
+        );
+        Json::Obj(vec![
+            ("width".into(), Json::Num(f64::from(self.width))),
+            ("objectives".into(), objectives),
+        ])
+    }
+}
+
+/// Verify `cert` by certified re-execution against the flattened
+/// behavioral reference on the design's report traces.
+fn verify_certificate(
+    dp: &DesignPoint,
+    cert: &WidthCertificate,
+    config: &SynthesisConfig,
+    objective: Objective,
+) -> Result<usize, AnalyzeError> {
+    let h = &dp.hierarchy;
+    let top_inputs = h.dfg(h.top()).input_count();
+    let traces = dsp_default(
+        top_inputs,
+        config.report_trace_len,
+        config.width,
+        config.seed ^ 0x5eed,
+    );
+    let got = certified_outputs(h, cert, &traces.samples, config.width).map_err(|v| {
+        AnalyzeError::CertificateViolation {
+            objective,
+            detail: v.to_string(),
+        }
+    })?;
+    let want = reference_outputs(&h.flatten(), &traces.samples, config.width);
+    if got != want {
+        return Err(AnalyzeError::OutputMismatch { objective });
+    }
+    Ok(config.report_trace_len)
+}
+
+/// Synthesize, certify, verify, and reprice `hierarchy` for each objective
+/// in `objectives` (see the module docs for the pipeline).
+///
+/// # Errors
+///
+/// [`AnalyzeError::Synthesis`] when synthesis fails;
+/// [`AnalyzeError::CertificateViolation`] / [`AnalyzeError::OutputMismatch`]
+/// when the certificate fails its oracle gate (an analysis bug, never a
+/// property of the input design).
+pub fn analyze(
+    hierarchy: &Hierarchy,
+    mlib: &ModuleLibrary,
+    config: &SynthesisConfig,
+    objectives: &[Objective],
+) -> Result<AnalyzeReport, AnalyzeError> {
+    let mut report = AnalyzeReport {
+        width: config.width,
+        objectives: Vec::new(),
+    };
+    for &objective in objectives {
+        let mut cfg = config.clone();
+        cfg.objective = objective;
+        let synth = synthesize(hierarchy, mlib, &cfg).map_err(AnalyzeError::Synthesis)?;
+        let dp = &synth.design;
+        let analysis =
+            analyze_hierarchy(&dp.hierarchy, cfg.width).map_err(AnalyzeError::Hierarchy)?;
+        let verified_iterations = verify_certificate(dp, analysis.certificate(), &cfg, objective)?;
+
+        let lib = &mlib.simple;
+        let widths: ModuleWidths =
+            derive_widths(&dp.hierarchy, &dp.top.built, analysis.certificate());
+        let sized_area = module_area_sized(&dp.hierarchy, &dp.top.built, lib, &widths);
+        let top_inputs = dp.hierarchy.dfg(dp.hierarchy.top()).input_count();
+        let report_traces = dsp_default(
+            top_inputs,
+            cfg.report_trace_len,
+            cfg.width,
+            cfg.seed ^ 0x5eed,
+        );
+        let sized_power = estimate_sized(
+            &dp.hierarchy,
+            &dp.top.built,
+            lib,
+            &report_traces,
+            dp.op.vdd,
+            dp.op.physical_clk_ns(lib),
+            dp.op.sampling_cycles.max(1),
+            &widths,
+        );
+        let baseline = evaluate(dp, lib, &report_traces, objective);
+        report.objectives.push(ObjectiveAnalysis {
+            objective,
+            vdd: dp.op.vdd,
+            clk_ref_ns: dp.op.clk_ref_ns,
+            baseline,
+            sized_area,
+            sized_power,
+            total_ports: analysis.certificate().total_ports(),
+            narrowed_ports: analysis.certificate().narrowed_ports(),
+            narrowed_resources: widths.narrowed_resources(),
+            verified_iterations,
+            stats: analysis.stats.clone(),
+            per_config: synth.per_config.clone(),
+        });
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hsyn_dfg::benchmarks;
+    use hsyn_lib::papers::table1_library;
+
+    fn quick_config() -> SynthesisConfig {
+        let mut config = SynthesisConfig::new(Objective::Area);
+        config.laxity_factor = 2.2;
+        config.max_passes = 1;
+        config.candidate_limit = 2;
+        config.eval_trace_len = 8;
+        config.report_trace_len = 16;
+        config.max_clock_candidates = 2;
+        config
+    }
+
+    #[test]
+    fn analyze_gates_and_never_inflates_cost() {
+        let bench = benchmarks::iir();
+        let mut mlib = ModuleLibrary::from_simple(table1_library());
+        mlib.equiv = bench.equiv.clone();
+        let config = quick_config();
+        let report = analyze(
+            &bench.hierarchy,
+            &mlib,
+            &config,
+            &[Objective::Area, Objective::Power],
+        )
+        .unwrap();
+        assert_eq!(report.objectives.len(), 2);
+        for o in &report.objectives {
+            assert_eq!(o.verified_iterations, config.report_trace_len);
+            assert!(o.sized_area.total() <= o.baseline.area.total() + 1e-9);
+            assert!(o.sized_power.power <= o.baseline.power.power + 1e-12);
+            assert!(o.total_ports > 0);
+        }
+    }
+
+    #[test]
+    fn analyze_json_is_deterministic() {
+        let bench = benchmarks::hier_paulin();
+        let mut mlib = ModuleLibrary::from_simple(table1_library());
+        mlib.equiv = bench.equiv.clone();
+        let config = quick_config();
+        let a = analyze(&bench.hierarchy, &mlib, &config, &[Objective::Area]).unwrap();
+        let b = analyze(&bench.hierarchy, &mlib, &config, &[Objective::Area]).unwrap();
+        assert_eq!(a.result_json(), b.result_json());
+    }
+}

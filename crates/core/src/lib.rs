@@ -37,6 +37,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod analyze;
 mod cache;
 mod config;
 mod cost;
@@ -48,6 +49,7 @@ mod moves;
 mod synth;
 mod transact;
 
+pub use analyze::{analyze, AnalyzeError, AnalyzeReport, ObjectiveAnalysis};
 pub use cache::EvalCache;
 pub use config::{MoveFamilies, SynthesisConfig};
 pub use cost::{

@@ -1,0 +1,585 @@
+//! Composable abstract domains over `width`-bit two's-complement values.
+//!
+//! Concrete values are `i64`s that are sign-extended images of a `width`-bit
+//! datapath word, exactly as [`hsyn_dfg::Operation::eval`] produces them. An
+//! [`AbstractValue`] is the reduced product of two lattices:
+//!
+//! * [`Interval`] — a signed value range `[lo, hi]`;
+//! * [`KnownBits`] — per-bit knowledge over the low `width` bits.
+//!
+//! Constants are the singleton elements of either domain (the reduction in
+//! [`AbstractValue::normalize`] keeps the two in sync), and every transfer
+//! function mirrors the wrapping semantics of `Operation::eval`: whenever an
+//! exact result could leave the representable range the interval widens to
+//! ⊤ instead of wrapping — so the concretization always *over*-approximates
+//! the machine arithmetic and never claims a bit pattern the datapath could
+//! not produce.
+
+use hsyn_dfg::Operation;
+
+/// Sign-extend `value`'s low `width` bits, exactly as the datapath does.
+/// Local mirror of the (crate-private) truncation in `hsyn-dfg`.
+#[inline]
+pub fn sign_extend(value: i64, width: u32) -> i64 {
+    debug_assert!((1..=63).contains(&width));
+    (value << (64 - width)) >> (64 - width)
+}
+
+/// Smallest representable value at `width` bits.
+#[inline]
+pub fn min_value(width: u32) -> i64 {
+    -(1i64 << (width - 1))
+}
+
+/// Largest representable value at `width` bits.
+#[inline]
+pub fn max_value(width: u32) -> i64 {
+    (1i64 << (width - 1)) - 1
+}
+
+/// The mask selecting the low `width` bits of a word.
+#[inline]
+pub fn width_mask(width: u32) -> u64 {
+    if width >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    }
+}
+
+/// Minimum signed width (including the sign bit) that represents `v`
+/// exactly: `sign_extend(v, bits_needed(v)) == v`.
+#[inline]
+pub fn bits_needed(v: i64) -> u32 {
+    if v >= 0 {
+        // Need v < 2^(w-1): magnitude bits plus a sign bit.
+        64 - v.leading_zeros() + 1
+    } else {
+        // Need v >= -2^(w-1).
+        65 - v.leading_ones()
+    }
+    .max(1)
+}
+
+/// A signed value range `[lo, hi]` (inclusive both ends).
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct Interval {
+    /// Lower bound, inclusive.
+    pub lo: i64,
+    /// Upper bound, inclusive.
+    pub hi: i64,
+}
+
+impl Interval {
+    /// The full representable range at `width` bits (⊤).
+    pub fn full(width: u32) -> Self {
+        Interval {
+            lo: min_value(width),
+            hi: max_value(width),
+        }
+    }
+
+    /// The singleton range `{v}`.
+    pub fn constant(v: i64) -> Self {
+        Interval { lo: v, hi: v }
+    }
+
+    /// Smallest range containing both operands (lattice join).
+    pub fn join(self, other: Interval) -> Interval {
+        Interval {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
+    }
+
+    /// The single value of a singleton range, if any.
+    pub fn as_constant(self) -> Option<i64> {
+        (self.lo == self.hi).then_some(self.lo)
+    }
+
+    /// Whether `self` is contained in `other`.
+    pub fn within(self, other: Interval) -> bool {
+        other.lo <= self.lo && self.hi <= other.hi
+    }
+
+    /// Minimum signed width representing every value in the range.
+    pub fn width_bits(self) -> u32 {
+        bits_needed(self.lo).max(bits_needed(self.hi))
+    }
+}
+
+/// Per-bit knowledge over the low `width` bits of a word: bit `i` is known
+/// to be 0 when `zeros` has bit `i` set, known to be 1 when `ones` does.
+/// The two masks are disjoint; bits set in neither are unknown.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct KnownBits {
+    /// Bits known to be zero.
+    pub zeros: u64,
+    /// Bits known to be one.
+    pub ones: u64,
+}
+
+impl KnownBits {
+    /// Nothing known (⊤).
+    pub fn unknown() -> Self {
+        KnownBits { zeros: 0, ones: 0 }
+    }
+
+    /// All `width` bits known, equal to the low bits of `v`.
+    pub fn constant(v: i64, width: u32) -> Self {
+        let m = width_mask(width);
+        let bits = (v as u64) & m;
+        KnownBits {
+            zeros: !bits & m,
+            ones: bits,
+        }
+    }
+
+    /// Keep only the knowledge both operands agree on (lattice join).
+    pub fn join(self, other: KnownBits) -> KnownBits {
+        KnownBits {
+            zeros: self.zeros & other.zeros,
+            ones: self.ones & other.ones,
+        }
+    }
+
+    /// The mask of known bits.
+    pub fn known(self) -> u64 {
+        self.zeros | self.ones
+    }
+
+    /// If every one of the low `width` bits is known, the sign-extended
+    /// concrete value.
+    pub fn as_constant(self, width: u32) -> Option<i64> {
+        let m = width_mask(width);
+        (self.known() & m == m).then(|| sign_extend(self.ones as i64, width))
+    }
+
+    /// Number of low bits (from bit 0 up) that are contiguously known.
+    pub fn trailing_known(self) -> u32 {
+        (!self.known()).trailing_zeros().min(64)
+    }
+}
+
+/// The reduced product of [`Interval`] and [`KnownBits`].
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct AbstractValue {
+    /// Range component.
+    pub range: Interval,
+    /// Bit-level component.
+    pub bits: KnownBits,
+}
+
+impl AbstractValue {
+    /// ⊤ at `width` bits: full range, no bits known.
+    pub fn top(width: u32) -> Self {
+        AbstractValue {
+            range: Interval::full(width),
+            bits: KnownBits::unknown(),
+        }
+    }
+
+    /// The abstraction of the single concrete value `v` (must already be
+    /// sign-extended to `width` bits).
+    pub fn constant(v: i64, width: u32) -> Self {
+        debug_assert_eq!(v, sign_extend(v, width));
+        AbstractValue {
+            range: Interval::constant(v),
+            bits: KnownBits::constant(v, width),
+        }
+    }
+
+    /// Lattice join of both components.
+    pub fn join(self, other: AbstractValue) -> AbstractValue {
+        AbstractValue {
+            range: self.range.join(other.range),
+            bits: self.bits.join(other.bits),
+        }
+    }
+
+    /// The concrete value, if this abstraction is a singleton.
+    pub fn as_constant(self, width: u32) -> Option<i64> {
+        self.range.as_constant().or(self.bits.as_constant(width))
+    }
+
+    /// Whether every value of `self` is also a value of `other`
+    /// (component-wise partial order; used for monotonicity assertions).
+    pub fn within(self, other: AbstractValue) -> bool {
+        self.range.within(other.range)
+            && (other.bits.zeros & !self.bits.zeros) == 0
+            && (other.bits.ones & !self.bits.ones) == 0
+    }
+
+    /// The reduction step of the product domain: clamp the range to the
+    /// representable window, and let each component sharpen the other when
+    /// one of them has collapsed to a constant.
+    pub fn normalize(mut self, width: u32) -> AbstractValue {
+        let full = Interval::full(width);
+        self.range.lo = self.range.lo.max(full.lo);
+        self.range.hi = self.range.hi.min(full.hi).max(self.range.lo);
+        if let Some(v) = self.range.as_constant() {
+            self.bits = KnownBits::constant(v, width);
+        } else if let Some(v) = self.bits.as_constant(width) {
+            self.range = Interval::constant(v);
+        }
+        self
+    }
+
+    /// Minimum signed storage width proving every value of this abstraction
+    /// round-trips through `sign_extend(·, w)`, clamped to `1..=width`.
+    pub fn width_bits(self, width: u32) -> u32 {
+        self.range.width_bits().clamp(1, width)
+    }
+}
+
+/// Interval transfer of one operation; returns ⊤'s range whenever the exact
+/// result could leave the representable window (the datapath would wrap).
+fn interval_transfer(op: Operation, a: Interval, b: Interval, width: u32) -> Interval {
+    let full = Interval::full(width);
+    let exact = |lo: i128, hi: i128| -> Interval {
+        debug_assert!(lo <= hi);
+        if lo >= i128::from(full.lo) && hi <= i128::from(full.hi) {
+            Interval {
+                lo: lo as i64,
+                hi: hi as i64,
+            }
+        } else {
+            full
+        }
+    };
+    match op {
+        Operation::Add => exact(
+            i128::from(a.lo) + i128::from(b.lo),
+            i128::from(a.hi) + i128::from(b.hi),
+        ),
+        Operation::Sub => exact(
+            i128::from(a.lo) - i128::from(b.hi),
+            i128::from(a.hi) - i128::from(b.lo),
+        ),
+        Operation::Mult => {
+            let corners = [
+                i128::from(a.lo) * i128::from(b.lo),
+                i128::from(a.lo) * i128::from(b.hi),
+                i128::from(a.hi) * i128::from(b.lo),
+                i128::from(a.hi) * i128::from(b.hi),
+            ];
+            exact(
+                *corners.iter().min().expect("nonempty"),
+                *corners.iter().max().expect("nonempty"),
+            )
+        }
+        Operation::Lt => {
+            if a.hi < b.lo {
+                Interval::constant(1)
+            } else if a.lo >= b.hi {
+                Interval::constant(0)
+            } else {
+                Interval { lo: 0, hi: 1 }
+            }
+        }
+        Operation::Shl => match b.as_constant() {
+            Some(k) => {
+                let k = k.rem_euclid(i64::from(width)) as u32;
+                exact(i128::from(a.lo) << k, i128::from(a.hi) << k)
+            }
+            None => full,
+        },
+        Operation::Shr => match b.as_constant() {
+            Some(k) => {
+                let k = k.rem_euclid(i64::from(width)) as u32;
+                Interval {
+                    lo: a.lo >> k,
+                    hi: a.hi >> k,
+                }
+            }
+            // For any amount k, x >> k lies between x and its sign
+            // saturation (0 for x ≥ 0, −1 for x < 0).
+            None => Interval {
+                lo: a.lo.min(if a.lo < 0 { a.lo } else { 0 }),
+                hi: a.hi.max(if a.hi >= 0 { a.hi } else { -1 }),
+            },
+        },
+        Operation::Neg => {
+            if a.lo == min_value(width) {
+                full
+            } else {
+                Interval {
+                    lo: -a.hi,
+                    hi: -a.lo,
+                }
+            }
+        }
+        Operation::Max => Interval {
+            lo: a.lo.max(b.lo),
+            hi: a.hi.max(b.hi),
+        },
+        Operation::Min => Interval {
+            lo: a.lo.min(b.lo),
+            hi: a.hi.min(b.hi),
+        },
+    }
+}
+
+/// Ripple-carry known-bits addition: propagate bit knowledge from the LSB
+/// until the carry becomes unknown. `carry` is the known incoming carry
+/// (used as 1 for subtraction's `a + !b + 1` form).
+fn known_add(a: KnownBits, b: KnownBits, carry_in: u64, width: u32) -> KnownBits {
+    let m = width_mask(width);
+    let mut zeros = 0u64;
+    let mut ones = 0u64;
+    // Carry state: Some(0|1) while known, None once unknown.
+    let mut carry = Some(carry_in & 1);
+    for i in 0..width.min(64) {
+        let bit = 1u64 << i;
+        let (ka, va) = (a.known() & bit != 0, a.ones & bit != 0);
+        let (kb, vb) = (b.known() & bit != 0, b.ones & bit != 0);
+        match (ka, kb, carry) {
+            (true, true, Some(c)) => {
+                let sum = u64::from(va) + u64::from(vb) + c;
+                if sum & 1 == 1 {
+                    ones |= bit;
+                } else {
+                    zeros |= bit;
+                }
+                carry = Some(sum >> 1);
+            }
+            _ => {
+                // An unknown operand bit (or carry) makes this result bit
+                // and every carry above it unknown; stop conservatively.
+                break;
+            }
+        }
+    }
+    KnownBits {
+        zeros: zeros & m,
+        ones: ones & m,
+    }
+}
+
+/// Bitwise complement of the low `width` bits.
+fn known_not(a: KnownBits, width: u32) -> KnownBits {
+    let m = width_mask(width);
+    KnownBits {
+        zeros: a.ones & m,
+        ones: a.zeros & m,
+    }
+}
+
+/// Known-bits transfer of one operation over the low `width` bits.
+fn known_transfer(op: Operation, a: KnownBits, b: KnownBits, width: u32) -> KnownBits {
+    let m = width_mask(width);
+    match op {
+        Operation::Add => known_add(a, b, 0, width),
+        Operation::Sub => known_add(a, known_not(b, width), 1, width),
+        Operation::Neg => known_add(KnownBits::constant(0, width), known_not(a, width), 1, width),
+        Operation::Mult => {
+            // The low k bits of a product depend only on the low k bits of
+            // both factors.
+            let k = a.trailing_known().min(b.trailing_known()).min(width);
+            let mut bits = if k == 0 {
+                KnownBits::unknown()
+            } else {
+                let prod = (a.ones & m).wrapping_mul(b.ones & m);
+                let km = width_mask(k);
+                KnownBits {
+                    zeros: !prod & km,
+                    ones: prod & km,
+                }
+            };
+            // Trailing zeros add under multiplication, even when the other
+            // factor is entirely unknown (x * 64 has 6 low zero bits).
+            let tz = (a.zeros.trailing_ones() + b.zeros.trailing_ones()).min(width);
+            bits.zeros |= width_mask(tz) & m;
+            bits
+        }
+        Operation::Lt => KnownBits {
+            // The result is 0 or 1: every bit above bit 0 is known zero.
+            zeros: m & !1,
+            ones: 0,
+        },
+        Operation::Shl => match b.as_constant(width) {
+            Some(k) => {
+                let k = k.rem_euclid(i64::from(width)) as u32;
+                KnownBits {
+                    zeros: ((a.zeros << k) | width_mask(k)) & m,
+                    ones: (a.ones << k) & m,
+                }
+            }
+            None => KnownBits::unknown(),
+        },
+        Operation::Shr => match b.as_constant(width) {
+            Some(k) => {
+                let k = k.rem_euclid(i64::from(width)) as u32;
+                // Arithmetic shift within the width-bit word: bits shifted
+                // in at the top replicate the (width-1)-th bit when known.
+                let sign = 1u64 << (width - 1);
+                let high = m & !(m >> k);
+                let mut zeros = (a.zeros & m) >> k;
+                let mut ones = (a.ones & m) >> k;
+                if a.zeros & sign != 0 {
+                    zeros |= high;
+                } else if a.ones & sign != 0 {
+                    ones |= high;
+                }
+                KnownBits { zeros, ones }
+            }
+            None => KnownBits::unknown(),
+        },
+        Operation::Max | Operation::Min => a.join(b),
+    }
+}
+
+/// The transfer function of `op` on abstract operands (the composable-domain
+/// product of the interval and known-bits transfers, then the reduction).
+///
+/// # Panics
+///
+/// Panics if `args.len()` does not match the operation's arity.
+pub fn transfer(op: Operation, args: &[AbstractValue], width: u32) -> AbstractValue {
+    assert_eq!(args.len(), op.arity(), "transfer arity mismatch for {op:?}");
+    let a = args[0];
+    let b = if op.arity() > 1 { args[1] } else { a };
+    AbstractValue {
+        range: interval_transfer(op, a.range, b.range, width),
+        bits: known_transfer(op, a.bits, b.bits, width),
+    }
+    .normalize(width)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const W: u32 = 16;
+
+    fn av(lo: i64, hi: i64) -> AbstractValue {
+        AbstractValue {
+            range: Interval { lo, hi },
+            bits: KnownBits::unknown(),
+        }
+        .normalize(W)
+    }
+
+    /// Exhaustively check the transfer against the concrete evaluator on a
+    /// grid of values drawn from both operand abstractions.
+    fn check_sound(op: Operation, a: AbstractValue, b: AbstractValue) {
+        let samples = |i: Interval| -> Vec<i64> {
+            let mut v = vec![i.lo, i.hi, 0, 1, -1, (i.lo + i.hi) / 2];
+            v.retain(|x| i.lo <= *x && *x <= i.hi);
+            v
+        };
+        for &x in &samples(a.range) {
+            for &y in &samples(b.range) {
+                let args: Vec<i64> = if op.arity() == 1 { vec![x] } else { vec![x, y] };
+                let out = op.eval(&args, W);
+                let t = transfer(op, &if op.arity() == 1 { vec![a] } else { vec![a, b] }, W);
+                assert!(
+                    t.range.lo <= out && out <= t.range.hi,
+                    "{op:?}({x},{y}) = {out} outside {t:?}"
+                );
+                let known = t.bits.known();
+                assert_eq!(
+                    (out as u64) & known,
+                    t.bits.ones & known,
+                    "{op:?}({x},{y}) = {out} contradicts known bits {t:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn transfers_are_sound_on_corner_grids() {
+        let cases = [
+            (av(-5, 9), av(3, 3)),
+            (av(0, 200), av(-200, -1)),
+            (av(-32768, 32767), av(-30, 40)),
+            (av(100, 30000), av(2, 4)),
+            (av(-8, 7), av(0, 1)),
+        ];
+        for op in Operation::ALL {
+            for (a, b) in cases {
+                check_sound(op, a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn add_of_constants_is_constant() {
+        let t = transfer(
+            Operation::Add,
+            &[AbstractValue::constant(3, W), AbstractValue::constant(4, W)],
+            W,
+        );
+        assert_eq!(t.as_constant(W), Some(7));
+    }
+
+    #[test]
+    fn wrapping_add_goes_to_top_range() {
+        let t = transfer(Operation::Add, &[av(30000, 32767), av(10000, 10000)], W);
+        assert_eq!(t.range, Interval::full(W));
+    }
+
+    #[test]
+    fn mult_keeps_known_trailing_zeros() {
+        // x * 64: interval wraps (top) but the low 6 bits are known zero.
+        let x = AbstractValue::top(W);
+        let k = AbstractValue::constant(64, W);
+        let t = transfer(Operation::Mult, &[x, k], W);
+        assert_eq!(t.range, Interval::full(W));
+        assert_eq!(t.bits.zeros & 0x3f, 0x3f);
+    }
+
+    #[test]
+    fn lt_is_one_bit() {
+        let t = transfer(Operation::Lt, &[av(-100, 100), av(-100, 100)], W);
+        assert_eq!(t.range, Interval { lo: 0, hi: 1 });
+        // Decided comparisons collapse to constants.
+        let t = transfer(Operation::Lt, &[av(-100, -50), av(0, 10)], W);
+        assert_eq!(t.as_constant(W), Some(1));
+    }
+
+    #[test]
+    fn neg_of_min_value_wraps_to_top() {
+        let t = transfer(Operation::Neg, &[av(min_value(W), -1)], W);
+        assert_eq!(t.range, Interval::full(W));
+        let t = transfer(Operation::Neg, &[av(-5, 9)], W);
+        assert_eq!(t.range, Interval { lo: -9, hi: 5 });
+    }
+
+    #[test]
+    fn shift_by_constant_is_precise() {
+        let t = transfer(
+            Operation::Shr,
+            &[av(-4096, 8191), AbstractValue::constant(12, W)],
+            W,
+        );
+        assert_eq!(t.range, Interval { lo: -1, hi: 1 });
+        let t = transfer(
+            Operation::Shl,
+            &[av(-8, 7), AbstractValue::constant(2, W)],
+            W,
+        );
+        assert_eq!(t.range, Interval { lo: -32, hi: 28 });
+        assert_eq!(t.bits.zeros & 0b11, 0b11);
+    }
+
+    #[test]
+    fn width_bits_matches_sign_extension() {
+        for v in [-32768i64, -129, -128, -1, 0, 1, 127, 128, 32767] {
+            let w = bits_needed(v);
+            assert_eq!(sign_extend(v, w), v, "value {v} at width {w}");
+            if w > 1 {
+                assert_ne!(sign_extend(v, w - 1), v, "width {w} not minimal for {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn join_and_within_agree() {
+        let a = av(-5, 9);
+        let b = av(3, 20);
+        let j = a.join(b).normalize(W);
+        assert!(a.within(j) && b.within(j));
+        assert_eq!(j.range, Interval { lo: -5, hi: 20 });
+    }
+}

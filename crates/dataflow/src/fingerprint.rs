@@ -1,0 +1,173 @@
+//! Structural fingerprints used as summary-memoization keys.
+//!
+//! Two DFGs receive the same fingerprint iff they have the same node kinds,
+//! the same edge structure (endpoints, ports, delays), the same input/output
+//! lists, and structurally identical callees — names are deliberately
+//! excluded, so renamed copies of a module share one analysis summary. The
+//! hash is a local FNV-1a over a canonical serialization with hierarchical
+//! callees replaced by their own (recursively computed) fingerprints; it is
+//! independent of `DfgId` numbering and therefore stable across hierarchies
+//! that merely index their modules differently.
+
+use hsyn_dfg::{Dfg, DfgId, Hierarchy, NodeKind};
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+#[derive(Clone, Copy)]
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(FNV_OFFSET)
+    }
+    fn byte(&mut self, b: u8) {
+        self.0 ^= u64::from(b);
+        self.0 = self.0.wrapping_mul(FNV_PRIME);
+    }
+    fn u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.byte(b);
+        }
+    }
+    fn i64(&mut self, v: i64) {
+        self.u64(v as u64);
+    }
+}
+
+fn dfg_hash(g: &Dfg, callee_fp: impl Fn(DfgId) -> u64) -> u64 {
+    let mut h = Fnv::new();
+    h.u64(g.node_count() as u64);
+    for (_, node) in g.nodes() {
+        match node.kind() {
+            NodeKind::Input { index } => {
+                h.byte(1);
+                h.u64(*index as u64);
+            }
+            NodeKind::Output { index } => {
+                h.byte(2);
+                h.u64(*index as u64);
+            }
+            NodeKind::Const { value } => {
+                h.byte(3);
+                h.i64(*value);
+            }
+            NodeKind::Op(op) => {
+                h.byte(4);
+                h.u64(*op as u64);
+            }
+            NodeKind::Hier { callee } => {
+                h.byte(5);
+                h.u64(callee_fp(*callee));
+            }
+        }
+    }
+    h.u64(g.edge_count() as u64);
+    for (_, e) in g.edges() {
+        h.u64(e.from.node.index() as u64);
+        h.u64(u64::from(e.from.port));
+        h.u64(e.to.index() as u64);
+        h.u64(u64::from(e.to_port));
+        h.u64(u64::from(e.delay));
+    }
+    h.u64(g.inputs().len() as u64);
+    for &n in g.inputs() {
+        h.u64(n.index() as u64);
+    }
+    h.u64(g.outputs().len() as u64);
+    for &n in g.outputs() {
+        h.u64(n.index() as u64);
+    }
+    h.0
+}
+
+/// Structural fingerprint of every DFG in `h`, indexed by `DfgId::index`.
+/// Requires an acyclic callgraph (guaranteed after `Hierarchy::validate`).
+pub fn fingerprints(h: &Hierarchy) -> Vec<u64> {
+    let n = h.dfg_count();
+    let mut fps: Vec<Option<u64>> = vec![None; n];
+    // Iterative callee-first DFS; the callgraph is a DAG post-validation.
+    for root in 0..n {
+        if fps[root].is_some() {
+            continue;
+        }
+        let mut stack = vec![(DfgId::from_index(root), false)];
+        while let Some((d, expanded)) = stack.pop() {
+            if fps[d.index()].is_some() {
+                continue;
+            }
+            let g = h.dfg(d);
+            if expanded {
+                let fp = dfg_hash(g, |c| fps[c.index()].expect("callee hashed first"));
+                fps[d.index()] = Some(fp);
+            } else {
+                stack.push((d, true));
+                for (_, node) in g.nodes() {
+                    if let NodeKind::Hier { callee } = node.kind() {
+                        if fps[callee.index()].is_none() {
+                            stack.push((*callee, false));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    fps.into_iter().map(|f| f.expect("all hashed")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hsyn_dfg::Operation;
+
+    fn mac(name: &str, opname: &str) -> Dfg {
+        let mut g = Dfg::new(name);
+        let a = g.add_input("a");
+        let b = g.add_input("b");
+        let m = g.add_op(Operation::Mult, opname, &[a, b]);
+        g.add_output("y", m);
+        g
+    }
+
+    #[test]
+    fn renamed_copies_share_a_fingerprint() {
+        let mut h = Hierarchy::new();
+        let d1 = h.add_dfg(mac("m1", "p"));
+        let d2 = h.add_dfg(mac("m2", "q"));
+        let mut top = Dfg::new("top");
+        let a = top.add_input("a");
+        let b = top.add_input("b");
+        let c1 = top.add_hier(d1, "c1", &[a, b]);
+        let c2 = top.add_hier(d2, "c2", &[a, b]);
+        let s = top.add_op(
+            Operation::Add,
+            "s",
+            &[top.hier_out(c1, 0), top.hier_out(c2, 0)],
+        );
+        top.add_output("y", s);
+        let t = h.add_dfg(top);
+        h.set_top(t);
+        let fps = fingerprints(&h);
+        assert_eq!(fps[d1.index()], fps[d2.index()]);
+        assert_ne!(fps[d1.index()], fps[t.index()]);
+    }
+
+    #[test]
+    fn structural_change_changes_fingerprint() {
+        let mut h1 = Hierarchy::new();
+        let a1 = h1.add_dfg(mac("m", "p"));
+        h1.set_top(a1);
+        let mut h2 = Hierarchy::new();
+        let mut g = mac("m", "p");
+        // Same shape but a different operation.
+        let mut g2 = Dfg::new("m");
+        let a = g2.add_input("a");
+        let b = g2.add_input("b");
+        let m = g2.add_op(Operation::Add, "p", &[a, b]);
+        g2.add_output("y", m);
+        std::mem::swap(&mut g, &mut g2);
+        let a2 = h2.add_dfg(g);
+        h2.set_top(a2);
+        assert_ne!(fingerprints(&h1)[a1.index()], fingerprints(&h2)[a2.index()]);
+    }
+}

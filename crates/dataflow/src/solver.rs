@@ -1,0 +1,441 @@
+//! Worklist fixpoint solver over one DFG's CSR adjacency arena.
+//!
+//! Three intra-graph analyses share the same engine shape — seed every node,
+//! re-evaluate, and re-queue consumers (or producers, for the backward
+//! liveness pass) whenever a fact grows:
+//!
+//! * [`fixpoint_values`] — forward abstract interpretation of
+//!   [`AbstractValue`] facts, one per output port. Feedback (delayed) edges
+//!   make the dataflow graph cyclic, so facts are joined monotonically and
+//!   a per-node widening counter jumps oscillating nodes to ⊤ after a few
+//!   updates, bounding the iteration count.
+//! * [`output_deps`] — which primary inputs each primary output transitively
+//!   depends on (through any delay), as bitmasks. This is the per-module
+//!   summary the liveness pass needs to see *through* hierarchical calls.
+//! * [`liveness`] — backward observability: an output port is live iff its
+//!   value can reach one of the graph's outputs, where a hierarchical
+//!   node demands exactly the inputs its *live* callee outputs depend on.
+//!
+//! Delayed edges read the producer's value from an earlier iteration, which
+//! starts as 0 before the history fills ([`hsyn_dfg::reference_outputs`]);
+//! the value read over a delayed edge is therefore the join of the constant
+//! 0 with the producer's fact.
+
+use crate::domain::{sign_extend, transfer, AbstractValue};
+use hsyn_dfg::{Dfg, DfgId, Hierarchy, NodeId, NodeKind};
+use std::collections::VecDeque;
+
+/// Updates a node fact may receive before it is widened to ⊤. Transfers are
+/// monotone and facts only grow, so this bounds total solver work at
+/// `O(nodes × WIDEN_LIMIT)` re-evaluations.
+const WIDEN_LIMIT: u32 = 4;
+
+/// Number of abstract output ports a node carries in the fact tables.
+/// Output nodes store the value they observe at a synthetic port 0, exactly
+/// like the reference evaluator records them in its value map.
+pub(crate) fn out_ports(h: &Hierarchy, node: &hsyn_dfg::Node) -> usize {
+    match node.kind() {
+        NodeKind::Hier { callee } => h.out_arity(*callee),
+        _ => 1,
+    }
+}
+
+/// Forward fixpoint over `g`: per-node, per-port abstract values under the
+/// given primary-input facts. `oracle` resolves hierarchical calls (callee
+/// id + abstract arguments → abstract outputs) and is re-invoked whenever a
+/// call site's arguments grow.
+pub(crate) fn fixpoint_values(
+    h: &Hierarchy,
+    g: &Dfg,
+    width: u32,
+    inputs: &[AbstractValue],
+    oracle: &mut dyn FnMut(DfgId, &[AbstractValue]) -> Vec<AbstractValue>,
+) -> Vec<Vec<Option<AbstractValue>>> {
+    let n = g.node_count();
+    let mut facts: Vec<Vec<Option<AbstractValue>>> = g
+        .nodes()
+        .map(|(_, node)| vec![None; out_ports(h, node)])
+        .collect();
+    let mut counters = vec![0u32; n];
+    let mut queued = vec![true; n];
+    let mut worklist: VecDeque<NodeId> = g.node_ids().collect();
+    let adj = g.adj();
+
+    // The value delivered over `edge`, or `None` when a zero-delay operand
+    // has no fact yet (the consumer is retried once the producer lands).
+    let read = |facts: &[Vec<Option<AbstractValue>>], eid: hsyn_dfg::EdgeId| {
+        let e = g.edge(eid);
+        let produced = facts[e.from.node.index()]
+            .get(usize::from(e.from.port))
+            .copied()
+            .flatten();
+        if e.delay > 0 {
+            // History starts at 0 before it fills.
+            let zero = AbstractValue::constant(0, width);
+            Some(produced.map_or(zero, |p| p.join(zero).normalize(width)))
+        } else {
+            produced
+        }
+    };
+    let operand = |facts: &[Vec<Option<AbstractValue>>], node: NodeId, port: u16| {
+        match adj.driver_edge(node, port) {
+            Some(eid) => read(facts, eid),
+            // Undriven port (only possible pre-validation): stay sound.
+            None => Some(AbstractValue::top(width)),
+        }
+    };
+
+    while let Some(nid) = worklist.pop_front() {
+        queued[nid.index()] = false;
+        let new: Option<Vec<AbstractValue>> = match g.node(nid).kind() {
+            NodeKind::Input { index } => Some(vec![inputs
+                .get(*index)
+                .copied()
+                .unwrap_or_else(|| AbstractValue::top(width))]),
+            NodeKind::Const { value } => Some(vec![AbstractValue::constant(
+                sign_extend(*value, width),
+                width,
+            )]),
+            NodeKind::Op(op) => (0..op.arity() as u16)
+                .map(|p| operand(&facts, nid, p))
+                .collect::<Option<Vec<_>>>()
+                .map(|args| vec![transfer(*op, &args, width)]),
+            NodeKind::Hier { callee } => (0..h.in_arity(*callee) as u16)
+                .map(|p| operand(&facts, nid, p))
+                .collect::<Option<Vec<_>>>()
+                .map(|args| {
+                    let mut outs = oracle(*callee, &args);
+                    outs.resize(h.out_arity(*callee), AbstractValue::top(width));
+                    outs
+                }),
+            NodeKind::Output { .. } => operand(&facts, nid, 0).map(|v| vec![v]),
+        };
+        let Some(new) = new else {
+            continue; // a zero-delay operand is pending; retried later
+        };
+        let mut changed = false;
+        for (port, value) in new.into_iter().enumerate() {
+            let slot = &mut facts[nid.index()][port];
+            let joined = match *slot {
+                None => value.normalize(width),
+                Some(old) => old.join(value).normalize(width),
+            };
+            if *slot != Some(joined) {
+                let widened = if counters[nid.index()] >= WIDEN_LIMIT {
+                    AbstractValue::top(width)
+                } else {
+                    joined
+                };
+                *slot = Some(widened);
+                changed = true;
+            }
+        }
+        if changed {
+            counters[nid.index()] += 1;
+            for &eid in adj.out_edge_indices(nid) {
+                let to = g.edge(hsyn_dfg::EdgeId::from_index(eid as usize)).to;
+                if !queued[to.index()] {
+                    queued[to.index()] = true;
+                    worklist.push_back(to);
+                }
+            }
+        }
+    }
+    facts
+}
+
+/// For every primary output of `g`, the bitmask of primary inputs it
+/// transitively depends on — through operations, delays (state feeding
+/// later iterations counts), and hierarchical calls (resolved via `deps`,
+/// the same summary for each callee, indexed by `DfgId::index`).
+///
+/// Inputs beyond index 63 saturate to "depends on everything" (`u64::MAX`),
+/// which is sound: liveness only ever uses these masks to *clear* demand.
+pub(crate) fn output_deps(h: &Hierarchy, g: &Dfg, deps: &[Vec<u64>]) -> Vec<u64> {
+    let n = g.node_count();
+    let mut mask: Vec<Vec<u64>> = g
+        .nodes()
+        .map(|(_, node)| vec![0u64; out_ports(h, node)])
+        .collect();
+    let mut queued = vec![true; n];
+    let mut worklist: VecDeque<NodeId> = g.node_ids().collect();
+    let adj = g.adj();
+
+    let read = |mask: &[Vec<u64>], node: NodeId, port: u16| -> u64 {
+        match adj.driver_edge(node, port) {
+            Some(eid) => {
+                let e = g.edge(eid);
+                mask[e.from.node.index()]
+                    .get(usize::from(e.from.port))
+                    .copied()
+                    .unwrap_or(0)
+            }
+            None => 0,
+        }
+    };
+
+    while let Some(nid) = worklist.pop_front() {
+        queued[nid.index()] = false;
+        let new: Vec<u64> = match g.node(nid).kind() {
+            NodeKind::Input { index } => {
+                vec![if *index < 64 { 1u64 << index } else { u64::MAX }]
+            }
+            NodeKind::Const { .. } => vec![0],
+            NodeKind::Op(op) => {
+                vec![(0..op.arity() as u16).fold(0, |m, p| m | read(&mask, nid, p))]
+            }
+            NodeKind::Hier { callee } => {
+                let args: Vec<u64> = (0..h.in_arity(*callee) as u16)
+                    .map(|p| read(&mask, nid, p))
+                    .collect();
+                deps[callee.index()]
+                    .iter()
+                    .map(|&out_mask| {
+                        let mut m = 0;
+                        for (i, &a) in args.iter().enumerate() {
+                            let bit = if i < 64 { 1u64 << i } else { u64::MAX };
+                            if out_mask & bit != 0 {
+                                m |= a;
+                            }
+                        }
+                        m
+                    })
+                    .collect()
+            }
+            NodeKind::Output { .. } => vec![read(&mask, nid, 0)],
+        };
+        let mut changed = false;
+        for (port, m) in new.into_iter().enumerate() {
+            let slot = &mut mask[nid.index()][port];
+            if *slot | m != *slot {
+                *slot |= m;
+                changed = true;
+            }
+        }
+        if changed {
+            for &eid in adj.out_edge_indices(nid) {
+                let to = g.edge(hsyn_dfg::EdgeId::from_index(eid as usize)).to;
+                if !queued[to.index()] {
+                    queued[to.index()] = true;
+                    worklist.push_back(to);
+                }
+            }
+        }
+    }
+    g.outputs()
+        .iter()
+        .map(|&o| mask[o.index()].first().copied().unwrap_or(0))
+        .collect()
+}
+
+/// Backward observability over `g`: `live[node][port]` is true iff that
+/// variable can influence one of the graph's own outputs, possibly through
+/// delays and hierarchical calls (`deps` as in [`output_deps`]).
+pub(crate) fn liveness(h: &Hierarchy, g: &Dfg, deps: &[Vec<u64>]) -> Vec<Vec<bool>> {
+    let n = g.node_count();
+    let mut live: Vec<Vec<bool>> = g
+        .nodes()
+        .map(|(_, node)| vec![false; out_ports(h, node)])
+        .collect();
+    let adj = g.adj();
+    let mut queued = vec![false; n];
+    let mut worklist: VecDeque<NodeId> = VecDeque::new();
+    for nid in g.node_ids() {
+        if matches!(g.node(nid).kind(), NodeKind::Output { .. }) {
+            queued[nid.index()] = true;
+            worklist.push_back(nid);
+        }
+    }
+
+    while let Some(nid) = worklist.pop_front() {
+        queued[nid.index()] = false;
+        // Which of this node's input ports are demanded, given its own
+        // out-port liveness?
+        let demanded: Vec<u16> = match g.node(nid).kind() {
+            NodeKind::Output { .. } => vec![0],
+            NodeKind::Op(op) => {
+                if live[nid.index()][0] {
+                    (0..op.arity() as u16).collect()
+                } else {
+                    vec![]
+                }
+            }
+            NodeKind::Hier { callee } => {
+                let callee_deps = &deps[callee.index()];
+                (0..h.in_arity(*callee) as u16)
+                    .filter(|&p| {
+                        let bit = if usize::from(p) < 64 {
+                            1u64 << p
+                        } else {
+                            u64::MAX
+                        };
+                        live[nid.index()]
+                            .iter()
+                            .enumerate()
+                            .any(|(o, &l)| l && callee_deps.get(o).copied().unwrap_or(0) & bit != 0)
+                    })
+                    .collect()
+            }
+            NodeKind::Input { .. } | NodeKind::Const { .. } => vec![],
+        };
+        for p in demanded {
+            if let Some(eid) = adj.driver_edge(nid, p) {
+                let from = g.edge(eid).from;
+                let slot = &mut live[from.node.index()][usize::from(from.port)];
+                if !*slot {
+                    *slot = true;
+                    if !queued[from.node.index()] {
+                        queued[from.node.index()] = true;
+                        worklist.push_back(from.node);
+                    }
+                }
+            }
+        }
+    }
+    live
+}
+
+/// Per-node, per-port analysis results for one DFG: the joined-context
+/// abstract values and the local observability bits.
+#[derive(Clone, Debug)]
+pub struct DfgFacts {
+    pub(crate) width: u32,
+    pub(crate) values: Vec<Vec<Option<AbstractValue>>>,
+    pub(crate) live: Vec<Vec<bool>>,
+}
+
+impl DfgFacts {
+    /// The abstract value of output port `port` of `node`, if the solver
+    /// reached it (ports of unreachable nodes stay unconstrained).
+    pub fn value(&self, node: NodeId, port: u16) -> Option<AbstractValue> {
+        self.values
+            .get(node.index())
+            .and_then(|ports| ports.get(usize::from(port)))
+            .copied()
+            .flatten()
+    }
+
+    /// Whether `(node, port)` can influence one of the graph's outputs.
+    pub fn live(&self, node: NodeId, port: u16) -> bool {
+        self.live
+            .get(node.index())
+            .and_then(|ports| ports.get(usize::from(port)))
+            .copied()
+            .unwrap_or(true)
+    }
+
+    /// Number of abstract output ports tracked for `node`.
+    pub fn port_count(&self, node: NodeId) -> usize {
+        self.values.get(node.index()).map_or(0, Vec::len)
+    }
+
+    /// The nominal datapath width the analysis ran at.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hsyn_dfg::{Operation, VarRef};
+
+    fn top_inputs(n: usize, width: u32) -> Vec<AbstractValue> {
+        vec![AbstractValue::top(width); n]
+    }
+
+    #[test]
+    fn straightline_constants_fold() {
+        let mut g = Dfg::new("k");
+        let a = g.add_const("a", 3);
+        let b = g.add_const("b", 4);
+        let s = g.add_op(Operation::Add, "s", &[a, b]);
+        let m = g.add_op(Operation::Mult, "m", &[s, s]);
+        g.add_output("y", m);
+        let mut h = Hierarchy::new();
+        let id = h.add_dfg(g);
+        h.set_top(id);
+        let g = h.dfg(id);
+        let facts = fixpoint_values(&h, g, 16, &[], &mut |_, _| unreachable!());
+        assert_eq!(facts[s.node.index()][0].unwrap().as_constant(16), Some(7));
+        assert_eq!(facts[m.node.index()][0].unwrap().as_constant(16), Some(49));
+    }
+
+    #[test]
+    fn feedback_accumulator_widens_and_terminates() {
+        // y[n] = x[n] + y[n-1]: the canonical widening case.
+        let mut g = Dfg::new("acc");
+        let x = g.add_input("x");
+        let acc = g.add_op_detached(Operation::Add, "acc");
+        g.connect(x, acc, 0, 0);
+        g.connect(VarRef::new(acc, 0), acc, 1, 1);
+        g.add_output("y", VarRef::new(acc, 0));
+        let mut h = Hierarchy::new();
+        let id = h.add_dfg(g);
+        h.set_top(id);
+        let g = h.dfg(id);
+        let facts = fixpoint_values(&h, g, 16, &top_inputs(1, 16), &mut |_, _| unreachable!());
+        let f = facts[acc.index()][0].unwrap();
+        // Must be sound (anything can accumulate) — full range.
+        assert_eq!(f.range, crate::domain::Interval::full(16));
+    }
+
+    #[test]
+    fn narrow_input_context_narrows_results() {
+        let mut g = Dfg::new("sum");
+        let a = g.add_input("a");
+        let b = g.add_input("b");
+        let s = g.add_op(Operation::Add, "s", &[a, b]);
+        g.add_output("y", s);
+        let mut h = Hierarchy::new();
+        let id = h.add_dfg(g);
+        h.set_top(id);
+        let g = h.dfg(id);
+        let narrow = AbstractValue {
+            range: crate::domain::Interval { lo: -8, hi: 7 },
+            bits: crate::domain::KnownBits::unknown(),
+        };
+        let facts = fixpoint_values(&h, g, 16, &[narrow, narrow], &mut |_, _| unreachable!());
+        let f = facts[s.node.index()][0].unwrap();
+        assert_eq!(f.range, crate::domain::Interval { lo: -16, hi: 14 });
+        assert_eq!(f.width_bits(16), 5);
+    }
+
+    #[test]
+    fn liveness_sees_through_delays_and_flags_dead_ports() {
+        // d = a + b feeds the output only through a delay; u = a * b feeds
+        // nothing.
+        let mut g = Dfg::new("dead");
+        let a = g.add_input("a");
+        let b = g.add_input("b");
+        let d = g.add_op(Operation::Add, "d", &[a, b]);
+        let u = g.add_op(Operation::Mult, "u", &[a, b]);
+        g.add_output_delayed("y", d, 2);
+        let mut h = Hierarchy::new();
+        let id = h.add_dfg(g);
+        h.set_top(id);
+        let g = h.dfg(id);
+        let deps: Vec<Vec<u64>> = vec![vec![]];
+        let live = liveness(&h, g, &deps);
+        assert!(live[d.node.index()][0], "delayed path is live");
+        assert!(!live[u.node.index()][0], "unconsumed op is dead");
+    }
+
+    #[test]
+    fn output_deps_track_inputs_through_state() {
+        // y depends on x (through feedback) but not on the unused input z.
+        let mut g = Dfg::new("acc2");
+        let x = g.add_input("x");
+        let _z = g.add_input("z");
+        let acc = g.add_op_detached(Operation::Add, "acc");
+        g.connect(x, acc, 0, 0);
+        g.connect(VarRef::new(acc, 0), acc, 1, 1);
+        g.add_output("y", VarRef::new(acc, 0));
+        let mut h = Hierarchy::new();
+        let id = h.add_dfg(g);
+        h.set_top(id);
+        let g = h.dfg(id);
+        let deps = output_deps(&h, g, &[]);
+        assert_eq!(deps, vec![0b01]);
+    }
+}

@@ -15,6 +15,13 @@ impl DfgId {
     pub fn index(self) -> usize {
         self.0 as usize
     }
+
+    /// Reconstruct a DFG id from its dense index (see
+    /// [`NodeId::from_index`](crate::NodeId::from_index)). The caller is
+    /// responsible for `index` referring to a DFG of the intended hierarchy.
+    pub fn from_index(index: usize) -> Self {
+        DfgId::new(index)
+    }
 }
 
 impl fmt::Display for DfgId {

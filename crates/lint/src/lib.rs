@@ -12,6 +12,7 @@
 //! | `SCH0xx` | schedule legality: precedence, serialization, deadlines, chaining |
 //! | `RTL0xx` | binding completeness, resource conflicts, register lifetimes |
 //! | `PWR0xx` | operating-point sanity for the calibrated power/delay models |
+//! | `DFA0xx` | dataflow facts: constant-foldable ops, dead outputs, decided selects, over-wide arithmetic ([`hsyn_dataflow::analyze_hierarchy`]) |
 //!
 //! Entry points: [`verify_design`] checks a synthesized design (a
 //! [`DesignView`] pairing an RTL module tree with its hierarchy, library,
@@ -24,12 +25,13 @@
 //! asserts after every accepted move.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod rules;
 
 pub use rules::{
     lint_hierarchy, lint_hierarchy_with, verify_design, verify_design_with, DesignView,
+    DATAFLOW_LINT_WIDTH,
 };
 
 use hsyn_util::Json;
@@ -78,11 +80,15 @@ pub enum RuleCode {
     Rtl007,
     Pwr001,
     Pwr002,
+    Dfa001,
+    Dfa002,
+    Dfa003,
+    Dfa004,
 }
 
 impl RuleCode {
     /// Every rule, in code order.
-    pub const ALL: [RuleCode; 18] = [
+    pub const ALL: [RuleCode; 22] = [
         RuleCode::Dfg001,
         RuleCode::Dfg002,
         RuleCode::Dfg003,
@@ -101,6 +107,10 @@ impl RuleCode {
         RuleCode::Rtl007,
         RuleCode::Pwr001,
         RuleCode::Pwr002,
+        RuleCode::Dfa001,
+        RuleCode::Dfa002,
+        RuleCode::Dfa003,
+        RuleCode::Dfa004,
     ];
 
     /// The stable textual code (`"SCH003"`, ...).
@@ -124,6 +134,10 @@ impl RuleCode {
             RuleCode::Rtl007 => "RTL007",
             RuleCode::Pwr001 => "PWR001",
             RuleCode::Pwr002 => "PWR002",
+            RuleCode::Dfa001 => "DFA001",
+            RuleCode::Dfa002 => "DFA002",
+            RuleCode::Dfa003 => "DFA003",
+            RuleCode::Dfa004 => "DFA004",
         }
     }
 
@@ -148,6 +162,12 @@ impl RuleCode {
             RuleCode::Rtl007 => "register holds two live values at once",
             RuleCode::Pwr001 => "supply voltage outside the calibrated technology range",
             RuleCode::Pwr002 => "clock period does not exceed the register overhead",
+            RuleCode::Dfa001 => "operation has only constant operands: constant-foldable",
+            RuleCode::Dfa002 => "node output is provably dead: no design output observes it",
+            RuleCode::Dfa003 => "comparison or select statically decided by disjoint ranges",
+            RuleCode::Dfa004 => {
+                "arithmetic result provably fits in at most half the datapath width"
+            }
         }
     }
 

@@ -7,7 +7,8 @@
 //! or hand-tampered IR cannot satisfy a rule by construction.
 
 use crate::{Diagnostic, LintConfig, Location, RuleCode, Severity};
-use hsyn_dfg::{Dfg, Hierarchy, HierarchyError, NodeId, NodeKind};
+use hsyn_dataflow::{analyze_hierarchy, AbstractValue};
+use hsyn_dfg::{Dfg, DfgId, Hierarchy, HierarchyError, NodeId, NodeKind, Operation};
 use hsyn_lib::Library;
 use hsyn_rtl::{storage_analysis, Behavior, RtlModule};
 use std::collections::BTreeMap;
@@ -100,7 +101,152 @@ pub fn lint_hierarchy_with(h: &Hierarchy, cfg: &LintConfig) -> Vec<Diagnostic> {
     for e in h.check_all() {
         emit_hierarchy_error(&e, &mut sink);
     }
+    // Dataflow rules need a structurally valid hierarchy (the abstract
+    // interpreter assumes one) and are skipped entirely when every DFA rule
+    // is suppressed, so a plain structural lint pays nothing for them.
+    let dfa = [
+        RuleCode::Dfa001,
+        RuleCode::Dfa002,
+        RuleCode::Dfa003,
+        RuleCode::Dfa004,
+    ];
+    if sink.diags.is_empty() && h.check_all().is_empty() && dfa.iter().any(|&c| cfg.enabled(c)) {
+        check_dataflow(h, &mut sink);
+    }
     sink.diags
+}
+
+/// Datapath width the `DFA0xx` rules analyze at. Facts proven at this width
+/// hold at any width ≥ it for the constant/dead/decided rules; `DFA004`'s
+/// "fits in half the datapath" claim is specific to this width and says so
+/// in its message.
+pub const DATAFLOW_LINT_WIDTH: u32 = 16;
+
+/// The `DFA0xx` family: run the abstract interpreter over the hierarchy and
+/// report facts a designer would want to act on. All findings are
+/// [`Severity::Warning`] — the design is legal, just wasteful.
+fn check_dataflow(h: &Hierarchy, sink: &mut Sink<'_>) {
+    let Ok(analysis) = analyze_hierarchy(h, DATAFLOW_LINT_WIDTH) else {
+        return; // structural rules already reported why
+    };
+    let w = DATAFLOW_LINT_WIDTH;
+    let at = |dfg: DfgId, node: NodeId| Location {
+        dfg: Some(dfg),
+        node: Some(node),
+        ..Location::default()
+    };
+    for (dfg_id, g) in h.dfgs() {
+        let facts = analysis.facts(dfg_id);
+        let adj = g.adj();
+        // A zero-delay operand whose producer fact is a singleton interval
+        // is a compile-time constant. Delayed operands join with the reset
+        // value, so they are conservatively treated as unknown here.
+        let const_operand = |node: NodeId, port: u16| -> Option<i64> {
+            let e = g.edge(adj.driver_edge(node, port)?);
+            if e.delay != 0 {
+                return None;
+            }
+            let v = facts.value(e.from.node, e.from.port)?;
+            (v.range.lo == v.range.hi).then_some(v.range.lo)
+        };
+        let operand_range = |node: NodeId, port: u16| -> Option<AbstractValue> {
+            let e = g.edge(adj.driver_edge(node, port)?);
+            if e.delay != 0 {
+                return None;
+            }
+            facts.value(e.from.node, e.from.port)
+        };
+        for (nid, node) in g.nodes() {
+            // `DFA002`: output ports nothing downstream of a design output
+            // ever reads. Inputs are interface contracts and outputs have no
+            // out-ports, so only Op/Const/Hier nodes are eligible.
+            if matches!(
+                node.kind(),
+                NodeKind::Op(_) | NodeKind::Const { .. } | NodeKind::Hier { .. }
+            ) {
+                for p in 0..facts.port_count(nid) as u16 {
+                    if !facts.live(nid, p) {
+                        sink.emit(
+                            RuleCode::Dfa002,
+                            Severity::Warning,
+                            at(dfg_id, nid),
+                            format!(
+                                "output port {p} of {nid} is dead: no design output depends on it"
+                            ),
+                        );
+                    }
+                }
+            }
+            let NodeKind::Op(op) = node.kind() else {
+                continue;
+            };
+            let op = *op;
+            let arity = op.arity() as u16;
+            let consts: Vec<Option<i64>> = (0..arity).map(|p| const_operand(nid, p)).collect();
+            let all_const = !consts.is_empty() && consts.iter().all(Option::is_some);
+
+            // `DFA001`: every operand is a known constant, so the whole
+            // operation folds at compile time.
+            if all_const {
+                let folded = op.eval(&consts.iter().map(|c| c.unwrap()).collect::<Vec<_>>(), w);
+                sink.emit(
+                    RuleCode::Dfa001,
+                    Severity::Warning,
+                    at(dfg_id, nid),
+                    format!(
+                        "{nid} ({op}) has only constant operands and always computes {folded}: fold it to a constant"
+                    ),
+                );
+                continue; // the remaining rules would restate the same fact
+            }
+
+            // `DFA003`: a comparison or select whose operand ranges cannot
+            // overlap always takes the same arm.
+            if matches!(op, Operation::Lt | Operation::Max | Operation::Min) {
+                if let (Some(a), Some(b)) = (operand_range(nid, 0), operand_range(nid, 1)) {
+                    let decided = if a.range.hi < b.range.lo {
+                        Some("the left operand is always smaller")
+                    } else if b.range.hi < a.range.lo {
+                        Some("the right operand is always smaller")
+                    } else {
+                        None
+                    };
+                    if let Some(why) = decided {
+                        sink.emit(
+                            RuleCode::Dfa003,
+                            Severity::Warning,
+                            at(dfg_id, nid),
+                            format!(
+                                "{nid} ({op}) is statically decided: operand ranges [{}, {}] and [{}, {}] are disjoint, {why}",
+                                a.range.lo, a.range.hi, b.range.lo, b.range.hi
+                            ),
+                        );
+                    }
+                }
+            }
+
+            // `DFA004`: arithmetic whose result provably fits in half the
+            // datapath — a candidate for a narrower functional unit.
+            if matches!(
+                op,
+                Operation::Add | Operation::Sub | Operation::Mult | Operation::Shl | Operation::Neg
+            ) {
+                if let Some(v) = facts.value(nid, 0) {
+                    let need = v.width_bits(w);
+                    if need <= w / 2 {
+                        sink.emit(
+                            RuleCode::Dfa004,
+                            Severity::Warning,
+                            at(dfg_id, nid),
+                            format!(
+                                "{nid} ({op}) provably fits in {need} of {w} bits: overflow is impossible at half width"
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+    }
 }
 
 /// Map a structural [`HierarchyError`] onto the stable `DFG0xx` codes.
@@ -571,5 +717,120 @@ fn check_resource_conflicts(
                 }
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error_count;
+
+    fn single(mut g: Dfg) -> Hierarchy {
+        let mut h = Hierarchy::new();
+        let _ = &mut g;
+        let id = h.add_dfg(g);
+        h.set_top(id);
+        h.validate().unwrap();
+        h
+    }
+
+    #[test]
+    fn dfa001_flags_all_constant_operations() {
+        let mut g = Dfg::new("k");
+        let a = g.add_const("a", 2);
+        let b = g.add_const("b", 3);
+        let m = g.add_op(hsyn_dfg::Operation::Mult, "m", &[a, b]);
+        g.add_output("y", m);
+        let diags = lint_hierarchy(&single(g));
+        assert_eq!(error_count(&diags), 0);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.code == RuleCode::Dfa001 && d.message.contains("always computes 6")),
+            "{diags:?}"
+        );
+        // Suppressible like any other rule.
+        let cfg = LintConfig::new().allow(RuleCode::Dfa001);
+        let mut g2 = Dfg::new("k");
+        let a = g2.add_const("a", 2);
+        let b = g2.add_const("b", 3);
+        let m = g2.add_op(hsyn_dfg::Operation::Mult, "m", &[a, b]);
+        g2.add_output("y", m);
+        let diags = lint_hierarchy_with(&single(g2), &cfg);
+        assert!(diags.iter().all(|d| d.code != RuleCode::Dfa001));
+    }
+
+    #[test]
+    fn dfa002_flags_dead_outputs() {
+        let mut g = Dfg::new("k");
+        let x = g.add_input("x");
+        let dead = g.add_op(hsyn_dfg::Operation::Add, "dead", &[x, x]);
+        let s = g.add_op(hsyn_dfg::Operation::Sub, "s", &[x, x]);
+        g.add_output("y", s);
+        let diags = lint_hierarchy(&single(g));
+        let hits: Vec<_> = diags
+            .iter()
+            .filter(|d| d.code == RuleCode::Dfa002)
+            .collect();
+        assert_eq!(hits.len(), 1, "{diags:?}");
+        assert_eq!(hits[0].location.node, Some(dead.node));
+        assert_eq!(hits[0].severity, Severity::Warning);
+    }
+
+    #[test]
+    fn dfa003_flags_decided_comparison() {
+        // Lt(Min(x, 3), 100): the left range tops out at 3, so the compare
+        // always yields 1.
+        let mut g = Dfg::new("k");
+        let x = g.add_input("x");
+        let c3 = g.add_const("c3", 3);
+        let c100 = g.add_const("c100", 100);
+        let m = g.add_op(hsyn_dfg::Operation::Min, "m", &[x, c3]);
+        let lt = g.add_op(hsyn_dfg::Operation::Lt, "lt", &[m, c100]);
+        g.add_output("y", lt);
+        let diags = lint_hierarchy(&single(g));
+        let hits: Vec<_> = diags
+            .iter()
+            .filter(|d| d.code == RuleCode::Dfa003)
+            .collect();
+        assert_eq!(hits.len(), 1, "{diags:?}");
+        assert_eq!(hits[0].location.node, Some(lt.node));
+    }
+
+    #[test]
+    fn dfa004_flags_provably_narrow_arithmetic() {
+        // Add(Max(Min(x, 10), 0), 5) lands in [5, 15]: 5 of 16 bits.
+        let mut g = Dfg::new("k");
+        let x = g.add_input("x");
+        let c10 = g.add_const("c10", 10);
+        let c0 = g.add_const("c0", 0);
+        let c5 = g.add_const("c5", 5);
+        let lo = g.add_op(hsyn_dfg::Operation::Min, "lo", &[x, c10]);
+        let hi = g.add_op(hsyn_dfg::Operation::Max, "hi", &[lo, c0]);
+        let s = g.add_op(hsyn_dfg::Operation::Add, "s", &[hi, c5]);
+        g.add_output("y", s);
+        let diags = lint_hierarchy(&single(g));
+        let hits: Vec<_> = diags
+            .iter()
+            .filter(|d| d.code == RuleCode::Dfa004)
+            .collect();
+        assert_eq!(hits.len(), 1, "{diags:?}");
+        assert_eq!(hits[0].location.node, Some(s.node));
+    }
+
+    #[test]
+    fn dataflow_rules_skip_broken_hierarchies() {
+        // No top: the structural DFG005 fires alone and the abstract
+        // interpreter never runs.
+        let mut h = Hierarchy::new();
+        let mut g = Dfg::new("k");
+        let a = g.add_const("a", 2);
+        let b = g.add_const("b", 3);
+        let m = g.add_op(hsyn_dfg::Operation::Mult, "m", &[a, b]);
+        g.add_output("y", m);
+        h.add_dfg(g);
+        let diags = lint_hierarchy(&h);
+        assert!(diags.iter().any(|d| d.code == RuleCode::Dfg005));
+        assert!(diags.iter().all(|d| d.code != RuleCode::Dfa001));
     }
 }

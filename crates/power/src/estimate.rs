@@ -19,7 +19,7 @@ use crate::sim::{simulate, simulate_cached, ModuleActivity, SimCache};
 use crate::traces::TraceSet;
 use hsyn_dfg::Hierarchy;
 use hsyn_lib::Library;
-use hsyn_rtl::{connectivity, control_bit_count, FpTree, RtlModule, Sink};
+use hsyn_rtl::{connectivity, control_bit_count, fu_scale, FpTree, ModuleWidths, RtlModule, Sink};
 
 /// Energy per iteration, split by resource class (reference voltage).
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
@@ -156,11 +156,34 @@ pub fn estimate_cached(
 fn finish_estimate(
     module: &RtlModule,
     lib: &Library,
+    breakdown: EnergyBreakdown,
+    iterations: f64,
+    vdd: f64,
+    clk_ns: f64,
+    sampling_period_cycles: u32,
+) -> PowerReport {
+    finish_estimate_with(
+        lib,
+        breakdown,
+        iterations,
+        vdd,
+        clk_ns,
+        sampling_period_cycles,
+        module.total_reg_count() as f64,
+    )
+}
+
+/// [`finish_estimate`] with an explicit effective register count — the
+/// width-sized path passes `Σ (reg width / nominal)` so the clock network
+/// scales with the bits actually clocked.
+fn finish_estimate_with(
+    lib: &Library,
     mut breakdown: EnergyBreakdown,
     iterations: f64,
     vdd: f64,
     clk_ns: f64,
     sampling_period_cycles: u32,
+    effective_regs: f64,
 ) -> PowerReport {
     // Normalize raw totals to per-iteration averages once, at the top.
     breakdown.fu /= iterations;
@@ -172,8 +195,7 @@ fn finish_estimate(
     let period_ns = f64::from(sampling_period_cycles) * clk_ns;
     // Clock network: every register's clock pin toggles every cycle of the
     // sampling period, busy or not.
-    breakdown.clock =
-        module.total_reg_count() as f64 * period_ns * lib.register.clock_energy_per_ns;
+    breakdown.clock = effective_regs * period_ns * lib.register.clock_energy_per_ns;
     let energy_factor = lib.technology.energy_factor(vdd);
     let energy = breakdown.total() * energy_factor;
     PowerReport {
@@ -182,6 +204,45 @@ fn finish_estimate(
         power: energy / period_ns,
         vdd,
     }
+}
+
+/// [`estimate`] with every resource priced at its certified width: Hamming
+/// activity is masked to the width of the carrying resource (sign-extension
+/// bits above a proven width cannot toggle in sized hardware), FU effective
+/// capacitance scales with [`fu_scale`], the wire-length footprint uses
+/// sized areas, and the clock network scales with `Σ (reg width / nominal)`.
+///
+/// Bit-exact with [`estimate`] when `widths` is [`ModuleWidths::uniform`].
+///
+/// # Panics
+///
+/// Panics if traces are empty or their input count mismatches the design.
+#[allow(clippy::too_many_arguments)]
+pub fn estimate_sized(
+    h: &Hierarchy,
+    module: &RtlModule,
+    lib: &Library,
+    traces: &TraceSet,
+    vdd: f64,
+    clk_ns: f64,
+    sampling_period_cycles: u32,
+    widths: &ModuleWidths,
+) -> PowerReport {
+    assert!(
+        !traces.is_empty(),
+        "power estimation needs at least one sample"
+    );
+    let (act, _) = simulate(h, module, traces);
+    let breakdown = module_energy_sized(h, module, lib, &act, traces.width, widths);
+    finish_estimate_with(
+        lib,
+        breakdown,
+        traces.len() as f64,
+        vdd,
+        clk_ns,
+        sampling_period_cycles,
+        widths.reg_width_factor_total(),
+    )
 }
 
 /// Raw (un-normalized) energy of one module instance across the whole
@@ -274,6 +335,121 @@ pub(crate) fn module_own_energy(
     }
 
     // Controller: active cycles × control bits.
+    let bits = control_bit_count(h, module, &conn) as f64;
+    e.controller += act.busy_cycles as f64 * bits * lib.controller.energy_per_bit_cycle;
+    e
+}
+
+/// Width-aware recursion over [`module_own_energy_sized`].
+fn module_energy_sized(
+    h: &Hierarchy,
+    module: &RtlModule,
+    lib: &Library,
+    act: &ModuleActivity,
+    width: u32,
+    widths: &ModuleWidths,
+) -> EnergyBreakdown {
+    let mut e = module_own_energy_sized(h, module, lib, act, width, widths);
+    for ((sub, sub_act), sub_w) in module.subs().iter().zip(&act.subs).zip(&widths.subs) {
+        let sub_e = module_energy_sized(h, sub, lib, sub_act, width, sub_w);
+        e.add_scaled(&sub_e);
+    }
+    e
+}
+
+/// Mask for the low `w` bits.
+fn width_mask(w: u32) -> u64 {
+    if w >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << w) - 1
+    }
+}
+
+/// [`module_own_energy`] with activity masked to certified widths and FU
+/// capacitance scaled by [`fu_scale`]. Same event walk, same summation
+/// order — with uniform widths every mask is the nominal mask and every
+/// scale factor exactly `1.0`, so the result is bit-identical.
+fn module_own_energy_sized(
+    h: &Hierarchy,
+    module: &RtlModule,
+    lib: &Library,
+    act: &ModuleActivity,
+    width: u32,
+    widths: &ModuleWidths,
+) -> EnergyBreakdown {
+    let mut e = EnergyBreakdown::default();
+    let conn = connectivity(h, module);
+    // Footprint at sized areas: a narrowed datapath is also physically
+    // smaller, shortening the average net.
+    let footprint: f64 = module
+        .fus()
+        .iter()
+        .enumerate()
+        .map(|(i, f)| {
+            let t = lib.fu(f.fu_type);
+            t.area() * fu_scale(t, widths.fu_width(i), widths.nominal)
+        })
+        .sum::<f64>()
+        + (0..module.regs().len())
+            .map(|i| f64::from(widths.reg_width(i)) / f64::from(widths.nominal))
+            .sum::<f64>()
+            * lib.register.area;
+    let wire_length = (footprint / 100.0).sqrt().max(1.0);
+    let w = f64::from(width);
+    // Activity is normalized by the *nominal* width throughout: a w-bit
+    // value on a narrowed bus toggles at most w of the nominal W wires.
+    let ham = |a: i64, b: i64, bus: u32| -> f64 {
+        f64::from(crate::hamming(a, b, width_mask(bus.min(width)))) / w
+    };
+
+    // Functional units: operand-transition activity × effective capacitance.
+    for (i, fu) in module.fus().iter().enumerate() {
+        let t = lib.fu(fu.fu_type);
+        let id = hsyn_rtl::FuInstId::from_index(i);
+        let mux_a = conn.source_count(Sink::FuPort(id, 0)) > 1;
+        let mux_b = conn.source_count(Sink::FuPort(id, 1)) > 1;
+        let wa = widths.sink_width(Sink::FuPort(id, 0));
+        let wb = widths.sink_width(Sink::FuPort(id, 1));
+        let cap = fu_scale(t, widths.fu_width(i), widths.nominal);
+        let events = &act.fu_events[i];
+        let mut fu_energy = 0.0;
+        let mut mux_energy = 0.0;
+        let mut wire_energy = 0.0;
+        for pair in events.windows(2) {
+            let da = ham(pair[0].a, pair[1].a, wa);
+            let db = ham(pair[0].b, pair[1].b, wb);
+            let glitch = (1.0 + lib.glitch_factor).powi(pair[1].depth.min(8) as i32);
+            let activity = (da + db) / 2.0 * glitch;
+            fu_energy += activity * t.energy() * cap;
+            if mux_a {
+                mux_energy += da * lib.mux.energy_per_access;
+            }
+            if mux_b {
+                mux_energy += db * lib.mux.energy_per_access;
+            }
+            wire_energy += (da + db) * glitch * lib.wire.energy_per_toggle * wire_length;
+        }
+        e.fu += fu_energy;
+        e.mux += mux_energy;
+        e.wire += wire_energy;
+    }
+
+    // Registers: write-transition activity at the register's width.
+    for (i, writes) in act.reg_writes.iter().enumerate() {
+        let wr = widths.reg_width(i);
+        let mut reg_energy = 0.0;
+        for pair in writes.windows(2) {
+            reg_energy += ham(pair[0], pair[1], wr) * lib.register.energy_write;
+        }
+        e.reg += reg_energy;
+        e.wire += reg_energy / lib.register.energy_write.max(1e-12)
+            * lib.wire.energy_per_toggle
+            * 0.5
+            * wire_length;
+    }
+
+    // Controller: active cycles × control bits (width-independent).
     let bits = control_bit_count(h, module, &conn) as f64;
     e.controller += act.busy_cycles as f64 * bits * lib.controller.energy_per_bit_cycle;
     e

@@ -18,7 +18,7 @@ mod report;
 mod sim;
 pub mod traces;
 
-pub use estimate::{estimate, estimate_cached, EnergyBreakdown, PowerReport};
+pub use estimate::{estimate, estimate_cached, estimate_sized, EnergyBreakdown, PowerReport};
 pub use report::{per_module_energy, report_text, ModuleEnergy};
 pub use sim::{simulate, simulate_cached, FuEvent, ModuleActivity, SimCache};
 pub use traces::{dsp_default, generate, stream_activity, TraceKind, TraceSet};
@@ -511,6 +511,88 @@ mod tests {
         let (warm_act, warm_outs) = simulate_cached(&h, &parent, &traces, &fp, &mut cache);
         assert_eq!(full_act, warm_act);
         assert_eq!(full_outs, warm_outs);
+    }
+
+    #[test]
+    fn sized_estimate_with_uniform_widths_is_bit_exact() {
+        let (h, parent, lib) = two_child_fixture();
+        let traces = dsp_default(2, 24, W, 5);
+        let base = estimate(&h, &parent, &lib, &traces, 5.0, TABLE1_CLOCK_NS, 20);
+        let widths = hsyn_rtl::ModuleWidths::uniform(&parent, W);
+        let sized = estimate_sized(
+            &h,
+            &parent,
+            &lib,
+            &traces,
+            5.0,
+            TABLE1_CLOCK_NS,
+            20,
+            &widths,
+        );
+        assert_eq!(base, sized);
+    }
+
+    #[test]
+    fn certified_widths_reduce_power_with_narrow_coefficients() {
+        // top = H(x, 40) + x, H(a, b) = a*b: the constant coefficient makes
+        // the child's `b` input provably 7 bits wide, narrowing its holding
+        // register and operand bus; sized power must drop strictly.
+        let mut h = Hierarchy::new();
+        let mut sub = Dfg::new("sub");
+        let a = sub.add_input("a");
+        let b = sub.add_input("b");
+        let m = sub.add_op(Operation::Mult, "m", &[a, b]);
+        sub.add_output("o", m);
+        let sub_id = h.add_dfg(sub);
+        let mut top = Dfg::new("top");
+        let x = top.add_input("x");
+        let k = top.add_const("k", 40);
+        let call = top.add_hier(sub_id, "H", &[x, k]);
+        let s = top.add_op(Operation::Add, "s", &[top.hier_out(call, 0), x]);
+        top.add_output("z", s);
+        let top_id = h.add_dfg(top);
+        h.set_top(top_id);
+        h.validate().unwrap();
+
+        let lib = table1_library();
+        let ctx = BuildCtx::new(&lib, TABLE1_CLOCK_NS, 5.0, Some(12));
+        let child = build(&h, &dedicated(&h, sub_id, &lib, "H_impl"), &ctx).unwrap();
+        let spec = ModuleSpec {
+            name: "top_impl".into(),
+            dfg: top_id,
+            fu_groups: vec![FuGroup {
+                fu_type: lib.fu_by_name("add1").unwrap(),
+                ops: vec![s.node],
+            }],
+            subs: vec![SubSpec {
+                module: child,
+                nodes: vec![call],
+            }],
+            reg_policy: RegPolicy::Dedicated,
+        };
+        let parent = build(&h, &spec, &ctx).unwrap();
+        let cert = hsyn_dataflow::analyze_hierarchy(&h, W)
+            .unwrap()
+            .into_certificate();
+        let widths = hsyn_rtl::derive_widths(&h, &parent, &cert);
+        let traces = dsp_default(1, 64, W, 5);
+        let base = estimate(&h, &parent, &lib, &traces, 5.0, TABLE1_CLOCK_NS, 20);
+        let sized = estimate_sized(
+            &h,
+            &parent,
+            &lib,
+            &traces,
+            5.0,
+            TABLE1_CLOCK_NS,
+            20,
+            &widths,
+        );
+        assert!(
+            sized.power < base.power,
+            "sized {} vs base {}",
+            sized.power,
+            base.power
+        );
     }
 
     #[test]

@@ -30,6 +30,7 @@ mod library;
 mod module;
 mod netlist;
 pub mod papers;
+mod sizing;
 mod spec;
 mod verilog;
 
@@ -47,6 +48,7 @@ pub use instance::{FuInstId, FuInstance, RegId, RegInstance, SubId};
 pub use library::{ComplexModule, ModuleLibrary};
 pub use module::{Behavior, Binding, RtlModule};
 pub use netlist::netlist_text;
+pub use sizing::{derive_widths, fu_scale, module_area_sized, ModuleWidths};
 pub use spec::{
     build, storage_analysis, window_of, BuildCtx, BuildError, FuGroup, ModuleSpec, RegPolicy,
     StorageAnalysis, SubSpec,

@@ -43,7 +43,22 @@
 //!   --library table1|realistic                           (default: realistic)
 //!   --laxity <f>             laxity factor for --synthesize (default: 2.2)
 //!   --allow <CODE>           suppress a rule (repeatable, e.g. --allow SCH005)
+//!   --deny-warnings          exit nonzero on warnings too, not just errors
 //!   --json                   machine-readable diagnostics
+//!
+//! hsyn analyze [<behavior.dfg> | --benchmark NAME | --all-benchmarks] [options]
+//!
+//! options:
+//!   --objective area|power|both   objective(s) to analyze (default: both)
+//!   --library table1|realistic                           (default: realistic)
+//!   --laxity <f>             laxity factor (default: 2.2)
+//!   --json                   machine-readable report (deterministic:
+//!                            wall-clock excluded, floats as bit patterns)
+//!
+//! Synthesizes each target, proves per-port width certificates by abstract
+//! interpretation, verifies them by certified re-execution against the
+//! behavioral reference, and reports baseline vs width-sized area/power.
+//! Any certificate violation or output mismatch exits nonzero.
 //!
 //! hsyn cosim [<behavior.dfg> | --benchmark NAME | --all-benchmarks] [options]
 //!
@@ -62,7 +77,7 @@
 //! runs, or co-simulation divergences, 2 usage errors.
 //! ```
 
-use hsyn::core::{synthesize, Objective, SynthesisConfig};
+use hsyn::core::{analyze, synthesize, Objective, SynthesisConfig};
 use hsyn::dfg::{benchmarks, reference_outputs, text, EquivClasses, Hierarchy};
 use hsyn::lib::{papers::table1_library, Library};
 use hsyn::lint::{
@@ -84,6 +99,10 @@ fn usage() -> ExitCode {
          \x20      hsyn lint [<behavior.dfg> | --benchmark NAME | --all-benchmarks]\n\
          \x20           [--synthesize] [--objective area|power|both] [--laxity F]\n\
          \x20           [--library table1|realistic] [--allow CODE] [--json]\n\
+         \x20           [--deny-warnings]\n\
+         \x20      hsyn analyze [<behavior.dfg> | --benchmark NAME | --all-benchmarks]\n\
+         \x20           [--objective area|power|both] [--laxity F]\n\
+         \x20           [--library table1|realistic] [--json]\n\
          \x20      hsyn cosim [<behavior.dfg> | --benchmark NAME | --all-benchmarks]\n\
          \x20           [--objective area|power|both] [--laxity F] [--flat]\n\
          \x20           [--library table1|realistic] [--iters N] [--seed N]\n\
@@ -119,6 +138,7 @@ fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => lint_main(args.split_off(1)),
+        Some("analyze") => analyze_main(args.split_off(1)),
         Some("cosim") => cosim_main(args.split_off(1)),
         _ => synth_main(args),
     }
@@ -201,6 +221,7 @@ fn lint_main(args: Vec<String>) -> ExitCode {
     let mut library = "realistic".to_owned();
     let mut laxity = 2.2f64;
     let mut json = false;
+    let mut deny_warnings = false;
     let mut lint_cfg = LintConfig::new();
 
     let mut it = args.into_iter();
@@ -239,6 +260,7 @@ fn lint_main(args: Vec<String>) -> ExitCode {
                 None => return usage(),
             },
             "--json" => json = true,
+            "--deny-warnings" => deny_warnings = true,
             "--help" | "-h" => return usage(),
             other if input.is_none() && !other.starts_with('-') => {
                 input = Some(other.to_owned());
@@ -264,7 +286,7 @@ fn lint_main(args: Vec<String>) -> ExitCode {
     for target in &targets {
         // The behavioral input itself.
         let diags = lint_hierarchy_with(&target.hierarchy, &lint_cfg);
-        failed |= error_count(&diags) > 0;
+        failed |= error_count(&diags) > 0 || (deny_warnings && !diags.is_empty());
         results.push((target.name.clone(), diags));
 
         if !do_synthesize {
@@ -303,7 +325,7 @@ fn lint_main(args: Vec<String>) -> ExitCode {
                 },
                 &lint_cfg,
             );
-            failed |= error_count(&diags) > 0;
+            failed |= error_count(&diags) > 0 || (deny_warnings && !diags.is_empty());
             results.push((label, diags));
         }
     }
@@ -335,6 +357,148 @@ fn lint_main(args: Vec<String>) -> ExitCode {
                 }
             }
         }
+        // Per-rule tally across every target, in stable code order.
+        let mut by_code: std::collections::BTreeMap<&str, usize> =
+            std::collections::BTreeMap::new();
+        for (_, diags) in &results {
+            for d in diags {
+                *by_code.entry(d.code.as_str()).or_insert(0) += 1;
+            }
+        }
+        if by_code.is_empty() {
+            println!("rules fired: none");
+        } else {
+            let tally: Vec<String> = by_code
+                .iter()
+                .map(|(code, n)| format!("{code}x{n}"))
+                .collect();
+            println!("rules fired: {}", tally.join(" "));
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// The `hsyn analyze` subcommand: synthesize each target, prove per-port
+/// width certificates by abstract interpretation, verify them by certified
+/// re-execution against the behavioral reference, and report baseline vs
+/// width-sized area and power.
+fn analyze_main(args: Vec<String>) -> ExitCode {
+    let mut input: Option<String> = None;
+    let mut bench_name: Option<String> = None;
+    let mut all_benchmarks = false;
+    let mut objectives = vec![Objective::Area, Objective::Power];
+    let mut library = "realistic".to_owned();
+    let mut laxity = 2.2f64;
+    let mut json = false;
+
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--benchmark" => match it.next() {
+                Some(v) => bench_name = Some(v),
+                None => return usage(),
+            },
+            "--all-benchmarks" => all_benchmarks = true,
+            "--objective" => match it.next().as_deref() {
+                Some("area") => objectives = vec![Objective::Area],
+                Some("power") => objectives = vec![Objective::Power],
+                Some("both") => objectives = vec![Objective::Area, Objective::Power],
+                _ => return usage(),
+            },
+            "--library" => match it.next() {
+                Some(v) => library = v,
+                None => return usage(),
+            },
+            "--laxity" => match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(v) if v > 0.0 && v.is_finite() => laxity = v,
+                _ => {
+                    eprintln!("--laxity expects a positive number");
+                    return usage();
+                }
+            },
+            "--json" => json = true,
+            "--help" | "-h" => return usage(),
+            other if input.is_none() && !other.starts_with('-') => {
+                input = Some(other.to_owned());
+            }
+            other => {
+                eprintln!("unknown argument `{other}`");
+                return usage();
+            }
+        }
+    }
+
+    let targets = match collect_targets(input, bench_name, all_benchmarks) {
+        Ok(t) => t,
+        Err(code) => return code,
+    };
+    let Some(simple) = library_by_name(&library) else {
+        return ExitCode::FAILURE;
+    };
+
+    let mut failed = false;
+    let mut json_out: Vec<Json> = Vec::new();
+    for target in &targets {
+        let mut mlib = ModuleLibrary::from_simple(simple.clone());
+        mlib.equiv = target.equiv.clone();
+        let mut config = SynthesisConfig::new(Objective::Area);
+        config.laxity_factor = laxity;
+        let report = match analyze(&target.hierarchy, &mlib, &config, &objectives) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("{}: {e}", target.name);
+                failed = true;
+                continue;
+            }
+        };
+        if json {
+            json_out.push(Json::Obj(vec![
+                ("target".to_owned(), Json::Str(target.name.clone())),
+                ("report".to_owned(), report.result_json_value()),
+            ]));
+            continue;
+        }
+        println!("{} (width {}):", target.name, report.width);
+        for o in &report.objectives {
+            let base_area = o.baseline.area.total();
+            let sized_area = o.sized_area.total();
+            let base_power = o.baseline.power.power;
+            let sized_power = o.sized_power.power;
+            let pct = |base: f64, sized: f64| {
+                if base > 0.0 {
+                    100.0 * (base - sized) / base
+                } else {
+                    0.0
+                }
+            };
+            println!(
+                "  {:>5}: area {base_area:.0} -> {sized_area:.0} (-{:.1}%), power {base_power:.4} -> {sized_power:.4} (-{:.1}%)",
+                match o.objective {
+                    Objective::Area => "area",
+                    Objective::Power => "power",
+                },
+                pct(base_area, sized_area),
+                pct(base_power, sized_power),
+            );
+            println!(
+                "         certified {}/{} ports narrowed, {} resources below nominal, {} iterations verified",
+                o.narrowed_ports, o.total_ports, o.narrowed_resources, o.verified_iterations
+            );
+            println!(
+                "         fixpoint {:.3} ms over {} dfgs ({} summary runs, {} memo hits)",
+                o.stats.fixpoint_s * 1e3,
+                o.stats.dfgs_analyzed,
+                o.stats.summary_runs,
+                o.stats.memo_hits
+            );
+        }
+    }
+    if json {
+        println!("{}", Json::Arr(json_out).to_string_pretty());
     }
     if failed {
         ExitCode::FAILURE

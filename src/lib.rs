@@ -5,6 +5,8 @@
 //! Jha, DAC 1998). This facade crate re-exports the whole workspace:
 //!
 //! * [`dfg`] — hierarchical data-flow graph IR, textual format, benchmarks;
+//! * [`dataflow`] — abstract-interpretation dataflow analysis and width
+//!   certificates (drives lint's dataflow rules and width-aware sizing);
 //! * [`lib`] — module libraries, technology (Vdd/clock) models;
 //! * [`sched`] — scheduling, profiles/environments, slack analysis;
 //! * [`rtl`] — RTL circuit IR, FSM controllers, RTL embedding;
@@ -29,6 +31,7 @@
 //! ```
 
 pub use hsyn_core as core;
+pub use hsyn_dataflow as dataflow;
 pub use hsyn_dfg as dfg;
 pub use hsyn_lib as lib;
 pub use hsyn_lint as lint;

@@ -1,22 +1,45 @@
-//! Every built-in benchmark must lint clean: the behavioral hierarchy
-//! itself, and the synthesized design at both objectives (the same check
-//! `hsyn lint --all-benchmarks --synthesize` runs in CI).
+//! Every built-in benchmark must lint error-clean: the behavioral
+//! hierarchy itself, and the synthesized design at both objectives (the
+//! same check `hsyn lint --all-benchmarks --synthesize` runs in CI).
+//! Dataflow rules (`DFA0xx`) may warn — the expected warning set per
+//! benchmark is pinned below — but never error.
 
 use hsyn::core::{synthesize, Objective, SynthesisConfig};
 use hsyn::dfg::benchmarks;
 use hsyn::lib::papers::table1_library;
-use hsyn::lint::{lint_hierarchy, verify_design, DesignView};
+use hsyn::lint::{error_count, lint_hierarchy, verify_design, DesignView, RuleCode, Severity};
 use hsyn::rtl::ModuleLibrary;
 
 #[test]
 fn all_benchmarks_lint_clean_at_both_objectives() {
     for bench in benchmarks::all() {
         let diags = lint_hierarchy(&bench.hierarchy);
-        assert!(
-            diags.is_empty(),
-            "{}: behavior dirty: {diags:?}",
+        assert_eq!(
+            error_count(&diags),
+            0,
+            "{}: behavior has errors: {diags:?}",
             bench.name
         );
+        assert!(
+            diags
+                .iter()
+                .all(|d| d.severity == Severity::Warning && d.code.as_str().starts_with("DFA")),
+            "{}: non-dataflow warnings: {diags:?}",
+            bench.name
+        );
+        // hier_paulin deliberately leaves one callee output (port 3, the
+        // carry-style "c" output) unconsumed at all three call sites; every
+        // other benchmark is warning-free too.
+        if bench.name == "hier_paulin" {
+            assert_eq!(diags.len(), 3, "{}: {diags:?}", bench.name);
+            assert!(diags.iter().all(|d| d.code == RuleCode::Dfa002));
+        } else {
+            assert!(
+                diags.is_empty(),
+                "{}: behavior dirty: {diags:?}",
+                bench.name
+            );
+        }
 
         for objective in [Objective::Area, Objective::Power] {
             let mut mlib = ModuleLibrary::from_simple(table1_library());

@@ -1,0 +1,86 @@
+//! The lint rule registry is part of the public contract: every code in
+//! [`RuleCode::ALL`] must be documented in DESIGN.md's rule-registry table,
+//! so adding a rule without a doc entry fails here. Also pins the JSON
+//! export shape `hsyn lint --json` emits.
+
+use hsyn::lint::{diagnostics_to_json, Diagnostic, Location, RuleCode, Severity};
+use std::collections::BTreeSet;
+
+const DESIGN_MD: &str = include_str!("../DESIGN.md");
+
+#[test]
+fn every_rule_code_is_documented_in_design_md() {
+    for code in RuleCode::ALL {
+        assert!(
+            DESIGN_MD.contains(code.as_str()),
+            "rule {} has no entry in DESIGN.md's rule registry — document what it \
+             guards before shipping it",
+            code.as_str()
+        );
+    }
+}
+
+#[test]
+fn rule_codes_are_unique_and_stable() {
+    let mut seen = BTreeSet::new();
+    for code in RuleCode::ALL {
+        assert!(
+            seen.insert(code.as_str()),
+            "duplicate code {}",
+            code.as_str()
+        );
+        assert_eq!(RuleCode::parse(code.as_str()), Some(code));
+        assert!(!code.summary().is_empty());
+        // Codes are FAMILY###: a 3-letter family, then 3 digits.
+        let (family, digits) = code.as_str().split_at(3);
+        assert!(family.chars().all(|c| c.is_ascii_uppercase()));
+        assert_eq!(digits.len(), 3);
+        assert!(digits.chars().all(|c| c.is_ascii_digit()));
+    }
+    assert_eq!(seen.len(), RuleCode::ALL.len());
+}
+
+#[test]
+fn json_export_shape_is_stable() {
+    let diags = vec![
+        Diagnostic {
+            code: RuleCode::Dfa002,
+            severity: Severity::Warning,
+            location: Location {
+                module: None,
+                dfg: Some(hsyn::dfg::DfgId::from_index(1)),
+                node: Some(hsyn::dfg::NodeId::from_index(5)),
+                cycle: None,
+                instance: None,
+            },
+            message: "output port 3 of n5 is dead".into(),
+        },
+        Diagnostic {
+            code: RuleCode::Sch002,
+            severity: Severity::Error,
+            location: Location::default(),
+            message: "value consumed before ready".into(),
+        },
+    ];
+    let json = diagnostics_to_json(&diags).to_string_pretty();
+    // Stable field order, one object per diagnostic.
+    for field in [
+        "\"code\"",
+        "\"severity\"",
+        "\"message\"",
+        "\"module\"",
+        "\"dfg\"",
+        "\"node\"",
+        "\"cycle\"",
+        "\"instance\"",
+    ] {
+        assert!(json.contains(field), "missing {field} in {json}");
+    }
+    assert!(json.contains("\"DFA002\""));
+    assert!(json.contains("\"warning\""));
+    assert!(json.contains("\"SCH002\""));
+    assert!(json.contains("\"error\""));
+    let code_pos = json.find("\"code\"").unwrap();
+    let sev_pos = json.find("\"severity\"").unwrap();
+    assert!(code_pos < sev_pos, "field order changed");
+}
