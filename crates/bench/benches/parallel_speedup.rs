@@ -28,6 +28,14 @@
 //! 1.3× speedup at 4 workers. On a single-core host the determinism
 //! asserts still run; only the speedup gate is disarmed.
 //!
+//! Part 5 measures what the large-neighborhood-search layer
+//! ([`SynthesisConfig::lns_iters`]) buys at equal wall-clock on dct and
+//! iir at both objectives: the baseline pass loop is handed a pass budget
+//! far past its convergence point and must flatline (same final cost,
+//! bit-exact — extra passes buy nothing once no pass gains), while the
+//! same seconds spent on LNS ruin-and-recreate must end at a **strictly
+//! lower** final cost.
+//!
 //! All results land in `BENCH_parallel_speedup.json` at the workspace
 //! root (the CI bench job uploads it as an artifact).
 //!
@@ -36,8 +44,10 @@
 //! ```
 
 use hsyn_bench::{benchmark_library, timing, SweepConfig};
-use hsyn_core::{explore, synthesize, Exploration, Objective, SynthesisReport};
+use hsyn_core::{explore, synthesize, Exploration, Objective, SynthesisConfig, SynthesisReport};
 use hsyn_dfg::Dfg;
+use hsyn_lib::papers::table1_library;
+use hsyn_rtl::ModuleLibrary;
 use hsyn_util::Json;
 use std::time::{Duration, Instant};
 
@@ -279,6 +289,107 @@ fn intra_cell(name: &str, cores: usize) -> Json {
     ])
 }
 
+/// LNS refinement budget for the part-5 cells.
+const LNS_ITERS: usize = 64;
+
+/// Synthesize one benchmark under a tight pass budget with an LNS
+/// refinement budget and `extra_passes` more improvement passes, returning
+/// the report and the wall-clock. The budget matches the golden-snapshot
+/// configuration (the flat Table-1 module library, two passes, two
+/// candidates per family): tight enough that the pass loop converges fast
+/// and LNS, not candidate breadth, is what buys further cost. Serial outer
+/// sweep, as everywhere else.
+fn run_lns(
+    name: &str,
+    objective: Objective,
+    lns_iters: usize,
+    extra_passes: usize,
+) -> (SynthesisReport, f64) {
+    let b = match name {
+        "dct" => hsyn_dfg::benchmarks::dct(),
+        "iir" => hsyn_dfg::benchmarks::iir(),
+        other => unreachable!("unknown lns benchmark {other}"),
+    };
+    let mut mlib = ModuleLibrary::from_simple(table1_library());
+    mlib.equiv = b.equiv.clone();
+    let mut cfg = SynthesisConfig::new(objective);
+    cfg.laxity_factor = 2.2;
+    cfg.max_passes = 2 + extra_passes;
+    cfg.candidate_limit = 2;
+    cfg.eval_trace_len = 8;
+    cfg.report_trace_len = 16;
+    cfg.max_clock_candidates = 2;
+    cfg.resynth_depth = 1;
+    cfg.parallelism = Some(1);
+    cfg.lns_iters = lns_iters;
+    let t = Instant::now();
+    let report = synthesize(&b.hierarchy, &mlib, &cfg).expect("benchmark synthesizes");
+    (report, t.elapsed().as_secs_f64())
+}
+
+/// One benchmark × objective cell of the part-5 measurement: the
+/// equal-wall-clock comparison of final cost with and without LNS.
+fn lns_cell(name: &str, objective: Objective) -> Json {
+    let obj_name = match objective {
+        Objective::Area => "area",
+        Objective::Power => "power",
+    };
+    let _ = run_lns(name, objective, 0, 0); // warm-up
+    let (base, base_s) = run_lns(name, objective, 0, 0);
+    // Equal-wall-clock control: a pass budget far past convergence. The
+    // pass loop exits the moment no pass gains, so the baseline cannot
+    // convert extra wall-clock into cost — it must flatline bit-exactly.
+    let (flat, flat_s) = run_lns(name, objective, 0, 64);
+    assert_eq!(
+        base.evaluation.cost.to_bits(),
+        flat.evaluation.cost.to_bits(),
+        "{name} {obj_name}: the converged baseline moved when handed more passes"
+    );
+    let (lns, lns_s) = run_lns(name, objective, LNS_ITERS, 0);
+    assert!(
+        lns.evaluation.cost < base.evaluation.cost,
+        "{name} {obj_name}: LNS must end strictly better than the baseline \
+         ({} vs {})",
+        lns.evaluation.cost,
+        base.evaluation.cost
+    );
+    let gain_pct = 100.0 * (base.evaluation.cost - lns.evaluation.cost) / base.evaluation.cost;
+    let lns_refine_s: f64 = lns.per_config.iter().map(|c| c.lns_s).sum();
+    println!("{name} {obj_name}:");
+    println!(
+        "  baseline:          cost {:>10.4} in {base_s:>7.3} s",
+        base.evaluation.cost
+    );
+    println!(
+        "  baseline +64 passes: cost {:>8.4} in {flat_s:>7.3} s (flatline, bit-exact)",
+        flat.evaluation.cost
+    );
+    println!(
+        "  +{LNS_ITERS} LNS iters:      cost {:>10.4} in {lns_s:>7.3} s ({gain_pct:.2}% better; \
+         {} ruins, {} accepted, {lns_refine_s:.3} s refining)",
+        lns.evaluation.cost, lns.stats.lns_ruins, lns.stats.lns_accepts
+    );
+    Json::Obj(vec![
+        ("benchmark".into(), Json::Str(name.into())),
+        ("objective".into(), Json::Str(obj_name.into())),
+        ("baseline_cost".into(), Json::Num(base.evaluation.cost)),
+        ("baseline_s".into(), Json::Num(base_s)),
+        ("flatline_cost".into(), Json::Num(flat.evaluation.cost)),
+        ("flatline_s".into(), Json::Num(flat_s)),
+        ("lns_iters".into(), Json::Num(LNS_ITERS as f64)),
+        ("lns_cost".into(), Json::Num(lns.evaluation.cost)),
+        ("lns_s".into(), Json::Num(lns_s)),
+        ("lns_refine_s".into(), Json::Num(lns_refine_s)),
+        ("lns_gain_pct".into(), Json::Num(gain_pct)),
+        ("lns_ruins".into(), Json::Num(lns.stats.lns_ruins as f64)),
+        (
+            "lns_accepts".into(),
+            Json::Num(lns.stats.lns_accepts as f64),
+        ),
+        ("strictly_better".into(), Json::Bool(true)),
+    ])
+}
+
 fn main() {
     let cores = hsyn_util::effective_threads(None);
     println!("parallel_speedup: 8-point laxity grid on the IIR benchmark");
@@ -348,6 +459,15 @@ fn main() {
     let adjacency = adjacency_micro();
     let intra_cells = vec![intra_cell("dct", cores), intra_cell("iir", cores)];
 
+    println!();
+    println!("lns: final cost at equal wall-clock, ruin-and-recreate vs extended baseline");
+    let mut lns_cells = Vec::new();
+    for name in ["dct", "iir"] {
+        for objective in [Objective::Area, Objective::Power] {
+            lns_cells.push(lns_cell(name, objective));
+        }
+    }
+
     let out = Json::Obj(vec![
         (
             "parallel".into(),
@@ -390,6 +510,13 @@ fn main() {
                 ("host_threads".into(), Json::Num(cores as f64)),
                 ("adjacency".into(), adjacency),
                 ("cells".into(), Json::Arr(intra_cells)),
+            ]),
+        ),
+        (
+            "lns".into(),
+            Json::Obj(vec![
+                ("lns_iters".into(), Json::Num(LNS_ITERS as f64)),
+                ("cells".into(), Json::Arr(lns_cells)),
             ]),
         ),
     ]);

@@ -114,6 +114,22 @@ pub struct SynthesisConfig {
     /// and
     /// [`MoveStats::undo_bytes_peak`](crate::MoveStats::undo_bytes_peak).
     pub transactional: bool,
+    /// Large-neighborhood search iterations appended after the KL-style
+    /// pass loop of each `(Vdd, clk)` configuration (0, the default,
+    /// disables the layer). Each iteration ruins a seeded-random region of
+    /// the converged design — a module subtree or every instance of one FU
+    /// class, split back to a canonical maximally-parallel state inside one
+    /// [`Transaction`](crate::Transaction) — then greedily reconstructs it
+    /// under the current objective with an adaptive move-family portfolio
+    /// and affinity-pruned merge candidates, committing only on strict
+    /// cost improvement (rollback is O(edit size) otherwise). Fully
+    /// deterministic given [`seed`](Self::seed): the report is
+    /// byte-identical across repeated runs and every
+    /// [`intra_parallelism`](Self::intra_parallelism) setting. Telemetry:
+    /// [`MoveStats::lns_ruins`](crate::MoveStats::lns_ruins) /
+    /// [`lns_accepts`](crate::MoveStats::lns_accepts) and
+    /// [`ConfigTelemetry::lns_s`](crate::ConfigTelemetry::lns_s).
+    pub lns_iters: usize,
     /// Co-simulation check (off by default): after each `(Vdd, clk)`
     /// configuration is optimized, step the winning design's FSM against
     /// its bound datapath cycle by cycle
@@ -150,6 +166,7 @@ impl SynthesisConfig {
             incremental: true,
             shadow_eval: false,
             transactional: true,
+            lns_iters: 0,
             cosim_check: false,
         }
     }
@@ -157,13 +174,17 @@ impl SynthesisConfig {
     /// The reduced budget used for recursive move-*B* resynthesis. Inner
     /// engines always scan serially (`intra_parallelism: 1`): candidate
     /// workers would otherwise spawn nested worker pools, and the outer
-    /// scan already saturates the configured thread budget.
+    /// scan already saturates the configured thread budget. LNS refinement
+    /// is likewise outer-level only (`lns_iters: 0`): a ruin inside a
+    /// speculative move-*B* child synthesis would multiply the budget out
+    /// for marginal gain.
     pub(crate) fn child_budget(&self) -> SynthesisConfig {
         SynthesisConfig {
             max_moves_per_pass: Some(6),
             max_passes: 2,
             candidate_limit: 4,
             intra_parallelism: 1,
+            lns_iters: 0,
             ..self.clone()
         }
     }

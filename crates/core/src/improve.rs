@@ -92,10 +92,17 @@ pub struct MoveStats {
     /// [`SynthesisConfig::transactional`] off. Aggregated by `max`, not
     /// sum, in [`absorb`](Self::absorb) — it is a high-water mark.
     pub undo_bytes_peak: u64,
+    /// Large-neighborhood ruin→recreate iterations that actually destroyed
+    /// a region (see [`SynthesisConfig::lns_iters`]); 0 with the LNS layer
+    /// off.
+    pub lns_ruins: u64,
+    /// LNS iterations whose reconstruction strictly improved cost and was
+    /// committed; the rest rolled back in O(edit size).
+    pub lns_accepts: u64,
 }
 
 impl MoveStats {
-    fn record(&mut self, mv: &Move) {
+    pub(crate) fn record(&mut self, mv: &Move) {
         match mv {
             Move::SetFuType { .. } | Move::SwapChild { .. } => self.applied_a += 1,
             Move::ResynthChild { .. } => self.applied_b += 1,
@@ -123,6 +130,8 @@ impl MoveStats {
         self.eval_cache_misses += other.eval_cache_misses;
         self.moves_rolled_back += other.moves_rolled_back;
         self.undo_bytes_peak = self.undo_bytes_peak.max(other.undo_bytes_peak);
+        self.lns_ruins += other.lns_ruins;
+        self.lns_accepts += other.lns_accepts;
     }
 }
 
@@ -189,20 +198,20 @@ impl Frontier {
 }
 
 /// A fully evaluated candidate application.
-struct Applied {
-    gain: f64,
-    mv: Move,
+pub(crate) struct Applied {
+    pub(crate) gain: f64,
+    pub(crate) mv: Move,
     /// Clone mode: the fully rebuilt candidate design. `None` on the
     /// transactional path, where the winner is re-applied in place.
-    dp: Option<DesignPoint>,
+    pub(crate) dp: Option<DesignPoint>,
     /// Transactional path, move *B* only: the resynthesized implementation,
     /// kept so re-applying the winner does not re-run (and re-account)
     /// the recursive resynthesis.
-    resynth: Option<ChildKind>,
+    pub(crate) resynth: Option<ChildKind>,
     /// Fingerprint tree of the candidate's build (present iff caching is
     /// active).
-    fp: Option<FpTree>,
-    eval: Evaluation,
+    pub(crate) fp: Option<FpTree>,
+    pub(crate) eval: Evaluation,
 }
 
 /// The per-configuration optimizer.
@@ -228,6 +237,10 @@ pub(crate) struct Engine<'a> {
     /// mode; in-place apply + rollback + winner re-apply in transactional
     /// mode. Like `verify_s`, kept off `MoveStats` so the stats stay `Eq`.
     pub apply_s: f64,
+    /// Wall-clock spent in large-neighborhood ruin→recreate refinement,
+    /// seconds (0 with [`SynthesisConfig::lns_iters`] at 0). Like
+    /// `verify_s`, kept off `MoveStats` so the stats stay `Eq`.
+    pub lns_s: f64,
     /// Per-worker evaluation caches for the intra-config parallel candidate
     /// scan, persisted across scans (like `cache` persists across the
     /// serial scan's candidates). Empty until the first parallel scan runs;
@@ -253,6 +266,7 @@ impl<'a> Engine<'a> {
             eval_full_s: 0.0,
             eval_incr_s: 0.0,
             apply_s: 0.0,
+            lns_s: 0.0,
             intra_caches: Vec::new(),
         }
     }
@@ -269,7 +283,7 @@ impl<'a> Engine<'a> {
 
     /// Whether evaluations go through the incremental cache (shadow mode
     /// exercises the cached path too, so it can be diffed).
-    fn caching(&self) -> bool {
+    pub(crate) fn caching(&self) -> bool {
         self.config.incremental || self.config.shadow_eval
     }
 
@@ -316,7 +330,12 @@ impl<'a> Engine<'a> {
     /// when caching is active (`fp` is then `dp`'s fingerprint tree), with
     /// a full recomputation otherwise. In shadow mode both paths run and
     /// any bit-level divergence panics, naming the offending move.
-    fn eval(&mut self, dp: &DesignPoint, fp: Option<&FpTree>, mv: Option<&Move>) -> Evaluation {
+    pub(crate) fn eval(
+        &mut self,
+        dp: &DesignPoint,
+        fp: Option<&FpTree>,
+        mv: Option<&Move>,
+    ) -> Evaluation {
         let lib = &self.mlib.simple;
         let objective = self.objective();
         let Some(fp) = fp else {
@@ -459,7 +478,7 @@ impl<'a> Engine<'a> {
     /// early only after `5 × candidate_limit` *rejections*. (A single
     /// shared attempt counter could previously exhaust the scan on
     /// rejected candidates before evaluating any valid one.)
-    fn best_from(
+    pub(crate) fn best_from(
         &mut self,
         dp: &mut DesignPoint,
         cur_fp: Option<&FpTree>,
@@ -738,11 +757,18 @@ impl<'a> Engine<'a> {
         &mut self,
         initial: DesignPoint,
     ) -> Result<(DesignPoint, Evaluation), Box<ParanoidViolation>> {
-        if self.config.transactional {
+        let (dp, eval) = if self.config.transactional {
             self.optimize_transactional(initial)
         } else {
             self.optimize_cloning(initial)
+        }?;
+        if self.config.lns_iters == 0 {
+            return Ok((dp, eval));
         }
+        let t0 = Instant::now();
+        let out = self.lns_refine(dp, eval);
+        self.lns_s += t0.elapsed().as_secs_f64();
+        out
     }
 
     /// The clone-per-candidate search loop (kept as the
@@ -1008,6 +1034,7 @@ impl<'a> Engine<'a> {
         self.eval_full_s += inner.eval_full_s;
         self.eval_incr_s += inner.eval_incr_s;
         self.apply_s += inner.apply_s;
+        self.lns_s += inner.lns_s;
         // A child verifier failure simply rejects this move-B candidate.
         let (optimized, _) = result.ok()?;
         Some(ChildKind::Single(Box::new(optimized.top)))

@@ -45,6 +45,7 @@ mod design;
 mod explore;
 mod fuzz;
 mod improve;
+mod lns;
 mod moves;
 mod synth;
 mod transact;
@@ -62,6 +63,7 @@ pub use design::{
 pub use explore::{explore, pareto_front, Exploration, ExplorePoint, SkippedPoint};
 pub use fuzz::{fuzz_cosim, FuzzCoverage, FuzzDivergence, FuzzParams, FuzzReport};
 pub use improve::{MoveStats, ParanoidViolation};
+pub use lns::{plan_ruin, ruin_region, Portfolio, RuinKind};
 pub use moves::{
     apply, apply_in_place, apply_tracked, dirty_path, selection_candidates, sharing_candidates,
     splitting_candidates, ApplyError, ModulePath, Move,

@@ -97,6 +97,9 @@ pub struct ConfigTelemetry {
     /// [`SynthesisConfig::transactional`] off, in-place apply + rollback +
     /// winner re-apply with it on.
     pub apply_s: f64,
+    /// Wall-clock spent in large-neighborhood ruin→recreate refinement,
+    /// seconds — 0 with [`SynthesisConfig::lns_iters`] at 0.
+    pub lns_s: f64,
     /// Final cost of this configuration's best design (search metric).
     pub cost: f64,
     /// Whether this configuration's design was selected as the winner.
@@ -218,6 +221,8 @@ impl SynthesisReport {
             ("passes".into(), count(self.stats.passes)),
             ("configs".into(), count(self.stats.configs)),
             ("configs_skipped".into(), count(self.stats.configs_skipped)),
+            ("lns_ruins".into(), count(self.stats.lns_ruins)),
+            ("lns_accepts".into(), count(self.stats.lns_accepts)),
         ]);
         let per_config = Json::Arr(
             self.per_config
@@ -411,6 +416,7 @@ pub fn synthesize(
             eval_full_s: f64,
             eval_incr_s: f64,
             apply_s: f64,
+            lns_s: f64,
         },
         Skipped {
             reason: String,
@@ -468,6 +474,7 @@ pub fn synthesize(
                                 eval_full_s: engine.eval_full_s,
                                 eval_incr_s: engine.eval_incr_s,
                                 apply_s: engine.apply_s,
+                                lns_s: engine.lns_s,
                             },
                         }
                     }
@@ -503,6 +510,7 @@ pub fn synthesize(
                 eval_full_s,
                 eval_incr_s,
                 apply_s,
+                lns_s,
             } => {
                 stats.configs += 1;
                 stats.absorb(&config_stats);
@@ -519,6 +527,7 @@ pub fn synthesize(
                     eval_full_s,
                     eval_incr_s,
                     apply_s,
+                    lns_s,
                     cost: eval.cost,
                     selected: false,
                 });

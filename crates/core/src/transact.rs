@@ -427,6 +427,15 @@ impl<'a> Transaction<'a> {
         self.dp
     }
 
+    /// Split-borrow the transaction into the design and its journal, for
+    /// callers (the LNS reconstruction loop) that drive engine primitives
+    /// needing both halves mutably at once. Edits made through the
+    /// returned journal participate in this transaction's
+    /// commit/rollback exactly like [`apply`](Transaction::apply)ed ones.
+    pub fn parts(&mut self) -> (&mut DesignPoint, &mut UndoLog) {
+        (self.dp, &mut self.log)
+    }
+
     /// Keep every applied edit; the journal is discarded without replay.
     pub fn commit(mut self) {
         self.log.commit();

@@ -1,0 +1,307 @@
+//! Affinity matrices: precomputed top-K lists of profitable merge partners,
+//! keyed by structural fingerprint.
+//!
+//! Candidate generation for merge moves is quadratic in the number of
+//! mergeable units; most of those pairs never pay off. An
+//! [`AffinityMatrix`] caps each key's partner list at the `K` best-scoring
+//! peers, so a search layer (the LNS reconstruction loop in `hsyn-core`)
+//! can test `contains_pair` in O(K) instead of evaluating every pair.
+//!
+//! Keys are **structural fingerprints** (see
+//! [`module_fingerprint`](crate::module_fingerprint)), not indices: the
+//! matrix stays valid while the design is edited, because a module that is
+//! split, moved, or re-indexed keeps its fingerprint as long as its
+//! structure is unchanged. Pairs involving a key the matrix has never seen
+//! (e.g. a module freshly created by an embedding merge) are deliberately
+//! *not* pruned — the matrix restricts the known quadratic wave, it never
+//! forbids novel structures (see [`AffinityMatrix::allows_pair`]).
+
+use crate::fingerprint::module_fingerprint;
+use crate::module::RtlModule;
+use hsyn_dfg::Hierarchy;
+use std::collections::BTreeMap;
+
+/// Top-K profitable-partner lists keyed by structural fingerprint.
+///
+/// Built once from scored pairs ([`AffinityMatrix::from_pairs`]); lookups
+/// are binary searches over a sorted key array. Construction is fully
+/// deterministic: partners are ranked by score (descending) with the key
+/// value as tiebreak, so two runs over the same design produce identical
+/// matrices.
+#[derive(Clone, Debug, Default)]
+pub struct AffinityMatrix {
+    k: usize,
+    /// Sorted, deduplicated keys.
+    keys: Vec<u64>,
+    /// `lists[i]`: partners of `keys[i]`, score-descending, truncated to
+    /// `k` entries.
+    lists: Vec<Vec<(u64, f64)>>,
+}
+
+impl AffinityMatrix {
+    /// Build the matrix from scored pairs, keeping the `k` best partners
+    /// per key. Pairs are symmetric (`(a, b, s)` registers `b` under `a`
+    /// *and* `a` under `b`); non-positive scores are dropped; duplicate
+    /// reports of the same pair keep the best score. Self-pairs (`a == b`)
+    /// are kept — structural clones share one fingerprint, so "this
+    /// structure merges profitably with its own copies" is exactly a
+    /// self-pair.
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (u64, u64, f64)>, k: usize) -> Self {
+        let mut by_key: BTreeMap<u64, Vec<(u64, f64)>> = BTreeMap::new();
+        for (a, b, score) in pairs {
+            if score <= 0.0 {
+                continue;
+            }
+            by_key.entry(a).or_default().push((b, score));
+            if a != b {
+                by_key.entry(b).or_default().push((a, score));
+            }
+        }
+        let mut keys = Vec::with_capacity(by_key.len());
+        let mut lists = Vec::with_capacity(by_key.len());
+        for (key, mut partners) in by_key {
+            // Best score per partner, then rank by score with the partner
+            // key as a deterministic tiebreak.
+            partners.sort_by(|x, y| x.0.cmp(&y.0).then(y.1.total_cmp(&x.1)));
+            partners.dedup_by_key(|p| p.0);
+            partners.sort_by(|x, y| y.1.total_cmp(&x.1).then(x.0.cmp(&y.0)));
+            partners.truncate(k);
+            keys.push(key);
+            lists.push(partners);
+        }
+        AffinityMatrix { k, keys, lists }
+    }
+
+    /// The per-key partner-list cap this matrix was built with.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of distinct keys.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Whether the matrix holds no keys at all.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Whether `key` was seen (with at least one positively-scored pair)
+    /// at construction time.
+    pub fn contains_key(&self, key: u64) -> bool {
+        self.keys.binary_search(&key).is_ok()
+    }
+
+    /// The top-K partners of `key`, best first; empty for unknown keys.
+    pub fn partners(&self, key: u64) -> &[(u64, f64)] {
+        match self.keys.binary_search(&key) {
+            Ok(i) => &self.lists[i],
+            Err(_) => &[],
+        }
+    }
+
+    /// Whether `(a, b)` survived into either side's top-K list.
+    pub fn contains_pair(&self, a: u64, b: u64) -> bool {
+        self.partners(a).iter().any(|&(p, _)| p == b)
+            || self.partners(b).iter().any(|&(p, _)| p == a)
+    }
+
+    /// The pruning predicate: a pair is allowed when it is in a top-K list
+    /// *or* involves a key the matrix has never seen. Unknown keys belong
+    /// to structures created after construction (merged groups, embedded
+    /// modules); pruning them would forbid exactly the novel candidates a
+    /// search layer is trying to reach.
+    pub fn allows_pair(&self, a: u64, b: u64) -> bool {
+        !(self.contains_key(a) && self.contains_key(b)) || self.contains_pair(a, b)
+    }
+}
+
+/// Build an affinity matrix over every module in `root`'s subtree
+/// (including `root` itself), keyed by
+/// [`module_fingerprint`](crate::module_fingerprint).
+///
+/// The score of a pair is the size of the overlap of their functional-unit
+/// type multisets — shareable hardware is what an embedding merge saves —
+/// plus a flat bonus for structurally identical modules (equal
+/// fingerprints), which are the ideal instance-sharing partners.
+pub fn module_affinity(h: &Hierarchy, root: &RtlModule, k: usize) -> AffinityMatrix {
+    /// Fingerprint + FU-type multiset (`type index → count`) per module.
+    fn collect(h: &Hierarchy, m: &RtlModule, out: &mut Vec<(u64, BTreeMap<usize, usize>)>) {
+        let mut counts: BTreeMap<usize, usize> = BTreeMap::new();
+        for f in m.fus() {
+            *counts.entry(f.fu_type.index()).or_insert(0) += 1;
+        }
+        out.push((module_fingerprint(h, m), counts));
+        for s in m.subs() {
+            collect(h, s, out);
+        }
+    }
+    let mut mods = Vec::new();
+    collect(h, root, &mut mods);
+    let mut pairs = Vec::new();
+    for i in 0..mods.len() {
+        for j in (i + 1)..mods.len() {
+            let (fa, ca) = &mods[i];
+            let (fb, cb) = &mods[j];
+            let shared: usize = ca
+                .iter()
+                .map(|(t, &n)| n.min(cb.get(t).copied().unwrap_or(0)))
+                .sum();
+            let mut score = shared as f64;
+            if fa == fb {
+                score += 4.0;
+            }
+            if score > 0.0 {
+                pairs.push((*fa, *fb, score));
+            }
+        }
+    }
+    AffinityMatrix::from_pairs(pairs, k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{build, BuildCtx, ModuleSpec, RegPolicy, SubSpec};
+    use hsyn_dfg::{Dfg, Hierarchy, Operation};
+    use hsyn_lib::papers::{table1_library, TABLE1_CLOCK_NS};
+
+    #[test]
+    fn top_k_keeps_best_scores_with_deterministic_tiebreak() {
+        let m = AffinityMatrix::from_pairs(
+            [
+                (1, 2, 5.0),
+                (1, 3, 9.0),
+                (1, 4, 7.0),
+                (1, 5, 7.0), // ties 4 by score; key order breaks the tie
+                (1, 6, 1.0),
+                (1, 2, 8.0), // duplicate pair: best score wins
+            ],
+            3,
+        );
+        assert_eq!(m.k(), 3);
+        assert_eq!(m.partners(1), &[(3, 9.0), (2, 8.0), (4, 7.0)]);
+        // Symmetric registration: every partner also lists key 1.
+        for key in [2u64, 3, 4, 5, 6] {
+            assert_eq!(m.partners(key), &[(1, m.partners(key)[0].1)]);
+        }
+        // 5 lost the tiebreak and 6 the ranking on key 1's side, but the
+        // pair survives on their own (under-full) side.
+        assert!(m.contains_pair(1, 5));
+        assert!(m.contains_pair(6, 1));
+    }
+
+    #[test]
+    fn self_pairs_are_kept_and_nonpositive_scores_are_dropped() {
+        let m = AffinityMatrix::from_pairs([(1, 1, 10.0), (2, 3, 0.0), (4, 5, -1.0)], 4);
+        // A structural clone family is a self-pair on its shared key.
+        assert_eq!(m.partners(1), &[(1, 10.0)]);
+        assert!(m.contains_pair(1, 1));
+        // Zero- and negative-scored pairs vanish entirely.
+        assert_eq!(m.len(), 1);
+        assert!(!m.contains_key(2));
+        assert!(m.partners(4).is_empty());
+    }
+
+    #[test]
+    fn unknown_keys_are_never_pruned() {
+        let m = AffinityMatrix::from_pairs([(1, 2, 3.0), (1, 3, 1.0)], 1);
+        // (1,3) lost 1's top-1 race but survives on 3's side.
+        assert!(m.allows_pair(1, 3));
+        // Both known, pair never reported: pruned.
+        assert!(!m.allows_pair(2, 3));
+        // 99 was never seen: always allowed.
+        assert!(m.allows_pair(1, 99));
+        assert!(m.allows_pair(99, 98));
+    }
+
+    /// A hand-built hierarchy: a parent with two structurally identical
+    /// multiplier children and one adder child. The clones must be each
+    /// other's top partner; the adder (no shared FU types, different
+    /// structure) must not pair with them at all.
+    #[test]
+    fn module_affinity_ranks_structural_clones_first() {
+        let mut h = Hierarchy::new();
+        let mut mul = Dfg::new("mul");
+        let a = mul.add_input("a");
+        let b = mul.add_input("b");
+        let m = mul.add_op(Operation::Mult, "m", &[a, b]);
+        mul.add_output("o", m);
+        let mul_id = h.add_dfg(mul);
+        let mut add = Dfg::new("add");
+        let x = add.add_input("x");
+        let y = add.add_input("y");
+        let s = add.add_op(Operation::Add, "s", &[x, y]);
+        add.add_output("o", s);
+        let add_id = h.add_dfg(add);
+
+        let mut top = Dfg::new("top");
+        let i0 = top.add_input("i0");
+        let i1 = top.add_input("i1");
+        let c0 = top.add_hier(mul_id, "m0", &[i0, i1]);
+        let c1 = top.add_hier(mul_id, "m1", &[i1, i0]);
+        let c2 = top.add_hier(add_id, "a0", &[top.hier_out(c0, 0), top.hier_out(c1, 0)]);
+        top.add_output("z", top.hier_out(c2, 0));
+        let top_id = h.add_dfg(top);
+        h.set_top(top_id);
+        h.validate().unwrap();
+
+        let lib = table1_library();
+        let ctx = BuildCtx::new(&lib, TABLE1_CLOCK_NS, 5.0, None);
+        let child = |dfg, name: &str| {
+            build(
+                &h,
+                &ModuleSpec::dedicated(
+                    &h,
+                    dfg,
+                    name,
+                    |_, op| lib.fastest_for(op).unwrap(),
+                    |_, _| unreachable!("leaf"),
+                ),
+                &ctx,
+            )
+            .unwrap()
+        };
+        let spec = ModuleSpec {
+            name: "top".into(),
+            dfg: top_id,
+            fu_groups: vec![],
+            subs: vec![
+                SubSpec {
+                    module: child(mul_id, "mul0"),
+                    nodes: vec![c0],
+                },
+                SubSpec {
+                    module: child(mul_id, "mul1"),
+                    nodes: vec![c1],
+                },
+                SubSpec {
+                    module: child(add_id, "add0"),
+                    nodes: vec![c2],
+                },
+            ],
+            reg_policy: RegPolicy::Dedicated,
+        };
+        let parent = build(&h, &spec, &ctx).unwrap();
+
+        let subs = parent.subs();
+        let fp_mul0 = module_fingerprint(&h, &subs[0]);
+        let fp_mul1 = module_fingerprint(&h, &subs[1]);
+        let fp_add = module_fingerprint(&h, &subs[2]);
+        // Fingerprints are name-independent: the clones collide.
+        assert_eq!(fp_mul0, fp_mul1);
+        assert_ne!(fp_mul0, fp_add);
+
+        let aff = module_affinity(&h, &parent, 4);
+        // The clone family registers as a self-pair on its shared key,
+        // with the identical-structure bonus on top of the shared FU type.
+        assert!(aff.contains_key(fp_mul0));
+        assert!(aff.contains_pair(fp_mul0, fp_mul1));
+        assert_eq!(aff.partners(fp_mul0)[0].0, fp_mul0);
+        assert!(aff.partners(fp_mul0)[0].1 >= 5.0);
+        // The adder shares no FU types with the multipliers and is not
+        // structurally identical: score 0 ⇒ the pair is absent.
+        assert!(!aff.contains_pair(fp_mul0, fp_add));
+    }
+}

@@ -18,6 +18,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod affinity;
 mod assignment;
 mod connect;
 mod cosim;
@@ -34,6 +35,7 @@ mod sizing;
 mod spec;
 mod verilog;
 
+pub use affinity::{module_affinity, AffinityMatrix};
 pub use assignment::{assignment_gain, max_weight_assignment};
 pub use connect::{connectivity, Connectivity, Sink, Source};
 pub use cosim::{cosimulate, CosimDivergence, CosimDivergenceKind, CosimRun, CosimStats};

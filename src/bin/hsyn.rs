@@ -90,12 +90,13 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: hsyn <behavior.dfg> [--objective area|power] [--laxity F] [--period NS]\n\
+        "usage: hsyn [<behavior.dfg> | --benchmark NAME] [--objective area|power]\n\
+         \x20           [--laxity F] [--period NS]\n\
          \x20           [--library table1|realistic] [--flat] [--paranoid] [--netlist]\n\
          \x20           [--no-incremental] [--shadow-eval] [--no-transactional]\n\
          \x20           [--cosim-check] [--fsm] [--verilog FILE]\n\
          \x20           [--dot FILE] [--power-report] [--seed N] [--parallel N]\n\
-         \x20           [--intra-jobs N]\n\
+         \x20           [--intra-jobs N] [--lns-iters N]\n\
          \x20      hsyn lint [<behavior.dfg> | --benchmark NAME | --all-benchmarks]\n\
          \x20           [--synthesize] [--objective area|power|both] [--laxity F]\n\
          \x20           [--library table1|realistic] [--allow CODE] [--json]\n\
@@ -706,6 +707,7 @@ fn cosim_main(args: Vec<String>) -> ExitCode {
 
 fn synth_main(args: Vec<String>) -> ExitCode {
     let mut input: Option<String> = None;
+    let mut bench_name: Option<String> = None;
     let mut objective = Objective::Power;
     let mut laxity = 2.2f64;
     let mut period: Option<f64> = None;
@@ -724,6 +726,7 @@ fn synth_main(args: Vec<String>) -> ExitCode {
     let mut shadow_eval = false;
     let mut transactional = true;
     let mut cosim_check = false;
+    let mut lns_iters = 0usize;
 
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -796,6 +799,17 @@ fn synth_main(args: Vec<String>) -> ExitCode {
                     return usage();
                 }
             },
+            "--lns-iters" => match take("--lns-iters").and_then(|v| v.parse::<usize>().ok()) {
+                Some(v) => lns_iters = v,
+                None => {
+                    eprintln!("--lns-iters expects an iteration count");
+                    return usage();
+                }
+            },
+            "--benchmark" => match take("--benchmark") {
+                Some(v) => bench_name = Some(v),
+                None => return usage(),
+            },
             "--help" | "-h" => return usage(),
             other if input.is_none() && !other.starts_with('-') => {
                 input = Some(other.to_owned());
@@ -806,32 +820,47 @@ fn synth_main(args: Vec<String>) -> ExitCode {
             }
         }
     }
-    let Some(path) = input else { return usage() };
-
-    let source = match std::fs::read_to_string(&path) {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("cannot read {path}: {e}");
-            return ExitCode::FAILURE;
+    let (path, hierarchy, equiv) = match (input, bench_name) {
+        (Some(_), Some(_)) => {
+            eprintln!("choose one of <behavior.dfg> or --benchmark");
+            return usage();
         }
-    };
-    let parsed = match text::parse(&source) {
-        Ok(p) => p,
-        Err(e) => {
-            eprintln!("{path}: {e}");
-            return ExitCode::FAILURE;
+        (None, None) => return usage(),
+        (Some(path), None) => {
+            let source = match std::fs::read_to_string(&path) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("cannot read {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let parsed = match text::parse(&source) {
+                Ok(p) => p,
+                Err(e) => {
+                    eprintln!("{path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            if let Err(e) = parsed.hierarchy.validate() {
+                eprintln!("{path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            (path, parsed.hierarchy, parsed.equiv)
         }
+        (None, Some(name)) => match benchmarks::by_name(&name) {
+            Some(b) => (b.name.to_owned(), b.hierarchy, b.equiv),
+            None => {
+                eprintln!("unknown benchmark `{name}`");
+                return ExitCode::FAILURE;
+            }
+        },
     };
-    if let Err(e) = parsed.hierarchy.validate() {
-        eprintln!("{path}: {e}");
-        return ExitCode::FAILURE;
-    }
 
     let Some(simple) = library_by_name(&library) else {
         return ExitCode::FAILURE;
     };
     let mut mlib = ModuleLibrary::from_simple(simple);
-    mlib.equiv = parsed.equiv.clone();
+    mlib.equiv = equiv;
 
     let mut config = SynthesisConfig::new(objective);
     config.laxity_factor = laxity;
@@ -851,8 +880,9 @@ fn synth_main(args: Vec<String>) -> ExitCode {
     config.shadow_eval = shadow_eval;
     config.transactional = transactional;
     config.cosim_check = cosim_check;
+    config.lns_iters = lns_iters;
 
-    let report = match synthesize(&parsed.hierarchy, &mlib, &config) {
+    let report = match synthesize(&hierarchy, &mlib, &config) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("synthesis failed: {e}");
@@ -943,6 +973,13 @@ fn synth_main(args: Vec<String>) -> ExitCode {
             "move engine         : {} rolled back, {} undo-journal peak, {apply_s:.3}s applying",
             report.stats.moves_rolled_back,
             format_bytes(report.stats.undo_bytes_peak),
+        );
+    }
+    if lns_iters > 0 {
+        let lns_s: f64 = report.per_config.iter().map(|c| c.lns_s).sum();
+        println!(
+            "lns                 : {} ruins, {} accepted, {lns_s:.3}s refining",
+            report.stats.lns_ruins, report.stats.lns_accepts
         );
     }
     if let Some(scaled) = &report.vdd_scaled {

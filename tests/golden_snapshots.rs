@@ -47,14 +47,14 @@ fn snapshot(report: &SynthesisReport) -> String {
     text
 }
 
-fn golden_path(name: &str, objective: Objective) -> PathBuf {
+fn golden_path(name: &str, objective: Objective, suffix: &str) -> PathBuf {
     let obj = match objective {
         Objective::Area => "area",
         Objective::Power => "power",
     };
     PathBuf::from(env!("CARGO_MANIFEST_DIR"))
         .join("tests/golden")
-        .join(format!("{name}_{obj}.json"))
+        .join(format!("{name}_{obj}{suffix}.json"))
 }
 
 #[test]
@@ -68,7 +68,7 @@ fn paper_suite_matches_golden_snapshots() {
             let report = synthesize(&bench.hierarchy, &mlib, &golden_config(objective))
                 .unwrap_or_else(|e| panic!("{} {objective:?}: {e}", bench.name));
             let got = snapshot(&report);
-            let path = golden_path(bench.name, objective);
+            let path = golden_path(bench.name, objective, "");
             if update {
                 std::fs::create_dir_all(path.parent().expect("golden dir")).unwrap();
                 std::fs::write(&path, &got).unwrap();
@@ -94,6 +94,63 @@ fn paper_suite_matches_golden_snapshots() {
         drift.is_empty(),
         "golden snapshots drifted (UPDATE_GOLDEN=1 regenerates them if the \
          change is deliberate):\n{}",
+        drift.join("\n")
+    );
+}
+
+/// The same pinned surface with LNS refinement on (`*_lns.json` files),
+/// plus the parity-or-better guard: for every benchmark × objective, the
+/// LNS run's final cost must never exceed the LNS-off run's — refinement
+/// starts from the converged design and only commits strict improvements,
+/// so any regression here is an engine bug, not a tuning matter.
+#[test]
+fn paper_suite_matches_lns_golden_snapshots() {
+    let update = std::env::var("UPDATE_GOLDEN").is_ok_and(|v| v == "1");
+    let mut drift = Vec::new();
+    for bench in benchmarks::paper_suite() {
+        for objective in [Objective::Area, Objective::Power] {
+            let mut mlib = ModuleLibrary::from_simple(table1_library());
+            mlib.equiv = bench.equiv.clone();
+            let plain = synthesize(&bench.hierarchy, &mlib, &golden_config(objective))
+                .unwrap_or_else(|e| panic!("{} {objective:?}: {e}", bench.name));
+            let mut config = golden_config(objective);
+            config.lns_iters = 4;
+            let report = synthesize(&bench.hierarchy, &mlib, &config)
+                .unwrap_or_else(|e| panic!("{} {objective:?} (lns): {e}", bench.name));
+            assert!(
+                report.evaluation.cost <= plain.evaluation.cost,
+                "{} {objective:?}: LNS ended worse than LNS-off ({} vs {})",
+                bench.name,
+                report.evaluation.cost,
+                plain.evaluation.cost
+            );
+            let got = snapshot(&report);
+            let path = golden_path(bench.name, objective, "_lns");
+            if update {
+                std::fs::create_dir_all(path.parent().expect("golden dir")).unwrap();
+                std::fs::write(&path, &got).unwrap();
+                continue;
+            }
+            let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+                panic!(
+                    "{}: missing golden file (run UPDATE_GOLDEN=1 to create): {e}",
+                    path.display()
+                )
+            });
+            if got != want {
+                drift.push(format!(
+                    "{} {objective:?} (lns):\n  expected {}  actual   {}",
+                    bench.name,
+                    want.replace('\n', "\n  "),
+                    got.replace('\n', "\n  ")
+                ));
+            }
+        }
+    }
+    assert!(
+        drift.is_empty(),
+        "LNS golden snapshots drifted (UPDATE_GOLDEN=1 regenerates them if \
+         the change is deliberate):\n{}",
         drift.join("\n")
     );
 }
