@@ -24,6 +24,16 @@ fn main() {
         }
     }
 
+    println!("\nsynthesis: memory tier (banked loads/stores)");
+    for name in ["matmul", "fir_block", "conv2d"] {
+        let b = hsyn_dfg::benchmarks::by_name(name).expect("known benchmark");
+        let mlib = benchmark_library(&b);
+        let cfg = SweepConfig::quick().to_config(Objective::Area, true, 2.2);
+        bench(&format!("synthesis/memory/{name}"), budget, || {
+            synthesize(&b.hierarchy, &mlib, &cfg).expect("synthesizes");
+        });
+    }
+
     println!("\nsynthesis: objective comparison (test1, hierarchical)");
     let b = hsyn_dfg::benchmarks::test1();
     let mlib = benchmark_library(&b);

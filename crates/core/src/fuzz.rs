@@ -53,6 +53,12 @@ pub struct FuzzParams {
     pub sub_state: bool,
     /// Synthesize the flattened baseline instead of hierarchically.
     pub flatten: bool,
+    /// Owned memories in the top DFG (0..=2), each receiving random
+    /// stores and loads with a mix of constant and variable addresses.
+    pub mems: usize,
+    /// Bind the first memory into the first submodule as a shared bank
+    /// (the callee declares it `external` and loads from it).
+    pub mem_share: bool,
     /// Laxity factor in percent (120..=319).
     pub laxity_pct: u32,
 }
@@ -61,6 +67,8 @@ impl FuzzParams {
     /// Draw a random parameter set.
     fn draw(rng: &mut Rng) -> Self {
         let subs = rng.range_usize(0, 3);
+        let sub_state = subs > 0 && rng.next_bool(0.4);
+        let mems = rng.range_usize(0, 3);
         FuzzParams {
             inputs: rng.range_usize(1, 5),
             ops: rng.range_usize(1, 13),
@@ -69,8 +77,12 @@ impl FuzzParams {
             nested: subs == 2 && rng.next_bool(0.5),
             feedback: rng.next_bool(0.4),
             deep_delay: rng.next_bool(0.25),
-            sub_state: subs > 0 && rng.next_bool(0.4),
+            sub_state,
             flatten: rng.next_bool(0.25),
+            mems,
+            // Shared banks and state outputs both special-case sub 0; keep
+            // the generator simple by never combining them.
+            mem_share: mems > 0 && subs > 0 && !sub_state && rng.next_bool(0.5),
             laxity_pct: rng.range_i64(120, 319) as u32,
         }
     }
@@ -87,6 +99,10 @@ impl FuzzParams {
         ];
         if self.subs > 0 {
             f.push(format!("substate:{}", self.sub_state));
+        }
+        f.push(format!("mems:{}", self.mems));
+        if self.mems > 0 && self.subs > 0 {
+            f.push(format!("memshare:{}", self.mem_share));
         }
         f
     }
@@ -151,6 +167,24 @@ impl FuzzParams {
                 ..*self
             });
         }
+        if self.mems > 0 {
+            out.push(FuzzParams {
+                mems: 0,
+                mem_share: false,
+                ..*self
+            });
+            out.push(FuzzParams {
+                mems: self.mems - 1,
+                mem_share: self.mem_share && self.mems > 1,
+                ..*self
+            });
+        }
+        if self.mem_share {
+            out.push(FuzzParams {
+                mem_share: false,
+                ..*self
+            });
+        }
         if self.inputs > 1 {
             out.push(FuzzParams {
                 inputs: self.inputs - 1,
@@ -171,6 +205,8 @@ impl FuzzParams {
             ("deep_delay".into(), Json::Bool(self.deep_delay)),
             ("sub_state".into(), Json::Bool(self.sub_state)),
             ("flatten".into(), Json::Bool(self.flatten)),
+            ("mems".into(), Json::Num(self.mems as f64)),
+            ("mem_share".into(), Json::Bool(self.mem_share)),
             ("laxity_pct".into(), Json::Num(f64::from(self.laxity_pct))),
         ])
     }
@@ -311,6 +347,30 @@ fn gen_leaf(
     g
 }
 
+/// Word count of the shared bank when [`FuzzParams::mem_share`] is on: the
+/// callee's `external` declaration must match the caller's memory shape.
+const SHARED_WORDS: u32 = 8;
+
+/// Generate a leaf DFG that loads from an externally supplied memory:
+/// `inputs` inputs, a load addressed by input 0, and a random op chain over
+/// the loaded word and the inputs.
+fn gen_mem_leaf(rng: &mut Rng, name: &str, inputs: usize, ops: usize) -> Dfg {
+    let mut g = Dfg::new(name);
+    let m = g.add_mem(hsyn_dfg::MemObject::external("xm", SHARED_WORDS, WIDTH));
+    let ins: Vec<VarRef> = (0..inputs).map(|i| g.add_input(format!("x{i}"))).collect();
+    let mut vars = ins;
+    vars.push(g.add_load(m, "ld", vars[0]));
+    let op_pool = [Operation::Add, Operation::Sub, Operation::Mult];
+    for i in 0..ops {
+        let a = vars[rng.range_usize(0, vars.len())];
+        let b = vars[rng.range_usize(0, vars.len())];
+        let op = op_pool[rng.range_usize(0, op_pool.len())];
+        vars.push(g.add_op(op, format!("n{i}"), &[a, b]));
+    }
+    g.add_output("y", *vars.last().expect("load at minimum"));
+    g
+}
+
 /// Generate a random hierarchical behavior from `p`, deterministically from
 /// `rng`.
 fn gen_hierarchy(rng: &mut Rng, p: &FuzzParams) -> Hierarchy {
@@ -320,7 +380,9 @@ fn gen_hierarchy(rng: &mut Rng, p: &FuzzParams) -> Hierarchy {
     let mut sub_ids: Vec<(DfgId, usize)> = Vec::new(); // (dfg, input count)
     for s in 0..p.subs {
         let n_in = rng.range_usize(1, 4);
-        let g = if p.nested && s == 1 {
+        let g = if p.mem_share && s == 0 {
+            gen_mem_leaf(rng, "sub0", n_in, p.sub_ops)
+        } else if p.nested && s == 1 {
             let mut g = Dfg::new(format!("sub{s}"));
             let ins: Vec<VarRef> = (0..n_in).map(|i| g.add_input(format!("x{i}"))).collect();
             let (callee, callee_in) = sub_ids[0];
@@ -351,6 +413,25 @@ fn gen_hierarchy(rng: &mut Rng, p: &FuzzParams) -> Hierarchy {
 
     // Top DFG: ops mixed with calls to every submodule.
     let mut g = Dfg::new("top");
+    // Owned memories, written and read below. The first one takes the
+    // shared-bank shape when a callee imports it.
+    let mem_ids: Vec<(hsyn_dfg::MemId, u32)> = (0..p.mems)
+        .map(|mi| {
+            let words = if p.mem_share && mi == 0 {
+                SHARED_WORDS
+            } else {
+                [2u32, 4, 8][rng.range_usize(0, 3)]
+            };
+            let ports = 1 + rng.range_i64(0, 2) as u32;
+            let banks = 1 + rng.range_i64(0, 2) as u32;
+            let id = g.add_mem(
+                hsyn_dfg::MemObject::owned(format!("m{mi}"), words, WIDTH)
+                    .with_ports(ports)
+                    .with_banks(banks),
+            );
+            (id, words)
+        })
+        .collect();
     let mut vars: Vec<VarRef> = (0..p.inputs)
         .map(|i| g.add_input(format!("in{i}")))
         .collect();
@@ -361,11 +442,35 @@ fn gen_hierarchy(rng: &mut Rng, p: &FuzzParams) -> Hierarchy {
         let op = op_pool[rng.range_usize(0, op_pool.len())];
         vars.push(g.add_op(op, format!("t{i}"), &[a, b]));
     }
+    // Memory traffic: one store per memory (so every bank holds live
+    // state), then one or two loads, mixing constant and variable
+    // addresses — constants exercise the bank assignment and the MEM001
+    // range check, variables the conflicts-everywhere pessimism.
+    for (mi, &(id, words)) in mem_ids.iter().enumerate() {
+        let addr = |g: &mut Dfg, tag: &str, vars: &[VarRef], rng: &mut Rng| -> VarRef {
+            if rng.next_bool(0.5) {
+                g.add_const(format!("{tag}{mi}"), rng.range_i64(0, i64::from(words)))
+            } else {
+                vars[rng.range_usize(0, vars.len())]
+            }
+        };
+        let sa = addr(&mut g, "sa", &vars, rng);
+        let data = vars[rng.range_usize(0, vars.len())];
+        g.add_store(id, format!("st{mi}"), sa, data);
+        for li in 0..rng.range_usize(1, 3) {
+            let la = addr(&mut g, &format!("la{li}_"), &vars, rng);
+            vars.push(g.add_load(id, format!("ld{mi}_{li}"), la));
+        }
+    }
     for (s, &(id, n_in)) in sub_ids.iter().enumerate() {
         let args: Vec<VarRef> = (0..n_in)
             .map(|_| vars[rng.range_usize(0, vars.len())])
             .collect();
-        let call = g.add_hier(id, format!("call{s}"), &args);
+        let call = if p.mem_share && s == 0 {
+            g.add_hier_with_mems(id, format!("call{s}"), &args, &[mem_ids[0].0])
+        } else {
+            g.add_hier(id, format!("call{s}"), &args)
+        };
         vars.push(g.hier_out(call, 0));
         if p.sub_state && s == 0 {
             // Consume the state output too, so the early-read path is live.
@@ -609,6 +714,8 @@ mod tests {
                 deep_delay: false,
                 sub_state: true,
                 flatten: false,
+                mems: 1,
+                mem_share: false,
                 laxity_pct: 220,
             },
             objective: Objective::Power,

@@ -106,9 +106,12 @@ impl MoveStats {
         match mv {
             Move::SetFuType { .. } | Move::SwapChild { .. } => self.applied_a += 1,
             Move::ResynthChild { .. } => self.applied_b += 1,
-            Move::MergeFu { .. } | Move::RepackRegs { .. } | Move::MergeChildren { .. } => {
-                self.applied_c += 1
-            }
+            // Rebanking serves both families (halve = share, double =
+            // split); the stats bucket it with the sharing moves.
+            Move::MergeFu { .. }
+            | Move::RepackRegs { .. }
+            | Move::MergeChildren { .. }
+            | Move::RebankMem { .. } => self.applied_c += 1,
             Move::SplitFu { .. } | Move::DedicateRegs { .. } | Move::SplitChild { .. } => {
                 self.applied_d += 1
             }

@@ -15,7 +15,7 @@
 use crate::cost::Objective;
 use crate::design::{Child, ChildKind, DesignPoint, ModuleState};
 use crate::transact::{UndoLog, UndoOp};
-use hsyn_dfg::{DfgId, NodeId, NodeKind, Operation};
+use hsyn_dfg::{DfgId, MemId, MemScope, NodeId, NodeKind, Operation};
 use hsyn_lib::{FuTypeId, Library};
 use hsyn_rtl::{embed, BuildError, EmbedError, ModuleLibrary, RegPolicy};
 use std::collections::BTreeSet;
@@ -111,6 +111,18 @@ pub enum Move {
         /// Node to split out.
         node: NodeId,
     },
+    /// Moves *C*/*D* (memory): change the bank count of an owned memory.
+    /// Halving is a sharing move — accesses serialize onto fewer ports,
+    /// saving port periphery area and bank leakage; doubling is a splitting
+    /// move — parallel banks relax the scheduler's port-conflict edges.
+    RebankMem {
+        /// Module whose behavior DFG owns the memory.
+        path: ModulePath,
+        /// The memory within that DFG.
+        mem: MemId,
+        /// New bank count (≥ 1, ≤ word count).
+        banks: u32,
+    },
 }
 
 impl fmt::Display for Move {
@@ -145,6 +157,9 @@ impl fmt::Display for Move {
             }
             Move::SplitChild { path, child, node } => {
                 write!(f, "D:split-child path={path:?} child={child} node={node}")
+            }
+            Move::RebankMem { path, mem, banks } => {
+                write!(f, "CD:rebank path={path:?} mem={mem} banks={banks}")
             }
         }
     }
@@ -367,6 +382,11 @@ pub fn apply(
                 kind: c.kind.clone(),
             };
             m.children.push(clone);
+        }
+        Move::RebankMem { path, mem, banks } => {
+            let dfg = new.top.at(path).core.dfg;
+            check_rebank(&new, dfg, *mem, *banks)?;
+            new.hierarchy.dfg_mut(dfg).set_mem_banks(*mem, *banks);
         }
     }
     // Rebuild only the edited module and its ancestors: every other
@@ -684,6 +704,16 @@ fn edit_in_place(
             };
             m.children.push(clone);
         }
+        Move::RebankMem { path, mem, banks } => {
+            let dfg = dp.top.at(path).core.dfg;
+            check_rebank(dp, dfg, *mem, *banks)?;
+            let old = dp.hierarchy.dfg_mut(dfg).set_mem_banks(*mem, *banks);
+            undo.push(UndoOp::RestoreMemBanks {
+                dfg,
+                mem: *mem,
+                banks: old,
+            });
+        }
     }
     Ok(())
 }
@@ -721,8 +751,42 @@ pub fn dirty_path(mv: &Move) -> ModulePath {
         | Move::SwapChild { path, .. }
         | Move::ResynthChild { path, .. }
         | Move::MergeChildren { path, .. }
-        | Move::SplitChild { path, .. } => path.clone(),
+        | Move::SplitChild { path, .. }
+        | Move::RebankMem { path, .. } => path.clone(),
     }
+}
+
+/// Preconditions of [`Move::RebankMem`]: the memory exists, is owned, the
+/// new count differs and fits the word count, and exactly one module in the
+/// built tree executes the DFG — any other executor's schedule, built under
+/// the old bank constraint, would silently go stale (the rebuild only
+/// revisits the dirty path).
+fn check_rebank(dp: &DesignPoint, dfg: DfgId, mem: MemId, banks: u32) -> Result<(), ApplyError> {
+    let g = dp.hierarchy.dfg(dfg);
+    if mem.index() >= g.mem_count() {
+        return Err(ApplyError::Rejected);
+    }
+    let m = g.mem(mem);
+    if !matches!(m.scope, MemScope::Owned)
+        || banks == 0
+        || banks == m.banks
+        || banks > m.words.max(1)
+        || executor_count(&dp.top.built, dfg) != 1
+    {
+        return Err(ApplyError::Rejected);
+    }
+    Ok(())
+}
+
+/// Behaviors in the built RTL tree executing `dfg` (opaque library and
+/// embedded modules count — they cannot be rebuilt, so a rebank touching
+/// their DFG must be rejected).
+fn executor_count(m: &hsyn_rtl::RtlModule, dfg: DfgId) -> usize {
+    m.behaviors().iter().filter(|b| b.dfg == dfg).count()
+        + m.subs()
+            .iter()
+            .map(|s| executor_count(s, dfg))
+            .sum::<usize>()
 }
 
 /// A scored candidate: higher heuristic first; the engine evaluates the top
@@ -1026,8 +1090,93 @@ pub fn sharing_candidates(
                 ));
             }
         }
+        // Memory: halve an owned memory's banks — fewer bank instances
+        // mean less port periphery (area) and less standing leakage
+        // (power); the scheduler re-serializes accesses and rejects the
+        // move if the tightened port constraint misses the deadline.
+        rebank_candidates(dp, path, m, lib, objective, false, &mut out);
     });
     out
+}
+
+/// [`Move::RebankMem`] candidates for one module: halving (`double =
+/// false`, a sharing move) or doubling (`double = true`, a splitting move)
+/// each owned memory's bank count. Scores are cheap model deltas; the
+/// engine's exact evaluation decides.
+fn rebank_candidates(
+    dp: &DesignPoint,
+    path: &[usize],
+    m: &ModuleState,
+    lib: &Library,
+    objective: Objective,
+    double: bool,
+    out: &mut Vec<Candidate>,
+) {
+    let dfg = m.core.dfg;
+    let g = dp.hierarchy.dfg(dfg);
+    if g.mem_count() == 0 {
+        return;
+    }
+    let mut accesses = vec![0u32; g.mem_count()];
+    for (_, n) in g.nodes() {
+        match n.kind() {
+            NodeKind::Load { mem } | NodeKind::Store { mem } => accesses[mem.index()] += 1,
+            _ => {}
+        }
+    }
+    for (mid, mem) in g.mems() {
+        if !matches!(mem.scope, MemScope::Owned) {
+            continue;
+        }
+        let banks = mem.banks.max(1);
+        let acc = f64::from(accesses[mid.index()]);
+        if double {
+            let to = banks * 2;
+            if to > mem.words.max(1) {
+                continue;
+            }
+            // More banks relax the per-cycle port constraint; worth more
+            // the more accesses currently contend per bank.
+            let score = match objective {
+                Objective::Power => 0.5 * acc / f64::from(banks),
+                Objective::Area => 0.1 * acc / f64::from(banks),
+            };
+            out.push((
+                score,
+                Move::RebankMem {
+                    path: path.to_vec(),
+                    mem: mid,
+                    banks: to,
+                },
+            ));
+        } else if banks >= 2 {
+            let to = banks / 2;
+            let score = match objective {
+                Objective::Area => {
+                    lib.memory.area(mem.words, mem.elem_width, mem.ports, banks)
+                        - lib.memory.area(mem.words, mem.elem_width, mem.ports, to)
+                }
+                // Leakage is per bank per busy cycle; approximate busy
+                // cycles by the module's first-behavior makespan.
+                Objective::Power => {
+                    let cycles = m
+                        .built
+                        .behaviors()
+                        .first()
+                        .map_or(1.0, |b| f64::from(b.schedule.makespan().max(1)));
+                    f64::from(banks - to) * cycles * lib.memory.leakage_per_bank_cycle
+                }
+            };
+            out.push((
+                score,
+                Move::RebankMem {
+                    path: path.to_vec(),
+                    mem: mid,
+                    banks: to,
+                },
+            ));
+        }
+    }
 }
 
 /// Move *D* candidates: FU splitting, register dedication, child splitting.
@@ -1094,6 +1243,10 @@ pub fn splitting_candidates(
                 ));
             }
         }
+        // Memory: double an owned memory's banks — parallel banks relax
+        // the scheduler's same-bank port-conflict edges, shortening the
+        // schedule at the cost of port periphery area and bank leakage.
+        rebank_candidates(dp, path, m, lib, objective, true, &mut out);
     });
     out
 }

@@ -26,7 +26,7 @@
 
 use crate::design::{Child, ChildKind, DesignPoint, ModuleState};
 use crate::moves::ModulePath;
-use hsyn_dfg::{DfgId, NodeId};
+use hsyn_dfg::{DfgId, MemId, NodeId};
 use hsyn_lib::FuTypeId;
 use hsyn_rtl::{RegPolicy, RtlModule};
 
@@ -134,6 +134,16 @@ pub enum UndoOp {
         /// The child the merge removed, intact.
         removed: Box<Child>,
     },
+    /// Restore a memory's bank count (inverse of
+    /// [`Move::RebankMem`](crate::Move::RebankMem)).
+    RestoreMemBanks {
+        /// The DFG owning the memory.
+        dfg: DfgId,
+        /// The memory.
+        mem: MemId,
+        /// The previous bank count.
+        banks: u32,
+    },
     /// Re-absorb a split-out hierarchical node (inverse of
     /// [`Move::SplitChild`](crate::Move::SplitChild)): pop the appended
     /// clone child and put `node` back at its original position.
@@ -216,6 +226,9 @@ impl UndoOp {
                 }
                 m.children.insert(b, *removed);
             }
+            UndoOp::RestoreMemBanks { dfg, mem, banks } => {
+                dp.hierarchy.dfg_mut(dfg).set_mem_banks(mem, banks);
+            }
             UndoOp::UnsplitChild {
                 path,
                 child,
@@ -249,7 +262,7 @@ impl UndoOp {
                 path_bytes(path) + groups
             }
             UndoOp::RestoreChildKind { path, kind, .. } => path_bytes(path) + kind_bytes(kind),
-            UndoOp::RestoreCallee { .. } => 0,
+            UndoOp::RestoreCallee { .. } | UndoOp::RestoreMemBanks { .. } => 0,
             UndoOp::UnmergeChildren {
                 path,
                 a_kind,
@@ -546,6 +559,57 @@ mod tests {
         assert_eq!(module_fingerprint(&dp.hierarchy, &dp.top.built), fp1);
         log.rollback_to(&mut dp, m0);
         assert_eq!(module_fingerprint(&dp.hierarchy, &dp.top.built), fp0);
+    }
+
+    /// Rebanking a memory in place and rolling back restores the design —
+    /// spec tree, hierarchy (bank counts live in the DFG), and built RTL —
+    /// bit-exactly; committing keeps the new bank count.
+    #[test]
+    fn rebank_rolls_back_byte_exact() {
+        let b = benchmarks::matmul();
+        let mlib = ModuleLibrary::from_simple(table1_library());
+        let op =
+            OperatingPoint::derive(&mlib.simple, mlib.simple.technology.vref(), 10.0, 100_000.0);
+        let top = initial_solution(&b.hierarchy, &mlib, &op).expect("matmul builds");
+        let mut dp = DesignPoint {
+            hierarchy: b.hierarchy.clone(),
+            op,
+            top,
+        };
+        let dfg = dp.top.core.dfg;
+        let (mid, mem) = dp
+            .hierarchy
+            .dfg(dfg)
+            .mems()
+            .map(|(i, m)| (i, m.clone()))
+            .next()
+            .expect("matmul owns a memory");
+        assert!(mem.words >= 2, "fixture memory must admit two banks");
+        let fp0 = module_fingerprint(&dp.hierarchy, &dp.top.built);
+        let banks0 = mem.banks.max(1);
+        let mv = Move::RebankMem {
+            path: vec![],
+            mem: mid,
+            banks: banks0 * 2,
+        };
+        {
+            let mut tx = Transaction::begin(&mut dp);
+            tx.apply(&mv, &mlib, &mut |_, _, _| None)
+                .expect("rebank applies");
+            let d = tx.design();
+            assert_eq!(d.hierarchy.dfg(dfg).mem(mid).banks, banks0 * 2);
+            assert_ne!(module_fingerprint(&d.hierarchy, &d.top.built), fp0);
+        }
+        assert_eq!(dp.hierarchy.dfg(dfg).mem(mid).banks, banks0);
+        assert_eq!(module_fingerprint(&dp.hierarchy, &dp.top.built), fp0);
+        let mut tx = Transaction::begin(&mut dp);
+        tx.apply(&mv, &mlib, &mut |_, _, _| None)
+            .expect("rebank applies");
+        tx.commit();
+        assert_eq!(dp.hierarchy.dfg(dfg).mem(mid).banks, banks0 * 2);
+        // A no-op rebank (same count) is rejected without journaling.
+        let mut tx = Transaction::begin(&mut dp);
+        assert!(tx.apply(&mv, &mlib, &mut |_, _, _| None).is_err());
     }
 
     /// Dropping an open transaction rolls back; committing keeps the edit.

@@ -10,7 +10,7 @@
 //! while asserting that every produced value fits its certified width.
 
 use crate::domain::sign_extend;
-use hsyn_dfg::analysis::topo_order;
+use hsyn_dfg::mem_topo_order;
 use hsyn_dfg::{DfgId, Hierarchy, NodeId, NodeKind, VarRef};
 use hsyn_util::Json;
 use std::collections::BTreeMap;
@@ -162,23 +162,53 @@ impl fmt::Display for CertificateViolation {
 
 impl std::error::Error for CertificateViolation {}
 
-/// One live module instance: local delay history plus child instances, one
-/// per hierarchical node. Mirrors the flattened evaluator's per-variable
-/// history — each instance keeps its own, so delays compose across call
-/// boundaries exactly as [`Hierarchy::flatten`] accumulates them.
+/// One live module instance: local delay history, child instances (one per
+/// hierarchical node), and this instance's view of the memory pool. Mirrors
+/// the flattened evaluator's per-variable history — each instance keeps its
+/// own, so delays compose across call boundaries exactly as
+/// [`Hierarchy::flatten`] accumulates them. Owned memories allocate a fresh
+/// pool slot per instance; external memories alias the slot the parent
+/// bound at the call site, which is what keeps parent and callee accesses
+/// to a shared bank observing one state.
 struct Instance {
     dfg: DfgId,
     hist: BTreeMap<(NodeId, u16, u32), i64>,
     children: BTreeMap<NodeId, Instance>,
+    /// `mem_map[MemId::index]` — pool slot backing that local memory.
+    mem_map: Vec<usize>,
 }
 
 impl Instance {
-    fn build(h: &Hierarchy, dfg: DfgId) -> Instance {
+    /// `ext[i]` is the pool slot serving this DFG's i-th external memory.
+    fn build(h: &Hierarchy, dfg: DfgId, ext: &[usize], pool: &mut Vec<Vec<i64>>) -> Instance {
         let g = h.dfg(dfg);
+        let mut ext_pos = 0;
+        let mut mem_map = Vec::with_capacity(g.mem_count());
+        for (_, m) in g.mems() {
+            let slot = match m.scope {
+                hsyn_dfg::MemScope::Owned => {
+                    pool.push(vec![0i64; m.words.max(1) as usize]);
+                    pool.len() - 1
+                }
+                hsyn_dfg::MemScope::External => {
+                    let s = ext[ext_pos];
+                    ext_pos += 1;
+                    s
+                }
+            };
+            mem_map.push(slot);
+        }
         let children = g
             .nodes()
             .filter_map(|(nid, node)| match node.kind() {
-                NodeKind::Hier { callee } => Some((nid, Instance::build(h, *callee))),
+                NodeKind::Hier { callee } => {
+                    let child_ext: Vec<usize> = node
+                        .mem_binds()
+                        .iter()
+                        .map(|b| mem_map[b.index()])
+                        .collect();
+                    Some((nid, Instance::build(h, *callee, &child_ext, pool)))
+                }
                 _ => None,
             })
             .collect();
@@ -186,6 +216,7 @@ impl Instance {
             dfg,
             hist: BTreeMap::new(),
             children,
+            mem_map,
         }
     }
 }
@@ -237,15 +268,17 @@ pub fn certified_outputs(
     let plans: Vec<Plan> = h
         .dfgs()
         .map(|(_, g)| Plan {
-            order: topo_order(g).expect("acyclic zero-delay subgraph"),
+            order: mem_topo_order(g).expect("acyclic zero-delay subgraph"),
             max_delay: g.edges().map(|(_, e)| e.delay).max().unwrap_or(0),
         })
         .collect();
-    let mut root = Instance::build(h, top);
+    // One flat array per live memory; state persists across iterations.
+    let mut pool: Vec<Vec<i64>> = Vec::new();
+    let mut root = Instance::build(h, top, &[], &mut pool);
     let mut outs = vec![Vec::with_capacity(len); h.out_arity(top)];
     for n in 0..len {
         let sample: Vec<i64> = inputs.iter().map(|s| s[n]).collect();
-        let produced = eval_instance(h, cert, &plans, &mut root, &sample, width, n)?;
+        let produced = eval_instance(h, cert, &plans, &mut root, &mut pool, &sample, width, n)?;
         for (o, v) in produced.into_iter().enumerate() {
             outs[o].push(v);
         }
@@ -254,11 +287,13 @@ pub fn certified_outputs(
 }
 
 /// Run one iteration of `inst`, returning the module's output values.
+#[allow(clippy::too_many_arguments)]
 fn eval_instance(
     h: &Hierarchy,
     cert: &WidthCertificate,
     plans: &[Plan],
     inst: &mut Instance,
+    pool: &mut Vec<Vec<i64>>,
     inputs: &[i64],
     width: u32,
     iteration: usize,
@@ -306,12 +341,31 @@ fn eval_instance(
                     .map(|p| read(&vals, &inst.hist, p))
                     .collect();
                 let child = inst.children.get_mut(&nid).expect("child instance");
-                eval_instance(h, cert, plans, child, &args, width, iteration)?
+                eval_instance(h, cert, plans, child, pool, &args, width, iteration)?
             }
             NodeKind::Output { index } => {
                 let v = read(&vals, &inst.hist, 0);
                 outs[*index] = v;
                 vec![v]
+            }
+            // Same memory semantics as `reference_outputs` on the flattened
+            // graph: addresses wrap modulo the word count, stored values
+            // truncate to the element width.
+            NodeKind::Load { mem } => {
+                let addr = read(&vals, &inst.hist, 0);
+                let bank = &pool[inst.mem_map[mem.index()]];
+                let v = bank[addr.rem_euclid(bank.len() as i64) as usize];
+                vec![sign_extend(v, width)]
+            }
+            NodeKind::Store { mem } => {
+                let addr = read(&vals, &inst.hist, 0);
+                let data = read(&vals, &inst.hist, 1);
+                let m = g.mem(*mem);
+                let stored = sign_extend(data, m.elem_width.min(width));
+                let bank = &mut pool[inst.mem_map[mem.index()]];
+                let w = addr.rem_euclid(bank.len() as i64) as usize;
+                bank[w] = stored;
+                vec![stored]
             }
         };
         for (port, &v) in produced.iter().enumerate() {

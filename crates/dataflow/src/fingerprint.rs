@@ -9,7 +9,7 @@
 //! independent of `DfgId` numbering and therefore stable across hierarchies
 //! that merely index their modules differently.
 
-use hsyn_dfg::{Dfg, DfgId, Hierarchy, NodeKind};
+use hsyn_dfg::{Dfg, DfgId, Hierarchy, MemScope, NodeKind};
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
@@ -59,8 +59,34 @@ fn dfg_hash(g: &Dfg, callee_fp: impl Fn(DfgId) -> u64) -> u64 {
             NodeKind::Hier { callee } => {
                 h.byte(5);
                 h.u64(callee_fp(*callee));
+                // Memory bindings change which banks a call touches.
+                h.u64(node.mem_binds().len() as u64);
+                for b in node.mem_binds() {
+                    h.u64(b.index() as u64);
+                }
+            }
+            NodeKind::Load { mem } => {
+                h.byte(6);
+                h.u64(mem.index() as u64);
+            }
+            NodeKind::Store { mem } => {
+                h.byte(7);
+                h.u64(mem.index() as u64);
             }
         }
+    }
+    // Memory shapes feed the load/store transfer functions (element width
+    // bounds loaded values), so they are part of the structural identity.
+    h.u64(g.mem_count() as u64);
+    for (_, m) in g.mems() {
+        h.u64(u64::from(m.words));
+        h.u64(u64::from(m.elem_width));
+        h.u64(u64::from(m.ports));
+        h.u64(u64::from(m.banks));
+        h.byte(match m.scope {
+            MemScope::Owned => 0,
+            MemScope::External => 1,
+        });
     }
     h.u64(g.edge_count() as u64);
     for (_, e) in g.edges() {

@@ -372,6 +372,71 @@ mod tests {
     }
 
     #[test]
+    fn memory_benchmarks_analyze_and_certify() {
+        // The certified hierarchical evaluator must agree with the flattened
+        // reference on every memory-tier benchmark (shared banks included),
+        // and the extracted widths must hold dynamically.
+        for b in hsyn_dfg::benchmarks::memory_suite() {
+            let an = analyze_hierarchy(&b.hierarchy, 16).unwrap();
+            let cert = an.certificate();
+            let mut rng = hsyn_util::Rng::seed_from_u64(11);
+            let n_in = b.hierarchy.in_arity(b.hierarchy.top());
+            let streams: Vec<Vec<i64>> = (0..n_in)
+                .map(|_| (0..16).map(|_| rng.range_i64(-100, 100)).collect())
+                .collect();
+            let got = certified_outputs(&b.hierarchy, cert, &streams, 16)
+                .unwrap_or_else(|e| panic!("{}: {e}", b.name));
+            let want = hsyn_dfg::reference_outputs(&b.hierarchy.flatten(), &streams, 16);
+            assert_eq!(got, want, "{} diverges from the reference", b.name);
+        }
+    }
+
+    #[test]
+    fn load_width_is_bounded_by_element_width() {
+        // An 8-bit-wide memory bounds what a load can produce even when the
+        // stored data is full-width.
+        let mut h = Hierarchy::new();
+        let mut g = Dfg::new("m8");
+        let m = g.add_mem(hsyn_dfg::MemObject::owned("buf", 4, 8));
+        let x = g.add_input("x");
+        let a = g.add_input("a");
+        g.add_store(m, "st", a, x);
+        let l = g.add_load(m, "l", a);
+        g.add_output("y", l);
+        let id = h.add_dfg(g);
+        h.set_top(id);
+        let an = analyze_hierarchy(&h, 16).unwrap();
+        let g = h.dfg(id);
+        let ld = g.node_ids().find(|&n| g.node(n).name() == "l").unwrap();
+        assert!(an.facts(id).value(ld, 0).unwrap().width_bits(16) <= 8);
+        assert_eq!(an.certificate().port_width(id, ld, 0), 8);
+    }
+
+    #[test]
+    fn store_operands_stay_live() {
+        // The store's address chain feeds no output, yet it must not be
+        // reported dead: the write is an observable side effect.
+        let mut h = Hierarchy::new();
+        let mut g = Dfg::new("st");
+        let m = g.add_mem(hsyn_dfg::MemObject::owned("buf", 4, 16));
+        let x = g.add_input("x");
+        let a0 = g.add_const("a0", 1);
+        let addr = g.add_op(Operation::Add, "addr", &[a0, a0]);
+        g.add_store(m, "stn", addr, x);
+        let l = g.add_load(m, "l", a0);
+        g.add_output("y", l);
+        let id = h.add_dfg(g);
+        h.set_top(id);
+        let an = analyze_hierarchy(&h, 16).unwrap();
+        let g = h.dfg(id);
+        let addr_node = g.node_ids().find(|&n| g.node(n).name() == "addr").unwrap();
+        assert!(
+            an.facts(id).live(addr_node, 0),
+            "store address chain is live"
+        );
+    }
+
+    #[test]
     fn analysis_is_deterministic() {
         let (h, _, _) = shared_callee();
         let a1 = analyze_hierarchy(&h, 16).unwrap();

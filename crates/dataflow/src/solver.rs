@@ -108,6 +108,20 @@ pub(crate) fn fixpoint_values(
                     outs.resize(h.out_arity(*callee), AbstractValue::top(width));
                     outs
                 }),
+            // Stored values are truncated to the element width, and memory
+            // starts at 0, so a load can produce at most an elem-width-wide
+            // value regardless of what was stored where.
+            NodeKind::Load { mem } => {
+                let w = g.mem(*mem).elem_width.min(width).max(1);
+                Some(vec![AbstractValue::top(w).normalize(width)])
+            }
+            // A store's fact is the value it writes (the datapath truncates
+            // it to the element width on the way in).
+            NodeKind::Store { mem } => {
+                let w = g.mem(*mem).elem_width.min(width).max(1);
+                let fit = AbstractValue::top(w).normalize(width);
+                operand(&facts, nid, 1).map(|v| vec![if v.within(fit) { v } else { fit }])
+            }
             NodeKind::Output { .. } => operand(&facts, nid, 0).map(|v| vec![v]),
         };
         let Some(new) = new else {
@@ -202,6 +216,11 @@ pub(crate) fn output_deps(h: &Hierarchy, g: &Dfg, deps: &[Vec<u64>]) -> Vec<u64>
                     })
                     .collect()
             }
+            // A loaded value can carry anything any store (in any iteration,
+            // possibly a shared-bank caller) put there: saturate. Liveness
+            // only uses these masks to clear demand, so ⊤ is sound.
+            NodeKind::Load { .. } => vec![u64::MAX],
+            NodeKind::Store { .. } => vec![read(&mask, nid, 0) | read(&mask, nid, 1)],
             NodeKind::Output { .. } => vec![read(&mask, nid, 0)],
         };
         let mut changed = false;
@@ -241,7 +260,16 @@ pub(crate) fn liveness(h: &Hierarchy, g: &Dfg, deps: &[Vec<u64>]) -> Vec<Vec<boo
     let mut queued = vec![false; n];
     let mut worklist: VecDeque<NodeId> = VecDeque::new();
     for nid in g.node_ids() {
-        if matches!(g.node(nid).kind(), NodeKind::Output { .. }) {
+        // Stores and memory-bound calls are observable side effects: they
+        // demand their operands whether or not any data edge leads to an
+        // output, exactly like dead-code elimination roots them.
+        let node = g.node(nid);
+        let effectful = matches!(
+            node.kind(),
+            NodeKind::Output { .. } | NodeKind::Store { .. }
+        ) || (matches!(node.kind(), NodeKind::Hier { .. })
+            && !node.mem_binds().is_empty());
+        if effectful {
             queued[nid.index()] = true;
             worklist.push_back(nid);
         }
@@ -260,6 +288,11 @@ pub(crate) fn liveness(h: &Hierarchy, g: &Dfg, deps: &[Vec<u64>]) -> Vec<Vec<boo
                     vec![]
                 }
             }
+            // A memory-bound call's internal accesses may consume any
+            // argument (addresses, data), so every input stays demanded.
+            NodeKind::Hier { callee } if !g.node(nid).mem_binds().is_empty() => {
+                (0..h.in_arity(*callee) as u16).collect()
+            }
             NodeKind::Hier { callee } => {
                 let callee_deps = &deps[callee.index()];
                 (0..h.in_arity(*callee) as u16)
@@ -275,6 +308,16 @@ pub(crate) fn liveness(h: &Hierarchy, g: &Dfg, deps: &[Vec<u64>]) -> Vec<Vec<boo
                             .any(|(o, &l)| l && callee_deps.get(o).copied().unwrap_or(0) & bit != 0)
                     })
                     .collect()
+            }
+            // A store always demands its address and data; a load's address
+            // is demanded only while its value is observable.
+            NodeKind::Store { .. } => vec![0, 1],
+            NodeKind::Load { .. } => {
+                if live[nid.index()][0] {
+                    vec![0]
+                } else {
+                    vec![]
+                }
             }
             NodeKind::Input { .. } | NodeKind::Const { .. } => vec![],
         };

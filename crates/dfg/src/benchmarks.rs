@@ -10,7 +10,7 @@
 //! the [`EquivClasses`] declaring which building-block DFGs are functionally
 //! interchangeable (consumed by move *A* of the synthesis engine).
 
-use crate::{Dfg, EquivClasses, Hierarchy, Operation, VarRef};
+use crate::{Dfg, EquivClasses, Hierarchy, MemObject, Operation, VarRef};
 
 /// A named benchmark behavior: hierarchy + declared building-block
 /// equivalences.
@@ -50,14 +50,22 @@ pub fn paper_suite() -> Vec<Benchmark> {
 }
 
 /// All benchmarks including extensions (`paulin` flat form, `fft4`,
-/// `wdf5`, `fir8`).
+/// `wdf5`, `fir8`) and the memory tier ([`memory_suite`]).
 pub fn all() -> Vec<Benchmark> {
     let mut v = paper_suite();
     v.push(paulin());
     v.push(fft4());
     v.push(wdf5());
     v.push(fir8());
+    v.extend(memory_suite());
     v
+}
+
+/// The memory-aware benchmark tier: behaviors whose state lives in
+/// explicitly banked memories (loads, stores, parent/callee shared banks)
+/// rather than in delay edges — `matmul`, `fir_block`, `conv2d`.
+pub fn memory_suite() -> Vec<Benchmark> {
+    vec![matmul(), fir_block(), conv2d()]
 }
 
 /// Look up a benchmark by its table name.
@@ -654,6 +662,189 @@ pub fn fir8() -> Benchmark {
     Benchmark::checked("fir8", h, equiv)
 }
 
+// ---------------------------------------------------------------------------
+// Memory tier
+// ---------------------------------------------------------------------------
+
+/// Row/column dot product over two externally supplied matrix memories:
+/// `y = ma[ra0]*mb[rb0] + ma[ra1]*mb[rb1]`.
+fn dot2_mem(name: &str) -> Dfg {
+    let mut g = Dfg::new(name);
+    let ma = g.add_mem(MemObject::external("ma", 4, 16));
+    let mb = g.add_mem(MemObject::external("mb", 4, 16));
+    let ra0 = g.add_input("ra0");
+    let ra1 = g.add_input("ra1");
+    let rb0 = g.add_input("rb0");
+    let rb1 = g.add_input("rb1");
+    let la0 = g.add_load(ma, "la0", ra0);
+    let la1 = g.add_load(ma, "la1", ra1);
+    let lb0 = g.add_load(mb, "lb0", rb0);
+    let lb1 = g.add_load(mb, "lb1", rb1);
+    let m0 = g.add_op(Operation::Mult, "m0", &[la0, lb0]);
+    let m1 = g.add_op(Operation::Mult, "m1", &[la1, lb1]);
+    let y = g.add_op(Operation::Add, "y", &[m0, m1]);
+    g.add_output("y_out", y);
+    g
+}
+
+/// Memory tier: 2x2 matrix multiply. The operand matrices are stored
+/// row-major into two owned two-bank memories, and each result element is a
+/// `dot2` call accessing both matrices through shared-bank bindings.
+pub fn matmul() -> Benchmark {
+    let mut h = Hierarchy::new();
+    let dot2 = h.add_dfg(dot2_mem("dot2"));
+    let mut top = Dfg::new("matmul");
+    let ma = top.add_mem(MemObject::owned("ma", 4, 16).with_banks(2));
+    let mb = top.add_mem(MemObject::owned("mb", 4, 16).with_banks(2));
+    let a: Vec<VarRef> = (0..4)
+        .map(|i| top.add_input(format!("a{}{}", i / 2, i % 2)))
+        .collect();
+    let b: Vec<VarRef> = (0..4)
+        .map(|i| top.add_input(format!("b{}{}", i / 2, i % 2)))
+        .collect();
+    let addrs: Vec<VarRef> = (0..4)
+        .map(|i| top.add_const(format!("w{i}"), i as i64))
+        .collect();
+    for i in 0..4 {
+        top.add_store(ma, format!("sta{i}"), addrs[i], a[i]);
+    }
+    for i in 0..4 {
+        top.add_store(mb, format!("stb{i}"), addrs[i], b[i]);
+    }
+    // c[i][j] = a[i][0]*b[0][j] + a[i][1]*b[1][j]; row-major word indices.
+    for i in 0..2usize {
+        for j in 0..2usize {
+            let ops = [addrs[2 * i], addrs[2 * i + 1], addrs[j], addrs[2 + j]];
+            let node = top.add_hier_with_mems(dot2, format!("c{i}{j}"), &ops, &[ma, mb]);
+            top.add_output(format!("c{i}{j}_out"), top.hier_out(node, 0));
+        }
+    }
+    let top_id = h.add_dfg(top);
+    h.set_top(top_id);
+    Benchmark::checked("matmul", h, EquivClasses::new())
+}
+
+/// One FIR tap over an externally supplied delay-line memory:
+/// `y = dline[addr] * c`.
+fn tap_mem(name: &str) -> Dfg {
+    let mut g = Dfg::new(name);
+    let dline = g.add_mem(MemObject::external("dline", 8, 16));
+    let addr = g.add_input("addr");
+    let c = g.add_input("c");
+    let l = g.add_load(dline, "l", addr);
+    let y = g.add_op(Operation::Mult, "y", &[l, c]);
+    g.add_output("y_out", y);
+    g
+}
+
+/// Memory tier: 4-tap block FIR whose delay line is an owned dual-port
+/// two-bank memory written by the parent and read by `tap` callees through
+/// shared-bank bindings — the parent store and the callee loads of one
+/// iteration must stay in lockstep.
+pub fn fir_block() -> Benchmark {
+    let mut h = Hierarchy::new();
+    let tap = h.add_dfg(tap_mem("tap"));
+    let mut top = Dfg::new("fir_block");
+    let dline = top.add_mem(MemObject::owned("dline", 8, 16).with_ports(2).with_banks(2));
+    let x = top.add_input("x");
+    let one = top.add_const("one", 1);
+    // Write pointer advances once per iteration; addresses wrap mod 8.
+    let ptr = top.add_op_detached(Operation::Add, "ptr");
+    let ptrv = VarRef::new(ptr, 0);
+    top.connect(ptrv, ptr, 0, 1);
+    top.connect(one, ptr, 1, 0);
+    top.add_store(dline, "st", ptrv, x);
+    let coeffs = [3i64, -1, 4, 2];
+    let mut sum: Option<VarRef> = None;
+    for (k, &cv) in coeffs.iter().enumerate() {
+        let c = top.add_const(format!("c{k}"), cv);
+        let addr = if k == 0 {
+            ptrv
+        } else {
+            let d = top.add_const(format!("d{k}"), k as i64);
+            top.add_op(Operation::Sub, format!("ad{k}"), &[ptrv, d])
+        };
+        let node = top.add_hier_with_mems(tap, format!("tap{k}"), &[addr, c], &[dline]);
+        let t = top.hier_out(node, 0);
+        sum = Some(match sum {
+            None => t,
+            Some(s) => top.add_op(Operation::Add, format!("s{k}"), &[s, t]),
+        });
+    }
+    top.add_output("y", sum.expect("4 taps"));
+    let top_id = h.add_dfg(top);
+    h.set_top(top_id);
+    Benchmark::checked("fir_block", h, EquivClasses::new())
+}
+
+/// Three-pixel multiply-accumulate over an externally supplied image
+/// memory: `y = img[a0]*c0 + img[a1]*c1 + img[a2]*c2`.
+fn mac3_mem(name: &str) -> Dfg {
+    let mut g = Dfg::new(name);
+    let img = g.add_mem(MemObject::external("img", 16, 16));
+    let addrs: Vec<VarRef> = (0..3).map(|i| g.add_input(format!("a{i}"))).collect();
+    let cs: Vec<VarRef> = (0..3).map(|i| g.add_input(format!("c{i}"))).collect();
+    let mut sum: Option<VarRef> = None;
+    for i in 0..3 {
+        let l = g.add_load(img, format!("l{i}"), addrs[i]);
+        let m = g.add_op(Operation::Mult, format!("m{i}"), &[l, cs[i]]);
+        sum = Some(match sum {
+            None => m,
+            Some(s) => g.add_op(Operation::Add, format!("s{i}"), &[s, m]),
+        });
+    }
+    g.add_output("y_out", sum.expect("3 pixels"));
+    g
+}
+
+/// Memory tier: 3x3 convolution over a streamed 4x4 image ring buffer. Each
+/// iteration stores one pixel into an owned dual-port two-bank memory and
+/// accumulates the kernel window as three `mac3` row calls sharing the
+/// image banks with the parent's write.
+pub fn conv2d() -> Benchmark {
+    let mut h = Hierarchy::new();
+    let mac3 = h.add_dfg(mac3_mem("mac3"));
+    let mut top = Dfg::new("conv2d");
+    let img = top.add_mem(MemObject::owned("img", 16, 16).with_ports(2).with_banks(2));
+    let px = top.add_input("px");
+    let one = top.add_const("one", 1);
+    let ptr = top.add_op_detached(Operation::Add, "ptr");
+    let ptrv = VarRef::new(ptr, 0);
+    top.connect(ptrv, ptr, 0, 1);
+    top.connect(one, ptr, 1, 0);
+    top.add_store(img, "st", ptrv, px);
+    // 3x3 binomial kernel; window addresses trail the write pointer by
+    // r*4 + c in the row-major 4x4 ring.
+    let kernel = [[1i64, 2, 1], [2, 4, 2], [1, 2, 1]];
+    let mut sum: Option<VarRef> = None;
+    for (r, row) in kernel.iter().enumerate() {
+        let mut ops = Vec::with_capacity(6);
+        for c in 0..3usize {
+            let off = (r * 4 + c) as i64;
+            let addr = if off == 0 {
+                ptrv
+            } else {
+                let d = top.add_const(format!("o{r}{c}"), off);
+                top.add_op(Operation::Sub, format!("ar{r}{c}"), &[ptrv, d])
+            };
+            ops.push(addr);
+        }
+        for (c, &kv) in row.iter().enumerate() {
+            ops.push(top.add_const(format!("k{r}{c}"), kv));
+        }
+        let node = top.add_hier_with_mems(mac3, format!("row{r}"), &ops, &[img]);
+        let t = top.hier_out(node, 0);
+        sum = Some(match sum {
+            None => t,
+            Some(s) => top.add_op(Operation::Add, format!("acc{r}"), &[s, t]),
+        });
+    }
+    top.add_output("y", sum.expect("3 rows"));
+    let top_id = h.add_dfg(top);
+    h.set_top(top_id);
+    Benchmark::checked("conv2d", h, EquivClasses::new())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -666,6 +857,58 @@ mod tests {
                 .unwrap_or_else(|e| panic!("{}: {e}", b.name));
             assert!(b.hierarchy.try_top().is_some());
         }
+    }
+
+    #[test]
+    fn memory_suite_registered() {
+        let names: Vec<&str> = memory_suite().iter().map(|b| b.name).collect();
+        assert_eq!(names, ["matmul", "fir_block", "conv2d"]);
+        for n in names {
+            assert!(by_name(n).is_some(), "{n} not reachable via by_name");
+        }
+    }
+
+    #[test]
+    fn matmul_matches_reference() {
+        let b = matmul();
+        let flat = b.hierarchy.flatten();
+        assert_eq!(flat.mem_count(), 2, "A and B merge into two flat memories");
+        // A = [[1,2],[3,4]], B = [[5,6],[7,8]] => C = [[19,22],[43,50]].
+        let inputs: Vec<Vec<i64>> = [1, 2, 3, 4, 5, 6, 7, 8].iter().map(|&v| vec![v]).collect();
+        let outs = crate::eval::reference_outputs(&flat, &inputs, 16);
+        assert_eq!(outs, vec![vec![19], vec![22], vec![43], vec![50]]);
+    }
+
+    #[test]
+    fn fir_block_matches_reference() {
+        let b = fir_block();
+        let flat = b.hierarchy.flatten();
+        assert_eq!(flat.mem_count(), 1, "taps share the parent delay line");
+        let loads = flat
+            .nodes()
+            .filter(|(_, n)| matches!(n.kind(), crate::NodeKind::Load { .. }))
+            .count();
+        assert_eq!(loads, 4);
+        // Ring pointer starts at 1; taps read ptr, ptr-1, ptr-2, ptr-3 with
+        // coefficients [3, -1, 4, 2] over an initially zero line.
+        let outs = crate::eval::reference_outputs(&flat, &[vec![10, 20, 30]], 16);
+        assert_eq!(outs, vec![vec![30, 50, 110]]);
+    }
+
+    #[test]
+    fn conv2d_matches_reference() {
+        let b = conv2d();
+        let flat = b.hierarchy.flatten();
+        assert_eq!(flat.mem_count(), 1, "mac3 rows share the image ring");
+        let loads = flat
+            .nodes()
+            .filter(|(_, n)| matches!(n.kind(), crate::NodeKind::Load { .. }))
+            .count();
+        assert_eq!(loads, 9);
+        // After two pixels only the k00/k01 window cells are nonzero:
+        // y0 = px0, y1 = px1 + 2*px0.
+        let outs = crate::eval::reference_outputs(&flat, &[vec![10, 20]], 16);
+        assert_eq!(outs, vec![vec![10, 40]]);
     }
 
     #[test]

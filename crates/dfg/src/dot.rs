@@ -23,6 +23,8 @@ pub fn dfg_to_dot(h: &Hierarchy, g: &Dfg) -> String {
                 "doubleoctagon",
                 format!("{}\\n[{}]", node.name(), h.dfg(*callee).name()),
             ),
+            NodeKind::Load { mem } => ("house", format!("ld {}[..]", g.mem(*mem).name)),
+            NodeKind::Store { mem } => ("invhouse", format!("st {}[..]", g.mem(*mem).name)),
         };
         let _ = writeln!(
             out,
@@ -68,6 +70,8 @@ pub fn hierarchy_to_dot(h: &Hierarchy) -> String {
                 NodeKind::Const { value } => ("box", format!("{value}")),
                 NodeKind::Op(op) => ("circle", op.mnemonic().to_owned()),
                 NodeKind::Hier { callee } => ("doubleoctagon", h.dfg(*callee).name().to_owned()),
+                NodeKind::Load { mem } => ("house", format!("ld {}", g.mem(*mem).name)),
+                NodeKind::Store { mem } => ("invhouse", format!("st {}", g.mem(*mem).name)),
             };
             let _ = writeln!(
                 out,

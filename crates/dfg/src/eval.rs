@@ -44,11 +44,17 @@ pub fn reference_outputs(flat: &Dfg, inputs: &[Vec<i64>], width: u32) -> Vec<Vec
         "input streams must have equal lengths"
     );
 
-    let order = crate::analysis::topo_order(flat).expect("acyclic zero-delay subgraph");
+    let order = crate::mem::mem_topo_order(flat).expect("acyclic zero-delay subgraph");
     let max_delay = flat.edges().map(|(_, e)| e.delay).max().unwrap_or(0);
     // hist[(node, port, k)] = value of that variable k iterations ago.
     let mut hist: HashMap<(NodeId, u16, u32), i64> = HashMap::new();
     let mut outs = vec![Vec::with_capacity(len); flat.output_count()];
+    // One flat word array per memory, zero-initialized, persisting across
+    // iterations (memories are state, like delay lines).
+    let mut mems: Vec<Vec<i64>> = flat
+        .mems()
+        .map(|(_, m)| vec![0i64; m.words.max(1) as usize])
+        .collect();
 
     // `n` indexes every input stream, not one slice — the lint's
     // iterator rewrite does not apply.
@@ -81,6 +87,21 @@ pub fn reference_outputs(flat: &Dfg, inputs: &[Vec<i64>], width: u32) -> Vec<Vec
                     let v = read(&vals, &hist, flat.driver(nid, 0).expect("driven output"));
                     outs[*index].push(v);
                     v
+                }
+                NodeKind::Load { mem } => {
+                    let addr = read(&vals, &hist, flat.driver(nid, 0).expect("driven address"));
+                    let words = mems[mem.index()].len();
+                    let v = mems[mem.index()][addr.rem_euclid(words as i64) as usize];
+                    truncate(v, width)
+                }
+                NodeKind::Store { mem } => {
+                    let addr = read(&vals, &hist, flat.driver(nid, 0).expect("driven address"));
+                    let data = read(&vals, &hist, flat.driver(nid, 1).expect("driven data"));
+                    let m = flat.mem(*mem);
+                    let stored = truncate(data, m.elem_width.min(width));
+                    let words = mems[mem.index()].len();
+                    mems[mem.index()][addr.rem_euclid(words as i64) as usize] = stored;
+                    stored
                 }
                 NodeKind::Hier { .. } => {
                     panic!(
@@ -164,6 +185,71 @@ mod tests {
         g.add_output("y", s);
         let outs = reference_outputs(&g, &[vec![10]], 16);
         assert_eq!(outs, vec![vec![11]]);
+    }
+
+    #[test]
+    fn store_then_load_same_iteration() {
+        // mem[0] = x; y = mem[0] + mem[1]  (mem[1] never written → 0)
+        let mut g = Dfg::new("m");
+        let m = g.add_mem(crate::MemObject::owned("buf", 4, 16));
+        let x = g.add_input("x");
+        let a0 = g.add_const("a0", 0);
+        let a1 = g.add_const("a1", 1);
+        g.add_store(m, "st", a0, x);
+        let l0 = g.add_load(m, "l0", a0);
+        let l1 = g.add_load(m, "l1", a1);
+        let s = g.add_op(Operation::Add, "s", &[l0, l1]);
+        g.add_output("y", s);
+        let outs = reference_outputs(&g, &[vec![5, -3, 12]], 16);
+        assert_eq!(outs, vec![vec![5, -3, 12]]);
+    }
+
+    #[test]
+    fn memory_state_persists_across_iterations() {
+        // Delay line of length 2 via a wrapping pointer:
+        //   ptr = (ptr@1 + 1); store buf[ptr] = x; y = buf[ptr - 1]
+        // With buf sized 2 and addresses wrapping modulo words, y = x[n-1].
+        let mut g = Dfg::new("dline");
+        let x = g.add_input("x");
+        let one = g.add_const("one", 1);
+        let ptr = g.add_op_detached(Operation::Add, "ptr");
+        g.connect(one, ptr, 0, 0);
+        g.connect(VarRef::new(ptr, 0), ptr, 1, 1);
+        let m = g.add_mem(crate::MemObject::owned("buf", 2, 16));
+        g.add_store(m, "st", VarRef::new(ptr, 0), x);
+        let prev = g.add_op(Operation::Sub, "prev", &[VarRef::new(ptr, 0), one]);
+        let l = g.add_load(m, "l", prev);
+        g.add_output("y", l);
+        let outs = reference_outputs(&g, &[vec![10, 20, 30, 40]], 16);
+        assert_eq!(outs, vec![vec![0, 10, 20, 30]]);
+    }
+
+    #[test]
+    fn stores_truncate_to_element_width() {
+        // elem_width 4: storing 0x1F keeps the low nibble, sign-extended.
+        let mut g = Dfg::new("tw");
+        let m = g.add_mem(crate::MemObject::owned("nib", 2, 4));
+        let x = g.add_input("x");
+        let a0 = g.add_const("a0", 0);
+        g.add_store(m, "st", a0, x);
+        let l = g.add_load(m, "l", a0);
+        g.add_output("y", l);
+        let outs = reference_outputs(&g, &[vec![0x1F, 7]], 16);
+        assert_eq!(outs, vec![vec![-1, 7]]);
+    }
+
+    #[test]
+    fn addresses_wrap_modulo_words() {
+        let mut g = Dfg::new("wrap");
+        let m = g.add_mem(crate::MemObject::owned("a", 4, 16));
+        let x = g.add_input("x");
+        let a6 = g.add_const("a6", 6); // 6 mod 4 == 2
+        let a2 = g.add_const("a2", 2);
+        g.add_store(m, "st", a6, x);
+        let l = g.add_load(m, "l", a2);
+        g.add_output("y", l);
+        let outs = reference_outputs(&g, &[vec![9]], 16);
+        assert_eq!(outs, vec![vec![9]]);
     }
 
     #[test]

@@ -34,6 +34,103 @@ impl fmt::Display for NodeId {
     }
 }
 
+/// Identifier of a [`MemObject`] within one [`Dfg`].
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct MemId(u32);
+
+impl MemId {
+    pub(crate) fn new(index: usize) -> Self {
+        MemId(u32::try_from(index).expect("memory count fits in u32"))
+    }
+
+    /// Position of the memory in [`Dfg::mems`] iteration order.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Reconstruct a memory id from its dense index (see
+    /// [`NodeId::from_index`]).
+    pub fn from_index(index: usize) -> Self {
+        MemId::new(index)
+    }
+}
+
+impl fmt::Display for MemId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+/// Ownership of a memory relative to the DFG declaring it.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum MemScope {
+    /// The DFG owns the storage: one physical memory instance is
+    /// materialized per RTL instantiation, state persisting across sample
+    /// iterations.
+    Owned,
+    /// The memory is part of the DFG's call interface: every hierarchical
+    /// node invoking this DFG must bind a compatible memory of the caller
+    /// (its own, or in turn external). External memories of a DFG, in
+    /// declaration order, form its memory interface.
+    External,
+}
+
+/// A first-class memory of a DFG: an addressable array accessed through
+/// [`NodeKind::Load`] / [`NodeKind::Store`] nodes.
+///
+/// `ports` and `banks` do not change behavioral semantics (state is one
+/// flat array); they constrain scheduling (at most `ports` same-bank
+/// accesses may issue per cycle) and drive the area/power pricing.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct MemObject {
+    /// Human-readable name.
+    pub name: String,
+    /// Number of addressable words. Addresses wrap modulo `words`.
+    pub words: u32,
+    /// Element width in bits; stored values are truncated to this width.
+    pub elem_width: u32,
+    /// Simultaneous same-bank accesses allowed per cycle.
+    pub ports: u32,
+    /// Bank count; word `w` lives in bank `w % banks`.
+    pub banks: u32,
+    /// Whether the DFG owns the storage or imports it from its caller.
+    pub scope: MemScope,
+}
+
+impl MemObject {
+    /// A single-ported, single-banked owned memory.
+    pub fn owned(name: impl Into<String>, words: u32, elem_width: u32) -> Self {
+        MemObject {
+            name: name.into(),
+            words,
+            elem_width,
+            ports: 1,
+            banks: 1,
+            scope: MemScope::Owned,
+        }
+    }
+
+    /// A single-ported, single-banked external (interface) memory.
+    pub fn external(name: impl Into<String>, words: u32, elem_width: u32) -> Self {
+        MemObject {
+            scope: MemScope::External,
+            ..MemObject::owned(name, words, elem_width)
+        }
+    }
+
+    /// Builder-style port count override.
+    pub fn with_ports(mut self, ports: u32) -> Self {
+        self.ports = ports;
+        self
+    }
+
+    /// Builder-style bank count override.
+    pub fn with_banks(mut self, banks: u32) -> Self {
+        self.banks = banks;
+        self
+    }
+}
+
 /// Identifier of an edge within one [`Dfg`].
 #[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
 pub struct EdgeId(u32);
@@ -104,6 +201,19 @@ pub enum NodeKind {
     },
     /// A primitive operation.
     Op(Operation),
+    /// A memory read: input port 0 is the address, output port 0 the loaded
+    /// value (available one cycle after issue, like a synchronous SRAM).
+    Load {
+        /// The memory read from.
+        mem: MemId,
+    },
+    /// A memory write: input port 0 is the address, port 1 the data. Stores
+    /// produce no value; ordering against other accesses of the same memory
+    /// follows node insertion order (program order).
+    Store {
+        /// The memory written to.
+        mem: MemId,
+    },
     /// A hierarchical node: an invocation of another DFG in the hierarchy.
     Hier {
         /// The DFG this node invokes.
@@ -112,10 +222,25 @@ pub enum NodeKind {
 }
 
 impl NodeKind {
-    /// `true` for [`NodeKind::Op`] and [`NodeKind::Hier`] — the nodes that
-    /// consume schedule time and get bound to hardware.
+    /// `true` for [`NodeKind::Op`], [`NodeKind::Load`], [`NodeKind::Store`]
+    /// and [`NodeKind::Hier`] — the nodes that consume schedule time and get
+    /// bound to hardware.
     pub fn is_schedulable(&self) -> bool {
-        matches!(self, NodeKind::Op(_) | NodeKind::Hier { .. })
+        matches!(
+            self,
+            NodeKind::Op(_)
+                | NodeKind::Load { .. }
+                | NodeKind::Store { .. }
+                | NodeKind::Hier { .. }
+        )
+    }
+
+    /// The memory this node accesses directly, if it is a load or store.
+    pub fn mem_access(&self) -> Option<MemId> {
+        match self {
+            NodeKind::Load { mem } | NodeKind::Store { mem } => Some(*mem),
+            _ => None,
+        }
     }
 }
 
@@ -124,6 +249,10 @@ impl NodeKind {
 pub struct Node {
     kind: NodeKind,
     name: String,
+    /// For hierarchical nodes: caller memories bound to the callee's
+    /// external memories, in the callee's declaration order. Empty for
+    /// every other node kind.
+    mem_binds: Vec<MemId>,
 }
 
 impl Node {
@@ -135,6 +264,12 @@ impl Node {
     /// Human-readable name (unique names are conventional, not enforced).
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// Caller memories bound to the callee's external memories (hierarchical
+    /// nodes only; empty otherwise).
+    pub fn mem_binds(&self) -> &[MemId] {
+        &self.mem_binds
     }
 }
 
@@ -166,6 +301,7 @@ pub struct Dfg {
     edges: Vec<Edge>,
     inputs: Vec<NodeId>,
     outputs: Vec<NodeId>,
+    mems: Vec<MemObject>,
     /// Lazily-built CSR adjacency (see [`Adjacency`]). Derived data: never
     /// compared, never cloned, dropped on any node/edge mutation.
     adj: OnceLock<Adjacency>,
@@ -181,6 +317,7 @@ impl Clone for Dfg {
             edges: self.edges.clone(),
             inputs: self.inputs.clone(),
             outputs: self.outputs.clone(),
+            mems: self.mems.clone(),
             adj: OnceLock::new(),
         }
     }
@@ -194,6 +331,7 @@ impl PartialEq for Dfg {
             && self.edges == other.edges
             && self.inputs == other.inputs
             && self.outputs == other.outputs
+            && self.mems == other.mems
     }
 }
 
@@ -205,6 +343,7 @@ impl fmt::Debug for Dfg {
             .field("edges", &self.edges)
             .field("inputs", &self.inputs)
             .field("outputs", &self.outputs)
+            .field("mems", &self.mems)
             .finish()
     }
 }
@@ -218,6 +357,7 @@ impl Dfg {
             edges: Vec::new(),
             inputs: Vec::new(),
             outputs: Vec::new(),
+            mems: Vec::new(),
             adj: OnceLock::new(),
         }
     }
@@ -364,6 +504,91 @@ impl Dfg {
             .find(|e| e.to == node && e.to_port == port)
     }
 
+    /// Number of memory objects.
+    pub fn mem_count(&self) -> usize {
+        self.mems.len()
+    }
+
+    /// Access a memory object.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this DFG.
+    pub fn mem(&self, id: MemId) -> &MemObject {
+        &self.mems[id.index()]
+    }
+
+    /// Iterate over `(id, memory)` pairs in declaration order.
+    pub fn mems(&self) -> impl ExactSizeIterator<Item = (MemId, &MemObject)> + '_ {
+        self.mems
+            .iter()
+            .enumerate()
+            .map(|(i, m)| (MemId::new(i), m))
+    }
+
+    /// The DFG's memory interface: external memories in declaration order.
+    /// Hierarchical nodes invoking this DFG bind one caller memory per entry.
+    pub fn external_mems(&self) -> Vec<MemId> {
+        self.mems()
+            .filter(|(_, m)| m.scope == MemScope::External)
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// Declare a memory object; returns its id.
+    pub fn add_mem(&mut self, mem: MemObject) -> MemId {
+        let id = MemId::new(self.mems.len());
+        self.mems.push(mem);
+        id
+    }
+
+    /// Set the bank count of memory `id`, returning the previous count —
+    /// the undo record a transactional caller replays to reverse the
+    /// reassignment. Banks affect scheduling and cost only, never behavior,
+    /// so (like [`Dfg::replace_hier_callee`]) the adjacency cache survives.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not in this DFG or `banks` is 0.
+    pub fn set_mem_banks(&mut self, id: MemId, banks: u32) -> u32 {
+        assert!(banks >= 1, "memory needs at least one bank");
+        std::mem::replace(&mut self.mems[id.index()].banks, banks)
+    }
+
+    /// Add a load node reading `mem` at `addr`; returns the loaded variable.
+    pub fn add_load(&mut self, mem: MemId, name: impl Into<String>, addr: VarRef) -> VarRef {
+        let id = self.push_node(NodeKind::Load { mem }, name);
+        self.connect(addr, id, 0, 0);
+        VarRef::new(id, 0)
+    }
+
+    /// Add a store node writing `data` to `mem` at `addr`; returns the node.
+    pub fn add_store(
+        &mut self,
+        mem: MemId,
+        name: impl Into<String>,
+        addr: VarRef,
+        data: VarRef,
+    ) -> NodeId {
+        let id = self.push_node(NodeKind::Store { mem }, name);
+        self.connect(addr, id, 0, 0);
+        self.connect(data, id, 1, 0);
+        id
+    }
+
+    /// Add a load node with *no* ports connected yet (used by the
+    /// flattener); connect port 0 (address) later with [`Dfg::connect`].
+    pub fn add_load_detached(&mut self, mem: MemId, name: impl Into<String>) -> NodeId {
+        self.push_node(NodeKind::Load { mem }, name)
+    }
+
+    /// Add a store node with *no* ports connected yet (used by the
+    /// flattener); connect port 0 (address) and port 1 (data) later with
+    /// [`Dfg::connect`].
+    pub fn add_store_detached(&mut self, mem: MemId, name: impl Into<String>) -> NodeId {
+        self.push_node(NodeKind::Store { mem }, name)
+    }
+
     /// Add a primary input; returns the variable it produces.
     pub fn add_input(&mut self, name: impl Into<String>) -> VarRef {
         let index = self.inputs.len();
@@ -417,7 +642,22 @@ impl Dfg {
         name: impl Into<String>,
         operands: &[VarRef],
     ) -> NodeId {
+        self.add_hier_with_mems(callee, name, operands, &[])
+    }
+
+    /// [`add_hier`](Self::add_hier) binding caller memories to the callee's
+    /// external memories (`mem_binds[i]` serves the callee's i-th external
+    /// memory). Arity and compatibility are checked by
+    /// [`Hierarchy::validate`](crate::Hierarchy::validate).
+    pub fn add_hier_with_mems(
+        &mut self,
+        callee: DfgId,
+        name: impl Into<String>,
+        operands: &[VarRef],
+        mem_binds: &[MemId],
+    ) -> NodeId {
         let id = self.push_node(NodeKind::Hier { callee }, name);
+        self.nodes[id.index()].mem_binds = mem_binds.to_vec();
         for (port, &src) in operands.iter().enumerate() {
             self.connect(src, id, port as u16, 0);
         }
@@ -501,7 +741,8 @@ impl Dfg {
     ) -> usize {
         match self.node(node).kind() {
             NodeKind::Input { .. } | NodeKind::Const { .. } => 0,
-            NodeKind::Output { .. } => 1,
+            NodeKind::Output { .. } | NodeKind::Load { .. } => 1,
+            NodeKind::Store { .. } => 2,
             NodeKind::Op(op) => op.arity(),
             NodeKind::Hier { callee } => hier_in_arity(*callee),
         }
@@ -515,8 +756,8 @@ impl Dfg {
     ) -> usize {
         match self.node(node).kind() {
             NodeKind::Input { .. } | NodeKind::Const { .. } => 1,
-            NodeKind::Output { .. } => 0,
-            NodeKind::Op(_) => 1,
+            NodeKind::Output { .. } | NodeKind::Store { .. } => 0,
+            NodeKind::Op(_) | NodeKind::Load { .. } => 1,
             NodeKind::Hier { callee } => hier_out_arity(*callee),
         }
     }
@@ -535,6 +776,7 @@ impl Dfg {
         self.nodes.push(Node {
             kind,
             name: name.into(),
+            mem_binds: Vec::new(),
         });
         id
     }

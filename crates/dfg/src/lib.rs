@@ -20,6 +20,8 @@
 //! * [`EquivClasses`]: user-declared functional equivalence between DFGs
 //!   ("building blocks" such as dot products or butterflies), consumed by
 //!   move *A* of the synthesis engine;
+//! * first-class memories ([`MemObject`], [`NodeKind::Load`]/[`NodeKind::Store`])
+//!   with program-order dependence derivation and bank mapping ([`mem`]);
 //! * a small textual format ([`text`]) with a parser and printer;
 //! * a reference evaluator for flattened DFGs ([`eval`]), the shared
 //!   behavioral oracle for the simulators and the co-simulation tests;
@@ -59,6 +61,7 @@ mod equiv;
 pub mod eval;
 mod graph;
 mod hierarchy;
+pub mod mem;
 mod op;
 pub mod text;
 pub mod transform;
@@ -66,6 +69,7 @@ pub mod transform;
 pub use csr::Adjacency;
 pub use equiv::EquivClasses;
 pub use eval::reference_outputs;
-pub use graph::{Dfg, Edge, EdgeId, Node, NodeId, NodeKind, VarRef};
+pub use graph::{Dfg, Edge, EdgeId, MemId, MemObject, MemScope, Node, NodeId, NodeKind, VarRef};
 pub use hierarchy::{DfgId, Hierarchy, HierarchyError};
+pub use mem::{bank_of, const_address, mem_order_pairs, mem_topo_order};
 pub use op::Operation;

@@ -1,0 +1,235 @@
+//! Memory access ordering and bank analysis.
+//!
+//! Loads and stores carry no data edges between each other, so the graph
+//! alone does not order them. Their semantics follow *program order* (node
+//! insertion order): [`mem_order_pairs`] materializes the minimal dependence
+//! pairs — every access depends on the last store of its memory, and every
+//! store depends on the accesses since the previous store — which the
+//! scheduler consumes as serialization edges and [`mem_topo_order`] folds
+//! into a topological order for behavioral evaluation. Hierarchical nodes
+//! with memory bindings count as read-write accesses of every bound memory,
+//! which is what keeps parent and callee accesses to a shared bank in
+//! lockstep.
+
+use crate::analysis::CycleError;
+use crate::graph::{Dfg, MemId, MemObject, NodeId, NodeKind};
+
+/// How a node touches a memory.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+enum Access {
+    Read,
+    Write,
+}
+
+/// All `(node, access)` pairs touching `mem`, in program (node-id) order.
+fn accesses_of(g: &Dfg, mem: MemId) -> Vec<(NodeId, Access)> {
+    let mut out = Vec::new();
+    for (nid, node) in g.nodes() {
+        match node.kind() {
+            NodeKind::Load { mem: m } if *m == mem => out.push((nid, Access::Read)),
+            NodeKind::Store { mem: m } if *m == mem => out.push((nid, Access::Write)),
+            // A callee bound to the memory may both read and write it.
+            NodeKind::Hier { .. } if node.mem_binds().contains(&mem) => {
+                out.push((nid, Access::Write));
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// The memory dependence pairs of `g`: for each memory, in program order,
+/// each access depends on the last write and each write depends on every
+/// access since the previous write. Pairs are `(predecessor, successor)`
+/// and deterministic (memories in declaration order, accesses in node-id
+/// order).
+pub fn mem_order_pairs(g: &Dfg) -> Vec<(NodeId, NodeId)> {
+    let mut pairs = Vec::new();
+    for (mid, _) in g.mems() {
+        let mut last_writer: Option<NodeId> = None;
+        let mut readers_since: Vec<NodeId> = Vec::new();
+        for (nid, access) in accesses_of(g, mid) {
+            match access {
+                Access::Read => {
+                    if let Some(w) = last_writer {
+                        pairs.push((w, nid));
+                    }
+                    readers_since.push(nid);
+                }
+                Access::Write => {
+                    if readers_since.is_empty() {
+                        if let Some(w) = last_writer {
+                            pairs.push((w, nid));
+                        }
+                    } else {
+                        for &r in &readers_since {
+                            pairs.push((r, nid));
+                        }
+                    }
+                    last_writer = Some(nid);
+                    readers_since.clear();
+                }
+            }
+        }
+    }
+    pairs
+}
+
+/// Topological order of `g` over zero-delay data edges *plus* the memory
+/// dependence pairs of [`mem_order_pairs`] — the iteration order behavioral
+/// evaluation must use so same-iteration stores are visible to later loads.
+///
+/// # Errors
+///
+/// Returns [`CycleError`] if the combined dependence relation is cyclic
+/// (e.g. a load feeding, through data edges, a store that program order
+/// places before it).
+pub fn mem_topo_order(g: &Dfg) -> Result<Vec<NodeId>, CycleError> {
+    let pairs = mem_order_pairs(g);
+    if pairs.is_empty() {
+        return crate::analysis::topo_order(g);
+    }
+    let n = g.node_count();
+    let mut indeg = vec![0usize; n];
+    let mut extra_out: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+    for (_, e) in g.edges() {
+        if e.delay == 0 {
+            indeg[e.to.index()] += 1;
+        }
+    }
+    for &(a, b) in &pairs {
+        indeg[b.index()] += 1;
+        extra_out[a.index()].push(b);
+    }
+    let adj = g.adj();
+    let mut queue: std::collections::VecDeque<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(i) = queue.pop_front() {
+        let nid = NodeId::from_index(i);
+        order.push(nid);
+        for &ei in adj.out_edge_indices(nid) {
+            let e = g.edge(crate::graph::EdgeId::from_index(ei as usize));
+            if e.delay == 0 {
+                let t = e.to.index();
+                indeg[t] -= 1;
+                if indeg[t] == 0 {
+                    queue.push_back(t);
+                }
+            }
+        }
+        for &b in &extra_out[i] {
+            let t = b.index();
+            indeg[t] -= 1;
+            if indeg[t] == 0 {
+                queue.push_back(t);
+            }
+        }
+    }
+    if order.len() != n {
+        return Err(CycleError);
+    }
+    Ok(order)
+}
+
+/// The compile-time address of access `node` if its address port is driven
+/// directly by a constant (after wrapping into the memory's word range).
+pub fn const_address(g: &Dfg, node: NodeId) -> Option<i64> {
+    let mem = g.node(node).kind().mem_access()?;
+    let e = g.driver(node, 0)?;
+    match g.node(e.from.node).kind() {
+        NodeKind::Const { value } if e.delay == 0 => {
+            Some(value.rem_euclid(i64::from(g.mem(mem).words.max(1))))
+        }
+        _ => None,
+    }
+}
+
+/// The bank a word address maps to: word `w` lives in bank `w % banks`.
+pub fn bank_of(mem: &MemObject, addr: i64) -> u32 {
+    (addr.rem_euclid(i64::from(mem.banks.max(1)))) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::MemObject;
+    use crate::Operation;
+
+    /// store a[0]=x; l1=a[0]; l2=a[1]; store a[1]=l1+l2
+    fn mem_chain() -> (Dfg, Vec<NodeId>) {
+        let mut g = Dfg::new("mc");
+        let m = g.add_mem(MemObject::owned("a", 4, 16));
+        let x = g.add_input("x");
+        let a0 = g.add_const("a0", 0);
+        let a1 = g.add_const("a1", 1);
+        let st0 = g.add_store(m, "st0", a0, x);
+        let l1 = g.add_load(m, "l1", a0);
+        let l2 = g.add_load(m, "l2", a1);
+        let s = g.add_op(Operation::Add, "s", &[l1, l2]);
+        let st1 = g.add_store(m, "st1", a1, s);
+        g.add_output("y", l1);
+        (g, vec![st0, l1.node, l2.node, st1])
+    }
+
+    #[test]
+    fn order_pairs_chain_through_stores() {
+        let (g, ids) = mem_chain();
+        let pairs = mem_order_pairs(&g);
+        // st0 -> l1, st0 -> l2, l1 -> st1, l2 -> st1.
+        assert_eq!(
+            pairs,
+            vec![
+                (ids[0], ids[1]),
+                (ids[0], ids[2]),
+                (ids[1], ids[3]),
+                (ids[2], ids[3]),
+            ]
+        );
+    }
+
+    #[test]
+    fn mem_topo_order_respects_program_order() {
+        let (g, ids) = mem_chain();
+        let order = mem_topo_order(&g).unwrap();
+        let pos = |n: NodeId| order.iter().position(|&x| x == n).unwrap();
+        assert!(pos(ids[0]) < pos(ids[1]));
+        assert!(pos(ids[2]) < pos(ids[3]));
+    }
+
+    #[test]
+    fn hier_bind_acts_as_write() {
+        let mut g = Dfg::new("h");
+        let m = g.add_mem(MemObject::owned("buf", 8, 16));
+        let a0 = g.add_const("a0", 0);
+        let x = g.add_input("x");
+        let st = g.add_store(m, "st", a0, x);
+        // Callee id is irrelevant to ordering; bind the memory.
+        let call = g.add_hier_with_mems(crate::DfgId::from_index(0), "f", &[x], &[m]);
+        let l = g.add_load(m, "l", a0);
+        g.add_output("y", l);
+        let pairs = mem_order_pairs(&g);
+        assert_eq!(pairs, vec![(st, call), (call, l.node)]);
+    }
+
+    #[test]
+    fn const_address_wraps_and_requires_const() {
+        let mut g = Dfg::new("ca");
+        let m = g.add_mem(MemObject::owned("a", 4, 16));
+        let k = g.add_const("k", 6);
+        let x = g.add_input("x");
+        let l1 = g.add_load(m, "l1", k);
+        let l2 = g.add_load(m, "l2", x);
+        let s = g.add_op(Operation::Add, "s", &[l1, l2]);
+        g.add_output("y", s);
+        assert_eq!(const_address(&g, l1.node), Some(2)); // 6 mod 4
+        assert_eq!(const_address(&g, l2.node), None);
+    }
+
+    #[test]
+    fn bank_mapping_is_modular() {
+        let m = MemObject::owned("a", 8, 16).with_banks(2);
+        assert_eq!(bank_of(&m, 0), 0);
+        assert_eq!(bank_of(&m, 3), 1);
+        assert_eq!(bank_of(&m, 6), 0);
+    }
+}

@@ -7,13 +7,21 @@
 //! dfg <name> {
 //!   input <name>
 //!   const <name> = <int>
+//!   mem <name> <words> [width <w>] [ports <p>] [banks <b>] [external]
 //!   <name> = <op> <operand> ...          # primitive operation
-//!   <name> = call <dfg-name> <operand> ...   # hierarchical node
+//!   <name> = load <mem-name> <operand>   # memory read (operand = address)
+//!   store <mem-name> <operand> <operand> # memory write (address, data)
+//!   <name> = call <dfg-name> <operand> ... [using <mem-name> ...]
 //!   output <name> = <operand>
 //! }
 //! top <dfg-name>
 //! equiv <dfg-name> <dfg-name> ...        # declare functional equivalence
 //! ```
+//!
+//! A memory marked `external` is part of the DFG's call interface: each
+//! call site binds one caller memory per callee external memory with
+//! `using`, in the callee's declaration order. Loads and stores execute in
+//! the order they appear in the block (program order).
 //!
 //! An operand is `<node-name>`, optionally with an output port suffix
 //! (`f.1`) and/or an inter-iteration delay suffix (`acc@1`). Forward
@@ -32,7 +40,10 @@
 //! parsed.hierarchy.validate().expect("well-formed");
 //! ```
 
-use crate::{Dfg, DfgId, EquivClasses, Hierarchy, NodeId, NodeKind, Operation, VarRef};
+use crate::{
+    Dfg, DfgId, EquivClasses, Hierarchy, MemId, MemObject, MemScope, NodeId, NodeKind, Operation,
+    VarRef,
+};
 use std::collections::HashMap;
 use std::fmt;
 use std::fmt::Write as _;
@@ -74,8 +85,21 @@ fn err<T>(line: usize, message: impl Into<String>) -> Result<T, ParseError> {
 enum Stmt {
     Input(String),
     Const(String, i64),
+    Mem {
+        name: String,
+        words: u32,
+        width: u32,
+        ports: u32,
+        banks: u32,
+        external: bool,
+    },
     Op(String, Operation, Vec<OperandTok>),
-    Call(String, String, Vec<OperandTok>),
+    /// `<name> = load <mem> <addr>`
+    Load(String, String, OperandTok),
+    /// `store <mem> <addr> <data>`
+    Store(String, OperandTok, OperandTok),
+    /// `<name> = call <dfg> <operands...> [using <mems...>]`
+    Call(String, String, Vec<OperandTok>, Vec<String>),
     Output(String, OperandTok),
 }
 
@@ -207,21 +231,98 @@ pub fn parse(src: &str) -> Result<Parsed, ParseError> {
     for b in &blocks {
         let gid = dfg_ids[&b.name];
         let mut names: HashMap<String, NodeId> = HashMap::new();
-        // Sub-pass A: nodes.
+        let mut mem_ids: HashMap<String, MemId> = HashMap::new();
+        // `store` statements have no name; remember their nodes by
+        // statement index for the connection pass.
+        let mut store_nodes: HashMap<usize, NodeId> = HashMap::new();
+        // Sub-pass A0: memories, so loads/stores may forward-reference them.
         {
             let g = hierarchy.dfg_mut(gid);
             for (lno, stmt) in &b.stmts {
+                if let Stmt::Mem {
+                    name,
+                    words,
+                    width,
+                    ports,
+                    banks,
+                    external,
+                } = stmt
+                {
+                    if mem_ids.contains_key(name) {
+                        return err(
+                            *lno,
+                            format!("duplicate memory name `{name}` in dfg `{}`", b.name),
+                        );
+                    }
+                    let m = if *external {
+                        MemObject::external(name.clone(), *words, *width)
+                    } else {
+                        MemObject::owned(name.clone(), *words, *width)
+                    };
+                    mem_ids.insert(
+                        name.clone(),
+                        g.add_mem(m.with_ports(*ports).with_banks(*banks)),
+                    );
+                }
+            }
+        }
+        // Sub-pass A: nodes, in statement order (loads/stores keep their
+        // program order this way).
+        {
+            let g = hierarchy.dfg_mut(gid);
+            let mut store_count = 0usize;
+            for (si, (lno, stmt)) in b.stmts.iter().enumerate() {
                 let (name, node) = match stmt {
                     Stmt::Input(n) => (n, g.add_input(n.clone()).node),
                     Stmt::Const(n, v) => (n, g.add_const(n.clone(), *v).node),
                     Stmt::Op(n, op, _) => (n, g.add_op_detached(*op, n.clone())),
-                    Stmt::Call(n, callee, _) => {
+                    Stmt::Load(n, mem, _) => {
+                        let mid = match mem_ids.get(mem) {
+                            Some(&id) => id,
+                            None => {
+                                return err(
+                                    *lno,
+                                    format!("unknown memory `{mem}` in dfg `{}`", b.name),
+                                )
+                            }
+                        };
+                        (n, g.add_load_detached(mid, n.clone()))
+                    }
+                    Stmt::Store(mem, _, _) => {
+                        let mid = match mem_ids.get(mem) {
+                            Some(&id) => id,
+                            None => {
+                                return err(
+                                    *lno,
+                                    format!("unknown memory `{mem}` in dfg `{}`", b.name),
+                                )
+                            }
+                        };
+                        store_count += 1;
+                        let node = g.add_store_detached(mid, format!("st_{mem}_{store_count}"));
+                        store_nodes.insert(si, node);
+                        continue;
+                    }
+                    Stmt::Call(n, callee, _, using) => {
                         let callee_id = match dfg_ids.get(callee) {
                             Some(&id) => id,
                             None => return err(*lno, format!("unknown dfg `{callee}` in call")),
                         };
-                        (n, g.add_hier(callee_id, n.clone(), &[]))
+                        let mut binds = Vec::with_capacity(using.len());
+                        for u in using {
+                            match mem_ids.get(u) {
+                                Some(&id) => binds.push(id),
+                                None => {
+                                    return err(
+                                        *lno,
+                                        format!("unknown memory `{u}` in dfg `{}`", b.name),
+                                    )
+                                }
+                            }
+                        }
+                        (n, g.add_hier_with_mems(callee_id, n.clone(), &[], &binds))
                     }
+                    Stmt::Mem { .. } => continue,
                     Stmt::Output(..) => {
                         // Deferred: add_output needs its source; create in
                         // sub-pass B to keep output ordering by appearance.
@@ -237,7 +338,7 @@ pub fn parse(src: &str) -> Result<Parsed, ParseError> {
             }
         }
         // Sub-pass B: connections and outputs.
-        for (lno, stmt) in &b.stmts {
+        for (si, (lno, stmt)) in b.stmts.iter().enumerate() {
             let resolve = |tok: &OperandTok| -> Result<VarRef, ParseError> {
                 match names.get(&tok.name) {
                     Some(&n) => Ok(VarRef::new(n, tok.port)),
@@ -248,7 +349,7 @@ pub fn parse(src: &str) -> Result<Parsed, ParseError> {
                 }
             };
             match stmt {
-                Stmt::Op(n, _, operands) | Stmt::Call(n, _, operands) => {
+                Stmt::Op(n, _, operands) | Stmt::Call(n, _, operands, _) => {
                     let node = names[n];
                     for (port, tok) in operands.iter().enumerate() {
                         let src = resolve(tok)?;
@@ -256,6 +357,18 @@ pub fn parse(src: &str) -> Result<Parsed, ParseError> {
                             .dfg_mut(gid)
                             .connect(src, node, port as u16, tok.delay);
                     }
+                }
+                Stmt::Load(n, _, addr) => {
+                    let node = names[n];
+                    let src = resolve(addr)?;
+                    hierarchy.dfg_mut(gid).connect(src, node, 0, addr.delay);
+                }
+                Stmt::Store(_, addr, data) => {
+                    let node = store_nodes[&si];
+                    let a = resolve(addr)?;
+                    hierarchy.dfg_mut(gid).connect(a, node, 0, addr.delay);
+                    let d = resolve(data)?;
+                    hierarchy.dfg_mut(gid).connect(d, node, 1, data.delay);
                 }
                 Stmt::Output(n, tok) => {
                     let src = resolve(tok)?;
@@ -309,6 +422,68 @@ fn parse_stmt(toks: &[&str], lno: usize) -> Result<Stmt, ParseError> {
             })?;
             Ok(Stmt::Const(toks[1].to_owned(), v))
         }
+        "mem" => {
+            if toks.len() < 3 {
+                return err(
+                    lno,
+                    "expected `mem <name> <words> [width <w>] [ports <p>] [banks <b>] [external]`",
+                );
+            }
+            let words: u32 = toks[2].parse().map_err(|_| ParseError {
+                line: lno,
+                message: format!("bad word count `{}`", toks[2]),
+            })?;
+            if words == 0 {
+                return err(lno, "memory word count must be positive");
+            }
+            let (mut width, mut ports, mut banks, mut external) = (32u32, 1u32, 1u32, false);
+            let mut i = 3;
+            while i < toks.len() {
+                match toks[i] {
+                    "external" => {
+                        external = true;
+                        i += 1;
+                    }
+                    key @ ("width" | "ports" | "banks") => {
+                        let Some(v) = toks.get(i + 1) else {
+                            return err(lno, format!("memory attribute `{key}` needs a value"));
+                        };
+                        let v: u32 = v.parse().map_err(|_| ParseError {
+                            line: lno,
+                            message: format!("bad value for memory attribute `{key}`"),
+                        })?;
+                        if v == 0 {
+                            return err(lno, format!("memory attribute `{key}` must be positive"));
+                        }
+                        match key {
+                            "width" => width = v,
+                            "ports" => ports = v,
+                            _ => banks = v,
+                        }
+                        i += 2;
+                    }
+                    other => return err(lno, format!("unknown memory attribute `{other}`")),
+                }
+            }
+            Ok(Stmt::Mem {
+                name: toks[1].to_owned(),
+                words,
+                width,
+                ports,
+                banks,
+                external,
+            })
+        }
+        "store" => {
+            if toks.len() != 4 {
+                return err(lno, "expected `store <mem> <addr-operand> <data-operand>`");
+            }
+            Ok(Stmt::Store(
+                toks[1].to_owned(),
+                parse_operand(toks[2], lno)?,
+                parse_operand(toks[3], lno)?,
+            ))
+        }
         "output" => {
             if toks.len() != 4 || toks[2] != "=" {
                 return err(lno, "expected `output <name> = <operand>`");
@@ -322,15 +497,35 @@ fn parse_stmt(toks: &[&str], lno: usize) -> Result<Stmt, ParseError> {
             if toks.len() < 3 || toks[1] != "=" {
                 return err(lno, "expected `<name> = <op|call> ...`");
             }
+            if toks[2] == "load" {
+                if toks.len() != 5 {
+                    return err(lno, "expected `<name> = load <mem> <addr-operand>`");
+                }
+                return Ok(Stmt::Load(
+                    name.to_owned(),
+                    toks[3].to_owned(),
+                    parse_operand(toks[4], lno)?,
+                ));
+            }
             if toks[2] == "call" {
                 if toks.len() < 4 {
                     return err(lno, "expected `<name> = call <dfg> <operands>...`");
                 }
-                let operands = toks[4..]
+                let (op_toks, use_toks) = match toks.iter().position(|&t| t == "using") {
+                    Some(p) => (&toks[4..p], &toks[p + 1..]),
+                    None => (&toks[4..], &toks[toks.len()..]),
+                };
+                let operands = op_toks
                     .iter()
                     .map(|t| parse_operand(t, lno))
                     .collect::<Result<Vec<_>, _>>()?;
-                Ok(Stmt::Call(name.to_owned(), toks[3].to_owned(), operands))
+                let using = use_toks.iter().map(|t| t.to_string()).collect();
+                Ok(Stmt::Call(
+                    name.to_owned(),
+                    toks[3].to_owned(),
+                    operands,
+                    using,
+                ))
             } else {
                 let op: Operation = toks[2].parse().map_err(|_| ParseError {
                     line: lno,
@@ -377,6 +572,38 @@ pub fn print(h: &Hierarchy, equiv: Option<&EquivClasses>) -> String {
             *count += 1;
             display.push(name);
         }
+        // Memories have their own namespace; unique display names likewise.
+        let mut mem_used: HashMap<String, usize> = HashMap::new();
+        let mut mem_display: Vec<String> = Vec::with_capacity(g.mem_count());
+        for (_, m) in g.mems() {
+            let base = sanitize(&m.name);
+            let count = mem_used.entry(base.clone()).or_insert(0);
+            let name = if *count == 0 {
+                base.clone()
+            } else {
+                format!("{base}_{count}")
+            };
+            *count += 1;
+            mem_display.push(name);
+        }
+        for (mid, m) in g.mems() {
+            let mut line = format!(
+                "  mem {} {} width {}",
+                mem_display[mid.index()],
+                m.words,
+                m.elem_width
+            );
+            if m.ports != 1 {
+                let _ = write!(line, " ports {}", m.ports);
+            }
+            if m.banks != 1 {
+                let _ = write!(line, " banks {}", m.banks);
+            }
+            if m.scope == MemScope::External {
+                line.push_str(" external");
+            }
+            let _ = writeln!(out, "{line}");
+        }
         let operand = |nid: NodeId, port: u16, delay: u32| -> String {
             let mut s = display[nid.index()].clone();
             if port != 0 {
@@ -404,6 +631,26 @@ pub fn print(h: &Hierarchy, equiv: Option<&EquivClasses>) -> String {
                     }
                     let _ = writeln!(out, "{line}");
                 }
+                NodeKind::Load { mem } => {
+                    let mut line = format!(
+                        "  {} = load {}",
+                        display[nid.index()],
+                        mem_display[mem.index()]
+                    );
+                    if let Some(e) = g.driver(nid, 0) {
+                        let _ = write!(line, " {}", operand(e.from.node, e.from.port, e.delay));
+                    }
+                    let _ = writeln!(out, "{line}");
+                }
+                NodeKind::Store { mem } => {
+                    let mut line = format!("  store {}", mem_display[mem.index()]);
+                    for port in 0..2 {
+                        if let Some(e) = g.driver(nid, port) {
+                            let _ = write!(line, " {}", operand(e.from.node, e.from.port, e.delay));
+                        }
+                    }
+                    let _ = writeln!(out, "{line}");
+                }
                 NodeKind::Hier { callee } => {
                     let mut line = format!(
                         "  {} = call {}",
@@ -413,6 +660,12 @@ pub fn print(h: &Hierarchy, equiv: Option<&EquivClasses>) -> String {
                     for port in 0..h.in_arity(*callee) as u16 {
                         if let Some(e) = g.driver(nid, port) {
                             let _ = write!(line, " {}", operand(e.from.node, e.from.port, e.delay));
+                        }
+                    }
+                    if !n.mem_binds().is_empty() {
+                        line.push_str(" using");
+                        for &b in n.mem_binds() {
+                            let _ = write!(line, " {}", mem_display[b.index()]);
                         }
                     }
                     let _ = writeln!(out, "{line}");
@@ -593,6 +846,103 @@ equiv leaf_a leaf_b
             g1.edges().filter(|(_, e)| e.delay > 0).count(),
             g2.edges().filter(|(_, e)| e.delay > 0).count()
         );
+    }
+
+    const MEMORY_SRC: &str = "
+dfg tap {
+  mem line 8 width 16 ports 2 banks 2 external
+  input addr
+  input coeff
+  l = load line addr
+  output y = p
+  p = mult l coeff
+}
+dfg top {
+  input x
+  input a0
+  input a1
+  mem line 8 width 16 ports 2 banks 2
+  const one = 1
+  ptr = add ptr@1 one
+  store line ptr x
+  t0 = call tap a0 x using line
+  t1 = call tap a1 x using line
+  output y = s
+  s = add t0 t1
+}
+top top
+";
+
+    #[test]
+    fn parse_memory_declarations_and_accesses() {
+        let parsed = parse(MEMORY_SRC).expect("parses");
+        parsed.hierarchy.validate().expect("valid");
+        let h = &parsed.hierarchy;
+        let top = h.dfg(h.top());
+        assert_eq!(top.mem_count(), 1);
+        let (mid, m) = top.mems().next().unwrap();
+        assert_eq!((m.words, m.elem_width, m.ports, m.banks), (8, 16, 2, 2));
+        assert_eq!(m.scope, MemScope::Owned);
+        let tap = h.dfg(h.dfg_by_name("tap").unwrap());
+        assert_eq!(tap.external_mems().len(), 1);
+        // Both call sites bind the owned line memory.
+        let binds: Vec<_> = top
+            .nodes()
+            .filter(|(_, n)| matches!(n.kind(), NodeKind::Hier { .. }))
+            .map(|(_, n)| n.mem_binds().to_vec())
+            .collect();
+        assert_eq!(binds, vec![vec![mid], vec![mid]]);
+    }
+
+    #[test]
+    fn memory_round_trip_is_structural() {
+        let parsed = parse(MEMORY_SRC).expect("parses");
+        let printed = print(&parsed.hierarchy, None);
+        let reparsed = parse(&printed).expect("round-trips");
+        reparsed.hierarchy.validate().expect("valid");
+        let g1 = parsed.hierarchy.dfg(parsed.hierarchy.top());
+        let g2 = reparsed.hierarchy.dfg(reparsed.hierarchy.top());
+        assert_eq!(g1.node_count(), g2.node_count());
+        assert_eq!(g1.edge_count(), g2.edge_count());
+        assert_eq!(g1.mem_count(), g2.mem_count());
+        let m1: Vec<_> = g1.mems().map(|(_, m)| m.clone()).collect();
+        let m2: Vec<_> = g2.mems().map(|(_, m)| m.clone()).collect();
+        assert_eq!(m1, m2);
+        // Program order of accesses survives (same kinds in same order).
+        let kinds = |g: &Dfg| -> Vec<String> {
+            g.nodes()
+                .filter_map(|(_, n)| match n.kind() {
+                    NodeKind::Load { .. } => Some("load".to_owned()),
+                    NodeKind::Store { .. } => Some("store".to_owned()),
+                    NodeKind::Hier { .. } => Some("call".to_owned()),
+                    _ => None,
+                })
+                .collect()
+        };
+        assert_eq!(kinds(g1), kinds(g2));
+    }
+
+    #[test]
+    fn error_on_unknown_memory() {
+        let src = "dfg g {\n  input a\n  l = load ghost a\n  output y = l\n}\ntop g\n";
+        let e = parse(src).unwrap_err();
+        assert!(e.message.contains("unknown memory"), "{e}");
+        let src2 = "dfg g {\n  input a\n  store ghost a a\n  output y = a\n}\ntop g\n";
+        let e2 = parse(src2).unwrap_err();
+        assert!(e2.message.contains("unknown memory"), "{e2}");
+    }
+
+    #[test]
+    fn error_on_bad_memory_attributes() {
+        let src = "dfg g {\n  mem m 0\n  input a\n  output y = a\n}\ntop g\n";
+        assert!(parse(src).unwrap_err().message.contains("positive"));
+        let src2 = "dfg g {\n  mem m 4 sideways\n  input a\n  output y = a\n}\ntop g\n";
+        assert!(parse(src2)
+            .unwrap_err()
+            .message
+            .contains("unknown memory attribute"));
+        let src3 = "dfg g {\n  mem m 4 ports\n  input a\n  output y = a\n}\ntop g\n";
+        assert!(parse(src3).unwrap_err().message.contains("needs a value"));
     }
 
     #[test]

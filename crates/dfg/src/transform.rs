@@ -38,6 +38,10 @@ pub struct TransformStats {
 /// and their users re-pointed through the (possibly chained) replacement.
 fn rebuild(g: &Dfg, replace: &HashMap<VarRef, Replacement>) -> Dfg {
     let mut out = Dfg::new(g.name());
+    // Memories copy verbatim (same indices), so access nodes keep their ids.
+    for (_, m) in g.mems() {
+        out.add_mem(m.clone());
+    }
     let mut map: HashMap<NodeId, NodeId> = HashMap::new();
 
     // Resolve a producer through the replacement chain (bounded: the chain
@@ -66,7 +70,11 @@ fn rebuild(g: &Dfg, replace: &HashMap<VarRef, Replacement>) -> Dfg {
             NodeKind::Input { .. } => out.add_input(node.name().to_owned()).node,
             NodeKind::Const { value } => out.add_const(node.name().to_owned(), *value).node,
             NodeKind::Op(op) => out.add_op_detached(*op, node.name().to_owned()),
-            NodeKind::Hier { callee } => out.add_hier(*callee, node.name().to_owned(), &[]),
+            NodeKind::Load { mem } => out.add_load_detached(*mem, node.name().to_owned()),
+            NodeKind::Store { mem } => out.add_store_detached(*mem, node.name().to_owned()),
+            NodeKind::Hier { callee } => {
+                out.add_hier_with_mems(*callee, node.name().to_owned(), &[], node.mem_binds())
+            }
             NodeKind::Output { .. } => continue, // added with their edge below
         };
         map.insert(nid, new);
@@ -222,6 +230,16 @@ pub fn dead_code_eliminate(g: &Dfg) -> (Dfg, usize) {
     for &o in g.outputs() {
         live[o.index()] = true;
     }
+    // Side-effecting roots: stores and memory-bound calls mutate memory
+    // state, which later loads (this or future iterations) may observe.
+    for (nid, n) in g.nodes() {
+        let effectful = matches!(n.kind(), NodeKind::Store { .. })
+            || (matches!(n.kind(), NodeKind::Hier { .. }) && !n.mem_binds().is_empty());
+        if effectful && !live[nid.index()] {
+            live[nid.index()] = true;
+            stack.push(nid);
+        }
+    }
     while let Some(n) = stack.pop() {
         for (_, e) in g.in_edges(n) {
             if !live[e.from.node.index()] {
@@ -247,6 +265,9 @@ pub fn dead_code_eliminate(g: &Dfg) -> (Dfg, usize) {
     // constant 0 (they have no live consumers, so the constant is never
     // materialized) — simpler: rebuild manually.
     let mut out = Dfg::new(g.name());
+    for (_, m) in g.mems() {
+        out.add_mem(m.clone());
+    }
     let mut map: HashMap<NodeId, NodeId> = HashMap::new();
     for (nid, node) in g.nodes() {
         if !live[nid.index()] {
@@ -256,7 +277,11 @@ pub fn dead_code_eliminate(g: &Dfg) -> (Dfg, usize) {
             NodeKind::Input { .. } => out.add_input(node.name().to_owned()).node,
             NodeKind::Const { value } => out.add_const(node.name().to_owned(), *value).node,
             NodeKind::Op(op) => out.add_op_detached(*op, node.name().to_owned()),
-            NodeKind::Hier { callee } => out.add_hier(*callee, node.name().to_owned(), &[]),
+            NodeKind::Load { mem } => out.add_load_detached(*mem, node.name().to_owned()),
+            NodeKind::Store { mem } => out.add_store_detached(*mem, node.name().to_owned()),
+            NodeKind::Hier { callee } => {
+                out.add_hier_with_mems(*callee, node.name().to_owned(), &[], node.mem_binds())
+            }
             NodeKind::Output { .. } => continue,
         };
         map.insert(nid, new);
@@ -366,6 +391,9 @@ pub fn reduce_tree_height(g: &Dfg) -> (Dfg, usize) {
             }
             // Rebuild the graph with a balanced tree replacing the chain.
             let mut newg = Dfg::new(g.name());
+            for (_, m) in g.mems() {
+                newg.add_mem(m.clone());
+            }
             let mut map: HashMap<NodeId, NodeId> = HashMap::new();
             for (nid, node) in g.nodes() {
                 if chain.contains(&nid) {
@@ -377,9 +405,16 @@ pub fn reduce_tree_height(g: &Dfg) -> (Dfg, usize) {
                         newg.add_const(node.name().to_owned(), *value).node
                     }
                     NodeKind::Op(o) => newg.add_op_detached(*o, node.name().to_owned()),
-                    NodeKind::Hier { callee } => {
-                        newg.add_hier(*callee, node.name().to_owned(), &[])
+                    NodeKind::Load { mem } => newg.add_load_detached(*mem, node.name().to_owned()),
+                    NodeKind::Store { mem } => {
+                        newg.add_store_detached(*mem, node.name().to_owned())
                     }
+                    NodeKind::Hier { callee } => newg.add_hier_with_mems(
+                        *callee,
+                        node.name().to_owned(),
+                        &[],
+                        node.mem_binds(),
+                    ),
                     NodeKind::Output { .. } => continue,
                 };
                 map.insert(nid, new);
@@ -479,7 +514,9 @@ mod tests {
                     outs[*index] = v;
                     v
                 }
-                NodeKind::Hier { .. } => unreachable!(),
+                NodeKind::Hier { .. } | NodeKind::Load { .. } | NodeKind::Store { .. } => {
+                    unreachable!()
+                }
             };
             vals[nid.index()] = v;
         }

@@ -171,7 +171,9 @@ fn flatten_preserves_two_level_semantics() {
                         outs[*index] = v;
                         v
                     }
-                    NodeKind::Hier { .. } => unreachable!("leaf"),
+                    NodeKind::Hier { .. } | NodeKind::Load { .. } | NodeKind::Store { .. } => {
+                        unreachable!("leaf")
+                    }
                 };
                 vals[nid.index()] = v;
             }

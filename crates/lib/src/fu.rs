@@ -255,6 +255,51 @@ impl Default for ControllerModel {
     }
 }
 
+/// Cost model for on-chip memories (the banked SRAMs behind `Load`/`Store`
+/// nodes). Area is dominated by the cell array plus per-port periphery —
+/// multi-port and multi-bank memories pay for extra decoders, sense
+/// amplifiers, and word lines; energy splits into a per-access dynamic cost
+/// (scaled by the element width read or written) and a standing per-bank
+/// leakage charged for every controller-active cycle.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct MemoryModel {
+    /// Area per storage bit (`words × elem_width` bits per memory).
+    pub area_per_bit: f64,
+    /// Area of one access port's periphery, per bank (`ports × banks`
+    /// port instances per memory).
+    pub area_per_port: f64,
+    /// Dynamic energy per bit of a read access.
+    pub energy_read_per_bit: f64,
+    /// Dynamic energy per bit of a write access.
+    pub energy_write_per_bit: f64,
+    /// Standing energy per bank per controller-active cycle.
+    pub leakage_per_bank_cycle: f64,
+}
+
+impl MemoryModel {
+    /// Estimated area of a memory with `words × elem_width` storage bits
+    /// organized as `banks` banks of `ports` ports each.
+    pub fn area(&self, words: u32, elem_width: u32, ports: u32, banks: u32) -> f64 {
+        self.area_per_bit * f64::from(words) * f64::from(elem_width)
+            + self.area_per_port * f64::from(ports.max(1)) * f64::from(banks.max(1))
+    }
+}
+
+impl Default for MemoryModel {
+    fn default() -> Self {
+        MemoryModel {
+            // Dense SRAM cells: well under a register bit (9.0 / 16 ≈ 0.56
+            // per bit for the flop), but each port's periphery is priced
+            // like a couple of registers.
+            area_per_bit: 0.22,
+            area_per_port: 18.0,
+            energy_read_per_bit: 0.035,
+            energy_write_per_bit: 0.05,
+            leakage_per_bank_cycle: 0.01,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

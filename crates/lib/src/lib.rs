@@ -24,6 +24,6 @@ mod library;
 pub mod papers;
 mod tech;
 
-pub use fu::{ControllerModel, FuType, FuTypeId, MuxModel, RegisterModel, WireModel};
+pub use fu::{ControllerModel, FuType, FuTypeId, MemoryModel, MuxModel, RegisterModel, WireModel};
 pub use library::Library;
 pub use tech::Technology;

@@ -1,4 +1,6 @@
-use crate::fu::{ControllerModel, FuType, FuTypeId, MuxModel, RegisterModel, WireModel};
+use crate::fu::{
+    ControllerModel, FuType, FuTypeId, MemoryModel, MuxModel, RegisterModel, WireModel,
+};
 use crate::tech::Technology;
 use hsyn_dfg::Operation;
 
@@ -20,6 +22,8 @@ pub struct Library {
     pub wire: WireModel,
     /// FSM controller cost model.
     pub controller: ControllerModel,
+    /// On-chip memory (banked SRAM) cost model.
+    pub memory: MemoryModel,
     /// Technology (voltage scaling) model.
     pub technology: Technology,
     /// Glitch growth per chained combinational stage: an operation fed
@@ -40,6 +44,7 @@ impl Library {
             mux: MuxModel::default(),
             wire: WireModel::default(),
             controller: ControllerModel::default(),
+            memory: MemoryModel::default(),
             technology: Technology::default(),
             glitch_factor: 0.35,
         }

@@ -67,6 +67,10 @@ pub enum RuleCode {
     Dfg003,
     Dfg004,
     Dfg005,
+    Dfg006,
+    Mem001,
+    Mem002,
+    Mem003,
     Sch001,
     Sch002,
     Sch003,
@@ -88,12 +92,16 @@ pub enum RuleCode {
 
 impl RuleCode {
     /// Every rule, in code order.
-    pub const ALL: [RuleCode; 22] = [
+    pub const ALL: [RuleCode; 26] = [
         RuleCode::Dfg001,
         RuleCode::Dfg002,
         RuleCode::Dfg003,
         RuleCode::Dfg004,
         RuleCode::Dfg005,
+        RuleCode::Dfg006,
+        RuleCode::Mem001,
+        RuleCode::Mem002,
+        RuleCode::Mem003,
         RuleCode::Sch001,
         RuleCode::Sch002,
         RuleCode::Sch003,
@@ -121,6 +129,10 @@ impl RuleCode {
             RuleCode::Dfg003 => "DFG003",
             RuleCode::Dfg004 => "DFG004",
             RuleCode::Dfg005 => "DFG005",
+            RuleCode::Dfg006 => "DFG006",
+            RuleCode::Mem001 => "MEM001",
+            RuleCode::Mem002 => "MEM002",
+            RuleCode::Mem003 => "MEM003",
             RuleCode::Sch001 => "SCH001",
             RuleCode::Sch002 => "SCH002",
             RuleCode::Sch003 => "SCH003",
@@ -149,6 +161,10 @@ impl RuleCode {
             RuleCode::Dfg003 => "edge reads a nonexistent output port",
             RuleCode::Dfg004 => "combinational (zero-delay) cycle",
             RuleCode::Dfg005 => "hierarchy malformed: no top, dangling or recursive callee",
+            RuleCode::Dfg006 => "memory structure malformed: dangling, misbound, or cyclic",
+            RuleCode::Mem001 => "constant address provably outside the memory's word range",
+            RuleCode::Mem002 => "memory is stored to but never loaded from",
+            RuleCode::Mem003 => "cycle issues more accesses to a memory than its ports allow",
             RuleCode::Sch001 => "schedule does not cover the behavior's graph",
             RuleCode::Sch002 => "data precedence violated: value consumed before it is ready",
             RuleCode::Sch003 => "serialization edge violated: shared resource not released",

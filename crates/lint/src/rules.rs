@@ -8,7 +8,7 @@
 
 use crate::{Diagnostic, LintConfig, Location, RuleCode, Severity};
 use hsyn_dataflow::{analyze_hierarchy, AbstractValue};
-use hsyn_dfg::{Dfg, DfgId, Hierarchy, HierarchyError, NodeId, NodeKind, Operation};
+use hsyn_dfg::{Dfg, DfgId, Hierarchy, HierarchyError, MemScope, NodeId, NodeKind, Operation};
 use hsyn_lib::Library;
 use hsyn_rtl::{storage_analysis, Behavior, RtlModule};
 use std::collections::BTreeMap;
@@ -74,8 +74,14 @@ pub fn verify_design_with(view: &DesignView<'_>, cfg: &LintConfig) -> Vec<Diagno
         diags: Vec::new(),
     };
     check_power(view, &mut sink);
-    for e in view.hierarchy.check_all() {
-        emit_hierarchy_error(&e, &mut sink);
+    let hier_errors = view.hierarchy.check_all();
+    for e in &hier_errors {
+        emit_hierarchy_error(e, &mut sink);
+    }
+    // Memory-usage rules assume validated memory structure (binds resolve,
+    // references are in range), so they run only on a clean hierarchy.
+    if hier_errors.is_empty() {
+        check_memory(view.hierarchy, &mut sink);
     }
     check_module(
         view,
@@ -101,6 +107,11 @@ pub fn lint_hierarchy_with(h: &Hierarchy, cfg: &LintConfig) -> Vec<Diagnostic> {
     for e in h.check_all() {
         emit_hierarchy_error(&e, &mut sink);
     }
+    let clean = sink.diags.is_empty() && h.check_all().is_empty();
+    // Memory-usage rules assume validated memory structure.
+    if clean {
+        check_memory(h, &mut sink);
+    }
     // Dataflow rules need a structurally valid hierarchy (the abstract
     // interpreter assumes one) and are skipped entirely when every DFA rule
     // is suppressed, so a plain structural lint pays nothing for them.
@@ -110,7 +121,7 @@ pub fn lint_hierarchy_with(h: &Hierarchy, cfg: &LintConfig) -> Vec<Diagnostic> {
         RuleCode::Dfa003,
         RuleCode::Dfa004,
     ];
-    if sink.diags.is_empty() && h.check_all().is_empty() && dfa.iter().any(|&c| cfg.enabled(c)) {
+    if clean && dfa.iter().any(|&c| cfg.enabled(c)) {
         check_dataflow(h, &mut sink);
     }
     sink.diags
@@ -263,6 +274,13 @@ fn emit_hierarchy_error(e: &HierarchyError, sink: &mut Sink<'_>) {
         HierarchyError::NoTop => (RuleCode::Dfg005, None, None),
         HierarchyError::DanglingCallee { dfg, node } => (RuleCode::Dfg005, Some(*dfg), Some(*node)),
         HierarchyError::RecursiveHierarchy { dfg } => (RuleCode::Dfg005, Some(*dfg), None),
+        HierarchyError::DanglingMem { dfg, node } => (RuleCode::Dfg006, Some(*dfg), Some(*node)),
+        HierarchyError::BadMemBind { dfg, node, .. } => (RuleCode::Dfg006, Some(*dfg), Some(*node)),
+        HierarchyError::IncompatibleMemBind { dfg, node, .. } => {
+            (RuleCode::Dfg006, Some(*dfg), Some(*node))
+        }
+        HierarchyError::UnboundExternalMem { dfg } => (RuleCode::Dfg006, Some(*dfg), None),
+        HierarchyError::MemoryOrderCycle { dfg } => (RuleCode::Dfg006, Some(*dfg), None),
     };
     sink.emit(
         code,
@@ -274,6 +292,118 @@ fn emit_hierarchy_error(e: &HierarchyError, sink: &mut Sink<'_>) {
         },
         e.to_string(),
     );
+}
+
+/// `MEM001`/`MEM002`: memory-usage facts over a structurally valid
+/// hierarchy.
+///
+/// `MEM001` flags an access whose constant address lies outside
+/// `[0, words)` — legal (evaluation wraps modulo the word count) but almost
+/// always an indexing bug. `MEM002` flags an owned memory that is written
+/// but never read *anywhere*: loads through every callee the bank is shared
+/// with (transitively, via call-interface binds) count as reads.
+fn check_memory(h: &Hierarchy, sink: &mut Sink<'_>) {
+    // MEM001: constant addresses against the word range, per access node.
+    for (did, g) in h.dfgs() {
+        for (nid, node) in g.nodes() {
+            let mem = match node.kind() {
+                NodeKind::Load { mem } | NodeKind::Store { mem } => *mem,
+                _ => continue,
+            };
+            // `hsyn_dfg::const_address` pre-wraps modulo the word count
+            // (what evaluation and banking want); the lint needs the raw
+            // literal to see that the author wrote an out-of-range index.
+            let Some(e) = g.driver(nid, 0) else { continue };
+            let NodeKind::Const { value: addr } = *g.node(e.from.node).kind() else {
+                continue;
+            };
+            if e.delay != 0 {
+                continue;
+            }
+            let m = g.mem(mem);
+            let words = i64::from(m.words.max(1));
+            if addr < 0 || addr >= words {
+                sink.emit(
+                    RuleCode::Mem001,
+                    Severity::Warning,
+                    Location {
+                        dfg: Some(did),
+                        node: Some(nid),
+                        instance: Some(m.name.clone()),
+                        ..Location::default()
+                    },
+                    format!(
+                        "{nid} addresses word {addr} of `{}` which has {words} words: evaluation wraps to {}",
+                        m.name,
+                        addr.rem_euclid(words)
+                    ),
+                );
+            }
+        }
+    }
+
+    // MEM002: aggregate load/store counts per memory, resolving callee
+    // accesses to external memories onto the parent banks they bind to.
+    let mut memo: Vec<Option<Vec<(u64, u64)>>> = vec![None; h.dfg_count()];
+    for (did, g) in h.dfgs() {
+        let usage = mem_usage(h, did, &mut memo).to_vec();
+        for ((mid, m), (loads, stores)) in g.mems().zip(usage) {
+            if matches!(m.scope, MemScope::Owned) && stores > 0 && loads == 0 {
+                sink.emit(
+                    RuleCode::Mem002,
+                    Severity::Warning,
+                    Location {
+                        dfg: Some(did),
+                        instance: Some(m.name.clone()),
+                        ..Location::default()
+                    },
+                    format!(
+                        "memory `{}` ({mid}) receives {stores} store(s) but is never loaded, here or through any shared-bank callee",
+                    m.name
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// `(loads, stores)` reaching each memory of `did`, including accesses made
+/// by callees through shared-bank binds (resolved transitively — the
+/// hierarchy is acyclic, which the caller verified).
+fn mem_usage<'a>(
+    h: &Hierarchy,
+    did: DfgId,
+    memo: &'a mut Vec<Option<Vec<(u64, u64)>>>,
+) -> &'a [(u64, u64)] {
+    if memo[did.index()].is_none() {
+        let g = h.dfg(did);
+        let mut counts = vec![(0u64, 0u64); g.mem_count()];
+        for (_, node) in g.nodes() {
+            match node.kind() {
+                NodeKind::Load { mem } => counts[mem.index()].0 += 1,
+                NodeKind::Store { mem } => counts[mem.index()].1 += 1,
+                _ => {}
+            }
+        }
+        for (_, node) in g.nodes() {
+            if let NodeKind::Hier { callee } = node.kind() {
+                let sub = mem_usage(h, *callee, memo).to_vec();
+                let binds = node.mem_binds();
+                let mut ext = 0usize;
+                for ((_, m), (loads, stores)) in h.dfg(*callee).mems().zip(sub) {
+                    if matches!(m.scope, MemScope::External) {
+                        if let Some(b) = binds.get(ext) {
+                            counts[b.index()].0 += loads;
+                            counts[b.index()].1 += stores;
+                        }
+                        ext += 1;
+                    }
+                }
+            }
+        }
+        memo[did.index()] = Some(counts);
+    }
+    memo[did.index()].as_ref().expect("just computed")
 }
 
 /// `PWR001`/`PWR002`: the operating point must lie inside the range the
@@ -507,6 +637,53 @@ fn check_behavior(
                     "activity runs to cycle {makespan}, past the sampling period of {p} cycles"
                 ),
             );
+        }
+    }
+
+    // `MEM003`: per cycle, a memory bank serves at most its port count.
+    // Mirrors the scheduler's pessimism: an access whose address is not a
+    // compile-time constant may hit any bank, so it counts against all of
+    // them — exactly the discipline `mem_serial_edges` enforces, so a
+    // schedule that respects its serialization never trips this.
+    {
+        let mut per_slot: BTreeMap<(usize, u32, u32), Vec<NodeId>> = BTreeMap::new();
+        for (nid, node) in g.nodes() {
+            let mem = match node.kind() {
+                NodeKind::Load { mem } | NodeKind::Store { mem } => *mem,
+                _ => continue,
+            };
+            let cycle = b.schedule.time(nid).occupied.0;
+            let m = g.mem(mem);
+            match hsyn_dfg::const_address(g, nid) {
+                Some(addr) => per_slot
+                    .entry((mem.index(), hsyn_dfg::bank_of(m, addr), cycle))
+                    .or_default()
+                    .push(nid),
+                None => {
+                    for bank in 0..m.banks.max(1) {
+                        per_slot
+                            .entry((mem.index(), bank, cycle))
+                            .or_default()
+                            .push(nid);
+                    }
+                }
+            }
+        }
+        for ((mi, bank, cycle), nodes) in per_slot {
+            let (_, m) = g.mems().nth(mi).expect("keyed from g.mems()");
+            let ports = m.ports.max(1);
+            if nodes.len() > ports as usize {
+                sink.emit(
+                    RuleCode::Mem003,
+                    Severity::Error,
+                    at(Some(nodes[0]), Some(cycle), Some(m.name.clone())),
+                    format!(
+                        "cycle {cycle} issues {} accesses that may hit bank {bank} of `{}`, which has {ports} port(s)",
+                        nodes.len(),
+                        m.name
+                    ),
+                );
+            }
         }
     }
 
@@ -758,6 +935,73 @@ mod tests {
         g2.add_output("y", m);
         let diags = lint_hierarchy_with(&single(g2), &cfg);
         assert!(diags.iter().all(|d| d.code != RuleCode::Dfa001));
+    }
+
+    #[test]
+    fn mem001_flags_out_of_range_constant_addresses() {
+        let mut g = Dfg::new("k");
+        let m = g.add_mem(hsyn_dfg::MemObject::owned("t", 4, 16));
+        let x = g.add_input("x");
+        let w0 = g.add_const("w0", 0);
+        g.add_store(m, "st", w0, x);
+        let a = g.add_const("a", 9);
+        let l = g.add_load(m, "l", a);
+        g.add_output("y", l);
+        let diags = lint_hierarchy(&single(g));
+        assert_eq!(error_count(&diags), 0);
+        let hits: Vec<_> = diags
+            .iter()
+            .filter(|d| d.code == RuleCode::Mem001)
+            .collect();
+        assert_eq!(hits.len(), 1, "{diags:?}");
+        assert!(hits[0].message.contains("wraps to 1"), "{diags:?}");
+        assert_eq!(hits[0].location.instance.as_deref(), Some("t"));
+    }
+
+    #[test]
+    fn mem002_flags_memory_stored_but_never_loaded() {
+        let mut g = Dfg::new("k");
+        let m = g.add_mem(hsyn_dfg::MemObject::owned("t", 4, 16));
+        let x = g.add_input("x");
+        let w = g.add_const("w", 1);
+        g.add_store(m, "st", w, x);
+        g.add_output("y", x);
+        let diags = lint_hierarchy(&single(g));
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.code == RuleCode::Mem002 && d.message.contains("`t`")),
+            "{diags:?}"
+        );
+    }
+
+    /// A parent-side store consumed only through a shared-bank callee's
+    /// loads is not dead: MEM002 must look through `mem_binds`.
+    #[test]
+    fn mem002_sees_loads_through_shared_bank_callees() {
+        let mut h = Hierarchy::new();
+        let mut c = Dfg::new("c");
+        let cm = c.add_mem(hsyn_dfg::MemObject::external("xm", 4, 16));
+        let a = c.add_input("a");
+        let l = c.add_load(cm, "l", a);
+        c.add_output("y", l);
+        let callee = h.add_dfg(c);
+        let mut g = Dfg::new("top");
+        let m = g.add_mem(hsyn_dfg::MemObject::owned("t", 4, 16));
+        let x = g.add_input("x");
+        let w = g.add_const("w", 1);
+        g.add_store(m, "st", w, x);
+        let call = g.add_hier_with_mems(callee, "call", &[x], &[m]);
+        let out = g.hier_out(call, 0);
+        g.add_output("y", out);
+        let id = h.add_dfg(g);
+        h.set_top(id);
+        h.validate().unwrap();
+        let diags = lint_hierarchy(&h);
+        assert!(
+            diags.iter().all(|d| d.code != RuleCode::Mem002),
+            "{diags:?}"
+        );
     }
 
     #[test]

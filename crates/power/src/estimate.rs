@@ -34,6 +34,8 @@ pub struct EnergyBreakdown {
     pub wire: f64,
     /// FSM controller.
     pub controller: f64,
+    /// Memories: per-access read/write energy plus per-bank leakage.
+    pub mem: f64,
     /// Clock network (per-register standing cost, whole design).
     pub clock: f64,
     /// Submodules (their totals).
@@ -43,7 +45,14 @@ pub struct EnergyBreakdown {
 impl EnergyBreakdown {
     /// Total energy per iteration.
     pub fn total(&self) -> f64 {
-        self.fu + self.reg + self.mux + self.wire + self.controller + self.clock + self.subs
+        self.fu
+            + self.reg
+            + self.mux
+            + self.wire
+            + self.controller
+            + self.mem
+            + self.clock
+            + self.subs
     }
 
     fn add_scaled(&mut self, other: &EnergyBreakdown) {
@@ -191,6 +200,7 @@ fn finish_estimate_with(
     breakdown.mux /= iterations;
     breakdown.wire /= iterations;
     breakdown.controller /= iterations;
+    breakdown.mem /= iterations;
     breakdown.subs /= iterations;
     let period_ns = f64::from(sampling_period_cycles) * clk_ns;
     // Clock network: every register's clock pin toggles every cycle of the
@@ -337,6 +347,47 @@ pub(crate) fn module_own_energy(
     // Controller: active cycles × control bits.
     let bits = control_bit_count(h, module, &conn) as f64;
     e.controller += act.busy_cycles as f64 * bits * lib.controller.energy_per_bit_cycle;
+
+    // Memories: per-access dynamic energy plus standing bank leakage.
+    e.mem += mem_energy(h, module, lib, act, width);
+    e
+}
+
+/// Memory energy of one module instance: each access pays a read or write
+/// cost scaled by the element width actually stored, and every *owned* bank
+/// pays leakage for each controller-active cycle (an imported external
+/// memory is the parent's hardware — the accessor pays only the access).
+///
+/// Width-independent of datapath sizing: the array stores `elem_width` bits
+/// regardless of certified operand widths, so the sized estimator charges
+/// the same figure (keeping it bit-exact at uniform widths by construction).
+fn mem_energy(
+    h: &Hierarchy,
+    module: &RtlModule,
+    lib: &Library,
+    act: &ModuleActivity,
+    width: u32,
+) -> f64 {
+    let mut e = 0.0;
+    for (bi, b) in module.behaviors().iter().enumerate() {
+        let g = h.dfg(b.dfg);
+        if g.mem_count() == 0 {
+            continue;
+        }
+        let empty: &[(u64, u64)] = &[];
+        let counts = act.mem_accesses.get(bi).map_or(empty, |v| v.as_slice());
+        for (i, m) in g.mems() {
+            let (loads, stores) = counts.get(i.index()).copied().unwrap_or((0, 0));
+            let bits = f64::from(m.elem_width.min(width).max(1));
+            e += loads as f64 * lib.memory.energy_read_per_bit * bits
+                + stores as f64 * lib.memory.energy_write_per_bit * bits;
+            if matches!(m.scope, hsyn_dfg::MemScope::Owned) {
+                e += f64::from(m.banks.max(1))
+                    * act.busy_cycles as f64
+                    * lib.memory.leakage_per_bank_cycle;
+            }
+        }
+    }
     e
 }
 
@@ -452,5 +503,8 @@ fn module_own_energy_sized(
     // Controller: active cycles × control bits (width-independent).
     let bits = control_bit_count(h, module, &conn) as f64;
     e.controller += act.busy_cycles as f64 * bits * lib.controller.energy_per_bit_cycle;
+
+    // Memories: same figure as the unsized walk (see [`mem_energy`]).
+    e.mem += mem_energy(h, module, lib, act, width);
     e
 }

@@ -11,7 +11,7 @@
 //!   capacitance models and `(Vdd/Vref)²` scaling.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod estimate;
 mod report;

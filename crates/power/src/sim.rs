@@ -27,7 +27,7 @@
 //!   fully determined by the module structure and the call stream.
 
 use crate::traces::TraceSet;
-use hsyn_dfg::{Hierarchy, NodeId, NodeKind, Operation, VarRef};
+use hsyn_dfg::{Hierarchy, MemScope, NodeId, NodeKind, Operation, VarRef};
 use hsyn_rtl::{storage_analysis, FpTree, RtlModule};
 use std::collections::HashMap;
 
@@ -59,6 +59,11 @@ pub struct ModuleActivity {
     pub busy_cycles: u64,
     /// Number of behavior executions.
     pub runs: u64,
+    /// Per behavior, per memory of that behavior's DFG: `(loads, stores)`
+    /// issued across all iterations. Accesses to an external (parent-shared)
+    /// memory count here, at the accessing module — the accessor pays the
+    /// port energy; the owner pays the bank's standing cost.
+    pub mem_accesses: Vec<Vec<(u64, u64)>>,
     /// Activity of submodule instances.
     pub subs: Vec<ModuleActivity>,
 }
@@ -70,6 +75,9 @@ impl ModuleActivity {
             reg_writes: vec![Vec::new(); m.regs().len()],
             busy_cycles: 0,
             runs: 0,
+            // Inner vectors are sized on first execution of each behavior
+            // (the word counts live on the DFG, not the RTL module).
+            mem_accesses: vec![Vec::new(); m.behaviors().len()],
             subs: m.subs().iter().map(ModuleActivity::for_module).collect(),
         }
     }
@@ -82,6 +90,10 @@ struct ModuleState {
     /// `history[behavior][(var, k)]` = value of `var` from `k` iterations
     /// ago (k >= 1).
     history: Vec<HashMap<(VarRef, u32), i64>>,
+    /// Arena slot of each *owned* memory, per behavior, allocated on first
+    /// execution. Memory contents are state, like delay lines: they persist
+    /// across iterations.
+    mem_slots: Vec<Option<Vec<Option<usize>>>>,
     subs: Vec<ModuleState>,
 }
 
@@ -89,8 +101,25 @@ impl ModuleState {
     fn for_module(m: &RtlModule) -> Self {
         ModuleState {
             history: vec![HashMap::new(); m.behaviors().len()],
+            mem_slots: vec![None; m.behaviors().len()],
             subs: m.subs().iter().map(ModuleState::for_module).collect(),
         }
+    }
+}
+
+/// Flat storage for every memory in the design. Owned memories allocate a
+/// slot on first use; a callee's external memory aliases the slot the parent
+/// passed through the call's `mem_binds`, so parent and child observe one
+/// shared bank — the same aliasing discipline as the RTL cosimulator.
+#[derive(Default)]
+struct MemArena {
+    slots: Vec<Vec<i64>>,
+}
+
+impl MemArena {
+    fn alloc(&mut self, words: usize) -> usize {
+        self.slots.push(vec![0; words]);
+        self.slots.len() - 1
     }
 }
 
@@ -142,7 +171,9 @@ impl Prep {
     fn build(h: &Hierarchy, module: &RtlModule, bi: usize) -> Self {
         let b = &module.behaviors()[bi];
         let g = h.dfg(b.dfg);
-        let order = hsyn_dfg::analysis::topo_order(g).expect("bound dfg is acyclic");
+        // Memory-aware order: program-order pairs (store-before-load on one
+        // memory) are evaluation constraints just like data edges.
+        let order = hsyn_dfg::mem_topo_order(g).expect("bound dfg is acyclic");
         let st = storage_analysis(g, &b.schedule);
         let n = g.node_count();
 
@@ -152,6 +183,7 @@ impl Prep {
         let mut slots_per: Vec<u32> = (0..n)
             .map(|i| match g.node(NodeId::from_index(i)).kind() {
                 NodeKind::Input { .. } | NodeKind::Const { .. } | NodeKind::Op(_) => 1,
+                NodeKind::Load { .. } | NodeKind::Store { .. } => 1,
                 NodeKind::Hier { callee } => h.out_arity(*callee) as u32,
                 NodeKind::Output { .. } => 0,
             })
@@ -176,6 +208,8 @@ impl Prep {
                 NodeKind::Op(op) => op.arity(),
                 NodeKind::Hier { callee } => h.in_arity(*callee),
                 NodeKind::Output { .. } => 1,
+                NodeKind::Load { .. } => 1,
+                NodeKind::Store { .. } => 2,
                 NodeKind::Input { .. } | NodeKind::Const { .. } => 0,
             };
             for p in 0..ports as u16 {
@@ -367,8 +401,12 @@ fn simulate_impl(
     let mut act = ModuleActivity::for_module(module);
     let mut state = ModuleState::for_module(module);
     let mut prep = PrepTree::for_module(module);
+    let mut arena = MemArena::default();
 
-    // Arm one replay driver per top-level submodule instance.
+    // Arm one replay driver per top-level submodule instance. A submodule
+    // that touches memory anywhere in its subtree is never replayed: its
+    // outputs depend on bank contents (possibly shared with the parent),
+    // which the `(behavior, inputs)` call key cannot capture.
     let mut drivers: Vec<SubDriver> = Vec::new();
     let mut cache = None;
     if let Some((fp, c)) = cached {
@@ -380,9 +418,14 @@ fn simulate_impl(
             .subs
             .iter()
             .enumerate()
-            .map(|(i, sfp)| match c.map.remove(&(i, sfp.fp)) {
-                Some(rec) => SubDriver::Replaying { rec, pos: 0 },
-                None => SubDriver::Live { calls: Vec::new() },
+            .map(|(i, sfp)| {
+                if subtree_has_mem(h, &module.subs()[i]) {
+                    return SubDriver::Bypass;
+                }
+                match c.map.remove(&(i, sfp.fp)) {
+                    Some(rec) => SubDriver::Replaying { rec, pos: 0 },
+                    None => SubDriver::Live { calls: Vec::new() },
+                }
             })
             .collect();
         cache = Some((fp, c));
@@ -405,6 +448,8 @@ fn simulate_impl(
             &mut act,
             &mut prep,
             &mut drivers,
+            &mut arena,
+            &[],
         );
         for (o, v) in outputs.iter_mut().zip(&out) {
             o.push(*v);
@@ -440,6 +485,8 @@ fn simulate_impl(
                             &mut act.subs[i],
                             &mut prep.subs[i],
                             &mut live_drivers,
+                            &mut arena,
+                            &[],
                         );
                     }
                     let calls = rec.calls[..pos].to_vec();
@@ -463,10 +510,23 @@ fn simulate_impl(
                         },
                     );
                 }
+                // Memory-touching subtree: always simulated live, never
+                // recorded (a recording keyed on inputs would replay stale
+                // bank contents).
+                SubDriver::Bypass => {
+                    c.misses += 1;
+                }
             }
         }
     }
     (act, outputs)
+}
+
+/// Whether any behavior in `m`'s subtree declares a memory (owned or
+/// imported). Such subtrees carry hidden state and are excluded from replay.
+fn subtree_has_mem(h: &Hierarchy, m: &RtlModule) -> bool {
+    m.behaviors().iter().any(|b| h.dfg(b.dfg).mem_count() > 0)
+        || m.subs().iter().any(|s| subtree_has_mem(h, s))
 }
 
 /// One invocation of a submodule behavior, as seen from its parent.
@@ -497,6 +557,9 @@ enum SubDriver {
     Replaying { rec: SubRecording, pos: usize },
     /// Simulating live, accumulating a fresh recording.
     Live { calls: Vec<CallRecord> },
+    /// Simulating live without recording: the subtree touches memory, so a
+    /// call's outputs are not a function of its inputs alone.
+    Bypass,
 }
 
 /// Memoized submodule simulations, keyed by `(instance index, structural
@@ -565,6 +628,7 @@ impl SubDriver {
         state: &mut ModuleState,
         act: &mut ModuleActivity,
         prep: &mut PrepTree,
+        arena: &mut MemArena,
     ) -> Vec<i64> {
         if let SubDriver::Replaying { rec, pos } = self {
             let matches = rec
@@ -591,13 +655,15 @@ impl SubDriver {
                     act,
                     prep,
                     &mut live_drivers,
+                    arena,
+                    &[],
                 );
             }
             let calls = rec.calls[..*pos].to_vec();
             *self = SubDriver::Live { calls };
         }
         let SubDriver::Live { calls } = self else {
-            unreachable!("replaying arm returns or converts to live");
+            unreachable!("replaying arm returns or converts to live; bypass never calls");
         };
         let mut live_drivers = Vec::new();
         let out = run_behavior(
@@ -610,6 +676,8 @@ impl SubDriver {
             act,
             prep,
             &mut live_drivers,
+            arena,
+            &[],
         );
         calls.push(CallRecord {
             bi,
@@ -634,9 +702,42 @@ fn run_behavior(
     act: &mut ModuleActivity,
     prep_tree: &mut PrepTree,
     drivers: &mut [SubDriver],
+    arena: &mut MemArena,
+    ext_slots: &[usize],
 ) -> Vec<i64> {
     let b = &module.behaviors()[bi];
     let g = h.dfg(b.dfg);
+    // Resolve each memory of this behavior to its arena slot: owned
+    // memories allocate (once — contents persist across iterations),
+    // external ones alias the slots the caller passed, in declaration
+    // order (the hierarchy checker validated arity and shape).
+    let mem_map: Vec<usize> = {
+        let slots = state.mem_slots[bi].get_or_insert_with(|| vec![None; g.mem_count()]);
+        let mut ext = ext_slots.iter().copied();
+        g.mems()
+            .map(|(i, m)| match m.scope {
+                MemScope::Owned => {
+                    *slots[i.index()].get_or_insert_with(|| arena.alloc(m.words.max(1) as usize))
+                }
+                MemScope::External => match ext.next() {
+                    Some(slot) => slot,
+                    // Standalone evaluation (a child resynthesized in
+                    // isolation sees no caller): an unbound import behaves
+                    // as a private zero-initialized bank, matching the
+                    // flattened reference evaluator.
+                    None => *slots[i.index()]
+                        .get_or_insert_with(|| arena.alloc(m.words.max(1) as usize)),
+                },
+            })
+            .collect()
+    };
+    if act.mem_accesses.len() != module.behaviors().len() {
+        act.mem_accesses
+            .resize(module.behaviors().len(), Vec::new());
+    }
+    if act.mem_accesses[bi].len() != g.mem_count() {
+        act.mem_accesses[bi] = vec![(0, 0); g.mem_count()];
+    }
     // Split the borrow: the prep for this behavior vs. the sub-prep trees
     // needed by recursion.
     prep_tree.get(h, module, bi);
@@ -685,18 +786,16 @@ fn run_behavior(
                     sub_inputs.push(read_src(&state.history[bi], &values, prep.src(nid, p)));
                 }
                 let si = sub_id.index();
+                // Shared banks flow to the callee as arena slots, resolved
+                // through this call's positional memory binds.
+                let sub_ext: Vec<usize> = g
+                    .node(nid)
+                    .mem_binds()
+                    .iter()
+                    .map(|m| mem_map[m.index()])
+                    .collect();
                 let out = match drivers.get_mut(si) {
-                    Some(driver) => driver.call(
-                        h,
-                        sub,
-                        sub_bi,
-                        &sub_inputs,
-                        width,
-                        &mut state.subs[si],
-                        &mut act.subs[si],
-                        &mut sub_preps[si],
-                    ),
-                    None => run_behavior(
+                    Some(SubDriver::Bypass) | None => run_behavior(
                         h,
                         sub,
                         sub_bi,
@@ -706,12 +805,42 @@ fn run_behavior(
                         &mut act.subs[si],
                         &mut sub_preps[si],
                         &mut Vec::new(),
+                        arena,
+                        &sub_ext,
+                    ),
+                    Some(driver) => driver.call(
+                        h,
+                        sub,
+                        sub_bi,
+                        &sub_inputs,
+                        width,
+                        &mut state.subs[si],
+                        &mut act.subs[si],
+                        &mut sub_preps[si],
+                        arena,
                     ),
                 };
                 let base = prep.slot(nid, 0);
                 for (p, v) in out.into_iter().enumerate() {
                     values[base + p] = v;
                 }
+            }
+            NodeKind::Load { mem } => {
+                let addr = read_src(&state.history[bi], &values, prep.src(nid, 0));
+                let bank = &arena.slots[mem_map[mem.index()]];
+                let v = bank[addr.rem_euclid(bank.len() as i64) as usize];
+                values[prep.slot(nid, 0)] = crate::truncate(v, width);
+                act.mem_accesses[bi][mem.index()].0 += 1;
+            }
+            NodeKind::Store { mem } => {
+                let addr = read_src(&state.history[bi], &values, prep.src(nid, 0));
+                let data = read_src(&state.history[bi], &values, prep.src(nid, 1));
+                let stored = crate::truncate(data, g.mem(*mem).elem_width.min(width));
+                let bank = &mut arena.slots[mem_map[mem.index()]];
+                let words = bank.len() as i64;
+                bank[addr.rem_euclid(words) as usize] = stored;
+                values[prep.slot(nid, 0)] = stored;
+                act.mem_accesses[bi][mem.index()].1 += 1;
             }
             NodeKind::Output { .. } => {}
         }

@@ -5,7 +5,7 @@
 use crate::instance::{FuInstId, RegId, SubId};
 use crate::module::RtlModule;
 use crate::spec::storage_analysis;
-use hsyn_dfg::{Hierarchy, NodeKind};
+use hsyn_dfg::{Hierarchy, MemId, NodeKind};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// A value source inside a module.
@@ -21,6 +21,8 @@ pub enum Source {
     Const(i64),
     /// Primary input `index` of the module.
     Input(usize),
+    /// The read-data bus of memory `mem` of the behavior's DFG.
+    Mem(MemId),
 }
 
 /// A value sink inside a module.
@@ -34,6 +36,10 @@ pub enum Sink {
     SubPort(SubId, u16),
     /// Primary output `index` of the module.
     Output(usize),
+    /// The address bus of memory `mem` (steered between accesses).
+    MemAddr(MemId),
+    /// The write-data bus of memory `mem`.
+    MemData(MemId),
 }
 
 /// The union, over all behaviors, of sources feeding each sink.
@@ -106,6 +112,11 @@ pub fn connectivity(h: &Hierarchy, module: &RtlModule) -> Connectivity {
                         b.binding.var_to_reg.get(&from).copied().map(Source::Reg)
                     }
                 }
+                // Loads are pipelined (never chained), so their results
+                // always land in a register before consumption.
+                NodeKind::Load { .. } => b.binding.var_to_reg.get(&from).copied().map(Source::Reg),
+                // Stores produce no consumed value; no edge leaves them.
+                NodeKind::Store { .. } => None,
                 NodeKind::Output { .. } => None,
             }
         };
@@ -119,6 +130,17 @@ pub fn connectivity(h: &Hierarchy, module: &RtlModule) -> Connectivity {
                 NodeKind::Op(_) => Sink::FuPort(b.binding.op_to_fu[&e.to], e.to_port),
                 NodeKind::Hier { .. } => Sink::SubPort(b.binding.hier_to_sub[&e.to], e.to_port),
                 NodeKind::Output { index } => Sink::Output(*index),
+                // Port 0 of both accesses is the address; a store's port 1
+                // is the written data. Several accesses of one memory share
+                // (and mux) its address/data buses.
+                NodeKind::Load { mem } => Sink::MemAddr(*mem),
+                NodeKind::Store { mem } => {
+                    if e.to_port == 0 {
+                        Sink::MemAddr(*mem)
+                    } else {
+                        Sink::MemData(*mem)
+                    }
+                }
                 _ => continue,
             };
             conn.sinks.entry(sink).or_default().insert(src);
@@ -133,6 +155,7 @@ pub fn connectivity(h: &Hierarchy, module: &RtlModule) -> Connectivity {
                 NodeKind::Op(_) => Source::Fu(b.binding.op_to_fu[&v.node]),
                 NodeKind::Hier { .. } => Source::Sub(b.binding.hier_to_sub[&v.node], v.port),
                 NodeKind::Input { index } => Source::Input(*index),
+                NodeKind::Load { mem } => Source::Mem(*mem),
                 _ => continue,
             };
             conn.sinks.entry(Sink::RegIn(reg)).or_default().insert(src);

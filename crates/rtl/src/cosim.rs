@@ -46,7 +46,7 @@
 use crate::fsm::{generate_fsm, ControlWord};
 use crate::module::RtlModule;
 use crate::spec::storage_analysis;
-use hsyn_dfg::{Dfg, Edge, Hierarchy, NodeId, NodeKind, Operation, VarRef};
+use hsyn_dfg::{Dfg, Edge, Hierarchy, MemId, MemScope, NodeId, NodeKind, Operation, VarRef};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -83,6 +83,8 @@ pub struct CosimStats {
     /// Submodule state outputs (ports driven by delayed edges inside the
     /// callee) read from the submodule's history before it ran.
     pub state_out_reads: u64,
+    /// Memory accesses issued (loads + stores, across all instances).
+    pub mem_accesses: u64,
 }
 
 /// The result of a divergence-free co-simulation.
@@ -115,6 +117,13 @@ pub enum CosimDivergenceKind {
     /// A register write committed a value different from the behavioral
     /// value of the variable it stores.
     Register {
+        /// Human-readable description of the mismatch.
+        detail: String,
+    },
+    /// A memory bank word touched by an access differs between the physical
+    /// (datapath-routed) banks and the behavioral shadow memory — the
+    /// cycle-by-cycle memory state check.
+    Memory {
         /// Human-readable description of the mismatch.
         detail: String,
     },
@@ -162,6 +171,7 @@ impl fmt::Display for CosimDivergence {
             CosimDivergenceKind::ControlWord { detail } => write!(f, "control word: {detail}"),
             CosimDivergenceKind::Datapath { detail } => write!(f, "datapath: {detail}"),
             CosimDivergenceKind::Register { detail } => write!(f, "register: {detail}"),
+            CosimDivergenceKind::Memory { detail } => write!(f, "memory: {detail}"),
             CosimDivergenceKind::Output {
                 index,
                 got,
@@ -212,6 +222,11 @@ struct Plan {
     /// Operation nodes firing in each cycle, topologically ordered so
     /// chained producers fire before their consumers.
     ops_at: Vec<Vec<NodeId>>,
+    /// Memory accesses (loads and stores) issued in each cycle, in
+    /// program order.
+    accesses_at: Vec<Vec<NodeId>>,
+    /// Expectation of `words[c].mem_issues`.
+    mem_expect: Vec<Vec<(u16, u16)>>,
     /// Register write groups committing at the end of each cycle:
     /// `(register index, variables sharing the (birth, register) key)`.
     /// The flag marks *register-live* variables (death ≥ birth) — ones
@@ -250,13 +265,16 @@ impl Plan {
         let b = &module.behaviors()[bi];
         let g = h.dfg(b.dfg);
         let st = storage_analysis(g, &b.schedule);
-        let order = hsyn_dfg::analysis::topo_order(g).expect("bound dfg is acyclic");
+        // Memory-aware topo order: program order among same-cycle accesses.
+        let order = hsyn_dfg::mem_topo_order(g).expect("bound dfg is acyclic");
         let words = generate_fsm(h, module).programs[bi].words.clone();
         let n_cycles = b.schedule.makespan() as usize + 1;
 
         let mut fu_expect = vec![vec![None; module.fus().len()]; n_cycles];
         let mut sub_expect = vec![vec![false; module.subs().len()]; n_cycles];
         let mut ops_at = vec![Vec::new(); n_cycles];
+        let mut accesses_at = vec![Vec::new(); n_cycles];
+        let mut mem_expect = vec![vec![(0u16, 0u16); g.mem_count()]; n_cycles];
         let mut calls = Vec::new();
         let mut samples_at = vec![Vec::new(); n_cycles];
         let mut late_samples_at = vec![Vec::new(); n_cycles];
@@ -332,6 +350,20 @@ impl Plan {
                         sub_bi,
                         start,
                     });
+                }
+                NodeKind::Load { mem } => {
+                    let c = b.schedule.time(nid).occupied.0 as usize;
+                    if let Some(slot) = accesses_at.get_mut(c) {
+                        slot.push(nid);
+                        mem_expect[c][mem.index()].0 += 1;
+                    }
+                }
+                NodeKind::Store { mem } => {
+                    let c = b.schedule.time(nid).occupied.0 as usize;
+                    if let Some(slot) = accesses_at.get_mut(c) {
+                        slot.push(nid);
+                        mem_expect[c][mem.index()].1 += 1;
+                    }
                 }
                 _ => {}
             }
@@ -411,6 +443,8 @@ impl Plan {
             sub_expect,
             load_expect,
             ops_at,
+            accesses_at,
+            mem_expect,
             writes_at,
             calls,
             samples_at,
@@ -465,6 +499,10 @@ struct InstState {
     /// `history[behavior][(var, k)]` = value of `var` from `k` iterations
     /// ago (the delay-line abstraction shared with the power simulator).
     history: Vec<HashMap<(VarRef, u32), i64>>,
+    /// Per behavior: pool slots of the DFG's *owned* memories, allocated
+    /// lazily on first invocation and retained forever after — physical
+    /// SRAM keeps its contents across invocations and iterations.
+    mem_slots: Vec<Option<Vec<Option<usize>>>>,
     subs: Vec<InstState>,
 }
 
@@ -473,9 +511,65 @@ impl InstState {
         InstState {
             regs: vec![None; m.regs().len()],
             history: vec![HashMap::new(); m.behaviors().len()],
+            mem_slots: vec![None; m.behaviors().len()],
             subs: m.subs().iter().map(InstState::for_module).collect(),
         }
     }
+}
+
+/// The physical memory banks of the whole design, as flat arrays: a slot
+/// per allocated memory, shared between the owner and every callee the
+/// owner passes the memory to. The behavioral shadow copy is updated with
+/// reference values at the same cycles, so every access can check the
+/// touched word — memory state verified cycle by cycle, not just at
+/// outputs.
+#[derive(Default)]
+struct MemPool {
+    /// Physical contents, written through datapath-routed address/data.
+    got: Vec<Vec<i64>>,
+    /// Behavioral shadow, written through reference values.
+    want: Vec<Vec<i64>>,
+}
+
+impl MemPool {
+    fn alloc(&mut self, words: usize) -> usize {
+        self.got.push(vec![0; words]);
+        self.want.push(vec![0; words]);
+        self.got.len() - 1
+    }
+}
+
+/// Pool slot of every memory of `g` for one instance running behavior
+/// `bi`: owned memories get (or reuse) the instance's persistent slot;
+/// external memories alias the caller's banks through the call node's
+/// positional bindings — parent and callee literally read and write the
+/// same array, which is what makes shared-bank lockstep checkable.
+fn resolve_mem_map(
+    g: &Dfg,
+    state: &mut InstState,
+    bi: usize,
+    parent_map: &[usize],
+    binds: &[MemId],
+    pool: &mut MemPool,
+) -> Vec<usize> {
+    let slots = state.mem_slots[bi].get_or_insert_with(|| vec![None; g.mem_count()]);
+    let mut ext = 0usize;
+    g.mems()
+        .enumerate()
+        .map(|(i, (_, m))| match m.scope {
+            MemScope::Owned => *slots[i].get_or_insert_with(|| pool.alloc(m.words.max(1) as usize)),
+            MemScope::External => match binds.get(ext) {
+                Some(b) => {
+                    ext += 1;
+                    parent_map[b.index()]
+                }
+                // Standalone cosimulation of a child design (no caller, so
+                // no binds): an unbound import behaves as a private
+                // zero-initialized bank, matching the flattened reference.
+                None => *slots[i].get_or_insert_with(|| pool.alloc(m.words.max(1) as usize)),
+            },
+        })
+        .collect()
 }
 
 /// Behavioral value of the variable feeding `e` — what the routing *should*
@@ -520,7 +614,10 @@ fn wire_value(
     match g.node(var.node).kind() {
         NodeKind::Input { index } => Some(inputs.get(*index).copied().flatten().unwrap_or(0)),
         NodeKind::Const { value } => Some(truncate(*value, width)),
-        NodeKind::Op(_) | NodeKind::Hier { .. } => {
+        NodeKind::Op(_)
+        | NodeKind::Hier { .. }
+        | NodeKind::Load { .. }
+        | NodeKind::Store { .. } => {
             if let Some(&v) = wire.get(&(var.node, var.port)) {
                 return Some(v);
             }
@@ -565,7 +662,10 @@ fn route(
         NodeKind::Const { value } => Ok(truncate(*value, width)),
         NodeKind::Input { index } => Ok(inputs.get(*index).copied().flatten().unwrap_or(0)),
         NodeKind::Output { .. } => unreachable!("outputs have no consumers"),
-        NodeKind::Op(_) | NodeKind::Hier { .. } => {
+        NodeKind::Op(_)
+        | NodeKind::Hier { .. }
+        | NodeKind::Load { .. }
+        | NodeKind::Store { .. } => {
             let from_wire = |stats: &mut CosimStats, why: &str| {
                 wire_value(
                     var,
@@ -727,10 +827,14 @@ struct Frame {
     blocked: Vec<(usize, u16)>,
     /// Active invocation per submodule instance.
     subruns: Vec<Option<SubRun>>,
+    /// Pool slot of every memory of this behavior's DFG, owned slots plus
+    /// caller-bound external ones (resolved per invocation: different call
+    /// sites of a shared instance may bind different parent banks).
+    mem_map: Vec<usize>,
 }
 
 impl Frame {
-    fn new(g: &Dfg, subs: usize, width: u32) -> Self {
+    fn new(g: &Dfg, subs: usize, width: u32, mem_map: Vec<usize>) -> Self {
         let mut expected = HashMap::new();
         for (nid, node) in g.nodes() {
             if let NodeKind::Const { value } = node.kind() {
@@ -745,6 +849,7 @@ impl Frame {
             pending: Vec::new(),
             blocked: Vec::new(),
             subruns: (0..subs).map(|_| None).collect(),
+            mem_map,
         }
     }
 }
@@ -1013,6 +1118,7 @@ fn drain_subrun(
     frame: &mut Frame,
     state: &mut InstState,
     sub_plans: &mut [PlanTree],
+    pool: &mut MemPool,
     stats: &mut CosimStats,
     si: usize,
     cy: u32,
@@ -1101,6 +1207,7 @@ fn drain_subrun(
             &mut run.frame,
             &mut state.subs[si],
             &mut sub_plans[si],
+            pool,
             stats,
         )?;
     }
@@ -1109,6 +1216,7 @@ fn drain_subrun(
         &mut run.frame,
         &mut state.subs[si],
         &mut sub_plans[si],
+        pool,
         stats,
     )?;
     stats.sub_calls += 1;
@@ -1128,6 +1236,7 @@ fn step_cycle(
     frame: &mut Frame,
     state: &mut InstState,
     plans: &mut PlanTree,
+    pool: &mut MemPool,
     stats: &mut CosimStats,
 ) -> Result<(), Box<CosimDivergence>> {
     let g = ctx.g;
@@ -1162,6 +1271,12 @@ fn step_cycle(
         return Err(ctx.diverge(
             Some(cy),
             word_mismatch("register loads", &word.reg_loads, &plan.load_expect[c]),
+        ));
+    }
+    if word.mem_issues != plan.mem_expect[c] {
+        return Err(ctx.diverge(
+            Some(cy),
+            word_mismatch("memory issues", &word.mem_issues, &plan.mem_expect[c]),
         ));
     }
 
@@ -1220,6 +1335,95 @@ fn step_cycle(
         stats.fu_fires += 1;
     }
 
+    // 2a. Issue the memory accesses starting this cycle: route the address
+    //     (and a store's write data) through the datapath, apply them to
+    //     the physical banks, and check the touched word against the
+    //     behavioral shadow memory — the memory state is verified cycle by
+    //     cycle, not just at outputs.
+    for &nid in &plan.accesses_at[c] {
+        let (mem, is_store) = match g.node(nid).kind() {
+            NodeKind::Load { mem } => (*mem, false),
+            NodeKind::Store { mem } => (*mem, true),
+            _ => unreachable!("accesses_at holds memory accesses"),
+        };
+        let nports: u16 = if is_store { 2 } else { 1 };
+        let mut got_args = [0i64; 2];
+        let mut want_args = [0i64; 2];
+        for p in 0..nports {
+            let (eid, e) = g
+                .in_edges(nid)
+                .find(|(_, e)| e.to_port == p)
+                .expect("validated dfg");
+            let got = route(
+                eid.index(),
+                e,
+                cy,
+                g,
+                plan,
+                &ctx.b.binding,
+                ctx.bi,
+                &state.regs,
+                &state.history[ctx.bi],
+                &frame.wire,
+                &frame.inputs,
+                ctx.width,
+                &state.subs,
+                stats,
+            )
+            .map_err(|k| ctx.diverge(Some(cy), k))?;
+            let want = resolve_expected(
+                e,
+                &state.history[ctx.bi],
+                &frame.expected,
+                &plan.state_out,
+                &state.subs,
+            );
+            if got != want {
+                return Err(ctx.diverge(
+                    Some(cy),
+                    CosimDivergenceKind::Datapath {
+                        detail: format!(
+                            "operand {p} of {} routed {got}, behavior says {want}",
+                            g.node(nid).name()
+                        ),
+                    },
+                ));
+            }
+            got_args[p as usize] = got;
+            want_args[p as usize] = want;
+        }
+        let m = g.mem(mem);
+        let slot = frame.mem_map[mem.index()];
+        let words_n = pool.got[slot].len() as i64;
+        let wi = got_args[0].rem_euclid(words_n) as usize;
+        let wj = want_args[0].rem_euclid(words_n) as usize;
+        let (v_got, v_want) = if is_store {
+            let ew = m.elem_width.min(ctx.width).max(1);
+            let sg = truncate(got_args[1], ew);
+            let sw = truncate(want_args[1], ew);
+            pool.got[slot][wi] = sg;
+            pool.want[slot][wj] = sw;
+            (sg, sw)
+        } else {
+            (pool.got[slot][wi], pool.want[slot][wj])
+        };
+        if v_got != v_want || pool.got[slot][wi] != pool.want[slot][wi] {
+            return Err(ctx.diverge(
+                Some(cy),
+                CosimDivergenceKind::Memory {
+                    detail: format!(
+                        "{} word {wi} of {}: datapath {v_got}, behavior {v_want}",
+                        if is_store { "store to" } else { "load from" },
+                        m.name
+                    ),
+                },
+            ));
+        }
+        frame.wire.insert((nid, 0), v_got);
+        frame.expected.insert((nid, 0), v_want);
+        stats.mem_accesses += 1;
+    }
+
     // 3. Start the calls strobed this cycle. Re-arming an instance whose
     //    previous invocation is still in its tail cycles completes that
     //    invocation first — everything the parent needed from it was
@@ -1228,14 +1432,22 @@ fn step_cycle(
         let call = &plan.calls[ci];
         let si = call.sub;
         if frame.subruns[si].is_some() {
-            drain_subrun(ctx, plan, frame, state, sub_plans, stats, si, cy)?;
+            drain_subrun(ctx, plan, frame, state, sub_plans, pool, stats, si, cy)?;
         }
         let sub = &ctx.module.subs()[si];
         sub_plans[si].ensure(ctx.h, sub, call.sub_bi);
         let sub_g = ctx.h.dfg(sub.behaviors()[call.sub_bi].dfg);
+        let mem_map = resolve_mem_map(
+            sub_g,
+            &mut state.subs[si],
+            call.sub_bi,
+            &frame.mem_map,
+            g.node(call.node).mem_binds(),
+            pool,
+        );
         frame.subruns[si] = Some(SubRun {
             ci,
-            frame: Box::new(Frame::new(sub_g, sub.subs().len(), ctx.width)),
+            frame: Box::new(Frame::new(sub_g, sub.subs().len(), ctx.width, mem_map)),
         });
     }
 
@@ -1267,6 +1479,7 @@ fn step_cycle(
                 &mut run.frame,
                 &mut state.subs[si],
                 &mut sub_plans[si],
+                pool,
                 stats,
             )?;
         }
@@ -1276,6 +1489,7 @@ fn step_cycle(
                 &mut run.frame,
                 &mut state.subs[si],
                 &mut sub_plans[si],
+                pool,
                 stats,
             )?;
             stats.sub_calls += 1;
@@ -1430,6 +1644,7 @@ fn finish_behavior(
     frame: &mut Frame,
     state: &mut InstState,
     plans: &mut PlanTree,
+    pool: &mut MemPool,
     stats: &mut CosimStats,
 ) -> Result<Vec<i64>, Box<CosimDivergence>> {
     let g = ctx.g;
@@ -1443,7 +1658,7 @@ fn finish_behavior(
     let last = plan.n_cycles as u32 - 1;
     for si in 0..frame.subruns.len() {
         if frame.subruns[si].is_some() {
-            drain_subrun(ctx, plan, frame, state, sub_plans, stats, si, last)?;
+            drain_subrun(ctx, plan, frame, state, sub_plans, pool, stats, si, last)?;
         }
     }
 
@@ -1525,6 +1740,7 @@ fn cosim_behavior(
     width: u32,
     state: &mut InstState,
     plans: &mut PlanTree,
+    pool: &mut MemPool,
     stats: &mut CosimStats,
     path: &str,
     iteration: usize,
@@ -1542,7 +1758,9 @@ fn cosim_behavior(
         path,
         iteration,
     };
-    let mut frame = Frame::new(g, module.subs().len(), width);
+    // The top DFG imports nothing: every memory it names is owned here.
+    let mem_map = resolve_mem_map(g, state, bi, &[], &[], pool);
+    let mut frame = Frame::new(g, module.subs().len(), width, mem_map);
     let n_cycles = {
         let plan = plans.behaviors[bi].as_ref().expect("prepared above");
         for (i, &v) in inputs.iter().enumerate() {
@@ -1552,9 +1770,9 @@ fn cosim_behavior(
         plan.n_cycles
     };
     for _ in 0..n_cycles {
-        step_cycle(&ctx, &mut frame, state, plans, stats)?;
+        step_cycle(&ctx, &mut frame, state, plans, pool, stats)?;
     }
-    finish_behavior(&ctx, &mut frame, state, plans, stats)
+    finish_behavior(&ctx, &mut frame, state, plans, pool, stats)
 }
 
 /// Co-simulate `module` executing its first behavior once per input sample,
@@ -1596,6 +1814,7 @@ pub fn cosimulate(
 
     let mut state = InstState::for_module(module);
     let mut plans = PlanTree::for_module(module);
+    let mut pool = MemPool::default();
     let mut stats = CosimStats::default();
     let mut outputs: Vec<Vec<i64>> = vec![Vec::with_capacity(len); g.output_count()];
     let mut sample = vec![0i64; inputs.len()];
@@ -1611,6 +1830,7 @@ pub fn cosimulate(
             width,
             &mut state,
             &mut plans,
+            &mut pool,
             &mut stats,
             module.name(),
             n,

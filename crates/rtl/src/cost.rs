@@ -24,6 +24,8 @@ pub struct AreaBreakdown {
     pub wire: f64,
     /// FSM controller.
     pub controller: f64,
+    /// Owned memories (cell arrays plus port periphery).
+    pub mem: f64,
     /// Submodules (their totals).
     pub subs: f64,
 }
@@ -31,7 +33,7 @@ pub struct AreaBreakdown {
 impl AreaBreakdown {
     /// Total area.
     pub fn total(&self) -> f64 {
-        self.fu + self.reg + self.mux + self.wire + self.controller + self.subs
+        self.fu + self.reg + self.mux + self.wire + self.controller + self.mem + self.subs
     }
 }
 
@@ -64,12 +66,22 @@ fn own_area(h: &Hierarchy, module: &RtlModule, lib: &Library, subs: f64) -> Area
     let controller = lib
         .controller
         .area(states, control_bit_count(h, module, &conn));
+    // Owned memories are this module's hardware; an external memory is the
+    // parent's bank reached through the call interface, priced at its owner.
+    let mem: f64 = module
+        .behaviors()
+        .iter()
+        .flat_map(|b| h.dfg(b.dfg).mems())
+        .filter(|(_, m)| matches!(m.scope, hsyn_dfg::MemScope::Owned))
+        .map(|(_, m)| lib.memory.area(m.words, m.elem_width, m.ports, m.banks))
+        .sum();
     AreaBreakdown {
         fu,
         reg,
         mux,
         wire,
         controller,
+        mem,
         subs,
     }
 }

@@ -101,6 +101,9 @@ mod tag {
     pub const NODE_CONST: u64 = 0xC3;
     pub const NODE_OP: u64 = 0xC4;
     pub const NODE_HIER: u64 = 0xC5;
+    pub const NODE_LOAD: u64 = 0xC6;
+    pub const NODE_STORE: u64 = 0xC7;
+    pub const MEMS: u64 = 0xD1;
 }
 
 /// The fingerprint of a module together with its submodules' fingerprints,
@@ -352,8 +355,35 @@ fn fp_dfg(h: &Hierarchy, id: DfgId, memo: &mut DfgMemo) -> u64 {
                 f.u64(tag::NODE_HIER);
                 // Hierarchies are acyclic (validated), so this terminates.
                 f.u64(fp_dfg(h, *callee, memo));
+                // Bank bindings steer which physical memories a call shares.
+                f.usize(n.mem_binds().len());
+                for b in n.mem_binds() {
+                    f.usize(b.index());
+                }
+            }
+            NodeKind::Load { mem } => {
+                f.u64(tag::NODE_LOAD);
+                f.usize(mem.index());
+            }
+            NodeKind::Store { mem } => {
+                f.u64(tag::NODE_STORE);
+                f.usize(mem.index());
             }
         }
+    }
+    // Memory shapes feed area (bits, ports, banks) and energy (per-access)
+    // models, so they are part of the cost-relevant structure.
+    f.u64(tag::MEMS);
+    f.usize(g.mem_count());
+    for (_, m) in g.mems() {
+        f.u32(m.words);
+        f.u32(m.elem_width);
+        f.u32(m.ports);
+        f.u32(m.banks);
+        f.u64(match m.scope {
+            hsyn_dfg::MemScope::Owned => 0,
+            hsyn_dfg::MemScope::External => 1,
+        });
     }
     f.usize(g.edge_count());
     for (_, e) in g.edges() {

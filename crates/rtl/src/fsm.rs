@@ -19,6 +19,9 @@ pub struct ControlWord {
     pub reg_loads: Vec<bool>,
     /// Per submodule: whether it is started this cycle.
     pub sub_starts: Vec<bool>,
+    /// Per memory of the behavior's DFG: `(loads, stores)` issued this
+    /// cycle (multi-ported and banked memories accept several at once).
+    pub mem_issues: Vec<(u16, u16)>,
 }
 
 /// The control program for one behavior: one word per cycle.
@@ -71,6 +74,11 @@ impl fmt::Display for Fsm {
                         write!(f, " start(M{i})")?;
                     }
                 }
+                for (i, &(r, wr)) in w.mem_issues.iter().enumerate() {
+                    if r + wr > 0 {
+                        write!(f, " mem{i}(r{r},w{wr})")?;
+                    }
+                }
                 writeln!(f)?;
             }
         }
@@ -90,6 +98,7 @@ pub fn generate_fsm(h: &Hierarchy, module: &RtlModule) -> Fsm {
                 fu_ops: vec![None; module.fus().len()],
                 reg_loads: vec![false; module.regs().len()],
                 sub_starts: vec![false; module.subs().len()],
+                mem_issues: vec![(0, 0); g.mem_count()],
             };
             n_cycles
         ];
@@ -109,6 +118,18 @@ pub fn generate_fsm(h: &Hierarchy, module: &RtlModule) -> Fsm {
                     let start = b.schedule.time(nid).start.cycle;
                     if let Some(w) = words.get_mut(start as usize) {
                         w.sub_starts[sub.index()] = true;
+                    }
+                }
+                NodeKind::Load { mem } => {
+                    let start = b.schedule.time(nid).occupied.0;
+                    if let Some(w) = words.get_mut(start as usize) {
+                        w.mem_issues[mem.index()].0 += 1;
+                    }
+                }
+                NodeKind::Store { mem } => {
+                    let start = b.schedule.time(nid).occupied.0;
+                    if let Some(w) = words.get_mut(start as usize) {
+                        w.mem_issues[mem.index()].1 += 1;
                     }
                 }
                 _ => {}
@@ -154,6 +175,14 @@ pub fn control_bit_count(h: &Hierarchy, module: &RtlModule, conn: &Connectivity)
     bits += module.regs().len();
     // Submodule start strobes.
     bits += module.subs().len();
+    // Memory port control: an enable and a write strobe per bank port, for
+    // every memory a behavior touches (owned banks or a shared interface).
+    for b in module.behaviors() {
+        let g = h.dfg(b.dfg);
+        for (_, m) in g.mems() {
+            bits += (m.banks.max(1) * m.ports.max(1) * 2) as usize;
+        }
+    }
     // Mux selects.
     bits += conn.select_bits();
     bits

@@ -21,7 +21,7 @@ fn render(h: &Hierarchy, module: &RtlModule, lib: &Library, depth: usize, out: &
     let area = module_area(h, module, lib);
     let _ = writeln!(
         out,
-        "{pad}module {} (area {:.1}: fu {:.1}, reg {:.1}, mux {:.1}, wire {:.1}, ctrl {:.1}, subs {:.1})",
+        "{pad}module {} (area {:.1}: fu {:.1}, reg {:.1}, mux {:.1}, wire {:.1}, ctrl {:.1}, mem {:.1}, subs {:.1})",
         module.name(),
         area.total(),
         area.fu,
@@ -29,6 +29,7 @@ fn render(h: &Hierarchy, module: &RtlModule, lib: &Library, depth: usize, out: &
         area.mux,
         area.wire,
         area.controller,
+        area.mem,
         area.subs,
     );
     for (i, fu) in module.fus().iter().enumerate() {
@@ -55,6 +56,8 @@ fn render(h: &Hierarchy, module: &RtlModule, lib: &Library, depth: usize, out: &
             Sink::RegIn(r) => format!("R{}.d", r.index()),
             Sink::SubPort(s, p) => format!("M{}.{p}", s.index()),
             Sink::Output(i) => format!("out{i}"),
+            Sink::MemAddr(m) => format!("mem{}.addr", m.index()),
+            Sink::MemData(m) => format!("mem{}.wdata", m.index()),
         };
         let legs: Vec<String> = sources
             .iter()
@@ -64,6 +67,7 @@ fn render(h: &Hierarchy, module: &RtlModule, lib: &Library, depth: usize, out: &
                 Source::Reg(r) => format!("R{}", r.index()),
                 Source::Const(v) => format!("#{v}"),
                 Source::Input(i) => format!("in{i}"),
+                Source::Mem(m) => format!("mem{}.rdata", m.index()),
             })
             .collect();
         let _ = writeln!(out, "{pad}  mux -> {name} [{}]", legs.join(", "));

@@ -238,12 +238,22 @@ pub fn module_area_sized(
     let controller = lib
         .controller
         .area(states, control_bit_count(h, module, &conn));
+    // Memories store `elem_width` bits regardless of certified datapath
+    // widths, so the sized model charges the same figure as the baseline.
+    let mem: f64 = module
+        .behaviors()
+        .iter()
+        .flat_map(|b| h.dfg(b.dfg).mems())
+        .filter(|(_, m)| matches!(m.scope, hsyn_dfg::MemScope::Owned))
+        .map(|(_, m)| lib.memory.area(m.words, m.elem_width, m.ports, m.banks))
+        .sum();
     AreaBreakdown {
         fu,
         reg,
         mux,
         wire,
         controller,
+        mem,
         subs,
     }
 }

@@ -295,6 +295,10 @@ pub fn build(
                     .clone();
                 NodeDelay::Profiled(profile)
             }
+            // Memory accesses occupy their bank's issue slot for one cycle
+            // (synchronous single-cycle SRAM); a load's data arrives at the
+            // next boundary, so results are registered, never chained.
+            NodeKind::Load { .. } | NodeKind::Store { .. } => NodeDelay::Pipelined { stages: 1 },
             _ => NodeDelay::Free,
         }
     };
@@ -326,6 +330,15 @@ pub fn build(
         },
         &prio,
     );
+    // Memory correctness (program order) and per-bank port limits ride the
+    // same serialization mechanism as shared functional units.
+    let serial = {
+        let mut serial = serial;
+        serial.extend(hsyn_sched::mem_serial_edges(g));
+        let mut seen = std::collections::HashSet::new();
+        serial.retain(|&e| seen.insert(e));
+        serial
+    };
 
     // --- Schedule -----------------------------------------------------------
     let sctx = ctx.sched_context();

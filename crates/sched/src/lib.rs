@@ -50,9 +50,10 @@
 //! DESIGN.md, "Data layout & arena invariants".
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod list;
+mod mem;
 mod ordering;
 mod profile;
 mod schedule;
@@ -60,6 +61,7 @@ mod slack;
 mod time;
 
 pub use list::{list_schedule, ListSchedError, ListSchedule};
+pub use mem::{bank_assignment, mem_serial_edges};
 pub use ordering::{asap_priority, derive_orderings};
 pub use profile::{Environment, Profile};
 pub use schedule::{

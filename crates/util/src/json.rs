@@ -381,4 +381,105 @@ mod tests {
         assert_eq!(Json::Num(3.0).to_string_pretty(), "3");
         assert_eq!(Json::Num(0.25).to_string_pretty(), "0.25");
     }
+
+    /// Every escape class survives a write→parse round trip: quote,
+    /// backslash, the named controls, raw control bytes (written as `\u`),
+    /// and astral-plane characters (written literally as UTF-8).
+    #[test]
+    fn string_escapes_round_trip() {
+        for s in [
+            "plain",
+            "quote \" backslash \\ slash /",
+            "newline \n return \r tab \t",
+            "backspace \u{8} formfeed \u{c} bell \u{7} nul \u{0}",
+            "é ü 漢字 🚀",
+            "trailing backslash \\",
+        ] {
+            let text = Json::Str(s.to_owned()).to_string_pretty();
+            assert_eq!(
+                Json::parse(&text).unwrap().as_str().unwrap(),
+                s,
+                "via {text:?}"
+            );
+        }
+        // Parser-side escape forms the writer never emits.
+        assert_eq!(
+            Json::parse(r#""\/\b\f\u0041""#).unwrap().as_str().unwrap(),
+            "/\u{8}\u{c}A"
+        );
+        // Lone surrogates cannot be a char; they degrade to U+FFFD.
+        assert_eq!(
+            Json::parse(r#""\ud800""#).unwrap().as_str().unwrap(),
+            "\u{FFFD}"
+        );
+    }
+
+    /// Deeply nested arrays/objects round-trip; the recursive-descent
+    /// parser and writer agree at every level.
+    #[test]
+    fn deep_nesting_round_trips() {
+        let mut v = Json::Num(1.0);
+        for i in 0..64 {
+            v = if i % 2 == 0 {
+                Json::Arr(vec![v])
+            } else {
+                Json::Obj(vec![("k".into(), v)])
+            };
+        }
+        let text = v.to_string_pretty();
+        assert_eq!(Json::parse(&text).unwrap(), v);
+    }
+
+    /// Finite floats are bit-stable through print→parse (Rust's shortest
+    /// round-trip formatting), which is what makes golden files and the
+    /// determinism harness byte-exact. Non-finite values degrade to null
+    /// by design.
+    #[test]
+    fn float_printing_is_bit_stable() {
+        for x in [
+            0.1,
+            2.2,
+            1.0 / 3.0,
+            f64::MIN_POSITIVE,
+            f64::MIN_POSITIVE / 8.0, // subnormal
+            f64::MAX,
+            -123456.789e-12,
+            1e15 - 1.0,
+            1e15, // boundary of the integer fast path
+            9.007199254740993e15,
+        ] {
+            let text = Json::Num(x).to_string_pretty();
+            let back = Json::parse(&text).unwrap().as_f64().unwrap();
+            assert_eq!(back.to_bits(), x.to_bits(), "{x:e} printed as {text}");
+        }
+        assert_eq!(Json::Num(f64::NAN).to_string_pretty(), "null");
+        assert_eq!(Json::Num(f64::INFINITY).to_string_pretty(), "null");
+    }
+
+    /// Structural damage is rejected with a sensible byte offset, never
+    /// silently repaired.
+    #[test]
+    fn rejects_more_malformed_documents() {
+        for bad in [
+            "{\"a\": 1,}",   // trailing comma in object
+            "{\"a\" 1}",     // missing colon
+            "{1: 2}",        // non-string key
+            "[1 2]",         // missing comma
+            "tru",           // truncated literal
+            "\"\\x\"",       // unknown escape
+            "\"\\u12\"",     // truncated \u escape
+            "\"\\u12zz\"",   // non-hex \u escape
+            "nullnull",      // trailing value
+            "--1",           // malformed number
+            "{\"a\": 1} {}", // two documents
+        ] {
+            let err = Json::parse(bad).expect_err(bad);
+            assert!(
+                err.at <= bad.len(),
+                "{bad:?}: offset {} out of range",
+                err.at
+            );
+            assert!(!err.msg.is_empty());
+        }
+    }
 }

@@ -129,10 +129,19 @@ fn library_by_name(name: &str) -> Option<Library> {
         "table1" => Some(table1_library()),
         "realistic" => Some(Library::realistic()),
         _ => {
-            eprintln!("unknown library `{name}` (use table1 or realistic)");
+            eprintln!("unknown library `{name}`; available libraries: table1, realistic");
             None
         }
     }
+}
+
+/// Every registered benchmark name on one line, for `--benchmark` error help.
+fn benchmark_names() -> String {
+    benchmarks::all()
+        .iter()
+        .map(|b| b.name)
+        .collect::<Vec<_>>()
+        .join(", ")
 }
 
 fn main() -> ExitCode {
@@ -194,7 +203,10 @@ fn collect_targets(
                 equiv: b.equiv,
             }),
             None => {
-                eprintln!("unknown benchmark `{name}`");
+                eprintln!(
+                    "unknown benchmark `{name}`; available benchmarks: {}",
+                    benchmark_names()
+                );
                 return Err(ExitCode::FAILURE);
             }
         }
@@ -850,7 +862,10 @@ fn synth_main(args: Vec<String>) -> ExitCode {
         (None, Some(name)) => match benchmarks::by_name(&name) {
             Some(b) => (b.name.to_owned(), b.hierarchy, b.equiv),
             None => {
-                eprintln!("unknown benchmark `{name}`");
+                eprintln!(
+                    "unknown benchmark `{name}`; available benchmarks: {}",
+                    benchmark_names()
+                );
                 return ExitCode::FAILURE;
             }
         },

@@ -1,0 +1,50 @@
+//! The `hsyn` CLI fails helpfully: unknown `--benchmark` / `--library`
+//! names exit nonzero and list every available name so the user can
+//! correct the invocation without consulting the source.
+
+use std::process::Command;
+
+fn run(args: &[&str]) -> (bool, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_hsyn"))
+        .args(args)
+        .output()
+        .expect("hsyn binary runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn unknown_benchmark_lists_available_names() {
+    for args in [
+        &["--benchmark", "nope"][..],
+        &["cosim", "--benchmark", "nope"][..],
+        &["lint", "--benchmark", "nope"][..],
+    ] {
+        let (ok, stderr) = run(args);
+        assert!(!ok, "{args:?} must fail");
+        assert!(
+            stderr.contains("unknown benchmark `nope`"),
+            "{args:?}: {stderr}"
+        );
+        for name in ["paulin", "fft4", "matmul", "fir_block", "conv2d"] {
+            assert!(
+                stderr.contains(name),
+                "{args:?}: error must list `{name}`: {stderr}"
+            );
+        }
+    }
+}
+
+#[test]
+fn unknown_library_lists_available_names() {
+    let (ok, stderr) = run(&["--benchmark", "paulin", "--library", "nope"]);
+    assert!(!ok);
+    assert!(
+        stderr.contains("unknown library `nope`")
+            && stderr.contains("table1")
+            && stderr.contains("realistic"),
+        "{stderr}"
+    );
+}
