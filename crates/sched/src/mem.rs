@@ -246,3 +246,34 @@ mod tests {
         assert_eq!(d.len(), e1.len(), "no duplicate edges");
     }
 }
+
+#[cfg(test)]
+mod review_probe {
+    use super::*;
+    use crate::{schedule, NodeDelay, SchedContext};
+    use hsyn_dfg::{MemObject, Operation};
+
+    #[test]
+    fn deep_store_then_shallow_load() {
+        let mut g = Dfg::new("probe");
+        let m = g.add_mem(MemObject::owned("a", 4, 16));
+        let x = g.add_input("x");
+        let c1 = g.add_op(Operation::Add, "c1", &[x, x]);
+        let c2 = g.add_op(Operation::Add, "c2", &[c1, c1]);
+        let k = g.add_const("k", 0);
+        let st = g.add_store(m, "st", k, c2);
+        let l = g.add_load(m, "l", k);
+        g.add_output("y", l);
+        let serial = mem_serial_edges(&g);
+        eprintln!("serial edges: {:?}", serial);
+        assert!(serial.contains(&(st, l.node)), "program order st->l");
+        assert!(!serial.contains(&(l.node, st)), "cyclic reverse edge present!");
+        let delay = |n: hsyn_dfg::NodeId| match g.node(n).kind() {
+            NodeKind::Load { .. } | NodeKind::Store { .. } => NodeDelay::Pipelined { stages: 1 },
+            k2 if k2.is_schedulable() => NodeDelay::Combinational { ns: 3.0 },
+            _ => NodeDelay::Free,
+        };
+        let sched = schedule(&g, delay, &serial, &SchedContext::new(10.0, 1.0, None)).unwrap();
+        assert!(sched.time(l.node).start.cycle > sched.time(st).start.cycle);
+    }
+}
