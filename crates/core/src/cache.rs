@@ -11,8 +11,11 @@
 //!
 //! [`SynthesisConfig::shadow_eval`]: crate::SynthesisConfig::shadow_eval
 
+use std::collections::HashMap;
+use std::sync::Mutex;
+
 use hsyn_power::SimCache;
-use hsyn_rtl::AreaCache;
+use hsyn_rtl::{AreaBreakdown, AreaCache};
 
 /// Per-engine evaluation cache: area breakdowns and power-simulation
 /// recordings, both keyed by structural fingerprint.
@@ -43,5 +46,110 @@ impl EvalCache {
     /// Total lookups that fell through to a fresh computation.
     pub fn misses(&self) -> u64 {
         self.area.misses + self.sim.misses
+    }
+}
+
+/// Upper bound on entries a [`SharedAreaCache`] retains. Far above any
+/// realistic workload (entries are one `AreaBreakdown` per distinct module
+/// structure); the cap only exists so a hostile job stream cannot grow the
+/// daemon's memory without bound. Overflow is counted, never silent.
+pub const SHARED_AREA_CAP: usize = 1 << 16;
+
+/// A cross-run area-result store, shared between concurrent engine runs
+/// and (via the serve daemon) persisted across process lifetimes.
+///
+/// Only **area** entries live here. Power-simulation recordings
+/// ([`SimCache`]) are deliberately excluded: they are sound only within
+/// one fixed trace set, while area depends on nothing but module structure
+/// — exactly what the fingerprint covers — so an area entry computed by
+/// any run answers bit-identically for every other run. Area is also
+/// independent of the `(Vdd, clk)` operating point, so one store serves
+/// the whole configuration sweep. Entries *do* depend on the component
+/// library, so embedders must keep one store per library (the daemon keys
+/// stores by library name).
+///
+/// Seeding an engine from this store changes cache-hit telemetry and
+/// wall-clock, never a float of the result — the same contract as the
+/// intra-run cache, enforced at runtime by `shadow_eval` and by the serve
+/// differential suite.
+#[derive(Debug, Default)]
+pub struct SharedAreaCache {
+    map: Mutex<HashMap<u64, AreaBreakdown>>,
+    /// Entries rejected because the store was at [`SHARED_AREA_CAP`].
+    dropped: Mutex<u64>,
+}
+
+impl SharedAreaCache {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of entries currently held.
+    pub fn len(&self) -> usize {
+        self.map.lock().expect("shared area cache poisoned").len()
+    }
+
+    /// Whether the store holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Entries rejected so far because the store was full.
+    pub fn dropped(&self) -> u64 {
+        *self.dropped.lock().expect("shared area cache poisoned")
+    }
+
+    /// Insert one entry (used when loading a persisted store from disk).
+    /// Ignored with a drop count if the store is at capacity.
+    pub fn insert(&self, fp: u64, area: AreaBreakdown) {
+        let mut map = self.map.lock().expect("shared area cache poisoned");
+        if map.len() >= SHARED_AREA_CAP && !map.contains_key(&fp) {
+            *self.dropped.lock().expect("shared area cache poisoned") += 1;
+        } else {
+            map.insert(fp, area);
+        }
+    }
+
+    /// Seed every stored entry into an engine's per-run cache, marking
+    /// them warm for telemetry.
+    pub fn seed_into(&self, cache: &mut AreaCache) {
+        let map = self.map.lock().expect("shared area cache poisoned");
+        for (&fp, &area) in map.iter() {
+            cache.seed(fp, area);
+        }
+    }
+
+    /// Copy every entry a finished run computed back into the store, so
+    /// later runs (and persisted snapshots) see them. Returns how many
+    /// entries were new.
+    pub fn absorb(&self, cache: &AreaCache) -> usize {
+        let mut map = self.map.lock().expect("shared area cache poisoned");
+        let mut added = 0usize;
+        let mut dropped = 0u64;
+        for (fp, area) in cache.entries() {
+            if map.contains_key(&fp) {
+                continue;
+            }
+            if map.len() >= SHARED_AREA_CAP {
+                dropped += 1;
+                continue;
+            }
+            map.insert(fp, area);
+            added += 1;
+        }
+        if dropped > 0 {
+            *self.dropped.lock().expect("shared area cache poisoned") += dropped;
+        }
+        added
+    }
+
+    /// All entries, sorted by fingerprint — a deterministic order for
+    /// persistence, so equal stores serialize to equal bytes.
+    pub fn snapshot(&self) -> Vec<(u64, AreaBreakdown)> {
+        let map = self.map.lock().expect("shared area cache poisoned");
+        let mut out: Vec<_> = map.iter().map(|(&fp, &a)| (fp, a)).collect();
+        out.sort_unstable_by_key(|&(fp, _)| fp);
+        out
     }
 }

@@ -1,0 +1,95 @@
+//! Cooperative cancellation for long-running synthesis jobs.
+//!
+//! A [`CancelToken`] is a cheap, cloneable handle the daemon (or any
+//! embedder) hands to [`SynthesisConfig::cancel`]; the engine polls it at
+//! pass, move-step, and LNS-iteration boundaries. Cancellation is
+//! all-or-nothing by design: a cancelled run returns
+//! [`SynthesisError::Cancelled`](crate::SynthesisError::Cancelled) and
+//! never a partial report, so the determinism contract ("same job →
+//! byte-identical `result_json`") is unaffected — a token can change
+//! *whether* a report exists, never its bytes.
+//!
+//! [`SynthesisConfig::cancel`]: crate::SynthesisConfig::cancel
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A cloneable cancellation handle: an explicit flag plus an optional
+/// deadline fixed at construction. All clones share the flag.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    inner: Arc<Inner>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    flag: AtomicBool,
+    deadline: Option<Instant>,
+}
+
+impl CancelToken {
+    /// A token that only cancels when [`CancelToken::cancel`] is called.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A token that additionally auto-cancels once `budget` has elapsed
+    /// from now.
+    pub fn with_deadline(budget: Duration) -> Self {
+        Self {
+            inner: Arc::new(Inner {
+                flag: AtomicBool::new(false),
+                deadline: Some(Instant::now() + budget),
+            }),
+        }
+    }
+
+    /// Request cancellation. Idempotent; visible to all clones.
+    pub fn cancel(&self) {
+        self.inner.flag.store(true, Ordering::Release);
+    }
+
+    /// Whether the run should stop: explicitly cancelled, or past the
+    /// deadline.
+    pub fn is_cancelled(&self) -> bool {
+        self.inner.flag.load(Ordering::Acquire) || self.deadline_expired()
+    }
+
+    /// Whether the deadline (if any) has passed, regardless of the
+    /// explicit flag. Lets callers distinguish "client hit cancel" from
+    /// "ran out of time" when reporting.
+    pub fn deadline_expired(&self) -> bool {
+        self.inner.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// Whether two handles share the same underlying token (i.e. one is a
+    /// clone of the other). Used by registries that index live tokens.
+    pub fn same(&self, other: &CancelToken) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn explicit_cancel_is_shared_across_clones() {
+        let t = CancelToken::new();
+        let u = t.clone();
+        assert!(!t.is_cancelled() && !u.is_cancelled());
+        u.cancel();
+        assert!(t.is_cancelled() && u.is_cancelled());
+        assert!(!t.deadline_expired(), "no deadline was set");
+    }
+
+    #[test]
+    fn elapsed_deadline_cancels() {
+        let t = CancelToken::with_deadline(Duration::ZERO);
+        assert!(t.is_cancelled());
+        assert!(t.deadline_expired());
+        let far = CancelToken::with_deadline(Duration::from_secs(3600));
+        assert!(!far.is_cancelled());
+    }
+}

@@ -140,6 +140,24 @@ pub struct SynthesisConfig {
     /// Observation-only on legal runs — the report is byte-identical with
     /// the flag off.
     pub cosim_check: bool,
+    /// Cooperative cancellation handle (none by default). The engine polls
+    /// it at pass, move-step, and LNS-iteration boundaries; a tripped
+    /// token aborts the whole run with
+    /// [`SynthesisError::Cancelled`](crate::SynthesisError::Cancelled).
+    /// All-or-nothing: cancellation never yields a partial report, so it
+    /// can change *whether* a result exists but never its bytes.
+    /// Propagates into recursive move-*B* child synthesis via the child
+    /// budget.
+    pub cancel: Option<crate::CancelToken>,
+    /// Cross-run area-result store (none by default). When set, every
+    /// engine run is seeded with the store's fingerprint-keyed area
+    /// entries before optimizing and contributes its own entries back
+    /// after — the persistence hook the `hsyn serve` daemon uses to keep
+    /// submodules warm across jobs and restarts. Entries are bit-exact by
+    /// the fingerprint contract, so sharing changes cache telemetry and
+    /// wall-clock only, never `result_json` bytes. The store must match
+    /// the run's [`Library`](hsyn_lib::Library): keep one per library.
+    pub shared_area: Option<std::sync::Arc<crate::SharedAreaCache>>,
 }
 
 impl SynthesisConfig {
@@ -168,6 +186,8 @@ impl SynthesisConfig {
             transactional: true,
             lns_iters: 0,
             cosim_check: false,
+            cancel: None,
+            shared_area: None,
         }
     }
 

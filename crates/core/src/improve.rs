@@ -51,6 +51,25 @@ impl fmt::Display for ParanoidViolation {
 
 impl std::error::Error for ParanoidViolation {}
 
+/// Why an engine run stopped before producing an optimized design:
+/// a paranoid-mode verifier failure (the configuration is skipped and the
+/// sweep continues) or a tripped [`CancelToken`](crate::CancelToken) (the
+/// whole job aborts). `From<Box<ParanoidViolation>>` keeps every
+/// `paranoid_check(..)?` call site unchanged.
+#[derive(Debug)]
+pub(crate) enum Abort {
+    /// The cross-layer verifier reported an error-severity diagnostic.
+    Paranoid(Box<ParanoidViolation>),
+    /// The run's cancel token tripped (explicit cancel or deadline).
+    Cancelled,
+}
+
+impl From<Box<ParanoidViolation>> for Abort {
+    fn from(v: Box<ParanoidViolation>) -> Self {
+        Abort::Paranoid(v)
+    }
+}
+
 /// Counters describing what the engine did (reported for every synthesis
 /// run; the experiment harness prints them alongside the results).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -294,6 +313,17 @@ impl<'a> Engine<'a> {
     /// on the first error-severity diagnostic. A no-op unless
     /// [`SynthesisConfig::paranoid`] is set; observation-only on legal
     /// designs (it never mutates anything, only accumulates `verify_s`).
+    /// Cooperative cancellation checkpoint: error out if the run's token
+    /// (when one is configured) has tripped. Polled at pass, move-step,
+    /// and LNS-iteration boundaries — coarse enough to be free, fine
+    /// enough that a cancelled job stops within one candidate scan.
+    pub(crate) fn check_cancel(&self) -> Result<(), Abort> {
+        match &self.config.cancel {
+            Some(t) if t.is_cancelled() => Err(Abort::Cancelled),
+            _ => Ok(()),
+        }
+    }
+
     pub(crate) fn paranoid_check(
         &mut self,
         dp: &DesignPoint,
@@ -756,10 +786,10 @@ impl<'a> Engine<'a> {
     /// In paranoid mode, the first cross-layer invariant violation aborts
     /// the configuration, naming the offending move. Never errors with
     /// paranoid mode off.
-    pub fn optimize(
+    pub(crate) fn optimize(
         &mut self,
         initial: DesignPoint,
-    ) -> Result<(DesignPoint, Evaluation), Box<ParanoidViolation>> {
+    ) -> Result<(DesignPoint, Evaluation), Abort> {
         let (dp, eval) = if self.config.transactional {
             self.optimize_transactional(initial)
         } else {
@@ -779,7 +809,7 @@ impl<'a> Engine<'a> {
     fn optimize_cloning(
         &mut self,
         initial: DesignPoint,
-    ) -> Result<(DesignPoint, Evaluation), Box<ParanoidViolation>> {
+    ) -> Result<(DesignPoint, Evaluation), Abort> {
         self.paranoid_check(&initial, None)?;
         let mut cur = initial;
         let mut cur_fp = self
@@ -796,11 +826,13 @@ impl<'a> Engine<'a> {
             .unwrap_or_else(|| (op_count / 2).clamp(8, 40));
 
         for _pass in 0..self.config.max_passes {
+            self.check_cancel()?;
             self.stats.passes += 1;
             let mut states: Vec<(DesignPoint, Evaluation, Option<FpTree>)> =
                 vec![(cur.clone(), cur_eval, cur_fp.clone())];
             let mut seq_moves: Vec<Move> = Vec::new();
             for _ in 0..max_moves {
+                self.check_cancel()?;
                 let (work, work_eval, work_fp) = states.last_mut().expect("non-empty");
                 let base = work_eval.cost;
                 let work_fp = work_fp.as_ref();
@@ -854,7 +886,7 @@ impl<'a> Engine<'a> {
     fn optimize_transactional(
         &mut self,
         initial: DesignPoint,
-    ) -> Result<(DesignPoint, Evaluation), Box<ParanoidViolation>> {
+    ) -> Result<(DesignPoint, Evaluation), Abort> {
         self.paranoid_check(&initial, None)?;
         let mut cur = initial;
         let mut cur_fp = self
@@ -871,6 +903,7 @@ impl<'a> Engine<'a> {
             .unwrap_or_else(|| (op_count / 2).clamp(8, 40));
 
         for _pass in 0..self.config.max_passes {
+            self.check_cancel()?;
             self.stats.passes += 1;
             let mut log = UndoLog::new();
             // history[k]: evaluation + fingerprint tree after k committed
@@ -879,6 +912,7 @@ impl<'a> Engine<'a> {
             let mut step_marks: Vec<UndoMark> = Vec::new();
             let mut seq_moves: Vec<Move> = Vec::new();
             for _ in 0..max_moves {
+                self.check_cancel()?;
                 let (work_eval, work_fp) = history.last().expect("non-empty");
                 let base = work_eval.cost;
                 let m1 = self.best_ab(&mut cur, work_fp.as_ref(), base, Some(&mut log));
@@ -1038,7 +1072,9 @@ impl<'a> Engine<'a> {
         self.eval_incr_s += inner.eval_incr_s;
         self.apply_s += inner.apply_s;
         self.lns_s += inner.lns_s;
-        // A child verifier failure simply rejects this move-B candidate.
+        // A child verifier failure (or a cancellation that tripped inside
+        // the child) simply rejects this move-B candidate; the parent loop
+        // re-checks the cancel token at its next step boundary.
         let (optimized, _) = result.ok()?;
         Some(ChildKind::Single(Box::new(optimized.top)))
     }

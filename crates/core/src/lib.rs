@@ -39,6 +39,7 @@
 
 mod analyze;
 mod cache;
+mod cancel;
 mod config;
 mod cost;
 mod design;
@@ -51,7 +52,8 @@ mod synth;
 mod transact;
 
 pub use analyze::{analyze, AnalyzeError, AnalyzeReport, ObjectiveAnalysis};
-pub use cache::EvalCache;
+pub use cache::{EvalCache, SharedAreaCache, SHARED_AREA_CAP};
+pub use cancel::CancelToken;
 pub use config::{MoveFamilies, SynthesisConfig};
 pub use cost::{
     evaluate, evaluate_cached, evaluate_search, evaluate_search_cached, Evaluation, Objective,
@@ -264,6 +266,57 @@ mod tests {
             assert!(c.verify_s > 0.0, "paranoid run must record verify time");
         }
         assert!(checked.skipped_configs.iter().all(|s| s.rule.is_none()));
+    }
+
+    #[test]
+    fn cancelled_token_aborts_with_structured_error() {
+        let b = benchmarks::paulin();
+        let mlib = ModuleLibrary::from_simple(table1_library());
+        let mut config = fast_config(Objective::Area);
+        config.laxity_factor = 2.2;
+        let token = CancelToken::new();
+        token.cancel();
+        config.cancel = Some(token);
+        assert_eq!(
+            synthesize(&b.hierarchy, &mlib, &config).unwrap_err(),
+            SynthesisError::Cancelled
+        );
+        // An expired deadline cancels the same way.
+        config.cancel = Some(CancelToken::with_deadline(std::time::Duration::ZERO));
+        assert_eq!(
+            synthesize(&b.hierarchy, &mlib, &config).unwrap_err(),
+            SynthesisError::Cancelled
+        );
+        // An untripped token is a no-op: same bytes as no token at all.
+        config.cancel = Some(CancelToken::new());
+        let with_token = synthesize(&b.hierarchy, &mlib, &config).unwrap();
+        config.cancel = None;
+        let without = synthesize(&b.hierarchy, &mlib, &config).unwrap();
+        assert_eq!(with_token.result_json(), without.result_json());
+    }
+
+    #[test]
+    fn shared_area_store_warms_without_changing_bytes() {
+        let b = benchmarks::paulin();
+        let mut mlib = ModuleLibrary::from_simple(table1_library());
+        mlib.equiv = b.equiv.clone();
+        let mut config = fast_config(Objective::Area);
+        config.laxity_factor = 2.2;
+        let plain = synthesize(&b.hierarchy, &mlib, &config).unwrap();
+        assert!(plain.per_config.iter().all(|c| c.warm_area_hits == 0));
+
+        let store = std::sync::Arc::new(SharedAreaCache::new());
+        config.shared_area = Some(store.clone());
+        let cold = synthesize(&b.hierarchy, &mlib, &config).unwrap();
+        assert!(!store.is_empty(), "the cold run populates the store");
+        let warm = synthesize(&b.hierarchy, &mlib, &config).unwrap();
+        // Warm hits prove the seed was consumed; bytes prove it was inert.
+        assert!(
+            warm.per_config.iter().any(|c| c.warm_area_hits > 0),
+            "the warm run must hit seeded entries"
+        );
+        assert_eq!(plain.result_json(), cold.result_json());
+        assert_eq!(plain.result_json(), warm.result_json());
     }
 
     #[test]

@@ -32,7 +32,7 @@
 
 use crate::cost::Evaluation;
 use crate::design::DesignPoint;
-use crate::improve::{Applied, Engine, ParanoidViolation};
+use crate::improve::{Abort, Applied, Engine};
 use crate::moves::{
     apply_in_place, selection_candidates, sharing_candidates, splitting_candidates, Candidate,
     ModulePath, Move,
@@ -468,13 +468,14 @@ impl<'a> Engine<'a> {
     /// # Errors
     ///
     /// Paranoid-mode violations abort the configuration exactly as in
-    /// [`Engine::optimize`]; the in-flight transaction rolls back on the
-    /// way out, so the design is never left mid-ruin.
+    /// [`Engine::optimize`], and a tripped cancel token aborts the run at
+    /// the next iteration boundary; the in-flight transaction rolls back
+    /// on the way out, so the design is never left mid-ruin.
     pub(crate) fn lns_refine(
         &mut self,
         mut cur: DesignPoint,
         mut cur_eval: Evaluation,
-    ) -> Result<(DesignPoint, Evaluation), Box<ParanoidViolation>> {
+    ) -> Result<(DesignPoint, Evaluation), Abort> {
         let seed = self.config.seed
             ^ mix64(cur.op.vdd.to_bits())
             ^ mix64(cur.op.clk_ref_ns.to_bits().rotate_left(17));
@@ -492,6 +493,7 @@ impl<'a> Engine<'a> {
         let mut best = cur.clone();
         let mut best_eval = cur_eval;
         for _ in 0..self.config.lns_iters {
+            self.check_cancel()?;
             let kind = plan_ruin(&cur, &mut rng);
             let entry_cost = cur_eval.cost;
             // The transaction borrows `cur` for the whole ruin→recreate

@@ -7,7 +7,7 @@
 use crate::config::SynthesisConfig;
 use crate::cost::{evaluate, Evaluation, Objective};
 use crate::design::{initial_solution, probe_min_latency, DesignPoint, OperatingPoint};
-use crate::improve::{Engine, MoveStats};
+use crate::improve::{Abort, Engine, MoveStats};
 use hsyn_dfg::Hierarchy;
 use hsyn_power::{dsp_default, TraceSet};
 use hsyn_rtl::ModuleLibrary;
@@ -30,6 +30,11 @@ pub enum SynthesisError {
         /// Builder diagnostics.
         detail: String,
     },
+    /// The run's [`CancelToken`](crate::CancelToken) tripped — an explicit
+    /// client cancel or an expired deadline. All-or-nothing by design:
+    /// no partial report is ever produced, so cancellation can never
+    /// change result bytes, only whether a result exists.
+    Cancelled,
 }
 
 impl fmt::Display for SynthesisError {
@@ -44,6 +49,9 @@ impl fmt::Display for SynthesisError {
             }
             SynthesisError::Unimplementable { detail } => {
                 write!(f, "behavior cannot be implemented: {detail}")
+            }
+            SynthesisError::Cancelled => {
+                write!(f, "synthesis cancelled (client cancel or deadline)")
             }
         }
     }
@@ -86,6 +94,14 @@ pub struct ConfigTelemetry {
     pub eval_cache_hits: u64,
     /// Incremental-evaluation cache misses within this configuration.
     pub eval_cache_misses: u64,
+    /// Area-cache hits answered by entries *seeded* from a
+    /// [`SharedAreaCache`](crate::SharedAreaCache) — work a previous run
+    /// already paid for. Always 0 without
+    /// [`SynthesisConfig::shared_area`]. Like the other cache counters,
+    /// deliberately excluded from
+    /// [`SynthesisReport::result_json`](crate::SynthesisReport::result_json):
+    /// it varies with cache state while the result bytes must not.
+    pub warm_area_hits: u64,
     /// Wall-clock spent in full (uncached) search evaluations, seconds —
     /// the whole evaluation load with incremental off, the shadow half with
     /// [`SynthesisConfig::shadow_eval`] on.
@@ -331,6 +347,9 @@ pub fn synthesize(
     config: &SynthesisConfig,
 ) -> Result<SynthesisReport, SynthesisError> {
     let start = Instant::now();
+    if config.cancel.as_ref().is_some_and(|t| t.is_cancelled()) {
+        return Err(SynthesisError::Cancelled);
+    }
 
     // Flattened baseline: one DFG, simple modules only.
     let (work_h, work_lib);
@@ -417,15 +436,20 @@ pub fn synthesize(
             eval_incr_s: f64,
             apply_s: f64,
             lns_s: f64,
+            warm_area_hits: u64,
         },
         Skipped {
             reason: String,
             rule: Option<String>,
         },
+        Cancelled,
     }
     let threads = hsyn_util::effective_threads(config.parallelism);
     let outcomes = hsyn_util::par_map(threads, &configs, |_, op| {
         let config_start = Instant::now();
+        if config.cancel.as_ref().is_some_and(|t| t.is_cancelled()) {
+            return ConfigOutcome::Cancelled;
+        }
         match initial_solution(h, lib, op) {
             Err(e) => ConfigOutcome::Skipped {
                 reason: e.to_string(),
@@ -439,6 +463,13 @@ pub fn synthesize(
                 };
                 let mut engine =
                     Engine::new(lib, config, eval_traces.clone(), config.resynth_depth);
+                // Cross-run persistence hook: seed the engine's area cache
+                // from the shared store before optimizing. Entries are
+                // bit-exact by the fingerprint contract, so the seed warms
+                // wall-clock and telemetry only, never the result.
+                if let Some(store) = &config.shared_area {
+                    store.seed_into(&mut engine.cache.area);
+                }
                 // Paranoid mode verifies the initial design and every
                 // accepted move inside `optimize`, plus the final winner at
                 // the configuration boundary here.
@@ -446,8 +477,14 @@ pub fn synthesize(
                     engine.paranoid_check(&opt, None)?;
                     Ok((opt, opt_eval))
                 });
+                // Contribute everything this run priced back to the store —
+                // even skipped configurations computed valid area entries.
+                if let Some(store) = &config.shared_area {
+                    store.absorb(&engine.cache.area);
+                }
                 match result {
-                    Err(violation) => ConfigOutcome::Skipped {
+                    Err(Abort::Cancelled) => ConfigOutcome::Cancelled,
+                    Err(Abort::Paranoid(violation)) => ConfigOutcome::Skipped {
                         rule: Some(violation.diagnostic.code.as_str().to_owned()),
                         reason: violation.to_string(),
                     },
@@ -475,6 +512,7 @@ pub fn synthesize(
                                 eval_incr_s: engine.eval_incr_s,
                                 apply_s: engine.apply_s,
                                 lns_s: engine.lns_s,
+                                warm_area_hits: engine.cache.area.warm_hits,
                             },
                         }
                     }
@@ -490,8 +528,18 @@ pub fn synthesize(
     let mut per_config: Vec<ConfigTelemetry> = Vec::new();
     let mut skipped_configs: Vec<SkippedConfig> = Vec::new();
     let mut best: Option<(usize, DesignPoint, Evaluation)> = None;
+    // Cancellation is all-or-nothing: if any configuration aborted on the
+    // token, the whole job errors rather than reporting a partial sweep
+    // whose bytes would depend on when the token tripped.
+    if outcomes
+        .iter()
+        .any(|o| matches!(o, ConfigOutcome::Cancelled))
+    {
+        return Err(SynthesisError::Cancelled);
+    }
     for (op, outcome) in configs.iter().zip(outcomes) {
         match outcome {
+            ConfigOutcome::Cancelled => unreachable!("handled above"),
             ConfigOutcome::Skipped { reason, rule } => {
                 stats.configs_skipped += 1;
                 skipped_configs.push(SkippedConfig {
@@ -511,12 +559,14 @@ pub fn synthesize(
                 eval_incr_s,
                 apply_s,
                 lns_s,
+                warm_area_hits,
             } => {
                 stats.configs += 1;
                 stats.absorb(&config_stats);
                 per_config.push(ConfigTelemetry {
                     vdd: op.vdd,
                     clk_ns: op.clk_ref_ns,
+                    warm_area_hits,
                     elapsed_s,
                     verify_s,
                     evaluated: config_stats.evaluated,

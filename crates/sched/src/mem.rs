@@ -52,7 +52,12 @@ fn mem_asap_levels(g: &Dfg) -> Vec<u64> {
     let mut finish = vec![0u64; n];
     let mut level = vec![0u64; n];
     for nid in order {
-        let mut s = 0;
+        // Start from the eagerly-propagated program-order level (below):
+        // overwriting it with the data-edge level alone would let a
+        // shallow-address load sort *before* the store it must follow,
+        // and the port chain would then close a cycle with the
+        // program-order pair.
+        let mut s = level[nid.index()];
         for &ei in adj.in_edge_indices(nid) {
             let e = g.edge(hsyn_dfg::EdgeId::from_index(ei as usize));
             if e.delay == 0 {
@@ -61,7 +66,7 @@ fn mem_asap_levels(g: &Dfg) -> Vec<u64> {
         }
         level[nid.index()] = s;
         let dur = u64::from(g.node(nid).kind().is_schedulable());
-        finish[nid.index()] = s + dur;
+        finish[nid.index()] = finish[nid.index()].max(s + dur);
         for &b in &extra_out[nid.index()] {
             // Program-order successor: starts after this access finishes.
             // Propagated eagerly (predecessors precede in the topo order).
@@ -267,7 +272,10 @@ mod review_probe {
         let serial = mem_serial_edges(&g);
         eprintln!("serial edges: {:?}", serial);
         assert!(serial.contains(&(st, l.node)), "program order st->l");
-        assert!(!serial.contains(&(l.node, st)), "cyclic reverse edge present!");
+        assert!(
+            !serial.contains(&(l.node, st)),
+            "cyclic reverse edge present!"
+        );
         let delay = |n: hsyn_dfg::NodeId| match g.node(n).kind() {
             NodeKind::Load { .. } | NodeKind::Store { .. } => NodeDelay::Pipelined { stages: 1 },
             k2 if k2.is_schedulable() => NodeDelay::Combinational { ns: 3.0 },

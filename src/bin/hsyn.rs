@@ -34,6 +34,8 @@
 //!                            each configuration; 0 = one per core
 //!                            (default: 1; results identical for every
 //!                            setting, transactional mode only)
+//!   --result-json            print only the canonical deterministic report
+//!                            (what the serve differential suite compares)
 //!
 //! hsyn lint [<behavior.dfg> | --benchmark NAME | --all-benchmarks] [options]
 //!
@@ -73,6 +75,27 @@
 //!                            of a fixed behavior
 //!   --json <file>            write a divergence reproducer as JSON
 //!
+//! hsyn serve [options]
+//!
+//! options:
+//!   --port <n>               listen port on 127.0.0.1 (default: 0 = free port)
+//!   --cache-dir <dir>        persistent job/area cache (default: in-memory)
+//!   --jobs <n>               concurrent synthesis workers (default: 2)
+//!   --queue-cap <n>          bounded job-queue capacity (default: 64)
+//!
+//! hsyn submit --connect HOST:PORT [<behavior.dfg> | --benchmark NAME] [options]
+//!
+//! options:
+//!   --objective/--laxity/--period/--library/--flat/--seed/--lns-iters/
+//!   --intra-jobs             as for synthesis, forwarded in the job spec
+//!   --deadline-ms <n>        abort the job after N ms (structured error)
+//!   --tag <t>                label for targeted --cancel T
+//!   --no-cache               bypass the daemon's response cache
+//!   --verilog                also return structural Verilog
+//!   --result-json            print only the canonical report
+//!   --ping | --stats | --cancel TAG | --shutdown
+//!                            daemon actions instead of a job
+//!
 //! Exit status: 0 clean (warnings allowed), 1 error diagnostics, failed
 //! runs, or co-simulation divergences, 2 usage errors.
 //! ```
@@ -107,7 +130,16 @@ fn usage() -> ExitCode {
          \x20      hsyn cosim [<behavior.dfg> | --benchmark NAME | --all-benchmarks]\n\
          \x20           [--objective area|power|both] [--laxity F] [--flat]\n\
          \x20           [--library table1|realistic] [--iters N] [--seed N]\n\
-         \x20           [--fuzz N] [--json FILE]"
+         \x20           [--fuzz N] [--json FILE]\n\
+         \x20      hsyn serve [--port N] [--cache-dir DIR] [--jobs N]\n\
+         \x20           [--queue-cap N]\n\
+         \x20      hsyn submit --connect HOST:PORT\n\
+         \x20           [<behavior.dfg> | --benchmark NAME] [--objective area|power]\n\
+         \x20           [--laxity F] [--period NS] [--library table1|realistic]\n\
+         \x20           [--flat] [--seed N] [--lns-iters N] [--intra-jobs N]\n\
+         \x20           [--deadline-ms N] [--tag TAG] [--no-cache] [--verilog]\n\
+         \x20           [--result-json] | --ping | --stats | --cancel TAG |\n\
+         \x20           --shutdown"
     );
     ExitCode::from(2)
 }
@@ -150,6 +182,18 @@ fn main() -> ExitCode {
         Some("lint") => lint_main(args.split_off(1)),
         Some("analyze") => analyze_main(args.split_off(1)),
         Some("cosim") => cosim_main(args.split_off(1)),
+        Some("serve") => serve_main(args.split_off(1)),
+        Some("submit") => submit_main(args.split_off(1)),
+        // A bare first word that is neither a flag nor a readable behavior
+        // file is almost certainly a mistyped subcommand; say so instead of
+        // failing later with a confusing "cannot read" error.
+        Some(word) if !word.starts_with('-') && !std::path::Path::new(word).exists() => {
+            eprintln!(
+                "unknown subcommand `{word}` (and no such file); \
+                 subcommands: serve, submit, lint, analyze, cosim"
+            );
+            ExitCode::from(2)
+        }
         _ => synth_main(args),
     }
 }
@@ -739,6 +783,7 @@ fn synth_main(args: Vec<String>) -> ExitCode {
     let mut transactional = true;
     let mut cosim_check = false;
     let mut lns_iters = 0usize;
+    let mut result_json_only = false;
 
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -822,6 +867,7 @@ fn synth_main(args: Vec<String>) -> ExitCode {
                 Some(v) => bench_name = Some(v),
                 None => return usage(),
             },
+            "--result-json" => result_json_only = true,
             "--help" | "-h" => return usage(),
             other if input.is_none() && !other.starts_with('-') => {
                 input = Some(other.to_owned());
@@ -831,6 +877,24 @@ fn synth_main(args: Vec<String>) -> ExitCode {
                 return usage();
             }
         }
+    }
+    // Reject flag combinations that contradict each other rather than
+    // silently privileging one of them.
+    if shadow_eval && !incremental {
+        eprintln!(
+            "--shadow-eval conflicts with --no-incremental: shadow evaluation \
+             exists to cross-check the incremental cache, which --no-incremental \
+             disables"
+        );
+        return ExitCode::from(2);
+    }
+    if !transactional && intra_jobs.is_some_and(|n| n != 1) {
+        eprintln!(
+            "--no-transactional conflicts with --intra-jobs {}: the intra-config \
+             candidate scan requires transactional move application",
+            intra_jobs.unwrap_or(0)
+        );
+        return ExitCode::from(2);
     }
     let (path, hierarchy, equiv) = match (input, bench_name) {
         (Some(_), Some(_)) => {
@@ -904,6 +968,13 @@ fn synth_main(args: Vec<String>) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+
+    if result_json_only {
+        // The canonical deterministic report, nothing else: this is what
+        // the serve differential suite byte-compares against daemon runs.
+        println!("{}", report.result_json());
+        return ExitCode::SUCCESS;
+    }
 
     let design = &report.design;
     println!("behavior            : {}", path);
@@ -1052,4 +1123,310 @@ fn synth_main(args: Vec<String>) -> ExitCode {
         println!("verilog written     : {vpath}");
     }
     ExitCode::SUCCESS
+}
+
+/// `hsyn serve`: run the synthesis daemon until a client sends `shutdown`.
+fn serve_main(args: Vec<String>) -> ExitCode {
+    use hsyn::serve::{ServeOptions, Server};
+
+    let mut opts = ServeOptions {
+        banner: true,
+        ..ServeOptions::default()
+    };
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        let mut take = |name: &str| -> Option<String> {
+            match it.next() {
+                Some(v) => Some(v),
+                None => {
+                    eprintln!("{name} expects a value");
+                    None
+                }
+            }
+        };
+        match arg.as_str() {
+            "--port" => match take("--port").and_then(|v| v.parse::<u16>().ok()) {
+                Some(p) => opts.addr = format!("127.0.0.1:{p}"),
+                None => {
+                    eprintln!("--port expects a port number");
+                    return usage();
+                }
+            },
+            "--cache-dir" => match take("--cache-dir") {
+                Some(d) => opts.cache_dir = Some(std::path::PathBuf::from(d)),
+                None => return usage(),
+            },
+            "--jobs" => match take("--jobs").and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => opts.workers = n,
+                _ => {
+                    eprintln!("--jobs expects a worker count of at least 1");
+                    return usage();
+                }
+            },
+            "--queue-cap" => match take("--queue-cap").and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => opts.queue_cap = n,
+                _ => {
+                    eprintln!("--queue-cap expects a capacity of at least 1");
+                    return usage();
+                }
+            },
+            "--help" | "-h" => return usage(),
+            other => {
+                eprintln!("unknown argument `{other}`");
+                return usage();
+            }
+        }
+    }
+    let server = match Server::bind(opts) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot start daemon: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match server.run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("daemon failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `hsyn submit`: one synchronous client interaction with a running daemon.
+fn submit_main(args: Vec<String>) -> ExitCode {
+    use hsyn::serve::{Client, JobSource, JobSpec};
+
+    let mut connect: Option<String> = None;
+    let mut input: Option<String> = None;
+    let mut bench_name: Option<String> = None;
+    let mut objective = Objective::Power;
+    let mut laxity: Option<f64> = None;
+    let mut period: Option<f64> = None;
+    let mut library: Option<String> = None;
+    let mut flat = false;
+    let mut seed: Option<u64> = None;
+    let mut lns_iters: Option<usize> = None;
+    let mut intra_jobs: Option<usize> = None;
+    let mut deadline_ms: Option<u64> = None;
+    let mut tag: Option<String> = None;
+    let mut no_cache = false;
+    let mut want_verilog = false;
+    let mut result_json_only = false;
+    let mut do_ping = false;
+    let mut do_stats = false;
+    let mut do_shutdown = false;
+    let mut cancel_tag: Option<String> = None;
+
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        let mut take = |name: &str| -> Option<String> {
+            match it.next() {
+                Some(v) => Some(v),
+                None => {
+                    eprintln!("{name} expects a value");
+                    None
+                }
+            }
+        };
+        match arg.as_str() {
+            "--connect" => match take("--connect") {
+                Some(v) => connect = Some(v),
+                None => return usage(),
+            },
+            "--benchmark" => match take("--benchmark") {
+                Some(v) => bench_name = Some(v),
+                None => return usage(),
+            },
+            "--objective" => match take("--objective").as_deref() {
+                Some("area") => objective = Objective::Area,
+                Some("power") => objective = Objective::Power,
+                _ => return usage(),
+            },
+            "--laxity" => match take("--laxity").and_then(|v| v.parse::<f64>().ok()) {
+                Some(v) if v > 0.0 && v.is_finite() => laxity = Some(v),
+                _ => {
+                    eprintln!("--laxity expects a positive number");
+                    return usage();
+                }
+            },
+            "--period" => match take("--period").and_then(|v| v.parse::<f64>().ok()) {
+                Some(v) if v > 0.0 && v.is_finite() => period = Some(v),
+                _ => {
+                    eprintln!("--period expects a positive number of nanoseconds");
+                    return usage();
+                }
+            },
+            "--library" => match take("--library") {
+                Some(v) => library = Some(v),
+                None => return usage(),
+            },
+            "--flat" => flat = true,
+            "--seed" => match take("--seed").and_then(|v| v.parse().ok()) {
+                Some(v) => seed = Some(v),
+                None => return usage(),
+            },
+            "--lns-iters" => match take("--lns-iters").and_then(|v| v.parse().ok()) {
+                Some(v) => lns_iters = Some(v),
+                None => return usage(),
+            },
+            "--intra-jobs" => match take("--intra-jobs").and_then(|v| v.parse().ok()) {
+                Some(v) => intra_jobs = Some(v),
+                None => return usage(),
+            },
+            "--deadline-ms" => match take("--deadline-ms").and_then(|v| v.parse().ok()) {
+                Some(v) => deadline_ms = Some(v),
+                None => return usage(),
+            },
+            "--tag" => match take("--tag") {
+                Some(v) => tag = Some(v),
+                None => return usage(),
+            },
+            "--no-cache" => no_cache = true,
+            "--verilog" => want_verilog = true,
+            "--result-json" => result_json_only = true,
+            "--ping" => do_ping = true,
+            "--stats" => do_stats = true,
+            "--shutdown" => do_shutdown = true,
+            "--cancel" => match take("--cancel") {
+                Some(v) => cancel_tag = Some(v),
+                None => return usage(),
+            },
+            "--help" | "-h" => return usage(),
+            other if input.is_none() && !other.starts_with('-') => {
+                input = Some(other.to_owned());
+            }
+            other => {
+                eprintln!("unknown argument `{other}`");
+                return usage();
+            }
+        }
+    }
+
+    let Some(addr) = connect else {
+        eprintln!("submit needs --connect HOST:PORT");
+        return usage();
+    };
+    let mut client = match Client::connect(&addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("cannot connect to {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // Action requests are exclusive of a job submission.
+    if do_ping {
+        return match client.ping() {
+            Ok(()) => {
+                println!("pong");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if do_stats {
+        return match client.stats() {
+            Ok(v) => {
+                println!("{}", v.to_string_pretty());
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if let Some(t) = cancel_tag {
+        return match client.cancel(&t) {
+            Ok(n) => {
+                println!("cancelled {n} job(s) tagged `{t}`");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if do_shutdown {
+        return match client.shutdown() {
+            Ok(n) => {
+                println!("daemon drained and stopped after {n} job(s)");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let source = match (input, bench_name) {
+        (Some(_), Some(_)) => {
+            eprintln!("choose one of <behavior.dfg> or --benchmark");
+            return usage();
+        }
+        (None, None) => {
+            eprintln!("submit needs a job (<behavior.dfg> or --benchmark) or an action flag");
+            return usage();
+        }
+        (Some(path), None) => match std::fs::read_to_string(&path) {
+            Ok(s) => JobSource::Text(s),
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        (None, Some(name)) => JobSource::Bench(name),
+    };
+    let mut job = JobSpec::new(source);
+    job.objective = objective;
+    if let Some(v) = laxity {
+        job.laxity = v;
+    }
+    job.period_ns = period;
+    if let Some(l) = library {
+        job.library = l;
+    }
+    job.flat = flat;
+    job.seed = seed;
+    if let Some(v) = lns_iters {
+        job.lns_iters = v;
+    }
+    if let Some(v) = intra_jobs {
+        job.intra_jobs = v;
+    }
+    job.deadline_ms = deadline_ms;
+    job.tag = tag;
+    job.no_cache = no_cache;
+    job.want_verilog = want_verilog;
+
+    match client.submit(&job) {
+        Ok(result) => {
+            if result_json_only {
+                println!("{}", result.result_json);
+            } else {
+                println!(
+                    "served {} in {:.1} ms ({:.1} ms queued), {} warm area hits",
+                    if result.cached { "from cache" } else { "fresh" },
+                    result.wall_ms,
+                    result.queue_ms,
+                    result.warm_area_hits
+                );
+                println!("{}", result.result_json);
+                if let Some(v) = &result.verilog {
+                    println!("\n== verilog ==\n\n{v}");
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
 }

@@ -16,7 +16,10 @@
 //!   paranoid mode and the `hsyn lint` subcommand);
 //! * [`core`] — the iterative-improvement synthesis engine (moves A–D,
 //!   Vdd/clock selection, flattened baseline);
-//! * [`util`] — zero-dependency helpers (JSON, thread pool).
+//! * [`serve`] — synthesis-as-a-service: the `hsyn serve` daemon, its
+//!   length-prefixed wire protocol, the persistent cross-job cache, and
+//!   the synchronous client behind `hsyn submit`;
+//! * [`util`] — zero-dependency helpers (JSON, thread pool, framing).
 //!
 //! ## Quickstart
 //!
@@ -38,6 +41,7 @@ pub use hsyn_lint as lint;
 pub use hsyn_power as power;
 pub use hsyn_rtl as rtl;
 pub use hsyn_sched as sched;
+pub use hsyn_serve as serve;
 pub use hsyn_util as util;
 
 /// Commonly used items, for glob import in examples and tests.

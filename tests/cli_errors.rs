@@ -48,3 +48,66 @@ fn unknown_library_lists_available_names() {
         "{stderr}"
     );
 }
+
+#[test]
+fn unknown_subcommand_lists_subcommands() {
+    let (ok, stderr) = run(&["serv"]);
+    assert!(!ok, "a mistyped subcommand must fail");
+    assert!(
+        stderr.contains("unknown subcommand `serv`"),
+        "stderr must name the bad word: {stderr}"
+    );
+    for sub in ["serve", "submit", "lint", "analyze", "cosim"] {
+        assert!(stderr.contains(sub), "error must list `{sub}`: {stderr}");
+    }
+}
+
+#[test]
+fn conflicting_flags_are_rejected_with_an_explanation() {
+    // Shadow evaluation cross-checks the incremental cache; disabling the
+    // cache while demanding the cross-check is a contradiction.
+    let (ok, stderr) = run(&["--benchmark", "paulin", "--shadow-eval", "--no-incremental"]);
+    assert!(!ok, "--shadow-eval --no-incremental must fail");
+    assert!(
+        stderr.contains("--shadow-eval") && stderr.contains("--no-incremental"),
+        "the error must name both flags: {stderr}"
+    );
+
+    // The parallel intra-config scan requires transactional application.
+    let (ok, stderr) = run(&[
+        "--benchmark",
+        "paulin",
+        "--no-transactional",
+        "--intra-jobs",
+        "2",
+    ]);
+    assert!(!ok, "--no-transactional --intra-jobs 2 must fail");
+    assert!(
+        stderr.contains("--no-transactional") && stderr.contains("--intra-jobs"),
+        "the error must name both flags: {stderr}"
+    );
+
+    // --intra-jobs 1 is the serial default and conflicts with nothing.
+    let (ok, stderr) = run(&[
+        "--benchmark",
+        "nope",
+        "--no-transactional",
+        "--intra-jobs",
+        "1",
+    ]);
+    assert!(!ok, "fails on the bad benchmark, not the flags");
+    assert!(
+        stderr.contains("unknown benchmark"),
+        "flag check must not fire for the serial default: {stderr}"
+    );
+}
+
+#[test]
+fn submit_requires_a_daemon_address() {
+    let (ok, stderr) = run(&["submit", "--benchmark", "paulin"]);
+    assert!(!ok);
+    assert!(
+        stderr.contains("--connect"),
+        "submit without --connect must say what is missing: {stderr}"
+    );
+}

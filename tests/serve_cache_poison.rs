@@ -1,0 +1,133 @@
+//! Cache-poisoning tests: corrupt or truncate the on-disk caches between
+//! daemon runs; the daemon must detect the damage, discard the poisoned
+//! files, count the discards, and still answer with byte-identical reports
+//! via the cold path — a poisoned cache can cost time, never correctness.
+
+#[path = "serve_harness/mod.rs"]
+mod harness;
+
+use std::fs;
+
+use harness::{reference_result_json, start_server, temp_cache, tiny_job};
+use hsyn::serve::{Client, ServeOptions};
+use hsyn::util::Json;
+
+#[test]
+fn poisoned_caches_are_discarded_and_recomputed_identically() {
+    let cache = temp_cache("poison");
+    let opts = ServeOptions {
+        cache_dir: Some(cache.clone()),
+        ..ServeOptions::default()
+    };
+    let job = tiny_job("paulin");
+    let expected = reference_result_json(&job);
+
+    // Seed both cache layers with an honest run.
+    let (addr, handle) = start_server(opts.clone());
+    let mut client = Client::connect(&addr.to_string()).expect("connect");
+    let first = client.submit(&job).expect("seed submit");
+    assert_eq!(first.result_json, expected);
+    client.shutdown().expect("shutdown");
+    handle.join().expect("daemon thread");
+
+    // Poison layer 1: truncate the job-cache entry to half its length.
+    let jobs_dir = cache.join("jobs");
+    let job_files: Vec<_> = fs::read_dir(&jobs_dir)
+        .expect("jobs dir exists")
+        .map(|e| e.expect("dir entry").path())
+        .collect();
+    assert_eq!(job_files.len(), 1, "exactly one cached job expected");
+    let bytes = fs::read(&job_files[0]).expect("read cache entry");
+    fs::write(&job_files[0], &bytes[..bytes.len() / 2]).expect("truncate");
+
+    // Poison layer 2: overwrite the area store with garbage.
+    let area = cache.join("area.json");
+    assert!(area.exists(), "area store must have been persisted");
+    fs::write(&area, b"{\"version\": 1, \"check\": \"liar\"").expect("poison area");
+
+    // Restart: both corruptions must be detected and discarded, and the
+    // job must recompute cold to the exact same bytes.
+    let (addr, handle) = start_server(opts.clone());
+    let mut client = Client::connect(&addr.to_string()).expect("reconnect");
+    let stats = client.stats().expect("stats");
+    assert!(
+        stats
+            .get("cache_discards")
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0)
+            >= 1.0,
+        "poisoned area store must be counted at startup: {stats:?}"
+    );
+    let replay = client.submit(&job).expect("post-poison submit");
+    assert!(
+        !replay.cached,
+        "a truncated job-cache entry must not be served as a hit"
+    );
+    assert_eq!(
+        replay.result_json, expected,
+        "cold recompute after poisoning diverged from the reference bytes"
+    );
+    let stats = client.stats().expect("stats after recompute");
+    assert!(
+        stats
+            .get("cache_discards")
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0)
+            >= 2.0,
+        "both poisoned layers must be counted: {stats:?}"
+    );
+    client.shutdown().expect("shutdown");
+    handle.join().expect("daemon thread");
+
+    // The poisoned files were deleted and rewritten by the recompute: a
+    // third daemon answers from a healthy cache again.
+    let (addr, handle) = start_server(opts);
+    let mut client = Client::connect(&addr.to_string()).expect("third connect");
+    let healed = client.submit(&job).expect("healed submit");
+    assert!(healed.cached, "recompute must have rewritten the job cache");
+    assert_eq!(healed.result_json, expected);
+    client.shutdown().expect("shutdown");
+    handle.join().expect("daemon thread");
+    let _ = fs::remove_dir_all(&cache);
+}
+
+#[test]
+fn version_skewed_job_entry_is_rejected_not_trusted() {
+    let cache = temp_cache("skew");
+    let opts = ServeOptions {
+        cache_dir: Some(cache.clone()),
+        ..ServeOptions::default()
+    };
+    let job = tiny_job("paulin");
+    let expected = reference_result_json(&job);
+
+    let (addr, handle) = start_server(opts.clone());
+    let mut client = Client::connect(&addr.to_string()).expect("connect");
+    client.submit(&job).expect("seed submit");
+    client.shutdown().expect("shutdown");
+    handle.join().expect("daemon thread");
+
+    // Rewrite the entry claiming a future format version; its checksum
+    // still matches, so only the version gate can reject it.
+    let entry = fs::read_dir(cache.join("jobs"))
+        .expect("jobs dir")
+        .next()
+        .expect("one entry")
+        .expect("dir entry")
+        .path();
+    let text = fs::read_to_string(&entry).expect("read entry");
+    fs::write(
+        &entry,
+        text.replacen("\"version\": 1", "\"version\": 999", 1),
+    )
+    .expect("skew version");
+
+    let (addr, handle) = start_server(opts);
+    let mut client = Client::connect(&addr.to_string()).expect("reconnect");
+    let replay = client.submit(&job).expect("submit");
+    assert!(!replay.cached, "a version-skewed entry must not be trusted");
+    assert_eq!(replay.result_json, expected);
+    client.shutdown().expect("shutdown");
+    handle.join().expect("daemon thread");
+    let _ = fs::remove_dir_all(&cache);
+}

@@ -1,0 +1,177 @@
+//! Adversarial wire-protocol tests: truncated frames, oversized length
+//! prefixes, garbage bytes, mid-frame disconnects, and malformed JSON must
+//! produce structured errors (or a clean connection drop) — never a panic
+//! and never a wedged accept loop. After every hostility the daemon keeps
+//! serving new connections.
+
+#[path = "serve_harness/mod.rs"]
+mod harness;
+
+use std::io::Write;
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use harness::start_server;
+use hsyn::serve::{Client, ServeOptions};
+use hsyn::util::{read_frame, write_frame, Json, MAX_FRAME};
+
+fn raw(addr: &SocketAddr) -> TcpStream {
+    let s = TcpStream::connect(addr).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    s
+}
+
+/// Read one frame and parse it as JSON.
+fn response(s: &mut TcpStream) -> Json {
+    let payload = read_frame(s, MAX_FRAME).expect("server responds with a frame");
+    Json::parse(std::str::from_utf8(&payload).expect("UTF-8")).expect("JSON")
+}
+
+fn kind_of(v: &Json) -> (&str, &str) {
+    (
+        v.get("type").and_then(Json::as_str).unwrap_or(""),
+        v.get("kind").and_then(Json::as_str).unwrap_or(""),
+    )
+}
+
+/// The daemon is still alive and serving fresh connections.
+fn assert_alive(addr: &SocketAddr) {
+    let mut client = Client::connect(&addr.to_string()).expect("daemon still accepts");
+    client.ping().expect("daemon still answers");
+}
+
+#[test]
+fn hostile_frames_get_structured_errors_and_never_kill_the_daemon() {
+    let (addr, handle) = start_server(ServeOptions::default());
+
+    // 1. Oversized length prefix (u32::MAX): structured bad_frame error.
+    {
+        let mut s = raw(&addr);
+        s.write_all(&u32::MAX.to_be_bytes()).unwrap();
+        s.flush().unwrap();
+        let v = response(&mut s);
+        assert_eq!(kind_of(&v), ("error", "bad_frame"), "{v:?}");
+    }
+    assert_alive(&addr);
+
+    // 2. Garbage bytes: an absurd length the server refuses up front.
+    {
+        let mut s = raw(&addr);
+        s.write_all(&[0xDE, 0xAD, 0xBE, 0xEF, 0x42, 0x42]).unwrap();
+        s.flush().unwrap();
+        let v = response(&mut s);
+        assert_eq!(kind_of(&v), ("error", "bad_frame"), "{v:?}");
+    }
+    assert_alive(&addr);
+
+    // 3. Truncated header: two bytes then disconnect. Nothing to answer —
+    // the daemon just drops the connection without wedging.
+    {
+        let mut s = raw(&addr);
+        s.write_all(&[0x00, 0x00]).unwrap();
+        s.flush().unwrap();
+        drop(s);
+    }
+    assert_alive(&addr);
+
+    // 4. Mid-frame disconnect: honest header, half the payload, hang up.
+    {
+        let mut s = raw(&addr);
+        s.write_all(&100u32.to_be_bytes()).unwrap();
+        s.write_all(&[0x7B; 37]).unwrap();
+        s.flush().unwrap();
+        drop(s);
+    }
+    assert_alive(&addr);
+
+    // 5. A well-framed payload that is not UTF-8: structured error, and
+    // the *same connection* keeps working afterwards.
+    {
+        let mut s = raw(&addr);
+        write_frame(&mut s, &[0xFF, 0xFE, 0x00, 0x80]).unwrap();
+        let v = response(&mut s);
+        assert_eq!(kind_of(&v), ("error", "bad_json"), "{v:?}");
+        write_frame(&mut s, br#"{"type": "ping", "seq": 1}"#).unwrap();
+        let v = response(&mut s);
+        assert_eq!(v.get("type").and_then(Json::as_str), Some("pong"), "{v:?}");
+    }
+
+    // 6. Well-framed garbage JSON and malformed requests: each gets its
+    // own structured error on a connection that stays usable.
+    {
+        let mut s = raw(&addr);
+        for (payload, want_kind) in [
+            (&br#"{"type": "#[..], "bad_json"),
+            (&br#"{"seq": 7}"#[..], "bad_request"),
+            (&br#"{"type": "warp", "seq": 8}"#[..], "bad_request"),
+            (&br#"{"type": "submit", "seq": 9}"#[..], "bad_request"),
+            (&br#"{"type": "cancel", "seq": 10}"#[..], "bad_request"),
+            (
+                &br#"{"type": "submit", "seq": 11, "job": {"bench": "paulin", "warp_factor": 9}}"#
+                    [..],
+                "bad_request",
+            ),
+            (
+                &br#"{"type": "submit", "job": {"bench": "paulin"}}"#[..],
+                "bad_request", // submit without a seq
+            ),
+        ] {
+            write_frame(&mut s, payload).unwrap();
+            let v = response(&mut s);
+            assert_eq!(
+                kind_of(&v),
+                ("error", want_kind),
+                "payload {:?} -> {v:?}",
+                String::from_utf8_lossy(payload)
+            );
+        }
+        write_frame(&mut s, br#"{"type": "ping", "seq": 12}"#).unwrap();
+        let v = response(&mut s);
+        assert_eq!(v.get("type").and_then(Json::as_str), Some("pong"), "{v:?}");
+    }
+
+    // The daemon counted the hostility and is still fully operational.
+    let mut client = Client::connect(&addr.to_string()).expect("connect");
+    let stats = client.stats().expect("stats");
+    let errors = stats
+        .get("protocol_errors")
+        .and_then(Json::as_f64)
+        .unwrap_or(0.0);
+    assert!(errors >= 9.0, "expected >= 9 protocol errors, got {errors}");
+    client.shutdown().expect("shutdown");
+    handle.join().expect("daemon thread");
+}
+
+#[test]
+fn submit_rejections_name_the_offending_field() {
+    // Hostile-but-parseable job specs: the error message must carry enough
+    // context to fix the request without reading the server source.
+    let (addr, handle) = start_server(ServeOptions::default());
+    let mut s = raw(&addr);
+    for (job, needle) in [
+        (r#"{"bench": "nope"}"#, "unknown benchmark"),
+        (
+            r#"{"bench": "paulin", "library": "nope"}"#,
+            "unknown library",
+        ),
+        (r#"{"bench": "paulin", "laxity": -1.0}"#, "laxity"),
+        (r#"{"bench": "paulin", "text": "dfg f {}"}"#, "exactly one"),
+        (r#"{}"#, "bench"),
+        (r#"{"bench": "paulin", "objective": "speed"}"#, "objective"),
+    ] {
+        let req = format!(r#"{{"type": "submit", "seq": 1, "job": {job}}}"#);
+        write_frame(&mut s, req.as_bytes()).unwrap();
+        let v = response(&mut s);
+        let (ty, kind) = kind_of(&v);
+        let msg = v.get("message").and_then(Json::as_str).unwrap_or("");
+        assert_eq!((ty, kind), ("error", "bad_request"), "{job} -> {v:?}");
+        assert!(
+            msg.contains(needle),
+            "job {job}: message {msg:?} should mention {needle:?}"
+        );
+    }
+    drop(s);
+    let mut client = Client::connect(&addr.to_string()).expect("connect");
+    client.shutdown().expect("shutdown");
+    handle.join().expect("daemon thread");
+}

@@ -1,0 +1,163 @@
+//! Concurrency stress: several client threads hammer one daemon with the
+//! full benchmark suite under mixed deadlines and cancellations. Every
+//! job that completes must return its own reference bytes (no cross-talk
+//! between concurrent jobs); every job that aborts must abort with a
+//! structured `deadline` or `cancelled` error, never a partial report.
+
+#[path = "serve_harness/mod.rs"]
+mod harness;
+
+use std::collections::HashMap;
+
+use harness::{reference_result_json, start_server, tiny_job};
+use hsyn::serve::{Client, ClientError, JobSpec, ServeOptions};
+use hsyn::util::Json;
+
+#[test]
+fn stressed_daemon_serves_every_benchmark_byte_identically() {
+    // Reduced budget, two distinct seeds per benchmark so concurrent jobs
+    // are genuinely different work. The default subset keeps a debug-mode
+    // `cargo test` fast; `HSYN_SERVE_FULL=1` (the CI serve job, release
+    // mode) stresses the entire registry.
+    let benches: Vec<String> = if std::env::var("HSYN_SERVE_FULL").is_ok() {
+        hsyn::dfg::benchmarks::all()
+            .iter()
+            .map(|b| b.name.to_owned())
+            .collect()
+    } else {
+        ["paulin", "wdf5", "conv2d", "lat", "fir_block"]
+            .iter()
+            .map(|s| (*s).to_owned())
+            .collect()
+    };
+    assert!(benches.len() >= 4, "registry unexpectedly small");
+    let mut jobs: Vec<JobSpec> = Vec::new();
+    for bench in &benches {
+        for seed in [1u64, 2] {
+            let mut j = tiny_job(bench);
+            j.seed = Some(seed);
+            j.tag = Some(format!("stress-{bench}-{seed}"));
+            jobs.push(j);
+        }
+    }
+    let expected: HashMap<String, String> = jobs
+        .iter()
+        .map(|j| (j.cache_key(), reference_result_json(j)))
+        .collect();
+
+    let (addr, handle) = start_server(ServeOptions {
+        workers: 4,
+        queue_cap: 256,
+        ..ServeOptions::default()
+    });
+
+    let n_clients = 4usize;
+    let mut threads = Vec::new();
+    for c in 0..n_clients {
+        let addr = addr.to_string();
+        let jobs = jobs.clone();
+        let expected = expected.clone();
+        threads.push(std::thread::spawn(move || {
+            let mut client = Client::connect(&addr).expect("connect");
+            let mut completed = 0usize;
+            for i in 0..jobs.len() {
+                // Each client walks the suite in a different rotation, and
+                // every fourth job of client 3 carries an already-expired
+                // deadline — those must abort cleanly, mid-stream, without
+                // disturbing anything else.
+                let k = (i + c * 3) % jobs.len();
+                let mut job = jobs[k].clone();
+                let doomed = c == 3 && i % 4 == 0;
+                if doomed {
+                    job.deadline_ms = Some(0);
+                }
+                match client.submit(&job) {
+                    Ok(result) => {
+                        assert!(!doomed, "a 0 ms deadline cannot produce a report");
+                        assert_eq!(
+                            result.result_json,
+                            expected[&job.cache_key()],
+                            "client {c} iteration {i}: wrong bytes for job {k}"
+                        );
+                        completed += 1;
+                    }
+                    Err(ClientError::Server { kind, .. }) => {
+                        assert!(
+                            doomed && kind == "deadline",
+                            "client {c} iteration {i}: unexpected server error \
+                             kind `{kind}` (doomed={doomed})"
+                        );
+                    }
+                    Err(e) => panic!("client {c} iteration {i}: transport error {e}"),
+                }
+            }
+            completed
+        }));
+    }
+    let total: usize = threads
+        .into_iter()
+        .map(|t| t.join().expect("client thread"))
+        .sum();
+    assert!(total > 0, "at least the undoomed jobs must complete");
+
+    let mut client = Client::connect(&addr.to_string()).expect("connect");
+    let stats = client.stats().expect("stats");
+    let served = stats
+        .get("jobs_served")
+        .and_then(Json::as_f64)
+        .unwrap_or(0.0);
+    let deadline = stats
+        .get("jobs_deadline")
+        .and_then(Json::as_f64)
+        .unwrap_or(0.0);
+    assert_eq!(served as usize, total, "served count disagrees: {stats:?}");
+    assert!(deadline >= 1.0, "doomed jobs must be counted: {stats:?}");
+    client.shutdown().expect("shutdown");
+    handle.join().expect("daemon thread");
+}
+
+#[test]
+fn tagged_cancellation_aborts_cleanly_or_completes_identically() {
+    // A cancel racing a running job has exactly two legal outcomes: a
+    // structured `cancelled` error, or the full untouched report. Submit
+    // from one connection, cancel from another, and accept either — what
+    // is *never* legal is a partial or mutated report.
+    let (addr, handle) = start_server(ServeOptions {
+        workers: 2,
+        ..ServeOptions::default()
+    });
+    let mut job = tiny_job("paulin");
+    job.tag = Some("race-me".to_owned());
+    job.no_cache = true;
+    let expected = reference_result_json(&job);
+
+    for attempt in 0..4 {
+        let submitter = {
+            let addr = addr.to_string();
+            let job = job.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(&addr).expect("connect");
+                client.submit(&job)
+            })
+        };
+        // Stagger the cancel differently each attempt to vary the race.
+        std::thread::sleep(std::time::Duration::from_millis(attempt * 30));
+        let mut killer = Client::connect(&addr.to_string()).expect("connect");
+        killer.cancel("race-me").expect("cancel request");
+        match submitter.join().expect("submitter thread") {
+            Ok(result) => assert_eq!(
+                result.result_json, expected,
+                "attempt {attempt}: a cancel that lost the race must leave \
+                 the report byte-identical"
+            ),
+            Err(ClientError::Server { kind, .. }) => assert_eq!(
+                kind, "cancelled",
+                "attempt {attempt}: aborts must carry the `cancelled` kind"
+            ),
+            Err(e) => panic!("attempt {attempt}: transport error {e}"),
+        }
+    }
+    let mut client = Client::connect(&addr.to_string()).expect("connect");
+    client.shutdown().expect("shutdown");
+    handle.join().expect("daemon thread");
+}
